@@ -1,0 +1,62 @@
+// Fig. 12: latency of LSBench queries as the cluster grows from 2 to 8 nodes.
+//
+// Paper shape: group (I) (L1-L3, selective, in-place execution) stays flat —
+// more machines neither help nor hurt; group (II) (L4-L6, fork-join) speeds
+// up ~2.8x-3.2x from 2 to 8 nodes.
+
+#include "bench/bench_common.h"
+
+namespace wukongs {
+namespace bench {
+namespace {
+
+constexpr int kSamples = 20;
+constexpr StreamTime kFeedTo = 4000;
+constexpr StreamTime kFirstEnd = 2000;
+constexpr StreamTime kStep = 100;
+
+void Run() {
+  PrintHeader("Fig. 12: latency (ms) vs number of machines, LSBench",
+              NetworkModel{});
+
+  std::vector<uint32_t> node_counts = {2, 4, 6, 8};
+  // medians[q][n] for query L(q+1) at node_counts[n].
+  std::vector<std::vector<double>> medians(LsBench::kNumContinuous);
+
+  for (uint32_t nodes : node_counts) {
+    LsBenchConfig config;
+    config.users = 4000;
+    LsEnvironment env = LsEnvironment::Create(nodes, config, kFeedTo);
+    for (int i = 1; i <= LsBench::kNumContinuous; ++i) {
+      Query q = MustParse(env.bench->ContinuousQueryText(i), env.strings.get());
+      auto handle = env.cluster->RegisterContinuousParsed(q);
+      medians[static_cast<size_t>(i - 1)].push_back(
+          MeasureContinuous(env.cluster.get(), *handle, kFirstEnd, kStep, kSamples)
+              .Median());
+    }
+  }
+
+  TablePrinter table({"query", "2 nodes", "4 nodes", "6 nodes", "8 nodes",
+                      "speedup 2->8"});
+  for (int i = 0; i < LsBench::kNumContinuous; ++i) {
+    const auto& m = medians[static_cast<size_t>(i)];
+    std::vector<std::string> row = {"L" + std::to_string(i + 1)};
+    for (double v : m) {
+      row.push_back(TablePrinter::Num(v, 3));
+    }
+    row.push_back(TablePrinter::Num(m.front() / m.back(), 2) + "x");
+    table.AddRow(row);
+  }
+  table.Print();
+  std::cout << "\ngroup (I) = L1-L3 (expected ~flat), group (II) = L4-L6 "
+               "(expected ~3x speedup 2->8)\n";
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace wukongs
+
+int main() {
+  wukongs::bench::Run();
+  return 0;
+}

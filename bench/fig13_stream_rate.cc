@@ -1,0 +1,63 @@
+// Fig. 13: latency of LSBench queries as the stream rate scales x1/4 .. x4.
+//
+// Paper shape: group (I) (L1-L3) is flat — selective queries produce
+// fixed-size results regardless of window volume; group (II) (L4-L6) grows
+// with the rate since their result sizes track the window contents, yet
+// stays low (< ~16ms at x4 in the paper).
+
+#include "bench/bench_common.h"
+
+namespace wukongs {
+namespace bench {
+namespace {
+
+constexpr int kSamples = 20;
+constexpr StreamTime kFeedTo = 4000;
+constexpr StreamTime kFirstEnd = 2000;
+constexpr StreamTime kStep = 100;
+
+void Run() {
+  PrintHeader("Fig. 13: latency (ms) vs stream rate, LSBench on 8 nodes",
+              NetworkModel{});
+
+  std::vector<double> scales = {0.25, 0.5, 1.0, 2.0, 4.0};
+  std::vector<std::vector<double>> medians(LsBench::kNumContinuous);
+
+  for (double scale : scales) {
+    LsBenchConfig config;
+    config.users = 4000;
+    config.rate_scale = scale;
+    LsEnvironment env = LsEnvironment::Create(/*nodes=*/8, config, kFeedTo);
+    for (int i = 1; i <= LsBench::kNumContinuous; ++i) {
+      Query q = MustParse(env.bench->ContinuousQueryText(i), env.strings.get());
+      auto handle = env.cluster->RegisterContinuousParsed(q);
+      medians[static_cast<size_t>(i - 1)].push_back(
+          MeasureContinuous(env.cluster.get(), *handle, kFirstEnd, kStep, kSamples)
+              .Median());
+    }
+  }
+
+  TablePrinter table(
+      {"query", "x1/4", "x1/2", "x1", "x2", "x4", "growth x1/4 -> x4"});
+  for (int i = 0; i < LsBench::kNumContinuous; ++i) {
+    const auto& m = medians[static_cast<size_t>(i)];
+    std::vector<std::string> row = {"L" + std::to_string(i + 1)};
+    for (double v : m) {
+      row.push_back(TablePrinter::Num(v, 3));
+    }
+    row.push_back(TablePrinter::Num(m.back() / m.front(), 2) + "x");
+    table.AddRow(row);
+  }
+  table.Print();
+  std::cout << "\nbase rate x1 = 1335 tuples/s across the five streams "
+               "(PO:POL:PH:PHL:GPS = 10:86:10:7.5:20, as in the paper)\n";
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace wukongs
+
+int main() {
+  wukongs::bench::Run();
+  return 0;
+}

@@ -1,0 +1,14 @@
+// Fig. 14: throughput of a mixed workload of query classes L1-L3 as the
+// cluster grows, and the per-class latency CDF on 8 nodes.
+//
+// Paper shape: peak throughput ~1.08M q/s on 8 nodes, 4.2x over 2 nodes;
+// median latency ~0.11ms, 99th percentile ~0.9ms (injection tail).
+
+#include "bench/throughput_common.h"
+
+int main() {
+  wukongs::bench::PrintThroughputTable(
+      {1, 2, 3},
+      "Fig. 14: throughput of the L1-L3 mix vs nodes; latency CDF on 8 nodes");
+  return 0;
+}

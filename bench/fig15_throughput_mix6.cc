@@ -1,0 +1,15 @@
+// Fig. 15: throughput of a mixed workload of all six query classes L1-L6 as
+// the cluster grows, and the per-class latency CDF on 8 nodes.
+//
+// Paper shape: peak throughput ~802K q/s on 8 nodes (the heavier group (II)
+// classes lower the ceiling vs Fig. 14), 5.0x over 2 nodes; L4's median at
+// peak ~2.3ms, 99th ~4.1ms.
+
+#include "bench/throughput_common.h"
+
+int main() {
+  wukongs::bench::PrintThroughputTable(
+      {1, 2, 3, 4, 5, 6},
+      "Fig. 15: throughput of the L1-L6 mix vs nodes; latency CDF on 8 nodes");
+  return 0;
+}

@@ -1,0 +1,182 @@
+// Micro-benchmarks (google-benchmark) for the hot paths underneath every
+// table: store reads at a snapshot, streaming injection, stream-index window
+// resolution, transient-store lookups, and the parser. These are ablation
+// aids: e.g. BM_WindowRead vs BM_FullValueScanWindow quantifies what the
+// stream index buys at a given history/window ratio (the Wukong/Ext gap).
+
+#include <benchmark/benchmark.h>
+
+#include "src/common/rng.h"
+#include "src/sparql/parser.h"
+#include "src/store/gstore.h"
+#include "src/stream/stream_index.h"
+#include "src/stream/transient_store.h"
+
+namespace wukongs {
+namespace {
+
+constexpr PredicateId kPo = 4;
+
+void BM_StoreLoadTriple(benchmark::State& state) {
+  GStore store(0);
+  Rng rng(1);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    store.LoadTriple({rng.Uniform(1, 100000), kPo, 1000000 + (i++)});
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StoreLoadTriple);
+
+void BM_StoreInjectEdge(benchmark::State& state) {
+  GStore store(0);
+  Rng rng(1);
+  std::vector<AppendSpan> spans;
+  uint64_t i = 0;
+  for (auto _ : state) {
+    spans.clear();
+    ++i;
+    store.InjectEdge(Key(rng.Uniform(1, 100000), kPo, Dir::kOut), 1000000 + i,
+                     /*sn=*/1 + i / 1000, &spans);
+    benchmark::DoNotOptimize(spans);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StoreInjectEdge);
+
+void BM_StoreReadAtSnapshot(benchmark::State& state) {
+  GStore store(0);
+  const size_t degree = static_cast<size_t>(state.range(0));
+  for (size_t v = 1; v <= 1000; ++v) {
+    for (size_t e = 0; e < degree; ++e) {
+      store.InjectEdge(Key(v, kPo, Dir::kOut), 1000000 + e, 1 + e / 8, nullptr);
+    }
+  }
+  Rng rng(2);
+  std::vector<VertexId> out;
+  for (auto _ : state) {
+    store.GetEdgesInto(Key(rng.Uniform(1, 1000), kPo, Dir::kOut), 5, &out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StoreReadAtSnapshot)->Arg(8)->Arg(64)->Arg(512);
+
+// Window resolution through the stream index: jump straight to the spans of
+// the window's batches.
+void BM_WindowRead(benchmark::State& state) {
+  const size_t history_batches = static_cast<size_t>(state.range(0));
+  const size_t window_batches = 10;
+  GStore store(0);
+  StreamIndex index;
+  Rng rng(3);
+  for (size_t b = 0; b < history_batches; ++b) {
+    std::vector<AppendSpan> spans;
+    for (int t = 0; t < 20; ++t) {
+      store.InjectEdge(Key(rng.Uniform(1, 200), kPo, Dir::kOut),
+                       1000000 + b * 100 + static_cast<uint64_t>(t), 1 + b,
+                       &spans);
+    }
+    index.AddBatch(b, spans);
+  }
+  std::vector<VertexId> out;
+  std::vector<IndexSpan> spans;
+  for (auto _ : state) {
+    out.clear();
+    Key key(rng.Uniform(1, 200), kPo, Dir::kOut);
+    for (size_t b = history_batches - window_batches; b < history_batches; ++b) {
+      spans.clear();
+      if (index.GetSpans(b, key, &spans)) {
+        for (const IndexSpan& s : spans) {
+          store.GetSpanInto(key, s.start, s.count, &out);
+        }
+      }
+    }
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WindowRead)->Arg(20)->Arg(100)->Arg(400);
+
+// The Wukong/Ext strawman: scan the whole stamped value and filter by time.
+void BM_FullValueScanWindow(benchmark::State& state) {
+  const size_t history_batches = static_cast<size_t>(state.range(0));
+  struct StampedEdge {
+    VertexId vid;
+    uint64_t ts;
+  };
+  std::unordered_map<Key, std::vector<StampedEdge>, KeyHash> values;
+  Rng rng(3);
+  for (size_t b = 0; b < history_batches; ++b) {
+    for (int t = 0; t < 20; ++t) {
+      values[Key(rng.Uniform(1, 200), kPo, Dir::kOut)].push_back(
+          {1000000 + b * 100 + static_cast<uint64_t>(t), b * 100});
+    }
+  }
+  const uint64_t from = (history_batches - 10) * 100;
+  std::vector<VertexId> out;
+  for (auto _ : state) {
+    out.clear();
+    auto it = values.find(Key(rng.Uniform(1, 200), kPo, Dir::kOut));
+    if (it != values.end()) {
+      for (const StampedEdge& e : it->second) {
+        if (e.ts >= from) {
+          out.push_back(e.vid);
+        }
+      }
+    }
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FullValueScanWindow)->Arg(20)->Arg(100)->Arg(400);
+
+void BM_TransientSliceLookup(benchmark::State& state) {
+  TransientStore ts;
+  Rng rng(4);
+  for (BatchSeq b = 0; b < 100; ++b) {
+    StreamTupleVec tuples;
+    for (int i = 0; i < 20; ++i) {
+      tuples.push_back(StreamTuple{{rng.Uniform(1, 200), 7, rng.Uniform(1, 1000)},
+                                   b * 100,
+                                   TupleKind::kTiming});
+    }
+    ts.AppendSlice(b, tuples);
+  }
+  std::vector<VertexId> out;
+  for (auto _ : state) {
+    out.clear();
+    for (BatchSeq b = 90; b < 100; ++b) {
+      ts.GetNeighbors(b, Key(rng.Uniform(1, 200), 7, Dir::kOut), &out);
+    }
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TransientSliceLookup);
+
+void BM_ParseContinuousQuery(benchmark::State& state) {
+  StringServer strings;
+  const std::string text = R"(
+      REGISTER QUERY QC AS
+      SELECT ?X ?Y ?Z
+      FROM STREAM <Tweet_Stream> [RANGE 10s STEP 1s]
+      FROM STREAM <Like_Stream> [RANGE 5s STEP 1s]
+      FROM <X-Lab>
+      WHERE {
+        GRAPH <Tweet_Stream> { ?X po ?Z }
+        GRAPH <X-Lab>        { ?X fo ?Y }
+        GRAPH <Like_Stream>  { ?Y li ?Z }
+      })";
+  for (auto _ : state) {
+    auto q = ParseQuery(text, &strings);
+    benchmark::DoNotOptimize(q);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ParseContinuousQuery);
+
+}  // namespace
+}  // namespace wukongs
+
+BENCHMARK_MAIN();

@@ -1,0 +1,108 @@
+// Table 2: single-node median latency (ms) of LSBench continuous queries
+// L1-L6 on Wukong+S vs Storm+Wukong (with Storm/Wukong breakdown) vs
+// CSPARQL-engine.
+//
+// Paper shape: Wukong+S beats Storm+Wukong by 1.6x-30x and CSPARQL-engine by
+// ~3 orders of magnitude; cross-system cost dominates the composite design.
+
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/baselines/csparql_engine.h"
+#include "src/baselines/storm_wukong.h"
+
+namespace wukongs {
+namespace bench {
+namespace {
+
+constexpr int kSamples = 20;
+constexpr StreamTime kFeedTo = 4000;
+constexpr StreamTime kFirstEnd = 2000;
+constexpr StreamTime kStep = 100;
+
+void Run() {
+  LsBenchConfig config;
+  LsEnvironment env = LsEnvironment::Create(/*nodes=*/1, config, kFeedTo);
+  PrintHeader("Table 2: single-node continuous query latency (ms), LSBench",
+              env.cluster->config().network);
+  std::cout << "initial triples: " << env.bench->initial_triples()
+            << ", stream rate: " << env.bench->total_rate_tuples_per_sec()
+            << " tuples/s, samples/query: " << kSamples << "\n\n";
+
+  // Composite baselines run against a *static* copy of the stored data.
+  ClusterConfig static_config;
+  static_config.nodes = 1;
+  Cluster static_store(static_config, env.strings.get());
+  static_store.LoadBase(env.bench->initial_graph());
+
+  StormWukong storm(&static_store);
+  env.FillBaselineStreams(storm.streams());
+
+  CsparqlEngine csparql(env.strings.get());
+  csparql.LoadStored(env.bench->initial_graph());
+  env.FillBaselineStreams(csparql.streams());
+
+  TablePrinter table({"LSBench", "Wukong+S", "Storm+Wukong All", "(Storm)",
+                      "(Wukong)", "CSPARQL-engine"});
+  std::vector<double> ws_all, sw_all, cs_all;
+
+  for (int i = 1; i <= LsBench::kNumContinuous; ++i) {
+    Query q = MustParse(env.bench->ContinuousQueryText(i), env.strings.get());
+    bool touches_store = false;
+    for (const TriplePattern& p : q.patterns) {
+      touches_store |= (p.graph == kGraphStored);
+    }
+
+    auto handle = env.cluster->RegisterContinuousParsed(q);
+    Histogram ws = MeasureContinuous(env.cluster.get(), *handle, kFirstEnd, kStep,
+                                     kSamples);
+
+    Histogram sw;
+    Histogram sw_stream;
+    Histogram sw_store;
+    for (int s = 0; s < kSamples; ++s) {
+      StreamTime end = kFirstEnd + static_cast<StreamTime>(s) * kStep;
+      CompositeBreakdown bd;
+      auto exec = storm.ExecuteContinuous(q, end, &bd);
+      if (!exec.ok()) {
+        std::cerr << exec.status().ToString() << "\n";
+        std::abort();
+      }
+      sw.Add(exec->latency_ms());
+      sw_stream.Add(bd.stream_ms);
+      sw_store.Add(bd.store_ms);
+    }
+
+    Histogram cs = MeasureEngine(
+        [&](StreamTime end) { return csparql.ExecuteContinuous(q, end); },
+        kFirstEnd, kStep, kSamples);
+
+    table.AddRow({"L" + std::to_string(i), TablePrinter::Num(ws.Median()),
+                  TablePrinter::Num(sw.Median()),
+                  TablePrinter::Num(sw_stream.Median()),
+                  touches_store ? TablePrinter::Num(sw_store.Median()) : "-",
+                  TablePrinter::Num(cs.Median(), 1)});
+    ws_all.push_back(ws.Median());
+    sw_all.push_back(sw.Median());
+    cs_all.push_back(cs.Median());
+  }
+  table.AddRow({"Geo.M", TablePrinter::Num(GeometricMeanOf(ws_all)),
+                TablePrinter::Num(GeometricMeanOf(sw_all)), "-", "-",
+                TablePrinter::Num(GeometricMeanOf(cs_all), 1)});
+  table.Print();
+
+  std::cout << "\nspeedup (Geo.M): Wukong+S vs Storm+Wukong = "
+            << TablePrinter::Num(GeometricMeanOf(sw_all) / GeometricMeanOf(ws_all), 1)
+            << "x, vs CSPARQL-engine = "
+            << TablePrinter::Num(GeometricMeanOf(cs_all) / GeometricMeanOf(ws_all), 0)
+            << "x\n";
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace wukongs
+
+int main() {
+  wukongs::bench::Run();
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Table 3: 8-node median latency (ms) of LSBench L1-L6 on Wukong+S vs
+// Storm+Wukong vs Spark Streaming.
+//
+// Paper shape: Wukong+S wins by 2.3x-29x over Storm+Wukong and by three
+// orders of magnitude over Spark Streaming (whose micro-batch floor keeps
+// every query in the hundreds of milliseconds).
+
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/baselines/spark_like.h"
+#include "src/baselines/storm_wukong.h"
+
+namespace wukongs {
+namespace bench {
+namespace {
+
+constexpr int kSamples = 20;
+constexpr StreamTime kFeedTo = 4000;
+constexpr StreamTime kFirstEnd = 2000;
+constexpr StreamTime kStep = 100;
+
+void Run() {
+  LsBenchConfig config;
+  config.users = 4000;  // The distributed setting runs the larger dataset.
+  LsEnvironment env = LsEnvironment::Create(/*nodes=*/8, config, kFeedTo);
+  PrintHeader("Table 3: 8-node continuous query latency (ms), LSBench",
+              env.cluster->config().network);
+  std::cout << "initial triples: " << env.bench->initial_triples()
+            << ", nodes: 8, samples/query: " << kSamples << "\n\n";
+
+  ClusterConfig static_config;
+  static_config.nodes = 8;
+  Cluster static_store(static_config, env.strings.get());
+  static_store.LoadBase(env.bench->initial_graph());
+
+  StormWukong storm(&static_store);
+  env.FillBaselineStreams(storm.streams());
+
+  SparkEngine spark(env.strings.get());
+  spark.LoadStored(env.bench->initial_graph());
+  env.FillBaselineStreams(spark.streams());
+
+  TablePrinter table({"LSBench", "Wukong+S", "Storm+Wukong All", "(Storm)",
+                      "(Wukong)", "Spark Streaming"});
+  std::vector<double> ws_all, sw_all, sp_all;
+
+  for (int i = 1; i <= LsBench::kNumContinuous; ++i) {
+    Query q = MustParse(env.bench->ContinuousQueryText(i), env.strings.get());
+    bool touches_store = false;
+    for (const TriplePattern& p : q.patterns) {
+      touches_store |= (p.graph == kGraphStored);
+    }
+
+    auto handle = env.cluster->RegisterContinuousParsed(q);
+    Histogram ws =
+        MeasureContinuous(env.cluster.get(), *handle, kFirstEnd, kStep, kSamples);
+
+    Histogram sw, sw_stream, sw_store;
+    for (int s = 0; s < kSamples; ++s) {
+      StreamTime end = kFirstEnd + static_cast<StreamTime>(s) * kStep;
+      CompositeBreakdown bd;
+      auto exec = storm.ExecuteContinuous(q, end, &bd);
+      if (!exec.ok()) {
+        std::cerr << exec.status().ToString() << "\n";
+        std::abort();
+      }
+      sw.Add(exec->latency_ms());
+      sw_stream.Add(bd.stream_ms);
+      sw_store.Add(bd.store_ms);
+    }
+
+    Histogram sp = MeasureEngine(
+        [&](StreamTime end) { return spark.ExecuteContinuous(q, end); }, kFirstEnd,
+        kStep, kSamples);
+
+    table.AddRow({"L" + std::to_string(i), TablePrinter::Num(ws.Median()),
+                  TablePrinter::Num(sw.Median()),
+                  TablePrinter::Num(sw_stream.Median()),
+                  touches_store ? TablePrinter::Num(sw_store.Median()) : "-",
+                  TablePrinter::Num(sp.Median(), 0)});
+    ws_all.push_back(ws.Median());
+    sw_all.push_back(sw.Median());
+    sp_all.push_back(sp.Median());
+  }
+  table.AddRow({"Geo.M", TablePrinter::Num(GeometricMeanOf(ws_all)),
+                TablePrinter::Num(GeometricMeanOf(sw_all)), "-", "-",
+                TablePrinter::Num(GeometricMeanOf(sp_all), 0)});
+  table.Print();
+  std::cout << "\nspeedup (Geo.M): vs Storm+Wukong = "
+            << TablePrinter::Num(GeometricMeanOf(sw_all) / GeometricMeanOf(ws_all), 1)
+            << "x, vs Spark Streaming = "
+            << TablePrinter::Num(GeometricMeanOf(sp_all) / GeometricMeanOf(ws_all), 0)
+            << "x\n";
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace wukongs
+
+int main() {
+  wukongs::bench::Run();
+  return 0;
+}

@@ -1,0 +1,125 @@
+// Table 4: further 8-node comparisons — Heron+Wukong (faster scheduler,
+// same composite bottlenecks), Structured Streaming (unbounded tables;
+// L4-L6 unsupported, printed as "x"), and Wukong/Ext (timestamps inline,
+// no stream index, 1.6x-4.4x slower than Wukong+S).
+
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/baselines/spark_like.h"
+#include "src/baselines/storm_wukong.h"
+#include "src/baselines/wukong_ext.h"
+
+namespace wukongs {
+namespace bench {
+namespace {
+
+constexpr int kSamples = 20;
+constexpr StreamTime kFeedTo = 8000;
+constexpr StreamTime kFirstEnd = 6000;
+constexpr StreamTime kStep = 100;
+
+void Run() {
+  LsBenchConfig config;
+  config.users = 2000;
+  // Deep per-user history magnifies what the stream index saves: extracting
+  // a window in Wukong+S jumps to per-batch spans, while Wukong/Ext scans
+  // whole values — historical edges and all — testing inline timestamps.
+  config.initial_posts_per_user = 50;
+  config.initial_photos_per_user = 20;
+  config.rate_scale = 2.0;
+  LsEnvironment env = LsEnvironment::Create(/*nodes=*/8, config, kFeedTo);
+  PrintHeader(
+      "Table 4: further comparison (ms) on 8 nodes: Heron+Wukong, Structured "
+      "Streaming, Wukong/Ext",
+      env.cluster->config().network);
+  std::cout << "samples/query: " << kSamples << "\n\n";
+
+  ClusterConfig static_config;
+  static_config.nodes = 8;
+  Cluster static_store(static_config, env.strings.get());
+  static_store.LoadBase(env.bench->initial_graph());
+
+  StormWukongConfig heron_config;
+  heron_config.sched_ns = heron_config.network.heron_sched_ns;
+  StormWukong heron(&static_store, heron_config);
+  env.FillBaselineStreams(heron.streams());
+
+  SparkConfig ss_config;
+  ss_config.structured = true;
+  SparkEngine structured(env.strings.get(), ss_config);
+  structured.LoadStored(env.bench->initial_graph());
+  env.FillBaselineStreams(structured.streams());
+
+  WukongExt ext(env.strings.get(), 8);
+  ext.LoadStored(env.bench->initial_graph());
+  for (const auto& [name, tuples] : env.captured) {
+    ext.Inject(tuples);
+  }
+
+  TablePrinter table({"LSBench", "Wukong+S", "Heron+Wukong All", "(Heron)",
+                      "(Wukong)", "Structured Streaming", "Wukong/Ext"});
+  std::vector<double> ws_all, heron_all, ext_all;
+
+  for (int i = 1; i <= LsBench::kNumContinuous; ++i) {
+    Query q = MustParse(env.bench->ContinuousQueryText(i), env.strings.get());
+    bool touches_store = false;
+    for (const TriplePattern& p : q.patterns) {
+      touches_store |= (p.graph == kGraphStored);
+    }
+
+    auto handle = env.cluster->RegisterContinuousParsed(q);
+    Histogram ws =
+        MeasureContinuous(env.cluster.get(), *handle, kFirstEnd, kStep, kSamples);
+
+    Histogram hn, hn_stream, hn_store;
+    for (int s = 0; s < kSamples; ++s) {
+      StreamTime end = kFirstEnd + static_cast<StreamTime>(s) * kStep;
+      CompositeBreakdown bd;
+      auto exec = heron.ExecuteContinuous(q, end, &bd);
+      if (!exec.ok()) {
+        std::cerr << exec.status().ToString() << "\n";
+        std::abort();
+      }
+      hn.Add(exec->latency_ms());
+      hn_stream.Add(bd.stream_ms);
+      hn_store.Add(bd.store_ms);
+    }
+
+    bool ss_unsupported = false;
+    Histogram ss = MeasureEngine(
+        [&](StreamTime end) { return structured.ExecuteContinuous(q, end); },
+        kFirstEnd, kStep, kSamples, &ss_unsupported);
+
+    Histogram ex = MeasureEngine(
+        [&](StreamTime end) { return ext.ExecuteContinuous(q, end); }, kFirstEnd,
+        kStep, kSamples);
+
+    table.AddRow({"L" + std::to_string(i), TablePrinter::Num(ws.Median()),
+                  TablePrinter::Num(hn.Median()),
+                  TablePrinter::Num(hn_stream.Median()),
+                  touches_store ? TablePrinter::Num(hn_store.Median()) : "-",
+                  ss_unsupported ? "x" : TablePrinter::Num(ss.Median(), 0),
+                  TablePrinter::Num(ex.Median())});
+    ws_all.push_back(ws.Median());
+    heron_all.push_back(hn.Median());
+    ext_all.push_back(ex.Median());
+  }
+  table.AddRow({"Geo.M", TablePrinter::Num(GeometricMeanOf(ws_all)),
+                TablePrinter::Num(GeometricMeanOf(heron_all)), "-", "-", "-",
+                TablePrinter::Num(GeometricMeanOf(ext_all))});
+  table.Print();
+  std::cout << "\nWukong/Ext slowdown vs Wukong+S (Geo.M): "
+            << TablePrinter::Num(GeometricMeanOf(ext_all) / GeometricMeanOf(ws_all),
+                                 1)
+            << "x\n";
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace wukongs
+
+int main() {
+  wukongs::bench::Run();
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Table 5: performance impact of RDMA on Wukong+S (8 nodes).
+//
+// Non-RDMA = 10GbE TCP with purely fork-join execution forced over both
+// streaming and stored data. Paper shape: selective queries (L1-L3) are
+// insensitive (~1.0-1.1x); non-selective queries (L4-L6) slow down 1.8x-3.5x.
+
+#include <vector>
+
+#include "bench/bench_common.h"
+
+namespace wukongs {
+namespace bench {
+namespace {
+
+constexpr int kSamples = 20;
+constexpr StreamTime kFeedTo = 4000;
+constexpr StreamTime kFirstEnd = 2000;
+constexpr StreamTime kStep = 100;
+
+std::vector<double> MeasureAll(Transport transport, bool force_fork_join) {
+  ClusterConfig cluster_config;
+  cluster_config.transport = transport;
+  cluster_config.force_fork_join = force_fork_join;
+  LsBenchConfig config;
+  config.users = 4000;
+  LsEnvironment env =
+      LsEnvironment::Create(/*nodes=*/8, config, kFeedTo, cluster_config);
+  std::vector<double> medians;
+  for (int i = 1; i <= LsBench::kNumContinuous; ++i) {
+    Query q = MustParse(env.bench->ContinuousQueryText(i), env.strings.get());
+    auto handle = env.cluster->RegisterContinuousParsed(q);
+    medians.push_back(
+        MeasureContinuous(env.cluster.get(), *handle, kFirstEnd, kStep, kSamples)
+            .Median());
+  }
+  return medians;
+}
+
+void Run() {
+  PrintHeader("Table 5: the performance impact of RDMA on Wukong+S (8 nodes)",
+              NetworkModel{});
+  std::cout << "non-RDMA = TCP transport + forced fork-join execution\n\n";
+
+  std::vector<double> rdma = MeasureAll(Transport::kRdma, false);
+  std::vector<double> tcp = MeasureAll(Transport::kTcp, true);
+
+  TablePrinter table({"LSBench", "Wukong+S", "Non-RDMA", "Slowdown"});
+  for (size_t i = 0; i < rdma.size(); ++i) {
+    // Sub-microsecond baselines are wall-clock noise; a ratio there is
+    // meaningless (the paper's cheapest query is ~100us).
+    bool noise = rdma[i] < 0.002;
+    table.AddRow({"L" + std::to_string(i + 1), TablePrinter::Num(rdma[i], 3),
+                  TablePrinter::Num(tcp[i], 3),
+                  noise ? "~1x (noise)"
+                        : TablePrinter::Num(tcp[i] / rdma[i], 1) + "x"});
+  }
+  table.AddRow({"Geo.M", TablePrinter::Num(GeometricMeanOf(rdma), 3),
+                TablePrinter::Num(GeometricMeanOf(tcp), 3),
+                TablePrinter::Num(GeometricMeanOf(tcp) / GeometricMeanOf(rdma), 1) +
+                    "x"});
+  table.Print();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace wukongs
+
+int main() {
+  wukongs::bench::Run();
+  return 0;
+}

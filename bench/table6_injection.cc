@@ -1,0 +1,71 @@
+// Table 6: data injection and stream-index construction cost per 100 ms
+// mini-batch for the five LSBench streams at default rates.
+//
+// Paper shape: injection costs 0.37-2.20 ms per batch, dominated by the
+// heaviest stream (PO-L); index construction adds 0.21-0.43 ms; GPS (timing
+// data) builds no persistent-store index.
+
+#include "bench/bench_common.h"
+
+namespace wukongs {
+namespace bench {
+namespace {
+
+constexpr StreamTime kFeedTo = 10000;  // 100 batches per stream.
+
+void Run() {
+  LsBenchConfig config;
+  config.users = 4000;
+  LsEnvironment env = LsEnvironment::Create(/*nodes=*/8, config, kFeedTo);
+  PrintHeader(
+      "Table 6: injection + indexing cost (ms) per 100ms mini-batch, per stream",
+      env.cluster->config().network);
+  std::cout << "batches per stream: "
+            << kFeedTo / env.cluster->config().batch_interval_ms << "\n\n";
+
+  struct Row {
+    const char* label;
+    StreamId stream;
+    double rate;
+  };
+  std::vector<Row> rows = {
+      {"PO", env.bench->po_stream(), config.po_rate},
+      {"PO-L", env.bench->pol_stream(), config.pol_rate},
+      {"PH", env.bench->ph_stream(), config.ph_rate},
+      {"PH-L", env.bench->phl_stream(), config.phl_rate},
+      {"GPS", env.bench->gps_stream(), config.gps_rate},
+  };
+
+  TablePrinter table({"LSBench", "rate (tuples/s)", "Injection", "Indexing",
+                      "Total", "tuples/batch"});
+  double total_inject = 0.0;
+  double total_index = 0.0;
+  for (const Row& row : rows) {
+    auto profile = env.cluster->injection_profile(row.stream);
+    double batches = static_cast<double>(profile.batches);
+    double inject = profile.inject_ms / batches;
+    double index = profile.index_ms / batches;
+    total_inject += inject;
+    total_index += index;
+    table.AddRow({row.label, TablePrinter::Num(row.rate, 0),
+                  TablePrinter::Num(inject, 4), TablePrinter::Num(index, 4),
+                  TablePrinter::Num(inject + index, 4),
+                  TablePrinter::Num(static_cast<double>(profile.tuples) / batches,
+                                    1)});
+  }
+  table.AddRow({"all", TablePrinter::Num(env.bench->total_rate_tuples_per_sec(), 0),
+                TablePrinter::Num(total_inject, 4), TablePrinter::Num(total_index, 4),
+                TablePrinter::Num(total_inject + total_index, 4), ""});
+  table.Print();
+  std::cout << "\n(the injection delay bounds how much a batch can interfere "
+               "with in-flight queries; see the CDF tails in Figs. 14-15)\n";
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace wukongs
+
+int main() {
+  wukongs::bench::Run();
+  return 0;
+}

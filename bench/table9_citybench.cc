@@ -1,0 +1,126 @@
+// Table 9: CityBench continuous queries C1-C11 on a single node — Wukong+S
+// vs Storm+Wukong (with breakdown) vs Spark Streaming.
+//
+// Paper shape: Wukong+S wins 2.7x-18.3x over Storm+Wukong (cross-system cost
+// dominates, 40-75% of composite latency) and by three orders of magnitude
+// over Spark Streaming; C10/C11 touch only streams, so the composite's
+// Wukong column is empty there.
+
+#include <map>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/baselines/spark_like.h"
+#include "src/baselines/storm_wukong.h"
+#include "src/workloads/citybench.h"
+
+namespace wukongs {
+namespace bench {
+namespace {
+
+constexpr int kSamples = 15;
+constexpr StreamTime kFeedTo = 22000;
+constexpr StreamTime kFirstEnd = 6000;
+constexpr StreamTime kStep = 1000;
+
+void Run() {
+  StringServer strings;
+  ClusterConfig cc;
+  cc.nodes = 1;
+  Cluster cluster(cc, &strings);
+  CityBenchConfig config;
+  // Default Aarhus rates (paper Table 1): 4-19 tuples/s per stream.
+  CityBench bench(&cluster, config);
+
+  std::map<std::string, StreamTupleVec> captured;
+  bench.SetTee([&](const std::string& name, const StreamTupleVec& tuples) {
+    auto& log = captured[name];
+    log.insert(log.end(), tuples.begin(), tuples.end());
+  });
+  if (!bench.Setup().ok() || !bench.FeedInterval(0, kFeedTo).ok()) {
+    std::cerr << "citybench setup failed\n";
+    std::abort();
+  }
+  PrintHeader("Table 9: CityBench continuous query latency (ms), single node",
+              cluster.config().network);
+  std::cout << "initial triples: " << bench.initial_triples()
+            << ", samples/query: " << kSamples << "\n\n";
+
+  Cluster static_store(cc, &strings);
+  static_store.LoadBase(bench.initial_graph());
+  StormWukong storm(&static_store);
+  SparkEngine spark(&strings);
+  spark.LoadStored(bench.initial_graph());
+  for (int i = 0; i < CityBench::kNumContinuous; ++i) {
+    const char* name = CityBench::StreamName(i);
+    auto id1 = storm.streams()->Define(name);
+    auto id2 = spark.streams()->Define(name);
+    auto it = captured.find(name);
+    if (it != captured.end()) {
+      if (!storm.streams()->Feed(*id1, it->second).ok() ||
+          !spark.streams()->Feed(*id2, it->second).ok()) {
+        std::cerr << "baseline feed failed\n";
+        std::abort();
+      }
+    }
+  }
+
+  TablePrinter table({"CityBench", "Wukong+S", "Storm+Wukong", "(Storm)",
+                      "(Wukong)", "Spark Streaming"});
+  std::vector<double> ws_all, sw_all, sp_all;
+  for (int i = 1; i <= CityBench::kNumContinuous; ++i) {
+    Query q = MustParse(bench.ContinuousQueryText(i), &strings);
+    bool touches_store = false;
+    for (const TriplePattern& p : q.patterns) {
+      touches_store |= (p.graph == kGraphStored);
+    }
+
+    auto handle = cluster.RegisterContinuousParsed(q);
+    Histogram ws = MeasureContinuous(&cluster, *handle, kFirstEnd, kStep, kSamples);
+
+    Histogram sw, sw_stream, sw_store;
+    for (int s = 0; s < kSamples; ++s) {
+      StreamTime end = kFirstEnd + static_cast<StreamTime>(s) * kStep;
+      CompositeBreakdown bd;
+      auto exec = storm.ExecuteContinuous(q, end, &bd);
+      if (!exec.ok()) {
+        std::cerr << exec.status().ToString() << "\n";
+        std::abort();
+      }
+      sw.Add(exec->latency_ms());
+      sw_stream.Add(bd.stream_ms);
+      sw_store.Add(bd.store_ms);
+    }
+
+    Histogram sp = MeasureEngine(
+        [&](StreamTime end) { return spark.ExecuteContinuous(q, end); }, kFirstEnd,
+        kStep, kSamples);
+
+    table.AddRow({"C" + std::to_string(i), TablePrinter::Num(ws.Median()),
+                  TablePrinter::Num(sw.Median()),
+                  TablePrinter::Num(sw_stream.Median()),
+                  touches_store ? TablePrinter::Num(sw_store.Median()) : "-",
+                  TablePrinter::Num(sp.Median(), 0)});
+    ws_all.push_back(ws.Median());
+    sw_all.push_back(sw.Median());
+    sp_all.push_back(sp.Median());
+  }
+  table.AddRow({"Geo.M", TablePrinter::Num(GeometricMeanOf(ws_all)),
+                TablePrinter::Num(GeometricMeanOf(sw_all)), "-", "-",
+                TablePrinter::Num(GeometricMeanOf(sp_all), 0)});
+  table.Print();
+  std::cout << "\nspeedup (Geo.M): vs Storm+Wukong = "
+            << TablePrinter::Num(GeometricMeanOf(sw_all) / GeometricMeanOf(ws_all), 1)
+            << "x, vs Spark Streaming = "
+            << TablePrinter::Num(GeometricMeanOf(sp_all) / GeometricMeanOf(ws_all), 0)
+            << "x\n";
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace wukongs
+
+int main() {
+  wukongs::bench::Run();
+  return 0;
+}

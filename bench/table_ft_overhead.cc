@@ -1,0 +1,159 @@
+// §6.8: fault-tolerance overhead — logging/checkpointing enabled vs disabled
+// on the L1-L3 mixed workload.
+//
+// Paper shape: per-batch logging delay ~0.3ms; throughput drops ~11% (1.07M
+// -> 803K q/s); 99th percentile latency grows (0.15 -> 0.73ms) while the
+// 90th percentile is largely unchanged.
+
+#include <cstdio>
+#include <filesystem>
+
+#include "bench/throughput_common.h"
+#include "src/stream/checkpoint.h"
+
+namespace wukongs {
+namespace bench {
+namespace {
+
+struct FtRun {
+  double throughput = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double log_ms_per_batch = 0.0;
+};
+
+FtRun Measure(bool enable_logging, const std::string& log_path) {
+  LsBenchConfig config;
+  config.users = 4000;
+  StringServer strings;
+  ClusterConfig cluster_config;
+  cluster_config.nodes = 8;
+  Cluster cluster(cluster_config, &strings);
+  LsBench bench(&cluster, config);
+
+  std::unique_ptr<CheckpointLog> log;
+  double log_ms = 0.0;
+  size_t logged = 0;
+  if (enable_logging) {
+    auto created = CheckpointLog::Create(log_path);
+    if (!created.ok()) {
+      std::cerr << created.status().ToString() << "\n";
+      std::abort();
+    }
+    log = std::make_unique<CheckpointLog>(std::move(*created));
+    cluster.SetBatchLogger([&](const StreamBatch& b) {
+      Stopwatch sw;
+      Status s = log->Append(b);
+      if (!s.ok()) {
+        std::cerr << s.ToString() << "\n";
+        std::abort();
+      }
+      log_ms += sw.ElapsedMs();
+      ++logged;
+    });
+  }
+
+  if (!bench.Setup().ok() || !bench.FeedInterval(0, 4000).ok()) {
+    std::cerr << "setup/feed failed\n";
+    std::abort();
+  }
+
+  Rng rng(3);
+  Histogram latency;
+  double occupancy_sum = 0.0;
+  size_t samples = 0;
+  // Interference: a query overlapping a batch's injection (and, with FT on,
+  // its durable log write) is delayed by it. Five streams inject per 100ms
+  // interval; the log write gates the batch's visibility.
+  double inject_tail = 0.0;
+  for (StreamId s = 0; s < 5; ++s) {
+    auto profile = cluster.injection_profile(s);
+    if (profile.batches > 0) {
+      inject_tail +=
+          (profile.inject_ms + profile.index_ms) / static_cast<double>(profile.batches);
+    }
+  }
+  // The measured append hits the page cache; a durable log (the paper's
+  // measured ~0.3ms/batch on its disks) pays the device sync too. Model an
+  // NVMe-class sync so the run is not at the mercy of tmpfs caching.
+  constexpr double kDurableSyncMs = 0.1;
+  double log_tail =
+      logged > 0
+          ? (log_ms / static_cast<double>(logged) + kDurableSyncMs) * 5.0
+          : 0.0;
+  inject_tail += log_tail;
+  double tail_p = std::min(1.0, inject_tail / 100.0);
+  constexpr double kDispatchMs = 0.05;  // Same dispatch model as Figs. 14-15.
+
+  for (int cls : {1, 2, 3}) {
+    for (int v = 0; v < 6; ++v) {
+      Query q = MustParse(bench.ContinuousQueryText(cls, &rng), &strings);
+      auto handle = cluster.RegisterContinuousParsed(
+          q, static_cast<NodeId>(rng.Uniform(0, 7)));
+      for (int i = 0; i < 10; ++i) {
+        auto exec =
+            cluster.ExecuteContinuousAt(*handle, 2000 + static_cast<StreamTime>(i) * 100);
+        if (!exec.ok()) {
+          std::cerr << exec.status().ToString() << "\n";
+          std::abort();
+        }
+        double lat = exec->latency_ms() + kDispatchMs;
+        // Throughput accounting uses the expected interference (every query
+        // has probability tail_p of overlapping a batch injection+log);
+        // the latency CDF uses sampled hits so the tail is visible.
+        occupancy_sum += lat + tail_p * inject_tail;
+        if (rng.Bernoulli(tail_p)) {
+          lat += inject_tail;
+        }
+        latency.Add(lat);
+        ++samples;
+      }
+    }
+  }
+
+  FtRun out;
+  out.throughput = (8.0 * 16.0) / (occupancy_sum / samples / 1000.0);
+  out.p50 = latency.Median();
+  out.p90 = latency.Percentile(90);
+  out.p99 = latency.Percentile(99);
+  out.log_ms_per_batch = logged > 0 ? log_ms / static_cast<double>(logged) : 0.0;
+  return out;
+}
+
+void Run() {
+  PrintHeader("SS 6.8: fault-tolerance overhead on the L1-L3 mix (8 nodes)",
+              NetworkModel{});
+  std::string path =
+      (std::filesystem::temp_directory_path() / "wukongs_ft_bench.log").string();
+
+  FtRun off = Measure(false, path);
+  FtRun on = Measure(true, path);
+  std::filesystem::remove(path);
+
+  TablePrinter table({"config", "throughput (q/s)", "p50 (ms)", "p90 (ms)",
+                      "p99 (ms)", "log delay/batch (ms)"});
+  table.AddRow({"FT off", TablePrinter::Num(off.throughput, 0),
+                TablePrinter::Num(off.p50, 3), TablePrinter::Num(off.p90, 3),
+                TablePrinter::Num(off.p99, 3), "-"});
+  table.AddRow({"FT on", TablePrinter::Num(on.throughput, 0),
+                TablePrinter::Num(on.p50, 3), TablePrinter::Num(on.p90, 3),
+                TablePrinter::Num(on.p99, 3),
+                TablePrinter::Num(on.log_ms_per_batch, 3)});
+  table.Print();
+  char drop[32];
+  std::snprintf(drop, sizeof(drop), "%+.1f",
+                (1.0 - on.throughput / off.throughput) * 100);
+  std::cout << "\nthroughput drop: " << drop
+            << "% (paper: ~11.2%; small/negative values here mean the logging "
+               "cost vanished into wall-clock noise)\n";
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace wukongs
+
+int main() {
+  wukongs::bench::Run();
+  return 0;
+}

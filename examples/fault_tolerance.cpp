@@ -1,0 +1,142 @@
+// Fault-tolerance walkthrough (paper §5): incremental checkpointing, crash,
+// recovery, and resumed streaming with at-least-once semantics.
+//
+// Run: ./build/examples/example_fault_tolerance
+
+#include <filesystem>
+#include <iostream>
+
+#include "src/cluster/cluster.h"
+#include "src/stream/checkpoint.h"
+
+using namespace wukongs;
+
+namespace {
+
+// The deployment both the live and the recovered cluster share.
+struct Deployment {
+  ClusterConfig config;
+  TripleVec base;
+  std::string query = R"(
+      REGISTER QUERY fresh_posts AS
+      SELECT ?U ?P
+      FROM STREAM <Post_Stream> [RANGE 2s STEP 1s]
+      WHERE { GRAPH <Post_Stream> { ?U po ?P } })";
+};
+
+std::unique_ptr<Cluster> BuildCluster(const Deployment& d, StringServer* strings) {
+  auto cluster = std::make_unique<Cluster>(d.config, strings);
+  (void)cluster->DefineStream("Post_Stream", {"ga"});
+  cluster->LoadBase(d.base);
+  return cluster;
+}
+
+}  // namespace
+
+int main() {
+  auto dir = std::filesystem::temp_directory_path() / "wukongs_ft_example";
+  std::filesystem::create_directories(dir);
+  std::string batch_log = (dir / "batches.log").string();
+  std::string registry = (dir / "queries.bin").string();
+
+  Deployment d;
+  d.config.nodes = 2;
+  d.config.batch_interval_ms = 500;
+
+  StringServer strings;
+  // Base data: a few users.
+  for (int i = 0; i < 8; ++i) {
+    d.base.push_back({strings.InternVertex("user" + std::to_string(i)),
+                      strings.InternPredicate("ty"),
+                      strings.InternVertex("UserType")});
+  }
+
+  size_t results_before_crash = 0;
+  {
+    // --- Live phase: log every injected batch + the query registry. ---
+    auto cluster = BuildCluster(d, &strings);
+    auto log = CheckpointLog::Create(batch_log);
+    if (!log.ok()) {
+      std::cerr << log.status().ToString() << "\n";
+      return 1;
+    }
+    cluster->SetBatchLogger([&](const StreamBatch& b) {
+      if (!log->Append(b).ok()) {
+        std::abort();
+      }
+    });
+
+    auto handle = cluster->RegisterContinuous(d.query);
+    (void)WriteQueryRegistry(registry, {{d.query, /*home=*/0}});
+
+    StreamTupleVec tuples;
+    for (int i = 0; i < 20; ++i) {
+      tuples.push_back(StreamTuple{{strings.InternVertex("user" + std::to_string(i % 8)),
+                                    strings.InternPredicate("po"),
+                                    strings.InternVertex("post" + std::to_string(i))},
+                                   static_cast<StreamTime>(i * 100),
+                                   TupleKind::kTimeless});
+    }
+    (void)cluster->FeedStream(*cluster->FindStream("Post_Stream"), tuples);
+    cluster->AdvanceStreams(2000);
+
+    auto exec = cluster->ExecuteContinuousAt(*handle, 2000);
+    results_before_crash = exec->result.rows.size();
+    std::cout << "live cluster: query sees " << results_before_crash
+              << " fresh posts in the window ending at t=2s\n";
+    std::cout << "batches logged: " << log->appended_batches() << "\n";
+    // Simulated crash: the cluster object is destroyed here; only the two
+    // files survive.
+  }
+  std::cout << "\n*** crash ***\n\n";
+
+  // --- Recovery: reload initial data, replay the log, re-register. ---
+  auto recovered = BuildCluster(d, &strings);
+  auto batches = ReadCheckpointLog(batch_log);
+  if (!batches.ok()) {
+    std::cerr << batches.status().ToString() << "\n";
+    return 1;
+  }
+  for (const StreamBatch& b : *batches) {
+    if (!recovered->ReplayBatch(b).ok()) {
+      std::cerr << "replay failed\n";
+      return 1;
+    }
+  }
+  auto reg = ReadQueryRegistry(registry);
+  Cluster::ContinuousHandle handle = 0;
+  for (const RegisteredQueryRecord& rec : *reg) {
+    auto h = recovered->RegisterContinuous(rec.text, rec.home);
+    if (!h.ok()) {
+      std::cerr << h.status().ToString() << "\n";
+      return 1;
+    }
+    handle = *h;
+  }
+  std::cout << "recovered: replayed " << batches->size()
+            << " batches, re-registered " << reg->size() << " query\n";
+
+  // The recovered query re-executes the same window: at-least-once delivery
+  // (clients dedupe by window end time, as the paper notes).
+  auto exec = recovered->ExecuteContinuousAt(handle, 2000);
+  std::cout << "recovered cluster: query sees " << exec->result.rows.size()
+            << " fresh posts (matches pre-crash: "
+            << (exec->result.rows.size() == results_before_crash ? "yes" : "NO")
+            << ")\n";
+
+  // Streaming resumes where the log left off.
+  StreamTupleVec more;
+  more.push_back(StreamTuple{{strings.InternVertex("user0"),
+                              strings.InternPredicate("po"),
+                              strings.InternVertex("post-after-crash")},
+                             2200,
+                             TupleKind::kTimeless});
+  (void)recovered->FeedStream(*recovered->FindStream("Post_Stream"), more);
+  recovered->AdvanceStreams(3000);
+  auto exec2 = recovered->ExecuteContinuousAt(handle, 3000);
+  std::cout << "after resuming the stream, window at t=3s sees "
+            << exec2->result.rows.size() << " posts\n";
+
+  std::filesystem::remove_all(dir);
+  return 0;
+}

@@ -1,0 +1,81 @@
+#include "src/baselines/baseline_streams.h"
+
+#include <algorithm>
+
+namespace wukongs {
+
+StatusOr<StreamId> BaselineStreams::Define(const std::string& name) {
+  if (names_.count(name) > 0) {
+    return Status::AlreadyExists("stream " + name + " already defined");
+  }
+  StreamId id = static_cast<StreamId>(logs_.size());
+  logs_.emplace_back();
+  names_.emplace(name, id);
+  return id;
+}
+
+StatusOr<StreamId> BaselineStreams::Find(const std::string& name) const {
+  auto it = names_.find(name);
+  if (it == names_.end()) {
+    return Status::NotFound("unknown stream " + name);
+  }
+  return it->second;
+}
+
+Status BaselineStreams::Feed(StreamId stream, const StreamTupleVec& tuples) {
+  if (stream >= logs_.size()) {
+    return Status::NotFound("unknown stream id");
+  }
+  auto& log = logs_[stream];
+  for (const StreamTuple& t : tuples) {
+    if (!log.empty() && t.timestamp < log.back().timestamp) {
+      return Status::InvalidArgument("stream timestamps must be non-decreasing");
+    }
+    log.push_back(t);
+  }
+  return Status::Ok();
+}
+
+TripleTable BaselineStreams::Window(StreamId stream, StreamTime end_ms,
+                                    uint64_t range_ms, size_t* scanned) const {
+  TripleTable out;
+  if (stream >= logs_.size()) {
+    return out;
+  }
+  const auto& log = logs_[stream];
+  StreamTime from = end_ms > range_ms ? end_ms - range_ms : 0;
+  auto lo = std::lower_bound(log.begin(), log.end(), from,
+                             [](const StreamTuple& t, StreamTime v) {
+                               return t.timestamp < v;
+                             });
+  for (auto it = lo; it != log.end() && it->timestamp < end_ms; ++it) {
+    out.Add(it->triple);
+    if (scanned != nullptr) {
+      ++*scanned;
+    }
+  }
+  return out;
+}
+
+TripleTable BaselineStreams::Unbounded(StreamId stream, StreamTime end_ms,
+                                       size_t* scanned) const {
+  return Window(stream, end_ms, end_ms, scanned);
+}
+
+size_t BaselineStreams::TotalTuples() const {
+  size_t n = 0;
+  for (const auto& log : logs_) {
+    n += log.size();
+  }
+  return n;
+}
+
+size_t BaselineStreams::MemoryBytes() const {
+  size_t bytes = 0;
+  for (const auto& log : logs_) {
+    bytes += log.capacity() * sizeof(StreamTuple);
+  }
+  return bytes;
+}
+
+}  // namespace wukongs

@@ -1,0 +1,49 @@
+// Stream-side state shared by the baseline engines.
+//
+// The composite baselines (CSPARQL-engine, Storm/Heron, Spark) keep streaming
+// data as time-ordered tuple logs per stream and materialize a window as a
+// triple table on every execution — there is no shared stream index, which is
+// one of the things the paper's integrated design removes.
+
+#ifndef SRC_BASELINES_BASELINE_STREAMS_H_
+#define SRC_BASELINES_BASELINE_STREAMS_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/baselines/relational.h"
+#include "src/common/status.h"
+#include "src/rdf/triple.h"
+
+namespace wukongs {
+
+class BaselineStreams {
+ public:
+  StatusOr<StreamId> Define(const std::string& name);
+  StatusOr<StreamId> Find(const std::string& name) const;
+
+  // Appends tuples (must be in timestamp order per stream).
+  Status Feed(StreamId stream, const StreamTupleVec& tuples);
+
+  // Materializes the window (end - range, end] as a triple table. `scanned`
+  // counts log entries touched (a binary search bounds the scan, as a real
+  // ring buffer would).
+  TripleTable Window(StreamId stream, StreamTime end_ms, uint64_t range_ms,
+                     size_t* scanned = nullptr) const;
+
+  // Structured-Streaming view: the unbounded table from time zero.
+  TripleTable Unbounded(StreamId stream, StreamTime end_ms,
+                        size_t* scanned = nullptr) const;
+
+  size_t TotalTuples() const;
+  size_t MemoryBytes() const;
+
+ private:
+  std::vector<std::vector<StreamTuple>> logs_;
+  std::unordered_map<std::string, StreamId> names_;
+};
+
+}  // namespace wukongs
+
+#endif  // SRC_BASELINES_BASELINE_STREAMS_H_

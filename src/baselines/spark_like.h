@@ -1,0 +1,50 @@
+// Spark Streaming / Structured Streaming baselines (paper §6.1-§6.2).
+//
+// Spark Streaming: both streaming and stored data are DataFrames; every
+// micro-batch runs the query as relational joins over the full stored table
+// plus the window tables, paying a fixed job-scheduling overhead per batch
+// (the "hundreds of milliseconds" floor the paper observes).
+//
+// Structured Streaming: streams become *unbounded tables* — pattern scans
+// walk the stream from time zero, not just the window — and several
+// operations are unsupported: following the paper (which could only run
+// L1-L3), queries whose plan has no constant-rooted pattern (a stream-side
+// self/stream-stream join with no selective anchor) return Unimplemented,
+// rendered as "x" in the tables.
+
+#ifndef SRC_BASELINES_SPARK_LIKE_H_
+#define SRC_BASELINES_SPARK_LIKE_H_
+
+#include "src/baselines/baseline_streams.h"
+#include "src/baselines/relational.h"
+#include "src/cluster/cluster.h"
+#include "src/rdf/string_server.h"
+#include "src/sparql/ast.h"
+
+namespace wukongs {
+
+struct SparkConfig {
+  bool structured = false;        // Structured Streaming variant.
+  double batch_overhead_ms = 120.0;  // Job scheduling per triggered batch.
+  double per_tuple_ns = 800.0;       // JVM/RDD per-tuple overhead.
+};
+
+class SparkEngine {
+ public:
+  SparkEngine(StringServer* strings, SparkConfig config = {});
+
+  void LoadStored(const TripleVec& triples);
+  BaselineStreams* streams() { return &streams_; }
+
+  StatusOr<QueryExecution> ExecuteContinuous(const Query& q, StreamTime end_ms);
+
+ private:
+  StringServer* strings_;
+  SparkConfig config_;
+  TripleTable stored_;
+  BaselineStreams streams_;
+};
+
+}  // namespace wukongs
+
+#endif  // SRC_BASELINES_SPARK_LIKE_H_

@@ -1,0 +1,185 @@
+#include "src/baselines/storm_wukong.h"
+
+namespace wukongs {
+namespace {
+
+// Builds the stored-part sub-query: the stored patterns, selecting every
+// variable they bind (the composite design must ship whole bindings back).
+Query StoredSubQuery(const Query& q) {
+  Query sub;
+  sub.var_names = q.var_names;
+  std::vector<bool> selected(q.var_names.size(), false);
+  for (const TriplePattern& p : q.patterns) {
+    if (p.graph != kGraphStored) {
+      continue;
+    }
+    sub.patterns.push_back(p);
+    sub.patterns.back().graph = kGraphStored;
+    for (const Term* t : {&p.subject, &p.object}) {
+      if (t->is_var() && !selected[static_cast<size_t>(t->var)]) {
+        selected[static_cast<size_t>(t->var)] = true;
+        sub.select.push_back(SelectItem{t->var, AggKind::kNone});
+      }
+    }
+  }
+  return sub;
+}
+
+// Converts a Wukong QueryResult back into a relation (the "transform back"
+// half of the cross-system cost).
+RelTable ToRelation(const Query& sub, const QueryResult& result) {
+  RelTable out;
+  for (const SelectItem& item : sub.select) {
+    out.vars.push_back(item.var);
+  }
+  out.rows.reserve(result.rows.size());
+  for (const auto& row : result.rows) {
+    std::vector<VertexId> rel_row;
+    rel_row.reserve(row.size());
+    for (const ResultValue& v : row) {
+      rel_row.push_back(v.vid);
+    }
+    out.rows.push_back(std::move(rel_row));
+  }
+  return out;
+}
+
+}  // namespace
+
+StormWukong::StormWukong(Cluster* wukong, StormWukongConfig config)
+    : wukong_(wukong), config_(config) {}
+
+StatusOr<QueryExecution> StormWukong::ExecuteContinuous(
+    const Query& q, StreamTime end_ms, CompositeBreakdown* breakdown) {
+  CompositeBreakdown local;
+  CompositeBreakdown* bd = breakdown != nullptr ? breakdown : &local;
+  *bd = CompositeBreakdown{};
+
+  // --- Stream part, inside Storm bolts. ---
+  double stream_sim_before = SimCost::TotalNs();
+  Stopwatch stream_wall;
+  size_t bolts = 0;
+  std::vector<RelTable> stream_tables;
+  {
+    // One spout+scan bolt per stream pattern, join bolts within each window.
+    std::vector<TripleTable> windows;
+    windows.reserve(q.windows.size());
+    for (const WindowSpec& w : q.windows) {
+      auto sid = streams_.Find(w.stream_name);
+      if (!sid.ok()) {
+        return sid.status();
+      }
+      windows.push_back(streams_.Window(*sid, end_ms, w.range_ms));
+    }
+    std::vector<RelTable> per_window(q.windows.size());
+    std::vector<bool> seen(q.windows.size(), false);
+    for (const TriplePattern& p : q.patterns) {
+      if (p.graph == kGraphStored) {
+        continue;
+      }
+      size_t w = static_cast<size_t>(p.graph);
+      RelTable scanned = ScanPattern(windows[w], p);
+      ++bolts;
+      if (!seen[w]) {
+        per_window[w] = std::move(scanned);
+        seen[w] = true;
+      } else {
+        per_window[w] = HashJoin(per_window[w], scanned);
+        ++bolts;
+      }
+    }
+    for (size_t w = 0; w < per_window.size(); ++w) {
+      if (seen[w]) {
+        stream_tables.push_back(std::move(per_window[w]));
+      }
+    }
+  }
+  if (config_.plan == CompositePlan::kStreamJoinFirst && stream_tables.size() > 1) {
+    // Fig. 4(b): join the stream parts before consulting the store — fewer
+    // crossings, but the join lacks the stored data's pruning (may blow up).
+    RelTable joined = stream_tables[0];
+    for (size_t i = 1; i < stream_tables.size(); ++i) {
+      joined = HashJoin(joined, stream_tables[i]);
+      ++bolts;
+    }
+    stream_tables.assign(1, std::move(joined));
+  }
+  SimCost::Add(config_.sched_ns * static_cast<double>(bolts));
+  bd->stream_ms +=
+      stream_wall.ElapsedMs() + (SimCost::TotalNs() - stream_sim_before) / 1e6;
+  for (const RelTable& t : stream_tables) {
+    bd->stream_tuples += t.size();
+  }
+
+  // --- Cross to Wukong: ship stream bindings over, get stored part back. ---
+  double cross_sim_before = SimCost::TotalNs();
+  SimCost::Add(config_.network.cross_system_per_tuple_ns *
+               static_cast<double>(bd->stream_tuples));
+  SimCost::Add(config_.network.tcp_msg_base_ns +
+               config_.network.tcp_msg_per_byte_ns *
+                   static_cast<double>(bd->stream_tuples) * 24.0);
+  bd->cross_ms += (SimCost::TotalNs() - cross_sim_before) / 1e6;
+
+  // --- Stored part, inside Wukong (a real query on the real store). ---
+  RelTable stored_table;
+  bool has_stored = false;
+  Query sub = StoredSubQuery(q);
+  if (!sub.patterns.empty()) {
+    has_stored = true;
+    auto exec = wukong_->OneShotParsed(sub);
+    if (!exec.ok()) {
+      return exec.status();
+    }
+    bd->store_ms += exec->latency_ms();
+    stored_table = ToRelation(sub, exec->result);
+    bd->store_tuples = stored_table.size();
+
+    // Results transform back into Storm's tuple format.
+    cross_sim_before = SimCost::TotalNs();
+    SimCost::Add(config_.network.cross_system_per_tuple_ns *
+                 static_cast<double>(stored_table.size()));
+    SimCost::Add(config_.network.tcp_msg_base_ns +
+                 config_.network.tcp_msg_per_byte_ns *
+                     static_cast<double>(stored_table.size()) * 24.0);
+    bd->cross_ms += (SimCost::TotalNs() - cross_sim_before) / 1e6;
+  }
+
+  // --- Final join + projection, back in Storm. ---
+  stream_sim_before = SimCost::TotalNs();
+  Stopwatch join_wall;
+  RelTable final_table;
+  if (stream_tables.empty()) {
+    final_table = std::move(stored_table);
+  } else {
+    final_table = stream_tables[0];
+    for (size_t i = 1; i < stream_tables.size(); ++i) {
+      final_table = HashJoin(final_table, stream_tables[i]);
+    }
+    if (has_stored) {
+      final_table = HashJoin(final_table, stored_table);
+    }
+  }
+  for (const FilterExpr& f : q.filters) {
+    final_table = ApplyRelFilter(final_table, f, *wukong_->strings());
+  }
+  SimCost::Add(config_.sched_ns);  // The sink/join bolt.
+  auto result = ProjectRelation(q, final_table, *wukong_->strings());
+  if (!result.ok()) {
+    return result.status();
+  }
+  bd->final_tuples = final_table.size();
+  bd->stream_ms +=
+      join_wall.ElapsedMs() + (SimCost::TotalNs() - stream_sim_before) / 1e6;
+
+  // The composite's end-to-end latency is the sum of its phases: Storm
+  // compute (incl. scheduling), the Wukong sub-query's own modeled latency,
+  // and the boundary crossings. Phase deltas are disjoint by construction.
+  QueryExecution exec;
+  exec.result = std::move(*result);
+  exec.cpu_ms = bd->stream_ms;
+  exec.net_ms = bd->cross_ms + bd->store_ms;
+  exec.window_end_ms = end_ms;
+  return exec;
+}
+
+}  // namespace wukongs

@@ -1,0 +1,74 @@
+// Storm+Wukong / Heron+Wukong composite baseline (paper §2.3, Fig. 4).
+//
+// The better-performing composite the paper builds itself: a Storm-style
+// bolt pipeline evaluates the stream part of each continuous query over
+// window tables, a real Wukong cluster (our integrated store with streaming
+// disabled) answers the stored part, and the results are joined back in
+// Storm. This reproduces the paper's two issues by construction:
+//   * Issue#1, cross-system cost — every tuple crossing the Storm/Wukong
+//     boundary pays transformation plus a transfer;
+//   * Issue#2, sub-optimal plans — the stored sub-query runs without the
+//     stream-side bindings (no global plan), so Wukong computes and returns
+//     far more tuples than an integrated plan would touch.
+// Two plan styles mirror Fig. 4(a)/(b); Heron is the same pipeline with a
+// cheaper scheduler.
+
+#ifndef SRC_BASELINES_STORM_WUKONG_H_
+#define SRC_BASELINES_STORM_WUKONG_H_
+
+#include "src/baselines/baseline_streams.h"
+#include "src/baselines/relational.h"
+#include "src/cluster/cluster.h"
+#include "src/sparql/ast.h"
+
+namespace wukongs {
+
+enum class CompositePlan {
+  kStreamThenStore,  // Fig. 4(a): eval stream parts, consult Wukong, join.
+  kStreamJoinFirst,  // Fig. 4(b): join all stream parts first, then Wukong.
+};
+
+struct StormWukongConfig {
+  // Per-bolt activation overhead; Storm ~0.15 ms, Heron ~0.04 ms (paper §6.2
+  // shows Heron only helps stream-only queries).
+  double sched_ns = 150000.0;
+  CompositePlan plan = CompositePlan::kStreamThenStore;
+  NetworkModel network;
+};
+
+// Per-execution breakdown, for the Fig. 4 reproduction.
+struct CompositeBreakdown {
+  double stream_ms = 0.0;      // Time inside the stream processor.
+  double store_ms = 0.0;       // Time inside Wukong.
+  double cross_ms = 0.0;       // Cross-system transform + transfer.
+  size_t stream_tuples = 0;    // Result sizes crossing the boundary.
+  size_t store_tuples = 0;
+  size_t final_tuples = 0;
+
+  double total_ms() const { return stream_ms + store_ms + cross_ms; }
+  double cross_fraction() const {
+    double t = total_ms();
+    return t > 0 ? cross_ms / t : 0.0;
+  }
+};
+
+class StormWukong {
+ public:
+  // `wukong` must hold the stored data; this baseline never feeds streams
+  // into it (the composite design leaves the store static).
+  StormWukong(Cluster* wukong, StormWukongConfig config = {});
+
+  BaselineStreams* streams() { return &streams_; }
+
+  StatusOr<QueryExecution> ExecuteContinuous(const Query& q, StreamTime end_ms,
+                                             CompositeBreakdown* breakdown = nullptr);
+
+ private:
+  Cluster* wukong_;
+  StormWukongConfig config_;
+  BaselineStreams streams_;
+};
+
+}  // namespace wukongs
+
+#endif  // SRC_BASELINES_STORM_WUKONG_H_

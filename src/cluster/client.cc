@@ -1,0 +1,77 @@
+#include "src/cluster/client.h"
+
+namespace wukongs {
+
+Client::Client(Cluster* cluster, NodeId home)
+    : cluster_(cluster), home_(home % cluster->node_count()) {}
+
+StatusOr<Query> Client::Parse(const std::string& text) {
+  auto it = procedures_.find(text);
+  if (it != procedures_.end()) {
+    ++stats_.procedure_cache_hits;
+    return it->second;
+  }
+  auto q = ParseQuery(text, cluster_->strings());
+  if (!q.ok()) {
+    return q.status();
+  }
+  procedures_.emplace(text, *q);
+  return std::move(*q);
+}
+
+StatusOr<QueryExecution> Client::Submit(const std::string& text) {
+  auto q = Parse(text);
+  if (!q.ok()) {
+    return q.status();
+  }
+  ++stats_.one_shot_queries;
+  auto exec = cluster_->OneShotParsed(*q, home_);
+  if (exec.ok()) {
+    stats_.total_latency_ms += exec->latency_ms();
+  }
+  return exec;
+}
+
+StatusOr<Cluster::ContinuousHandle> Client::Register(const std::string& text) {
+  auto q = Parse(text);
+  if (!q.ok()) {
+    return q.status();
+  }
+  ++stats_.registrations;
+  return cluster_->RegisterContinuousParsed(*q, home_);
+}
+
+StatusOr<QueryExecution> Client::Poll(Cluster::ContinuousHandle handle,
+                                      StreamTime end_ms) {
+  ++stats_.polls;
+  auto exec = cluster_->ExecuteContinuousAt(handle, end_ms);
+  if (exec.ok()) {
+    stats_.total_latency_ms += exec->latency_ms();
+  }
+  return exec;
+}
+
+std::vector<std::vector<std::string>> Client::Render(
+    const QueryResult& result) const {
+  std::vector<std::vector<std::string>> out;
+  out.reserve(result.rows.size());
+  const StringServer& strings = *cluster_->strings();
+  for (const auto& row : result.rows) {
+    std::vector<std::string> cells;
+    cells.reserve(row.size());
+    for (const ResultValue& v : row) {
+      if (v.is_number) {
+        cells.push_back(std::to_string(v.number));
+      } else if (v.vid == kUnboundBinding) {
+        cells.push_back("");  // Unmatched OPTIONAL variable.
+      } else {
+        auto s = strings.VertexString(v.vid);
+        cells.push_back(s.ok() ? *s : "<?" + std::to_string(v.vid) + ">");
+      }
+    }
+    out.push_back(std::move(cells));
+  }
+  return out;
+}
+
+}  // namespace wukongs

@@ -1,0 +1,82 @@
+// Client library and proxy (paper §3, Fig. 5).
+//
+// "Each client contains a client library that can parse continuous and
+// one-shot queries into a set of stored procedures, which will be
+// immediately executed for one-shot queries or registered for continuous
+// queries on the server side. Alternatively, Wukong+S can use a set of
+// dedicated proxies to run the client-side library and balance client
+// requests."
+//
+// Client parses query text once (interning every constant through the string
+// server, so only IDs cross to the engine) and caches the parsed form — the
+// "stored procedure". Repeated submissions of the same text skip parsing.
+// Proxy hands out clients whose requests are balanced round-robin across the
+// cluster's nodes.
+
+#ifndef SRC_CLUSTER_CLIENT_H_
+#define SRC_CLUSTER_CLIENT_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/cluster/cluster.h"
+
+namespace wukongs {
+
+class Client {
+ public:
+  // `home` is the node this client's requests land on by default.
+  Client(Cluster* cluster, NodeId home = 0);
+
+  // Submits a one-shot query; parses (and caches) the text, executes it.
+  StatusOr<QueryExecution> Submit(const std::string& text);
+
+  // Continuous query registration.
+  StatusOr<Cluster::ContinuousHandle> Register(const std::string& text);
+
+  // Executes a registered continuous query for the window ending at end_ms.
+  StatusOr<QueryExecution> Poll(Cluster::ContinuousHandle handle,
+                                StreamTime end_ms);
+
+  // Resolves a result's IDs back to strings for display.
+  std::vector<std::vector<std::string>> Render(const QueryResult& result) const;
+
+  struct Stats {
+    size_t one_shot_queries = 0;
+    size_t registrations = 0;
+    size_t polls = 0;
+    size_t procedure_cache_hits = 0;
+    double total_latency_ms = 0.0;
+  };
+  const Stats& stats() const { return stats_; }
+  NodeId home() const { return home_; }
+
+ private:
+  StatusOr<Query> Parse(const std::string& text);
+
+  Cluster* cluster_;
+  NodeId home_;
+  std::unordered_map<std::string, Query> procedures_;  // Stored procedures.
+  Stats stats_;
+};
+
+// Hands out clients balanced round-robin across nodes.
+class Proxy {
+ public:
+  explicit Proxy(Cluster* cluster) : cluster_(cluster) {}
+
+  Client NewClient() {
+    NodeId home = next_home_;
+    next_home_ = (next_home_ + 1) % cluster_->node_count();
+    return Client(cluster_, home);
+  }
+
+ private:
+  Cluster* cluster_;
+  NodeId next_home_ = 0;
+};
+
+}  // namespace wukongs
+
+#endif  // SRC_CLUSTER_CLIENT_H_

@@ -1,0 +1,633 @@
+#include "src/cluster/cluster.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace wukongs {
+namespace {
+
+// Fork-join steps moving fewer rows than this piggyback the continuation on a
+// single forwarded message (migrating execution); larger steps pay a full
+// scatter/gather round plus volume.
+constexpr size_t kSmallStepRows = 64;
+constexpr double kRdmaHopNs = 1000.0;
+constexpr double kTcpHopNs = 5000.0;
+
+// Per-query coordination cost of a full fork-join (dispatch into every
+// node's task queue + join barrier). Selective queries forced into fork-join
+// degrade to *migrating execution* instead: the continuation hops between
+// the (few) nodes holding its data, paying per-step hops but no cluster-wide
+// barrier — which is why the paper's non-RDMA mode barely affects L1-L3.
+constexpr double kForkJoinSetupRdmaNs = 10000.0;
+constexpr double kForkJoinSetupTcpNs = 40000.0;
+
+constexpr size_t kBindingBytes = sizeof(VertexId);
+constexpr size_t kTupleWireBytes = 24;
+
+}  // namespace
+
+Cluster::Cluster(const ClusterConfig& config, StringServer* shared_strings)
+    : config_(config),
+      owned_strings_(shared_strings == nullptr ? std::make_unique<StringServer>()
+                                               : nullptr),
+      strings_(shared_strings == nullptr ? owned_strings_.get() : shared_strings),
+      fabric_(std::make_unique<Fabric>(config.nodes, config.network,
+                                       config.transport)),
+      coordinator_(std::make_unique<Coordinator>(config.nodes,
+                                                 config.reserved_snapshots,
+                                                 config.batches_per_sn)) {
+  assert(config_.nodes >= 1);
+  stores_.reserve(config_.nodes);
+  for (NodeId n = 0; n < config_.nodes; ++n) {
+    stores_.push_back(std::make_unique<GStore>(n));
+    stores_raw_.push_back(stores_.back().get());
+  }
+}
+
+Cluster::~Cluster() = default;
+
+StatusOr<StreamId> Cluster::DefineStream(
+    const std::string& name, const std::vector<std::string>& timing_predicates) {
+  if (stream_names_.count(name) > 0) {
+    return Status::AlreadyExists("stream " + name + " already defined");
+  }
+  StreamId id = static_cast<StreamId>(streams_.size());
+  std::unordered_set<PredicateId> timing;
+  for (const std::string& p : timing_predicates) {
+    timing.insert(strings_->InternPredicate(p));
+  }
+  StreamState state;
+  state.name = name;
+  state.adaptor = std::make_unique<StreamAdaptor>(id, config_.batch_interval_ms,
+                                                  std::move(timing));
+  state.ingest_node = static_cast<NodeId>(id % config_.nodes);
+  streams_.push_back(std::move(state));
+  stream_names_.emplace(name, id);
+
+  stream_indexes_.emplace_back();
+  transients_.emplace_back();
+  stream_indexes_raw_.emplace_back();
+  transients_raw_.emplace_back();
+  for (NodeId n = 0; n < config_.nodes; ++n) {
+    stream_indexes_.back().push_back(std::make_unique<StreamIndex>());
+    stream_indexes_raw_.back().push_back(stream_indexes_.back().back().get());
+    transients_.back().push_back(
+        std::make_unique<TransientStore>(config_.transient_budget_bytes));
+    transients_raw_.back().push_back(transients_.back().back().get());
+  }
+  coordinator_->RegisterStream(id);
+  return id;
+}
+
+StatusOr<StreamId> Cluster::FindStream(const std::string& name) const {
+  auto it = stream_names_.find(name);
+  if (it == stream_names_.end()) {
+    return Status::NotFound("unknown stream " + name);
+  }
+  return it->second;
+}
+
+void Cluster::LoadBase(std::span<const Triple> triples) {
+  for (const Triple& t : triples) {
+    stores_raw_[OwnerOf(t.subject)]->LoadEdge(Key(t.subject, t.predicate, Dir::kOut),
+                                              t.object);
+    stores_raw_[OwnerOf(t.object)]->LoadEdge(Key(t.object, t.predicate, Dir::kIn),
+                                             t.subject);
+  }
+}
+
+Status Cluster::FeedStream(StreamId stream, const StreamTupleVec& tuples) {
+  if (stream >= streams_.size()) {
+    return Status::NotFound("unknown stream id");
+  }
+  std::vector<StreamBatch> batches;
+  Status s = streams_[stream].adaptor->Ingest(tuples, &batches);
+  if (!s.ok()) {
+    return s;
+  }
+  for (const StreamBatch& b : batches) {
+    InjectBatch(b);
+  }
+  return Status::Ok();
+}
+
+void Cluster::AdvanceStreams(StreamTime now_ms) {
+  // Inject across streams in batch-sequence order so snapshots stay
+  // contiguous on keys shared between streams (minimal cross-stream skew —
+  // the paper's Injector achieves the same by stalling past the announced
+  // SN-VTS plan).
+  std::vector<StreamBatch> batches;
+  for (StreamState& state : streams_) {
+    state.adaptor->AdvanceTo(now_ms, &batches);
+  }
+  std::stable_sort(batches.begin(), batches.end(),
+                   [](const StreamBatch& a, const StreamBatch& b) {
+                     return a.seq < b.seq;
+                   });
+  for (const StreamBatch& b : batches) {
+    InjectBatch(b);
+  }
+}
+
+void Cluster::InjectBatch(const StreamBatch& batch) {
+  StreamState& state = streams_[batch.stream];
+  const uint32_t nodes = config_.nodes;
+  SnapshotNum sn = coordinator_->PlanSnFor(batch.stream, batch.seq);
+
+  // Dispatcher: partition each tuple's two directions by owner node.
+  std::vector<std::vector<std::pair<Key, VertexId>>> timeless(nodes);
+  std::vector<std::vector<std::pair<Key, VertexId>>> timing(nodes);
+  for (const StreamTuple& t : batch.tuples) {
+    Key out_key(t.triple.subject, t.triple.predicate, Dir::kOut);
+    Key in_key(t.triple.object, t.triple.predicate, Dir::kIn);
+    auto& out_dst = t.kind == TupleKind::kTiming ? timing : timeless;
+    out_dst[OwnerOf(t.triple.subject)].emplace_back(out_key, t.triple.object);
+    out_dst[OwnerOf(t.triple.object)].emplace_back(in_key, t.triple.subject);
+  }
+
+  // Injection: persistent appends (timeless) + transient slices (timing).
+  LatencyProbe inject_probe;
+  std::vector<std::vector<AppendSpan>> spans(nodes);
+  for (NodeId n = 0; n < nodes; ++n) {
+    size_t tuple_count = timeless[n].size() + timing[n].size();
+    if (tuple_count > 0) {
+      fabric_->Message(state.ingest_node, n, tuple_count * kTupleWireBytes);
+    }
+    for (const auto& [key, value] : timeless[n]) {
+      stores_raw_[n]->InjectEdge(key, value, sn, &spans[n]);
+    }
+    transients_raw_[batch.stream][n]->AppendSlice(batch.seq, timing[n]);
+  }
+  state.profile.inject_ms += inject_probe.FinishMs();
+
+  // Stream index construction + locality-aware replication (§4.2).
+  LatencyProbe index_probe;
+  for (NodeId n = 0; n < nodes; ++n) {
+    stream_indexes_raw_[batch.stream][n]->AddBatch(batch.seq, spans[n]);
+    if (spans[n].empty()) {
+      continue;
+    }
+    if (config_.locality_aware_index) {
+      size_t index_bytes = spans[n].size() * sizeof(AppendSpan) + 32;
+      for (NodeId sub : state.subscribers) {
+        if (sub != n) {
+          fabric_->Message(n, sub, index_bytes);
+          ++index_replications_;
+        }
+      }
+    }
+  }
+  state.profile.index_ms += index_probe.FinishMs();
+
+  for (NodeId n = 0; n < nodes; ++n) {
+    coordinator_->ReportInjected(n, batch.stream, batch.seq);
+  }
+  state.profile.tuples += batch.tuples.size();
+  state.profile.batches += 1;
+
+  if (batch_logger_) {
+    batch_logger_(batch);
+  }
+}
+
+bool Cluster::IsSelective(const Query& q, const std::vector<int>& plan) const {
+  if (plan.empty()) {
+    return true;
+  }
+  const TriplePattern& first = q.patterns[static_cast<size_t>(plan.front())];
+  return !first.subject.is_var() || !first.object.is_var();
+}
+
+StatusOr<ExecContext> Cluster::BuildContext(
+    const Registration& reg, StreamTime end_ms, ChargePolicy policy,
+    std::vector<std::unique_ptr<NeighborSource>>* holders) {
+  ExecContext ctx;
+  ctx.strings = strings_;
+  holders->push_back(std::make_unique<StoreSource>(
+      stores_raw_, fabric_.get(), reg.home, coordinator_->StableSn(), policy));
+  ctx.sources.push_back(holders->back().get());
+  VectorTimestamp stable = coordinator_->StableVts();
+  for (size_t w = 0; w < reg.query.windows.size(); ++w) {
+    StreamId sid = reg.stream_ids[w];
+    const WindowSpec& spec = reg.query.windows[w];
+    BatchRange range;
+    if (spec.absolute) {
+      // Time-ontology one-shot scope [from, to): clamp to the stable prefix
+      // so the read is consistent even while injection is in flight.
+      range.lo = spec.from_ms / config_.batch_interval_ms;
+      range.hi = (spec.to_ms - 1) / config_.batch_interval_ms;
+      BatchSeq have = stable.Get(sid);
+      if (have == kNoBatch || have < range.lo) {
+        range.empty = true;
+      } else if (range.hi > have) {
+        range.hi = have;
+      }
+    } else {
+      range = WindowBatches(end_ms, spec.range_ms, config_.batch_interval_ms);
+    }
+    holders->push_back(std::make_unique<WindowSource>(
+        stores_raw_, stream_indexes_raw_[sid], transients_raw_[sid], fabric_.get(),
+        reg.home, range, policy, config_.locality_aware_index));
+    ctx.sources.push_back(holders->back().get());
+  }
+  return ctx;
+}
+
+StatusOr<QueryExecution> Cluster::RunQuery(const Query& q,
+                                           const std::vector<int>& plan,
+                                           const ExecContext& ctx, NodeId home,
+                                           bool fork_join, bool selective,
+                                           SnapshotNum snapshot) {
+  (void)home;
+  const NetworkModel& m = config_.network;
+  const bool rdma = fabric_->transport() == Transport::kRdma;
+  // A selective query forced into fork-join involves only the nodes its few
+  // keys live on: migrating execution, no cluster-wide barrier.
+  const bool migrating = fork_join && selective;
+
+  StepHook hook;
+  if (fork_join && config_.nodes > 1) {
+    hook = [&](const TriplePattern&, size_t rows_before, size_t cols_before,
+               size_t /*rows_after*/) {
+      if (!migrating && rows_before > kSmallStepRows) {
+        // Scatter: ship the binding table partition-wise, one concurrent
+        // round; charge the round's base plus the shipped volume.
+        size_t bytes = rows_before * (cols_before + 1) * kBindingBytes + 16;
+        if (rdma) {
+          SimCost::Add(m.rdma_msg_base_ns +
+                       m.rdma_msg_per_byte_ns * static_cast<double>(bytes));
+        } else {
+          SimCost::Add(m.tcp_msg_base_ns +
+                       m.tcp_msg_per_byte_ns * static_cast<double>(bytes));
+        }
+      } else {
+        // Tiny step: the continuation migrates with its rows in one hop.
+        SimCost::Add(rdma ? kRdmaHopNs : kTcpHopNs);
+      }
+    };
+  }
+
+  double sim_before = SimCost::TotalNs();
+  Stopwatch wall;
+  auto table = ExecutePatterns(q, plan, ctx, hook);
+  if (!table.ok()) {
+    return table.status();
+  }
+  Status os = ApplyOptionals(q, ctx, &table.value());
+  if (!os.ok()) {
+    return os;
+  }
+  Status fs = ApplyFilters(q, ctx, &table.value());
+  if (!fs.ok()) {
+    return fs;
+  }
+  auto result = ProjectResult(q, ctx, table.value());
+  if (!result.ok()) {
+    return result.status();
+  }
+  Status fin = FinalizeSolution(q, ctx, &result.value());
+  if (!fin.ok()) {
+    return fin;
+  }
+  double cpu_ns = wall.ElapsedNs();
+
+  if (fork_join && config_.nodes > 1 && !migrating) {
+    // Full fork-join: dispatch into every node's task queue + join barrier.
+    SimCost::Add(rdma ? kForkJoinSetupRdmaNs : kForkJoinSetupTcpNs);
+    // Join: gather final bindings to the home node. Small results piggyback
+    // on the per-step reply (selective queries effectively completed on one
+    // node); only bulky results pay a full gather round.
+    if (result->rows.size() > kSmallStepRows) {
+      size_t bytes =
+          result->rows.size() * (result->columns.size() + 1) * kBindingBytes + 16;
+      if (rdma) {
+        SimCost::Add(m.rdma_msg_base_ns +
+                     m.rdma_msg_per_byte_ns * static_cast<double>(bytes));
+      } else {
+        SimCost::Add(m.tcp_msg_base_ns +
+                     m.tcp_msg_per_byte_ns * static_cast<double>(bytes));
+      }
+    } else {
+      SimCost::Add(rdma ? kRdmaHopNs : kTcpHopNs);
+    }
+    cpu_ns /= std::pow(static_cast<double>(config_.nodes),
+                       config_.fork_join_parallel_exponent);
+  } else if (migrating && config_.nodes > 1) {
+    SimCost::Add(rdma ? kRdmaHopNs : kTcpHopNs);  // Final reply hop.
+  }
+  double net_ns = SimCost::TotalNs() - sim_before;
+
+  QueryExecution exec;
+  exec.result = std::move(*result);
+  exec.cpu_ms = cpu_ns / 1e6;
+  exec.net_ms = net_ns / 1e6;
+  exec.fork_join = fork_join;
+  exec.snapshot = snapshot;
+  return exec;
+}
+
+StatusOr<QueryExecution> Cluster::ExecuteUnion(const Registration& reg,
+                                               StreamTime end_ms,
+                                               SnapshotNum snapshot) {
+  QueryExecution total;
+  total.snapshot = snapshot;
+  total.window_end_ms = end_ms;
+  for (const std::vector<TriplePattern>& branch : reg.query.unions) {
+    Query bq = reg.query;
+    bq.patterns = branch;
+    bq.unions.clear();
+    // Modifiers apply once, after the branches are concatenated.
+    bq.distinct = false;
+    bq.order_by.clear();
+    bq.limit = 0;
+    Registration breg;
+    breg.query = bq;
+    breg.home = reg.home;
+    breg.stream_ids = reg.stream_ids;
+
+    std::vector<std::unique_ptr<NeighborSource>> plan_holders;
+    auto plan_ctx = BuildContext(breg, end_ms, ChargePolicy::kNoCharge, &plan_holders);
+    if (!plan_ctx.ok()) {
+      return plan_ctx.status();
+    }
+    std::vector<int> plan = PlanQuery(bq, *plan_ctx);
+    bool selective = IsSelective(bq, plan);
+    bool fork_join =
+        config_.force_fork_join || (!selective && !config_.force_in_place);
+    std::vector<std::unique_ptr<NeighborSource>> holders;
+    auto ctx = BuildContext(
+        breg, end_ms, fork_join ? ChargePolicy::kNoCharge : ChargePolicy::kInPlace,
+        &holders);
+    if (!ctx.ok()) {
+      return ctx.status();
+    }
+    auto exec = RunQuery(bq, plan, *ctx, breg.home, fork_join, selective, snapshot);
+    if (!exec.ok()) {
+      return exec.status();
+    }
+    total.cpu_ms += exec->cpu_ms;
+    total.net_ms += exec->net_ms;
+    total.fork_join = total.fork_join || exec->fork_join;
+    if (total.result.columns.empty()) {
+      total.result.columns = exec->result.columns;
+    }
+    for (auto& row : exec->result.rows) {
+      total.result.rows.push_back(std::move(row));
+    }
+  }
+  ExecContext finalize_ctx;
+  finalize_ctx.strings = strings_;
+  Status fin = FinalizeSolution(reg.query, finalize_ctx, &total.result);
+  if (!fin.ok()) {
+    return fin;
+  }
+  return total;
+}
+
+StatusOr<QueryExecution> Cluster::OneShot(std::string_view text, NodeId home) {
+  auto q = ParseQuery(text, strings_);
+  if (!q.ok()) {
+    return q.status();
+  }
+  return OneShotParsed(*q, home);
+}
+
+StatusOr<QueryExecution> Cluster::OneShotParsed(const Query& q, NodeId home) {
+  if (q.continuous) {
+    return Status::InvalidArgument("continuous query submitted as one-shot");
+  }
+  for (const WindowSpec& w : q.windows) {
+    if (!w.absolute) {
+      return Status::InvalidArgument(
+          "one-shot query may only use absolute [FROM..TO] stream scopes");
+    }
+  }
+  SnapshotNum snapshot = coordinator_->StableSn();
+
+  // Plan against a charge-free view, then execute with charging.
+  std::vector<std::unique_ptr<NeighborSource>> holders;
+  Registration reg;
+  reg.query = q;
+  reg.home = home;
+  for (const WindowSpec& w : q.windows) {
+    auto sid = FindStream(w.stream_name);
+    if (!sid.ok()) {
+      return sid.status();
+    }
+    reg.stream_ids.push_back(*sid);
+  }
+  if (!q.unions.empty()) {
+    return ExecuteUnion(reg, 0, snapshot);
+  }
+  auto plan_ctx = BuildContext(reg, 0, ChargePolicy::kNoCharge, &holders);
+  if (!plan_ctx.ok()) {
+    return plan_ctx.status();
+  }
+  std::vector<int> plan = PlanQuery(q, *plan_ctx);
+  bool selective = IsSelective(q, plan);
+  bool fork_join =
+      config_.force_fork_join || (!selective && !config_.force_in_place);
+
+  std::vector<std::unique_ptr<NeighborSource>> exec_holders;
+  auto ctx = BuildContext(reg, 0,
+                          fork_join ? ChargePolicy::kNoCharge : ChargePolicy::kInPlace,
+                          &exec_holders);
+  if (!ctx.ok()) {
+    return ctx.status();
+  }
+  return RunQuery(q, plan, *ctx, home, fork_join, selective, snapshot);
+}
+
+StatusOr<Cluster::ContinuousHandle> Cluster::RegisterContinuous(
+    std::string_view text, NodeId home) {
+  auto q = ParseQuery(text, strings_);
+  if (!q.ok()) {
+    return q.status();
+  }
+  return RegisterContinuousParsed(*q, home);
+}
+
+StatusOr<Cluster::ContinuousHandle> Cluster::RegisterContinuousParsed(const Query& q,
+                                                                      NodeId home) {
+  if (q.windows.empty()) {
+    return Status::InvalidArgument("continuous query must declare stream windows");
+  }
+  Registration reg;
+  reg.query = q;
+  reg.home = home % config_.nodes;
+  for (const WindowSpec& w : q.windows) {
+    auto sid = FindStream(w.stream_name);
+    if (!sid.ok()) {
+      return sid.status();
+    }
+    reg.stream_ids.push_back(*sid);
+    // Locality-aware partitioning: replicate this stream's index to the node
+    // where the query runs, from now on (Fig. 9).
+    streams_[*sid].subscribers.insert(reg.home);
+  }
+  registrations_.push_back(std::move(reg));
+  return static_cast<ContinuousHandle>(registrations_.size() - 1);
+}
+
+const Query& Cluster::ContinuousQueryOf(ContinuousHandle h) const {
+  return registrations_[h].query;
+}
+
+bool Cluster::WindowReady(ContinuousHandle h, StreamTime end_ms) const {
+  const Registration& reg = registrations_[h];
+  VectorTimestamp stable = coordinator_->StableVts();
+  for (size_t w = 0; w < reg.query.windows.size(); ++w) {
+    BatchRange range = WindowBatches(end_ms, reg.query.windows[w].range_ms,
+                                     config_.batch_interval_ms);
+    if (range.empty) {
+      continue;
+    }
+    BatchSeq have = stable.Get(reg.stream_ids[w]);
+    if (have == kNoBatch || have < range.hi) {
+      return false;
+    }
+  }
+  return true;
+}
+
+StatusOr<QueryExecution> Cluster::ExecuteContinuousAt(ContinuousHandle h,
+                                                      StreamTime end_ms) {
+  if (h >= registrations_.size()) {
+    return Status::NotFound("unknown continuous query handle");
+  }
+  if (!WindowReady(h, end_ms)) {
+    return Status::FailedPrecondition(
+        "stream windows not ready (Stable_VTS behind window end)");
+  }
+  Registration& reg = registrations_[h];
+  if (!reg.query.unions.empty()) {
+    auto exec = ExecuteUnion(reg, end_ms, coordinator_->StableSn());
+    if (exec.ok()) {
+      exec->window_end_ms = end_ms;
+    }
+    return exec;
+  }
+
+  // Plan once, at the first triggered execution (stored-procedure style).
+  std::call_once(*reg.plan_once, [&] {
+    std::vector<std::unique_ptr<NeighborSource>> plan_holders;
+    auto plan_ctx =
+        BuildContext(reg, end_ms, ChargePolicy::kNoCharge, &plan_holders);
+    if (plan_ctx.ok()) {
+      reg.cached_plan = PlanQuery(reg.query, *plan_ctx);
+      reg.cached_selective = IsSelective(reg.query, reg.cached_plan);
+    }
+  });
+  if (reg.cached_plan.size() != reg.query.patterns.size()) {
+    return Status::Internal("continuous query has no cached plan");
+  }
+  bool selective = reg.cached_selective;
+  bool fork_join = config_.force_fork_join ||
+                   (!selective && !config_.force_in_place);
+
+  std::vector<std::unique_ptr<NeighborSource>> holders;
+  auto ctx = BuildContext(reg, end_ms,
+                          fork_join ? ChargePolicy::kNoCharge : ChargePolicy::kInPlace,
+                          &holders);
+  if (!ctx.ok()) {
+    return ctx.status();
+  }
+  auto exec = RunQuery(reg.query, reg.cached_plan, *ctx, reg.home, fork_join,
+                       selective, coordinator_->StableSn());
+  if (exec.ok()) {
+    exec->window_end_ms = end_ms;
+  }
+  return exec;
+}
+
+void Cluster::RunMaintenance(StreamTime live_horizon_ms) {
+  SnapshotNum floor = coordinator_->CollapseFloor();
+  for (GStore* store : stores_raw_) {
+    store->CollapseBelow(floor);
+  }
+  BatchSeq min_live = live_horizon_ms / config_.batch_interval_ms;
+  for (size_t s = 0; s < streams_.size(); ++s) {
+    for (NodeId n = 0; n < config_.nodes; ++n) {
+      stream_indexes_raw_[s][n]->EvictBefore(min_live);
+      transients_raw_[s][n]->SetGcHorizon(min_live);
+      transients_raw_[s][n]->RunGc();
+    }
+  }
+}
+
+Cluster::InjectionProfile Cluster::injection_profile(StreamId stream) const {
+  if (stream >= streams_.size()) {
+    return {};
+  }
+  return streams_[stream].profile;
+}
+
+Cluster::MemoryReport Cluster::Memory() const {
+  MemoryReport r;
+  for (const auto& store : stores_) {
+    r.store_bytes += store->MemoryBytes();
+    r.snapshot_meta_bytes += store->SnapshotMetadataBytes();
+    r.stream_appended_edges += store->StreamAppendedEdges();
+  }
+  for (size_t s = 0; s < streams_.size(); ++s) {
+    size_t stream_bytes = 0;
+    for (NodeId n = 0; n < config_.nodes; ++n) {
+      stream_bytes += stream_indexes_raw_[s][n]->MemoryBytes();
+      r.transient_bytes += transients_raw_[s][n]->MemoryBytes();
+    }
+    // Subscribed replicas duplicate the whole stream's index per subscriber
+    // (minus the subscriber's own local portion, ignored here).
+    size_t replicas = streams_[s].subscribers.size();
+    r.stream_index_bytes += stream_bytes * (1 + replicas);
+    r.stream_index_replicas += replicas;
+  }
+  r.string_server_bytes = strings_->MemoryBytes();
+  return r;
+}
+
+size_t Cluster::StreamIndexBytes(StreamId stream) const {
+  size_t bytes = 0;
+  if (stream < stream_indexes_raw_.size()) {
+    for (const StreamIndex* idx : stream_indexes_raw_[stream]) {
+      bytes += idx->MemoryBytes();
+    }
+  }
+  return bytes;
+}
+
+size_t Cluster::TransientBytes(StreamId stream) const {
+  size_t bytes = 0;
+  if (stream < transients_raw_.size()) {
+    for (const TransientStore* ts : transients_raw_[stream]) {
+      bytes += ts->MemoryBytes();
+    }
+  }
+  return bytes;
+}
+
+void Cluster::SetBatchLogger(std::function<void(const StreamBatch&)> logger) {
+  batch_logger_ = std::move(logger);
+}
+
+Status Cluster::ReplayBatch(const StreamBatch& batch) {
+  if (batch.stream >= streams_.size()) {
+    return Status::NotFound("unknown stream id in replayed batch");
+  }
+  StreamAdaptor* adaptor = streams_[batch.stream].adaptor.get();
+  if (batch.seq < adaptor->next_seq()) {
+    return Status::InvalidArgument("replayed batch is older than adaptor state");
+  }
+  // Bring the adaptor level with the replay so later live feeding continues
+  // from the right sequence. Missing intermediate batches are injected empty.
+  std::vector<StreamBatch> fill;
+  adaptor->AdvanceTo(batch.seq * config_.batch_interval_ms, &fill);
+  for (const StreamBatch& b : fill) {
+    InjectBatch(b);
+  }
+  InjectBatch(batch);
+  adaptor->FastForward(batch.seq + 1);
+  return Status::Ok();
+}
+
+}  // namespace wukongs

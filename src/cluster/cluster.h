@@ -1,0 +1,240 @@
+// Cluster: the public entry point of the Wukong+S reproduction.
+//
+// A Cluster owns N simulated nodes (store shards, per-stream transient
+// stores and stream indexes), the string server, the simulated RDMA fabric,
+// and the Coordinator. It implements the paper's execution flow (Fig. 5):
+// streams flow through Adaptor -> Dispatcher -> Injectors into the hybrid
+// store; continuous queries trigger off stable vector timestamps; one-shot
+// queries read a consistent snapshot through bounded snapshot scalarization.
+//
+// Time is logical: callers feed tuples carrying stream timestamps and drive
+// window execution explicitly, which keeps every experiment deterministic.
+
+#ifndef SRC_CLUSTER_CLUSTER_H_
+#define SRC_CLUSTER_CLUSTER_H_
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/cluster/sources.h"
+#include "src/common/status.h"
+#include "src/engine/executor.h"
+#include "src/rdf/string_server.h"
+#include "src/rdf/triple.h"
+#include "src/rdma/fabric.h"
+#include "src/sparql/parser.h"
+#include "src/store/gstore.h"
+#include "src/store/planner.h"
+#include "src/stream/adaptor.h"
+#include "src/stream/coordinator.h"
+#include "src/stream/stream_index.h"
+#include "src/stream/transient_store.h"
+
+namespace wukongs {
+
+struct ClusterConfig {
+  uint32_t nodes = 1;
+  Transport transport = Transport::kRdma;
+  NetworkModel network;
+
+  uint64_t batch_interval_ms = kDefaultBatchIntervalMs;
+  size_t reserved_snapshots = 2;
+  uint64_t batches_per_sn = 1;
+  size_t transient_budget_bytes = 0;  // 0 = unbounded ring buffers.
+
+  // Per-node worker threads for continuous queries; the paper dedicates 16.
+  // Used by throughput modeling, not by execution itself.
+  uint32_t workers_per_node = 16;
+
+  // Fork-join parallel speedup = nodes^exponent (paper Fig. 12 shows ~3x
+  // from 2 to 8 nodes, i.e. exponent ~0.8).
+  double fork_join_parallel_exponent = 0.8;
+
+  // Forces fork-join for every query; used with Transport::kTcp to model the
+  // paper's Non-RDMA configuration (Table 5).
+  bool force_fork_join = false;
+  // Forces in-place execution for every query (ablation: why the engine
+  // picks fork-join for non-selective queries).
+  bool force_in_place = false;
+
+  // Locality-aware partitioning of the stream index (paper §4.2, Fig. 9):
+  // replicate a stream's index to nodes whose registered queries consume it.
+  // Disabling it (ablation) makes every remote window lookup pay an extra
+  // one-sided read for the index itself — the cost Fig. 9 is designed away.
+  bool locality_aware_index = true;
+};
+
+// Outcome of one query execution with its modeled cost breakdown.
+struct QueryExecution {
+  QueryResult result;
+  double cpu_ms = 0.0;   // Measured compute time (scaled if fork-join).
+  double net_ms = 0.0;   // Modeled network / fabric time.
+  bool fork_join = false;
+  SnapshotNum snapshot = 0;
+  StreamTime window_end_ms = 0;  // Continuous executions only.
+
+  double latency_ms() const { return cpu_ms + net_ms; }
+};
+
+class Cluster {
+ public:
+  using ContinuousHandle = uint64_t;
+
+  // `shared_strings` (optional) lets several engines — e.g. the integrated
+  // system and a composite baseline's static store — agree on vertex IDs.
+  // The pointee must outlive the cluster.
+  explicit Cluster(const ClusterConfig& config,
+                   StringServer* shared_strings = nullptr);
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  const ClusterConfig& config() const { return config_; }
+  StringServer* strings() { return strings_; }
+  const StringServer& strings() const { return *strings_; }
+  Fabric* fabric() { return fabric_.get(); }
+  Coordinator* coordinator() { return coordinator_.get(); }
+  GStore* store(NodeId n) { return stores_raw_[n]; }
+  uint32_t node_count() const { return config_.nodes; }
+  NodeId OwnerOf(VertexId v) const { return OwnerOfVertex(v, config_.nodes); }
+
+  // --- Streams. ---
+  // Declares a stream; `timing_predicates` name predicates whose tuples are
+  // timing data (GPS-style), kept only in the transient store.
+  StatusOr<StreamId> DefineStream(const std::string& name,
+                                  const std::vector<std::string>& timing_predicates = {});
+  StatusOr<StreamId> FindStream(const std::string& name) const;
+
+  // --- Data. ---
+  void LoadBase(std::span<const Triple> triples);
+  // Feeds in-order tuples into a stream; completed mini-batches are
+  // dispatched and injected immediately.
+  Status FeedStream(StreamId stream, const StreamTupleVec& tuples);
+  // Advances every stream's logical clock, flushing (possibly empty) batches
+  // up to `now_ms` so vector timestamps progress on idle streams.
+  void AdvanceStreams(StreamTime now_ms);
+
+  // --- One-shot queries (read-only snapshot transactions, §4.3). ---
+  StatusOr<QueryExecution> OneShot(std::string_view text, NodeId home = 0);
+  StatusOr<QueryExecution> OneShotParsed(const Query& q, NodeId home = 0);
+
+  // --- Continuous queries. ---
+  StatusOr<ContinuousHandle> RegisterContinuous(std::string_view text,
+                                                NodeId home = 0);
+  StatusOr<ContinuousHandle> RegisterContinuousParsed(const Query& q,
+                                                      NodeId home = 0);
+  const Query& ContinuousQueryOf(ContinuousHandle h) const;
+  // True when Stable_VTS covers every window ending at `end_ms` (the
+  // data-driven trigger condition, Fig. 10).
+  bool WindowReady(ContinuousHandle h, StreamTime end_ms) const;
+  // Executes the registered query with windows ending at `end_ms`. Fails
+  // with FailedPrecondition if the trigger condition does not hold.
+  StatusOr<QueryExecution> ExecuteContinuousAt(ContinuousHandle h,
+                                               StreamTime end_ms);
+
+  // --- Maintenance: snapshot collapse + stream index / transient GC. ---
+  // `live_horizon_ms`: no registered window will ever reach before this
+  // stream time again (typically now - max window range).
+  void RunMaintenance(StreamTime live_horizon_ms);
+
+  // --- Instrumentation. ---
+  struct InjectionProfile {
+    double inject_ms = 0.0;  // Persistent + transient store writes.
+    double index_ms = 0.0;   // Stream index construction.
+    size_t tuples = 0;
+    size_t batches = 0;
+  };
+  InjectionProfile injection_profile(StreamId stream) const;
+
+  struct MemoryReport {
+    size_t store_bytes = 0;
+    size_t snapshot_meta_bytes = 0;
+    size_t stream_index_bytes = 0;  // Including replicas.
+    size_t transient_bytes = 0;
+    size_t string_server_bytes = 0;
+    size_t stream_appended_edges = 0;
+    size_t stream_index_replicas = 0;
+  };
+  MemoryReport Memory() const;
+  // Per-stream breakdowns (aggregated across nodes, excluding replicas).
+  size_t StreamIndexBytes(StreamId stream) const;
+  size_t TransientBytes(StreamId stream) const;
+
+  // --- Fault tolerance hooks (§5). ---
+  // Logger invoked for every injected batch (incremental checkpointing).
+  void SetBatchLogger(std::function<void(const StreamBatch&)> logger);
+  // Recovery path: re-injects a logged batch, bypassing the Adaptor.
+  Status ReplayBatch(const StreamBatch& batch);
+
+ private:
+  struct StreamState {
+    std::string name;
+    std::unique_ptr<StreamAdaptor> adaptor;
+    NodeId ingest_node = 0;  // Where Adaptor+Dispatcher run for this stream.
+    std::unordered_set<NodeId> subscribers;  // Locality-aware index replicas.
+    InjectionProfile profile;
+  };
+
+  struct Registration {
+    Query query;
+    NodeId home = 0;
+    std::vector<StreamId> stream_ids;  // Parallel to query.windows.
+    // Registered queries are "stored procedures" (paper Fig. 5): the plan is
+    // computed once, on the first triggered execution (when window
+    // statistics exist), and reused thereafter — also what makes concurrent
+    // executions of one registration race-free.
+    std::unique_ptr<std::once_flag> plan_once = std::make_unique<std::once_flag>();
+    std::vector<int> cached_plan;
+    bool cached_selective = true;
+  };
+
+  void InjectBatch(const StreamBatch& batch);
+  bool IsSelective(const Query& q, const std::vector<int>& plan) const;
+  // Plans and executes each UNION branch, concatenates, applies modifiers.
+  StatusOr<QueryExecution> ExecuteUnion(const Registration& reg, StreamTime end_ms,
+                                        SnapshotNum snapshot);
+  StatusOr<QueryExecution> RunQuery(const Query& q, const std::vector<int>& plan,
+                                    const ExecContext& ctx, NodeId home,
+                                    bool fork_join, bool selective,
+                                    SnapshotNum snapshot);
+  // Builds sources for a continuous execution; `holders` keeps them alive.
+  StatusOr<ExecContext> BuildContext(const Registration& reg, StreamTime end_ms,
+                                     ChargePolicy policy,
+                                     std::vector<std::unique_ptr<NeighborSource>>* holders);
+
+  ClusterConfig config_;
+  std::unique_ptr<StringServer> owned_strings_;
+  StringServer* strings_;  // owned_strings_.get() or the shared server.
+  std::unique_ptr<Fabric> fabric_;
+  std::unique_ptr<Coordinator> coordinator_;
+
+  std::vector<std::unique_ptr<GStore>> stores_;
+  std::vector<GStore*> stores_raw_;
+
+  std::vector<StreamState> streams_;
+  std::unordered_map<std::string, StreamId> stream_names_;
+  // indexes_[stream][node], transients_[stream][node].
+  std::vector<std::vector<std::unique_ptr<StreamIndex>>> stream_indexes_;
+  std::vector<std::vector<std::unique_ptr<TransientStore>>> transients_;
+  std::vector<std::vector<StreamIndex*>> stream_indexes_raw_;
+  std::vector<std::vector<TransientStore*>> transients_raw_;
+
+  // Deque: references stay valid while later registrations are appended, so
+  // executions and registrations can overlap safely.
+  std::deque<Registration> registrations_;
+  std::function<void(const StreamBatch&)> batch_logger_;
+  size_t index_replications_ = 0;
+};
+
+}  // namespace wukongs
+
+#endif  // SRC_CLUSTER_CLUSTER_H_

@@ -1,0 +1,37 @@
+#include "src/cluster/maintenance_daemon.h"
+
+namespace wukongs {
+
+MaintenanceDaemon::MaintenanceDaemon(Cluster* cluster, HorizonFn horizon,
+                                     std::chrono::milliseconds period)
+    : cluster_(cluster),
+      horizon_(std::move(horizon)),
+      thread_([this, period] { Loop(period); }) {}
+
+MaintenanceDaemon::~MaintenanceDaemon() {
+  {
+    std::lock_guard lock(mu_);
+    stopping_ = true;
+  }
+  stop_cv_.notify_all();
+  thread_.join();
+}
+
+void MaintenanceDaemon::RunOnce() {
+  cluster_->RunMaintenance(horizon_());
+  passes_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void MaintenanceDaemon::Loop(std::chrono::milliseconds period) {
+  std::unique_lock lock(mu_);
+  while (!stopping_) {
+    if (stop_cv_.wait_for(lock, period, [this] { return stopping_; })) {
+      return;
+    }
+    lock.unlock();
+    RunOnce();
+    lock.lock();
+  }
+}
+
+}  // namespace wukongs

@@ -1,0 +1,53 @@
+// Background garbage collection (paper §4.1: "The GC thread will be
+// periodically invoked in the background").
+//
+// The daemon periodically runs cluster maintenance — snapshot-marker
+// collapse plus stream-index and transient-slice eviction — using a caller
+// supplied horizon function ("the earliest stream time any registered window
+// can still reach", typically newest time minus the largest window range).
+
+#ifndef SRC_CLUSTER_MAINTENANCE_DAEMON_H_
+#define SRC_CLUSTER_MAINTENANCE_DAEMON_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+#include "src/cluster/cluster.h"
+
+namespace wukongs {
+
+class MaintenanceDaemon {
+ public:
+  using HorizonFn = std::function<StreamTime()>;
+
+  MaintenanceDaemon(Cluster* cluster, HorizonFn horizon,
+                    std::chrono::milliseconds period);
+  ~MaintenanceDaemon();
+
+  MaintenanceDaemon(const MaintenanceDaemon&) = delete;
+  MaintenanceDaemon& operator=(const MaintenanceDaemon&) = delete;
+
+  // Runs one maintenance pass immediately (also callable while running).
+  void RunOnce();
+
+  size_t passes() const { return passes_.load(std::memory_order_relaxed); }
+
+ private:
+  void Loop(std::chrono::milliseconds period);
+
+  Cluster* cluster_;
+  HorizonFn horizon_;
+  std::atomic<size_t> passes_{0};
+  std::mutex mu_;
+  std::condition_variable stop_cv_;
+  bool stopping_ = false;
+  std::thread thread_;
+};
+
+}  // namespace wukongs
+
+#endif  // SRC_CLUSTER_MAINTENANCE_DAEMON_H_

@@ -1,0 +1,153 @@
+#include "src/cluster/sources.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace wukongs {
+namespace {
+
+constexpr size_t kEdgeBytes = sizeof(VertexId);
+
+}  // namespace
+
+StoreSource::StoreSource(const std::vector<GStore*>& shards, Fabric* fabric,
+                         NodeId home, SnapshotNum snapshot, ChargePolicy policy)
+    : shards_(shards),
+      fabric_(fabric),
+      home_(home),
+      snapshot_(snapshot),
+      policy_(policy) {}
+
+void StoreSource::GetNeighbors(Key key, std::vector<VertexId>* out) const {
+  if (key.is_index()) {
+    // Index keys are partitioned: union every node's local portion.
+    std::vector<VertexId> tmp;
+    for (NodeId n = 0; n < shards_.size(); ++n) {
+      tmp.clear();
+      shards_[n]->GetEdgesInto(key, snapshot_, &tmp);
+      if (policy_ == ChargePolicy::kInPlace && !tmp.empty()) {
+        fabric_->OneSidedRead(home_, n, tmp.size() * kEdgeBytes + 16);
+      }
+      out->insert(out->end(), tmp.begin(), tmp.end());
+    }
+    return;
+  }
+  NodeId owner = OwnerOfVertex(key.vid(), static_cast<uint32_t>(shards_.size()));
+  size_t before = out->size();
+  std::vector<VertexId> tmp;
+  shards_[owner]->GetEdgesInto(key, snapshot_, &tmp);
+  out->insert(out->end(), tmp.begin(), tmp.end());
+  if (policy_ == ChargePolicy::kInPlace) {
+    fabric_->OneSidedRead(home_, owner, (out->size() - before) * kEdgeBytes + 16);
+  }
+}
+
+size_t StoreSource::EstimateCount(Key key) const {
+  if (key.is_index()) {
+    size_t n = 0;
+    for (GStore* shard : shards_) {
+      n += shard->EdgeCount(key, snapshot_);
+    }
+    return n;
+  }
+  NodeId owner = OwnerOfVertex(key.vid(), static_cast<uint32_t>(shards_.size()));
+  return shards_[owner]->EdgeCount(key, snapshot_);
+}
+
+WindowSource::WindowSource(const std::vector<GStore*>& shards,
+                           const std::vector<StreamIndex*>& indexes,
+                           const std::vector<TransientStore*>& transients,
+                           Fabric* fabric, NodeId home, BatchRange range,
+                           ChargePolicy policy, bool local_index)
+    : shards_(shards),
+      indexes_(indexes),
+      transients_(transients),
+      fabric_(fabric),
+      home_(home),
+      range_(range),
+      policy_(policy),
+      local_index_(local_index) {
+  assert(shards_.size() == indexes_.size());
+  assert(shards_.size() == transients_.size());
+}
+
+void WindowSource::CollectFromNode(NodeId n, Key key,
+                                   std::vector<VertexId>* out) const {
+  size_t before = out->size();
+  std::vector<IndexSpan> spans;
+  for (BatchSeq b = range_.lo; b <= range_.hi; ++b) {
+    // Stream-index lookup: local (the index is replicated to the querying
+    // node), so only the data read below is charged.
+    spans.clear();
+    if (indexes_[n]->GetSpans(b, key, &spans)) {
+      for (const IndexSpan& s : spans) {
+        shards_[n]->GetSpanInto(key, s.start, s.count, out);
+      }
+    }
+    // Timing data of this batch lives in node n's transient slice.
+    transients_[n]->GetNeighbors(b, key, out);
+  }
+  size_t added = out->size() - before;
+  if (policy_ == ChargePolicy::kInPlace && added > 0) {
+    // One one-sided read fetches the value span; the locally-replicated
+    // stream index saved the key-lookup round trip (paper §5).
+    fabric_->OneSidedRead(home_, n, added * kEdgeBytes + 16);
+  }
+}
+
+void WindowSource::GetNeighbors(Key key, std::vector<VertexId>* out) const {
+  if (range_.empty) {
+    return;
+  }
+  if (key.is_index()) {
+    // Window analogue of the index vertex: every vertex that touched this
+    // (pid, dir) inside the window. Seeds come from the stream index
+    // (timeless data) and the transient slices' per-slice index entries
+    // (timing data); a vertex active in several batches appears once.
+    std::vector<VertexId> raw;
+    for (NodeId n = 0; n < shards_.size(); ++n) {
+      size_t before = raw.size();
+      for (BatchSeq b = range_.lo; b <= range_.hi; ++b) {
+        indexes_[n]->GetSeeds(b, key.pid(), key.dir(), &raw);
+        transients_[n]->GetNeighbors(b, key, &raw);
+      }
+      size_t added = raw.size() - before;
+      if (policy_ == ChargePolicy::kInPlace && added > 0) {
+        fabric_->OneSidedRead(home_, n, added * kEdgeBytes + 16);
+        if (!local_index_) {
+          fabric_->OneSidedRead(home_, n, 32);
+        }
+      }
+    }
+    std::sort(raw.begin(), raw.end());
+    raw.erase(std::unique(raw.begin(), raw.end()), raw.end());
+    out->insert(out->end(), raw.begin(), raw.end());
+    return;
+  }
+  NodeId owner = OwnerOfVertex(key.vid(), static_cast<uint32_t>(shards_.size()));
+  CollectFromNode(owner, key, out);
+}
+
+size_t WindowSource::EstimateCount(Key key) const {
+  if (range_.empty) {
+    return 0;
+  }
+  size_t n = 0;
+  if (key.is_index()) {
+    for (NodeId node = 0; node < shards_.size(); ++node) {
+      for (BatchSeq b = range_.lo; b <= range_.hi; ++b) {
+        n += indexes_[node]->SeedCount(b, key.pid(), key.dir());
+        n += transients_[node]->EdgeCount(b, key);
+      }
+    }
+    return n;
+  }
+  NodeId owner = OwnerOfVertex(key.vid(), static_cast<uint32_t>(shards_.size()));
+  for (BatchSeq b = range_.lo; b <= range_.hi; ++b) {
+    n += indexes_[owner]->SpanEdgeCount(b, key);
+    n += transients_[owner]->EdgeCount(b, key);
+  }
+  return n;
+}
+
+}  // namespace wukongs

@@ -1,0 +1,87 @@
+// NeighborSource implementations over the simulated cluster.
+//
+// StoreSource answers stored-graph patterns against the sharded persistent
+// store at a fixed snapshot. WindowSource answers stream-window patterns by
+// unioning, over the window's batch range, the stream index's spans into
+// persistent values (timeless data) and the transient slices (timing data).
+//
+// Charging policy: under in-place execution every touch of a remote shard
+// deposits one one-sided read into SimCost (the stream index itself is
+// locally replicated, so index lookups are free — §4.2/§5). Under fork-join
+// the engine charges per-step shipping instead, so sources run with
+// kNoCharge.
+
+#ifndef SRC_CLUSTER_SOURCES_H_
+#define SRC_CLUSTER_SOURCES_H_
+
+#include <vector>
+
+#include "src/engine/neighbor_source.h"
+#include "src/rdma/fabric.h"
+#include "src/store/gstore.h"
+#include "src/stream/batch.h"
+#include "src/stream/stream_index.h"
+#include "src/stream/transient_store.h"
+
+namespace wukongs {
+
+enum class ChargePolicy {
+  kInPlace,   // Remote shard touches pay a one-sided read.
+  kNoCharge,  // Fork-join: engine charges per-step shipping.
+};
+
+// Hash partitioning of vertices over nodes. Index keys ([0|pid|dir]) are
+// partitioned too: every node owns the portion listing its local vertices.
+inline NodeId OwnerOfVertex(VertexId v, uint32_t nodes) {
+  return static_cast<NodeId>(KeyHash{}(Key(v, 0, Dir::kOut)) % nodes);
+}
+
+class StoreSource : public NeighborSource {
+ public:
+  StoreSource(const std::vector<GStore*>& shards, Fabric* fabric, NodeId home,
+              SnapshotNum snapshot, ChargePolicy policy);
+
+  void GetNeighbors(Key key, std::vector<VertexId>* out) const override;
+  size_t EstimateCount(Key key) const override;
+
+ private:
+  const std::vector<GStore*>& shards_;
+  Fabric* fabric_;
+  const NodeId home_;
+  const SnapshotNum snapshot_;
+  const ChargePolicy policy_;
+};
+
+// One stream's view for one window (batch range [lo, hi]).
+class WindowSource : public NeighborSource {
+ public:
+  // `indexes[n]` / `transients[n]` are node n's structures for this stream;
+  // `shards[n]` the persistent shards the index spans point into.
+  // `local_index`: the stream index is replicated on the querying node
+  // (locality-aware partitioning); when false, remote index lookups pay an
+  // extra one-sided read per touched node+batch.
+  WindowSource(const std::vector<GStore*>& shards,
+               const std::vector<StreamIndex*>& indexes,
+               const std::vector<TransientStore*>& transients, Fabric* fabric,
+               NodeId home, BatchRange range, ChargePolicy policy,
+               bool local_index = true);
+
+  void GetNeighbors(Key key, std::vector<VertexId>* out) const override;
+  size_t EstimateCount(Key key) const override;
+
+ private:
+  void CollectFromNode(NodeId n, Key key, std::vector<VertexId>* out) const;
+
+  const std::vector<GStore*>& shards_;
+  const std::vector<StreamIndex*>& indexes_;
+  const std::vector<TransientStore*>& transients_;
+  Fabric* fabric_;
+  const NodeId home_;
+  const BatchRange range_;
+  const ChargePolicy policy_;
+  const bool local_index_;
+};
+
+}  // namespace wukongs
+
+#endif  // SRC_CLUSTER_SOURCES_H_

@@ -1,0 +1,86 @@
+#include "src/cluster/worker_pool.h"
+
+#include <algorithm>
+
+namespace wukongs {
+
+WorkerPool::WorkerPool(Cluster* cluster, uint32_t threads) : cluster_(cluster) {
+  workers_.reserve(std::max(threads, 1u));
+  for (uint32_t t = 0; t < std::max(threads, 1u); ++t) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard lock(mu_);
+    stopping_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& t : workers_) {
+    t.join();
+  }
+}
+
+std::future<StatusOr<QueryExecution>> WorkerPool::SubmitContinuous(
+    Cluster::ContinuousHandle handle, StreamTime end_ms) {
+  std::packaged_task<StatusOr<QueryExecution>()> task(
+      [this, handle, end_ms] { return cluster_->ExecuteContinuousAt(handle, end_ms); });
+  auto future = task.get_future();
+  {
+    std::lock_guard lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  work_ready_.notify_one();
+  return future;
+}
+
+std::future<StatusOr<QueryExecution>> WorkerPool::SubmitOneShot(Query query,
+                                                                NodeId home) {
+  std::packaged_task<StatusOr<QueryExecution>()> task(
+      [this, q = std::move(query), home] { return cluster_->OneShotParsed(q, home); });
+  auto future = task.get_future();
+  {
+    std::lock_guard lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  work_ready_.notify_one();
+  return future;
+}
+
+size_t WorkerPool::Pending() const {
+  std::lock_guard lock(mu_);
+  return queue_.size() + in_flight_;
+}
+
+void WorkerPool::Drain() {
+  std::unique_lock lock(mu_);
+  drained_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+void WorkerPool::WorkerLoop() {
+  while (true) {
+    std::packaged_task<StatusOr<QueryExecution>()> task;
+    {
+      std::unique_lock lock(mu_);
+      work_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // Stopping and nothing left to do.
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+    }
+    task();
+    executed_.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard lock(mu_);
+      --in_flight_;
+      if (queue_.empty() && in_flight_ == 0) {
+        drained_.notify_all();
+      }
+    }
+  }
+}
+
+}  // namespace wukongs

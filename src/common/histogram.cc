@@ -1,0 +1,110 @@
+#include "src/common/histogram.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+namespace wukongs {
+
+void Histogram::Add(double value) {
+  samples_.push_back(value);
+  sorted_ = false;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  samples_.insert(samples_.end(), other.samples_.begin(), other.samples_.end());
+  sorted_ = false;
+}
+
+void Histogram::Clear() {
+  samples_.clear();
+  sorted_ = true;
+}
+
+void Histogram::EnsureSorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double Histogram::Min() const {
+  assert(!samples_.empty());
+  EnsureSorted();
+  return samples_.front();
+}
+
+double Histogram::Max() const {
+  assert(!samples_.empty());
+  EnsureSorted();
+  return samples_.back();
+}
+
+double Histogram::Sum() const {
+  return std::accumulate(samples_.begin(), samples_.end(), 0.0);
+}
+
+double Histogram::Mean() const {
+  assert(!samples_.empty());
+  return Sum() / static_cast<double>(samples_.size());
+}
+
+double Histogram::Percentile(double p) const {
+  assert(!samples_.empty());
+  assert(p >= 0.0 && p <= 100.0);
+  EnsureSorted();
+  if (samples_.size() == 1) {
+    return samples_[0];
+  }
+  double rank = (p / 100.0) * static_cast<double>(samples_.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  size_t hi = std::min(lo + 1, samples_.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+double Histogram::GeometricMean() const {
+  assert(!samples_.empty());
+  double log_sum = 0.0;
+  for (double v : samples_) {
+    log_sum += std::log(std::max(v, 1e-12));
+  }
+  return std::exp(log_sum / static_cast<double>(samples_.size()));
+}
+
+std::vector<std::pair<double, double>> Histogram::Cdf(size_t points) const {
+  std::vector<std::pair<double, double>> out;
+  if (samples_.empty() || points == 0) {
+    return out;
+  }
+  EnsureSorted();
+  out.reserve(points);
+  for (size_t i = 1; i <= points; ++i) {
+    double frac = static_cast<double>(i) / static_cast<double>(points);
+    out.emplace_back(Percentile(frac * 100.0), frac);
+  }
+  return out;
+}
+
+std::string Histogram::Summary() const {
+  std::ostringstream os;
+  if (samples_.empty()) {
+    return "{empty}";
+  }
+  os << "{n=" << samples_.size() << " p50=" << Median() << " p90=" << Percentile(90)
+     << " p99=" << Percentile(99) << " max=" << Max() << "}";
+  return os.str();
+}
+
+double GeometricMeanOf(const std::vector<double>& values) {
+  assert(!values.empty());
+  double log_sum = 0.0;
+  for (double v : values) {
+    log_sum += std::log(std::max(v, 1e-12));
+  }
+  return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+}  // namespace wukongs

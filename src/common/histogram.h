@@ -1,0 +1,50 @@
+// Latency histogram with percentile extraction; used by benches to report
+// median / 90th / 99th percentile latency and CDFs as in paper Figs. 14-15.
+
+#ifndef SRC_COMMON_HISTOGRAM_H_
+#define SRC_COMMON_HISTOGRAM_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace wukongs {
+
+class Histogram {
+ public:
+  void Add(double value);
+  void Merge(const Histogram& other);
+  void Clear();
+
+  size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  double Min() const;
+  double Max() const;
+  double Mean() const;
+  double Sum() const;
+  // p in [0, 100]; linear interpolation between closest ranks.
+  double Percentile(double p) const;
+  double Median() const { return Percentile(50.0); }
+
+  // Geometric mean; the paper reports "Geo. M" rows for latency tables.
+  double GeometricMean() const;
+
+  // CDF sampled at `points` evenly spaced quantiles, as (value, cum_frac).
+  std::vector<std::pair<double, double>> Cdf(size_t points = 20) const;
+
+  std::string Summary() const;
+
+ private:
+  void EnsureSorted() const;
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+// Geometric mean over an arbitrary value list (helper for table "Geo. M" rows).
+double GeometricMeanOf(const std::vector<double>& values);
+
+}  // namespace wukongs
+
+#endif  // SRC_COMMON_HISTOGRAM_H_

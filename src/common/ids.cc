@@ -1,0 +1,13 @@
+#include "src/common/ids.h"
+
+#include <sstream>
+
+namespace wukongs {
+
+std::string Key::DebugString() const {
+  std::ostringstream os;
+  os << "[" << vid() << "|" << pid() << "|" << (dir() == Dir::kOut ? 1 : 0) << "]";
+  return os.str();
+}
+
+}  // namespace wukongs

@@ -1,0 +1,94 @@
+// Identifier types and packed store keys.
+//
+// Wukong+S addresses every entity (vertex) and predicate (edge label) by a
+// compact integer ID minted by the string server (§3, "string server"). The
+// paper uses 46-bit vertex IDs; we pack a key as [vid:48 | pid:15 | dir:1]
+// which matches the paper's [vid|eid|d] layout (Fig. 6) and leaves the same
+// headroom (> 70 trillion vertices).
+
+#ifndef SRC_COMMON_IDS_H_
+#define SRC_COMMON_IDS_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace wukongs {
+
+using VertexId = uint64_t;
+using PredicateId = uint32_t;
+using StreamId = uint32_t;
+using NodeId = uint32_t;
+using BatchSeq = uint64_t;     // Monotone batch number within one stream.
+using SnapshotNum = uint64_t;  // Scalarized snapshot number (§4.3).
+
+// Vertex ID 0 is reserved for the index vertex: key [0|pid|dir] maps to every
+// vertex that has an in/out edge labeled `pid` (paper Fig. 6, "INDEX").
+inline constexpr VertexId kIndexVertex = 0;
+
+inline constexpr int kVidBits = 48;
+inline constexpr int kPidBits = 15;
+inline constexpr VertexId kMaxVertexId = (VertexId{1} << kVidBits) - 1;
+inline constexpr PredicateId kMaxPredicateId = (PredicateId{1} << kPidBits) - 1;
+
+// Edge direction relative to the vertex in the key.
+enum class Dir : uint8_t {
+  kIn = 0,
+  kOut = 1,
+};
+
+inline Dir Reverse(Dir d) { return d == Dir::kIn ? Dir::kOut : Dir::kIn; }
+
+// Packed store key [vid:48 | pid:15 | dir:1].
+class Key {
+ public:
+  constexpr Key() : packed_(0) {}
+  constexpr Key(VertexId vid, PredicateId pid, Dir dir)
+      : packed_((vid << (kPidBits + 1)) | (uint64_t{pid} << 1) |
+                static_cast<uint64_t>(dir)) {}
+
+  static constexpr Key FromPacked(uint64_t packed) {
+    Key k;
+    k.packed_ = packed;
+    return k;
+  }
+
+  constexpr VertexId vid() const { return packed_ >> (kPidBits + 1); }
+  constexpr PredicateId pid() const {
+    return static_cast<PredicateId>((packed_ >> 1) & kMaxPredicateId);
+  }
+  constexpr Dir dir() const { return static_cast<Dir>(packed_ & 1); }
+  constexpr uint64_t packed() const { return packed_; }
+  constexpr bool is_index() const { return vid() == kIndexVertex; }
+
+  friend constexpr bool operator==(Key a, Key b) { return a.packed_ == b.packed_; }
+  friend constexpr bool operator!=(Key a, Key b) { return a.packed_ != b.packed_; }
+  friend constexpr bool operator<(Key a, Key b) { return a.packed_ < b.packed_; }
+
+  std::string DebugString() const;
+
+ private:
+  uint64_t packed_;
+};
+
+struct KeyHash {
+  size_t operator()(Key k) const {
+    // SplitMix64 finalizer; cheap and well distributed for packed keys.
+    uint64_t x = k.packed();
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return static_cast<size_t>(x);
+  }
+};
+
+}  // namespace wukongs
+
+template <>
+struct std::hash<wukongs::Key> {
+  size_t operator()(wukongs::Key k) const { return wukongs::KeyHash{}(k); }
+};
+
+#endif  // SRC_COMMON_IDS_H_

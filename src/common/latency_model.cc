@@ -1,0 +1,59 @@
+#include "src/common/latency_model.h"
+
+#include <time.h>
+
+#include <sstream>
+
+namespace wukongs {
+namespace {
+
+thread_local double g_sim_cost_ns = 0.0;
+
+uint64_t MonotonicNowNs() {
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<uint64_t>(ts.tv_sec) * 1000000000ULL +
+         static_cast<uint64_t>(ts.tv_nsec);
+}
+
+}  // namespace
+
+std::string NetworkModel::DebugString() const {
+  std::ostringstream os;
+  os << "NetworkModel{rdma_read=" << rdma_read_base_ns / 1e3 << "us"
+     << ", rdma_msg=" << rdma_msg_base_ns / 1e3 << "us"
+     << ", tcp_msg=" << tcp_msg_base_ns / 1e3 << "us"
+     << ", cross_system_per_tuple=" << cross_system_per_tuple_ns / 1e3 << "us"
+     << ", storm_sched=" << storm_sched_ns / 1e6 << "ms"
+     << ", heron_sched=" << heron_sched_ns / 1e6 << "ms"
+     << ", spark_batch_overhead=" << spark_batch_overhead_ns / 1e6 << "ms}";
+  return os.str();
+}
+
+void SimCost::Reset() { g_sim_cost_ns = 0.0; }
+
+void SimCost::Add(double ns) { g_sim_cost_ns += ns; }
+
+double SimCost::TotalNs() { return g_sim_cost_ns; }
+
+SimCost::Scope::Scope() : saved_(g_sim_cost_ns) { g_sim_cost_ns = 0.0; }
+
+SimCost::Scope::~Scope() { g_sim_cost_ns += saved_; }
+
+double SimCost::Scope::AccruedNs() const { return g_sim_cost_ns; }
+
+Stopwatch::Stopwatch() : start_ns_(MonotonicNowNs()) {}
+
+void Stopwatch::Reset() { start_ns_ = MonotonicNowNs(); }
+
+double Stopwatch::ElapsedNs() const {
+  return static_cast<double>(MonotonicNowNs() - start_ns_);
+}
+
+LatencyProbe::LatencyProbe() : sim_at_start_(SimCost::TotalNs()) {}
+
+double LatencyProbe::FinishNs() const {
+  return wall_.ElapsedNs() + (SimCost::TotalNs() - sim_at_start_);
+}
+
+}  // namespace wukongs

@@ -1,0 +1,46 @@
+// Deterministic pseudo-random helpers for workload generators and tests.
+// All generators take explicit seeds so every benchmark run is reproducible.
+
+#ifndef SRC_COMMON_RNG_H_
+#define SRC_COMMON_RNG_H_
+
+#include <cassert>
+#include <cstdint>
+#include <random>
+
+namespace wukongs {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  // Uniform integer in [lo, hi] inclusive.
+  uint64_t Uniform(uint64_t lo, uint64_t hi) {
+    assert(lo <= hi);
+    return std::uniform_int_distribution<uint64_t>(lo, hi)(engine_);
+  }
+
+  double UniformReal(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  bool Bernoulli(double p) { return std::bernoulli_distribution(p)(engine_); }
+
+  // Zipfian-ish skew via inverse power sampling; rank in [0, n).
+  uint64_t Zipf(uint64_t n, double skew = 0.8) {
+    assert(n > 0);
+    double u = UniformReal(1e-9, 1.0);
+    double rank = std::pow(u, 1.0 / (1.0 - skew)) * static_cast<double>(n);
+    uint64_t r = static_cast<uint64_t>(rank);
+    return r >= n ? n - 1 : r;
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace wukongs
+
+#endif  // SRC_COMMON_RNG_H_

@@ -1,0 +1,61 @@
+#include "src/common/table_printer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+
+namespace wukongs {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::Num(double v, int digits) {
+  if (v < 0) {
+    return "-";
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return buf;
+}
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "| " : " | ");
+      os << row[c];
+      os << std::string(widths[c] - row[c].size(), ' ');
+    }
+    os << " |\n";
+  };
+
+  emit_row(headers_);
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    os << (c == 0 ? "|-" : "-|-") << std::string(widths[c], '-');
+  }
+  os << "-|\n";
+  for (const auto& row : rows_) {
+    emit_row(row);
+  }
+  return os.str();
+}
+
+void TablePrinter::Print() const { std::cout << ToString() << std::flush; }
+
+}  // namespace wukongs

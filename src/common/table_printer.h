@@ -1,0 +1,32 @@
+// Fixed-width ASCII table printer used by the benchmark harness to emit rows
+// shaped like the paper's tables.
+
+#ifndef SRC_COMMON_TABLE_PRINTER_H_
+#define SRC_COMMON_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace wukongs {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+  // Convenience for numeric cells; `digits` = fixed decimal places, and
+  // negative values render as "-" (the paper's "unsupported" marker is "x").
+  static std::string Num(double v, int digits = 2);
+
+  // Render to stdout with column alignment and a separator under the header.
+  void Print() const;
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace wukongs
+
+#endif  // SRC_COMMON_TABLE_PRINTER_H_

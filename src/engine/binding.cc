@@ -1,0 +1,49 @@
+#include "src/engine/binding.h"
+
+#include <cassert>
+
+namespace wukongs {
+
+int BindingTable::ColumnOf(int var) const {
+  for (size_t i = 0; i < vars_.size(); ++i) {
+    if (vars_[i] == var) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+size_t BindingTable::num_rows() const {
+  if (vars_.empty()) {
+    return unit_failed_ ? 0 : 1;
+  }
+  return data_.size() / vars_.size();
+}
+
+int BindingTable::AddColumn(int var) {
+  assert(ColumnOf(var) < 0);
+  assert(data_.empty() && "AddColumn on a populated table; rebuild instead");
+  vars_.push_back(var);
+  return static_cast<int>(vars_.size() - 1);
+}
+
+void BindingTable::AppendRow(const VertexId* row) {
+  data_.insert(data_.end(), row, row + vars_.size());
+}
+
+void BindingTable::AppendRowExtended(const VertexId* row, size_t old_cols,
+                                     VertexId extra) {
+  assert(old_cols + 1 == vars_.size());
+  if (old_cols > 0) {
+    data_.insert(data_.end(), row, row + old_cols);
+  }
+  data_.push_back(extra);
+}
+
+void BindingTable::Clear() {
+  vars_.clear();
+  data_.clear();
+  unit_failed_ = false;
+}
+
+}  // namespace wukongs

@@ -1,0 +1,83 @@
+// Intermediate binding tables for graph-exploration query execution.
+//
+// Wukong-style execution never materializes relational join inputs: it walks
+// the graph, carrying a table of variable bindings that each exploration step
+// extends or prunes (paper §2.3 contrasts this with the "join bomb" of
+// relational plans). A BindingTable is row-major: `vars` names the variable
+// slot of each column, `data` holds rows of vertex IDs.
+
+#ifndef SRC_ENGINE_BINDING_H_
+#define SRC_ENGINE_BINDING_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/common/ids.h"
+
+namespace wukongs {
+
+// Sentinel for a variable left unbound by an unmatched OPTIONAL group.
+inline constexpr VertexId kUnboundBinding = kMaxVertexId;
+
+class BindingTable {
+ public:
+  BindingTable() = default;
+
+  // Column handling.
+  int ColumnOf(int var) const;  // -1 if unbound.
+  bool IsBound(int var) const { return ColumnOf(var) >= 0; }
+  size_t num_cols() const { return vars_.size(); }
+  const std::vector<int>& vars() const { return vars_; }
+
+  // Rows. A table with zero columns has one implicit "unit" row until it is
+  // explicitly emptied (matching the algebra of an empty graph pattern).
+  size_t num_rows() const;
+  VertexId At(size_t row, int col) const { return data_[row * vars_.size() + col]; }
+  const VertexId* Row(size_t row) const { return &data_[row * vars_.size()]; }
+
+  // Marks the unit table as failed (a constant-only pattern found no match).
+  void FailUnit() { unit_failed_ = true; }
+
+  // Builders used by the executor. AppendRow* take the *existing* row layout;
+  // extended variants append `extra` as a new final column added by
+  // AddColumn().
+  int AddColumn(int var);
+  void AppendRow(const VertexId* row);
+  void AppendRowExtended(const VertexId* row, size_t old_cols, VertexId extra);
+  void Clear();
+
+  size_t MemoryBytes() const {
+    return data_.capacity() * sizeof(VertexId) + vars_.capacity() * sizeof(int);
+  }
+
+ private:
+  std::vector<int> vars_;
+  std::vector<VertexId> data_;
+  bool unit_failed_ = false;
+};
+
+// Final query output. Plain variables bind vertex IDs; aggregate columns are
+// numeric. The client resolves IDs back to strings via the string server.
+struct ResultValue {
+  bool is_number = false;
+  VertexId vid = 0;
+  double number = 0.0;
+
+  static ResultValue Vertex(VertexId v) { return ResultValue{false, v, 0.0}; }
+  static ResultValue Number(double n) { return ResultValue{true, 0, n}; }
+
+  friend bool operator==(const ResultValue&, const ResultValue&) = default;
+};
+
+struct QueryResult {
+  std::vector<std::string> columns;
+  std::vector<std::vector<ResultValue>> rows;
+
+  size_t size() const { return rows.size(); }
+  bool empty() const { return rows.empty(); }
+};
+
+}  // namespace wukongs
+
+#endif  // SRC_ENGINE_BINDING_H_

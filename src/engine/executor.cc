@@ -1,0 +1,595 @@
+#include "src/engine/executor.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <unordered_set>
+
+namespace wukongs {
+namespace {
+
+const NeighborSource* SourceFor(const ExecContext& ctx, int graph) {
+  size_t idx = graph == kGraphStored ? 0 : static_cast<size_t>(graph) + 1;
+  assert(idx < ctx.sources.size());
+  return ctx.sources[idx];
+}
+
+// Applies one triple pattern to `table`, producing the next table.
+Status ApplyPattern(const TriplePattern& p, const NeighborSource& src,
+                    BindingTable* table) {
+  const bool s_var = p.subject.is_var();
+  const bool o_var = p.object.is_var();
+  const int s_col = s_var ? table->ColumnOf(p.subject.var) : -1;
+  const int o_col = o_var ? table->ColumnOf(p.object.var) : -1;
+  const bool s_known = !s_var || s_col >= 0;
+  const bool o_known = !o_var || o_col >= 0;
+
+  const size_t old_cols = table->num_cols();
+  const size_t old_rows = table->num_rows();
+  std::vector<VertexId> nbrs;
+
+  auto subject_of = [&](size_t row) {
+    return s_var ? table->At(row, s_col) : p.subject.constant;
+  };
+  auto object_of = [&](size_t row) {
+    return o_var ? table->At(row, o_col) : p.object.constant;
+  };
+
+  if (s_known && o_known) {
+    // Existence check per row. SPARQL has bag semantics: a row joins once
+    // per matching edge, so multiplicity in the (stream) data is preserved.
+    BindingTable next;
+    for (int v : table->vars()) {
+      next.AddColumn(v);
+    }
+    if (old_cols == 0) {
+      // Unit table: single check on the constant endpoints.
+      nbrs.clear();
+      src.GetNeighbors(Key(p.subject.constant, p.predicate, Dir::kOut), &nbrs);
+      bool found = std::find(nbrs.begin(), nbrs.end(), p.object.constant) != nbrs.end();
+      if (!found) {
+        table->FailUnit();
+      }
+      return Status::Ok();
+    }
+    for (size_t r = 0; r < old_rows; ++r) {
+      nbrs.clear();
+      src.GetNeighbors(Key(subject_of(r), p.predicate, Dir::kOut), &nbrs);
+      size_t multiplicity = static_cast<size_t>(
+          std::count(nbrs.begin(), nbrs.end(), object_of(r)));
+      for (size_t m = 0; m < multiplicity; ++m) {
+        next.AppendRow(table->Row(r));
+      }
+    }
+    *table = std::move(next);
+    return Status::Ok();
+  }
+
+  if (s_known && !o_known) {
+    // Expand forward: bind the object variable.
+    BindingTable next;
+    for (int v : table->vars()) {
+      next.AddColumn(v);
+    }
+    next.AddColumn(p.object.var);
+    if (old_cols == 0) {
+      nbrs.clear();
+      src.GetNeighbors(Key(p.subject.constant, p.predicate, Dir::kOut), &nbrs);
+      for (VertexId nb : nbrs) {
+        next.AppendRowExtended(nullptr, 0, nb);
+      }
+    } else {
+      for (size_t r = 0; r < old_rows; ++r) {
+        nbrs.clear();
+        src.GetNeighbors(Key(subject_of(r), p.predicate, Dir::kOut), &nbrs);
+        for (VertexId nb : nbrs) {
+          next.AppendRowExtended(table->Row(r), old_cols, nb);
+        }
+      }
+    }
+    *table = std::move(next);
+    return Status::Ok();
+  }
+
+  if (!s_known && o_known) {
+    // Expand backward over in-edges: bind the subject variable.
+    BindingTable next;
+    for (int v : table->vars()) {
+      next.AddColumn(v);
+    }
+    next.AddColumn(p.subject.var);
+    if (old_cols == 0) {
+      nbrs.clear();
+      src.GetNeighbors(Key(p.object.constant, p.predicate, Dir::kIn), &nbrs);
+      for (VertexId nb : nbrs) {
+        next.AppendRowExtended(nullptr, 0, nb);
+      }
+    } else {
+      for (size_t r = 0; r < old_rows; ++r) {
+        nbrs.clear();
+        src.GetNeighbors(Key(object_of(r), p.predicate, Dir::kIn), &nbrs);
+        for (VertexId nb : nbrs) {
+          next.AppendRowExtended(table->Row(r), old_cols, nb);
+        }
+      }
+    }
+    *table = std::move(next);
+    return Status::Ok();
+  }
+
+  // Neither endpoint known: seed subjects from the index vertex (paper
+  // Fig. 6: [0|pid|out] lists every vertex with an outgoing pid edge), then
+  // expand to objects. Cartesian with any existing rows.
+  std::vector<VertexId> subjects;
+  src.GetNeighbors(Key(kIndexVertex, p.predicate, Dir::kOut), &subjects);
+
+  BindingTable next;
+  for (int v : table->vars()) {
+    next.AddColumn(v);
+  }
+  int new_s_col = next.AddColumn(p.subject.var);
+  (void)new_s_col;
+  // Two-step build: first bind subjects, then expand objects, to reuse the
+  // row machinery. Materialize intermediate rows directly.
+  BindingTable mid = std::move(next);
+  if (old_cols == 0) {
+    for (VertexId s : subjects) {
+      mid.AppendRowExtended(nullptr, 0, s);
+    }
+  } else {
+    for (size_t r = 0; r < old_rows; ++r) {
+      for (VertexId s : subjects) {
+        mid.AppendRowExtended(table->Row(r), old_cols, s);
+      }
+    }
+  }
+  // Now expand objects from the bound subject column.
+  BindingTable out;
+  for (int v : mid.vars()) {
+    out.AddColumn(v);
+  }
+  out.AddColumn(p.object.var);
+  int mid_s_col = mid.ColumnOf(p.subject.var);
+  for (size_t r = 0; r < mid.num_rows(); ++r) {
+    nbrs.clear();
+    src.GetNeighbors(Key(mid.At(r, mid_s_col), p.predicate, Dir::kOut), &nbrs);
+    for (VertexId nb : nbrs) {
+      out.AppendRowExtended(mid.Row(r), mid.num_cols(), nb);
+    }
+  }
+  *table = std::move(out);
+  return Status::Ok();
+}
+
+}  // namespace
+
+StatusOr<BindingTable> ExecutePatterns(const Query& q, const std::vector<int>& plan,
+                                       const ExecContext& ctx,
+                                       const StepHook& hook) {
+  if (plan.size() != q.patterns.size()) {
+    return Status::Internal("plan does not cover all patterns");
+  }
+  BindingTable table;
+  for (int idx : plan) {
+    const TriplePattern& p = q.patterns[static_cast<size_t>(idx)];
+    const NeighborSource* src = SourceFor(ctx, p.graph);
+    size_t rows_before = table.num_rows();
+    size_t cols_before = table.num_cols();
+    Status s = ApplyPattern(p, *src, &table);
+    if (!s.ok()) {
+      return s;
+    }
+    if (hook) {
+      hook(p, rows_before, cols_before, table.num_rows());
+    }
+    if (table.num_rows() == 0) {
+      break;  // Early exit: no bindings survive (or a constant check failed).
+    }
+  }
+  return table;
+}
+
+Status ApplyFilters(const Query& q, const ExecContext& ctx, BindingTable* table) {
+  if (q.filters.empty() || table->num_cols() == 0) {
+    return Status::Ok();
+  }
+  for (const FilterExpr& f : q.filters) {
+    int col = table->ColumnOf(f.var);
+    if (col < 0) {
+      return Status::InvalidArgument("FILTER references unbound variable ?" +
+                                     q.var_names[static_cast<size_t>(f.var)]);
+    }
+    BindingTable next;
+    for (int v : table->vars()) {
+      next.AddColumn(v);
+    }
+    for (size_t r = 0; r < table->num_rows(); ++r) {
+      VertexId v = table->At(r, col);
+      bool keep = false;
+      if (f.numeric) {
+        if (ctx.strings == nullptr) {
+          return Status::FailedPrecondition("numeric FILTER needs a string server");
+        }
+        auto str = ctx.strings->VertexString(v);
+        if (!str.ok()) {
+          continue;
+        }
+        char* end = nullptr;
+        double num = std::strtod(str->c_str(), &end);
+        if (end == str->c_str()) {
+          continue;  // Non-numeric binding never matches a numeric filter.
+        }
+        switch (f.op) {
+          case FilterExpr::Op::kLt:
+            keep = num < f.number;
+            break;
+          case FilterExpr::Op::kLe:
+            keep = num <= f.number;
+            break;
+          case FilterExpr::Op::kGt:
+            keep = num > f.number;
+            break;
+          case FilterExpr::Op::kGe:
+            keep = num >= f.number;
+            break;
+          case FilterExpr::Op::kEq:
+            keep = num == f.number;
+            break;
+          case FilterExpr::Op::kNe:
+            keep = num != f.number;
+            break;
+        }
+      } else {
+        bool eq = (v == f.constant);
+        keep = (f.op == FilterExpr::Op::kEq) ? eq
+               : (f.op == FilterExpr::Op::kNe) ? !eq
+                                               : false;
+      }
+      if (keep) {
+        next.AppendRow(table->Row(r));
+      }
+    }
+    *table = std::move(next);
+  }
+  return Status::Ok();
+}
+
+// Solution-sequence modifiers: DISTINCT, ORDER BY, LIMIT — applied in that
+// order, after projection/aggregation.
+Status FinalizeSolution(const Query& q, const ExecContext& ctx,
+                        QueryResult* result) {
+  if (q.distinct) {
+    std::vector<std::vector<ResultValue>> unique;
+    unique.reserve(result->rows.size());
+    std::set<std::vector<std::pair<bool, uint64_t>>> seen;
+    for (auto& row : result->rows) {
+      std::vector<std::pair<bool, uint64_t>> key;
+      key.reserve(row.size());
+      for (const ResultValue& v : row) {
+        key.emplace_back(v.is_number,
+                         v.is_number ? static_cast<uint64_t>(v.number * 1e6) : v.vid);
+      }
+      if (seen.insert(std::move(key)).second) {
+        unique.push_back(std::move(row));
+      }
+    }
+    result->rows = std::move(unique);
+  }
+
+  if (!q.order_by.empty()) {
+    // ORDER BY keys must be projected columns.
+    std::vector<std::pair<size_t, bool>> keys;  // (column, descending)
+    for (const OrderKey& key : q.order_by) {
+      bool found = false;
+      for (size_t c = 0; c < q.select.size(); ++c) {
+        if (q.select[c].var == key.var && q.select[c].agg == AggKind::kNone) {
+          keys.emplace_back(c, key.descending);
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        return Status::InvalidArgument(
+            "ORDER BY variable must appear (un-aggregated) in SELECT");
+      }
+    }
+    auto value_less = [&ctx](const ResultValue& a, const ResultValue& b) -> int {
+      if (a.is_number != b.is_number) {
+        return a.is_number ? -1 : 1;  // Numbers sort before IRIs.
+      }
+      if (a.is_number) {
+        return a.number < b.number ? -1 : (a.number > b.number ? 1 : 0);
+      }
+      if (ctx.strings != nullptr) {
+        auto sa = ctx.strings->VertexString(a.vid);
+        auto sb = ctx.strings->VertexString(b.vid);
+        if (sa.ok() && sb.ok()) {
+          return sa->compare(*sb) < 0 ? -1 : (*sa == *sb ? 0 : 1);
+        }
+      }
+      return a.vid < b.vid ? -1 : (a.vid > b.vid ? 1 : 0);
+    };
+    std::stable_sort(result->rows.begin(), result->rows.end(),
+                     [&](const auto& ra, const auto& rb) {
+                       for (const auto& [col, desc] : keys) {
+                         int cmp = value_less(ra[col], rb[col]);
+                         if (cmp != 0) {
+                           return desc ? cmp > 0 : cmp < 0;
+                         }
+                       }
+                       return false;
+                     });
+  }
+
+  if (q.limit > 0 && result->rows.size() > q.limit) {
+    result->rows.resize(q.limit);
+  }
+  return Status::Ok();
+}
+
+StatusOr<QueryResult> ProjectResult(const Query& q, const ExecContext& ctx,
+                                    const BindingTable& table) {
+  QueryResult result;
+  for (const SelectItem& item : q.select) {
+    std::string name = q.var_names[static_cast<size_t>(item.var)];
+    switch (item.agg) {
+      case AggKind::kNone:
+        break;
+      case AggKind::kCount:
+        name = "COUNT(" + name + ")";
+        break;
+      case AggKind::kSum:
+        name = "SUM(" + name + ")";
+        break;
+      case AggKind::kAvg:
+        name = "AVG(" + name + ")";
+        break;
+      case AggKind::kMin:
+        name = "MIN(" + name + ")";
+        break;
+      case AggKind::kMax:
+        name = "MAX(" + name + ")";
+        break;
+    }
+    result.columns.push_back(std::move(name));
+  }
+
+  if (table.num_rows() == 0) {
+    return result;  // Empty result; unbound select columns are moot.
+  }
+
+  if (!q.has_aggregates()) {
+    result.rows.reserve(table.num_rows());
+    std::vector<int> cols;
+    for (const SelectItem& item : q.select) {
+      int col = table.ColumnOf(item.var);
+      if (col < 0) {
+        return Status::InvalidArgument("selected variable is unbound");
+      }
+      cols.push_back(col);
+    }
+    for (size_t r = 0; r < table.num_rows(); ++r) {
+      std::vector<ResultValue> row;
+      row.reserve(cols.size());
+      for (int c : cols) {
+        row.push_back(ResultValue::Vertex(table.At(r, c)));
+      }
+      result.rows.push_back(std::move(row));
+    }
+    return result;
+  }
+
+  // Aggregation path. Group rows by the GROUP BY columns (or one big group).
+  std::vector<int> group_cols;
+  for (int var : q.group_by) {
+    int col = table.ColumnOf(var);
+    if (col < 0) {
+      return Status::InvalidArgument("GROUP BY variable is unbound");
+    }
+    group_cols.push_back(col);
+  }
+
+  struct AggState {
+    size_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    bool seen = false;
+  };
+  // Group key -> per-select-item state.
+  std::map<std::vector<VertexId>, std::vector<AggState>> groups;
+
+  auto numeric_value = [&](VertexId v, double* out) -> bool {
+    if (ctx.strings == nullptr) {
+      return false;
+    }
+    auto str = ctx.strings->VertexString(v);
+    if (!str.ok()) {
+      return false;
+    }
+    char* end = nullptr;
+    double num = std::strtod(str->c_str(), &end);
+    if (end == str->c_str()) {
+      return false;
+    }
+    *out = num;
+    return true;
+  };
+
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    std::vector<VertexId> gkey;
+    gkey.reserve(group_cols.size());
+    for (int c : group_cols) {
+      gkey.push_back(table.At(r, c));
+    }
+    auto& states = groups[gkey];
+    states.resize(q.select.size());
+    for (size_t i = 0; i < q.select.size(); ++i) {
+      const SelectItem& item = q.select[i];
+      if (item.agg == AggKind::kNone) {
+        continue;
+      }
+      int col = table.ColumnOf(item.var);
+      if (col < 0) {
+        return Status::InvalidArgument("aggregated variable is unbound");
+      }
+      AggState& st = states[i];
+      st.count += 1;
+      if (item.agg != AggKind::kCount) {
+        double num = 0.0;
+        if (numeric_value(table.At(r, col), &num)) {
+          st.sum += num;
+          st.min = st.seen ? std::min(st.min, num) : num;
+          st.max = st.seen ? std::max(st.max, num) : num;
+          st.seen = true;
+        }
+      }
+    }
+  }
+
+  for (const auto& [gkey, states] : groups) {
+    std::vector<ResultValue> row;
+    row.reserve(q.select.size());
+    for (size_t i = 0; i < q.select.size(); ++i) {
+      const SelectItem& item = q.select[i];
+      if (item.agg == AggKind::kNone) {
+        // Plain variable in an aggregate query must be a GROUP BY key.
+        int col = table.ColumnOf(item.var);
+        bool found = false;
+        for (size_t g = 0; g < group_cols.size(); ++g) {
+          if (group_cols[g] == col) {
+            row.push_back(ResultValue::Vertex(gkey[g]));
+            found = true;
+            break;
+          }
+        }
+        if (!found) {
+          return Status::InvalidArgument(
+              "non-aggregated select variable must appear in GROUP BY");
+        }
+        continue;
+      }
+      const AggState& st = states[i];
+      switch (item.agg) {
+        case AggKind::kCount:
+          row.push_back(ResultValue::Number(static_cast<double>(st.count)));
+          break;
+        case AggKind::kSum:
+          row.push_back(ResultValue::Number(st.sum));
+          break;
+        case AggKind::kAvg:
+          row.push_back(ResultValue::Number(
+              st.count > 0 && st.seen ? st.sum / static_cast<double>(st.count) : 0.0));
+          break;
+        case AggKind::kMin:
+          row.push_back(ResultValue::Number(st.seen ? st.min : 0.0));
+          break;
+        case AggKind::kMax:
+          row.push_back(ResultValue::Number(st.seen ? st.max : 0.0));
+          break;
+        case AggKind::kNone:
+          break;
+      }
+    }
+    result.rows.push_back(std::move(row));
+  }
+  return result;
+}
+
+Status ApplyOptionals(const Query& q, const ExecContext& ctx, BindingTable* table) {
+  for (const std::vector<TriplePattern>& group : q.optionals) {
+    // Variables the group introduces on top of the current bindings.
+    std::vector<int> new_vars;
+    for (const TriplePattern& p : group) {
+      for (const Term* t : {&p.subject, &p.object}) {
+        if (t->is_var() && !table->IsBound(t->var) &&
+            std::find(new_vars.begin(), new_vars.end(), t->var) == new_vars.end()) {
+          new_vars.push_back(t->var);
+        }
+      }
+    }
+    BindingTable next;
+    for (int v : table->vars()) {
+      next.AddColumn(v);
+    }
+    for (int v : new_vars) {
+      next.AddColumn(v);
+    }
+    const size_t old_cols = table->num_cols();
+    std::vector<VertexId> row_buffer(next.num_cols());
+    for (size_t r = 0; r < table->num_rows(); ++r) {
+      // Left join: execute the group seeded with this row's bindings.
+      BindingTable seed;
+      for (int v : table->vars()) {
+        seed.AddColumn(v);
+      }
+      if (old_cols > 0) {
+        seed.AppendRow(table->Row(r));
+      }
+      bool dead = false;
+      for (const TriplePattern& p : group) {
+        const NeighborSource* src = SourceFor(ctx, p.graph);
+        Status s = ApplyPattern(p, *src, &seed);
+        if (!s.ok()) {
+          return s;
+        }
+        if (seed.num_rows() == 0) {
+          dead = true;
+          break;
+        }
+      }
+      if (dead) {
+        // No match: keep the row; the group's variables stay unbound.
+        for (size_t c = 0; c < old_cols; ++c) {
+          row_buffer[c] = table->At(r, static_cast<int>(c));
+        }
+        for (size_t c = old_cols; c < row_buffer.size(); ++c) {
+          row_buffer[c] = kUnboundBinding;
+        }
+        next.AppendRow(row_buffer.data());
+        continue;
+      }
+      for (size_t sr = 0; sr < seed.num_rows(); ++sr) {
+        for (size_t c = 0; c < old_cols; ++c) {
+          row_buffer[c] = table->At(r, static_cast<int>(c));
+        }
+        for (size_t c = 0; c < new_vars.size(); ++c) {
+          int col = seed.ColumnOf(new_vars[c]);
+          row_buffer[old_cols + c] = col >= 0 ? seed.At(sr, col) : kUnboundBinding;
+        }
+        next.AppendRow(row_buffer.data());
+      }
+    }
+    *table = std::move(next);
+  }
+  return Status::Ok();
+}
+
+StatusOr<QueryResult> ExecuteQuery(const Query& q, const std::vector<int>& plan,
+                                   const ExecContext& ctx) {
+  auto table = ExecutePatterns(q, plan, ctx);
+  if (!table.ok()) {
+    return table.status();
+  }
+  Status os = ApplyOptionals(q, ctx, &table.value());
+  if (!os.ok()) {
+    return os;
+  }
+  Status fs = ApplyFilters(q, ctx, &table.value());
+  if (!fs.ok()) {
+    return fs;
+  }
+  auto result = ProjectResult(q, ctx, table.value());
+  if (!result.ok()) {
+    return result;
+  }
+  Status fin = FinalizeSolution(q, ctx, &result.value());
+  if (!fin.ok()) {
+    return fin;
+  }
+  return result;
+}
+
+}  // namespace wukongs

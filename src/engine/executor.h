@@ -1,0 +1,68 @@
+// Graph-exploration executor shared by the one-shot and continuous engines.
+//
+// Executes a query's triple patterns in planner order against per-graph
+// NeighborSources, then applies FILTERs, GROUP BY and aggregates. The same
+// executor runs under both execution modes: distribution and its costs live
+// inside the NeighborSource implementations (paper §5 "in-place execution"),
+// so pattern evaluation here is pure exploration.
+
+#ifndef SRC_ENGINE_EXECUTOR_H_
+#define SRC_ENGINE_EXECUTOR_H_
+
+#include <functional>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/engine/binding.h"
+#include "src/engine/neighbor_source.h"
+#include "src/rdf/string_server.h"
+#include "src/sparql/ast.h"
+
+namespace wukongs {
+
+struct ExecContext {
+  // sources[0] answers stored-graph patterns; sources[1 + w] answers patterns
+  // scoped to Query::windows[w].
+  std::vector<const NeighborSource*> sources;
+  const StringServer* strings = nullptr;  // Needed only when FILTERs compare numbers.
+};
+
+// Per-step observer: invoked after each pattern with the pattern, the table
+// shape before the step, and the row count after. Fork-join engines use it to
+// charge per-step shipping costs.
+using StepHook = std::function<void(const TriplePattern& pattern, size_t rows_before,
+                                    size_t cols_before, size_t rows_after)>;
+
+// Executes patterns in `plan` order (indices into q.patterns) and returns the
+// binding table before projection.
+StatusOr<BindingTable> ExecutePatterns(const Query& q, const std::vector<int>& plan,
+                                       const ExecContext& ctx,
+                                       const StepHook& hook = {});
+
+// Left-joins each of q.optionals onto `table`: rows extend with the group's
+// bindings when the group matches, otherwise keep their bindings with the
+// group's new variables set to kUnboundBinding.
+Status ApplyOptionals(const Query& q, const ExecContext& ctx, BindingTable* table);
+
+// Applies q.filters to `table` in place (drops non-matching rows).
+Status ApplyFilters(const Query& q, const ExecContext& ctx, BindingTable* table);
+
+// Projects/aggregates `table` into the result (no solution modifiers).
+StatusOr<QueryResult> ProjectResult(const Query& q, const ExecContext& ctx,
+                                    const BindingTable& table);
+
+// Applies the solution-sequence modifiers (DISTINCT, ORDER BY, LIMIT).
+// Separate from ProjectResult so UNION branches can be projected first and
+// modified once after concatenation.
+Status FinalizeSolution(const Query& q, const ExecContext& ctx,
+                        QueryResult* result);
+
+// Convenience: plan already chosen; runs patterns -> optionals -> filters ->
+// projection -> modifiers. Does not handle UNION (the Cluster plans and
+// executes each branch, then concatenates and finalizes).
+StatusOr<QueryResult> ExecuteQuery(const Query& q, const std::vector<int>& plan,
+                                   const ExecContext& ctx);
+
+}  // namespace wukongs
+
+#endif  // SRC_ENGINE_EXECUTOR_H_

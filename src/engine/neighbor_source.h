@@ -1,0 +1,33 @@
+// NeighborSource: the executor's view of "where edges come from".
+//
+// One implementation reads the distributed persistent store at a snapshot
+// (one-shot queries and the stored-graph patterns of continuous queries);
+// another reads a stream window through the stream index and transient store
+// (§4.2). Both deposit modeled network cost as they touch remote shards, so
+// the executor is oblivious to distribution.
+
+#ifndef SRC_ENGINE_NEIGHBOR_SOURCE_H_
+#define SRC_ENGINE_NEIGHBOR_SOURCE_H_
+
+#include <vector>
+
+#include "src/common/ids.h"
+
+namespace wukongs {
+
+class NeighborSource {
+ public:
+  virtual ~NeighborSource() = default;
+
+  // Appends the neighbors of `key` to `out`. Index keys ([0|pid|dir])
+  // enumerate every vertex with that predicate/direction.
+  virtual void GetNeighbors(Key key, std::vector<VertexId>* out) const = 0;
+
+  // Cheap cardinality estimate for the planner; needs no network round trip
+  // in the real system because Wukong keeps per-predicate statistics.
+  virtual size_t EstimateCount(Key key) const = 0;
+};
+
+}  // namespace wukongs
+
+#endif  // SRC_ENGINE_NEIGHBOR_SOURCE_H_

@@ -1,0 +1,256 @@
+#include "src/rdf/dataset.h"
+
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+namespace wukongs {
+namespace {
+
+constexpr char kRdfType[] = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+
+std::vector<std::string_view> SplitWhitespace(std::string_view line) {
+  std::vector<std::string_view> tokens;
+  size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) {
+      ++i;
+    }
+    size_t start = i;
+    while (i < line.size() && line[i] != ' ' && line[i] != '\t') {
+      ++i;
+    }
+    if (i > start) {
+      tokens.push_back(line.substr(start, i - start));
+    }
+  }
+  return tokens;
+}
+
+// Statement parser: N-Triples plus the common Turtle abbreviations —
+//   @prefix pre: <iri> .            prefix directive
+//   s p o ; p2 o2 ; p3 o3 .         predicate lists
+//   s p o1 , o2 , o3 .              object lists
+//   s a Type                        'a' = rdf:type
+// Punctuation (';' ',' '.') must be whitespace-separated or trail a term
+// (terms themselves may contain '.' and ',', e.g. coordinates). A newline
+// also terminates a complete statement, so plain  s p o  lines work.
+class StatementParser {
+ public:
+  explicit StatementParser(StringServer* strings) : strings_(strings) {}
+
+  Status FeedLine(std::string_view line, size_t line_no, TripleVec* out) {
+    line_no_ = line_no;
+    auto tokens = SplitWhitespace(line);
+    if (tokens.empty()) {
+      return MaybeEndOfStatement(out);
+    }
+    if (tokens[0] == "@prefix") {
+      return HandlePrefix(tokens);
+    }
+    for (std::string_view raw : tokens) {
+      // Peel one trailing punctuation mark off a term ("o2," / "o ." forms).
+      std::string_view term = raw;
+      char trailing = 0;
+      // Peel punctuation only where it can be a separator: after the term
+      // that completes a triple's object. (Terms may contain '.' and ','
+      // internally, e.g. coordinates, so peeling is position-aware.)
+      if (term.size() > 1 && state_ == State::kAfterPredicate &&
+          (term.back() == ';' || term.back() == ',' || term.back() == '.')) {
+        trailing = term.back();
+        term.remove_suffix(1);
+      }
+      if (term == "." || term == ";" || term == ",") {
+        Status s = HandlePunct(term[0], out);
+        if (!s.ok()) {
+          return s;
+        }
+        continue;
+      }
+      Status s = HandleTerm(term, out);
+      if (!s.ok()) {
+        return s;
+      }
+      if (trailing != 0) {
+        s = HandlePunct(trailing, out);
+        if (!s.ok()) {
+          return s;
+        }
+      }
+    }
+    return MaybeEndOfStatement(out);
+  }
+
+  Status Finish(TripleVec* out) {
+    Status s = MaybeEndOfStatement(out);
+    if (!s.ok()) {
+      return s;
+    }
+    if (state_ != State::kStart) {
+      return Error("unterminated statement at end of input");
+    }
+    return Status::Ok();
+  }
+
+ private:
+  enum class State { kStart, kAfterSubject, kAfterPredicate, kAfterObject };
+
+  Status Error(const std::string& message) const {
+    std::ostringstream os;
+    os << "line " << line_no_ << ": " << message;
+    return Status::InvalidArgument(os.str());
+  }
+
+  Status HandlePrefix(const std::vector<std::string_view>& tokens) {
+    if (state_ != State::kStart) {
+      return Error("@prefix inside a statement");
+    }
+    // @prefix pre: <iri> .
+    if (tokens.size() < 3 || tokens[1].empty() || tokens[1].back() != ':') {
+      return Error("malformed @prefix directive");
+    }
+    std::string_view name = tokens[1].substr(0, tokens[1].size() - 1);
+    std::string_view iri = tokens[2];
+    if (iri.size() >= 2 && iri.front() == '<' && iri.back() == '>') {
+      iri = iri.substr(1, iri.size() - 2);
+    }
+    prefixes_[std::string(name)] = std::string(iri);
+    return Status::Ok();
+  }
+
+  std::string Expand(std::string_view term) const {
+    if (term.size() >= 2 && term.front() == '<' && term.back() == '>') {
+      return std::string(term.substr(1, term.size() - 2));
+    }
+    size_t colon = term.find(':');
+    if (colon != std::string_view::npos) {
+      auto it = prefixes_.find(std::string(term.substr(0, colon)));
+      if (it != prefixes_.end()) {
+        return it->second + std::string(term.substr(colon + 1));
+      }
+    }
+    return std::string(term);
+  }
+
+  Status HandleTerm(std::string_view term, TripleVec* out) {
+    (void)out;
+    switch (state_) {
+      case State::kStart:
+        subject_ = strings_->InternVertex(Expand(term));
+        state_ = State::kAfterSubject;
+        return Status::Ok();
+      case State::kAfterSubject:
+        predicate_ = strings_->InternPredicate(
+            term == "a" ? std::string(kRdfType) : Expand(term));
+        state_ = State::kAfterPredicate;
+        return Status::Ok();
+      case State::kAfterPredicate:
+        object_ = strings_->InternVertex(Expand(term));
+        state_ = State::kAfterObject;
+        return Status::Ok();
+      case State::kAfterObject:
+        return Error("expected '.', ';' or ',' before next term");
+    }
+    return Error("unreachable");
+  }
+
+  Status HandlePunct(char p, TripleVec* out) {
+    if (state_ != State::kAfterObject) {
+      return Error(std::string("unexpected '") + p + "'");
+    }
+    out->push_back(Triple{subject_, predicate_, object_});
+    switch (p) {
+      case '.':
+        state_ = State::kStart;
+        break;
+      case ';':
+        state_ = State::kAfterSubject;  // Next predicate, same subject.
+        break;
+      case ',':
+        state_ = State::kAfterPredicate;  // Next object, same predicate.
+        break;
+      default:
+        return Error("unknown punctuation");
+    }
+    return Status::Ok();
+  }
+
+  // Newline after a complete triple ends the statement (N-Triples style).
+  Status MaybeEndOfStatement(TripleVec* out) {
+    if (state_ == State::kAfterObject) {
+      out->push_back(Triple{subject_, predicate_, object_});
+      state_ = State::kStart;
+    }
+    return Status::Ok();
+  }
+
+  StringServer* strings_;
+  std::unordered_map<std::string, std::string> prefixes_;
+  State state_ = State::kStart;
+  VertexId subject_ = 0;
+  PredicateId predicate_ = 0;
+  VertexId object_ = 0;
+  size_t line_no_ = 0;
+};
+
+}  // namespace
+
+StatusOr<TripleVec> ParseTriples(std::string_view text, StringServer* strings) {
+  TripleVec out;
+  StatementParser parser(strings);
+  size_t line_no = 0;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    size_t eol = text.find('\n', pos);
+    std::string_view line =
+        text.substr(pos, eol == std::string_view::npos ? std::string_view::npos
+                                                       : eol - pos);
+    pos = (eol == std::string_view::npos) ? text.size() + 1 : eol + 1;
+    ++line_no;
+
+    // A line whose first non-blank character is '#' is a comment. '#' inside
+    // a term (e.g. the hashtag literal "#sosp17") is data, not a comment.
+    size_t first = line.find_first_not_of(" \t");
+    if (first == std::string_view::npos ||
+        (first != std::string_view::npos && line[first] == '#')) {
+      continue;
+    }
+    Status s = parser.FeedLine(line, line_no, &out);
+    if (!s.ok()) {
+      return s;
+    }
+  }
+  Status s = parser.Finish(&out);
+  if (!s.ok()) {
+    return s;
+  }
+  return out;
+}
+
+StatusOr<TripleVec> LoadTriplesFile(const std::string& path, StringServer* strings) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound("cannot open " + path);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseTriples(buf.str(), strings);
+}
+
+StatusOr<std::string> SerializeTriples(const TripleVec& triples,
+                                       const StringServer& strings) {
+  std::ostringstream os;
+  for (const Triple& t : triples) {
+    auto s = strings.VertexString(t.subject);
+    auto p = strings.PredicateString(t.predicate);
+    auto o = strings.VertexString(t.object);
+    if (!s.ok() || !p.ok() || !o.ok()) {
+      return Status::NotFound("triple references unknown id");
+    }
+    os << *s << " " << *p << " " << *o << " .\n";
+  }
+  return os.str();
+}
+
+}  // namespace wukongs

@@ -1,0 +1,34 @@
+// Dataset loading: a minimal N-Triples-style text format plus programmatic
+// construction. Used by examples and tests; the benchmark generators build
+// triples directly.
+//
+// Line format (whitespace separated, '#' comments, trailing '.' optional):
+//   <subject> <predicate> <object> .
+
+#ifndef SRC_RDF_DATASET_H_
+#define SRC_RDF_DATASET_H_
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/rdf/string_server.h"
+#include "src/rdf/triple.h"
+
+namespace wukongs {
+
+// Parses N-Triples-ish text into ID triples, interning strings on the fly.
+StatusOr<TripleVec> ParseTriples(std::string_view text, StringServer* strings);
+
+// Reads a file and parses it with ParseTriples.
+StatusOr<TripleVec> LoadTriplesFile(const std::string& path, StringServer* strings);
+
+// Serializes triples back to text (one per line) using the string server.
+StatusOr<std::string> SerializeTriples(const TripleVec& triples,
+                                       const StringServer& strings);
+
+}  // namespace wukongs
+
+#endif  // SRC_RDF_DATASET_H_

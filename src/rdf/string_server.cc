@@ -1,0 +1,189 @@
+#include "src/rdf/string_server.h"
+
+#include <cassert>
+#include <cstdio>
+#include <mutex>
+
+namespace wukongs {
+
+StringServer::StringServer() {
+  // Reserve vertex 0 (index vertex) and predicate 0 so real IDs start at 1
+  // and the index-vertex key [0|pid|dir] can never collide with an entity.
+  vertex_strings_.push_back("<INDEX>");
+  vertex_ids_.emplace("<INDEX>", kIndexVertex);
+  predicate_strings_.push_back("<PRED0>");
+  predicate_ids_.emplace("<PRED0>", 0);
+}
+
+VertexId StringServer::InternVertex(std::string_view str) {
+  {
+    std::shared_lock lock(mu_);
+    auto it = vertex_ids_.find(std::string(str));
+    if (it != vertex_ids_.end()) {
+      return it->second;
+    }
+  }
+  std::unique_lock lock(mu_);
+  auto [it, inserted] = vertex_ids_.emplace(std::string(str), vertex_strings_.size());
+  if (inserted) {
+    assert(vertex_strings_.size() <= kMaxVertexId);
+    vertex_strings_.push_back(std::string(str));
+  }
+  return it->second;
+}
+
+PredicateId StringServer::InternPredicate(std::string_view str) {
+  {
+    std::shared_lock lock(mu_);
+    auto it = predicate_ids_.find(std::string(str));
+    if (it != predicate_ids_.end()) {
+      return it->second;
+    }
+  }
+  std::unique_lock lock(mu_);
+  auto [it, inserted] =
+      predicate_ids_.emplace(std::string(str), predicate_strings_.size());
+  if (inserted) {
+    assert(predicate_strings_.size() <= kMaxPredicateId);
+    predicate_strings_.push_back(std::string(str));
+  }
+  return it->second;
+}
+
+std::optional<VertexId> StringServer::FindVertex(std::string_view str) const {
+  std::shared_lock lock(mu_);
+  auto it = vertex_ids_.find(std::string(str));
+  if (it == vertex_ids_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+std::optional<PredicateId> StringServer::FindPredicate(std::string_view str) const {
+  std::shared_lock lock(mu_);
+  auto it = predicate_ids_.find(std::string(str));
+  if (it == predicate_ids_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+StatusOr<std::string> StringServer::VertexString(VertexId id) const {
+  std::shared_lock lock(mu_);
+  if (id >= vertex_strings_.size()) {
+    return Status::NotFound("unknown vertex id");
+  }
+  return vertex_strings_[id];
+}
+
+StatusOr<std::string> StringServer::PredicateString(PredicateId id) const {
+  std::shared_lock lock(mu_);
+  if (id >= predicate_strings_.size()) {
+    return Status::NotFound("unknown predicate id");
+  }
+  return predicate_strings_[id];
+}
+
+size_t StringServer::vertex_count() const {
+  std::shared_lock lock(mu_);
+  return vertex_strings_.size();
+}
+
+size_t StringServer::predicate_count() const {
+  std::shared_lock lock(mu_);
+  return predicate_strings_.size();
+}
+
+namespace {
+
+constexpr uint32_t kStringsMagic = 0x574b5354;  // "WKST"
+
+bool WriteString(std::FILE* f, const std::string& s) {
+  uint64_t len = s.size();
+  return std::fwrite(&len, 8, 1, f) == 1 &&
+         std::fwrite(s.data(), 1, s.size(), f) == s.size();
+}
+
+bool ReadString(std::FILE* f, std::string* out) {
+  uint64_t len = 0;
+  if (std::fread(&len, 8, 1, f) != 1) {
+    return false;
+  }
+  out->resize(len);
+  return std::fread(out->data(), 1, len, f) == len;
+}
+
+}  // namespace
+
+Status StringServer::Save(const std::string& path) const {
+  std::shared_lock lock(mu_);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::Internal("cannot open " + path + " for writing");
+  }
+  uint64_t nv = vertex_strings_.size();
+  uint64_t np = predicate_strings_.size();
+  bool ok = std::fwrite(&kStringsMagic, 4, 1, f) == 1 &&
+            std::fwrite(&nv, 8, 1, f) == 1 && std::fwrite(&np, 8, 1, f) == 1;
+  for (uint64_t i = 1; ok && i < nv; ++i) {  // Skip the reserved sentinel.
+    ok = WriteString(f, vertex_strings_[i]);
+  }
+  for (uint64_t i = 1; ok && i < np; ++i) {
+    ok = WriteString(f, predicate_strings_[i]);
+  }
+  std::fclose(f);
+  return ok ? Status::Ok() : Status::Internal("short write to " + path);
+}
+
+Status StringServer::Load(const std::string& path) {
+  std::unique_lock lock(mu_);
+  if (vertex_strings_.size() != 1 || predicate_strings_.size() != 1) {
+    return Status::FailedPrecondition("Load requires a fresh string server");
+  }
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::NotFound("cannot open " + path);
+  }
+  uint32_t magic = 0;
+  uint64_t nv = 0;
+  uint64_t np = 0;
+  if (std::fread(&magic, 4, 1, f) != 1 || magic != kStringsMagic ||
+      std::fread(&nv, 8, 1, f) != 1 || std::fread(&np, 8, 1, f) != 1) {
+    std::fclose(f);
+    return Status::InvalidArgument("bad string table header in " + path);
+  }
+  for (uint64_t i = 1; i < nv; ++i) {
+    std::string s;
+    if (!ReadString(f, &s)) {
+      std::fclose(f);
+      return Status::InvalidArgument("truncated string table in " + path);
+    }
+    vertex_ids_.emplace(s, vertex_strings_.size());
+    vertex_strings_.push_back(std::move(s));
+  }
+  for (uint64_t i = 1; i < np; ++i) {
+    std::string s;
+    if (!ReadString(f, &s)) {
+      std::fclose(f);
+      return Status::InvalidArgument("truncated predicate table in " + path);
+    }
+    predicate_ids_.emplace(s, predicate_strings_.size());
+    predicate_strings_.push_back(std::move(s));
+  }
+  std::fclose(f);
+  return Status::Ok();
+}
+
+size_t StringServer::MemoryBytes() const {
+  std::shared_lock lock(mu_);
+  size_t bytes = 0;
+  for (const auto& s : vertex_strings_) {
+    bytes += s.size() + sizeof(std::string) + sizeof(VertexId) + 32;
+  }
+  for (const auto& s : predicate_strings_) {
+    bytes += s.size() + sizeof(std::string) + sizeof(PredicateId) + 32;
+  }
+  return bytes;
+}
+
+}  // namespace wukongs

@@ -1,0 +1,65 @@
+// String server: bidirectional mapping between RDF strings (IRIs/literals)
+// and compact integer IDs (paper §3, Fig. 6 "ID-mapping").
+//
+// Clients intern every string before a query touches the network, so the
+// engine only ever moves fixed-width IDs. Vertices and predicates live in
+// separate ID spaces; vertex ID 0 is reserved for the index vertex. The
+// paper notes the mapping table is never GC'd (future queries may name any
+// entity), so this is an append-only structure guarded by a shared mutex.
+
+#ifndef SRC_RDF_STRING_SERVER_H_
+#define SRC_RDF_STRING_SERVER_H_
+
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/common/status.h"
+
+namespace wukongs {
+
+class StringServer {
+ public:
+  StringServer();
+
+  // Interns `str` as a vertex (entity/literal), returning its stable ID.
+  VertexId InternVertex(std::string_view str);
+  // Interns `str` as a predicate (edge label).
+  PredicateId InternPredicate(std::string_view str);
+
+  // Lookup without interning.
+  std::optional<VertexId> FindVertex(std::string_view str) const;
+  std::optional<PredicateId> FindPredicate(std::string_view str) const;
+
+  // Reverse lookup; returns NotFound for unknown IDs.
+  StatusOr<std::string> VertexString(VertexId id) const;
+  StatusOr<std::string> PredicateString(PredicateId id) const;
+
+  size_t vertex_count() const;
+  size_t predicate_count() const;
+
+  // Estimated resident bytes of the mapping tables (for memory accounting).
+  size_t MemoryBytes() const;
+
+  // Durability: the ID mapping must survive restarts — recovered stores and
+  // checkpoint logs reference IDs, not strings (paper §5: checkpoints log
+  // key/value data; the mapping table is never GC'd). Load requires a fresh
+  // server (only the reserved sentinels present).
+  Status Save(const std::string& path) const;
+  Status Load(const std::string& path);
+
+ private:
+  mutable std::shared_mutex mu_;
+  std::unordered_map<std::string, VertexId> vertex_ids_;
+  std::vector<std::string> vertex_strings_;  // index = VertexId
+  std::unordered_map<std::string, PredicateId> predicate_ids_;
+  std::vector<std::string> predicate_strings_;  // index = PredicateId
+};
+
+}  // namespace wukongs
+
+#endif  // SRC_RDF_STRING_SERVER_H_

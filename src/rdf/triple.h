@@ -1,0 +1,50 @@
+// RDF triples and timestamped stream tuples (paper Fig. 1).
+//
+// Stored data is a set of <subject, predicate, object> triples. Streaming
+// data arrives as *tuples*: a triple plus a timestamp, classified as either
+// "timeless" (factual; absorbed into the persistent store, e.g. post/like) or
+// "timing" (only meaningful inside a window, e.g. a GPS position; held in the
+// time-based transient store and swept by GC).
+
+#ifndef SRC_RDF_TRIPLE_H_
+#define SRC_RDF_TRIPLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/ids.h"
+
+namespace wukongs {
+
+struct Triple {
+  VertexId subject = 0;
+  PredicateId predicate = 0;
+  VertexId object = 0;
+
+  friend bool operator==(const Triple&, const Triple&) = default;
+};
+
+// Milliseconds on the stream's logical time axis. C-SPARQL's time model
+// guarantees monotonically non-decreasing timestamps within a stream (§4.3),
+// so the engine never reorders.
+using StreamTime = uint64_t;
+
+enum class TupleKind : uint8_t {
+  kTimeless = 0,  // Absorbed into the continuous persistent store.
+  kTiming = 1,    // Held in the time-based transient store only.
+};
+
+struct StreamTuple {
+  Triple triple;
+  StreamTime timestamp = 0;
+  TupleKind kind = TupleKind::kTimeless;
+
+  friend bool operator==(const StreamTuple&, const StreamTuple&) = default;
+};
+
+using TripleVec = std::vector<Triple>;
+using StreamTupleVec = std::vector<StreamTuple>;
+
+}  // namespace wukongs
+
+#endif  // SRC_RDF_TRIPLE_H_

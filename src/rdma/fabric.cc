@@ -1,0 +1,90 @@
+#include "src/rdma/fabric.h"
+
+#include <sstream>
+
+namespace wukongs {
+
+const char* TransportName(Transport t) {
+  switch (t) {
+    case Transport::kRdma:
+      return "RDMA";
+    case Transport::kTcp:
+      return "TCP";
+  }
+  return "UNKNOWN";
+}
+
+Fabric::Fabric(uint32_t node_count, NetworkModel model, Transport transport)
+    : node_count_(node_count), model_(model), transport_(transport) {}
+
+void Fabric::OneSidedRead(NodeId from, NodeId to, size_t bytes) {
+  if (from == to) {
+    return;  // Local shard access: plain memory read, no network cost.
+  }
+  one_sided_reads_.fetch_add(1, std::memory_order_relaxed);
+  one_sided_read_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  if (transport_ == Transport::kRdma) {
+    SimCost::Add(model_.rdma_read_base_ns +
+                 model_.rdma_read_per_byte_ns * static_cast<double>(bytes));
+  } else {
+    // No one-sided verbs over TCP: pulling remote data costs an RPC.
+    SimCost::Add(model_.tcp_msg_base_ns +
+                 model_.tcp_msg_per_byte_ns * static_cast<double>(bytes));
+  }
+}
+
+void Fabric::Message(NodeId from, NodeId to, size_t bytes) {
+  if (from == to) {
+    return;
+  }
+  messages_.fetch_add(1, std::memory_order_relaxed);
+  message_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  if (transport_ == Transport::kRdma) {
+    SimCost::Add(model_.rdma_msg_base_ns +
+                 model_.rdma_msg_per_byte_ns * static_cast<double>(bytes));
+  } else {
+    SimCost::Add(model_.tcp_msg_base_ns +
+                 model_.tcp_msg_per_byte_ns * static_cast<double>(bytes));
+  }
+}
+
+void Fabric::CrossSystemTransfer(size_t tuples, size_t bytes_per_tuple) {
+  cross_system_tuples_.fetch_add(tuples, std::memory_order_relaxed);
+  SimCost::Add(model_.cross_system_per_tuple_ns * static_cast<double>(tuples));
+  // The crossing itself is a message between the two systems' processes.
+  size_t bytes = tuples * bytes_per_tuple;
+  messages_.fetch_add(1, std::memory_order_relaxed);
+  message_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  SimCost::Add(model_.tcp_msg_base_ns +
+               model_.tcp_msg_per_byte_ns * static_cast<double>(bytes));
+}
+
+FabricStats Fabric::stats() const {
+  FabricStats s;
+  s.one_sided_reads = one_sided_reads_.load(std::memory_order_relaxed);
+  s.one_sided_read_bytes = one_sided_read_bytes_.load(std::memory_order_relaxed);
+  s.messages = messages_.load(std::memory_order_relaxed);
+  s.message_bytes = message_bytes_.load(std::memory_order_relaxed);
+  s.cross_system_tuples = cross_system_tuples_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void Fabric::ResetStats() {
+  one_sided_reads_.store(0, std::memory_order_relaxed);
+  one_sided_read_bytes_.store(0, std::memory_order_relaxed);
+  messages_.store(0, std::memory_order_relaxed);
+  message_bytes_.store(0, std::memory_order_relaxed);
+  cross_system_tuples_.store(0, std::memory_order_relaxed);
+}
+
+std::string Fabric::DebugString() const {
+  FabricStats s = stats();
+  std::ostringstream os;
+  os << "Fabric{nodes=" << node_count_ << ", transport=" << TransportName(transport_)
+     << ", reads=" << s.one_sided_reads << " (" << s.one_sided_read_bytes << "B)"
+     << ", msgs=" << s.messages << " (" << s.message_bytes << "B)"
+     << ", cross_system_tuples=" << s.cross_system_tuples << "}";
+  return os.str();
+}
+
+}  // namespace wukongs

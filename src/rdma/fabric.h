@@ -1,0 +1,81 @@
+// Simulated RDMA fabric.
+//
+// The real system issues one-sided RDMA READs to pull remote key/value spans
+// and two-sided messages for fork-join sub-queries. In this reproduction all
+// simulated nodes share an address space, so a "remote" access is a direct
+// memory read of the target shard — functionally identical to a completed
+// RDMA READ — and the fabric's job is (a) to charge the calibrated time cost
+// of each verb into the thread-local SimCost accumulator and (b) to count
+// operations so benches can report traffic. Switching the transport to kTcp
+// models the paper's non-RDMA (10GbE fork-join) configuration (Table 5).
+
+#ifndef SRC_RDMA_FABRIC_H_
+#define SRC_RDMA_FABRIC_H_
+
+#include <atomic>
+#include <cstddef>
+#include <string>
+
+#include "src/common/ids.h"
+#include "src/common/latency_model.h"
+
+namespace wukongs {
+
+enum class Transport {
+  kRdma = 0,  // One-sided verbs available; in-place execution is cheap.
+  kTcp = 1,   // Kernel TCP; every remote touch pays a full RTT.
+};
+
+const char* TransportName(Transport t);
+
+struct FabricStats {
+  uint64_t one_sided_reads = 0;
+  uint64_t one_sided_read_bytes = 0;
+  uint64_t messages = 0;
+  uint64_t message_bytes = 0;
+  uint64_t cross_system_tuples = 0;
+};
+
+class Fabric {
+ public:
+  Fabric(uint32_t node_count, NetworkModel model, Transport transport);
+
+  uint32_t node_count() const { return node_count_; }
+  Transport transport() const { return transport_; }
+  const NetworkModel& model() const { return model_; }
+  void set_transport(Transport t) { transport_ = t; }
+
+  // One-sided read of `bytes` from `to` issued by `from`. Local access is
+  // free. Under TCP there are no one-sided verbs, so the cost is a full
+  // message round trip.
+  void OneSidedRead(NodeId from, NodeId to, size_t bytes);
+
+  // Two-sided message (request or response) of `bytes` from `from` to `to`.
+  void Message(NodeId from, NodeId to, size_t bytes);
+
+  // Composite-design boundary crossing: `tuples` tuples are transformed
+  // between the stream processor's format and the store's format and shipped
+  // across (paper §2.3 Issue#1). Charged regardless of co-location, plus one
+  // messaging RTT for the crossing itself.
+  void CrossSystemTransfer(size_t tuples, size_t bytes_per_tuple = 32);
+
+  FabricStats stats() const;
+  void ResetStats();
+
+  std::string DebugString() const;
+
+ private:
+  const uint32_t node_count_;
+  NetworkModel model_;
+  Transport transport_;
+
+  std::atomic<uint64_t> one_sided_reads_{0};
+  std::atomic<uint64_t> one_sided_read_bytes_{0};
+  std::atomic<uint64_t> messages_{0};
+  std::atomic<uint64_t> message_bytes_{0};
+  std::atomic<uint64_t> cross_system_tuples_{0};
+};
+
+}  // namespace wukongs
+
+#endif  // SRC_RDMA_FABRIC_H_

@@ -1,0 +1,129 @@
+// Abstract syntax for the SPARQL / C-SPARQL subset (paper Fig. 2).
+//
+// A query is a basic graph pattern whose triple patterns are each scoped to a
+// graph: the stored graph, or one of the query's stream windows (C-SPARQL's
+// `FROM STREAM <S> [RANGE r STEP s]` + `GRAPH <S> { ... }`). Continuous
+// queries are registered and re-executed every step; one-shot queries run
+// once against the persistent store.
+
+#ifndef SRC_SPARQL_AST_H_
+#define SRC_SPARQL_AST_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/ids.h"
+
+namespace wukongs {
+
+// A subject/object position: a constant vertex or a variable slot.
+struct Term {
+  enum class Kind { kConstant, kVariable };
+  Kind kind = Kind::kConstant;
+  VertexId constant = 0;  // Valid when kConstant.
+  int var = -1;           // Valid when kVariable; index into Query::var_names.
+
+  static Term Constant(VertexId v) {
+    return Term{Kind::kConstant, v, -1};
+  }
+  static Term Variable(int var) {
+    return Term{Kind::kVariable, 0, var};
+  }
+  bool is_var() const { return kind == Kind::kVariable; }
+};
+
+// Graph scope of a triple pattern: the persistent store, or a stream window.
+inline constexpr int kGraphStored = -1;
+
+struct TriplePattern {
+  Term subject;
+  PredicateId predicate = 0;
+  Term object;
+  int graph = kGraphStored;  // kGraphStored or index into Query::windows.
+};
+
+struct WindowSpec {
+  std::string stream_name;
+  uint64_t range_ms = 0;  // Window length.
+  uint64_t step_ms = 0;   // Slide/step.
+
+  // Absolute historical scope — the Time-ontology-style *one-shot* form
+  // `FROM STREAM <S> [FROM 2s TO 8s]` (paper §4.2 footnote: time-based
+  // one-shot queries). Reads stream data in [from_ms, to_ms) through the
+  // stream index, no trigger involved.
+  bool absolute = false;
+  uint64_t from_ms = 0;
+  uint64_t to_ms = 0;
+};
+
+enum class AggKind : uint8_t { kNone, kCount, kSum, kAvg, kMin, kMax };
+
+struct SelectItem {
+  int var = -1;
+  AggKind agg = AggKind::kNone;
+};
+
+// FILTER (?v OP literal). Numeric comparisons parse the bound vertex's string
+// form as a number; equality also works on plain vertex identity.
+struct FilterExpr {
+  enum class Op : uint8_t { kLt, kLe, kGt, kGe, kEq, kNe };
+  int var = -1;
+  Op op = Op::kEq;
+  bool numeric = false;
+  double number = 0.0;       // Valid when numeric.
+  VertexId constant = 0;     // Valid when !numeric.
+};
+
+// ORDER BY key: a variable slot plus direction.
+struct OrderKey {
+  int var = -1;
+  bool descending = false;
+};
+
+struct Query {
+  bool continuous = false;
+  std::string name;  // REGISTER QUERY <name>; empty for one-shot.
+
+  std::vector<std::string> var_names;  // Index = variable slot.
+  bool distinct = false;
+  std::vector<SelectItem> select;
+  std::vector<int> group_by;  // Variable slots; empty = single group or none.
+  std::vector<OrderKey> order_by;
+  size_t limit = 0;  // 0 = unlimited.
+
+  std::vector<WindowSpec> windows;  // Streams consumed by this query.
+  std::vector<TriplePattern> patterns;
+  // OPTIONAL groups: each left-joins onto the required patterns' solutions;
+  // rows without a match keep their bindings and leave the group's new
+  // variables unbound (kUnboundBinding).
+  std::vector<std::vector<TriplePattern>> optionals;
+  // UNION branches: when non-empty, the WHERE body is an alternation — each
+  // branch is a complete BGP (GRAPH scopes allowed) and the solution is the
+  // bag union of the branches. `patterns` is empty in that case.
+  std::vector<std::vector<TriplePattern>> unions;
+  std::vector<FilterExpr> filters;
+
+  bool has_aggregates() const {
+    for (const SelectItem& s : select) {
+      if (s.agg != AggKind::kNone) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // Longest window range; the trigger needs all involved windows filled.
+  uint64_t MaxRangeMs() const {
+    uint64_t r = 0;
+    for (const WindowSpec& w : windows) {
+      r = r > w.range_ms ? r : w.range_ms;
+    }
+    return r;
+  }
+};
+
+}  // namespace wukongs
+
+#endif  // SRC_SPARQL_AST_H_

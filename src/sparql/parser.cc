@@ -1,0 +1,762 @@
+#include "src/sparql/parser.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+#include <unordered_map>
+
+namespace wukongs {
+namespace {
+
+enum class TokKind {
+  kEnd,
+  kWord,      // Bare identifier / keyword / IRI content.
+  kVariable,  // ?name
+  kNumber,
+  kLBrace,
+  kRBrace,
+  kLParen,
+  kRParen,
+  kLBracket,
+  kRBracket,
+  kDot,
+  kOp,  // < <= > >= = !=
+};
+
+struct Token {
+  TokKind kind = TokKind::kEnd;
+  std::string text;
+  double number = 0.0;
+  size_t offset = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  StatusOr<std::vector<Token>> Tokenize() {
+    std::vector<Token> out;
+    while (true) {
+      SkipSpace();
+      if (pos_ >= text_.size()) {
+        out.push_back(Token{TokKind::kEnd, "", 0.0, pos_});
+        return out;
+      }
+      char c = text_[pos_];
+      size_t start = pos_;
+      if (c == '{') {
+        out.push_back({TokKind::kLBrace, "{", 0.0, start});
+        ++pos_;
+      } else if (c == '}') {
+        out.push_back({TokKind::kRBrace, "}", 0.0, start});
+        ++pos_;
+      } else if (c == '(') {
+        out.push_back({TokKind::kLParen, "(", 0.0, start});
+        ++pos_;
+      } else if (c == ')') {
+        out.push_back({TokKind::kRParen, ")", 0.0, start});
+        ++pos_;
+      } else if (c == '[') {
+        out.push_back({TokKind::kLBracket, "[", 0.0, start});
+        ++pos_;
+      } else if (c == ']') {
+        out.push_back({TokKind::kRBracket, "]", 0.0, start});
+        ++pos_;
+      } else if (c == '.' && !(pos_ + 1 < text_.size() && IsWordChar(text_[pos_ + 1]) &&
+                               pos_ > 0 && std::isdigit(text_[pos_ - 1]))) {
+        out.push_back({TokKind::kDot, ".", 0.0, start});
+        ++pos_;
+      } else if (c == '?') {
+        ++pos_;
+        std::string name = ReadWord();
+        if (name.empty()) {
+          return Status::InvalidArgument("bare '?' in query");
+        }
+        out.push_back({TokKind::kVariable, name, 0.0, start});
+      } else if (c == '<' || c == '>' || c == '=' || c == '!') {
+        // Either a comparison operator or a bracketed IRI.
+        if (c == '<' && pos_ + 1 < text_.size() && IsIriChar(text_[pos_ + 1])) {
+          // Bracketed IRI: <...>
+          ++pos_;
+          size_t end = text_.find('>', pos_);
+          if (end == std::string_view::npos) {
+            return Status::InvalidArgument("unterminated '<' IRI");
+          }
+          out.push_back(
+              {TokKind::kWord, std::string(text_.substr(pos_, end - pos_)), 0.0, start});
+          pos_ = end + 1;
+        } else {
+          std::string op(1, c);
+          ++pos_;
+          if (pos_ < text_.size() && text_[pos_] == '=') {
+            op += '=';
+            ++pos_;
+          }
+          out.push_back({TokKind::kOp, op, 0.0, start});
+        }
+      } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+                 (c == '-' && pos_ + 1 < text_.size() &&
+                  std::isdigit(static_cast<unsigned char>(text_[pos_ + 1])))) {
+        size_t consumed = 0;
+        std::string word = ReadWord();
+        double value = std::stod(word, &consumed);
+        if (consumed == word.size()) {
+          out.push_back({TokKind::kNumber, word, value, start});
+        } else {
+          // Number-led word such as a duration `10s`; tokenize as word.
+          out.push_back({TokKind::kWord, word, 0.0, start});
+        }
+      } else if (IsWordChar(c)) {
+        out.push_back({TokKind::kWord, ReadWord(), 0.0, start});
+      } else {
+        std::ostringstream os;
+        os << "unexpected character '" << c << "' at offset " << pos_;
+        return Status::InvalidArgument(os.str());
+      }
+    }
+  }
+
+ private:
+  static bool IsWordChar(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '-' ||
+           c == '#' || c == ':' || c == '/' || c == '.' || c == '+' || c == ',' ||
+           c == '@';
+  }
+  static bool IsIriChar(char c) {
+    return IsWordChar(c) && c != '=';
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  std::string ReadWord() {
+    size_t start = pos_;
+    while (pos_ < text_.size() && IsWordChar(text_[pos_])) {
+      ++pos_;
+    }
+    std::string w(text_.substr(start, pos_ - start));
+    // A trailing '.' is the triple terminator, not part of the word. Keep at
+    // least one character so the lexer always makes progress (an all-dots
+    // span would otherwise strip to nothing and loop forever).
+    while (w.size() > 1 && w.back() == '.') {
+      w.pop_back();
+      --pos_;
+    }
+    return w;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::toupper(static_cast<unsigned char>(a[i])) !=
+        std::toupper(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, StringServer* strings)
+      : tokens_(std::move(tokens)), strings_(strings) {}
+
+  StatusOr<Query> Parse() {
+    Query q;
+    if (PeekKeyword("REGISTER")) {
+      Advance();
+      if (!ConsumeKeyword("QUERY")) {
+        return Err("expected QUERY after REGISTER");
+      }
+      if (Peek().kind != TokKind::kWord) {
+        return Err("expected query name");
+      }
+      q.name = Advance().text;
+      q.continuous = true;
+      if (PeekKeyword("AS")) {
+        Advance();
+      }
+    }
+    if (!ConsumeKeyword("SELECT")) {
+      return Err("expected SELECT");
+    }
+    if (PeekKeyword("DISTINCT")) {
+      Advance();
+      q.distinct = true;
+    }
+    Status s = ParseSelect(&q);
+    if (!s.ok()) {
+      return s;
+    }
+    while (PeekKeyword("FROM")) {
+      Advance();
+      s = ParseFrom(&q);
+      if (!s.ok()) {
+        return s;
+      }
+    }
+    if (!ConsumeKeyword("WHERE")) {
+      return Err("expected WHERE");
+    }
+    if (Peek().kind != TokKind::kLBrace) {
+      return Err("expected '{' after WHERE");
+    }
+    Advance();
+    if (Peek().kind == TokKind::kLBrace) {
+      // Alternation: WHERE { { branch } UNION { branch } ... }.
+      while (true) {
+        if (Peek().kind != TokKind::kLBrace) {
+          return Err("expected '{' opening a UNION branch");
+        }
+        Advance();
+        std::vector<TriplePattern> branch;
+        s = ParseBody(&q, &branch, kGraphStored, /*in_graph=*/false,
+                      /*allow_optional=*/false);
+        if (!s.ok()) {
+          return s;
+        }
+        q.unions.push_back(std::move(branch));
+        if (!ConsumeKeyword("UNION")) {
+          break;
+        }
+      }
+      if (q.unions.size() < 2) {
+        return Err("braced group at WHERE top level requires UNION branches");
+      }
+      // FILTERs after the alternation apply to every branch's solutions.
+      while (PeekKeyword("FILTER")) {
+        Advance();
+        s = ParseFilter(&q);
+        if (!s.ok()) {
+          return s;
+        }
+      }
+      if (Peek().kind != TokKind::kRBrace) {
+        return Err("expected '}' closing WHERE after UNION branches");
+      }
+      Advance();
+    } else {
+      s = ParseBody(&q, &q.patterns, kGraphStored, /*in_graph=*/false,
+                    /*allow_optional=*/true);
+      if (!s.ok()) {
+        return s;
+      }
+    }
+    if (PeekKeyword("GROUP")) {
+      Advance();
+      if (!ConsumeKeyword("BY")) {
+        return Err("expected BY after GROUP");
+      }
+      while (Peek().kind == TokKind::kVariable) {
+        auto var = VarSlot(&q, Advance().text);
+        q.group_by.push_back(var);
+      }
+      if (q.group_by.empty()) {
+        return Err("GROUP BY with no variables");
+      }
+    }
+    if (PeekKeyword("ORDER")) {
+      Advance();
+      if (!ConsumeKeyword("BY")) {
+        return Err("expected BY after ORDER");
+      }
+      while (true) {
+        bool descending = false;
+        if (PeekKeyword("DESC")) {
+          Advance();
+          descending = true;
+        } else if (PeekKeyword("ASC")) {
+          Advance();
+        }
+        bool wrapped = Peek().kind == TokKind::kLParen;
+        if (wrapped) {
+          Advance();
+        }
+        if (Peek().kind != TokKind::kVariable) {
+          if (q.order_by.empty()) {
+            return Err("ORDER BY with no variables");
+          }
+          break;
+        }
+        OrderKey key;
+        key.var = VarSlot(&q, Advance().text);
+        key.descending = descending;
+        q.order_by.push_back(key);
+        if (wrapped) {
+          if (Peek().kind != TokKind::kRParen) {
+            return Err("expected ')' in ORDER BY");
+          }
+          Advance();
+        }
+        if (Peek().kind != TokKind::kVariable && !PeekKeyword("DESC") &&
+            !PeekKeyword("ASC") && Peek().kind != TokKind::kLParen) {
+          break;
+        }
+      }
+    }
+    if (PeekKeyword("LIMIT")) {
+      Advance();
+      if (Peek().kind != TokKind::kNumber) {
+        return Err("expected number after LIMIT");
+      }
+      q.limit = static_cast<size_t>(Advance().number);
+      if (q.limit == 0) {
+        return Err("LIMIT must be positive");
+      }
+    }
+    if (Peek().kind != TokKind::kEnd) {
+      return Err("trailing tokens after query body");
+    }
+    // Window kinds must be homogeneous with the query kind: continuous
+    // queries slide; one-shot queries may only use absolute [FROM..TO]
+    // scopes (the Time-ontology form).
+    for (const WindowSpec& w : q.windows) {
+      if (q.continuous && w.absolute) {
+        return Err("continuous query cannot use absolute [FROM..TO] windows");
+      }
+      if (!q.continuous && !w.absolute) {
+        return Err("one-shot query over a stream needs [FROM .. TO ..] scope");
+      }
+    }
+    // Resolve '*'-free sanity: every select var must appear in a pattern.
+    for (const SelectItem& item : q.select) {
+      if (!VarUsed(q, item.var)) {
+        return Err("selected variable ?" + q.var_names[item.var] +
+                   " not used in any pattern");
+      }
+    }
+    if (q.continuous && q.windows.empty()) {
+      return Err("continuous query declares no stream windows");
+    }
+    if (!q.unions.empty()) {
+      if (q.has_aggregates() || !q.group_by.empty()) {
+        return Err("aggregates over UNION branches are not supported");
+      }
+      if (!q.optionals.empty()) {
+        return Err("OPTIONAL cannot be combined with UNION");
+      }
+    }
+    return q;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = std::min(pos_ + ahead, tokens_.size() - 1);
+    return tokens_[i];
+  }
+  Token Advance() { return tokens_[std::min(pos_++, tokens_.size() - 1)]; }
+  bool PeekKeyword(std::string_view kw) const {
+    return Peek().kind == TokKind::kWord && EqualsIgnoreCase(Peek().text, kw);
+  }
+  bool ConsumeKeyword(std::string_view kw) {
+    if (PeekKeyword(kw)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  Status Err(std::string msg) const {
+    std::ostringstream os;
+    os << msg << " (near token " << pos_ << " '" << Peek().text << "')";
+    return Status::InvalidArgument(os.str());
+  }
+
+  static bool VarUsed(const Query& q, int var) {
+    auto in_list = [var](const std::vector<TriplePattern>& patterns) {
+      for (const TriplePattern& p : patterns) {
+        if ((p.subject.is_var() && p.subject.var == var) ||
+            (p.object.is_var() && p.object.var == var)) {
+          return true;
+        }
+      }
+      return false;
+    };
+    if (in_list(q.patterns)) {
+      return true;
+    }
+    for (const auto& group : q.optionals) {
+      if (in_list(group)) {
+        return true;
+      }
+    }
+    for (const auto& branch : q.unions) {
+      if (in_list(branch)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  int VarSlot(Query* q, const std::string& name) {
+    for (size_t i = 0; i < q->var_names.size(); ++i) {
+      if (q->var_names[i] == name) {
+        return static_cast<int>(i);
+      }
+    }
+    q->var_names.push_back(name);
+    return static_cast<int>(q->var_names.size() - 1);
+  }
+
+  Status ParseSelect(Query* q) {
+    while (true) {
+      if (Peek().kind == TokKind::kVariable) {
+        SelectItem item;
+        item.var = VarSlot(q, Advance().text);
+        q->select.push_back(item);
+      } else if (Peek().kind == TokKind::kWord && IsAggName(Peek().text)) {
+        AggKind agg = AggFromName(Advance().text);
+        if (Peek().kind != TokKind::kLParen) {
+          return Err("expected '(' after aggregate");
+        }
+        Advance();
+        if (Peek().kind != TokKind::kVariable) {
+          return Err("expected variable inside aggregate");
+        }
+        SelectItem item;
+        item.var = VarSlot(q, Advance().text);
+        item.agg = agg;
+        if (Peek().kind != TokKind::kRParen) {
+          return Err("expected ')' after aggregate variable");
+        }
+        Advance();
+        if (PeekKeyword("AS")) {
+          Advance();
+          if (Peek().kind != TokKind::kVariable) {
+            return Err("expected alias variable after AS");
+          }
+          Advance();  // Alias is cosmetic; results are positional.
+        }
+        q->select.push_back(item);
+      } else if (Peek().kind == TokKind::kLParen) {
+        Advance();  // Allow (COUNT(?x) AS ?c) wrapping.
+        Status s = ParseSelect(q);
+        if (!s.ok()) {
+          return s;
+        }
+        if (Peek().kind != TokKind::kRParen) {
+          return Err("expected ')' in select list");
+        }
+        Advance();
+      } else {
+        break;
+      }
+    }
+    if (q->select.empty()) {
+      return Err("empty SELECT list");
+    }
+    return Status::Ok();
+  }
+
+  static bool IsAggName(const std::string& w) {
+    return EqualsIgnoreCase(w, "COUNT") || EqualsIgnoreCase(w, "SUM") ||
+           EqualsIgnoreCase(w, "AVG") || EqualsIgnoreCase(w, "MIN") ||
+           EqualsIgnoreCase(w, "MAX");
+  }
+  static AggKind AggFromName(const std::string& w) {
+    if (EqualsIgnoreCase(w, "COUNT")) {
+      return AggKind::kCount;
+    }
+    if (EqualsIgnoreCase(w, "SUM")) {
+      return AggKind::kSum;
+    }
+    if (EqualsIgnoreCase(w, "AVG")) {
+      return AggKind::kAvg;
+    }
+    if (EqualsIgnoreCase(w, "MIN")) {
+      return AggKind::kMin;
+    }
+    return AggKind::kMax;
+  }
+
+  Status ParseFrom(Query* q) {
+    if (ConsumeKeyword("STREAM")) {
+      if (Peek().kind != TokKind::kWord) {
+        return Err("expected stream name after FROM STREAM");
+      }
+      WindowSpec w;
+      w.stream_name = Advance().text;
+      if (Peek().kind != TokKind::kLBracket) {
+        return Err("expected '[RANGE ... STEP ...]' or '[FROM ... TO ...]' window");
+      }
+      Advance();
+      if (ConsumeKeyword("RANGE")) {
+        auto range = ParseDuration();
+        if (!range.ok()) {
+          return range.status();
+        }
+        w.range_ms = *range;
+        if (!ConsumeKeyword("STEP")) {
+          return Err("expected STEP");
+        }
+        auto step = ParseDuration();
+        if (!step.ok()) {
+          return step.status();
+        }
+        w.step_ms = *step;
+        if (w.step_ms == 0 || w.range_ms == 0) {
+          return Err("window RANGE/STEP must be positive");
+        }
+      } else if (ConsumeKeyword("FROM")) {
+        // Absolute historical scope for time-based one-shot queries.
+        auto from = ParseDuration();
+        if (!from.ok()) {
+          return from.status();
+        }
+        if (!ConsumeKeyword("TO")) {
+          return Err("expected TO in absolute window");
+        }
+        auto to = ParseDuration();
+        if (!to.ok()) {
+          return to.status();
+        }
+        w.absolute = true;
+        w.from_ms = *from;
+        w.to_ms = *to;
+        if (w.to_ms <= w.from_ms) {
+          return Err("absolute window must have FROM < TO");
+        }
+      } else {
+        return Err("expected RANGE or FROM in window");
+      }
+      if (Peek().kind != TokKind::kRBracket) {
+        return Err("expected ']' closing window");
+      }
+      Advance();
+      q->windows.push_back(std::move(w));
+      return Status::Ok();
+    }
+    if (Peek().kind != TokKind::kWord) {
+      return Err("expected graph name after FROM");
+    }
+    Advance();  // Stored graph name is cosmetic: there is one stored graph.
+    return Status::Ok();
+  }
+
+  StatusOr<uint64_t> ParseDuration() {
+    // Accept `10s`, `100ms`, `1m`, or `10 s`.
+    std::string text;
+    if (Peek().kind == TokKind::kNumber) {
+      Token num = Advance();
+      if (Peek().kind == TokKind::kWord &&
+          (EqualsIgnoreCase(Peek().text, "ms") || EqualsIgnoreCase(Peek().text, "s") ||
+           EqualsIgnoreCase(Peek().text, "m"))) {
+        text = num.text + Advance().text;
+      } else {
+        text = num.text + "s";  // Default unit: seconds.
+      }
+    } else if (Peek().kind == TokKind::kWord) {
+      text = Advance().text;
+    } else {
+      return Err("expected duration");
+    }
+    size_t i = 0;
+    while (i < text.size() && (std::isdigit(static_cast<unsigned char>(text[i])) ||
+                               text[i] == '.')) {
+      ++i;
+    }
+    if (i == 0) {
+      return Status::InvalidArgument("bad duration: " + text);
+    }
+    double value = std::stod(text.substr(0, i));
+    std::string unit = text.substr(i);
+    double ms = 0.0;
+    if (EqualsIgnoreCase(unit, "ms")) {
+      ms = value;
+    } else if (EqualsIgnoreCase(unit, "s") || unit.empty()) {
+      ms = value * 1000.0;
+    } else if (EqualsIgnoreCase(unit, "m")) {
+      ms = value * 60000.0;
+    } else {
+      return Status::InvalidArgument("bad duration unit: " + unit);
+    }
+    return static_cast<uint64_t>(ms);
+  }
+
+  int WindowIndex(const Query& q, const std::string& name) const {
+    for (size_t i = 0; i < q.windows.size(); ++i) {
+      if (q.windows[i].stream_name == name) {
+        return static_cast<int>(i);
+      }
+    }
+    return kGraphStored;
+  }
+
+  Status ParseBody(Query* q, std::vector<TriplePattern>* sink, int graph,
+                   bool in_graph, bool allow_optional) {
+    while (true) {
+      if (Peek().kind == TokKind::kRBrace) {
+        Advance();
+        return Status::Ok();
+      }
+      if (Peek().kind == TokKind::kEnd) {
+        return Err("unterminated '{'");
+      }
+      if (Peek().kind == TokKind::kDot) {
+        Advance();
+        continue;
+      }
+      if (!in_graph && PeekKeyword("GRAPH")) {
+        Advance();
+        if (Peek().kind != TokKind::kWord) {
+          return Err("expected graph name after GRAPH");
+        }
+        std::string name = Advance().text;
+        int g = WindowIndex(*q, name);
+        // Unknown name = the stored graph (e.g. GRAPH <X-Lab> { ... }).
+        if (Peek().kind != TokKind::kLBrace) {
+          return Err("expected '{' after GRAPH name");
+        }
+        Advance();
+        Status s = ParseBody(q, sink, g, /*in_graph=*/true, /*allow_optional=*/false);
+        if (!s.ok()) {
+          return s;
+        }
+        continue;
+      }
+      if (!in_graph && PeekKeyword("OPTIONAL")) {
+        if (!allow_optional) {
+          return Err("OPTIONAL is not allowed here (no nesting, no UNION mix)");
+        }
+        Advance();
+        if (Peek().kind != TokKind::kLBrace) {
+          return Err("expected '{' after OPTIONAL");
+        }
+        Advance();
+        std::vector<TriplePattern> group;
+        Status s = ParseBody(q, &group, kGraphStored, /*in_graph=*/false,
+                             /*allow_optional=*/false);
+        if (!s.ok()) {
+          return s;
+        }
+        if (group.empty()) {
+          return Err("empty OPTIONAL group");
+        }
+        q->optionals.push_back(std::move(group));
+        continue;
+      }
+      if (PeekKeyword("FILTER")) {
+        Advance();
+        Status s = ParseFilter(q);
+        if (!s.ok()) {
+          return s;
+        }
+        continue;
+      }
+      Status s = ParseTriple(q, sink, graph);
+      if (!s.ok()) {
+        return s;
+      }
+    }
+  }
+
+  StatusOr<Term> ParseTerm(Query* q) {
+    if (Peek().kind == TokKind::kVariable) {
+      return Term::Variable(VarSlot(q, Advance().text));
+    }
+    if (Peek().kind == TokKind::kWord || Peek().kind == TokKind::kNumber) {
+      return Term::Constant(strings_->InternVertex(Advance().text));
+    }
+    return Err("expected term");
+  }
+
+  Status ParseTriple(Query* q, std::vector<TriplePattern>* sink, int graph) {
+    auto subject = ParseTerm(q);
+    if (!subject.ok()) {
+      return subject.status();
+    }
+    if (Peek().kind != TokKind::kWord) {
+      return Err("expected predicate");
+    }
+    PredicateId pred = strings_->InternPredicate(Advance().text);
+    auto object = ParseTerm(q);
+    if (!object.ok()) {
+      return object.status();
+    }
+    TriplePattern p;
+    p.subject = *subject;
+    p.predicate = pred;
+    p.object = *object;
+    p.graph = graph;
+    sink->push_back(p);
+    return Status::Ok();
+  }
+
+  Status ParseFilter(Query* q) {
+    if (Peek().kind != TokKind::kLParen) {
+      return Err("expected '(' after FILTER");
+    }
+    Advance();
+    if (Peek().kind != TokKind::kVariable) {
+      return Err("FILTER expects a variable on the left");
+    }
+    FilterExpr f;
+    f.var = VarSlot(q, Advance().text);
+    if (Peek().kind != TokKind::kOp) {
+      return Err("expected comparison operator in FILTER");
+    }
+    std::string op = Advance().text;
+    if (op == "<") {
+      f.op = FilterExpr::Op::kLt;
+    } else if (op == "<=") {
+      f.op = FilterExpr::Op::kLe;
+    } else if (op == ">") {
+      f.op = FilterExpr::Op::kGt;
+    } else if (op == ">=") {
+      f.op = FilterExpr::Op::kGe;
+    } else if (op == "=" || op == "==") {
+      f.op = FilterExpr::Op::kEq;
+    } else if (op == "!=") {
+      f.op = FilterExpr::Op::kNe;
+    } else {
+      return Err("unknown operator " + op);
+    }
+    if (Peek().kind == TokKind::kNumber) {
+      f.numeric = true;
+      f.number = Advance().number;
+    } else if (Peek().kind == TokKind::kWord) {
+      f.numeric = false;
+      f.constant = strings_->InternVertex(Advance().text);
+    } else {
+      return Err("expected literal on the right of FILTER");
+    }
+    if (Peek().kind != TokKind::kRParen) {
+      return Err("expected ')' closing FILTER");
+    }
+    Advance();
+    q->filters.push_back(f);
+    return Status::Ok();
+  }
+
+  std::vector<Token> tokens_;
+  StringServer* strings_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<Query> ParseQuery(std::string_view text, StringServer* strings) {
+  Lexer lexer(text);
+  auto tokens = lexer.Tokenize();
+  if (!tokens.ok()) {
+    return tokens.status();
+  }
+  Parser parser(std::move(*tokens), strings);
+  return parser.Parse();
+}
+
+}  // namespace wukongs

@@ -1,0 +1,34 @@
+// Recursive-descent parser for the SPARQL / C-SPARQL subset.
+//
+// Grammar (informal):
+//   query       := [register] select from* WHERE '{' body '}'
+//   register    := REGISTER QUERY name AS
+//   select      := SELECT selitem+
+//   selitem     := var | agg '(' var ')' [AS var]
+//   from        := FROM STREAM iri '[' RANGE dur STEP dur ']' | FROM iri
+//   body        := (graph | triple '.'? | filter)*
+//   graph       := GRAPH iri '{' (triple '.'?)* '}'
+//   triple      := term iri term
+//   filter      := FILTER '(' var cmp literal ')'
+//   dur         := number ('ms' | 's' | 'm')
+//
+// IRIs may be written bare (`po`, `X-Lab`) or bracketed (`<X-Lab>`).
+// Constants are interned through the StringServer at parse time, exactly as
+// the paper's client library converts strings to IDs before hitting servers.
+
+#ifndef SRC_SPARQL_PARSER_H_
+#define SRC_SPARQL_PARSER_H_
+
+#include <string_view>
+
+#include "src/common/status.h"
+#include "src/rdf/string_server.h"
+#include "src/sparql/ast.h"
+
+namespace wukongs {
+
+StatusOr<Query> ParseQuery(std::string_view text, StringServer* strings);
+
+}  // namespace wukongs
+
+#endif  // SRC_SPARQL_PARSER_H_

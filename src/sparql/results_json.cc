@@ -1,0 +1,108 @@
+#include "src/sparql/results_json.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace wukongs {
+namespace {
+
+void AppendEscaped(const std::string& s, std::ostringstream* os) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        *os << "\\\"";
+        break;
+      case '\\':
+        *os << "\\\\";
+        break;
+      case '\n':
+        *os << "\\n";
+        break;
+      case '\r':
+        *os << "\\r";
+        break;
+      case '\t':
+        *os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *os << buf;
+        } else {
+          *os << c;
+        }
+    }
+  }
+}
+
+// Column headers like "COUNT(n)" are not valid variable names; strip to a
+// JSON-friendly token.
+std::string VarName(const std::string& column) {
+  std::string out;
+  for (char c : column) {
+    if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
+      out.push_back(c);
+    }
+  }
+  return out.empty() ? "col" : out;
+}
+
+}  // namespace
+
+StatusOr<std::string> ResultsToJson(const QueryResult& result,
+                                    const StringServer& strings) {
+  std::vector<std::string> vars;
+  vars.reserve(result.columns.size());
+  for (const std::string& col : result.columns) {
+    vars.push_back(VarName(col));
+  }
+
+  std::ostringstream os;
+  os << "{\"head\":{\"vars\":[";
+  for (size_t i = 0; i < vars.size(); ++i) {
+    os << (i > 0 ? "," : "") << "\"";
+    AppendEscaped(vars[i], &os);
+    os << "\"";
+  }
+  os << "]},\"results\":{\"bindings\":[";
+  for (size_t r = 0; r < result.rows.size(); ++r) {
+    os << (r > 0 ? "," : "") << "{";
+    bool first = true;
+    for (size_t c = 0; c < result.rows[r].size() && c < vars.size(); ++c) {
+      const ResultValue& v = result.rows[r][c];
+      if (!v.is_number && v.vid == kUnboundBinding) {
+        continue;  // Unbound OPTIONAL variable: omitted per the spec.
+      }
+      os << (first ? "" : ",") << "\"";
+      AppendEscaped(vars[c], &os);
+      os << "\":";
+      if (v.is_number) {
+        bool integral = std::floor(v.number) == v.number;
+        os << "{\"type\":\"literal\",\"datatype\":\"http://www.w3.org/2001/"
+              "XMLSchema#"
+           << (integral ? "integer" : "decimal") << "\",\"value\":\"";
+        if (integral) {
+          os << static_cast<long long>(v.number);
+        } else {
+          os << v.number;
+        }
+        os << "\"}";
+      } else {
+        auto str = strings.VertexString(v.vid);
+        if (!str.ok()) {
+          return Status::NotFound("result references unknown vertex id");
+        }
+        os << "{\"type\":\"uri\",\"value\":\"";
+        AppendEscaped(*str, &os);
+        os << "\"}";
+      }
+      first = false;
+    }
+    os << "}";
+  }
+  os << "]}}";
+  return os.str();
+}
+
+}  // namespace wukongs

@@ -1,0 +1,160 @@
+// Continuous persistent store (paper §4.1, Fig. 6).
+//
+// One GStore instance is one node's shard of the distributed RDF graph:
+// a key/value map from packed [vid|pid|dir] keys to append-only neighbor
+// lists. Two kinds of keys exist:
+//   * normal keys  [v|p|d]  — neighbors of vertex v over predicate p;
+//   * index keys   [0|p|d]  — every vertex that has a p-edge in direction d
+//     (the "index vertex" that seeds queries with no constant start point).
+//
+// Values are append-only and carry *bounded snapshot markers* (§4.3): each
+// key keeps a short deque of (SN, end-offset) pairs recording where the data
+// of each scalar snapshot ends. A reader at Stable_SN = s sees the prefix up
+// to the last marker with sn <= s; the initial bulk load is the base prefix
+// visible at every SN. Markers below the published collapse floor fold into
+// the base lazily on next touch, so per-key snapshot metadata stays bounded
+// (the "one for using, one for inserting" property from the paper).
+//
+// Concurrency: the map is striped into fixed partitions. The paper's Injector
+// threads statically partition the key space to avoid locks; readers (queries)
+// run concurrently with injection, so each stripe uses a shared_mutex and
+// readers copy spans out. Stripes also give the static injector partitioning.
+
+#ifndef SRC_STORE_GSTORE_H_
+#define SRC_STORE_GSTORE_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <shared_mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/rdf/triple.h"
+
+namespace wukongs {
+
+// Where a streaming append landed inside a persistent value; consumed by the
+// stream index so windows can address exactly the data of one batch (§4.2).
+struct AppendSpan {
+  Key key;
+  uint32_t start = 0;
+  uint32_t count = 0;
+};
+
+class GStore {
+ public:
+  // Data appended at SN <= kBaseSnapshot belongs to the base prefix.
+  static constexpr SnapshotNum kBaseSnapshot = 0;
+
+  explicit GStore(NodeId node);
+
+  NodeId node() const { return node_; }
+
+  // --- Bulk load (initial stored data; becomes the base prefix). ---
+  // Inserts the out-direction key for the subject, the in-direction key for
+  // the object, and index entries for newly created keys.
+  void LoadTriple(const Triple& t);
+  void LoadTriples(std::span<const Triple> triples);
+  // Distributed bulk load: write one direction into this shard only.
+  void LoadEdge(Key key, VertexId value) { AppendEdge(key, value, kBaseSnapshot); }
+
+  // --- Streaming injection (timeless data; paper Fig. 6 walk-through). ---
+  // Appends under snapshot `sn` and reports the spans it created so the
+  // caller can build stream-index entries. Appends for a given key must be
+  // issued with non-decreasing sn (streams are in-order, §4.3).
+  // InjectTriple writes both directions into this shard (single-node use);
+  // the distributed dispatcher instead routes each direction to its owner
+  // shard via InjectEdge. Spans include index-vertex appends so stream
+  // windows can also seed from index keys.
+  void InjectTriple(const Triple& t, SnapshotNum sn, std::vector<AppendSpan>* spans);
+  void InjectEdge(Key key, VertexId value, SnapshotNum sn,
+                  std::vector<AppendSpan>* spans);
+
+  // --- Reads. ---
+  // Neighbors of `key` visible at snapshot `sn` (>= everything at sn
+  // kSnapshotInfinity). Returns a copy; safe against concurrent injection.
+  static constexpr SnapshotNum kSnapshotInfinity = ~SnapshotNum{0};
+  std::vector<VertexId> GetEdges(Key key, SnapshotNum sn) const;
+  void GetEdgesInto(Key key, SnapshotNum sn, std::vector<VertexId>* out) const;
+
+  // Reads `count` neighbors starting at `start` (a stream-index span). The
+  // span may exceed the visible prefix only if the caller's SN is behind the
+  // injector; reads clamp to the stored size.
+  void GetSpanInto(Key key, uint32_t start, uint32_t count,
+                   std::vector<VertexId>* out) const;
+
+  // True if edge (key -> value) exists at snapshot sn.
+  bool HasEdge(Key key, VertexId value, SnapshotNum sn) const;
+
+  // Number of neighbors visible at sn (0 if key absent). Used by the planner
+  // for selectivity estimates and by in-place execution to size RDMA reads.
+  size_t EdgeCount(Key key, SnapshotNum sn) const;
+
+  // --- Snapshot maintenance (§4.3). ---
+  // Publishes a collapse floor: markers with sn <= floor fold into the base
+  // prefix lazily on next access. Called by the Coordinator once a snapshot
+  // can no longer be named by any query.
+  void CollapseBelow(SnapshotNum floor);
+
+  // --- Accounting. ---
+  size_t KeyCount() const;
+  size_t EdgeCountTotal() const;
+  size_t StreamAppendedEdges() const {
+    return stream_appended_edges_.load(std::memory_order_relaxed);
+  }
+  // Approximate resident bytes of the shard (values + marker metadata).
+  size_t MemoryBytes() const;
+  // Bytes of snapshot-marker metadata alone; Table 7 compares this against
+  // the hypothetical per-edge vector-timestamp representation.
+  size_t SnapshotMetadataBytes() const;
+
+ private:
+  struct SnapMarker {
+    SnapshotNum sn;
+    uint32_t end;  // Edges [0, end) are visible at snapshots >= sn.
+  };
+
+  struct EdgeValue {
+    std::vector<VertexId> edges;
+    uint32_t base_end = 0;            // Visible at every snapshot.
+    std::vector<SnapMarker> markers;  // Ascending sn; small and bounded.
+
+    uint32_t VisibleEnd(SnapshotNum sn) const;
+    void Collapse(SnapshotNum floor);
+  };
+
+  static constexpr size_t kStripeCount = 64;
+
+  struct Stripe {
+    mutable std::shared_mutex mu;
+    std::unordered_map<Key, EdgeValue, KeyHash> map;
+  };
+
+  Stripe& StripeFor(Key key) {
+    return stripes_[KeyHash{}(key) % kStripeCount];
+  }
+  const Stripe& StripeFor(Key key) const {
+    return stripes_[KeyHash{}(key) % kStripeCount];
+  }
+
+  // Appends `value` to `key` under `sn`; returns the span written. When the
+  // key is newly created and is a normal key, also appends the vertex to the
+  // matching index key (paper Fig. 6 step 4), reporting that span via
+  // `extra_spans` when non-null.
+  AppendSpan AppendEdge(Key key, VertexId value, SnapshotNum sn,
+                        std::vector<AppendSpan>* extra_spans = nullptr);
+
+  const NodeId node_;
+  std::array<Stripe, kStripeCount> stripes_;
+  std::atomic<SnapshotNum> collapse_floor_{0};
+  std::atomic<uint64_t> edge_total_{0};
+  std::atomic<uint64_t> stream_appended_edges_{0};
+};
+
+}  // namespace wukongs
+
+#endif  // SRC_STORE_GSTORE_H_

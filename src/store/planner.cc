@@ -1,0 +1,89 @@
+#include "src/store/planner.h"
+
+#include <cassert>
+#include <limits>
+
+namespace wukongs {
+namespace {
+
+const NeighborSource* SourceFor(const ExecContext& ctx, int graph) {
+  size_t idx = graph == kGraphStored ? 0 : static_cast<size_t>(graph) + 1;
+  assert(idx < ctx.sources.size());
+  return ctx.sources[idx];
+}
+
+bool TermBound(const Term& t, const std::vector<bool>& bound) {
+  return !t.is_var() || bound[static_cast<size_t>(t.var)];
+}
+
+}  // namespace
+
+double EstimatePatternCost(const TriplePattern& p, const std::vector<bool>& bound,
+                           const ExecContext& ctx) {
+  const NeighborSource* src = SourceFor(ctx, p.graph);
+  const bool s_known = TermBound(p.subject, bound);
+  const bool o_known = TermBound(p.object, bound);
+
+  if (s_known && o_known) {
+    return 1.0;  // Existence check only prunes.
+  }
+  if (!p.subject.is_var()) {
+    return static_cast<double>(
+        src->EstimateCount(Key(p.subject.constant, p.predicate, Dir::kOut)));
+  }
+  if (!p.object.is_var()) {
+    return static_cast<double>(
+        src->EstimateCount(Key(p.object.constant, p.predicate, Dir::kIn)));
+  }
+  // Bound variable endpoint: expansion fans out by the average degree, which
+  // we approximate by a small constant — far cheaper than an index scan.
+  if (s_known || o_known) {
+    return 16.0;
+  }
+  // Both endpoints free: index-vertex scan over every pid edge.
+  size_t n = src->EstimateCount(Key(kIndexVertex, p.predicate, Dir::kOut));
+  return 64.0 * static_cast<double>(n == 0 ? 1 : n);
+}
+
+std::vector<int> PlanQuery(const Query& q, const ExecContext& ctx) {
+  const size_t n = q.patterns.size();
+  std::vector<int> plan;
+  plan.reserve(n);
+  std::vector<bool> used(n, false);
+  std::vector<bool> bound(q.var_names.size(), false);
+
+  for (size_t step = 0; step < n; ++step) {
+    int best = -1;
+    double best_cost = std::numeric_limits<double>::infinity();
+    bool best_connected = false;
+    for (size_t i = 0; i < n; ++i) {
+      if (used[i]) {
+        continue;
+      }
+      const TriplePattern& p = q.patterns[i];
+      bool connected = TermBound(p.subject, bound) || TermBound(p.object, bound);
+      double cost = EstimatePatternCost(p, bound, ctx);
+      // Prefer connected patterns; disconnected ones would build a cartesian
+      // product with the current table.
+      if (best < 0 || (connected && !best_connected) ||
+          (connected == best_connected && cost < best_cost)) {
+        best = static_cast<int>(i);
+        best_cost = cost;
+        best_connected = connected;
+      }
+    }
+    assert(best >= 0);
+    used[static_cast<size_t>(best)] = true;
+    plan.push_back(best);
+    const TriplePattern& p = q.patterns[static_cast<size_t>(best)];
+    if (p.subject.is_var()) {
+      bound[static_cast<size_t>(p.subject.var)] = true;
+    }
+    if (p.object.is_var()) {
+      bound[static_cast<size_t>(p.object.var)] = true;
+    }
+  }
+  return plan;
+}
+
+}  // namespace wukongs

@@ -1,0 +1,34 @@
+// Query planner: orders triple patterns for graph exploration.
+//
+// Wukong-style exploration is order-sensitive: starting from a constant
+// vertex or an already-bound variable keeps intermediate tables small, while
+// starting from an index vertex scans every vertex with that predicate. The
+// integrated design can plan across stream and stored patterns *globally* —
+// the paper's Issue#2 shows composite designs lose exactly this ability.
+//
+// The planner is greedy: at each step it picks the cheapest pattern that is
+// connected to the current bindings (or, failing that, the cheapest seed),
+// using NeighborSource cardinality estimates.
+
+#ifndef SRC_STORE_PLANNER_H_
+#define SRC_STORE_PLANNER_H_
+
+#include <vector>
+
+#include "src/engine/executor.h"
+#include "src/sparql/ast.h"
+
+namespace wukongs {
+
+// Returns the execution order (indices into q.patterns).
+std::vector<int> PlanQuery(const Query& q, const ExecContext& ctx);
+
+// Estimated output cardinality of running `p` given `bound` variable slots.
+// Exposed for tests and for the composite baselines (which must plan with
+// *partial* information to reproduce the paper's sub-optimal plans).
+double EstimatePatternCost(const TriplePattern& p, const std::vector<bool>& bound,
+                           const ExecContext& ctx);
+
+}  // namespace wukongs
+
+#endif  // SRC_STORE_PLANNER_H_

@@ -1,0 +1,83 @@
+#include "src/stream/adaptor.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace wukongs {
+
+StreamAdaptor::StreamAdaptor(StreamId stream, uint64_t interval_ms,
+                             std::unordered_set<PredicateId> timing_predicates,
+                             std::unordered_set<PredicateId> relevant_predicates)
+    : stream_(stream),
+      interval_ms_(interval_ms),
+      timing_predicates_(std::move(timing_predicates)),
+      relevant_predicates_(std::move(relevant_predicates)) {
+  assert(interval_ms_ > 0);
+}
+
+Status StreamAdaptor::Ingest(const StreamTupleVec& tuples,
+                             std::vector<StreamBatch>* out) {
+  for (StreamTuple t : tuples) {
+    if (t.timestamp < last_ts_) {
+      return Status::InvalidArgument("stream timestamps must be non-decreasing");
+    }
+    last_ts_ = t.timestamp;
+    BatchSeq seq = BatchOfTime(t.timestamp, interval_ms_);
+    if (seq < next_seq_) {
+      return Status::InvalidArgument("tuple belongs to an already-emitted batch");
+    }
+    if (seq > next_seq_) {
+      EmitThrough(seq - 1, out);
+    }
+    if (!relevant_predicates_.empty() &&
+        relevant_predicates_.count(t.triple.predicate) == 0) {
+      continue;  // Unrelated tuple: discarded during batching (paper §3).
+    }
+    t.kind = timing_predicates_.count(t.triple.predicate) > 0 ? TupleKind::kTiming
+                                                              : TupleKind::kTimeless;
+    pending_.push_back(t);
+  }
+  return Status::Ok();
+}
+
+void StreamAdaptor::AdvanceTo(StreamTime now_ms, std::vector<StreamBatch>* out) {
+  if (now_ms < interval_ms_) {
+    return;
+  }
+  // Every batch whose interval end <= now_ms is complete.
+  BatchSeq last_complete = now_ms / interval_ms_;
+  if (last_complete == 0) {
+    return;
+  }
+  EmitThrough(last_complete - 1, out);
+  last_ts_ = std::max(last_ts_, now_ms);
+}
+
+void StreamAdaptor::FastForward(BatchSeq next_seq) {
+  if (next_seq <= next_seq_) {
+    return;
+  }
+  next_seq_ = next_seq;
+  last_ts_ = std::max(last_ts_, next_seq * interval_ms_);
+  pending_.clear();
+}
+
+void StreamAdaptor::EmitThrough(BatchSeq last_seq, std::vector<StreamBatch>* out) {
+  while (next_seq_ <= last_seq) {
+    StreamBatch batch;
+    batch.stream = stream_;
+    batch.seq = next_seq_;
+    // pending_ holds tuples in timestamp order; peel off this batch's prefix.
+    size_t take = 0;
+    while (take < pending_.size() &&
+           BatchOfTime(pending_[take].timestamp, interval_ms_) == next_seq_) {
+      ++take;
+    }
+    batch.tuples.assign(pending_.begin(), pending_.begin() + static_cast<long>(take));
+    pending_.erase(pending_.begin(), pending_.begin() + static_cast<long>(take));
+    out->push_back(std::move(batch));
+    ++next_seq_;
+  }
+}
+
+}  // namespace wukongs

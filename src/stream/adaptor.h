@@ -1,0 +1,64 @@
+// Stream Adaptor (paper §3, Fig. 5).
+//
+// The Adaptor turns a raw tuple stream into mini-batches grouped by
+// timestamp interval (default 100 ms), discards tuples the deployment does
+// not care about, and classifies each tuple as timing or timeless. Tuples
+// must arrive with non-decreasing timestamps (C-SPARQL's time model); a
+// batch is emitted as soon as a tuple of a later interval arrives, or when
+// the caller flushes logical time forward. Idle intervals emit empty batches
+// so vector timestamps keep advancing on quiet streams.
+
+#ifndef SRC_STREAM_ADAPTOR_H_
+#define SRC_STREAM_ADAPTOR_H_
+
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/rdf/triple.h"
+#include "src/stream/batch.h"
+
+namespace wukongs {
+
+class StreamAdaptor {
+ public:
+  // `timing_predicates`: predicates whose tuples are timing data (transient
+  // store only). `relevant_predicates`: if non-empty, tuples with other
+  // predicates are discarded at the door.
+  StreamAdaptor(StreamId stream, uint64_t interval_ms,
+                std::unordered_set<PredicateId> timing_predicates,
+                std::unordered_set<PredicateId> relevant_predicates = {});
+
+  StreamId stream() const { return stream_; }
+  uint64_t interval_ms() const { return interval_ms_; }
+
+  // Ingests tuples in timestamp order, appending completed batches to `out`.
+  // Returns InvalidArgument on a timestamp regression.
+  Status Ingest(const StreamTupleVec& tuples, std::vector<StreamBatch>* out);
+
+  // Advances logical time to `now_ms`, emitting every batch whose interval
+  // ends at or before `now_ms` (including empty ones).
+  void AdvanceTo(StreamTime now_ms, std::vector<StreamBatch>* out);
+
+  BatchSeq next_seq() const { return next_seq_; }
+
+  // Recovery: skip the adaptor ahead so live feeding resumes after replayed
+  // batches. Pending tuples (none during recovery) are dropped.
+  void FastForward(BatchSeq next_seq);
+
+ private:
+  void EmitThrough(BatchSeq last_seq, std::vector<StreamBatch>* out);
+
+  const StreamId stream_;
+  const uint64_t interval_ms_;
+  const std::unordered_set<PredicateId> timing_predicates_;
+  const std::unordered_set<PredicateId> relevant_predicates_;
+
+  BatchSeq next_seq_ = 0;  // First batch not yet emitted.
+  StreamTime last_ts_ = 0;
+  StreamTupleVec pending_;  // Tuples of batch `next_seq_` onwards.
+};
+
+}  // namespace wukongs
+
+#endif  // SRC_STREAM_ADAPTOR_H_

@@ -1,0 +1,53 @@
+// Stream batches: the unit of injection, visibility and indexing.
+//
+// The Adaptor groups incoming tuples into mini-batches of a fixed interval
+// (the paper uses 100 ms batches, "similar to mini batches ... in Spark
+// Streaming"), identified by a monotone BatchSeq per stream. Batch b covers
+// stream time [b * interval, (b + 1) * interval).
+
+#ifndef SRC_STREAM_BATCH_H_
+#define SRC_STREAM_BATCH_H_
+
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/rdf/triple.h"
+
+namespace wukongs {
+
+inline constexpr uint64_t kDefaultBatchIntervalMs = 100;
+
+struct StreamBatch {
+  StreamId stream = 0;
+  BatchSeq seq = 0;
+  StreamTupleVec tuples;
+};
+
+inline BatchSeq BatchOfTime(StreamTime t, uint64_t interval_ms) {
+  return t / interval_ms;
+}
+
+// Batch range [lo, hi] covered by window (now - range, now]; `now` is the
+// trigger instant, i.e. the window's exclusive upper bound rounded to a step.
+struct BatchRange {
+  BatchSeq lo = 0;
+  BatchSeq hi = 0;
+  bool empty = false;
+};
+
+inline BatchRange WindowBatches(StreamTime now_ms, uint64_t range_ms,
+                                uint64_t interval_ms) {
+  BatchRange r;
+  if (now_ms == 0) {
+    r.empty = true;
+    return r;
+  }
+  StreamTime start = now_ms > range_ms ? now_ms - range_ms : 0;
+  r.lo = start / interval_ms;
+  r.hi = (now_ms - 1) / interval_ms;
+  return r;
+}
+
+}  // namespace wukongs
+
+#endif  // SRC_STREAM_BATCH_H_

@@ -1,0 +1,175 @@
+#include "src/stream/checkpoint.h"
+
+#include <cstring>
+
+namespace wukongs {
+namespace {
+
+constexpr uint32_t kLogMagic = 0x574b4c47;  // "WKLG"
+constexpr uint32_t kRegMagic = 0x574b5247;  // "WKRG"
+
+bool WriteU32(std::FILE* f, uint32_t v) { return std::fwrite(&v, 4, 1, f) == 1; }
+bool WriteU64(std::FILE* f, uint64_t v) { return std::fwrite(&v, 8, 1, f) == 1; }
+bool ReadU32(std::FILE* f, uint32_t* v) { return std::fread(v, 4, 1, f) == 1; }
+bool ReadU64(std::FILE* f, uint64_t* v) { return std::fread(v, 8, 1, f) == 1; }
+
+}  // namespace
+
+CheckpointLog::CheckpointLog(std::FILE* file) : file_(file) {}
+
+CheckpointLog::CheckpointLog(CheckpointLog&& other) noexcept {
+  std::lock_guard lock(other.mu_);
+  file_ = other.file_;
+  appended_ = other.appended_;
+  other.file_ = nullptr;
+}
+
+CheckpointLog::~CheckpointLog() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+  }
+}
+
+StatusOr<CheckpointLog> CheckpointLog::Create(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::Internal("cannot open checkpoint log " + path);
+  }
+  if (!WriteU32(f, kLogMagic)) {
+    std::fclose(f);
+    return Status::Internal("cannot write checkpoint header");
+  }
+  return CheckpointLog(f);
+}
+
+Status CheckpointLog::Append(const StreamBatch& batch) {
+  std::lock_guard lock(mu_);
+  if (file_ == nullptr) {
+    return Status::FailedPrecondition("checkpoint log is closed");
+  }
+  bool ok = WriteU32(file_, batch.stream) && WriteU64(file_, batch.seq) &&
+            WriteU64(file_, batch.tuples.size());
+  for (const StreamTuple& t : batch.tuples) {
+    if (!ok) {
+      break;
+    }
+    ok = WriteU64(file_, t.triple.subject) && WriteU32(file_, t.triple.predicate) &&
+         WriteU64(file_, t.triple.object) && WriteU64(file_, t.timestamp) &&
+         WriteU32(file_, static_cast<uint32_t>(t.kind));
+  }
+  if (!ok) {
+    return Status::Internal("short write to checkpoint log");
+  }
+  if (std::fflush(file_) != 0) {
+    return Status::Internal("cannot flush checkpoint log");
+  }
+  ++appended_;
+  return Status::Ok();
+}
+
+Status CheckpointLog::Sync() {
+  std::lock_guard lock(mu_);
+  if (file_ != nullptr && std::fflush(file_) != 0) {
+    return Status::Internal("cannot flush checkpoint log");
+  }
+  return Status::Ok();
+}
+
+StatusOr<std::vector<StreamBatch>> ReadCheckpointLog(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::NotFound("cannot open checkpoint log " + path);
+  }
+  uint32_t magic = 0;
+  if (!ReadU32(f, &magic) || magic != kLogMagic) {
+    std::fclose(f);
+    return Status::InvalidArgument("bad checkpoint log header");
+  }
+  std::vector<StreamBatch> out;
+  while (true) {
+    StreamBatch batch;
+    uint32_t stream = 0;
+    if (!ReadU32(f, &stream)) {
+      break;  // Clean EOF.
+    }
+    uint64_t seq = 0;
+    uint64_t count = 0;
+    if (!ReadU64(f, &seq) || !ReadU64(f, &count)) {
+      std::fclose(f);
+      return Status::InvalidArgument("truncated checkpoint record header");
+    }
+    batch.stream = stream;
+    batch.seq = seq;
+    batch.tuples.reserve(count);
+    for (uint64_t i = 0; i < count; ++i) {
+      StreamTuple t;
+      uint32_t pred = 0;
+      uint32_t kind = 0;
+      if (!ReadU64(f, &t.triple.subject) || !ReadU32(f, &pred) ||
+          !ReadU64(f, &t.triple.object) || !ReadU64(f, &t.timestamp) ||
+          !ReadU32(f, &kind)) {
+        std::fclose(f);
+        // A torn final record is expected after a crash: drop it.
+        return out;
+      }
+      t.triple.predicate = pred;
+      t.kind = static_cast<TupleKind>(kind);
+      batch.tuples.push_back(t);
+    }
+    out.push_back(std::move(batch));
+  }
+  std::fclose(f);
+  return out;
+}
+
+Status WriteQueryRegistry(const std::string& path,
+                          const std::vector<RegisteredQueryRecord>& queries) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::Internal("cannot open query registry " + path);
+  }
+  bool ok = WriteU32(f, kRegMagic) && WriteU64(f, queries.size());
+  for (const RegisteredQueryRecord& q : queries) {
+    if (!ok) {
+      break;
+    }
+    ok = WriteU32(f, q.home) && WriteU64(f, q.text.size()) &&
+         std::fwrite(q.text.data(), 1, q.text.size(), f) == q.text.size();
+  }
+  std::fclose(f);
+  return ok ? Status::Ok() : Status::Internal("short write to query registry");
+}
+
+StatusOr<std::vector<RegisteredQueryRecord>> ReadQueryRegistry(
+    const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::NotFound("cannot open query registry " + path);
+  }
+  uint32_t magic = 0;
+  uint64_t count = 0;
+  if (!ReadU32(f, &magic) || magic != kRegMagic || !ReadU64(f, &count)) {
+    std::fclose(f);
+    return Status::InvalidArgument("bad query registry header");
+  }
+  std::vector<RegisteredQueryRecord> out;
+  out.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    RegisteredQueryRecord rec;
+    uint64_t len = 0;
+    if (!ReadU32(f, &rec.home) || !ReadU64(f, &len)) {
+      std::fclose(f);
+      return Status::InvalidArgument("truncated query registry");
+    }
+    rec.text.resize(len);
+    if (std::fread(rec.text.data(), 1, len, f) != len) {
+      std::fclose(f);
+      return Status::InvalidArgument("truncated query registry text");
+    }
+    out.push_back(std::move(rec));
+  }
+  std::fclose(f);
+  return out;
+}
+
+}  // namespace wukongs

@@ -1,0 +1,70 @@
+// Incremental checkpointing and recovery (paper §5, "Fault tolerance").
+//
+// The engine assumes upstream backup: sources replay unacknowledged data, so
+// the store only needs to persist (a) registered continuous queries and
+// (b) injected stream batches since the last checkpoint, plus the vector
+// timestamps. CheckpointLog appends batches as they are injected (hook it to
+// Cluster::SetBatchLogger); CheckpointReader replays them into a fresh
+// cluster. Recovery gives at-least-once semantics — re-executed windows are
+// deduplicated client-side by their window end time, as the paper notes.
+
+#ifndef SRC_STREAM_CHECKPOINT_H_
+#define SRC_STREAM_CHECKPOINT_H_
+
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/stream/batch.h"
+
+namespace wukongs {
+
+class CheckpointLog {
+ public:
+  // Opens (truncating) a batch log at `path`.
+  static StatusOr<CheckpointLog> Create(const std::string& path);
+  ~CheckpointLog();
+
+  CheckpointLog(CheckpointLog&& other) noexcept;
+  CheckpointLog& operator=(CheckpointLog&&) = delete;
+  CheckpointLog(const CheckpointLog&) = delete;
+  CheckpointLog& operator=(const CheckpointLog&) = delete;
+
+  // Appends one batch record; thread-safe. Flushes record-atomically so a
+  // crash loses at most the in-flight record.
+  Status Append(const StreamBatch& batch);
+
+  // Durably persists buffered records.
+  Status Sync();
+
+  size_t appended_batches() const { return appended_; }
+
+ private:
+  explicit CheckpointLog(std::FILE* file);
+
+  std::mutex mu_;
+  std::FILE* file_ = nullptr;
+  size_t appended_ = 0;
+};
+
+// Reads a whole checkpoint log back; batches appear in append order, which
+// preserves per-stream batch order (sufficient — the paper notes cross-stream
+// order within a checkpoint "is not important after recovery").
+StatusOr<std::vector<StreamBatch>> ReadCheckpointLog(const std::string& path);
+
+// Persisted continuous-query registrations (query text + home node).
+struct RegisteredQueryRecord {
+  std::string text;
+  uint32_t home = 0;
+};
+
+Status WriteQueryRegistry(const std::string& path,
+                          const std::vector<RegisteredQueryRecord>& queries);
+StatusOr<std::vector<RegisteredQueryRecord>> ReadQueryRegistry(
+    const std::string& path);
+
+}  // namespace wukongs
+
+#endif  // SRC_STREAM_CHECKPOINT_H_

@@ -1,0 +1,147 @@
+#include "src/stream/coordinator.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace wukongs {
+
+Coordinator::Coordinator(uint32_t node_count, size_t reserved_snapshots,
+                         uint64_t batches_per_sn)
+    : node_count_(node_count),
+      reserved_snapshots_(std::max<size_t>(reserved_snapshots, 2)),
+      batches_per_sn_(std::max<uint64_t>(batches_per_sn, 1)),
+      local_vts_(node_count) {}
+
+void Coordinator::RegisterStream(StreamId stream) {
+  std::lock_guard lock(mu_);
+  if (stream >= stream_count_) {
+    stream_count_ = stream + 1;
+  }
+  for (auto& vts : local_vts_) {
+    if (vts.size() < stream_count_) {
+      vts.Resize(stream_count_);
+    }
+  }
+}
+
+size_t Coordinator::stream_count() const {
+  std::lock_guard lock(mu_);
+  return stream_count_;
+}
+
+void Coordinator::ReportInjected(NodeId node, StreamId stream, BatchSeq seq) {
+  std::lock_guard lock(mu_);
+  assert(node < node_count_);
+  BatchSeq prev = local_vts_[node].Get(stream);
+  assert(prev == kNoBatch || seq == prev + 1);
+  (void)prev;
+  local_vts_[node].Set(stream, seq);
+}
+
+VectorTimestamp Coordinator::LocalVts(NodeId node) const {
+  std::lock_guard lock(mu_);
+  return local_vts_[node];
+}
+
+VectorTimestamp Coordinator::StableVts() const {
+  std::lock_guard lock(mu_);
+  if (local_vts_.empty()) {
+    return VectorTimestamp(stream_count_);
+  }
+  VectorTimestamp stable = local_vts_[0];
+  for (size_t n = 1; n < local_vts_.size(); ++n) {
+    stable = VectorTimestamp::Min(stable, local_vts_[n]);
+  }
+  if (stable.size() < stream_count_) {
+    stable.Resize(stream_count_);
+  }
+  return stable;
+}
+
+SnapshotNum Coordinator::MaxSnCoveredLocked(const VectorTimestamp& vts) const {
+  SnapshotNum sn = 0;  // kBaseSnapshot.
+  for (const Plan& plan : plans_) {
+    bool covered = true;
+    for (size_t s = 0; s < plan.target.size(); ++s) {
+      BatchSeq have = vts.Get(static_cast<StreamId>(s));
+      if (have == kNoBatch || have < plan.target[s]) {
+        covered = false;
+        break;
+      }
+    }
+    if (covered) {
+      sn = plan.sn;
+    } else {
+      break;
+    }
+  }
+  return sn;
+}
+
+SnapshotNum Coordinator::StableSn() const {
+  std::lock_guard lock(mu_);
+  if (local_vts_.empty()) {
+    return 0;
+  }
+  VectorTimestamp stable = local_vts_[0];
+  for (size_t n = 1; n < local_vts_.size(); ++n) {
+    stable = VectorTimestamp::Min(stable, local_vts_[n]);
+  }
+  return MaxSnCoveredLocked(stable);
+}
+
+SnapshotNum Coordinator::LocalSn(NodeId node) const {
+  std::lock_guard lock(mu_);
+  return MaxSnCoveredLocked(local_vts_[node]);
+}
+
+void Coordinator::ExtendPlanLocked() {
+  Plan plan;
+  if (plans_.empty()) {
+    plan.sn = 1;
+    plan.target.assign(stream_count_, batches_per_sn_ - 1);
+  } else {
+    const Plan& last = plans_.back();
+    plan.sn = last.sn + 1;
+    plan.target = last.target;
+    plan.target.resize(stream_count_, kNoBatch);
+    for (auto& t : plan.target) {
+      t = (t == kNoBatch) ? batches_per_sn_ - 1 : t + batches_per_sn_;
+    }
+  }
+  plans_.push_back(std::move(plan));
+}
+
+SnapshotNum Coordinator::PlanSnFor(StreamId stream, BatchSeq seq) {
+  std::lock_guard lock(mu_);
+  assert(stream < stream_count_);
+  while (true) {
+    for (const Plan& plan : plans_) {
+      if (stream < plan.target.size() && seq <= plan.target[stream]) {
+        return plan.sn;
+      }
+    }
+    // Injection ran past the announced plans: publish another mapping. The
+    // real injector would stall here until the Coordinator announces it.
+    ExtendPlanLocked();
+    ++plan_extensions_;
+  }
+}
+
+SnapshotNum Coordinator::CollapseFloor() const {
+  SnapshotNum stable = StableSn();
+  size_t reserve = reserved_snapshots_ - 1;
+  return stable > reserve ? stable - reserve : 0;
+}
+
+size_t Coordinator::plan_count() const {
+  std::lock_guard lock(mu_);
+  return plans_.size();
+}
+
+size_t Coordinator::plan_extensions() const {
+  std::lock_guard lock(mu_);
+  return plan_extensions_;
+}
+
+}  // namespace wukongs

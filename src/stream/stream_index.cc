@@ -1,0 +1,144 @@
+#include "src/stream/stream_index.h"
+
+#include <cassert>
+
+namespace wukongs {
+
+void StreamIndex::AddBatch(BatchSeq seq, const std::vector<AppendSpan>& spans) {
+  std::lock_guard lock(mu_);
+  assert(batches_.empty() || batches_.back().seq < seq);
+  BatchIndex bi;
+  bi.seq = seq;
+  for (const AppendSpan& s : spans) {
+    auto& list = bi.spans[s.key];
+    // Coalesce with the previous span when appends were contiguous, which is
+    // the common case since one batch appends to a key back-to-back.
+    if (!list.empty() && list.back().start + list.back().count == s.start) {
+      list.back().count += s.count;
+    } else {
+      list.push_back(IndexSpan{s.start, s.count});
+    }
+  }
+  // Derive window seeds from the touched normal keys (deduped by map key).
+  for (const auto& [key, list] : bi.spans) {
+    if (!key.is_index()) {
+      bi.seeds[Key(kIndexVertex, key.pid(), key.dir()).packed()].push_back(
+          key.vid());
+    }
+  }
+  // Accounting follows the paper's physical layout (§4.2): one entry per
+  // (key, span) holding the 64-bit key plus a 96-bit fat pointer
+  // (address + size), and the per-batch seed lists as packed vid arrays.
+  constexpr size_t kEntryBytes = 8 + 12;
+  for (const auto& [key, list] : bi.spans) {
+    bi.bytes += list.size() * kEntryBytes;
+  }
+  for (const auto& [key, list] : bi.seeds) {
+    bi.bytes += 8 + list.size() * sizeof(VertexId);
+  }
+  total_bytes_ += bi.bytes;
+  batches_.push_back(std::move(bi));
+}
+
+const StreamIndex::BatchIndex* StreamIndex::FindBatch(BatchSeq seq) const {
+  if (batches_.empty() || seq < batches_.front().seq || seq > batches_.back().seq) {
+    return nullptr;
+  }
+  size_t idx = static_cast<size_t>(seq - batches_.front().seq);
+  if (idx < batches_.size() && batches_[idx].seq == seq) {
+    return &batches_[idx];
+  }
+  for (const BatchIndex& b : batches_) {
+    if (b.seq == seq) {
+      return &b;
+    }
+  }
+  return nullptr;
+}
+
+bool StreamIndex::GetSpans(BatchSeq seq, Key key, std::vector<IndexSpan>* out) const {
+  std::lock_guard lock(mu_);
+  const BatchIndex* bi = FindBatch(seq);
+  if (bi == nullptr) {
+    return false;
+  }
+  auto it = bi->spans.find(key);
+  if (it != bi->spans.end()) {
+    out->insert(out->end(), it->second.begin(), it->second.end());
+  }
+  return true;
+}
+
+size_t StreamIndex::SpanEdgeCount(BatchSeq seq, Key key) const {
+  std::lock_guard lock(mu_);
+  const BatchIndex* bi = FindBatch(seq);
+  if (bi == nullptr) {
+    return 0;
+  }
+  auto it = bi->spans.find(key);
+  if (it == bi->spans.end()) {
+    return 0;
+  }
+  size_t n = 0;
+  for (const IndexSpan& s : it->second) {
+    n += s.count;
+  }
+  return n;
+}
+
+bool StreamIndex::GetSeeds(BatchSeq seq, PredicateId pid, Dir dir,
+                           std::vector<VertexId>* out) const {
+  std::lock_guard lock(mu_);
+  const BatchIndex* bi = FindBatch(seq);
+  if (bi == nullptr) {
+    return false;
+  }
+  auto it = bi->seeds.find(Key(kIndexVertex, pid, dir).packed());
+  if (it != bi->seeds.end()) {
+    out->insert(out->end(), it->second.begin(), it->second.end());
+  }
+  return true;
+}
+
+size_t StreamIndex::SeedCount(BatchSeq seq, PredicateId pid, Dir dir) const {
+  std::lock_guard lock(mu_);
+  const BatchIndex* bi = FindBatch(seq);
+  if (bi == nullptr) {
+    return 0;
+  }
+  auto it = bi->seeds.find(Key(kIndexVertex, pid, dir).packed());
+  return it == bi->seeds.end() ? 0 : it->second.size();
+}
+
+size_t StreamIndex::EvictBefore(BatchSeq min_live_seq) {
+  std::lock_guard lock(mu_);
+  size_t freed = 0;
+  while (!batches_.empty() && batches_.front().seq < min_live_seq) {
+    total_bytes_ -= batches_.front().bytes;
+    batches_.pop_front();
+    ++freed;
+  }
+  return freed;
+}
+
+size_t StreamIndex::BatchCount() const {
+  std::lock_guard lock(mu_);
+  return batches_.size();
+}
+
+size_t StreamIndex::MemoryBytes() const {
+  std::lock_guard lock(mu_);
+  return total_bytes_;
+}
+
+BatchSeq StreamIndex::OldestSeq() const {
+  std::lock_guard lock(mu_);
+  return batches_.empty() ? kNoBatch : batches_.front().seq;
+}
+
+BatchSeq StreamIndex::NewestSeq() const {
+  std::lock_guard lock(mu_);
+  return batches_.empty() ? kNoBatch : batches_.back().seq;
+}
+
+}  // namespace wukongs

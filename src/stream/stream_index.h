@@ -1,0 +1,88 @@
+// Stream index (paper §4.2, Fig. 8).
+//
+// After the persistent store absorbs a batch's timeless tuples, that data is
+// scattered across the whole store; re-finding "what stream S added in batch
+// b" through normal lookups would walk entire values and require keeping
+// timestamps in the store. The stream index is the fast path: per (stream,
+// batch) it maps each touched key to the spans the Injector appended, so a
+// window resolves to a batch range and the engine reads exactly those spans.
+// Indexes are created at the new end and dropped at the old end, mirroring
+// the transient store; timestamps never pollute the persistent values.
+//
+// One StreamIndex instance holds one node's index for one stream. With
+// locality-aware partitioning (Fig. 9) the per-batch maps are replicated to
+// every node where a registered query consumes the stream — replication cost
+// is charged by the caller at injection time.
+
+#ifndef SRC_STREAM_STREAM_INDEX_H_
+#define SRC_STREAM_STREAM_INDEX_H_
+
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/store/gstore.h"
+#include "src/stream/vts.h"
+
+namespace wukongs {
+
+// A span inside a persistent value: [start, start + count).
+struct IndexSpan {
+  uint32_t start = 0;
+  uint32_t count = 0;
+};
+
+class StreamIndex {
+ public:
+  StreamIndex() = default;
+
+  // Registers the spans the Injector produced for batch `seq`. Batches must
+  // arrive in order. Empty span lists still create the (empty) batch entry so
+  // window reads can distinguish "no data" from "not yet indexed".
+  void AddBatch(BatchSeq seq, const std::vector<AppendSpan>& spans);
+
+  // Appends the spans of `key` in batch `seq` to `out`. Returns false if the
+  // batch is not indexed (expired or not yet injected).
+  bool GetSpans(BatchSeq seq, Key key, std::vector<IndexSpan>* out) const;
+
+  // Sum of span counts of `key` in batch `seq` (selectivity estimation).
+  size_t SpanEdgeCount(BatchSeq seq, Key key) const;
+
+  // Seeds: the vertices that had (pid, dir) appends in batch `seq`. This is
+  // the window analogue of the index vertex: patterns with no bound endpoint
+  // enumerate "who touched this predicate inside the window" — including
+  // vertices whose keys pre-existed in the base store and therefore created
+  // no index-vertex append. Deduplicated within a batch, not across batches.
+  bool GetSeeds(BatchSeq seq, PredicateId pid, Dir dir,
+                std::vector<VertexId>* out) const;
+  size_t SeedCount(BatchSeq seq, PredicateId pid, Dir dir) const;
+
+  // Drops index entries for batches < min_live_seq (stale windows).
+  size_t EvictBefore(BatchSeq min_live_seq);
+
+  size_t BatchCount() const;
+  size_t MemoryBytes() const;
+  BatchSeq OldestSeq() const;
+  BatchSeq NewestSeq() const;
+
+ private:
+  struct BatchIndex {
+    BatchSeq seq = 0;
+    std::unordered_map<Key, std::vector<IndexSpan>, KeyHash> spans;
+    // Keyed by the packed index key [0|pid|dir].
+    std::unordered_map<uint64_t, std::vector<VertexId>> seeds;
+    size_t bytes = 0;
+  };
+
+  const BatchIndex* FindBatch(BatchSeq seq) const;
+
+  mutable std::mutex mu_;
+  std::deque<BatchIndex> batches_;
+  size_t total_bytes_ = 0;
+};
+
+}  // namespace wukongs
+
+#endif  // SRC_STREAM_STREAM_INDEX_H_

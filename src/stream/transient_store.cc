@@ -1,0 +1,148 @@
+#include "src/stream/transient_store.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/stream/vts.h"
+
+namespace wukongs {
+
+TransientStore::TransientStore(size_t memory_budget_bytes)
+    : memory_budget_bytes_(memory_budget_bytes) {}
+
+bool TransientStore::AppendSlice(BatchSeq seq, const StreamTupleVec& timing_tuples) {
+  std::vector<std::pair<Key, VertexId>> edges;
+  edges.reserve(timing_tuples.size() * 2);
+  for (const StreamTuple& t : timing_tuples) {
+    assert(t.kind == TupleKind::kTiming);
+    // Timing edges are indexed both ways, like persistent edges, so window
+    // patterns can explore in either direction.
+    edges.emplace_back(Key(t.triple.subject, t.triple.predicate, Dir::kOut),
+                       t.triple.object);
+    edges.emplace_back(Key(t.triple.object, t.triple.predicate, Dir::kIn),
+                       t.triple.subject);
+  }
+  return AppendSlice(seq, edges);
+}
+
+bool TransientStore::AppendSlice(BatchSeq seq,
+                                 const std::vector<std::pair<Key, VertexId>>& edges) {
+  std::lock_guard lock(mu_);
+  assert(slices_.empty() || slices_.back().seq < seq);
+
+  Slice slice;
+  slice.seq = seq;
+  for (const auto& [key, value] : edges) {
+    auto [it, created] = slice.edges.try_emplace(key);
+    it->second.push_back(value);
+    if (created && !key.is_index()) {
+      // Seed the per-slice index vertex on first sight of a key.
+      slice.edges[Key(kIndexVertex, key.pid(), key.dir())].push_back(key.vid());
+    }
+  }
+  for (const auto& [key, value_list] : slice.edges) {
+    slice.bytes += sizeof(Key) + 48 + value_list.capacity() * sizeof(VertexId);
+  }
+
+  if (memory_budget_bytes_ != 0 &&
+      total_bytes_ + slice.bytes > memory_budget_bytes_) {
+    // Ring buffer full: reclaim expired slices right now (paper: GC is
+    // "explicitly invoked when the ring buffer is full").
+    EvictBeforeLocked(gc_horizon_);
+    if (total_bytes_ + slice.bytes > memory_budget_bytes_) {
+      return false;
+    }
+  }
+  total_bytes_ += slice.bytes;
+  slices_.push_back(std::move(slice));
+  return true;
+}
+
+const TransientStore::Slice* TransientStore::FindSlice(BatchSeq seq) const {
+  if (slices_.empty() || seq < slices_.front().seq || seq > slices_.back().seq) {
+    return nullptr;
+  }
+  size_t idx = static_cast<size_t>(seq - slices_.front().seq);
+  // Slices are dense in practice (every batch creates one, possibly empty);
+  // fall back to scan if a gap exists.
+  if (idx < slices_.size() && slices_[idx].seq == seq) {
+    return &slices_[idx];
+  }
+  for (const Slice& s : slices_) {
+    if (s.seq == seq) {
+      return &s;
+    }
+  }
+  return nullptr;
+}
+
+void TransientStore::GetNeighbors(BatchSeq seq, Key key,
+                                  std::vector<VertexId>* out) const {
+  std::lock_guard lock(mu_);
+  const Slice* slice = FindSlice(seq);
+  if (slice == nullptr) {
+    return;
+  }
+  auto it = slice->edges.find(key);
+  if (it == slice->edges.end()) {
+    return;
+  }
+  out->insert(out->end(), it->second.begin(), it->second.end());
+}
+
+size_t TransientStore::EdgeCount(BatchSeq seq, Key key) const {
+  std::lock_guard lock(mu_);
+  const Slice* slice = FindSlice(seq);
+  if (slice == nullptr) {
+    return 0;
+  }
+  auto it = slice->edges.find(key);
+  return it == slice->edges.end() ? 0 : it->second.size();
+}
+
+size_t TransientStore::EvictBeforeLocked(BatchSeq min_live_seq) {
+  size_t freed = 0;
+  while (!slices_.empty() && slices_.front().seq < min_live_seq) {
+    total_bytes_ -= slices_.front().bytes;
+    slices_.pop_front();
+    ++freed;
+  }
+  return freed;
+}
+
+size_t TransientStore::EvictBefore(BatchSeq min_live_seq) {
+  std::lock_guard lock(mu_);
+  return EvictBeforeLocked(min_live_seq);
+}
+
+void TransientStore::SetGcHorizon(BatchSeq min_live_seq) {
+  std::lock_guard lock(mu_);
+  gc_horizon_ = std::max(gc_horizon_, min_live_seq);
+}
+
+size_t TransientStore::RunGc() {
+  std::lock_guard lock(mu_);
+  return EvictBeforeLocked(gc_horizon_);
+}
+
+size_t TransientStore::SliceCount() const {
+  std::lock_guard lock(mu_);
+  return slices_.size();
+}
+
+size_t TransientStore::MemoryBytes() const {
+  std::lock_guard lock(mu_);
+  return total_bytes_;
+}
+
+BatchSeq TransientStore::OldestSeq() const {
+  std::lock_guard lock(mu_);
+  return slices_.empty() ? kNoBatch : slices_.front().seq;
+}
+
+BatchSeq TransientStore::NewestSeq() const {
+  std::lock_guard lock(mu_);
+  return slices_.empty() ? kNoBatch : slices_.back().seq;
+}
+
+}  // namespace wukongs

@@ -1,0 +1,75 @@
+// Time-based transient store (paper §4.1, Fig. 7).
+//
+// Timing data (e.g. GPS positions) is only meaningful inside stream windows,
+// so it never enters the persistent store. Each (node, stream) pair owns a
+// TransientStore: a time-ordered sequence of *transient slices*, one per
+// batch, appended at the new end by the Injector and freed at the old end by
+// the garbage collector once no registered window can reach them. A bounded
+// memory budget mimics the paper's fixed-size ring buffer: exceeding it
+// triggers an immediate GC of expired slices.
+
+#ifndef SRC_STREAM_TRANSIENT_STORE_H_
+#define SRC_STREAM_TRANSIENT_STORE_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/rdf/triple.h"
+
+namespace wukongs {
+
+class TransientStore {
+ public:
+  // `memory_budget_bytes` = 0 means unbounded.
+  explicit TransientStore(size_t memory_budget_bytes = 0);
+
+  // Appends one batch's timing edges as a new slice. Batches must arrive in
+  // order (streams are in-order per §4.3). Returns false if the budget is
+  // exhausted even after GC — callers treat that as back-pressure.
+  // The edge-pair form is the dispatcher's path: it receives exactly the
+  // directions owned by this node. Index entries ([0|pid|dir] -> vid) are
+  // added for newly seen keys so window patterns can seed from predicates.
+  bool AppendSlice(BatchSeq seq, const std::vector<std::pair<Key, VertexId>>& edges);
+  // Convenience: single-node form indexing both directions of each tuple.
+  bool AppendSlice(BatchSeq seq, const StreamTupleVec& timing_tuples);
+
+  // Appends the neighbors of `key` within batch `seq` to `out`.
+  void GetNeighbors(BatchSeq seq, Key key, std::vector<VertexId>* out) const;
+  size_t EdgeCount(BatchSeq seq, Key key) const;
+
+  // Frees every slice with seq < `min_live_seq`. Returns slices freed.
+  size_t EvictBefore(BatchSeq min_live_seq);
+  // Marks the horizon the GC may not cross (earliest batch any registered
+  // window still needs); periodic GC uses it.
+  void SetGcHorizon(BatchSeq min_live_seq);
+  size_t RunGc();
+
+  size_t SliceCount() const;
+  size_t MemoryBytes() const;
+  BatchSeq OldestSeq() const;  // kNoBatch when empty.
+  BatchSeq NewestSeq() const;  // kNoBatch when empty.
+
+ private:
+  struct Slice {
+    BatchSeq seq = 0;
+    std::unordered_map<Key, std::vector<VertexId>, KeyHash> edges;
+    size_t bytes = 0;
+  };
+
+  const Slice* FindSlice(BatchSeq seq) const;
+  size_t EvictBeforeLocked(BatchSeq min_live_seq);
+
+  const size_t memory_budget_bytes_;
+  mutable std::mutex mu_;
+  std::deque<Slice> slices_;
+  size_t total_bytes_ = 0;
+  BatchSeq gc_horizon_ = 0;
+};
+
+}  // namespace wukongs
+
+#endif  // SRC_STREAM_TRANSIENT_STORE_H_

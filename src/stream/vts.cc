@@ -1,0 +1,56 @@
+#include "src/stream/vts.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace wukongs {
+namespace {
+
+// kNoBatch sorts below every real sequence number.
+int64_t Rank(BatchSeq seq) {
+  return seq == kNoBatch ? -1 : static_cast<int64_t>(seq);
+}
+
+}  // namespace
+
+bool VectorTimestamp::Covers(const VectorTimestamp& other) const {
+  size_t n = std::max(seqs_.size(), other.seqs_.size());
+  for (size_t s = 0; s < n; ++s) {
+    if (Rank(Get(static_cast<StreamId>(s))) <
+        Rank(other.Get(static_cast<StreamId>(s)))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+VectorTimestamp VectorTimestamp::Min(const VectorTimestamp& a,
+                                     const VectorTimestamp& b) {
+  size_t n = std::max(a.size(), b.size());
+  VectorTimestamp out(n);
+  for (size_t s = 0; s < n; ++s) {
+    BatchSeq sa = a.Get(static_cast<StreamId>(s));
+    BatchSeq sb = b.Get(static_cast<StreamId>(s));
+    out.Set(static_cast<StreamId>(s), Rank(sa) < Rank(sb) ? sa : sb);
+  }
+  return out;
+}
+
+std::string VectorTimestamp::DebugString() const {
+  std::ostringstream os;
+  os << "[";
+  for (size_t s = 0; s < seqs_.size(); ++s) {
+    if (s > 0) {
+      os << ",";
+    }
+    if (seqs_[s] == kNoBatch) {
+      os << "-";
+    } else {
+      os << "S" << s << "=" << seqs_[s];
+    }
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace wukongs

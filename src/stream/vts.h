@@ -1,0 +1,58 @@
+// Vector timestamps over streams (paper §4.3, Fig. 10).
+//
+// A vector timestamp (VTS) holds, per stream, the highest batch sequence
+// number that has been fully inserted. Each node keeps a Local_VTS; the
+// Coordinator derives Stable_VTS as the element-wise minimum over nodes, and
+// continuous queries trigger only when their windows' final batches are
+// covered by Stable_VTS — this is what makes a batch visible only after it
+// has been inserted on *all* nodes.
+
+#ifndef SRC_STREAM_VTS_H_
+#define SRC_STREAM_VTS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/ids.h"
+
+namespace wukongs {
+
+// Batch sequence numbers start at 0; kNoBatch means "nothing injected yet".
+inline constexpr BatchSeq kNoBatch = ~BatchSeq{0};
+
+class VectorTimestamp {
+ public:
+  VectorTimestamp() = default;
+  explicit VectorTimestamp(size_t streams) : seqs_(streams, kNoBatch) {}
+
+  size_t size() const { return seqs_.size(); }
+  void Resize(size_t streams) { seqs_.resize(streams, kNoBatch); }
+
+  BatchSeq Get(StreamId s) const {
+    return s < seqs_.size() ? seqs_[s] : kNoBatch;
+  }
+  void Set(StreamId s, BatchSeq seq) {
+    if (s >= seqs_.size()) {
+      seqs_.resize(s + 1, kNoBatch);
+    }
+    seqs_[s] = seq;
+  }
+
+  // True if this VTS covers `other`: every stream is at least as advanced.
+  bool Covers(const VectorTimestamp& other) const;
+
+  // Element-wise minimum (used to build Stable_VTS from Local_VTS's).
+  static VectorTimestamp Min(const VectorTimestamp& a, const VectorTimestamp& b);
+
+  std::string DebugString() const;
+
+  friend bool operator==(const VectorTimestamp&, const VectorTimestamp&) = default;
+
+ private:
+  std::vector<BatchSeq> seqs_;
+};
+
+}  // namespace wukongs
+
+#endif  // SRC_STREAM_VTS_H_

@@ -1,0 +1,280 @@
+#include "src/workloads/citybench.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+namespace wukongs {
+
+CityBench::CityBench(Cluster* cluster, CityBenchConfig config)
+    : cluster_(cluster), config_(config), rng_(config.seed) {}
+
+Status CityBench::Setup() {
+  assert(!setup_done_);
+  StringServer* s = cluster_->strings();
+  p_congestion_ = s->InternPredicate("congestion");
+  p_speed_ = s->InternPredicate("avgSpeed");
+  p_temp_ = s->InternPredicate("temperature");
+  p_humidity_ = s->InternPredicate("humidity");
+  p_at_ = s->InternPredicate("at");
+  p_vacancies_ = s->InternPredicate("vacancies");
+  p_pollution_ = s->InternPredicate("pollutionLevel");
+  p_on_road_ = s->InternPredicate("onRoad");
+  p_connects_ = s->InternPredicate("connectsTo");
+  p_located_ = s->InternPredicate("locatedOn");
+  p_monitors_ = s->InternPredicate("monitors");
+  p_near_ = s->InternPredicate("nearRoad");
+
+  // Observation predicates are timing data.
+  vt1_ = *cluster_->DefineStream("VT1", {"congestion", "avgSpeed"});
+  vt2_ = *cluster_->DefineStream("VT2", {"congestion", "avgSpeed"});
+  wt_ = *cluster_->DefineStream("WT", {"temperature", "humidity"});
+  ul_ = *cluster_->DefineStream("UL", {"at"});
+  pk1_ = *cluster_->DefineStream("PK1", {"vacancies"});
+  pk2_ = *cluster_->DefineStream("PK2", {"vacancies"});
+  for (int i = 1; i <= 5; ++i) {
+    pl_.push_back(*cluster_->DefineStream("PL" + std::to_string(i),
+                                          {"pollutionLevel"}));
+  }
+
+  // --- Stored metadata graph. ---
+  TripleVec base;
+  std::vector<VertexId> roads(config_.roads);
+  for (size_t r = 0; r < config_.roads; ++r) {
+    roads[r] = Vid(Road(r));
+  }
+  for (size_t r = 0; r < config_.roads; ++r) {
+    // A sparse road network: each road connects to 2-4 others (as a set of
+    // triples — duplicate picks are discarded).
+    size_t degree = rng_.Uniform(2, 4);
+    std::unordered_set<size_t> picked;
+    for (size_t d = 0; d < degree; ++d) {
+      size_t to = rng_.Uniform(0, config_.roads - 1);
+      if (to != r && picked.insert(to).second) {
+        base.push_back({roads[r], p_connects_, roads[to]});
+      }
+    }
+  }
+  for (size_t i = 0; i < config_.traffic_sensors; ++i) {
+    VertexId sensor = Vid(TrafficSensor(i));
+    base.push_back({sensor, p_on_road_, roads[rng_.Uniform(0, config_.roads - 1)]});
+    (i % 2 == 0 ? vt1_sensors_ : vt2_sensors_).push_back(sensor);
+  }
+  for (size_t i = 0; i < config_.parking_lots; ++i) {
+    VertexId lot = Vid(ParkingLot(i));
+    base.push_back({lot, p_located_, roads[rng_.Uniform(0, config_.roads - 1)]});
+    (i % 2 == 0 ? pk1_lots_ : pk2_lots_).push_back(lot);
+  }
+  pl_sensors_.resize(5);
+  for (size_t i = 0; i < config_.pollution_sensors; ++i) {
+    VertexId sensor = Vid(PollutionSensor(i));
+    base.push_back({sensor, p_near_, roads[rng_.Uniform(0, config_.roads - 1)]});
+    pl_sensors_[i % 5].push_back(sensor);
+  }
+  for (size_t i = 0; i < config_.weather_stations; ++i) {
+    VertexId station = Vid(Station(i));
+    // Each station monitors a contiguous run of roads.
+    size_t span = config_.roads / config_.weather_stations;
+    for (size_t r = i * span; r < (i + 1) * span && r < config_.roads; ++r) {
+      base.push_back({station, p_monitors_, roads[r]});
+    }
+    stations_.push_back(station);
+  }
+  for (size_t i = 0; i < config_.users; ++i) {
+    users_.push_back(Vid(CityUser(i)));
+  }
+  cluster_->LoadBase(base);
+  initial_triples_ = base.size();
+  initial_graph_ = std::move(base);
+  setup_done_ = true;
+  return Status::Ok();
+}
+
+const char* CityBench::StreamName(int index) {
+  static const char* kNames[] = {"VT1", "VT2", "WT",  "UL",  "PK1", "PK2",
+                                 "PL1", "PL2", "PL3", "PL4", "PL5"};
+  return kNames[index];
+}
+
+Status CityBench::FeedObservations(StreamId stream, const char* stream_name,
+                                   const std::vector<ObsSpec>& specs,
+                                   StreamTime from_ms, StreamTime to_ms) {
+  const double dt_sec = static_cast<double>(to_ms - from_ms) / 1000.0;
+  StreamTupleVec tuples;
+  for (const ObsSpec& spec : specs) {
+    size_t n = static_cast<size_t>(spec.rate * config_.rate_scale * dt_sec);
+    for (size_t i = 0; i < n; ++i) {
+      StreamTime ts = from_ms + rng_.Uniform(0, to_ms - from_ms - 1);
+      VertexId source = (*spec.sources)[rng_.Uniform(0, spec.sources->size() - 1)];
+      VertexId value = Vid(std::to_string(rng_.Uniform(spec.lo, spec.hi)));
+      tuples.push_back(
+          StreamTuple{{source, spec.pred, value}, ts, TupleKind::kTimeless});
+    }
+  }
+  std::sort(tuples.begin(), tuples.end(),
+            [](const StreamTuple& a, const StreamTuple& b) {
+              return a.timestamp < b.timestamp;
+            });
+  if (tee_) {
+    tee_(stream_name, tuples);
+  }
+  return cluster_->FeedStream(stream, tuples);
+}
+
+Status CityBench::FeedInterval(StreamTime from_ms, StreamTime to_ms) {
+  assert(setup_done_);
+  double half_vt = config_.vt_rate / 2;
+  double half_wt = config_.wt_rate / 2;
+  Status s = FeedObservations(
+      vt1_, "VT1",
+      {{p_congestion_, &vt1_sensors_, half_vt, 0, 100},
+       {p_speed_, &vt1_sensors_, half_vt, 5, 130}},
+      from_ms, to_ms);
+  if (!s.ok()) {
+    return s;
+  }
+  s = FeedObservations(vt2_, "VT2",
+                       {{p_congestion_, &vt2_sensors_, half_vt, 0, 100},
+                        {p_speed_, &vt2_sensors_, half_vt, 5, 130}},
+                       from_ms, to_ms);
+  if (!s.ok()) {
+    return s;
+  }
+  s = FeedObservations(wt_, "WT",
+                       {{p_temp_, &stations_, half_wt, 0, 40},
+                        {p_humidity_, &stations_, half_wt, 20, 100}},
+                       from_ms, to_ms);
+  if (!s.ok()) {
+    return s;
+  }
+  // User locations reference roads (graph-valued observation).
+  {
+    const double dt_sec = static_cast<double>(to_ms - from_ms) / 1000.0;
+    size_t n = static_cast<size_t>(config_.ul_rate * config_.rate_scale * dt_sec);
+    std::vector<StreamTime> times(n);
+    for (size_t i = 0; i < n; ++i) {
+      times[i] = from_ms + rng_.Uniform(0, to_ms - from_ms - 1);
+    }
+    std::sort(times.begin(), times.end());
+    StreamTupleVec tuples;
+    for (StreamTime ts : times) {
+      VertexId user = users_[rng_.Uniform(0, users_.size() - 1)];
+      VertexId road = Vid(Road(rng_.Uniform(0, config_.roads - 1)));
+      tuples.push_back(StreamTuple{{user, p_at_, road}, ts, TupleKind::kTimeless});
+    }
+    if (tee_) {
+      tee_("UL", tuples);
+    }
+    s = cluster_->FeedStream(ul_, tuples);
+    if (!s.ok()) {
+      return s;
+    }
+  }
+  s = FeedObservations(pk1_, "PK1", {{p_vacancies_, &pk1_lots_, config_.pk_rate, 0, 500}},
+                       from_ms, to_ms);
+  if (!s.ok()) {
+    return s;
+  }
+  s = FeedObservations(pk2_, "PK2", {{p_vacancies_, &pk2_lots_, config_.pk_rate, 0, 500}},
+                       from_ms, to_ms);
+  if (!s.ok()) {
+    return s;
+  }
+  for (size_t i = 0; i < pl_.size(); ++i) {
+    s = FeedObservations(pl_[i], StreamName(static_cast<int>(6 + i)),
+                         {{p_pollution_, &pl_sensors_[i], config_.pl_rate, 0, 10}},
+                         from_ms, to_ms);
+    if (!s.ok()) {
+      return s;
+    }
+  }
+  cluster_->AdvanceStreams(to_ms);
+  return Status::Ok();
+}
+
+std::string CityBench::ContinuousQueryText(int number) const {
+  auto win = [](const char* stream) {
+    return std::string("FROM STREAM <") + stream + "> [RANGE 3s STEP 1s]\n";
+  };
+  switch (number) {
+    case 1:
+      // VT1+VT2: congestion on both sensor sets for connected roads.
+      return "REGISTER QUERY C1 AS SELECT ?R1 ?R2 ?C1 ?C2\n" + win("VT1") +
+             win("VT2") +
+             "FROM <City>\n"
+             "WHERE { GRAPH <VT1> { ?S1 congestion ?C1 }\n"
+             "        GRAPH <City> { ?S1 onRoad ?R1 . ?R1 connectsTo ?R2 . "
+             "?S2 onRoad ?R2 }\n"
+             "        GRAPH <VT2> { ?S2 congestion ?C2 } }";
+    case 2:
+      // VT1+VT2+WT+UL: traffic + weather where a user currently is.
+      return "REGISTER QUERY C2 AS SELECT ?U ?R ?C ?T\n" + win("VT1") + win("WT") +
+             win("UL") +
+             "FROM <City>\n"
+             "WHERE { GRAPH <UL> { ?U at ?R }\n"
+             "        GRAPH <City> { ?S onRoad ?R . ?W monitors ?R }\n"
+             "        GRAPH <VT1> { ?S congestion ?C }\n"
+             "        GRAPH <WT> { ?W temperature ?T } }";
+    case 3:
+      // VT2 aggregate: average congestion per road.
+      return "REGISTER QUERY C3 AS SELECT ?R (AVG(?C) AS ?avg)\n" + win("VT2") +
+             "FROM <City>\n"
+             "WHERE { GRAPH <VT2> { ?S congestion ?C }\n"
+             "        GRAPH <City> { ?S onRoad ?R } }\n"
+             "GROUP BY ?R";
+    case 4:
+      // PK1+PK2: lots with vacancies above a threshold.
+      return "REGISTER QUERY C4 AS SELECT ?L ?V\n" + win("PK1") + win("PK2") +
+             "WHERE { GRAPH <PK1> { ?L vacancies ?V }\n"
+             "        FILTER (?V > 250) }";
+    case 5:
+      // PK + VT: parking on roads that are currently uncongested.
+      return "REGISTER QUERY C5 AS SELECT ?L ?V ?C\n" + win("PK1") + win("VT1") +
+             "FROM <City>\n"
+             "WHERE { GRAPH <PK1> { ?L vacancies ?V }\n"
+             "        GRAPH <City> { ?L locatedOn ?R . ?S onRoad ?R }\n"
+             "        GRAPH <VT1> { ?S congestion ?C }\n"
+             "        FILTER (?C < 40) }";
+    case 6:
+      // WT: hot and humid stations.
+      return "REGISTER QUERY C6 AS SELECT ?W ?T ?H\n" + win("WT") +
+             "WHERE { GRAPH <WT> { ?W temperature ?T . ?W humidity ?H }\n"
+             "        FILTER (?T > 25) }";
+    case 7:
+      // UL+VT: congestion where each user is.
+      return "REGISTER QUERY C7 AS SELECT ?U ?R ?C\n" + win("UL") + win("VT1") +
+             "FROM <City>\n"
+             "WHERE { GRAPH <UL> { ?U at ?R }\n"
+             "        GRAPH <City> { ?S onRoad ?R }\n"
+             "        GRAPH <VT1> { ?S congestion ?C } }";
+    case 8:
+      // UL+PK: vacancies near each user.
+      return "REGISTER QUERY C8 AS SELECT ?U ?L ?V\n" + win("UL") + win("PK2") +
+             "FROM <City>\n"
+             "WHERE { GRAPH <UL> { ?U at ?R }\n"
+             "        GRAPH <City> { ?L locatedOn ?R }\n"
+             "        GRAPH <PK2> { ?L vacancies ?V } }";
+    case 9:
+      // PL+VT: pollution vs congestion per road.
+      return "REGISTER QUERY C9 AS SELECT ?R ?P ?C\n" + win("PL1") + win("VT1") +
+             "FROM <City>\n"
+             "WHERE { GRAPH <PL1> { ?X pollutionLevel ?P }\n"
+             "        GRAPH <City> { ?X nearRoad ?R . ?S onRoad ?R }\n"
+             "        GRAPH <VT1> { ?S congestion ?C } }";
+    case 10:
+      // PL multi-stream aggregate: max level across two pollution streams.
+      return "REGISTER QUERY C10 AS SELECT (MAX(?P) AS ?m) (COUNT(?X) AS ?n)\n" +
+             win("PL2") + win("PL3") +
+             "WHERE { GRAPH <PL2> { ?X pollutionLevel ?P } }";
+    case 11:
+      // PL single-stream filter: alert on high pollution.
+      return "REGISTER QUERY C11 AS SELECT ?X ?P\n" + win("PL4") +
+             "WHERE { GRAPH <PL4> { ?X pollutionLevel ?P }\n"
+             "        FILTER (?P >= 8) }";
+    default:
+      assert(false && "CityBench query number must be 1..11");
+      return "";
+  }
+}
+
+}  // namespace wukongs

@@ -1,0 +1,117 @@
+// CityBench-style smart-city workload (paper §6.10, Tables 1 and 9).
+//
+// CityBench replays IoT sensor streams from the city of Aarhus: vehicle
+// traffic (VT1-2), weather (WT), user location (UL), parking (PK1-2) and
+// pollution (PL1-5), over a small stored graph of sensor/road/parking-lot
+// metadata (139K triples in the paper; scaled here). Observations are
+// *timing* data — they only matter inside windows — while the metadata is
+// stored. Queries C1-C11 combine streams per the paper's usage matrix, with
+// FILTERs and aggregates typical of RSP benchmarks. Paper settings: window
+// RANGE 3s, STEP 1s; stream rates 4-19 tuples/s.
+
+#ifndef SRC_WORKLOADS_CITYBENCH_H_
+#define SRC_WORKLOADS_CITYBENCH_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/cluster/cluster.h"
+#include "src/common/rng.h"
+
+namespace wukongs {
+
+struct CityBenchConfig {
+  size_t roads = 120;
+  size_t traffic_sensors = 60;   // Split between VT1 and VT2.
+  size_t parking_lots = 30;      // Split between PK1 and PK2.
+  size_t pollution_sensors = 50; // Split across PL1..PL5.
+  size_t weather_stations = 6;
+  size_t users = 40;
+  uint64_t seed = 7;
+
+  // Tuples/second, paper Table 1 defaults.
+  double vt_rate = 19.0;
+  double wt_rate = 12.0;
+  double ul_rate = 7.0;
+  double pk_rate = 4.0;
+  double pl_rate = 4.0;
+  double rate_scale = 1.0;
+};
+
+class CityBench {
+ public:
+  static constexpr int kNumContinuous = 11;  // C1..C11.
+
+  CityBench(Cluster* cluster, CityBenchConfig config);
+
+  // Declares the 11 streams and loads the sensor metadata graph.
+  Status Setup();
+
+  // Generates and feeds observations covering [from_ms, to_ms).
+  Status FeedInterval(StreamTime from_ms, StreamTime to_ms);
+
+  // Continuous query C1..C11 (1-based), window RANGE 3s STEP 1s.
+  std::string ContinuousQueryText(int number) const;
+
+  // Mirrors generated tuples to an external consumer (for baseline feeds).
+  using Tee = std::function<void(const std::string& stream_name,
+                                 const StreamTupleVec& tuples)>;
+  void SetTee(Tee tee) { tee_ = std::move(tee); }
+  const TripleVec& initial_graph() const { return initial_graph_; }
+
+  static const char* StreamName(int index);  // 0..10 -> VT1..PL5.
+
+  size_t initial_triples() const { return initial_triples_; }
+
+ private:
+  std::string Road(size_t i) const { return "Road" + std::to_string(i); }
+  std::string TrafficSensor(size_t i) const { return "TSensor" + std::to_string(i); }
+  std::string ParkingLot(size_t i) const { return "Lot" + std::to_string(i); }
+  std::string PollutionSensor(size_t i) const { return "PSensor" + std::to_string(i); }
+  std::string Station(size_t i) const { return "Station" + std::to_string(i); }
+  std::string CityUser(size_t i) const { return "CUser" + std::to_string(i); }
+
+  VertexId Vid(const std::string& s) { return cluster_->strings()->InternVertex(s); }
+
+  // One observation kind within a stream: predicate, emitting sources, rate
+  // and the value range (values are quantized integers).
+  struct ObsSpec {
+    PredicateId pred;
+    const std::vector<VertexId>* sources;
+    double rate;
+    uint64_t lo;
+    uint64_t hi;
+  };
+  // Generates all kinds for one stream, merges them in timestamp order and
+  // feeds them in a single call (streams require monotone timestamps).
+  Status FeedObservations(StreamId stream, const char* stream_name,
+                          const std::vector<ObsSpec>& specs, StreamTime from_ms,
+                          StreamTime to_ms);
+
+  Cluster* cluster_;
+  CityBenchConfig config_;
+  Rng rng_;
+
+  // Streams: VT1, VT2, WT, UL, PK1, PK2, PL1..PL5.
+  StreamId vt1_ = 0, vt2_ = 0, wt_ = 0, ul_ = 0, pk1_ = 0, pk2_ = 0;
+  std::vector<StreamId> pl_;
+
+  PredicateId p_congestion_ = 0, p_speed_ = 0, p_temp_ = 0, p_humidity_ = 0,
+              p_at_ = 0, p_vacancies_ = 0, p_pollution_ = 0;
+  PredicateId p_on_road_ = 0, p_connects_ = 0, p_located_ = 0, p_monitors_ = 0,
+              p_near_ = 0;
+
+  std::vector<VertexId> vt1_sensors_, vt2_sensors_, pk1_lots_, pk2_lots_,
+      stations_, users_;
+  std::vector<std::vector<VertexId>> pl_sensors_;
+
+  Tee tee_;
+  TripleVec initial_graph_;
+  size_t initial_triples_ = 0;
+  bool setup_done_ = false;
+};
+
+}  // namespace wukongs
+
+#endif  // SRC_WORKLOADS_CITYBENCH_H_

@@ -1,0 +1,325 @@
+#include "src/workloads/lsbench.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+namespace wukongs {
+namespace {
+
+// Keep enough recent posts/photos around for likes to reference.
+constexpr size_t kRecentPoolSize = 4096;
+
+}  // namespace
+
+LsBench::LsBench(Cluster* cluster, LsBenchConfig config)
+    : cluster_(cluster), config_(config), rng_(config.seed) {}
+
+Status LsBench::Setup() {
+  assert(!setup_done_);
+  StringServer* s = cluster_->strings();
+  p_ty_ = s->InternPredicate("ty");
+  p_fo_ = s->InternPredicate("fo");
+  p_po_ = s->InternPredicate("po");
+  p_ht_ = s->InternPredicate("ht");
+  p_li_ = s->InternPredicate("li");
+  p_ph_ = s->InternPredicate("ph");
+  p_ab_ = s->InternPredicate("ab");
+  p_pl_ = s->InternPredicate("pl");
+  p_ga_ = s->InternPredicate("ga");
+  v_user_type_ = Vid("UserType");
+
+  auto po = cluster_->DefineStream("PO_Stream");
+  if (!po.ok()) {
+    return po.status();
+  }
+  po_ = *po;
+  pol_ = *cluster_->DefineStream("POL_Stream");
+  ph_ = *cluster_->DefineStream("PH_Stream");
+  phl_ = *cluster_->DefineStream("PHL_Stream");
+  gps_ = *cluster_->DefineStream("GPS_Stream", {"ga"});
+
+  // --- Initial social graph. ---
+  TripleVec base;
+  std::vector<VertexId> users(config_.users);
+  for (size_t u = 0; u < config_.users; ++u) {
+    users[u] = Vid(User(u));
+    base.push_back({users[u], p_ty_, v_user_type_});
+  }
+  // Follows: preferential attachment via Zipf over user ranks, so a few
+  // celebrities have large followings (matches social-graph skew). An RDF
+  // graph is a set of triples, so repeated picks are deduplicated.
+  for (size_t u = 0; u < config_.users; ++u) {
+    std::unordered_set<VertexId> picked;
+    for (size_t f = 0; f < config_.avg_follows; ++f) {
+      size_t target = rng_.Zipf(config_.users);
+      if (target != u && picked.insert(users[target]).second) {
+        base.push_back({users[u], p_fo_, users[target]});
+      }
+    }
+  }
+  // Historical posts with hashtags and likes.
+  for (size_t u = 0; u < config_.users; ++u) {
+    for (size_t p = 0; p < config_.initial_posts_per_user; ++p) {
+      VertexId post = Vid("Post" + std::to_string(next_post_++));
+      base.push_back({users[u], p_po_, post});
+      base.push_back({post, p_ht_, Vid(Tag(rng_.Zipf(config_.hashtags)))});
+      size_t likes = rng_.Uniform(0, 3);
+      std::unordered_set<VertexId> likers;
+      for (size_t l = 0; l < likes; ++l) {
+        VertexId liker = users[rng_.Zipf(config_.users)];
+        if (likers.insert(liker).second) {
+          base.push_back({liker, p_li_, post});
+        }
+      }
+      recent_posts_.push_back(post);
+    }
+  }
+  // Historical photos in albums.
+  for (size_t u = 0; u < config_.users; ++u) {
+    for (size_t p = 0; p < config_.initial_photos_per_user; ++p) {
+      VertexId photo = Vid("Photo" + std::to_string(next_photo_++));
+      base.push_back({users[u], p_ph_, photo});
+      base.push_back({photo, p_ab_, Vid(Album(rng_.Zipf(config_.albums)))});
+      recent_photos_.push_back(photo);
+    }
+  }
+  cluster_->LoadBase(base);
+  initial_triples_ = base.size();
+  initial_graph_ = std::move(base);
+  while (recent_posts_.size() > kRecentPoolSize) {
+    recent_posts_.pop_front();
+  }
+  while (recent_photos_.size() > kRecentPoolSize) {
+    recent_photos_.pop_front();
+  }
+  setup_done_ = true;
+  return Status::Ok();
+}
+
+Status LsBench::FeedInterval(StreamTime from_ms, StreamTime to_ms) {
+  assert(setup_done_);
+  assert(to_ms > from_ms);
+  const double dt_sec = static_cast<double>(to_ms - from_ms) / 1000.0;
+  auto count_of = [&](double rate) {
+    return static_cast<size_t>(rate * config_.rate_scale * dt_sec);
+  };
+  auto times_of = [&](size_t n) {
+    std::vector<StreamTime> t(n);
+    for (size_t i = 0; i < n; ++i) {
+      t[i] = from_ms + rng_.Uniform(0, to_ms - from_ms - 1);
+    }
+    std::sort(t.begin(), t.end());
+    return t;
+  };
+  auto user_vid = [&] { return Vid(User(rng_.Zipf(config_.users))); };
+
+  // PO: a new post with its hashtag (two tuples per event).
+  {
+    size_t n = count_of(config_.po_rate) / 2;
+    StreamTupleVec tuples;
+    tuples.reserve(n * 2);
+    for (StreamTime ts : times_of(n)) {
+      VertexId post = Vid("SPost" + std::to_string(next_post_++));
+      tuples.push_back(Tuple(user_vid(), p_po_, post, ts));
+      tuples.push_back(Tuple(post, p_ht_, Vid(Tag(rng_.Zipf(config_.hashtags))), ts));
+      recent_posts_.push_back(post);
+      if (recent_posts_.size() > kRecentPoolSize) {
+        recent_posts_.pop_front();
+      }
+    }
+    if (tee_) {
+      tee_("PO_Stream", tuples);
+    }
+    Status s = cluster_->FeedStream(po_, tuples);
+    if (!s.ok()) {
+      return s;
+    }
+  }
+  // PO-L: likes on recent posts (the heaviest stream, as in the paper).
+  {
+    size_t n = count_of(config_.pol_rate);
+    StreamTupleVec tuples;
+    tuples.reserve(n);
+    for (StreamTime ts : times_of(n)) {
+      // Likes concentrate on viral recent posts (Zipf over recency), which is
+      // what lets the stream index coalesce many likes into few spans.
+      size_t back = rng_.Zipf(recent_posts_.size());
+      VertexId post = recent_posts_[recent_posts_.size() - 1 - back];
+      tuples.push_back(Tuple(user_vid(), p_li_, post, ts));
+    }
+    if (tee_) {
+      tee_("POL_Stream", tuples);
+    }
+    Status s = cluster_->FeedStream(pol_, tuples);
+    if (!s.ok()) {
+      return s;
+    }
+  }
+  // PH: new photos with albums.
+  {
+    size_t n = count_of(config_.ph_rate) / 2;
+    StreamTupleVec tuples;
+    tuples.reserve(n * 2);
+    for (StreamTime ts : times_of(n)) {
+      VertexId photo = Vid("SPhoto" + std::to_string(next_photo_++));
+      tuples.push_back(Tuple(user_vid(), p_ph_, photo, ts));
+      tuples.push_back(Tuple(photo, p_ab_, Vid(Album(rng_.Zipf(config_.albums))), ts));
+      recent_photos_.push_back(photo);
+      if (recent_photos_.size() > kRecentPoolSize) {
+        recent_photos_.pop_front();
+      }
+    }
+    if (tee_) {
+      tee_("PH_Stream", tuples);
+    }
+    Status s = cluster_->FeedStream(ph_, tuples);
+    if (!s.ok()) {
+      return s;
+    }
+  }
+  // PH-L: photo likes.
+  {
+    size_t n = count_of(config_.phl_rate);
+    StreamTupleVec tuples;
+    tuples.reserve(n);
+    for (StreamTime ts : times_of(n)) {
+      size_t back = rng_.Zipf(recent_photos_.size());
+      VertexId photo = recent_photos_[recent_photos_.size() - 1 - back];
+      tuples.push_back(Tuple(user_vid(), p_pl_, photo, ts));
+    }
+    if (tee_) {
+      tee_("PHL_Stream", tuples);
+    }
+    Status s = cluster_->FeedStream(phl_, tuples);
+    if (!s.ok()) {
+      return s;
+    }
+  }
+  // GPS: timing data — user positions, quantized to a coarse grid.
+  {
+    size_t n = count_of(config_.gps_rate);
+    StreamTupleVec tuples;
+    tuples.reserve(n);
+    for (StreamTime ts : times_of(n)) {
+      std::string pos = std::to_string(rng_.Uniform(0, 99)) + "," +
+                        std::to_string(rng_.Uniform(0, 99));
+      tuples.push_back(Tuple(user_vid(), p_ga_, Vid(pos), ts));
+    }
+    if (tee_) {
+      tee_("GPS_Stream", tuples);
+    }
+    Status s = cluster_->FeedStream(gps_, tuples);
+    if (!s.ok()) {
+      return s;
+    }
+  }
+  cluster_->AdvanceStreams(to_ms);
+  return Status::Ok();
+}
+
+std::string LsBench::ContinuousQueryText(int number) const {
+  Rng fixed(config_.seed + static_cast<uint64_t>(number));
+  return ContinuousQueryText(number, &fixed);
+}
+
+std::string LsBench::ContinuousQueryText(int number, Rng* rng) const {
+  // Group (I) queries anchor on a typical user (uniform over the non-celebrity
+  // tail): their personal activity inside a window is small and stays roughly
+  // constant as the global stream rate grows — which is what makes these
+  // queries produce "quite fixed-size results regardless of the total data
+  // size" (paper §6.3).
+  std::string user = User(rng->Uniform(config_.users / 10, config_.users - 1));
+  // Paper setting: every window RANGE 1s STEP 100ms.
+  const std::string po_win = "FROM STREAM <PO_Stream> [RANGE 1s STEP 100ms]\n";
+  const std::string pol_win = "FROM STREAM <POL_Stream> [RANGE 1s STEP 100ms]\n";
+  const std::string ph_win = "FROM STREAM <PH_Stream> [RANGE 1s STEP 100ms]\n";
+  const std::string phl_win = "FROM STREAM <PHL_Stream> [RANGE 1s STEP 100ms]\n";
+  switch (number) {
+    case 1:
+      // Group (I): posts by one user in the window, with hashtags.
+      return "REGISTER QUERY L1 AS SELECT ?P ?T\n" + po_win +
+             "WHERE { GRAPH <PO_Stream> { " + user + " po ?P . ?P ht ?T } }";
+    case 2:
+      // Group (I): fresh posts by people this user follows.
+      return "REGISTER QUERY L2 AS SELECT ?F ?P\n" + po_win +
+             "FROM <X-Lab>\n"
+             "WHERE { GRAPH <X-Lab> { " +
+             user +
+             " fo ?F }\n"
+             "        GRAPH <PO_Stream> { ?F po ?P } }";
+    case 3:
+      // Group (I): who liked fresh posts of people this user follows.
+      return "REGISTER QUERY L3 AS SELECT ?F ?P ?W\n" + po_win + pol_win +
+             "FROM <X-Lab>\n"
+             "WHERE { GRAPH <X-Lab> { " +
+             user +
+             " fo ?F }\n"
+             "        GRAPH <PO_Stream> { ?F po ?P }\n"
+             "        GRAPH <POL_Stream> { ?W li ?P } }";
+    case 4:
+      // Group (II): every photo in the window with its album.
+      return "REGISTER QUERY L4 AS SELECT ?U ?P ?A\n" + ph_win +
+             "WHERE { GRAPH <PH_Stream> { ?U ph ?P . ?P ab ?A } }";
+    case 5:
+      // Group (II): every fresh post joined with the poster's followers.
+      return "REGISTER QUERY L5 AS SELECT ?U ?P ?F\n" + po_win +
+             "FROM <X-Lab>\n"
+             "WHERE { GRAPH <PO_Stream> { ?U po ?P }\n"
+             "        GRAPH <X-Lab> { ?F fo ?U } }";
+    case 6:
+      // Group (II): posters in the window whose followees like photos now.
+      return "REGISTER QUERY L6 AS SELECT ?U ?P ?Q\n" + po_win + phl_win +
+             "FROM <X-Lab>\n"
+             "WHERE { GRAPH <PO_Stream> { ?U po ?P }\n"
+             "        GRAPH <X-Lab> { ?U fo ?F }\n"
+             "        GRAPH <PHL_Stream> { ?F pl ?Q } }";
+    default:
+      assert(false && "LSBench continuous query number must be 1..6");
+      return "";
+  }
+}
+
+std::string LsBench::OneShotQueryText(int number) const {
+  Rng fixed(config_.seed + 100 + static_cast<uint64_t>(number));
+  // Anchor on a typical user (see ContinuousQueryText): celebrity anchors
+  // would absorb a disproportionate share of streamed facts and skew the
+  // static-vs-evolving comparison of Table 8.
+  std::string user = User(fixed.Uniform(config_.users / 10, config_.users - 1));
+  std::string tag = Tag(fixed.Zipf(config_.hashtags));
+  std::string post = "Post" + std::to_string(fixed.Uniform(
+                                  0, config_.users * config_.initial_posts_per_user -
+                                         1));
+  switch (number) {
+    case 1:
+      // Medium: followers of a user and what they post under one tag.
+      return "SELECT ?F ?P WHERE { ?F fo " + user + " . ?F po ?P . ?P ht " + tag +
+             " }";
+    case 2:
+      // Selective: one user's posts and hashtags.
+      return "SELECT ?P ?T WHERE { " + user + " po ?P . ?P ht ?T }";
+    case 3:
+      // Selective: posts of followees.
+      return "SELECT ?F ?P WHERE { " + user + " fo ?F . ?F po ?P }";
+    case 4:
+      // Non-selective: everything tagged with a popular tag.
+      return "SELECT ?U ?P WHERE { ?U po ?P . ?P ht " + tag + " }";
+    case 5:
+      // Selective: who liked one post, and whom they follow.
+      return "SELECT ?U ?F WHERE { ?U li " + post + " . ?U fo ?F }";
+    case 6:
+      // Non-selective: the full two-hop follow/post/hashtag join.
+      return "SELECT ?U ?F ?P WHERE { ?U fo ?F . ?F po ?P . ?P ht ?T }";
+    default:
+      assert(false && "LSBench one-shot query number must be 1..6");
+      return "";
+  }
+}
+
+size_t LsBench::total_rate_tuples_per_sec() const {
+  return static_cast<size_t>((config_.po_rate + config_.pol_rate + config_.ph_rate +
+                              config_.phl_rate + config_.gps_rate) *
+                             config_.rate_scale);
+}
+
+}  // namespace wukongs

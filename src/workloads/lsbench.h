@@ -1,0 +1,120 @@
+// LSBench-style social-network workload (paper §6.1, Table 1).
+//
+// The paper evaluates on LSBench (Linked Stream Benchmark): a social graph
+// as initially stored data (profiles, friendships, historical posts) plus
+// five RDF streams — post (PO), post-like (PO-L), photo (PH), photo-like
+// (PH-L) and GPS (GPS, timing data). This module is a from-scratch generator
+// with the same schema and stream-rate *ratios* (PO:PO-L:PH:PH-L:GPS =
+// 10:86:10:7.5:20), scaled to laptop size, and the six continuous queries
+// L1-L6 plus six one-shot queries S1-S6 in the same selectivity classes:
+//   group (I)  L1-L3: selective, constant-rooted, fixed-size results;
+//   group (II) L4-L6: non-selective, result size grows with data.
+
+#ifndef SRC_WORKLOADS_LSBENCH_H_
+#define SRC_WORKLOADS_LSBENCH_H_
+
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/cluster/cluster.h"
+#include "src/common/rng.h"
+
+namespace wukongs {
+
+struct LsBenchConfig {
+  size_t users = 2000;
+  size_t avg_follows = 10;
+  size_t initial_posts_per_user = 5;
+  size_t initial_photos_per_user = 2;
+  size_t hashtags = 200;
+  size_t albums = 100;
+  uint64_t seed = 42;
+
+  // Stream rates in tuples/second, preserving the paper's ratios at 1/100
+  // scale (paper totals 133K tuples/s across the five streams).
+  double po_rate = 100.0;
+  double pol_rate = 860.0;
+  double ph_rate = 100.0;
+  double phl_rate = 75.0;
+  double gps_rate = 200.0;
+  double rate_scale = 1.0;  // Multiplies every rate (Fig. 13 sweeps this).
+};
+
+class LsBench {
+ public:
+  static constexpr int kNumContinuous = 6;  // L1..L6.
+  static constexpr int kNumOneShot = 6;     // S1..S6.
+
+  LsBench(Cluster* cluster, LsBenchConfig config);
+
+  // Declares the five streams (GPS carries timing data) and loads the
+  // initial social graph. Call once, before feeding.
+  Status Setup();
+
+  // Generates and feeds stream tuples covering [from_ms, to_ms) at the
+  // configured rates, then advances stream clocks to to_ms.
+  Status FeedInterval(StreamTime from_ms, StreamTime to_ms);
+
+  // Continuous query L1..L6 (1-based); group (I) = L1-L3, group (II) = L4-L6.
+  // Window settings follow the paper: RANGE 1s, STEP 100ms.
+  std::string ContinuousQueryText(int number) const;
+  // Same query shape with a randomized constant start vertex, for the mixed
+  // throughput workloads of Figs. 14-15.
+  std::string ContinuousQueryText(int number, Rng* rng) const;
+
+  // One-shot query S1..S6 (1-based).
+  std::string OneShotQueryText(int number) const;
+
+  // Mirrors every generated batch of stream tuples to an external consumer
+  // (used by benches to feed the same workload into baseline engines).
+  using Tee = std::function<void(const std::string& stream_name,
+                                 const StreamTupleVec& tuples)>;
+  void SetTee(Tee tee) { tee_ = std::move(tee); }
+
+  // The initial graph, retained so baselines can load identical data.
+  const TripleVec& initial_graph() const { return initial_graph_; }
+
+  StreamId po_stream() const { return po_; }
+  StreamId pol_stream() const { return pol_; }
+  StreamId ph_stream() const { return ph_; }
+  StreamId phl_stream() const { return phl_; }
+  StreamId gps_stream() const { return gps_; }
+
+  size_t total_rate_tuples_per_sec() const;
+  size_t initial_triples() const { return initial_triples_; }
+
+ private:
+  std::string User(size_t i) const { return "User" + std::to_string(i); }
+  std::string Tag(size_t i) const { return "Tag" + std::to_string(i); }
+  std::string Album(size_t i) const { return "Album" + std::to_string(i); }
+
+  VertexId Vid(const std::string& s) { return cluster_->strings()->InternVertex(s); }
+
+  StreamTuple Tuple(VertexId s, PredicateId p, VertexId o, StreamTime ts) {
+    return StreamTuple{{s, p, o}, ts, TupleKind::kTimeless};
+  }
+
+  Cluster* cluster_;
+  LsBenchConfig config_;
+  Rng rng_;
+
+  StreamId po_ = 0, pol_ = 0, ph_ = 0, phl_ = 0, gps_ = 0;
+  PredicateId p_ty_ = 0, p_fo_ = 0, p_po_ = 0, p_ht_ = 0, p_li_ = 0, p_ph_ = 0,
+              p_ab_ = 0, p_pl_ = 0, p_ga_ = 0;
+  VertexId v_user_type_ = 0;
+
+  Tee tee_;
+  TripleVec initial_graph_;
+  size_t next_post_ = 0;
+  size_t next_photo_ = 0;
+  std::deque<VertexId> recent_posts_;   // Like targets.
+  std::deque<VertexId> recent_photos_;  // Photo-like targets.
+  size_t initial_triples_ = 0;
+  bool setup_done_ = false;
+};
+
+}  // namespace wukongs
+
+#endif  // SRC_WORKLOADS_LSBENCH_H_

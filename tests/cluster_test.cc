@@ -1,0 +1,300 @@
+// Integration tests: the full Wukong+S data path on the paper's running
+// example (Figs. 1-2) — hybrid store, stream index, VTS trigger, snapshot
+// scalarization, one-shot/continuous coexistence, RDMA vs TCP modes.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/cluster/cluster.h"
+
+namespace wukongs {
+namespace {
+
+constexpr char kQc[] = R"(
+    REGISTER QUERY QC AS
+    SELECT ?X ?Y ?Z
+    FROM STREAM <Tweet_Stream> [RANGE 10s STEP 1s]
+    FROM STREAM <Like_Stream> [RANGE 5s STEP 1s]
+    FROM <X-Lab>
+    WHERE {
+      GRAPH <Tweet_Stream> { ?X po ?Z }
+      GRAPH <X-Lab>        { ?X fo ?Y }
+      GRAPH <Like_Stream>  { ?Y li ?Z }
+    })";
+
+constexpr char kQs[] =
+    "SELECT ?X WHERE { Logan po ?X . ?X ht #sosp17 . Erik li ?X }";
+
+class ClusterTest : public ::testing::Test {
+ protected:
+  void Init(uint32_t nodes, uint64_t interval_ms = 1000) {
+    ClusterConfig config;
+    config.nodes = nodes;
+    config.batch_interval_ms = interval_ms;
+    cluster_ = std::make_unique<Cluster>(config);
+
+    tweet_ = *cluster_->DefineStream("Tweet_Stream", {"ga"});
+    like_ = *cluster_->DefineStream("Like_Stream");
+
+    // Initially stored data (paper Fig. 1, X-Lab).
+    StringServer* s = cluster_->strings();
+    auto triple = [&](const char* su, const char* p, const char* o) {
+      return Triple{s->InternVertex(su), s->InternPredicate(p),
+                    s->InternVertex(o)};
+    };
+    std::vector<Triple> base = {
+        triple("Logan", "fo", "Erik"),   triple("Erik", "fo", "Logan"),
+        triple("Logan", "po", "T-13"),   triple("Logan", "po", "T-14"),
+        triple("Erik", "po", "T-12"),    triple("T-12", "ht", "#sosp17"),
+        triple("T-13", "ht", "#sosp17"), triple("Erik", "li", "T-13"),
+        triple("Logan", "li", "T-12"),
+    };
+    cluster_->LoadBase(base);
+  }
+
+  StreamTuple Tuple(const char* su, const char* p, const char* o, StreamTime ts) {
+    StringServer* s = cluster_->strings();
+    return StreamTuple{{s->InternVertex(su), s->InternPredicate(p),
+                        s->InternVertex(o)},
+                       ts,
+                       TupleKind::kTimeless};
+  }
+
+  // Feeds the paper's Fig. 1 stream sample; "0802" -> t=2000ms etc.
+  void FeedPaperStreams() {
+    ASSERT_TRUE(cluster_
+                    ->FeedStream(tweet_, {Tuple("Logan", "po", "T-15", 2000),
+                                          Tuple("T-15", "ga", "31,121", 2000),
+                                          Tuple("T-15", "ht", "#sosp17", 2000),
+                                          Tuple("Erik", "po", "T-16", 5000),
+                                          Tuple("T-16", "ga", "41,-74", 5000),
+                                          Tuple("Logan", "po", "T-17", 8000),
+                                          Tuple("T-17", "ga", "31,121", 8000)})
+                    .ok());
+    ASSERT_TRUE(cluster_
+                    ->FeedStream(like_, {Tuple("Erik", "li", "T-15", 6000),
+                                         Tuple("Tony", "li", "T-15", 6000),
+                                         Tuple("Bruce", "li", "T-15", 6000)})
+                    .ok());
+    cluster_->AdvanceStreams(10000);
+  }
+
+  std::string Name(const ResultValue& v) {
+    return *cluster_->strings()->VertexString(v.vid);
+  }
+
+  std::unique_ptr<Cluster> cluster_;
+  StreamId tweet_ = 0;
+  StreamId like_ = 0;
+};
+
+TEST_F(ClusterTest, OneShotOnStoredDataOnly) {
+  Init(2);
+  auto exec = cluster_->OneShot(kQs);
+  ASSERT_TRUE(exec.ok()) << exec.status().ToString();
+  ASSERT_EQ(exec->result.rows.size(), 1u);
+  EXPECT_EQ(Name(exec->result.rows[0][0]), "T-13");
+  EXPECT_GT(exec->latency_ms(), 0.0);
+}
+
+TEST_F(ClusterTest, ContinuousQueryPaperExample) {
+  Init(2);
+  auto handle = cluster_->RegisterContinuous(kQc);
+  ASSERT_TRUE(handle.ok()) << handle.status().ToString();
+  FeedPaperStreams();
+
+  ASSERT_TRUE(cluster_->WindowReady(*handle, 10000));
+  auto exec = cluster_->ExecuteContinuousAt(*handle, 10000);
+  ASSERT_TRUE(exec.ok()) << exec.status().ToString();
+  // Paper: "the first execution result at 0810 includes Logan Erik T-15".
+  ASSERT_EQ(exec->result.rows.size(), 1u);
+  EXPECT_EQ(Name(exec->result.rows[0][0]), "Logan");
+  EXPECT_EQ(Name(exec->result.rows[0][1]), "Erik");
+  EXPECT_EQ(Name(exec->result.rows[0][2]), "T-15");
+}
+
+TEST_F(ClusterTest, TriggerWaitsForAllNodes) {
+  Init(2);
+  auto handle = cluster_->RegisterContinuous(kQc);
+  ASSERT_TRUE(handle.ok());
+  // No data fed: windows cannot be ready.
+  EXPECT_FALSE(cluster_->WindowReady(*handle, 10000));
+  auto exec = cluster_->ExecuteContinuousAt(*handle, 10000);
+  EXPECT_FALSE(exec.ok());
+  EXPECT_EQ(exec.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ClusterTest, WindowSlidesExcludeExpiredData) {
+  Init(2);
+  auto handle = cluster_->RegisterContinuous(kQc);
+  ASSERT_TRUE(handle.ok());
+  FeedPaperStreams();
+  cluster_->AdvanceStreams(13000);
+
+  // At 0813 the like window is (0808, 0813]: Erik's like at 0806 expired.
+  auto exec = cluster_->ExecuteContinuousAt(*handle, 13000);
+  ASSERT_TRUE(exec.ok()) << exec.status().ToString();
+  EXPECT_TRUE(exec->result.rows.empty());
+}
+
+TEST_F(ClusterTest, TimelessDataBecomesVisibleToOneShot) {
+  Init(2);
+  FeedPaperStreams();
+  // T-15 (from the stream) now matches QS alongside the stored T-13.
+  auto exec = cluster_->OneShot(kQs);
+  ASSERT_TRUE(exec.ok()) << exec.status().ToString();
+  std::set<std::string> results;
+  for (const auto& row : exec->result.rows) {
+    results.insert(Name(row[0]));
+  }
+  EXPECT_EQ(results, (std::set<std::string>{"T-13", "T-15"}));
+}
+
+TEST_F(ClusterTest, TimingDataStaysOutOfPersistentStore) {
+  Init(2);
+  FeedPaperStreams();
+  // GPS (ga) is timing data: invisible to one-shot queries.
+  auto exec = cluster_->OneShot("SELECT ?X WHERE { T-15 ga ?X }");
+  ASSERT_TRUE(exec.ok()) << exec.status().ToString();
+  EXPECT_TRUE(exec->result.rows.empty());
+}
+
+TEST_F(ClusterTest, TimingDataVisibleInWindows) {
+  Init(2);
+  auto handle = cluster_->RegisterContinuous(R"(
+      REGISTER QUERY gps AS
+      SELECT ?X ?G
+      FROM STREAM <Tweet_Stream> [RANGE 10s STEP 1s]
+      WHERE { GRAPH <Tweet_Stream> { ?X ga ?G } })");
+  ASSERT_TRUE(handle.ok()) << handle.status().ToString();
+  FeedPaperStreams();
+  auto exec = cluster_->ExecuteContinuousAt(*handle, 10000);
+  ASSERT_TRUE(exec.ok()) << exec.status().ToString();
+  EXPECT_EQ(exec->result.rows.size(), 3u);  // T-15, T-16, T-17 positions.
+}
+
+TEST_F(ClusterTest, OneShotRejectsStreamQueries) {
+  Init(1);
+  auto exec = cluster_->OneShot(kQc);
+  EXPECT_FALSE(exec.ok());
+}
+
+TEST_F(ClusterTest, RegisterRejectsUnknownStream) {
+  Init(1);
+  auto handle = cluster_->RegisterContinuous(R"(
+      REGISTER QUERY q AS
+      SELECT ?X
+      FROM STREAM <Nope_Stream> [RANGE 1s STEP 1s]
+      WHERE { GRAPH <Nope_Stream> { ?X po ?Y } })");
+  EXPECT_FALSE(handle.ok());
+  EXPECT_EQ(handle.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(ClusterTest, SnapshotIsolationHidesInflightBatches) {
+  Init(2);
+  FeedPaperStreams();
+  SnapshotNum sn_before = cluster_->coordinator()->StableSn();
+  EXPECT_GT(sn_before, 0u);
+
+  // Read the store at the stable snapshot, then inject more data; a reader
+  // at the old snapshot must not see the new appends.
+  VertexId logan = *cluster_->strings()->FindVertex("Logan");
+  PredicateId po = *cluster_->strings()->FindPredicate("po");
+  Key k(logan, po, Dir::kOut);
+  GStore* shard = cluster_->store(cluster_->OwnerOf(logan));
+  size_t visible_before = shard->EdgeCount(k, sn_before);
+
+  ASSERT_TRUE(
+      cluster_->FeedStream(tweet_, {Tuple("Logan", "po", "T-99", 10500)}).ok());
+  cluster_->AdvanceStreams(11000);
+
+  EXPECT_EQ(shard->EdgeCount(k, sn_before), visible_before);
+  SnapshotNum sn_after = cluster_->coordinator()->StableSn();
+  EXPECT_GT(sn_after, sn_before);
+  EXPECT_EQ(shard->EdgeCount(k, sn_after), visible_before + 1);
+}
+
+TEST_F(ClusterTest, ResultsIdenticalAcrossNodeCounts) {
+  for (uint32_t nodes : {1u, 3u, 8u}) {
+    Init(nodes);
+    auto handle = cluster_->RegisterContinuous(kQc);
+    ASSERT_TRUE(handle.ok());
+    FeedPaperStreams();
+    auto exec = cluster_->ExecuteContinuousAt(*handle, 10000);
+    ASSERT_TRUE(exec.ok()) << "nodes=" << nodes;
+    ASSERT_EQ(exec->result.rows.size(), 1u) << "nodes=" << nodes;
+    EXPECT_EQ(Name(exec->result.rows[0][2]), "T-15");
+  }
+}
+
+TEST_F(ClusterTest, TcpModeIsSlowForDistributedQueries) {
+  // Non-selective query over 8 nodes: the TCP (fork-join) configuration must
+  // model higher latency than RDMA (paper Table 5 direction).
+  auto run = [&](Transport transport, bool force_fork_join) {
+    ClusterConfig config;
+    config.nodes = 8;
+    config.batch_interval_ms = 1000;
+    config.transport = transport;
+    config.force_fork_join = force_fork_join;
+    Cluster cluster(config);
+    StringServer* s = cluster.strings();
+    std::vector<Triple> base;
+    for (int i = 0; i < 2000; ++i) {
+      base.push_back({s->InternVertex("u" + std::to_string(i)),
+                      s->InternPredicate("po"),
+                      s->InternVertex("t" + std::to_string(i))});
+    }
+    cluster.LoadBase(base);
+    auto exec = cluster.OneShot("SELECT ?X ?Y WHERE { ?X po ?Y }");
+    EXPECT_TRUE(exec.ok());
+    EXPECT_EQ(exec->result.rows.size(), 2000u);
+    EXPECT_TRUE(exec->fork_join);
+    return exec->net_ms;
+  };
+  double rdma_net = run(Transport::kRdma, false);
+  double tcp_net = run(Transport::kTcp, true);
+  EXPECT_GT(tcp_net, rdma_net);
+}
+
+TEST_F(ClusterTest, MaintenanceEvictsExpiredState) {
+  Init(2);
+  auto handle = cluster_->RegisterContinuous(kQc);
+  ASSERT_TRUE(handle.ok());
+  FeedPaperStreams();
+  cluster_->AdvanceStreams(20000);
+
+  auto before = cluster_->Memory();
+  // Nothing needs batches before t=10s (max range is 10s, now=20s).
+  cluster_->RunMaintenance(10000);
+  auto after = cluster_->Memory();
+  EXPECT_LE(after.stream_index_bytes, before.stream_index_bytes);
+  EXPECT_LE(after.transient_bytes, before.transient_bytes);
+  EXPECT_LT(after.transient_bytes, before.transient_bytes);
+}
+
+TEST_F(ClusterTest, InjectionProfileAccumulates) {
+  Init(2);
+  FeedPaperStreams();
+  auto profile = cluster_->injection_profile(tweet_);
+  EXPECT_EQ(profile.tuples, 7u);
+  EXPECT_EQ(profile.batches, 10u);  // Batches 0..9.
+  EXPECT_GT(profile.inject_ms, 0.0);
+  EXPECT_GT(profile.index_ms, 0.0);
+}
+
+TEST_F(ClusterTest, MemoryReportCountsStreamState) {
+  Init(2);
+  auto handle = cluster_->RegisterContinuous(kQc);
+  ASSERT_TRUE(handle.ok());
+  FeedPaperStreams();
+  auto mem = cluster_->Memory();
+  EXPECT_GT(mem.store_bytes, 0u);
+  EXPECT_GT(mem.stream_index_bytes, 0u);
+  EXPECT_GT(mem.transient_bytes, 0u);
+  EXPECT_GT(mem.stream_appended_edges, 0u);
+  EXPECT_GE(mem.stream_index_replicas, 2u);  // QC subscribes two streams.
+}
+
+}  // namespace
+}  // namespace wukongs

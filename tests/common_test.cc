@@ -1,0 +1,215 @@
+// Unit tests for src/common: packed keys, status, histogram, latency model.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "src/common/histogram.h"
+#include "src/common/ids.h"
+#include "src/common/latency_model.h"
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/common/table_printer.h"
+
+namespace wukongs {
+namespace {
+
+TEST(KeyTest, PackUnpackRoundTrip) {
+  Key k(12345, 678, Dir::kOut);
+  EXPECT_EQ(k.vid(), 12345u);
+  EXPECT_EQ(k.pid(), 678u);
+  EXPECT_EQ(k.dir(), Dir::kOut);
+  EXPECT_FALSE(k.is_index());
+
+  Key in(1, 1, Dir::kIn);
+  EXPECT_EQ(in.dir(), Dir::kIn);
+}
+
+TEST(KeyTest, MaxValuesRoundTrip) {
+  Key k(kMaxVertexId, kMaxPredicateId, Dir::kIn);
+  EXPECT_EQ(k.vid(), kMaxVertexId);
+  EXPECT_EQ(k.pid(), kMaxPredicateId);
+  EXPECT_EQ(k.dir(), Dir::kIn);
+}
+
+TEST(KeyTest, IndexVertexDetected) {
+  Key k(kIndexVertex, 4, Dir::kOut);
+  EXPECT_TRUE(k.is_index());
+}
+
+TEST(KeyTest, DistinctKeysDiffer) {
+  EXPECT_NE(Key(1, 2, Dir::kOut), Key(1, 2, Dir::kIn));
+  EXPECT_NE(Key(1, 2, Dir::kOut), Key(2, 2, Dir::kOut));
+  EXPECT_NE(Key(1, 2, Dir::kOut), Key(1, 3, Dir::kOut));
+}
+
+TEST(KeyTest, HashSpreads) {
+  KeyHash h;
+  EXPECT_NE(h(Key(1, 1, Dir::kOut)), h(Key(2, 1, Dir::kOut)));
+  EXPECT_NE(h(Key(1, 1, Dir::kOut)), h(Key(1, 1, Dir::kIn)));
+}
+
+TEST(KeyTest, DebugStringMatchesPaperNotation) {
+  EXPECT_EQ(Key(1, 4, Dir::kOut).DebugString(), "[1|4|1]");
+  EXPECT_EQ(Key(7, 4, Dir::kIn).DebugString(), "[7|4|0]");
+}
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("missing thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.ToString(), "NOT_FOUND: missing thing");
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v(42);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v(Status::InvalidArgument("bad"));
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(HistogramTest, PercentilesOnKnownData) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) {
+    h.Add(static_cast<double>(i));
+  }
+  EXPECT_DOUBLE_EQ(h.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.Max(), 100.0);
+  EXPECT_NEAR(h.Median(), 50.5, 0.01);
+  EXPECT_NEAR(h.Percentile(99), 99.01, 0.1);
+  EXPECT_NEAR(h.Mean(), 50.5, 1e-9);
+}
+
+TEST(HistogramTest, SingleSample) {
+  Histogram h;
+  h.Add(7.0);
+  EXPECT_DOUBLE_EQ(h.Median(), 7.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(99), 7.0);
+}
+
+TEST(HistogramTest, MergeCombinesSamples) {
+  Histogram a;
+  Histogram b;
+  a.Add(1.0);
+  b.Add(3.0);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.Mean(), 2.0);
+}
+
+TEST(HistogramTest, GeometricMean) {
+  Histogram h;
+  h.Add(1.0);
+  h.Add(100.0);
+  EXPECT_NEAR(h.GeometricMean(), 10.0, 1e-9);
+  EXPECT_NEAR(GeometricMeanOf({2.0, 8.0}), 4.0, 1e-9);
+}
+
+TEST(HistogramTest, CdfIsMonotone) {
+  Histogram h;
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    h.Add(rng.UniformReal(0.0, 10.0));
+  }
+  auto cdf = h.Cdf(10);
+  ASSERT_EQ(cdf.size(), 10u);
+  for (size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_GE(cdf[i].first, cdf[i - 1].first);
+    EXPECT_GT(cdf[i].second, cdf[i - 1].second);
+  }
+  EXPECT_DOUBLE_EQ(cdf.back().second, 1.0);
+}
+
+TEST(SimCostTest, AccumulatesPerThread) {
+  SimCost::Reset();
+  SimCost::Add(100.0);
+  SimCost::Add(50.0);
+  EXPECT_DOUBLE_EQ(SimCost::TotalNs(), 150.0);
+
+  std::thread other([] {
+    SimCost::Reset();
+    SimCost::Add(1.0);
+    EXPECT_DOUBLE_EQ(SimCost::TotalNs(), 1.0);
+  });
+  other.join();
+  EXPECT_DOUBLE_EQ(SimCost::TotalNs(), 150.0);
+}
+
+TEST(SimCostTest, ScopeIsolatesAndRestores) {
+  SimCost::Reset();
+  SimCost::Add(10.0);
+  {
+    SimCost::Scope scope;
+    SimCost::Add(5.0);
+    EXPECT_DOUBLE_EQ(scope.AccruedNs(), 5.0);
+  }
+  EXPECT_DOUBLE_EQ(SimCost::TotalNs(), 15.0);
+}
+
+TEST(LatencyProbeTest, IncludesSimCost) {
+  SimCost::Reset();
+  LatencyProbe probe;
+  SimCost::Add(1e6);  // 1 ms modeled.
+  EXPECT_GE(probe.FinishMs(), 1.0);
+  EXPECT_LT(probe.FinishMs(), 100.0);
+}
+
+TEST(RngTest, DeterministicWithSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Uniform(0, 1000), b.Uniform(0, 1000));
+  }
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t v = rng.Uniform(5, 10);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 10u);
+  }
+}
+
+TEST(RngTest, ZipfSkewsLow) {
+  Rng rng(1);
+  size_t low = 0;
+  constexpr int kSamples = 10000;
+  for (int i = 0; i < kSamples; ++i) {
+    if (rng.Zipf(1000) < 100) {
+      ++low;
+    }
+  }
+  // With skew, the lowest decile should receive far more than 10% of mass.
+  EXPECT_GT(low, kSamples / 5);
+}
+
+TEST(TablePrinterTest, FormatsAlignedTable) {
+  TablePrinter t({"name", "value"});
+  t.AddRow({"a", TablePrinter::Num(1.234, 2)});
+  t.AddRow({"long-name", TablePrinter::Num(-1, 2)});
+  std::string s = t.ToString();
+  EXPECT_NE(s.find("| name "), std::string::npos);
+  EXPECT_NE(s.find("1.23"), std::string::npos);
+  EXPECT_NE(s.find("| -"), std::string::npos);  // Negative renders as "-".
+}
+
+TEST(NetworkModelTest, RdmaCheaperThanTcp) {
+  NetworkModel m;
+  EXPECT_LT(m.rdma_read_base_ns, m.tcp_msg_base_ns);
+  EXPECT_LT(m.rdma_msg_per_byte_ns, m.tcp_msg_per_byte_ns);
+}
+
+}  // namespace
+}  // namespace wukongs

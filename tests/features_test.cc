@@ -1,0 +1,271 @@
+// Tests for the extension features: DISTINCT / ORDER BY / LIMIT solution
+// modifiers, time-scoped one-shot queries over streams (the Time-ontology
+// form, paper §4.2 footnote), the client library / proxy, and string-server
+// persistence.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "src/cluster/client.h"
+#include "src/cluster/cluster.h"
+#include "src/sparql/parser.h"
+
+namespace wukongs {
+namespace {
+
+class FeaturesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ClusterConfig config;
+    config.nodes = 2;
+    config.batch_interval_ms = 100;
+    cluster_ = std::make_unique<Cluster>(config);
+    posts_ = *cluster_->DefineStream("Post_Stream", {"ga"});
+
+    StringServer* s = cluster_->strings();
+    auto triple = [&](const char* a, const char* p, const char* o) {
+      return Triple{s->InternVertex(a), s->InternPredicate(p), s->InternVertex(o)};
+    };
+    cluster_->LoadBase(std::vector<Triple>{
+        triple("alice", "score", "30"), triple("bob", "score", "10"),
+        triple("carol", "score", "20"), triple("alice", "fo", "bob"),
+        triple("alice", "fo", "carol"), triple("bob", "fo", "carol")});
+  }
+
+  void FeedPosts() {
+    StringServer* s = cluster_->strings();
+    auto tuple = [&](const char* a, const char* o, StreamTime ts) {
+      return StreamTuple{{s->InternVertex(a), s->InternPredicate("po"),
+                          s->InternVertex(o)},
+                         ts,
+                         TupleKind::kTimeless};
+    };
+    ASSERT_TRUE(cluster_
+                    ->FeedStream(posts_, {tuple("alice", "p1", 150),
+                                          tuple("bob", "p2", 450),
+                                          tuple("carol", "p3", 750),
+                                          tuple("alice", "p4", 950)})
+                    .ok());
+    cluster_->AdvanceStreams(1000);
+  }
+
+  std::string Name(const ResultValue& v) {
+    return *cluster_->strings()->VertexString(v.vid);
+  }
+
+  std::unique_ptr<Cluster> cluster_;
+  StreamId posts_ = 0;
+};
+
+// --- Solution modifiers ---
+
+TEST_F(FeaturesTest, OrderByAscending) {
+  auto exec = cluster_->OneShot(
+      "SELECT ?U ?S WHERE { ?U score ?S } ORDER BY ?S");
+  ASSERT_TRUE(exec.ok()) << exec.status().ToString();
+  ASSERT_EQ(exec->result.rows.size(), 3u);
+  EXPECT_EQ(Name(exec->result.rows[0][0]), "bob");    // 10
+  EXPECT_EQ(Name(exec->result.rows[1][0]), "carol");  // 20
+  EXPECT_EQ(Name(exec->result.rows[2][0]), "alice");  // 30
+}
+
+TEST_F(FeaturesTest, OrderByDescending) {
+  auto exec = cluster_->OneShot(
+      "SELECT ?U ?S WHERE { ?U score ?S } ORDER BY DESC(?S)");
+  ASSERT_TRUE(exec.ok()) << exec.status().ToString();
+  ASSERT_EQ(exec->result.rows.size(), 3u);
+  EXPECT_EQ(Name(exec->result.rows[0][0]), "alice");
+}
+
+TEST_F(FeaturesTest, Limit) {
+  auto exec = cluster_->OneShot(
+      "SELECT ?U ?S WHERE { ?U score ?S } ORDER BY DESC(?S) LIMIT 2");
+  ASSERT_TRUE(exec.ok()) << exec.status().ToString();
+  ASSERT_EQ(exec->result.rows.size(), 2u);
+  EXPECT_EQ(Name(exec->result.rows[0][0]), "alice");
+  EXPECT_EQ(Name(exec->result.rows[1][0]), "carol");
+}
+
+TEST_F(FeaturesTest, Distinct) {
+  // ?Y ranges over people followed by anyone: carol appears twice without
+  // DISTINCT, once with.
+  auto plain = cluster_->OneShot("SELECT ?Y WHERE { ?X fo ?Y }");
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(plain->result.rows.size(), 3u);
+  auto distinct = cluster_->OneShot("SELECT DISTINCT ?Y WHERE { ?X fo ?Y }");
+  ASSERT_TRUE(distinct.ok()) << distinct.status().ToString();
+  EXPECT_EQ(distinct->result.rows.size(), 2u);
+}
+
+TEST_F(FeaturesTest, OrderByRequiresProjectedVariable) {
+  auto exec = cluster_->OneShot("SELECT ?U WHERE { ?U score ?S } ORDER BY ?S");
+  EXPECT_FALSE(exec.ok());
+  EXPECT_EQ(exec.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(FeaturesTest, ParserRejectsZeroLimit) {
+  StringServer s;
+  EXPECT_FALSE(ParseQuery("SELECT ?U WHERE { ?U a b } LIMIT 0", &s).ok());
+}
+
+TEST_F(FeaturesTest, ModifiersOnAggregates) {
+  FeedPosts();
+  auto exec = cluster_->OneShot(
+      "SELECT ?U (COUNT(?P) AS ?n) WHERE { ?U po ?P } GROUP BY ?U "
+      "ORDER BY ?U LIMIT 2");
+  ASSERT_TRUE(exec.ok()) << exec.status().ToString();
+  ASSERT_EQ(exec->result.rows.size(), 2u);
+  EXPECT_EQ(Name(exec->result.rows[0][0]), "alice");
+  EXPECT_DOUBLE_EQ(exec->result.rows[0][1].number, 2.0);
+}
+
+// --- Time-scoped one-shot queries ---
+
+TEST_F(FeaturesTest, AbsoluteWindowOneShot) {
+  FeedPosts();
+  // Posts in [0.1s, 0.8s): p1 (150), p2 (450), p3 (750) — not p4 (950).
+  auto exec = cluster_->OneShot(R"(
+      SELECT ?U ?P
+      FROM STREAM <Post_Stream> [FROM 100ms TO 800ms]
+      WHERE { GRAPH <Post_Stream> { ?U po ?P } })");
+  ASSERT_TRUE(exec.ok()) << exec.status().ToString();
+  EXPECT_EQ(exec->result.rows.size(), 3u);
+}
+
+TEST_F(FeaturesTest, AbsoluteWindowClampsToStablePrefix) {
+  FeedPosts();
+  // The scope extends past injected data; the read clamps to Stable_VTS.
+  auto exec = cluster_->OneShot(R"(
+      SELECT ?P
+      FROM STREAM <Post_Stream> [FROM 0ms TO 60s]
+      WHERE { GRAPH <Post_Stream> { alice po ?P } })");
+  ASSERT_TRUE(exec.ok()) << exec.status().ToString();
+  EXPECT_EQ(exec->result.rows.size(), 2u);  // p1 and p4.
+}
+
+TEST_F(FeaturesTest, AbsoluteWindowBeforeAnyDataIsEmpty) {
+  auto exec = cluster_->OneShot(R"(
+      SELECT ?P
+      FROM STREAM <Post_Stream> [FROM 0ms TO 1s]
+      WHERE { GRAPH <Post_Stream> { alice po ?P } })");
+  ASSERT_TRUE(exec.ok()) << exec.status().ToString();
+  EXPECT_TRUE(exec->result.rows.empty());
+}
+
+TEST_F(FeaturesTest, ParserRejectsMixedWindowKinds) {
+  StringServer s;
+  // Continuous query with an absolute window.
+  EXPECT_FALSE(ParseQuery(R"(
+      REGISTER QUERY q AS SELECT ?P
+      FROM STREAM <S> [FROM 1s TO 2s]
+      WHERE { GRAPH <S> { a po ?P } })",
+                          &s)
+                   .ok());
+  // One-shot query with a sliding window.
+  EXPECT_FALSE(ParseQuery(R"(
+      SELECT ?P
+      FROM STREAM <S> [RANGE 1s STEP 1s]
+      WHERE { GRAPH <S> { a po ?P } })",
+                          &s)
+                   .ok());
+}
+
+TEST_F(FeaturesTest, ParserRejectsInvertedAbsoluteWindow) {
+  StringServer s;
+  EXPECT_FALSE(ParseQuery(R"(
+      SELECT ?P FROM STREAM <S> [FROM 2s TO 1s]
+      WHERE { GRAPH <S> { a po ?P } })",
+                          &s)
+                   .ok());
+}
+
+// --- Client library / proxy ---
+
+TEST_F(FeaturesTest, ClientCachesStoredProcedures) {
+  Client client(cluster_.get());
+  std::string text = "SELECT ?U ?S WHERE { ?U score ?S }";
+  ASSERT_TRUE(client.Submit(text).ok());
+  ASSERT_TRUE(client.Submit(text).ok());
+  ASSERT_TRUE(client.Submit(text).ok());
+  EXPECT_EQ(client.stats().one_shot_queries, 3u);
+  EXPECT_EQ(client.stats().procedure_cache_hits, 2u);
+  EXPECT_GT(client.stats().total_latency_ms, 0.0);
+}
+
+TEST_F(FeaturesTest, ClientRegisterAndPoll) {
+  Client client(cluster_.get());
+  auto handle = client.Register(R"(
+      REGISTER QUERY q AS SELECT ?U ?P
+      FROM STREAM <Post_Stream> [RANGE 1s STEP 100ms]
+      WHERE { GRAPH <Post_Stream> { ?U po ?P } })");
+  ASSERT_TRUE(handle.ok()) << handle.status().ToString();
+  FeedPosts();
+  auto exec = client.Poll(*handle, 1000);
+  ASSERT_TRUE(exec.ok()) << exec.status().ToString();
+  EXPECT_EQ(exec->result.rows.size(), 4u);
+  EXPECT_EQ(client.stats().polls, 1u);
+
+  auto rendered = client.Render(exec->result);
+  ASSERT_EQ(rendered.size(), 4u);
+  EXPECT_EQ(rendered[0].size(), 2u);
+}
+
+TEST_F(FeaturesTest, ProxyBalancesClientsAcrossNodes) {
+  Proxy proxy(cluster_.get());
+  Client a = proxy.NewClient();
+  Client b = proxy.NewClient();
+  Client c = proxy.NewClient();
+  EXPECT_EQ(a.home(), 0u);
+  EXPECT_EQ(b.home(), 1u);
+  EXPECT_EQ(c.home(), 0u);  // Wraps around 2 nodes.
+}
+
+TEST_F(FeaturesTest, ClientReportsParseErrors) {
+  Client client(cluster_.get());
+  auto exec = client.Submit("SELECT WHERE {}");
+  EXPECT_FALSE(exec.ok());
+}
+
+// --- String-server persistence ---
+
+TEST(StringServerPersistenceTest, SaveLoadRoundTrip) {
+  auto path = std::filesystem::temp_directory_path() /
+              ("wukongs_strings_" + std::to_string(::getpid()) + ".bin");
+  StringServer a;
+  VertexId logan = a.InternVertex("Logan");
+  VertexId erik = a.InternVertex("Erik");
+  PredicateId po = a.InternPredicate("po");
+  ASSERT_TRUE(a.Save(path.string()).ok());
+
+  StringServer b;
+  ASSERT_TRUE(b.Load(path.string()).ok());
+  EXPECT_EQ(b.vertex_count(), a.vertex_count());
+  EXPECT_EQ(b.FindVertex("Logan"), logan);
+  EXPECT_EQ(b.FindVertex("Erik"), erik);
+  EXPECT_EQ(b.FindPredicate("po"), po);
+  // Interning continues with consistent IDs.
+  EXPECT_EQ(b.InternVertex("Logan"), logan);
+  EXPECT_GT(b.InternVertex("Tony"), erik);
+  std::filesystem::remove(path);
+}
+
+TEST(StringServerPersistenceTest, LoadRequiresFreshServer) {
+  auto path = std::filesystem::temp_directory_path() /
+              ("wukongs_strings2_" + std::to_string(::getpid()) + ".bin");
+  StringServer a;
+  a.InternVertex("x");
+  ASSERT_TRUE(a.Save(path.string()).ok());
+  StringServer b;
+  b.InternVertex("y");
+  EXPECT_FALSE(b.Load(path.string()).ok());
+  std::filesystem::remove(path);
+}
+
+TEST(StringServerPersistenceTest, MissingFileIsNotFound) {
+  StringServer s;
+  EXPECT_EQ(s.Load("/nonexistent/strings.bin").code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace wukongs

@@ -1,0 +1,133 @@
+// Property tests for the snapshot-segmented store: random operation
+// sequences (bulk loads, snapshot-tagged injections, collapses, reads at
+// arbitrary snapshots) are checked against a trivially-correct reference
+// model, across seeds (parameterized).
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "src/common/rng.h"
+#include "src/store/gstore.h"
+
+namespace wukongs {
+namespace {
+
+// Reference model: per key, an ordered list of (value, effective_sn).
+// CollapseBelow(floor) folds entries with sn <= floor into the base (sn 0).
+class ModelStore {
+ public:
+  void Append(Key key, VertexId value, SnapshotNum sn) {
+    entries_[key].emplace_back(value, sn);
+  }
+  void CollapseBelow(SnapshotNum floor) {
+    if (floor <= floor_) {
+      return;
+    }
+    floor_ = floor;
+    for (auto& [key, list] : entries_) {
+      for (auto& [value, sn] : list) {
+        if (sn <= floor) {
+          sn = 0;
+        }
+      }
+    }
+  }
+  std::vector<VertexId> Read(Key key, SnapshotNum sn) const {
+    std::vector<VertexId> out;
+    auto it = entries_.find(key);
+    if (it == entries_.end()) {
+      return out;
+    }
+    // Visibility is a prefix: entries are appended in non-decreasing sn
+    // order, so cut at the first entry above sn.
+    for (const auto& [value, esn] : it->second) {
+      if (esn > sn) {
+        break;
+      }
+      out.push_back(value);
+    }
+    return out;
+  }
+
+ private:
+  std::map<Key, std::vector<std::pair<VertexId, SnapshotNum>>> entries_;
+  SnapshotNum floor_ = 0;
+};
+
+class GStorePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GStorePropertyTest, RandomOpsMatchModel) {
+  Rng rng(GetParam());
+  GStore store(0);
+  ModelStore model;
+
+  constexpr size_t kVertices = 40;
+  constexpr PredicateId kPredicates = 4;
+  // Injection order is globally non-decreasing in SN, the invariant the
+  // Cluster maintains by injecting batches in sequence order.
+  std::set<uint64_t> touched;
+  SnapshotNum global_sn = 1;
+  SnapshotNum global_floor = 0;
+  SnapshotNum max_sn = 1;
+
+  auto random_key = [&] {
+    return Key(rng.Uniform(1, kVertices), 1 + static_cast<PredicateId>(rng.Uniform(
+                                                  0, kPredicates - 1)),
+               rng.Bernoulli(0.5) ? Dir::kOut : Dir::kIn);
+  };
+
+  for (int op = 0; op < 3000; ++op) {
+    double dice = rng.UniformReal(0, 1);
+    if (dice < 0.55) {
+      // Inject under a snapshot >= the global last snapshot and > floor.
+      Key key = random_key();
+      SnapshotNum lo = std::max({global_sn, global_floor + 1, SnapshotNum{1}});
+      SnapshotNum sn = lo + rng.Uniform(0, 1);
+      global_sn = sn;
+      max_sn = std::max(max_sn, sn);
+      touched.insert(key.packed());
+      VertexId value = rng.Uniform(1, 1000000);
+      store.InjectEdge(key, value, sn, nullptr);
+      model.Append(key, value, sn);
+      // Mirror the automatic index-vertex append on key creation: the model
+      // sees it through reads of the index key, so replicate the rule.
+      // (GStore appends key.vid() to [0|pid|dir] on first creation.)
+      // We detect creation via the model: list size 1 after append.
+      if (model.Read(key, ~SnapshotNum{0}).size() == 1) {
+        model.Append(Key(kIndexVertex, key.pid(), key.dir()), key.vid(), sn);
+      }
+    } else if (dice < 0.6) {
+      // Collapse: advance the floor a little.
+      SnapshotNum floor = global_floor + rng.Uniform(0, 2);
+      floor = std::min(floor, max_sn);
+      global_floor = std::max(global_floor, floor);
+      store.CollapseBelow(floor);
+      model.CollapseBelow(floor);
+    } else {
+      // Read at a random snapshot at or above the floor (the contract: the
+      // Coordinator never hands out snapshots below the collapse floor).
+      Key key = rng.Bernoulli(0.2)
+                    ? Key(kIndexVertex,
+                          1 + static_cast<PredicateId>(rng.Uniform(0, kPredicates - 1)),
+                          rng.Bernoulli(0.5) ? Dir::kOut : Dir::kIn)
+                    : random_key();
+      SnapshotNum sn = global_floor + rng.Uniform(0, max_sn - global_floor + 1);
+      ASSERT_EQ(store.GetEdges(key, sn), model.Read(key, sn))
+          << "op " << op << " key " << key.DebugString() << " sn " << sn;
+    }
+  }
+
+  // Final sweep: every touched key matches at the newest snapshot.
+  for (uint64_t packed : touched) {
+    Key key = Key::FromPacked(packed);
+    EXPECT_EQ(store.GetEdges(key, max_sn), model.Read(key, max_sn));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GStorePropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace wukongs

@@ -1,0 +1,108 @@
+// Parser robustness: random garbage, random token soups, and mutated valid
+// queries must never crash or hang — they either parse or return a clean
+// InvalidArgument. Parameterized over seeds.
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/sparql/parser.h"
+
+namespace wukongs {
+namespace {
+
+class ParserFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ParserFuzzTest, RandomBytesNeverCrash) {
+  Rng rng(GetParam());
+  StringServer strings;
+  const std::string charset =
+      "abcXYZ019 ?{}()[]<>.#:=!\t\n*+-/,SELECTWHEREFROMregisterquery";
+  for (int i = 0; i < 300; ++i) {
+    size_t len = rng.Uniform(0, 120);
+    std::string text;
+    text.reserve(len);
+    for (size_t c = 0; c < len; ++c) {
+      text.push_back(charset[rng.Uniform(0, charset.size() - 1)]);
+    }
+    auto q = ParseQuery(text, &strings);  // Must return, never crash.
+    (void)q;
+  }
+}
+
+TEST_P(ParserFuzzTest, RandomTokenSoupNeverCrashes) {
+  Rng rng(GetParam() + 1000);
+  StringServer strings;
+  const std::vector<std::string> tokens = {
+      "SELECT",  "WHERE",  "FROM",    "STREAM", "REGISTER", "QUERY",  "AS",
+      "GRAPH",   "FILTER", "GROUP",   "BY",     "ORDER",    "LIMIT",  "DISTINCT",
+      "RANGE",   "STEP",   "TO",      "COUNT",  "AVG",      "?x",     "?y",
+      "Logan",   "po",     "#tag",    "10s",    "100ms",    "42",     "3.5",
+      "{",       "}",      "(",       ")",      "[",        "]",      ".",
+      "<",       ">",      "=",       "!=",     ">=",       "DESC"};
+  for (int i = 0; i < 300; ++i) {
+    size_t len = rng.Uniform(1, 30);
+    std::string text;
+    for (size_t t = 0; t < len; ++t) {
+      text += tokens[rng.Uniform(0, tokens.size() - 1)];
+      text += " ";
+    }
+    auto q = ParseQuery(text, &strings);
+    (void)q;
+  }
+}
+
+TEST_P(ParserFuzzTest, MutatedValidQueryParsesOrFailsCleanly) {
+  Rng rng(GetParam() + 2000);
+  StringServer strings;
+  const std::string base = R"(
+      REGISTER QUERY QC AS
+      SELECT ?X ?Y ?Z
+      FROM STREAM <Tweet_Stream> [RANGE 10s STEP 1s]
+      FROM STREAM <Like_Stream> [RANGE 5s STEP 1s]
+      FROM <X-Lab>
+      WHERE {
+        GRAPH <Tweet_Stream> { ?X po ?Z }
+        GRAPH <X-Lab>        { ?X fo ?Y }
+        GRAPH <Like_Stream>  { ?Y li ?Z }
+      })";
+  // The unmutated form must parse.
+  ASSERT_TRUE(ParseQuery(base, &strings).ok());
+  for (int i = 0; i < 300; ++i) {
+    std::string text = base;
+    int mutations = static_cast<int>(rng.Uniform(1, 4));
+    for (int m = 0; m < mutations; ++m) {
+      size_t pos = rng.Uniform(0, text.size() - 1);
+      switch (rng.Uniform(0, 2)) {
+        case 0:
+          text.erase(pos, rng.Uniform(1, 5));
+          break;
+        case 1:
+          text.insert(pos, std::string(1, static_cast<char>(rng.Uniform(32, 126))));
+          break;
+        default:
+          text[pos] = static_cast<char>(rng.Uniform(32, 126));
+          break;
+      }
+    }
+    auto q = ParseQuery(text, &strings);
+    if (q.ok()) {
+      // A successfully parsed mutant must still be internally consistent.
+      for (const TriplePattern& p : q->patterns) {
+        if (p.subject.is_var()) {
+          EXPECT_LT(static_cast<size_t>(p.subject.var), q->var_names.size());
+        }
+        if (p.object.is_var()) {
+          EXPECT_LT(static_cast<size_t>(p.object.var), q->var_names.size());
+        }
+        if (p.graph != kGraphStored) {
+          EXPECT_LT(static_cast<size_t>(p.graph), q->windows.size());
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzzTest, ::testing::Values(7, 77, 777));
+
+}  // namespace
+}  // namespace wukongs

@@ -1,0 +1,173 @@
+// Unit tests for the SPARQL / C-SPARQL parser.
+
+#include <gtest/gtest.h>
+
+#include "src/sparql/parser.h"
+
+namespace wukongs {
+namespace {
+
+TEST(ParserTest, OneShotQueryFromPaper) {
+  // Paper Fig. 2(a).
+  StringServer s;
+  auto q = ParseQuery(R"(
+      SELECT ?X
+      FROM X-Lab
+      WHERE {
+        Logan po ?X .
+        ?X ht #sosp17 .
+        Erik li ?X
+      })",
+                      &s);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_FALSE(q->continuous);
+  EXPECT_EQ(q->select.size(), 1u);
+  EXPECT_EQ(q->patterns.size(), 3u);
+  EXPECT_TRUE(q->windows.empty());
+  // All three patterns hit the stored graph.
+  for (const TriplePattern& p : q->patterns) {
+    EXPECT_EQ(p.graph, kGraphStored);
+  }
+  // Logan and Erik were interned as constants.
+  EXPECT_TRUE(s.FindVertex("Logan").has_value());
+  EXPECT_TRUE(s.FindVertex("#sosp17").has_value());
+  EXPECT_TRUE(s.FindPredicate("po").has_value());
+}
+
+TEST(ParserTest, ContinuousQueryFromPaper) {
+  // Paper Fig. 2(b).
+  StringServer s;
+  auto q = ParseQuery(R"(
+      REGISTER QUERY QC AS
+      SELECT ?X ?Y ?Z
+      FROM STREAM <Tweet_Stream> [RANGE 10s STEP 1s]
+      FROM STREAM <Like_Stream> [RANGE 5s STEP 1s]
+      FROM <X-Lab>
+      WHERE {
+        GRAPH <Tweet_Stream> { ?X po ?Z }
+        GRAPH <X-Lab>        { ?X fo ?Y }
+        GRAPH <Like_Stream>  { ?Y li ?Z }
+      })",
+                      &s);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_TRUE(q->continuous);
+  EXPECT_EQ(q->name, "QC");
+  ASSERT_EQ(q->windows.size(), 2u);
+  EXPECT_EQ(q->windows[0].stream_name, "Tweet_Stream");
+  EXPECT_EQ(q->windows[0].range_ms, 10000u);
+  EXPECT_EQ(q->windows[0].step_ms, 1000u);
+  EXPECT_EQ(q->windows[1].range_ms, 5000u);
+  ASSERT_EQ(q->patterns.size(), 3u);
+  EXPECT_EQ(q->patterns[0].graph, 0);  // Tweet_Stream window.
+  EXPECT_EQ(q->patterns[1].graph, kGraphStored);
+  EXPECT_EQ(q->patterns[2].graph, 1);  // Like_Stream window.
+  EXPECT_EQ(q->MaxRangeMs(), 10000u);
+}
+
+TEST(ParserTest, SharedVariablesGetSameSlot) {
+  StringServer s;
+  auto q = ParseQuery("SELECT ?X WHERE { ?X a ?Y . ?Y b ?X }", &s);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->var_names.size(), 2u);
+  EXPECT_EQ(q->patterns[0].subject.var, q->patterns[1].object.var);
+}
+
+TEST(ParserTest, MillisecondWindows) {
+  StringServer s;
+  auto q = ParseQuery(
+      "REGISTER QUERY q AS SELECT ?X FROM STREAM S1 [RANGE 100ms STEP 100ms] "
+      "WHERE { GRAPH S1 { ?X p c } }",
+      &s);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->windows[0].range_ms, 100u);
+  EXPECT_EQ(q->windows[0].step_ms, 100u);
+}
+
+TEST(ParserTest, FilterNumeric) {
+  StringServer s;
+  auto q = ParseQuery("SELECT ?X WHERE { ?X level ?L . FILTER (?L > 30) }", &s);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->filters.size(), 1u);
+  EXPECT_TRUE(q->filters[0].numeric);
+  EXPECT_EQ(q->filters[0].op, FilterExpr::Op::kGt);
+  EXPECT_DOUBLE_EQ(q->filters[0].number, 30.0);
+}
+
+TEST(ParserTest, FilterEquality) {
+  StringServer s;
+  auto q = ParseQuery("SELECT ?X WHERE { ?X ty ?T . FILTER (?T = Post) }", &s);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->filters.size(), 1u);
+  EXPECT_FALSE(q->filters[0].numeric);
+  EXPECT_EQ(q->filters[0].constant, *s.FindVertex("Post"));
+}
+
+TEST(ParserTest, Aggregates) {
+  StringServer s;
+  auto q = ParseQuery(
+      "SELECT ?S (AVG(?V) AS ?avg) WHERE { ?S val ?V } GROUP BY ?S", &s);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ(q->select.size(), 2u);
+  EXPECT_EQ(q->select[0].agg, AggKind::kNone);
+  EXPECT_EQ(q->select[1].agg, AggKind::kAvg);
+  ASSERT_EQ(q->group_by.size(), 1u);
+  EXPECT_TRUE(q->has_aggregates());
+}
+
+TEST(ParserTest, CountWithoutGroupBy) {
+  StringServer s;
+  auto q = ParseQuery("SELECT COUNT(?X) WHERE { ?X po ?Y }", &s);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->select[0].agg, AggKind::kCount);
+  EXPECT_TRUE(q->group_by.empty());
+}
+
+TEST(ParserTest, RejectsEmptySelect) {
+  StringServer s;
+  EXPECT_FALSE(ParseQuery("SELECT WHERE { ?X a b }", &s).ok());
+}
+
+TEST(ParserTest, RejectsUnterminatedBrace) {
+  StringServer s;
+  EXPECT_FALSE(ParseQuery("SELECT ?X WHERE { ?X a b", &s).ok());
+}
+
+TEST(ParserTest, RejectsUnusedSelectVariable) {
+  StringServer s;
+  EXPECT_FALSE(ParseQuery("SELECT ?Z WHERE { ?X a b }", &s).ok());
+}
+
+TEST(ParserTest, RejectsContinuousWithoutStreams) {
+  StringServer s;
+  EXPECT_FALSE(
+      ParseQuery("REGISTER QUERY q AS SELECT ?X WHERE { ?X a b }", &s).ok());
+}
+
+TEST(ParserTest, RejectsTrailingGarbage) {
+  StringServer s;
+  EXPECT_FALSE(ParseQuery("SELECT ?X WHERE { ?X a b } garbage {", &s).ok());
+}
+
+TEST(ParserTest, GraphClauseWithUnknownNameIsStoredGraph) {
+  StringServer s;
+  auto q = ParseQuery("SELECT ?X WHERE { GRAPH <X-Lab> { ?X a b } }", &s);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->patterns[0].graph, kGraphStored);
+}
+
+TEST(ParserTest, KeywordsAreCaseInsensitive) {
+  StringServer s;
+  auto q = ParseQuery("select ?X where { ?X a b }", &s);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+}
+
+TEST(ParserTest, ConstantsWithSpecialCharacters) {
+  StringServer s;
+  auto q = ParseQuery("SELECT ?X WHERE { ?X ga 31,121 . T-15 ht #sosp17 }", &s);
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_TRUE(s.FindVertex("31,121").has_value());
+  EXPECT_TRUE(s.FindVertex("T-15").has_value());
+}
+
+}  // namespace
+}  // namespace wukongs

@@ -1,0 +1,117 @@
+// Unit tests for the string server and dataset parsing.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "src/rdf/dataset.h"
+#include "src/rdf/string_server.h"
+
+namespace wukongs {
+namespace {
+
+TEST(StringServerTest, InternIsIdempotent) {
+  StringServer s;
+  VertexId a = s.InternVertex("Logan");
+  VertexId b = s.InternVertex("Logan");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, kIndexVertex);
+}
+
+TEST(StringServerTest, VertexZeroIsReservedForIndex) {
+  StringServer s;
+  EXPECT_EQ(s.InternVertex("first"), 1u);
+}
+
+TEST(StringServerTest, SeparateIdSpaces) {
+  StringServer s;
+  VertexId v = s.InternVertex("same");
+  PredicateId p = s.InternPredicate("same");
+  EXPECT_EQ(v, 1u);
+  EXPECT_EQ(p, 1u);  // Independent counters.
+}
+
+TEST(StringServerTest, ReverseLookup) {
+  StringServer s;
+  VertexId v = s.InternVertex("Erik");
+  auto str = s.VertexString(v);
+  ASSERT_TRUE(str.ok());
+  EXPECT_EQ(*str, "Erik");
+  EXPECT_FALSE(s.VertexString(9999).ok());
+}
+
+TEST(StringServerTest, FindWithoutInterning) {
+  StringServer s;
+  EXPECT_FALSE(s.FindVertex("ghost").has_value());
+  s.InternVertex("ghost");
+  EXPECT_TRUE(s.FindVertex("ghost").has_value());
+  EXPECT_FALSE(s.FindPredicate("ghost").has_value());
+}
+
+TEST(StringServerTest, ConcurrentInterningIsConsistent) {
+  StringServer s;
+  constexpr int kThreads = 4;
+  constexpr int kStrings = 500;
+  std::vector<std::thread> threads;
+  std::vector<std::vector<VertexId>> ids(kThreads, std::vector<VertexId>(kStrings));
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&s, &ids, t] {
+      for (int i = 0; i < kStrings; ++i) {
+        ids[static_cast<size_t>(t)][static_cast<size_t>(i)] =
+            s.InternVertex("v" + std::to_string(i));
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(ids[0], ids[static_cast<size_t>(t)]);
+  }
+  EXPECT_EQ(s.vertex_count(), kStrings + 1u);  // +1 for the index vertex.
+}
+
+TEST(DatasetTest, ParsesTriples) {
+  StringServer s;
+  auto triples = ParseTriples("Logan fo Erik .\nErik fo Logan .\n", &s);
+  ASSERT_TRUE(triples.ok());
+  ASSERT_EQ(triples->size(), 2u);
+  EXPECT_EQ((*triples)[0].subject, (*triples)[1].object);
+  EXPECT_EQ((*triples)[0].predicate, (*triples)[1].predicate);
+}
+
+TEST(DatasetTest, SkipsCommentsAndBlanks) {
+  StringServer s;
+  auto triples = ParseTriples("# comment\n\nLogan po T-13 .\n  # another\n", &s);
+  ASSERT_TRUE(triples.ok());
+  EXPECT_EQ(triples->size(), 1u);
+}
+
+TEST(DatasetTest, TrailingDotOptional) {
+  StringServer s;
+  auto triples = ParseTriples("a p b\nc p d .\n", &s);
+  ASSERT_TRUE(triples.ok());
+  EXPECT_EQ(triples->size(), 2u);
+}
+
+TEST(DatasetTest, RejectsMalformedLine) {
+  StringServer s;
+  auto triples = ParseTriples("only two\n", &s);
+  EXPECT_FALSE(triples.ok());
+  EXPECT_EQ(triples.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DatasetTest, SerializeRoundTrip) {
+  StringServer s;
+  auto triples = ParseTriples("Logan po T-15 .\nT-15 ht #sosp17 .\n", &s);
+  ASSERT_TRUE(triples.ok());
+  auto text = SerializeTriples(*triples, s);
+  ASSERT_TRUE(text.ok());
+  auto again = ParseTriples(*text, &s);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*triples, *again);
+}
+
+}  // namespace
+}  // namespace wukongs

@@ -1,0 +1,156 @@
+// Tests for dataset Turtle-style abbreviations and the W3C SPARQL JSON
+// results serializer.
+
+#include <gtest/gtest.h>
+
+#include "src/cluster/cluster.h"
+#include "src/rdf/dataset.h"
+#include "src/sparql/results_json.h"
+
+namespace wukongs {
+namespace {
+
+// --- Turtle-style dataset parsing ---
+
+TEST(TurtleTest, PredicateListsShareSubject) {
+  StringServer s;
+  auto triples = ParseTriples("Logan fo Erik ; po T-13 ; li T-12 .\n", &s);
+  ASSERT_TRUE(triples.ok()) << triples.status().ToString();
+  ASSERT_EQ(triples->size(), 3u);
+  EXPECT_EQ((*triples)[0].subject, (*triples)[1].subject);
+  EXPECT_EQ((*triples)[1].subject, (*triples)[2].subject);
+  EXPECT_NE((*triples)[0].predicate, (*triples)[1].predicate);
+}
+
+TEST(TurtleTest, ObjectListsSharePredicate) {
+  StringServer s;
+  auto triples = ParseTriples("Logan po T-13 , T-14 , T-15 .\n", &s);
+  ASSERT_TRUE(triples.ok()) << triples.status().ToString();
+  ASSERT_EQ(triples->size(), 3u);
+  EXPECT_EQ((*triples)[0].predicate, (*triples)[2].predicate);
+  EXPECT_NE((*triples)[0].object, (*triples)[2].object);
+}
+
+TEST(TurtleTest, TrailingPunctuationOnTerm) {
+  StringServer s;
+  auto triples = ParseTriples("Logan po T-13, T-14; fo Erik.\n", &s);
+  ASSERT_TRUE(triples.ok()) << triples.status().ToString();
+  EXPECT_EQ(triples->size(), 3u);
+}
+
+TEST(TurtleTest, PrefixExpansion) {
+  StringServer s;
+  auto triples = ParseTriples(
+      "@prefix ex: <http://example.org/> .\n"
+      "ex:Logan ex:fo ex:Erik .\n",
+      &s);
+  ASSERT_TRUE(triples.ok()) << triples.status().ToString();
+  ASSERT_EQ(triples->size(), 1u);
+  EXPECT_EQ(*s.VertexString((*triples)[0].subject), "http://example.org/Logan");
+  EXPECT_EQ(*s.PredicateString((*triples)[0].predicate), "http://example.org/fo");
+}
+
+TEST(TurtleTest, AIsRdfType) {
+  StringServer s;
+  auto triples = ParseTriples("Logan a Person .\n", &s);
+  ASSERT_TRUE(triples.ok()) << triples.status().ToString();
+  ASSERT_EQ(triples->size(), 1u);
+  EXPECT_EQ(*s.PredicateString((*triples)[0].predicate),
+            "http://www.w3.org/1999/02/22-rdf-syntax-ns#type");
+}
+
+TEST(TurtleTest, MultiLineStatement) {
+  StringServer s;
+  auto triples = ParseTriples(
+      "Logan po T-13 ,\n"
+      "         T-14 ;\n"
+      "      fo Erik .\n",
+      &s);
+  ASSERT_TRUE(triples.ok()) << triples.status().ToString();
+  EXPECT_EQ(triples->size(), 3u);
+}
+
+TEST(TurtleTest, AngleBracketIrisStripped) {
+  StringServer s;
+  auto triples = ParseTriples("<http://a> <http://p> <http://b> .\n", &s);
+  ASSERT_TRUE(triples.ok()) << triples.status().ToString();
+  EXPECT_EQ(*s.VertexString((*triples)[0].subject), "http://a");
+}
+
+TEST(TurtleTest, CoordinatesKeepInternalCommas) {
+  StringServer s;
+  auto triples = ParseTriples("T-15 ga 31,121 .\n", &s);
+  ASSERT_TRUE(triples.ok()) << triples.status().ToString();
+  ASSERT_EQ(triples->size(), 1u);
+  EXPECT_EQ(*s.VertexString((*triples)[0].object), "31,121");
+}
+
+TEST(TurtleTest, UnterminatedStatementRejected) {
+  StringServer s;
+  EXPECT_FALSE(ParseTriples("Logan po\n", &s).ok());
+  EXPECT_FALSE(ParseTriples("Logan po T-13 ;\n", &s).ok());
+}
+
+// --- SPARQL JSON results ---
+
+TEST(ResultsJsonTest, BindingsSerialize) {
+  StringServer s;
+  QueryResult r;
+  r.columns = {"X", "COUNT(Y)"};
+  r.rows.push_back(
+      {ResultValue::Vertex(s.InternVertex("Logan")), ResultValue::Number(3)});
+  auto json = ResultsToJson(r, s);
+  ASSERT_TRUE(json.ok()) << json.status().ToString();
+  EXPECT_NE(json->find("\"vars\":[\"X\",\"COUNTY\"]"), std::string::npos);
+  EXPECT_NE(json->find("\"type\":\"uri\",\"value\":\"Logan\""), std::string::npos);
+  EXPECT_NE(json->find("XMLSchema#integer\",\"value\":\"3\""), std::string::npos);
+}
+
+TEST(ResultsJsonTest, UnboundOptionalOmitted) {
+  StringServer s;
+  QueryResult r;
+  r.columns = {"X", "E"};
+  r.rows.push_back({ResultValue::Vertex(s.InternVertex("carol")),
+                    ResultValue::Vertex(kUnboundBinding)});
+  auto json = ResultsToJson(r, s);
+  ASSERT_TRUE(json.ok());
+  EXPECT_NE(json->find("\"X\":"), std::string::npos);
+  EXPECT_EQ(json->find("\"E\":"), std::string::npos);
+}
+
+TEST(ResultsJsonTest, EscapesSpecialCharacters) {
+  StringServer s;
+  QueryResult r;
+  r.columns = {"X"};
+  r.rows.push_back({ResultValue::Vertex(s.InternVertex("say \"hi\"\\now"))});
+  auto json = ResultsToJson(r, s);
+  ASSERT_TRUE(json.ok());
+  EXPECT_NE(json->find("say \\\"hi\\\"\\\\now"), std::string::npos);
+}
+
+TEST(ResultsJsonTest, EmptyResult) {
+  StringServer s;
+  QueryResult r;
+  r.columns = {"X"};
+  auto json = ResultsToJson(r, s);
+  ASSERT_TRUE(json.ok());
+  EXPECT_EQ(*json, R"({"head":{"vars":["X"]},"results":{"bindings":[]}})");
+}
+
+TEST(ResultsJsonTest, EndToEndFromCluster) {
+  ClusterConfig config;
+  config.nodes = 1;
+  Cluster cluster(config);
+  StringServer* s = cluster.strings();
+  cluster.LoadBase(std::vector<Triple>{
+      {s->InternVertex("Logan"), s->InternPredicate("po"),
+       s->InternVertex("T-13")}});
+  auto exec = cluster.OneShot("SELECT ?P WHERE { Logan po ?P }");
+  ASSERT_TRUE(exec.ok());
+  auto json = ResultsToJson(exec->result, *cluster.strings());
+  ASSERT_TRUE(json.ok());
+  EXPECT_NE(json->find("T-13"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wukongs

@@ -1,0 +1,355 @@
+// Unit tests for the streaming substrate: vector timestamps, adaptor,
+// transient store, stream index, coordinator.
+
+#include <gtest/gtest.h>
+
+#include "src/stream/adaptor.h"
+#include "src/stream/coordinator.h"
+#include "src/stream/stream_index.h"
+#include "src/stream/transient_store.h"
+#include "src/stream/vts.h"
+
+namespace wukongs {
+namespace {
+
+// --- VectorTimestamp ---
+
+TEST(VtsTest, CoversElementWise) {
+  VectorTimestamp a(2);
+  VectorTimestamp b(2);
+  a.Set(0, 5);
+  a.Set(1, 11);
+  b.Set(0, 4);
+  b.Set(1, 11);
+  EXPECT_TRUE(a.Covers(b));
+  EXPECT_FALSE(b.Covers(a));
+  EXPECT_TRUE(a.Covers(a));
+}
+
+TEST(VtsTest, NoBatchIsBottom) {
+  VectorTimestamp a(1);
+  VectorTimestamp b(1);
+  b.Set(0, 0);
+  EXPECT_TRUE(b.Covers(a));
+  EXPECT_FALSE(a.Covers(b));
+}
+
+TEST(VtsTest, MinIsElementWise) {
+  VectorTimestamp a(2);
+  VectorTimestamp b(2);
+  a.Set(0, 5);
+  a.Set(1, 12);
+  b.Set(0, 4);
+  b.Set(1, 12);
+  VectorTimestamp m = VectorTimestamp::Min(a, b);
+  EXPECT_EQ(m.Get(0), 4u);
+  EXPECT_EQ(m.Get(1), 12u);
+}
+
+TEST(VtsTest, MinWithNoBatch) {
+  VectorTimestamp a(1);
+  VectorTimestamp b(1);
+  b.Set(0, 3);
+  VectorTimestamp m = VectorTimestamp::Min(a, b);
+  EXPECT_EQ(m.Get(0), kNoBatch);
+}
+
+// --- WindowBatches ---
+
+TEST(WindowBatchesTest, AlignedWindow) {
+  // Window (900, 1000] with 100ms batches: batches 9..9 for range 100.
+  BatchRange r = WindowBatches(1000, 100, 100);
+  EXPECT_FALSE(r.empty);
+  EXPECT_EQ(r.lo, 9u);
+  EXPECT_EQ(r.hi, 9u);
+}
+
+TEST(WindowBatchesTest, MultiBatchWindow) {
+  // Window (0, 1000] with range 1000: batches 0..9.
+  BatchRange r = WindowBatches(1000, 1000, 100);
+  EXPECT_EQ(r.lo, 0u);
+  EXPECT_EQ(r.hi, 9u);
+}
+
+TEST(WindowBatchesTest, RangeLargerThanHistoryClamps) {
+  BatchRange r = WindowBatches(500, 10000, 100);
+  EXPECT_EQ(r.lo, 0u);
+  EXPECT_EQ(r.hi, 4u);
+}
+
+// --- StreamAdaptor ---
+
+StreamTuple MakeTuple(VertexId s, PredicateId p, VertexId o, StreamTime ts) {
+  return StreamTuple{{s, p, o}, ts, TupleKind::kTimeless};
+}
+
+TEST(AdaptorTest, GroupsByInterval) {
+  StreamAdaptor adaptor(0, 100, {});
+  std::vector<StreamBatch> out;
+  ASSERT_TRUE(adaptor
+                  .Ingest({MakeTuple(1, 1, 2, 10), MakeTuple(1, 1, 3, 90),
+                           MakeTuple(1, 1, 4, 150)},
+                          &out)
+                  .ok());
+  // Tuple at 150 closes batch 0.
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].seq, 0u);
+  EXPECT_EQ(out[0].tuples.size(), 2u);
+  EXPECT_EQ(adaptor.next_seq(), 1u);
+}
+
+TEST(AdaptorTest, AdvanceEmitsEmptyBatches) {
+  StreamAdaptor adaptor(0, 100, {});
+  std::vector<StreamBatch> out;
+  adaptor.AdvanceTo(350, &out);
+  ASSERT_EQ(out.size(), 3u);  // Batches 0,1,2 complete at t=350.
+  for (const StreamBatch& b : out) {
+    EXPECT_TRUE(b.tuples.empty());
+  }
+  EXPECT_EQ(adaptor.next_seq(), 3u);
+}
+
+TEST(AdaptorTest, ClassifiesTimingTuples) {
+  StreamAdaptor adaptor(0, 100, /*timing_predicates=*/{7});
+  std::vector<StreamBatch> out;
+  StreamTuple gps = MakeTuple(1, 7, 2, 10);
+  StreamTuple post = MakeTuple(1, 4, 2, 20);
+  ASSERT_TRUE(adaptor.Ingest({gps, post}, &out).ok());
+  adaptor.AdvanceTo(100, &out);
+  ASSERT_EQ(out.size(), 1u);
+  ASSERT_EQ(out[0].tuples.size(), 2u);
+  EXPECT_EQ(out[0].tuples[0].kind, TupleKind::kTiming);
+  EXPECT_EQ(out[0].tuples[1].kind, TupleKind::kTimeless);
+}
+
+TEST(AdaptorTest, DiscardsIrrelevantPredicates) {
+  StreamAdaptor adaptor(0, 100, {}, /*relevant_predicates=*/{4});
+  std::vector<StreamBatch> out;
+  ASSERT_TRUE(
+      adaptor.Ingest({MakeTuple(1, 4, 2, 10), MakeTuple(1, 9, 2, 20)}, &out).ok());
+  adaptor.AdvanceTo(100, &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].tuples.size(), 1u);
+}
+
+TEST(AdaptorTest, RejectsTimeRegression) {
+  StreamAdaptor adaptor(0, 100, {});
+  std::vector<StreamBatch> out;
+  ASSERT_TRUE(adaptor.Ingest({MakeTuple(1, 1, 2, 500)}, &out).ok());
+  EXPECT_FALSE(adaptor.Ingest({MakeTuple(1, 1, 2, 400)}, &out).ok());
+}
+
+TEST(AdaptorTest, FastForwardSkipsBatches) {
+  StreamAdaptor adaptor(0, 100, {});
+  adaptor.FastForward(10);
+  EXPECT_EQ(adaptor.next_seq(), 10u);
+  std::vector<StreamBatch> out;
+  adaptor.AdvanceTo(1100, &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].seq, 10u);
+}
+
+// --- TransientStore ---
+
+TEST(TransientStoreTest, SliceLookup) {
+  TransientStore ts;
+  StreamTuple t{{1, 7, 2}, 10, TupleKind::kTiming};
+  ASSERT_TRUE(ts.AppendSlice(0, StreamTupleVec{t}));
+  std::vector<VertexId> out;
+  ts.GetNeighbors(0, Key(1, 7, Dir::kOut), &out);
+  EXPECT_EQ(out, (std::vector<VertexId>{2}));
+  out.clear();
+  ts.GetNeighbors(0, Key(2, 7, Dir::kIn), &out);
+  EXPECT_EQ(out, (std::vector<VertexId>{1}));
+}
+
+TEST(TransientStoreTest, SliceIndexVertex) {
+  TransientStore ts;
+  StreamTuple t{{1, 7, 2}, 10, TupleKind::kTiming};
+  ASSERT_TRUE(ts.AppendSlice(0, StreamTupleVec{t}));
+  std::vector<VertexId> out;
+  ts.GetNeighbors(0, Key(kIndexVertex, 7, Dir::kOut), &out);
+  EXPECT_EQ(out, (std::vector<VertexId>{1}));
+}
+
+TEST(TransientStoreTest, MissingSliceIsEmpty) {
+  TransientStore ts;
+  std::vector<VertexId> out;
+  ts.GetNeighbors(42, Key(1, 7, Dir::kOut), &out);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(ts.EdgeCount(42, Key(1, 7, Dir::kOut)), 0u);
+}
+
+TEST(TransientStoreTest, GcEvictsExpiredSlices) {
+  TransientStore ts;
+  for (BatchSeq b = 0; b < 10; ++b) {
+    ts.AppendSlice(b, StreamTupleVec{{{b + 1, 7, 2}, b * 100, TupleKind::kTiming}});
+  }
+  EXPECT_EQ(ts.SliceCount(), 10u);
+  ts.SetGcHorizon(5);
+  EXPECT_EQ(ts.RunGc(), 5u);
+  EXPECT_EQ(ts.SliceCount(), 5u);
+  EXPECT_EQ(ts.OldestSeq(), 5u);
+  std::vector<VertexId> out;
+  ts.GetNeighbors(3, Key(4, 7, Dir::kOut), &out);
+  EXPECT_TRUE(out.empty());  // Evicted.
+  ts.GetNeighbors(7, Key(8, 7, Dir::kOut), &out);
+  EXPECT_EQ(out.size(), 1u);  // Still live.
+}
+
+TEST(TransientStoreTest, BudgetTriggersGcOrBackpressure) {
+  TransientStore ts(/*memory_budget_bytes=*/4096);
+  BatchSeq b = 0;
+  // Fill until the budget would overflow without GC.
+  bool accepted = true;
+  while (accepted && b < 1000) {
+    accepted = ts.AppendSlice(
+        b, StreamTupleVec{{{b + 1, 7, b + 2}, b * 100, TupleKind::kTiming}});
+    ++b;
+  }
+  if (!accepted) {
+    // Back-pressure: freeing the horizon lets new slices in.
+    ts.SetGcHorizon(b);
+    ts.RunGc();
+    EXPECT_TRUE(ts.AppendSlice(
+        b, StreamTupleVec{{{b + 1, 7, b + 2}, b * 100, TupleKind::kTiming}}));
+  }
+  EXPECT_LE(ts.MemoryBytes(), 4096u + 512u);
+}
+
+TEST(TransientStoreTest, BudgetWithMovingHorizonNeverBlocks) {
+  TransientStore ts(/*memory_budget_bytes=*/8192);
+  for (BatchSeq b = 0; b < 500; ++b) {
+    ts.SetGcHorizon(b > 5 ? b - 5 : 0);
+    ASSERT_TRUE(ts.AppendSlice(
+        b, StreamTupleVec{{{b + 1, 7, b + 2}, b * 100, TupleKind::kTiming}}))
+        << "blocked at batch " << b;
+  }
+  EXPECT_LE(ts.SliceCount(), 500u);
+}
+
+// --- StreamIndex ---
+
+TEST(StreamIndexTest, SpansRoundTrip) {
+  StreamIndex idx;
+  Key k(1, 4, Dir::kOut);
+  idx.AddBatch(0, {{k, 0, 2}});
+  idx.AddBatch(1, {{k, 2, 3}});
+  std::vector<IndexSpan> spans;
+  EXPECT_TRUE(idx.GetSpans(0, k, &spans));
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].start, 0u);
+  EXPECT_EQ(spans[0].count, 2u);
+  EXPECT_EQ(idx.SpanEdgeCount(1, k), 3u);
+}
+
+TEST(StreamIndexTest, CoalescesContiguousSpans) {
+  StreamIndex idx;
+  Key k(1, 4, Dir::kOut);
+  idx.AddBatch(0, {{k, 0, 1}, {k, 1, 1}, {k, 5, 1}});
+  std::vector<IndexSpan> spans;
+  EXPECT_TRUE(idx.GetSpans(0, k, &spans));
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].count, 2u);
+  EXPECT_EQ(spans[1].start, 5u);
+}
+
+TEST(StreamIndexTest, UnindexedBatchReturnsFalse) {
+  StreamIndex idx;
+  idx.AddBatch(5, {});
+  std::vector<IndexSpan> spans;
+  EXPECT_FALSE(idx.GetSpans(4, Key(1, 4, Dir::kOut), &spans));
+  EXPECT_TRUE(idx.GetSpans(5, Key(1, 4, Dir::kOut), &spans));
+  EXPECT_TRUE(spans.empty());
+}
+
+TEST(StreamIndexTest, EvictionDropsOldBatches) {
+  StreamIndex idx;
+  Key k(1, 4, Dir::kOut);
+  for (BatchSeq b = 0; b < 10; ++b) {
+    idx.AddBatch(b, {{k, static_cast<uint32_t>(b), 1}});
+  }
+  size_t bytes_before = idx.MemoryBytes();
+  EXPECT_EQ(idx.EvictBefore(7), 7u);
+  EXPECT_EQ(idx.BatchCount(), 3u);
+  EXPECT_EQ(idx.OldestSeq(), 7u);
+  EXPECT_LT(idx.MemoryBytes(), bytes_before);
+  std::vector<IndexSpan> spans;
+  EXPECT_FALSE(idx.GetSpans(2, k, &spans));
+}
+
+// --- Coordinator ---
+
+TEST(CoordinatorTest, StableVtsIsMinAcrossNodes) {
+  Coordinator coord(2);
+  coord.RegisterStream(0);
+  coord.RegisterStream(1);
+  coord.ReportInjected(0, 0, 0);
+  coord.ReportInjected(0, 1, 0);
+  coord.ReportInjected(1, 0, 0);
+  // Stream 1 not injected on node 1 yet.
+  VectorTimestamp stable = coord.StableVts();
+  EXPECT_EQ(stable.Get(0), 0u);
+  EXPECT_EQ(stable.Get(1), kNoBatch);
+  coord.ReportInjected(1, 1, 0);
+  EXPECT_EQ(coord.StableVts().Get(1), 0u);
+}
+
+TEST(CoordinatorTest, SnAssignmentFollowsPlan) {
+  Coordinator coord(1, 2, /*batches_per_sn=*/2);
+  coord.RegisterStream(0);
+  EXPECT_EQ(coord.PlanSnFor(0, 0), 1u);
+  EXPECT_EQ(coord.PlanSnFor(0, 1), 1u);
+  EXPECT_EQ(coord.PlanSnFor(0, 2), 2u);
+  EXPECT_EQ(coord.PlanSnFor(0, 5), 3u);
+}
+
+TEST(CoordinatorTest, StableSnAdvancesWhenAllNodesReachTarget) {
+  Coordinator coord(2, 2, 1);
+  coord.RegisterStream(0);
+  EXPECT_EQ(coord.PlanSnFor(0, 0), 1u);
+  EXPECT_EQ(coord.StableSn(), 0u);
+  coord.ReportInjected(0, 0, 0);
+  EXPECT_EQ(coord.StableSn(), 0u);  // Node 1 behind.
+  coord.ReportInjected(1, 0, 0);
+  EXPECT_EQ(coord.StableSn(), 1u);
+  EXPECT_EQ(coord.LocalSn(0), 1u);
+}
+
+TEST(CoordinatorTest, MultiStreamSnNeedsAllStreams) {
+  Coordinator coord(1, 2, 1);
+  coord.RegisterStream(0);
+  coord.RegisterStream(1);
+  EXPECT_EQ(coord.PlanSnFor(0, 0), 1u);
+  coord.ReportInjected(0, 0, 0);
+  EXPECT_EQ(coord.StableSn(), 0u);  // Stream 1 batch 0 outstanding.
+  coord.ReportInjected(0, 1, 0);
+  EXPECT_EQ(coord.StableSn(), 1u);
+}
+
+TEST(CoordinatorTest, CollapseFloorLagsByReservedSnapshots) {
+  Coordinator coord(1, /*reserved_snapshots=*/2, 1);
+  coord.RegisterStream(0);
+  for (BatchSeq b = 0; b < 5; ++b) {
+    coord.PlanSnFor(0, b);
+    coord.ReportInjected(0, 0, b);
+  }
+  EXPECT_EQ(coord.StableSn(), 5u);
+  EXPECT_EQ(coord.CollapseFloor(), 4u);  // Keep SN 5 (using) and 4 behind it.
+}
+
+TEST(CoordinatorTest, DynamicStreamAdditionExtendsPlans) {
+  Coordinator coord(1, 2, 1);
+  coord.RegisterStream(0);
+  EXPECT_EQ(coord.PlanSnFor(0, 0), 1u);
+  coord.RegisterStream(1);
+  // New stream appears in plans created after registration.
+  SnapshotNum sn = coord.PlanSnFor(1, 0);
+  EXPECT_GE(sn, 1u);
+  coord.ReportInjected(0, 0, 0);
+  coord.ReportInjected(0, 1, 0);
+  EXPECT_GE(coord.StableSn(), 1u);
+}
+
+}  // namespace
+}  // namespace wukongs

@@ -1,0 +1,210 @@
+// Tests for the LSBench and CityBench workload generators and query catalogs.
+
+#include <gtest/gtest.h>
+
+#include "src/workloads/citybench.h"
+#include "src/workloads/lsbench.h"
+
+namespace wukongs {
+namespace {
+
+LsBenchConfig SmallLsConfig() {
+  LsBenchConfig config;
+  config.users = 200;
+  config.avg_follows = 5;
+  config.initial_posts_per_user = 3;
+  config.initial_photos_per_user = 1;
+  return config;
+}
+
+TEST(LsBenchTest, SetupLoadsGraphAndStreams) {
+  ClusterConfig cc;
+  cc.nodes = 2;
+  Cluster cluster(cc);
+  LsBench bench(&cluster, SmallLsConfig());
+  ASSERT_TRUE(bench.Setup().ok());
+  EXPECT_GT(bench.initial_triples(), 200u * 5u);
+  // Five streams defined.
+  EXPECT_TRUE(cluster.FindStream("PO_Stream").ok());
+  EXPECT_TRUE(cluster.FindStream("GPS_Stream").ok());
+  EXPECT_GT(cluster.store(0)->EdgeCountTotal(), 0u);
+}
+
+TEST(LsBenchTest, FeedingAdvancesAllStreams) {
+  ClusterConfig cc;
+  cc.nodes = 2;
+  Cluster cluster(cc);
+  LsBench bench(&cluster, SmallLsConfig());
+  ASSERT_TRUE(bench.Setup().ok());
+  ASSERT_TRUE(bench.FeedInterval(0, 2000).ok());
+  VectorTimestamp stable = cluster.coordinator()->StableVts();
+  for (StreamId s = 0; s < 5; ++s) {
+    EXPECT_EQ(stable.Get(s), 2000 / cc.batch_interval_ms - 1) << "stream " << s;
+  }
+  EXPECT_GT(cluster.injection_profile(bench.po_stream()).tuples, 0u);
+  EXPECT_GT(cluster.injection_profile(bench.gps_stream()).tuples, 0u);
+}
+
+TEST(LsBenchTest, AllContinuousQueriesParseAndRun) {
+  ClusterConfig cc;
+  cc.nodes = 2;
+  Cluster cluster(cc);
+  LsBench bench(&cluster, SmallLsConfig());
+  ASSERT_TRUE(bench.Setup().ok());
+
+  std::vector<Cluster::ContinuousHandle> handles;
+  for (int i = 1; i <= LsBench::kNumContinuous; ++i) {
+    auto handle = cluster.RegisterContinuous(bench.ContinuousQueryText(i));
+    ASSERT_TRUE(handle.ok()) << "L" << i << ": " << handle.status().ToString();
+    handles.push_back(*handle);
+  }
+  ASSERT_TRUE(bench.FeedInterval(0, 2000).ok());
+  for (int i = 0; i < LsBench::kNumContinuous; ++i) {
+    auto exec = cluster.ExecuteContinuousAt(handles[static_cast<size_t>(i)], 2000);
+    ASSERT_TRUE(exec.ok()) << "L" << (i + 1) << ": " << exec.status().ToString();
+    EXPECT_GT(exec->latency_ms(), 0.0);
+  }
+}
+
+TEST(LsBenchTest, GroupTwoQueriesProduceMoreThanGroupOne) {
+  // Group (II) queries enumerate windows; with enough stream volume they
+  // produce (far) larger results than the selective group (I) queries.
+  ClusterConfig cc;
+  cc.nodes = 2;
+  Cluster cluster(cc);
+  LsBenchConfig config = SmallLsConfig();
+  config.rate_scale = 4.0;
+  LsBench bench(&cluster, config);
+  ASSERT_TRUE(bench.Setup().ok());
+  auto h1 = *cluster.RegisterContinuous(bench.ContinuousQueryText(1));
+  auto h4 = *cluster.RegisterContinuous(bench.ContinuousQueryText(4));
+  ASSERT_TRUE(bench.FeedInterval(0, 2000).ok());
+  auto e1 = cluster.ExecuteContinuousAt(h1, 2000);
+  auto e4 = cluster.ExecuteContinuousAt(h4, 2000);
+  ASSERT_TRUE(e1.ok());
+  ASSERT_TRUE(e4.ok());
+  EXPECT_GT(e4->result.rows.size(), e1->result.rows.size());
+  EXPECT_GT(e4->result.rows.size(), 50u);  // All photos in the window.
+}
+
+TEST(LsBenchTest, OneShotQueriesParseAndRun) {
+  ClusterConfig cc;
+  cc.nodes = 2;
+  Cluster cluster(cc);
+  LsBench bench(&cluster, SmallLsConfig());
+  ASSERT_TRUE(bench.Setup().ok());
+  for (int i = 1; i <= LsBench::kNumOneShot; ++i) {
+    auto exec = cluster.OneShot(bench.OneShotQueryText(i));
+    ASSERT_TRUE(exec.ok()) << "S" << i << ": " << exec.status().ToString();
+  }
+}
+
+TEST(LsBenchTest, RandomizedQueriesVaryStartVertex) {
+  ClusterConfig cc;
+  cc.nodes = 1;
+  Cluster cluster(cc);
+  LsBench bench(&cluster, SmallLsConfig());
+  ASSERT_TRUE(bench.Setup().ok());
+  Rng rng(1);
+  std::set<std::string> variants;
+  for (int i = 0; i < 20; ++i) {
+    variants.insert(bench.ContinuousQueryText(1, &rng));
+  }
+  EXPECT_GT(variants.size(), 3u);
+}
+
+TEST(LsBenchTest, DeterministicAcrossRuns) {
+  auto run = [] {
+    ClusterConfig cc;
+    cc.nodes = 2;
+    Cluster cluster(cc);
+    LsBench bench(&cluster, SmallLsConfig());
+    EXPECT_TRUE(bench.Setup().ok());
+    EXPECT_TRUE(bench.FeedInterval(0, 1000).ok());
+    return cluster.store(0)->EdgeCountTotal();
+  };
+  EXPECT_EQ(run(), run());
+}
+
+CityBenchConfig SmallCityConfig() {
+  CityBenchConfig config;
+  config.roads = 40;
+  config.traffic_sensors = 20;
+  config.parking_lots = 10;
+  config.pollution_sensors = 15;
+  return config;
+}
+
+TEST(CityBenchTest, SetupLoadsMetadataAndStreams) {
+  ClusterConfig cc;
+  cc.nodes = 1;
+  Cluster cluster(cc);
+  CityBench bench(&cluster, SmallCityConfig());
+  ASSERT_TRUE(bench.Setup().ok());
+  EXPECT_GT(bench.initial_triples(), 40u);
+  EXPECT_TRUE(cluster.FindStream("VT1").ok());
+  EXPECT_TRUE(cluster.FindStream("PL5").ok());
+}
+
+TEST(CityBenchTest, AllQueriesParseAndRun) {
+  ClusterConfig cc;
+  cc.nodes = 1;
+  Cluster cluster(cc);
+  CityBenchConfig config = SmallCityConfig();
+  config.rate_scale = 10.0;  // Make sure every stream has data.
+  CityBench bench(&cluster, config);
+  ASSERT_TRUE(bench.Setup().ok());
+
+  std::vector<Cluster::ContinuousHandle> handles;
+  for (int i = 1; i <= CityBench::kNumContinuous; ++i) {
+    auto handle = cluster.RegisterContinuous(bench.ContinuousQueryText(i));
+    ASSERT_TRUE(handle.ok()) << "C" << i << ": " << handle.status().ToString();
+    handles.push_back(*handle);
+  }
+  ASSERT_TRUE(bench.FeedInterval(0, 4000).ok());
+  for (int i = 0; i < CityBench::kNumContinuous; ++i) {
+    auto exec = cluster.ExecuteContinuousAt(handles[static_cast<size_t>(i)], 4000);
+    ASSERT_TRUE(exec.ok()) << "C" << (i + 1) << ": " << exec.status().ToString();
+  }
+}
+
+TEST(CityBenchTest, ObservationsAreTimingData) {
+  // Sensor observations must live in the transient store only: the
+  // persistent store should hold no congestion edges after feeding.
+  ClusterConfig cc;
+  cc.nodes = 1;
+  Cluster cluster(cc);
+  CityBench bench(&cluster, SmallCityConfig());
+  ASSERT_TRUE(bench.Setup().ok());
+  size_t persistent_before = cluster.store(0)->EdgeCountTotal();
+  ASSERT_TRUE(bench.FeedInterval(0, 3000).ok());
+  // User locations (UL) are timing too; only string interning grew. Allow
+  // zero growth of persistent edges.
+  EXPECT_EQ(cluster.store(0)->EdgeCountTotal(), persistent_before);
+  auto mem = cluster.Memory();
+  EXPECT_GT(mem.transient_bytes, 0u);
+}
+
+TEST(CityBenchTest, FilterQueriesRespectThresholds) {
+  ClusterConfig cc;
+  cc.nodes = 1;
+  Cluster cluster(cc);
+  CityBenchConfig config = SmallCityConfig();
+  config.rate_scale = 20.0;
+  CityBench bench(&cluster, config);
+  ASSERT_TRUE(bench.Setup().ok());
+  auto handle = cluster.RegisterContinuous(bench.ContinuousQueryText(11));
+  ASSERT_TRUE(handle.ok());
+  ASSERT_TRUE(bench.FeedInterval(0, 4000).ok());
+  auto exec = cluster.ExecuteContinuousAt(*handle, 4000);
+  ASSERT_TRUE(exec.ok()) << exec.status().ToString();
+  // C11 filters pollutionLevel >= 8 on values drawn from 0..10.
+  StringServer* s = cluster.strings();
+  for (const auto& row : exec->result.rows) {
+    double level = std::stod(*s->VertexString(row[1].vid));
+    EXPECT_GE(level, 8.0);
+  }
+}
+
+}  // namespace
+}  // namespace wukongs
