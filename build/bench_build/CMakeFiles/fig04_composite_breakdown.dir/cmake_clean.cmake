@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig04_composite_breakdown"
+  "../bench/fig04_composite_breakdown.pdb"
+  "CMakeFiles/fig04_composite_breakdown.dir/fig04_composite_breakdown.cc.o"
+  "CMakeFiles/fig04_composite_breakdown.dir/fig04_composite_breakdown.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_composite_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

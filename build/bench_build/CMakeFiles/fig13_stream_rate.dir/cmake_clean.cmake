@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_stream_rate"
+  "../bench/fig13_stream_rate.pdb"
+  "CMakeFiles/fig13_stream_rate.dir/fig13_stream_rate.cc.o"
+  "CMakeFiles/fig13_stream_rate.dir/fig13_stream_rate.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_stream_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig14_throughput_mix3"
+  "../bench/fig14_throughput_mix3.pdb"
+  "CMakeFiles/fig14_throughput_mix3.dir/fig14_throughput_mix3.cc.o"
+  "CMakeFiles/fig14_throughput_mix3.dir/fig14_throughput_mix3.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_throughput_mix3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

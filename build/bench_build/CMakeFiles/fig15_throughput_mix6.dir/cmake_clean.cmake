@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig15_throughput_mix6"
+  "../bench/fig15_throughput_mix6.pdb"
+  "CMakeFiles/fig15_throughput_mix6.dir/fig15_throughput_mix6.cc.o"
+  "CMakeFiles/fig15_throughput_mix6.dir/fig15_throughput_mix6.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_throughput_mix6.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table2_latency_single"
+  "../bench/table2_latency_single.pdb"
+  "CMakeFiles/table2_latency_single.dir/table2_latency_single.cc.o"
+  "CMakeFiles/table2_latency_single.dir/table2_latency_single.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_latency_single.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_latency_dist"
+  "../bench/table3_latency_dist.pdb"
+  "CMakeFiles/table3_latency_dist.dir/table3_latency_dist.cc.o"
+  "CMakeFiles/table3_latency_dist.dir/table3_latency_dist.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_latency_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table3_latency_dist.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table4_more_baselines"
+  "../bench/table4_more_baselines.pdb"
+  "CMakeFiles/table4_more_baselines.dir/table4_more_baselines.cc.o"
+  "CMakeFiles/table4_more_baselines.dir/table4_more_baselines.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_more_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

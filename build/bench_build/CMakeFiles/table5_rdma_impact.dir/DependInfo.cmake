@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table5_rdma_impact.cc" "bench_build/CMakeFiles/table5_rdma_impact.dir/table5_rdma_impact.cc.o" "gcc" "bench_build/CMakeFiles/table5_rdma_impact.dir/table5_rdma_impact.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/wukongs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wukongs_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wukongs_workloads.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table5_rdma_impact"
+  "../bench/table5_rdma_impact.pdb"
+  "CMakeFiles/table5_rdma_impact.dir/table5_rdma_impact.cc.o"
+  "CMakeFiles/table5_rdma_impact.dir/table5_rdma_impact.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_rdma_impact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table6_injection"
+  "../bench/table6_injection.pdb"
+  "CMakeFiles/table6_injection.dir/table6_injection.cc.o"
+  "CMakeFiles/table6_injection.dir/table6_injection.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_injection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

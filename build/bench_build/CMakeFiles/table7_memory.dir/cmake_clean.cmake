@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table7_memory"
+  "../bench/table7_memory.pdb"
+  "CMakeFiles/table7_memory.dir/table7_memory.cc.o"
+  "CMakeFiles/table7_memory.dir/table7_memory.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

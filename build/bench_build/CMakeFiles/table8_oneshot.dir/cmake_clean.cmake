@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table8_oneshot"
+  "../bench/table8_oneshot.pdb"
+  "CMakeFiles/table8_oneshot.dir/table8_oneshot.cc.o"
+  "CMakeFiles/table8_oneshot.dir/table8_oneshot.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_oneshot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

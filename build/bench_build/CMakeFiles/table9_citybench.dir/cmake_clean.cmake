@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table9_citybench"
+  "../bench/table9_citybench.pdb"
+  "CMakeFiles/table9_citybench.dir/table9_citybench.cc.o"
+  "CMakeFiles/table9_citybench.dir/table9_citybench.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table9_citybench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table_ft_overhead"
+  "../bench/table_ft_overhead.pdb"
+  "CMakeFiles/table_ft_overhead.dir/table_ft_overhead.cc.o"
+  "CMakeFiles/table_ft_overhead.dir/table_ft_overhead.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_ft_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/example_fault_tolerance"
+  "../examples/example_fault_tolerance.pdb"
+  "CMakeFiles/example_fault_tolerance.dir/fault_tolerance.cpp.o"
+  "CMakeFiles/example_fault_tolerance.dir/fault_tolerance.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_fault_tolerance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/example_production_deployment"
+  "../examples/example_production_deployment.pdb"
+  "CMakeFiles/example_production_deployment.dir/production_deployment.cpp.o"
+  "CMakeFiles/example_production_deployment.dir/production_deployment.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_production_deployment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/example_smart_city"
+  "../examples/example_smart_city.pdb"
+  "CMakeFiles/example_smart_city.dir/smart_city.cpp.o"
+  "CMakeFiles/example_smart_city.dir/smart_city.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_smart_city.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/example_social_networking"
+  "../examples/example_social_networking.pdb"
+  "CMakeFiles/example_social_networking.dir/social_networking.cpp.o"
+  "CMakeFiles/example_social_networking.dir/social_networking.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_social_networking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

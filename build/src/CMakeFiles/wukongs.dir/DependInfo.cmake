@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/client.cc" "src/CMakeFiles/wukongs.dir/cluster/client.cc.o" "gcc" "src/CMakeFiles/wukongs.dir/cluster/client.cc.o.d"
+  "/root/repo/src/cluster/cluster.cc" "src/CMakeFiles/wukongs.dir/cluster/cluster.cc.o" "gcc" "src/CMakeFiles/wukongs.dir/cluster/cluster.cc.o.d"
+  "/root/repo/src/cluster/maintenance_daemon.cc" "src/CMakeFiles/wukongs.dir/cluster/maintenance_daemon.cc.o" "gcc" "src/CMakeFiles/wukongs.dir/cluster/maintenance_daemon.cc.o.d"
+  "/root/repo/src/cluster/sources.cc" "src/CMakeFiles/wukongs.dir/cluster/sources.cc.o" "gcc" "src/CMakeFiles/wukongs.dir/cluster/sources.cc.o.d"
+  "/root/repo/src/cluster/worker_pool.cc" "src/CMakeFiles/wukongs.dir/cluster/worker_pool.cc.o" "gcc" "src/CMakeFiles/wukongs.dir/cluster/worker_pool.cc.o.d"
+  "/root/repo/src/common/histogram.cc" "src/CMakeFiles/wukongs.dir/common/histogram.cc.o" "gcc" "src/CMakeFiles/wukongs.dir/common/histogram.cc.o.d"
+  "/root/repo/src/common/ids.cc" "src/CMakeFiles/wukongs.dir/common/ids.cc.o" "gcc" "src/CMakeFiles/wukongs.dir/common/ids.cc.o.d"
+  "/root/repo/src/common/latency_model.cc" "src/CMakeFiles/wukongs.dir/common/latency_model.cc.o" "gcc" "src/CMakeFiles/wukongs.dir/common/latency_model.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/wukongs.dir/common/status.cc.o" "gcc" "src/CMakeFiles/wukongs.dir/common/status.cc.o.d"
+  "/root/repo/src/common/table_printer.cc" "src/CMakeFiles/wukongs.dir/common/table_printer.cc.o" "gcc" "src/CMakeFiles/wukongs.dir/common/table_printer.cc.o.d"
+  "/root/repo/src/engine/binding.cc" "src/CMakeFiles/wukongs.dir/engine/binding.cc.o" "gcc" "src/CMakeFiles/wukongs.dir/engine/binding.cc.o.d"
+  "/root/repo/src/engine/executor.cc" "src/CMakeFiles/wukongs.dir/engine/executor.cc.o" "gcc" "src/CMakeFiles/wukongs.dir/engine/executor.cc.o.d"
+  "/root/repo/src/rdf/dataset.cc" "src/CMakeFiles/wukongs.dir/rdf/dataset.cc.o" "gcc" "src/CMakeFiles/wukongs.dir/rdf/dataset.cc.o.d"
+  "/root/repo/src/rdf/string_server.cc" "src/CMakeFiles/wukongs.dir/rdf/string_server.cc.o" "gcc" "src/CMakeFiles/wukongs.dir/rdf/string_server.cc.o.d"
+  "/root/repo/src/rdma/fabric.cc" "src/CMakeFiles/wukongs.dir/rdma/fabric.cc.o" "gcc" "src/CMakeFiles/wukongs.dir/rdma/fabric.cc.o.d"
+  "/root/repo/src/sparql/parser.cc" "src/CMakeFiles/wukongs.dir/sparql/parser.cc.o" "gcc" "src/CMakeFiles/wukongs.dir/sparql/parser.cc.o.d"
+  "/root/repo/src/sparql/results_json.cc" "src/CMakeFiles/wukongs.dir/sparql/results_json.cc.o" "gcc" "src/CMakeFiles/wukongs.dir/sparql/results_json.cc.o.d"
+  "/root/repo/src/store/gstore.cc" "src/CMakeFiles/wukongs.dir/store/gstore.cc.o" "gcc" "src/CMakeFiles/wukongs.dir/store/gstore.cc.o.d"
+  "/root/repo/src/store/planner.cc" "src/CMakeFiles/wukongs.dir/store/planner.cc.o" "gcc" "src/CMakeFiles/wukongs.dir/store/planner.cc.o.d"
+  "/root/repo/src/stream/adaptor.cc" "src/CMakeFiles/wukongs.dir/stream/adaptor.cc.o" "gcc" "src/CMakeFiles/wukongs.dir/stream/adaptor.cc.o.d"
+  "/root/repo/src/stream/checkpoint.cc" "src/CMakeFiles/wukongs.dir/stream/checkpoint.cc.o" "gcc" "src/CMakeFiles/wukongs.dir/stream/checkpoint.cc.o.d"
+  "/root/repo/src/stream/coordinator.cc" "src/CMakeFiles/wukongs.dir/stream/coordinator.cc.o" "gcc" "src/CMakeFiles/wukongs.dir/stream/coordinator.cc.o.d"
+  "/root/repo/src/stream/stream_index.cc" "src/CMakeFiles/wukongs.dir/stream/stream_index.cc.o" "gcc" "src/CMakeFiles/wukongs.dir/stream/stream_index.cc.o.d"
+  "/root/repo/src/stream/transient_store.cc" "src/CMakeFiles/wukongs.dir/stream/transient_store.cc.o" "gcc" "src/CMakeFiles/wukongs.dir/stream/transient_store.cc.o.d"
+  "/root/repo/src/stream/vts.cc" "src/CMakeFiles/wukongs.dir/stream/vts.cc.o" "gcc" "src/CMakeFiles/wukongs.dir/stream/vts.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/baseline_streams.cc" "src/CMakeFiles/wukongs_baselines.dir/baselines/baseline_streams.cc.o" "gcc" "src/CMakeFiles/wukongs_baselines.dir/baselines/baseline_streams.cc.o.d"
+  "/root/repo/src/baselines/csparql_engine.cc" "src/CMakeFiles/wukongs_baselines.dir/baselines/csparql_engine.cc.o" "gcc" "src/CMakeFiles/wukongs_baselines.dir/baselines/csparql_engine.cc.o.d"
+  "/root/repo/src/baselines/relational.cc" "src/CMakeFiles/wukongs_baselines.dir/baselines/relational.cc.o" "gcc" "src/CMakeFiles/wukongs_baselines.dir/baselines/relational.cc.o.d"
+  "/root/repo/src/baselines/spark_like.cc" "src/CMakeFiles/wukongs_baselines.dir/baselines/spark_like.cc.o" "gcc" "src/CMakeFiles/wukongs_baselines.dir/baselines/spark_like.cc.o.d"
+  "/root/repo/src/baselines/storm_wukong.cc" "src/CMakeFiles/wukongs_baselines.dir/baselines/storm_wukong.cc.o" "gcc" "src/CMakeFiles/wukongs_baselines.dir/baselines/storm_wukong.cc.o.d"
+  "/root/repo/src/baselines/wukong_ext.cc" "src/CMakeFiles/wukongs_baselines.dir/baselines/wukong_ext.cc.o" "gcc" "src/CMakeFiles/wukongs_baselines.dir/baselines/wukong_ext.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/wukongs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

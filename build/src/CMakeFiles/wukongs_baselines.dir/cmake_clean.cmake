@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wukongs_baselines.dir/baselines/baseline_streams.cc.o"
+  "CMakeFiles/wukongs_baselines.dir/baselines/baseline_streams.cc.o.d"
+  "CMakeFiles/wukongs_baselines.dir/baselines/csparql_engine.cc.o"
+  "CMakeFiles/wukongs_baselines.dir/baselines/csparql_engine.cc.o.d"
+  "CMakeFiles/wukongs_baselines.dir/baselines/relational.cc.o"
+  "CMakeFiles/wukongs_baselines.dir/baselines/relational.cc.o.d"
+  "CMakeFiles/wukongs_baselines.dir/baselines/spark_like.cc.o"
+  "CMakeFiles/wukongs_baselines.dir/baselines/spark_like.cc.o.d"
+  "CMakeFiles/wukongs_baselines.dir/baselines/storm_wukong.cc.o"
+  "CMakeFiles/wukongs_baselines.dir/baselines/storm_wukong.cc.o.d"
+  "CMakeFiles/wukongs_baselines.dir/baselines/wukong_ext.cc.o"
+  "CMakeFiles/wukongs_baselines.dir/baselines/wukong_ext.cc.o.d"
+  "libwukongs_baselines.a"
+  "libwukongs_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wukongs_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wukongs_workloads.dir/workloads/citybench.cc.o"
+  "CMakeFiles/wukongs_workloads.dir/workloads/citybench.cc.o.d"
+  "CMakeFiles/wukongs_workloads.dir/workloads/lsbench.cc.o"
+  "CMakeFiles/wukongs_workloads.dir/workloads/lsbench.cc.o.d"
+  "libwukongs_workloads.a"
+  "libwukongs_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wukongs_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

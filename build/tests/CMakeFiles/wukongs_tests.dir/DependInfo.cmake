@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baselines_test.cc" "tests/CMakeFiles/wukongs_tests.dir/baselines_test.cc.o" "gcc" "tests/CMakeFiles/wukongs_tests.dir/baselines_test.cc.o.d"
+  "/root/repo/tests/checkpoint_test.cc" "tests/CMakeFiles/wukongs_tests.dir/checkpoint_test.cc.o" "gcc" "tests/CMakeFiles/wukongs_tests.dir/checkpoint_test.cc.o.d"
+  "/root/repo/tests/cluster_test.cc" "tests/CMakeFiles/wukongs_tests.dir/cluster_test.cc.o" "gcc" "tests/CMakeFiles/wukongs_tests.dir/cluster_test.cc.o.d"
+  "/root/repo/tests/common_test.cc" "tests/CMakeFiles/wukongs_tests.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/wukongs_tests.dir/common_test.cc.o.d"
+  "/root/repo/tests/concurrency_test.cc" "tests/CMakeFiles/wukongs_tests.dir/concurrency_test.cc.o" "gcc" "tests/CMakeFiles/wukongs_tests.dir/concurrency_test.cc.o.d"
+  "/root/repo/tests/engine_infra_test.cc" "tests/CMakeFiles/wukongs_tests.dir/engine_infra_test.cc.o" "gcc" "tests/CMakeFiles/wukongs_tests.dir/engine_infra_test.cc.o.d"
+  "/root/repo/tests/executor_test.cc" "tests/CMakeFiles/wukongs_tests.dir/executor_test.cc.o" "gcc" "tests/CMakeFiles/wukongs_tests.dir/executor_test.cc.o.d"
+  "/root/repo/tests/features_test.cc" "tests/CMakeFiles/wukongs_tests.dir/features_test.cc.o" "gcc" "tests/CMakeFiles/wukongs_tests.dir/features_test.cc.o.d"
+  "/root/repo/tests/gstore_property_test.cc" "tests/CMakeFiles/wukongs_tests.dir/gstore_property_test.cc.o" "gcc" "tests/CMakeFiles/wukongs_tests.dir/gstore_property_test.cc.o.d"
+  "/root/repo/tests/gstore_test.cc" "tests/CMakeFiles/wukongs_tests.dir/gstore_test.cc.o" "gcc" "tests/CMakeFiles/wukongs_tests.dir/gstore_test.cc.o.d"
+  "/root/repo/tests/optional_union_test.cc" "tests/CMakeFiles/wukongs_tests.dir/optional_union_test.cc.o" "gcc" "tests/CMakeFiles/wukongs_tests.dir/optional_union_test.cc.o.d"
+  "/root/repo/tests/parity_test.cc" "tests/CMakeFiles/wukongs_tests.dir/parity_test.cc.o" "gcc" "tests/CMakeFiles/wukongs_tests.dir/parity_test.cc.o.d"
+  "/root/repo/tests/parser_fuzz_test.cc" "tests/CMakeFiles/wukongs_tests.dir/parser_fuzz_test.cc.o" "gcc" "tests/CMakeFiles/wukongs_tests.dir/parser_fuzz_test.cc.o.d"
+  "/root/repo/tests/parser_test.cc" "tests/CMakeFiles/wukongs_tests.dir/parser_test.cc.o" "gcc" "tests/CMakeFiles/wukongs_tests.dir/parser_test.cc.o.d"
+  "/root/repo/tests/rdf_test.cc" "tests/CMakeFiles/wukongs_tests.dir/rdf_test.cc.o" "gcc" "tests/CMakeFiles/wukongs_tests.dir/rdf_test.cc.o.d"
+  "/root/repo/tests/serialization_test.cc" "tests/CMakeFiles/wukongs_tests.dir/serialization_test.cc.o" "gcc" "tests/CMakeFiles/wukongs_tests.dir/serialization_test.cc.o.d"
+  "/root/repo/tests/soak_test.cc" "tests/CMakeFiles/wukongs_tests.dir/soak_test.cc.o" "gcc" "tests/CMakeFiles/wukongs_tests.dir/soak_test.cc.o.d"
+  "/root/repo/tests/stream_test.cc" "tests/CMakeFiles/wukongs_tests.dir/stream_test.cc.o" "gcc" "tests/CMakeFiles/wukongs_tests.dir/stream_test.cc.o.d"
+  "/root/repo/tests/window_property_test.cc" "tests/CMakeFiles/wukongs_tests.dir/window_property_test.cc.o" "gcc" "tests/CMakeFiles/wukongs_tests.dir/window_property_test.cc.o.d"
+  "/root/repo/tests/workloads_test.cc" "tests/CMakeFiles/wukongs_tests.dir/workloads_test.cc.o" "gcc" "tests/CMakeFiles/wukongs_tests.dir/workloads_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/wukongs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wukongs_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wukongs_workloads.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
