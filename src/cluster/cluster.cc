@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "src/fault/upstream_buffer.h"
+
 namespace wukongs {
 namespace {
 
@@ -38,6 +40,7 @@ Cluster::Cluster(const ClusterConfig& config, StringServer* shared_strings)
                                                  config.reserved_snapshots,
                                                  config.batches_per_sn)) {
   assert(config_.nodes >= 1);
+  fabric_->set_fault_injector(config_.fault_injector);
   stores_.reserve(config_.nodes);
   for (NodeId n = 0; n < config_.nodes; ++n) {
     stores_.push_back(std::make_unique<GStore>(n));
@@ -77,6 +80,7 @@ StatusOr<StreamId> Cluster::DefineStream(
     transients_raw_.back().push_back(transients_.back().back().get());
   }
   coordinator_->RegisterStream(id);
+  delivered_next_.push_back(0);
   return id;
 }
 
@@ -107,7 +111,7 @@ Status Cluster::FeedStream(StreamId stream, const StreamTupleVec& tuples) {
     return s;
   }
   for (const StreamBatch& b : batches) {
-    InjectBatch(b);
+    DeliverBatch(b);
   }
   return Status::Ok();
 }
@@ -126,14 +130,80 @@ void Cluster::AdvanceStreams(StreamTime now_ms) {
                      return a.seq < b.seq;
                    });
   for (const StreamBatch& b : batches) {
-    InjectBatch(b);
+    DeliverBatch(b);
   }
 }
 
-void Cluster::InjectBatch(const StreamBatch& batch) {
+void Cluster::DeliverBatch(const StreamBatch& batch) {
+  // Upstream backup (§5): the source keeps the batch until it is acked as
+  // durably checkpointed — the recovery path replays this tail.
+  if (upstream_ != nullptr) {
+    upstream_->Retain(batch);
+  }
+
+  FaultInjector* inj = config_.fault_injector;
+  if (inj != nullptr) {
+    if (auto crash = inj->TakeCrash(batch.stream, batch.seq)) {
+      // The crash fires before this delivery: the node misses this batch and
+      // everything after it until restored.
+      Status s = CrashNode(crash->node);
+      if (s.ok() && crash_handler_) {
+        crash_handler_(*crash);
+      }
+    }
+  }
+
+  BatchFate fate = inj != nullptr ? inj->FateOf(batch.stream, batch.seq)
+                                  : BatchFate::kDeliver;
+  if (fate == BatchFate::kDrop) {
+    // First delivery lost on the wire. The upstream notices the missing ack
+    // after one backoff interval and retransmits; delivery order is
+    // preserved, so the cost is pure added latency.
+    double wait = config_.retry.BackoffNs(1);
+    SimCost::Add(wait);
+    fault_stats_.delivery_retry.backoff_ns += wait;
+    ++fault_stats_.delivery_retry.retries;
+    ++fault_stats_.batches_redelivered;
+  } else if (fate == BatchFate::kDelay) {
+    SimCost::Add(inj->schedule().batch_delay_ns);
+    ++fault_stats_.batches_delayed;
+  }
+
+  // At-least-once delivery -> exactly-once injection: the sequence gate
+  // swallows the duplicate copy (and any replay overlap).
+  const int copies = fate == BatchFate::kDuplicate ? 2 : 1;
+  for (int c = 0; c < copies; ++c) {
+    if (batch.seq < delivered_next_[batch.stream]) {
+      ++fault_stats_.duplicates_suppressed;
+      continue;
+    }
+    InjectBatch(batch);
+    delivered_next_[batch.stream] = batch.seq + 1;
+  }
+}
+
+void Cluster::InjectBatch(const StreamBatch& batch, int only_node) {
   StreamState& state = streams_[batch.stream];
   const uint32_t nodes = config_.nodes;
+  const bool filtered = only_node >= 0;
   SnapshotNum sn = coordinator_->PlanSnFor(batch.stream, batch.seq);
+
+  // Live injection targets every live node (a quarantined node's partition is
+  // recovered later from the log); restore replay targets exactly one node.
+  auto applies = [&](NodeId n) {
+    return filtered ? n == static_cast<NodeId>(only_node) : fabric_->node_up(n);
+  };
+  // The stream's Adaptor+Dispatcher fail over to a surviving node when their
+  // host is down; shipping then originates there.
+  NodeId ingest = state.ingest_node;
+  if (!fabric_->node_up(ingest)) {
+    for (NodeId n = 0; n < nodes; ++n) {
+      if (fabric_->node_up(n)) {
+        ingest = n;
+        break;
+      }
+    }
+  }
 
   // Dispatcher: partition each tuple's two directions by owner node.
   std::vector<std::vector<std::pair<Key, VertexId>>> timeless(nodes);
@@ -150,38 +220,69 @@ void Cluster::InjectBatch(const StreamBatch& batch) {
   LatencyProbe inject_probe;
   std::vector<std::vector<AppendSpan>> spans(nodes);
   for (NodeId n = 0; n < nodes; ++n) {
+    if (!applies(n)) {
+      continue;
+    }
     size_t tuple_count = timeless[n].size() + timing[n].size();
     if (tuple_count > 0) {
-      fabric_->Message(state.ingest_node, n, tuple_count * kTupleWireBytes);
+      size_t bytes = tuple_count * kTupleWireBytes;
+      if (config_.fault_injector != nullptr && !filtered) {
+        // Dispatcher->Injector shipping is fallible: a lost send retries
+        // with backoff. If the budget is exhausted the dispatcher escalates
+        // to a slow reliable path (one more full send) — delivery never
+        // fails, it only gets slower.
+        Status s = RunWithRetry(
+            config_.retry, [&] { return fabric_->TryMessage(ingest, n, bytes); },
+            &fault_stats_.delivery_retry);
+        if (!s.ok()) {
+          fabric_->Message(ingest, n, bytes);
+        }
+      } else {
+        fabric_->Message(ingest, n, bytes);
+      }
     }
     for (const auto& [key, value] : timeless[n]) {
       stores_raw_[n]->InjectEdge(key, value, sn, &spans[n]);
     }
     transients_raw_[batch.stream][n]->AppendSlice(batch.seq, timing[n]);
   }
-  state.profile.inject_ms += inject_probe.FinishMs();
+  if (!filtered) {
+    state.profile.inject_ms += inject_probe.FinishMs();
+  }
 
-  // Stream index construction + locality-aware replication (§4.2).
+  // Stream index construction + locality-aware replication (§4.2). Restore
+  // replay rebuilds only the target node's index portion; replication to
+  // subscribers already happened during the original live injection.
   LatencyProbe index_probe;
   for (NodeId n = 0; n < nodes; ++n) {
+    if (!applies(n)) {
+      continue;
+    }
     stream_indexes_raw_[batch.stream][n]->AddBatch(batch.seq, spans[n]);
-    if (spans[n].empty()) {
+    if (spans[n].empty() || filtered) {
       continue;
     }
     if (config_.locality_aware_index) {
       size_t index_bytes = spans[n].size() * sizeof(AppendSpan) + 32;
       for (NodeId sub : state.subscribers) {
-        if (sub != n) {
+        if (sub != n && fabric_->node_up(sub)) {
           fabric_->Message(n, sub, index_bytes);
           ++index_replications_;
         }
       }
     }
   }
-  state.profile.index_ms += index_probe.FinishMs();
+  if (!filtered) {
+    state.profile.index_ms += index_probe.FinishMs();
+  }
 
   for (NodeId n = 0; n < nodes; ++n) {
-    coordinator_->ReportInjected(n, batch.stream, batch.seq);
+    if (applies(n)) {
+      coordinator_->ReportInjected(n, batch.stream, batch.seq);
+    }
+  }
+  if (filtered) {
+    return;
   }
   state.profile.tuples += batch.tuples.size();
   state.profile.batches += 1;
@@ -200,12 +301,13 @@ bool Cluster::IsSelective(const Query& q, const std::vector<int>& plan) const {
 }
 
 StatusOr<ExecContext> Cluster::BuildContext(
-    const Registration& reg, StreamTime end_ms, ChargePolicy policy,
-    std::vector<std::unique_ptr<NeighborSource>>* holders) {
+    const Registration& reg, StreamTime end_ms, ChargePolicy policy, NodeId home,
+    std::vector<std::unique_ptr<NeighborSource>>* holders, DegradeState* degrade) {
   ExecContext ctx;
   ctx.strings = strings_;
   holders->push_back(std::make_unique<StoreSource>(
-      stores_raw_, fabric_.get(), reg.home, coordinator_->StableSn(), policy));
+      stores_raw_, fabric_.get(), home, coordinator_->StableSn(), policy,
+      &config_.retry, degrade));
   ctx.sources.push_back(holders->back().get());
   VectorTimestamp stable = coordinator_->StableVts();
   for (size_t w = 0; w < reg.query.windows.size(); ++w) {
@@ -228,10 +330,34 @@ StatusOr<ExecContext> Cluster::BuildContext(
     }
     holders->push_back(std::make_unique<WindowSource>(
         stores_raw_, stream_indexes_raw_[sid], transients_raw_[sid], fabric_.get(),
-        reg.home, range, policy, config_.locality_aware_index));
+        home, range, policy, config_.locality_aware_index, &config_.retry,
+        degrade));
     ctx.sources.push_back(holders->back().get());
   }
   return ctx;
+}
+
+NodeId Cluster::EffectiveHome(NodeId home) {
+  if (fabric_->node_up(home)) {
+    return home;
+  }
+  for (NodeId n = 0; n < config_.nodes; ++n) {
+    if (fabric_->node_up(n)) {
+      ++fault_stats_.reroutes;
+      return n;
+    }
+  }
+  return home;  // Nothing is up; callers will fail downstream.
+}
+
+void Cluster::ApplyDegrade(const DegradeState& degrade, QueryExecution* exec) {
+  exec->partial = degrade.partial;
+  exec->skipped_shards = degrade.skipped_shards;
+  exec->fault_retries = degrade.retry.retries;
+  exec->backoff_ms = degrade.retry.backoff_ns / 1e6;
+  if (degrade.partial) {
+    ++fault_stats_.degraded_executions;
+  }
 }
 
 StatusOr<QueryExecution> Cluster::RunQuery(const Query& q,
@@ -239,31 +365,40 @@ StatusOr<QueryExecution> Cluster::RunQuery(const Query& q,
                                            const ExecContext& ctx, NodeId home,
                                            bool fork_join, bool selective,
                                            SnapshotNum snapshot) {
-  (void)home;
   const NetworkModel& m = config_.network;
   const bool rdma = fabric_->transport() == Transport::kRdma;
+  // Degraded clusters fork-join over the survivors only.
+  const uint32_t live = fabric_->up_count();
   // A selective query forced into fork-join involves only the nodes its few
   // keys live on: migrating execution, no cluster-wide barrier.
   const bool migrating = fork_join && selective;
 
   StepHook hook;
-  if (fork_join && config_.nodes > 1) {
+  if (fork_join && live > 1) {
     hook = [&](const TriplePattern&, size_t rows_before, size_t cols_before,
                size_t /*rows_after*/) {
+      double round = 0.0;
       if (!migrating && rows_before > kSmallStepRows) {
         // Scatter: ship the binding table partition-wise, one concurrent
         // round; charge the round's base plus the shipped volume.
         size_t bytes = rows_before * (cols_before + 1) * kBindingBytes + 16;
         if (rdma) {
-          SimCost::Add(m.rdma_msg_base_ns +
-                       m.rdma_msg_per_byte_ns * static_cast<double>(bytes));
+          round = m.rdma_msg_base_ns +
+                  m.rdma_msg_per_byte_ns * static_cast<double>(bytes);
         } else {
-          SimCost::Add(m.tcp_msg_base_ns +
-                       m.tcp_msg_per_byte_ns * static_cast<double>(bytes));
+          round = m.tcp_msg_base_ns +
+                  m.tcp_msg_per_byte_ns * static_cast<double>(bytes);
         }
       } else {
         // Tiny step: the continuation migrates with its rows in one hop.
-        SimCost::Add(rdma ? kRdmaHopNs : kTcpHopNs);
+        round = rdma ? kRdmaHopNs : kTcpHopNs;
+      }
+      SimCost::Add(round);
+      FaultInjector* inj = config_.fault_injector;
+      if (inj != nullptr && inj->FailMessage(home, home)) {
+        // Lost scatter/migration round: the join barrier times out waiting
+        // for the straggler, then the round is retransmitted.
+        SimCost::Add(config_.retry.BackoffNs(1) + round);
       }
     };
   }
@@ -292,7 +427,7 @@ StatusOr<QueryExecution> Cluster::RunQuery(const Query& q,
   }
   double cpu_ns = wall.ElapsedNs();
 
-  if (fork_join && config_.nodes > 1 && !migrating) {
+  if (fork_join && live > 1 && !migrating) {
     // Full fork-join: dispatch into every node's task queue + join barrier.
     SimCost::Add(rdma ? kForkJoinSetupRdmaNs : kForkJoinSetupTcpNs);
     // Join: gather final bindings to the home node. Small results piggyback
@@ -311,9 +446,9 @@ StatusOr<QueryExecution> Cluster::RunQuery(const Query& q,
     } else {
       SimCost::Add(rdma ? kRdmaHopNs : kTcpHopNs);
     }
-    cpu_ns /= std::pow(static_cast<double>(config_.nodes),
+    cpu_ns /= std::pow(static_cast<double>(live),
                        config_.fork_join_parallel_exponent);
-  } else if (migrating && config_.nodes > 1) {
+  } else if (migrating && live > 1) {
     SimCost::Add(rdma ? kRdmaHopNs : kTcpHopNs);  // Final reply hop.
   }
   double net_ns = SimCost::TotalNs() - sim_before;
@@ -333,6 +468,9 @@ StatusOr<QueryExecution> Cluster::ExecuteUnion(const Registration& reg,
   QueryExecution total;
   total.snapshot = snapshot;
   total.window_end_ms = end_ms;
+  NodeId home = EffectiveHome(reg.home);
+  const bool degraded = fabric_->AnyNodeDown();
+  DegradeState degrade;
   for (const std::vector<TriplePattern>& branch : reg.query.unions) {
     Query bq = reg.query;
     bq.patterns = branch;
@@ -347,22 +485,25 @@ StatusOr<QueryExecution> Cluster::ExecuteUnion(const Registration& reg,
     breg.stream_ids = reg.stream_ids;
 
     std::vector<std::unique_ptr<NeighborSource>> plan_holders;
-    auto plan_ctx = BuildContext(breg, end_ms, ChargePolicy::kNoCharge, &plan_holders);
+    auto plan_ctx = BuildContext(breg, end_ms, ChargePolicy::kNoCharge, home,
+                                 &plan_holders, nullptr);
     if (!plan_ctx.ok()) {
       return plan_ctx.status();
     }
     std::vector<int> plan = PlanQuery(bq, *plan_ctx);
     bool selective = IsSelective(bq, plan);
-    bool fork_join =
-        config_.force_fork_join || (!selective && !config_.force_in_place);
+    // A quarantined shard reroutes in-place queries to fork-join over the
+    // survivors (graceful degradation).
+    bool fork_join = config_.force_fork_join ||
+                     ((!selective || degraded) && !config_.force_in_place);
     std::vector<std::unique_ptr<NeighborSource>> holders;
     auto ctx = BuildContext(
         breg, end_ms, fork_join ? ChargePolicy::kNoCharge : ChargePolicy::kInPlace,
-        &holders);
+        home, &holders, &degrade);
     if (!ctx.ok()) {
       return ctx.status();
     }
-    auto exec = RunQuery(bq, plan, *ctx, breg.home, fork_join, selective, snapshot);
+    auto exec = RunQuery(bq, plan, *ctx, home, fork_join, selective, snapshot);
     if (!exec.ok()) {
       return exec.status();
     }
@@ -382,6 +523,7 @@ StatusOr<QueryExecution> Cluster::ExecuteUnion(const Registration& reg,
   if (!fin.ok()) {
     return fin;
   }
+  ApplyDegrade(degrade, &total);
   return total;
 }
 
@@ -420,23 +562,31 @@ StatusOr<QueryExecution> Cluster::OneShotParsed(const Query& q, NodeId home) {
   if (!q.unions.empty()) {
     return ExecuteUnion(reg, 0, snapshot);
   }
-  auto plan_ctx = BuildContext(reg, 0, ChargePolicy::kNoCharge, &holders);
+  NodeId exec_home = EffectiveHome(home);
+  const bool degraded = fabric_->AnyNodeDown();
+  DegradeState degrade;
+  auto plan_ctx = BuildContext(reg, 0, ChargePolicy::kNoCharge, exec_home,
+                               &holders, nullptr);
   if (!plan_ctx.ok()) {
     return plan_ctx.status();
   }
   std::vector<int> plan = PlanQuery(q, *plan_ctx);
   bool selective = IsSelective(q, plan);
-  bool fork_join =
-      config_.force_fork_join || (!selective && !config_.force_in_place);
+  bool fork_join = config_.force_fork_join ||
+                   ((!selective || degraded) && !config_.force_in_place);
 
   std::vector<std::unique_ptr<NeighborSource>> exec_holders;
   auto ctx = BuildContext(reg, 0,
                           fork_join ? ChargePolicy::kNoCharge : ChargePolicy::kInPlace,
-                          &exec_holders);
+                          exec_home, &exec_holders, &degrade);
   if (!ctx.ok()) {
     return ctx.status();
   }
-  return RunQuery(q, plan, *ctx, home, fork_join, selective, snapshot);
+  auto exec = RunQuery(q, plan, *ctx, exec_home, fork_join, selective, snapshot);
+  if (exec.ok()) {
+    ApplyDegrade(degrade, &exec.value());
+  }
+  return exec;
 }
 
 StatusOr<Cluster::ContinuousHandle> Cluster::RegisterContinuous(
@@ -509,11 +659,17 @@ StatusOr<QueryExecution> Cluster::ExecuteContinuousAt(ContinuousHandle h,
     return exec;
   }
 
+  // Degradation reroute: a registration whose home node is down executes on
+  // the first surviving node instead of crashing.
+  NodeId home = EffectiveHome(reg.home);
+  const bool degraded = fabric_->AnyNodeDown();
+  DegradeState degrade;
+
   // Plan once, at the first triggered execution (stored-procedure style).
   std::call_once(*reg.plan_once, [&] {
     std::vector<std::unique_ptr<NeighborSource>> plan_holders;
-    auto plan_ctx =
-        BuildContext(reg, end_ms, ChargePolicy::kNoCharge, &plan_holders);
+    auto plan_ctx = BuildContext(reg, end_ms, ChargePolicy::kNoCharge, home,
+                                 &plan_holders, nullptr);
     if (plan_ctx.ok()) {
       reg.cached_plan = PlanQuery(reg.query, *plan_ctx);
       reg.cached_selective = IsSelective(reg.query, reg.cached_plan);
@@ -524,19 +680,20 @@ StatusOr<QueryExecution> Cluster::ExecuteContinuousAt(ContinuousHandle h,
   }
   bool selective = reg.cached_selective;
   bool fork_join = config_.force_fork_join ||
-                   (!selective && !config_.force_in_place);
+                   ((!selective || degraded) && !config_.force_in_place);
 
   std::vector<std::unique_ptr<NeighborSource>> holders;
   auto ctx = BuildContext(reg, end_ms,
                           fork_join ? ChargePolicy::kNoCharge : ChargePolicy::kInPlace,
-                          &holders);
+                          home, &holders, &degrade);
   if (!ctx.ok()) {
     return ctx.status();
   }
-  auto exec = RunQuery(reg.query, reg.cached_plan, *ctx, reg.home, fork_join,
+  auto exec = RunQuery(reg.query, reg.cached_plan, *ctx, home, fork_join,
                        selective, coordinator_->StableSn());
   if (exec.ok()) {
     exec->window_end_ms = end_ms;
+    ApplyDegrade(degrade, &exec.value());
   }
   return exec;
 }
@@ -615,18 +772,153 @@ Status Cluster::ReplayBatch(const StreamBatch& batch) {
     return Status::NotFound("unknown stream id in replayed batch");
   }
   StreamAdaptor* adaptor = streams_[batch.stream].adaptor.get();
-  if (batch.seq < adaptor->next_seq()) {
-    return Status::InvalidArgument("replayed batch is older than adaptor state");
+  if (batch.seq < delivered_next_[batch.stream]) {
+    // At-least-once replay (checkpoint log + upstream backup overlap):
+    // already-injected batches are suppressed by the sequence gate.
+    ++fault_stats_.duplicates_suppressed;
+    return Status::Ok();
   }
   // Bring the adaptor level with the replay so later live feeding continues
   // from the right sequence. Missing intermediate batches are injected empty.
   std::vector<StreamBatch> fill;
   adaptor->AdvanceTo(batch.seq * config_.batch_interval_ms, &fill);
   for (const StreamBatch& b : fill) {
+    if (b.seq < delivered_next_[b.stream]) {
+      continue;
+    }
     InjectBatch(b);
+    delivered_next_[b.stream] = b.seq + 1;
   }
   InjectBatch(batch);
+  delivered_next_[batch.stream] = batch.seq + 1;
   adaptor->FastForward(batch.seq + 1);
+  return Status::Ok();
+}
+
+bool Cluster::NodeUp(NodeId n) const { return fabric_->node_up(n); }
+
+uint32_t Cluster::UpNodeCount() const { return fabric_->up_count(); }
+
+BatchSeq Cluster::NextSeq(StreamId stream) const {
+  if (stream >= streams_.size()) {
+    return 0;
+  }
+  return streams_[stream].adaptor->next_seq();
+}
+
+Status Cluster::CrashNode(NodeId node) {
+  if (node >= config_.nodes) {
+    return Status::NotFound("unknown node id");
+  }
+  if (!fabric_->node_up(node)) {
+    return Status::FailedPrecondition("node is already down");
+  }
+  if (fabric_->up_count() <= 1) {
+    return Status::FailedPrecondition("cannot crash the last live node");
+  }
+  fabric_->SetNodeUp(node, false);
+  // Excluded from Stable_VTS so surviving nodes keep triggering windows, and
+  // its injection progress is forgotten so restore can re-report from seq 0.
+  coordinator_->SetNodeActive(node, false);
+  coordinator_->ResetNode(node);
+  // Volatile state dies with the process: the shard, its stream-index
+  // portion, and its transient slices.
+  stores_[node] = std::make_unique<GStore>(node);
+  stores_raw_[node] = stores_[node].get();
+  for (size_t s = 0; s < streams_.size(); ++s) {
+    stream_indexes_[s][node] = std::make_unique<StreamIndex>();
+    stream_indexes_raw_[s][node] = stream_indexes_[s][node].get();
+    transients_[s][node] =
+        std::make_unique<TransientStore>(config_.transient_budget_bytes);
+    transients_raw_[s][node] = transients_[s][node].get();
+  }
+  ++fault_stats_.crashes;
+  return Status::Ok();
+}
+
+void Cluster::SetCrashHandler(std::function<void(const CrashEvent&)> handler) {
+  crash_handler_ = std::move(handler);
+}
+
+void Cluster::SetUpstreamBuffer(UpstreamBuffer* upstream) {
+  upstream_ = upstream;
+}
+
+Status Cluster::LoadBaseForNode(NodeId node, std::span<const Triple> triples) {
+  if (node >= config_.nodes) {
+    return Status::NotFound("unknown node id");
+  }
+  if (fabric_->node_up(node)) {
+    return Status::FailedPrecondition("node is live; crash it before restoring");
+  }
+  for (const Triple& t : triples) {
+    if (OwnerOf(t.subject) == node) {
+      stores_raw_[node]->LoadEdge(Key(t.subject, t.predicate, Dir::kOut),
+                                  t.object);
+    }
+    if (OwnerOf(t.object) == node) {
+      stores_raw_[node]->LoadEdge(Key(t.object, t.predicate, Dir::kIn),
+                                  t.subject);
+    }
+  }
+  return Status::Ok();
+}
+
+Status Cluster::ReplayBatchForNode(NodeId node, const StreamBatch& batch) {
+  if (node >= config_.nodes) {
+    return Status::NotFound("unknown node id");
+  }
+  if (batch.stream >= streams_.size()) {
+    return Status::NotFound("unknown stream id in replayed batch");
+  }
+  if (fabric_->node_up(node)) {
+    return Status::FailedPrecondition("node is live; crash it before restoring");
+  }
+  BatchSeq prev = coordinator_->LocalVts(node).Get(batch.stream);
+  BatchSeq next = prev == kNoBatch ? 0 : prev + 1;
+  if (batch.seq < next) {
+    // Overlap between the checkpoint log and the upstream-backup tail.
+    ++fault_stats_.duplicates_suppressed;
+    return Status::Ok();
+  }
+  if (batch.seq > next) {
+    return Status::FailedPrecondition(
+        "gap in restore replay: expected batch " + std::to_string(next) +
+        " of stream " + std::to_string(batch.stream) + ", got " +
+        std::to_string(batch.seq));
+  }
+  InjectBatch(batch, static_cast<int>(node));
+  return Status::Ok();
+}
+
+Status Cluster::FinishNodeRestore(NodeId node) {
+  if (node >= config_.nodes) {
+    return Status::NotFound("unknown node id");
+  }
+  if (fabric_->node_up(node)) {
+    return Status::FailedPrecondition("node is already live");
+  }
+  // The node may only rejoin once its replayed progress covers the survivors'
+  // stable frontier; reactivating early would regress Stable_VTS and stall
+  // (or un-trigger) windows that already fired.
+  VectorTimestamp stable = coordinator_->StableVts();
+  VectorTimestamp local = coordinator_->LocalVts(node);
+  for (StreamId s = 0; s < static_cast<StreamId>(streams_.size()); ++s) {
+    BatchSeq need = stable.Get(s);
+    if (need == kNoBatch) {
+      continue;
+    }
+    BatchSeq have = local.Get(s);
+    if (have == kNoBatch || have < need) {
+      return Status::FailedPrecondition(
+          "node " + std::to_string(node) + " lags stream " + std::to_string(s) +
+          ": restored through " +
+          (have == kNoBatch ? std::string("nothing") : std::to_string(have)) +
+          ", survivors at " + std::to_string(need));
+    }
+  }
+  fabric_->SetNodeUp(node, true);
+  coordinator_->SetNodeActive(node, true);
   return Status::Ok();
 }
 

@@ -25,8 +25,10 @@
 #include <vector>
 
 #include "src/cluster/sources.h"
+#include "src/common/retry.h"
 #include "src/common/status.h"
 #include "src/engine/executor.h"
+#include "src/fault/fault_injector.h"
 #include "src/rdf/string_server.h"
 #include "src/rdf/triple.h"
 #include "src/rdma/fabric.h"
@@ -39,6 +41,8 @@
 #include "src/stream/transient_store.h"
 
 namespace wukongs {
+
+class UpstreamBuffer;
 
 struct ClusterConfig {
   uint32_t nodes = 1;
@@ -70,6 +74,14 @@ struct ClusterConfig {
   // Disabling it (ablation) makes every remote window lookup pay an extra
   // one-sided read for the index itself — the cost Fig. 9 is designed away.
   bool locality_aware_index = true;
+
+  // Fault injection (non-owning; must outlive the cluster). When set, batch
+  // delivery, fabric verbs, and scheduled crashes follow its seeded schedule.
+  FaultInjector* fault_injector = nullptr;
+  // Retry/backoff applied to fallible fabric operations (in-place reads,
+  // dispatcher shipping); backoff is charged into SimCost so degraded-mode
+  // latency shows up in measured query latency.
+  RetryPolicy retry;
 };
 
 // Outcome of one query execution with its modeled cost breakdown.
@@ -80,6 +92,15 @@ struct QueryExecution {
   bool fork_join = false;
   SnapshotNum snapshot = 0;
   StreamTime window_end_ms = 0;  // Continuous executions only.
+
+  // Degraded-mode surface: partial means some quarantined shard's data could
+  // not be served — the result is usable but may be incomplete (a Status-like
+  // signal instead of a crash). Retry accounting makes the price of riding
+  // through transient faults visible per execution.
+  bool partial = false;
+  uint64_t skipped_shards = 0;
+  uint64_t fault_retries = 0;
+  double backoff_ms = 0.0;
 
   double latency_ms() const { return cpu_ms + net_ms; }
 };
@@ -172,8 +193,46 @@ class Cluster {
   // --- Fault tolerance hooks (§5). ---
   // Logger invoked for every injected batch (incremental checkpointing).
   void SetBatchLogger(std::function<void(const StreamBatch&)> logger);
-  // Recovery path: re-injects a logged batch, bypassing the Adaptor.
+  // Recovery path: re-injects a logged batch, bypassing the Adaptor. With an
+  // at-least-once replay source (checkpoint log + upstream backup overlap),
+  // already-injected batches are suppressed, not errors.
   Status ReplayBatch(const StreamBatch& batch);
+
+  // --- Fault injection, degraded operation & recovery. ---
+  struct FaultStats {
+    uint64_t batches_redelivered = 0;    // First delivery lost, retransmitted.
+    uint64_t duplicates_suppressed = 0;  // Caught by the injection seq gate.
+    uint64_t batches_delayed = 0;
+    uint64_t crashes = 0;
+    uint64_t reroutes = 0;               // Executions whose home was down.
+    uint64_t degraded_executions = 0;    // Executions with partial results.
+    RetryStats delivery_retry;           // Dispatcher shipping retries.
+  };
+  const FaultStats& fault_stats() const { return fault_stats_; }
+
+  bool NodeUp(NodeId n) const;
+  uint32_t UpNodeCount() const;
+  // Next batch seq the stream's adaptor will emit (recovery watermark).
+  BatchSeq NextSeq(StreamId stream) const;
+
+  // Kills a node: its shard, stream-index replicas and transient slices are
+  // lost (volatile state dies with the process), it leaves the fabric and the
+  // coordinator's active set, and its vector-timestamp progress is reset.
+  // The last live node cannot be crashed.
+  Status CrashNode(NodeId node);
+  // Invoked after a scheduled CrashEvent kills its node — the hook point for
+  // tearing the checkpoint-log tail (the cluster does not know the log path).
+  void SetCrashHandler(std::function<void(const CrashEvent&)> handler);
+  // Upstream backup: every batch reaching the dispatcher is retained here
+  // until the caller acks it as durably checkpointed. Non-owning.
+  void SetUpstreamBuffer(UpstreamBuffer* upstream);
+
+  // Node restore, driven by RecoveryManager: reload the crashed node's base
+  // partition, replay every logged batch filtered to that node, then verify
+  // it caught up and re-admit it to the fabric and the active set.
+  Status LoadBaseForNode(NodeId node, std::span<const Triple> triples);
+  Status ReplayBatchForNode(NodeId node, const StreamBatch& batch);
+  Status FinishNodeRestore(NodeId node);
 
  private:
   struct StreamState {
@@ -197,7 +256,18 @@ class Cluster {
     bool cached_selective = true;
   };
 
-  void InjectBatch(const StreamBatch& batch);
+  // Dispatcher-side delivery: applies the fault schedule (drop = backoff +
+  // retransmit, duplicate, delay), fires scheduled crashes, retains the batch
+  // upstream, and runs the at-least-once -> exactly-once sequence gate before
+  // injecting.
+  void DeliverBatch(const StreamBatch& batch);
+  // `only_node` >= 0 restricts injection to that node's partition (node
+  // restore replay); profiles, logging and the delivery gate are bypassed.
+  void InjectBatch(const StreamBatch& batch, int only_node = -1);
+  // Home for an execution: `home` itself, or the first live node when `home`
+  // is down (graceful degradation reroute).
+  NodeId EffectiveHome(NodeId home);
+  void ApplyDegrade(const DegradeState& degrade, QueryExecution* exec);
   bool IsSelective(const Query& q, const std::vector<int>& plan) const;
   // Plans and executes each UNION branch, concatenates, applies modifiers.
   StatusOr<QueryExecution> ExecuteUnion(const Registration& reg, StreamTime end_ms,
@@ -207,9 +277,12 @@ class Cluster {
                                     bool fork_join, bool selective,
                                     SnapshotNum snapshot);
   // Builds sources for a continuous execution; `holders` keeps them alive.
+  // `home` may differ from reg.home after a degradation reroute; `degrade`
+  // (optional) collects partial-result and retry accounting.
   StatusOr<ExecContext> BuildContext(const Registration& reg, StreamTime end_ms,
-                                     ChargePolicy policy,
-                                     std::vector<std::unique_ptr<NeighborSource>>* holders);
+                                     ChargePolicy policy, NodeId home,
+                                     std::vector<std::unique_ptr<NeighborSource>>* holders,
+                                     DegradeState* degrade);
 
   ClusterConfig config_;
   std::unique_ptr<StringServer> owned_strings_;
@@ -233,6 +306,14 @@ class Cluster {
   std::deque<Registration> registrations_;
   std::function<void(const StreamBatch&)> batch_logger_;
   size_t index_replications_ = 0;
+
+  // Per stream: next seq expected at the dispatcher. At-least-once delivery
+  // (drops retransmitted, duplicates, replay overlap) becomes exactly-once
+  // injection by suppressing anything below this watermark.
+  std::vector<BatchSeq> delivered_next_;
+  std::function<void(const CrashEvent&)> crash_handler_;
+  UpstreamBuffer* upstream_ = nullptr;
+  FaultStats fault_stats_;
 };
 
 }  // namespace wukongs

@@ -8,49 +8,100 @@ namespace {
 
 constexpr size_t kEdgeBytes = sizeof(VertexId);
 
+// Shared retry-charged read for both sources. Returns false only when a
+// retry policy is attached and every attempt failed.
+bool ChargeReadWithRetry(Fabric* fabric, NodeId home, NodeId n, size_t bytes,
+                         const RetryPolicy* retry, DegradeState* degrade) {
+  if (retry == nullptr) {
+    fabric->OneSidedRead(home, n, bytes);
+    return true;
+  }
+  Status s = RunWithRetry(
+      *retry, [&] { return fabric->TryOneSidedRead(home, n, bytes); },
+      degrade != nullptr ? &degrade->retry : nullptr);
+  if (!s.ok()) {
+    if (degrade != nullptr) {
+      degrade->partial = true;
+    }
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 StoreSource::StoreSource(const std::vector<GStore*>& shards, Fabric* fabric,
-                         NodeId home, SnapshotNum snapshot, ChargePolicy policy)
+                         NodeId home, SnapshotNum snapshot, ChargePolicy policy,
+                         const RetryPolicy* retry, DegradeState* degrade)
     : shards_(shards),
       fabric_(fabric),
       home_(home),
       snapshot_(snapshot),
-      policy_(policy) {}
+      policy_(policy),
+      retry_(retry),
+      degrade_(degrade) {}
 
 void StoreSource::GetNeighbors(Key key, std::vector<VertexId>* out) const {
   if (key.is_index()) {
     // Index keys are partitioned: union every node's local portion.
     std::vector<VertexId> tmp;
     for (NodeId n = 0; n < shards_.size(); ++n) {
+      if (!fabric_->node_up(n)) {
+        // Quarantined shard: its portion is unavailable; serve the rest.
+        if (degrade_ != nullptr) {
+          degrade_->partial = true;
+          ++degrade_->skipped_shards;
+        }
+        continue;
+      }
       tmp.clear();
       shards_[n]->GetEdgesInto(key, snapshot_, &tmp);
       if (policy_ == ChargePolicy::kInPlace && !tmp.empty()) {
-        fabric_->OneSidedRead(home_, n, tmp.size() * kEdgeBytes + 16);
+        if (!ChargeReadWithRetry(fabric_, home_, n, tmp.size() * kEdgeBytes + 16,
+                                 retry_, degrade_)) {
+          continue;  // Read never completed: the span did not arrive.
+        }
       }
       out->insert(out->end(), tmp.begin(), tmp.end());
     }
     return;
   }
   NodeId owner = OwnerOfVertex(key.vid(), static_cast<uint32_t>(shards_.size()));
+  if (!fabric_->node_up(owner)) {
+    if (degrade_ != nullptr) {
+      degrade_->partial = true;
+      ++degrade_->skipped_shards;
+    }
+    return;
+  }
   size_t before = out->size();
   std::vector<VertexId> tmp;
   shards_[owner]->GetEdgesInto(key, snapshot_, &tmp);
   out->insert(out->end(), tmp.begin(), tmp.end());
   if (policy_ == ChargePolicy::kInPlace) {
-    fabric_->OneSidedRead(home_, owner, (out->size() - before) * kEdgeBytes + 16);
+    if (!ChargeReadWithRetry(fabric_, home_, owner,
+                             (out->size() - before) * kEdgeBytes + 16, retry_,
+                             degrade_)) {
+      out->resize(before);
+    }
   }
 }
 
 size_t StoreSource::EstimateCount(Key key) const {
   if (key.is_index()) {
     size_t n = 0;
-    for (GStore* shard : shards_) {
-      n += shard->EdgeCount(key, snapshot_);
+    for (NodeId node = 0; node < shards_.size(); ++node) {
+      if (!fabric_->node_up(node)) {
+        continue;
+      }
+      n += shards_[node]->EdgeCount(key, snapshot_);
     }
     return n;
   }
   NodeId owner = OwnerOfVertex(key.vid(), static_cast<uint32_t>(shards_.size()));
+  if (!fabric_->node_up(owner)) {
+    return 0;
+  }
   return shards_[owner]->EdgeCount(key, snapshot_);
 }
 
@@ -58,7 +109,8 @@ WindowSource::WindowSource(const std::vector<GStore*>& shards,
                            const std::vector<StreamIndex*>& indexes,
                            const std::vector<TransientStore*>& transients,
                            Fabric* fabric, NodeId home, BatchRange range,
-                           ChargePolicy policy, bool local_index)
+                           ChargePolicy policy, bool local_index,
+                           const RetryPolicy* retry, DegradeState* degrade)
     : shards_(shards),
       indexes_(indexes),
       transients_(transients),
@@ -66,13 +118,26 @@ WindowSource::WindowSource(const std::vector<GStore*>& shards,
       home_(home),
       range_(range),
       policy_(policy),
-      local_index_(local_index) {
+      local_index_(local_index),
+      retry_(retry),
+      degrade_(degrade) {
   assert(shards_.size() == indexes_.size());
   assert(shards_.size() == transients_.size());
 }
 
+bool WindowSource::ChargeRead(NodeId n, size_t bytes) const {
+  return ChargeReadWithRetry(fabric_, home_, n, bytes, retry_, degrade_);
+}
+
 void WindowSource::CollectFromNode(NodeId n, Key key,
                                    std::vector<VertexId>* out) const {
+  if (!fabric_->node_up(n)) {
+    if (degrade_ != nullptr) {
+      degrade_->partial = true;
+      ++degrade_->skipped_shards;
+    }
+    return;
+  }
   size_t before = out->size();
   std::vector<IndexSpan> spans;
   for (BatchSeq b = range_.lo; b <= range_.hi; ++b) {
@@ -91,7 +156,9 @@ void WindowSource::CollectFromNode(NodeId n, Key key,
   if (policy_ == ChargePolicy::kInPlace && added > 0) {
     // One one-sided read fetches the value span; the locally-replicated
     // stream index saved the key-lookup round trip (paper §5).
-    fabric_->OneSidedRead(home_, n, added * kEdgeBytes + 16);
+    if (!ChargeRead(n, added * kEdgeBytes + 16)) {
+      out->resize(before);
+    }
   }
 }
 
@@ -106,6 +173,13 @@ void WindowSource::GetNeighbors(Key key, std::vector<VertexId>* out) const {
     // (timing data); a vertex active in several batches appears once.
     std::vector<VertexId> raw;
     for (NodeId n = 0; n < shards_.size(); ++n) {
+      if (!fabric_->node_up(n)) {
+        if (degrade_ != nullptr) {
+          degrade_->partial = true;
+          ++degrade_->skipped_shards;
+        }
+        continue;
+      }
       size_t before = raw.size();
       for (BatchSeq b = range_.lo; b <= range_.hi; ++b) {
         indexes_[n]->GetSeeds(b, key.pid(), key.dir(), &raw);
@@ -113,9 +187,12 @@ void WindowSource::GetNeighbors(Key key, std::vector<VertexId>* out) const {
       }
       size_t added = raw.size() - before;
       if (policy_ == ChargePolicy::kInPlace && added > 0) {
-        fabric_->OneSidedRead(home_, n, added * kEdgeBytes + 16);
-        if (!local_index_) {
-          fabric_->OneSidedRead(home_, n, 32);
+        bool ok = ChargeRead(n, added * kEdgeBytes + 16);
+        if (ok && !local_index_) {
+          ok = ChargeRead(n, 32);
+        }
+        if (!ok) {
+          raw.resize(before);
         }
       }
     }
@@ -135,6 +212,9 @@ size_t WindowSource::EstimateCount(Key key) const {
   size_t n = 0;
   if (key.is_index()) {
     for (NodeId node = 0; node < shards_.size(); ++node) {
+      if (!fabric_->node_up(node)) {
+        continue;
+      }
       for (BatchSeq b = range_.lo; b <= range_.hi; ++b) {
         n += indexes_[node]->SeedCount(b, key.pid(), key.dir());
         n += transients_[node]->EdgeCount(b, key);
@@ -143,6 +223,9 @@ size_t WindowSource::EstimateCount(Key key) const {
     return n;
   }
   NodeId owner = OwnerOfVertex(key.vid(), static_cast<uint32_t>(shards_.size()));
+  if (!fabric_->node_up(owner)) {
+    return 0;
+  }
   for (BatchSeq b = range_.lo; b <= range_.hi; ++b) {
     n += indexes_[owner]->SpanEdgeCount(b, key);
     n += transients_[owner]->EdgeCount(b, key);

@@ -10,12 +10,19 @@
 // locally replicated, so index lookups are free — §4.2/§5). Under fork-join
 // the engine charges per-step shipping instead, so sources run with
 // kNoCharge.
+//
+// Fault handling: in-place reads go through Fabric's fallible surface under
+// a RetryPolicy — a lost read retries with exponential backoff (charged into
+// SimCost, so degraded latency is measured), and a shard whose node is down
+// (quarantined) is skipped entirely, with the skip recorded in DegradeState
+// so the execution can surface "results may be partial" instead of crashing.
 
 #ifndef SRC_CLUSTER_SOURCES_H_
 #define SRC_CLUSTER_SOURCES_H_
 
 #include <vector>
 
+#include "src/common/retry.h"
 #include "src/engine/neighbor_source.h"
 #include "src/rdma/fabric.h"
 #include "src/store/gstore.h"
@@ -30,6 +37,15 @@ enum class ChargePolicy {
   kNoCharge,  // Fork-join: engine charges per-step shipping.
 };
 
+// Per-execution fault/degradation accounting, shared by every source of one
+// query execution. GetNeighbors is const on the source, so the state is an
+// out-of-band pointer rather than a member mutation.
+struct DegradeState {
+  bool partial = false;         // Some shard's data could not be served.
+  uint64_t skipped_shards = 0;  // Reads skipped because the owner was down.
+  RetryStats retry;             // Fabric read retries during this execution.
+};
+
 // Hash partitioning of vertices over nodes. Index keys ([0|pid|dir]) are
 // partitioned too: every node owns the portion listing its local vertices.
 inline NodeId OwnerOfVertex(VertexId v, uint32_t nodes) {
@@ -39,7 +55,9 @@ inline NodeId OwnerOfVertex(VertexId v, uint32_t nodes) {
 class StoreSource : public NeighborSource {
  public:
   StoreSource(const std::vector<GStore*>& shards, Fabric* fabric, NodeId home,
-              SnapshotNum snapshot, ChargePolicy policy);
+              SnapshotNum snapshot, ChargePolicy policy,
+              const RetryPolicy* retry = nullptr,
+              DegradeState* degrade = nullptr);
 
   void GetNeighbors(Key key, std::vector<VertexId>* out) const override;
   size_t EstimateCount(Key key) const override;
@@ -50,6 +68,8 @@ class StoreSource : public NeighborSource {
   const NodeId home_;
   const SnapshotNum snapshot_;
   const ChargePolicy policy_;
+  const RetryPolicy* retry_;  // Null: infallible legacy charging.
+  DegradeState* degrade_;     // Null: degradation not tracked.
 };
 
 // One stream's view for one window (batch range [lo, hi]).
@@ -64,13 +84,19 @@ class WindowSource : public NeighborSource {
                const std::vector<StreamIndex*>& indexes,
                const std::vector<TransientStore*>& transients, Fabric* fabric,
                NodeId home, BatchRange range, ChargePolicy policy,
-               bool local_index = true);
+               bool local_index = true, const RetryPolicy* retry = nullptr,
+               DegradeState* degrade = nullptr);
 
   void GetNeighbors(Key key, std::vector<VertexId>* out) const override;
   size_t EstimateCount(Key key) const override;
 
  private:
   void CollectFromNode(NodeId n, Key key, std::vector<VertexId>* out) const;
+  // Charges one in-place remote read of `bytes` from node `n`, with retries.
+  // Returns false when every attempt failed — the caller must roll back the
+  // copied span (the data never actually arrived) and mark the result
+  // partial. Infallible (always true) when no retry policy is attached.
+  bool ChargeRead(NodeId n, size_t bytes) const;
 
   const std::vector<GStore*>& shards_;
   const std::vector<StreamIndex*>& indexes_;
@@ -80,6 +106,8 @@ class WindowSource : public NeighborSource {
   const BatchRange range_;
   const ChargePolicy policy_;
   const bool local_index_;
+  const RetryPolicy* retry_;
+  DegradeState* degrade_;
 };
 
 }  // namespace wukongs

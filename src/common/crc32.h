@@ -1,0 +1,24 @@
+// CRC32 (IEEE 802.3 polynomial, reflected) for record checksums.
+//
+// Used by the checkpoint log to distinguish a *torn* tail (crash mid-write,
+// expected, tolerated) from a *corrupted* one (bit rot / overwrite, detected
+// and dropped). Software table implementation; the log is not on the query
+// hot path, so portability beats hardware CRC instructions here.
+
+#ifndef SRC_COMMON_CRC32_H_
+#define SRC_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace wukongs {
+
+// Incremental update: pass the previous return value as `crc` to continue a
+// running checksum; start from kCrc32Init and the final value is the CRC.
+inline constexpr uint32_t kCrc32Init = 0;
+
+uint32_t Crc32(const void* data, size_t len, uint32_t crc = kCrc32Init);
+
+}  // namespace wukongs
+
+#endif  // SRC_COMMON_CRC32_H_

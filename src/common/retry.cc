@@ -1,0 +1,33 @@
+#include "src/common/retry.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace wukongs {
+
+double RetryPolicy::BackoffNs(int attempt) const {
+  if (attempt < 1) {
+    attempt = 1;
+  }
+  double wait = initial_backoff_ns *
+                std::pow(backoff_multiplier, static_cast<double>(attempt - 1));
+  return std::min(wait, max_backoff_ns);
+}
+
+std::string RetryPolicy::DebugString() const {
+  std::ostringstream os;
+  os << "RetryPolicy{attempts=" << max_attempts
+     << ", backoff=" << initial_backoff_ns << "ns x" << backoff_multiplier
+     << " cap " << max_backoff_ns << "ns}";
+  return os.str();
+}
+
+void RetryStats::Merge(const RetryStats& other) {
+  attempts += other.attempts;
+  retries += other.retries;
+  exhausted += other.exhausted;
+  backoff_ns += other.backoff_ns;
+}
+
+}  // namespace wukongs

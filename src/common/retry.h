@@ -1,0 +1,78 @@
+// Retry with exponential backoff over the simulated clock.
+//
+// Transient fabric faults (lost messages, failed one-sided reads) surface as
+// kUnavailable. RetryPolicy bounds how hard a caller fights back: each failed
+// attempt charges an exponentially growing backoff into the thread-local
+// SimCost accumulator, so degraded-mode latency is *measured* by the same
+// model that prices healthy traffic (issue: "per-operation budgets charged
+// into SimCost"). Non-retryable codes (anything but kUnavailable) abort the
+// loop immediately.
+
+#ifndef SRC_COMMON_RETRY_H_
+#define SRC_COMMON_RETRY_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/latency_model.h"
+#include "src/common/status.h"
+
+namespace wukongs {
+
+struct RetryPolicy {
+  // Total tries including the first; <=1 means fail on first fault.
+  int max_attempts = 5;
+  double initial_backoff_ns = 4000.0;  // ~2 RDMA reads: cheap first nudge.
+  double backoff_multiplier = 2.0;
+  double max_backoff_ns = 1.0e6;  // 1 ms cap keeps tails bounded.
+
+  // Backoff charged after the `attempt`-th failure (attempt is 1-based).
+  double BackoffNs(int attempt) const;
+
+  std::string DebugString() const;
+};
+
+struct RetryStats {
+  uint64_t attempts = 0;    // Total operation invocations.
+  uint64_t retries = 0;     // Invocations after a fault (attempts - ops).
+  uint64_t exhausted = 0;   // Operations that failed every attempt.
+  double backoff_ns = 0.0;  // Total backoff charged into SimCost.
+
+  void Merge(const RetryStats& other);
+};
+
+// Runs `op` until it returns Ok, a non-retryable code, or the attempt budget
+// is exhausted. Backoff between attempts is charged into SimCost (and tallied
+// in `stats` when provided). Returns the last status.
+template <typename Fn>
+Status RunWithRetry(const RetryPolicy& policy, Fn&& op,
+                    RetryStats* stats = nullptr) {
+  int budget = policy.max_attempts < 1 ? 1 : policy.max_attempts;
+  Status last;
+  for (int attempt = 1; attempt <= budget; ++attempt) {
+    if (stats != nullptr) {
+      ++stats->attempts;
+    }
+    last = op();
+    if (last.ok() || last.code() != StatusCode::kUnavailable) {
+      return last;
+    }
+    if (attempt == budget) {
+      break;  // Budget exhausted: no backoff after the final failure.
+    }
+    double wait = policy.BackoffNs(attempt);
+    SimCost::Add(wait);
+    if (stats != nullptr) {
+      ++stats->retries;
+      stats->backoff_ns += wait;
+    }
+  }
+  if (stats != nullptr) {
+    ++stats->exhausted;
+  }
+  return last;
+}
+
+}  // namespace wukongs
+
+#endif  // SRC_COMMON_RETRY_H_

@@ -23,6 +23,8 @@ enum class StatusCode {
   kResourceExhausted,
   kUnimplemented,
   kInternal,
+  kUnavailable,   // Transient fault (lost message, failed read); retryable.
+  kDataLoss,      // Unrecoverable corruption (e.g. checksum mismatch).
 };
 
 const char* StatusCodeName(StatusCode code);
@@ -54,6 +56,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

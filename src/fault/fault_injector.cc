@@ -1,0 +1,133 @@
+#include "src/fault/fault_injector.h"
+
+#include <filesystem>
+#include <sstream>
+#include <system_error>
+
+namespace wukongs {
+namespace {
+
+// Category salts keep the derived RNG streams statistically independent.
+constexpr uint64_t kReadSalt = 0x9E3779B97F4A7C15ull;
+constexpr uint64_t kMessageSalt = 0xC2B2AE3D27D4EB4Full;
+constexpr uint64_t kBatchSalt = 0x165667B19E3779F9ull;
+
+}  // namespace
+
+FaultInjector::FaultInjector(const FaultSchedule& schedule)
+    : schedule_(schedule),
+      read_rng_(schedule.seed ^ kReadSalt),
+      message_rng_(schedule.seed ^ kMessageSalt),
+      batch_rng_(schedule.seed ^ kBatchSalt),
+      crash_fired_(schedule.crashes.size(), false) {}
+
+bool FaultInjector::FailRead(NodeId from, NodeId to) {
+  (void)from;
+  (void)to;
+  if (schedule_.read_failure_rate <= 0.0) {
+    return false;
+  }
+  std::lock_guard lock(mu_);
+  if (read_rng_.Bernoulli(schedule_.read_failure_rate)) {
+    ++stats_.failed_reads;
+    return true;
+  }
+  return false;
+}
+
+bool FaultInjector::FailMessage(NodeId from, NodeId to) {
+  (void)from;
+  (void)to;
+  if (schedule_.message_failure_rate <= 0.0) {
+    return false;
+  }
+  std::lock_guard lock(mu_);
+  if (message_rng_.Bernoulli(schedule_.message_failure_rate)) {
+    ++stats_.failed_messages;
+    return true;
+  }
+  return false;
+}
+
+BatchFate FaultInjector::FateOf(StreamId stream, BatchSeq seq) {
+  (void)stream;
+  (void)seq;
+  if (schedule_.batch_drop_rate <= 0.0 && schedule_.batch_duplicate_rate <= 0.0 &&
+      schedule_.batch_delay_rate <= 0.0) {
+    return BatchFate::kDeliver;
+  }
+  std::lock_guard lock(mu_);
+  // One draw decides; the rates partition [0, 1) in priority order so the
+  // draw count per batch is constant regardless of which rates are set.
+  double u = batch_rng_.UniformReal(0.0, 1.0);
+  if (u < schedule_.batch_drop_rate) {
+    ++stats_.dropped_batches;
+    return BatchFate::kDrop;
+  }
+  u -= schedule_.batch_drop_rate;
+  if (u < schedule_.batch_duplicate_rate) {
+    ++stats_.duplicated_batches;
+    return BatchFate::kDuplicate;
+  }
+  u -= schedule_.batch_duplicate_rate;
+  if (u < schedule_.batch_delay_rate) {
+    ++stats_.delayed_batches;
+    return BatchFate::kDelay;
+  }
+  return BatchFate::kDeliver;
+}
+
+std::optional<CrashEvent> FaultInjector::TakeCrash(StreamId stream, BatchSeq seq) {
+  std::lock_guard lock(mu_);
+  for (size_t i = 0; i < schedule_.crashes.size(); ++i) {
+    const CrashEvent& c = schedule_.crashes[i];
+    if (!crash_fired_[i] && c.stream == stream && c.at_seq == seq) {
+      crash_fired_[i] = true;
+      ++stats_.crashes_fired;
+      return c;
+    }
+  }
+  return std::nullopt;
+}
+
+Status FaultInjector::TearFileTail(const std::string& path, size_t bytes) {
+  std::error_code ec;
+  uintmax_t size = std::filesystem::file_size(path, ec);
+  if (ec) {
+    return Status::NotFound("cannot stat " + path + ": " + ec.message());
+  }
+  uintmax_t keep = bytes >= size ? 0 : size - bytes;
+  std::filesystem::resize_file(path, keep, ec);
+  if (ec) {
+    return Status::Internal("cannot truncate " + path + ": " + ec.message());
+  }
+  return Status::Ok();
+}
+
+FaultInjectorStats FaultInjector::stats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
+}
+
+void FaultInjector::ResetStats() {
+  std::lock_guard lock(mu_);
+  stats_ = FaultInjectorStats{};
+}
+
+std::string FaultInjector::DebugString() const {
+  FaultInjectorStats s = stats();
+  std::ostringstream os;
+  os << "FaultInjector{seed=" << schedule_.seed
+     << ", read_fail=" << schedule_.read_failure_rate
+     << ", msg_fail=" << schedule_.message_failure_rate
+     << ", drop=" << schedule_.batch_drop_rate
+     << ", dup=" << schedule_.batch_duplicate_rate
+     << ", delay=" << schedule_.batch_delay_rate
+     << ", crashes=" << schedule_.crashes.size()
+     << "; fired: reads=" << s.failed_reads << " msgs=" << s.failed_messages
+     << " drops=" << s.dropped_batches << " dups=" << s.duplicated_batches
+     << " delays=" << s.delayed_batches << " crashes=" << s.crashes_fired << "}";
+  return os.str();
+}
+
+}  // namespace wukongs

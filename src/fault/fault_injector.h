@@ -1,0 +1,122 @@
+// Deterministic, seeded fault injection (issue: robustness tentpole).
+//
+// A FaultInjector is a *schedule*, not a chaos monkey: every decision is
+// drawn from per-category RNG streams derived from one seed, so a run with a
+// given schedule is exactly reproducible — the property the recovery tests
+// and the injection benches rely on. The injector covers three layers:
+//
+//   * transport — probabilistic failure of one-sided reads and fork-join /
+//     dispatch messages (consumed by Fabric::TryOneSidedRead/TryMessage);
+//   * stream    — drop / duplicate / delay of mini-batches at the
+//     Adaptor -> Dispatcher boundary (consumed by Cluster's delivery path);
+//   * cluster   — scheduled node crashes keyed to a (stream, batch) delivery
+//     point, optionally tearing the tail of the checkpoint log to model a
+//     crash mid-write (consumed by Cluster + the crash handler).
+//
+// Per-category RNG streams mean enabling, say, read failures does not shift
+// the batch-fate sequence: fault dimensions compose without interfering.
+
+#ifndef SRC_FAULT_FAULT_INJECTOR_H_
+#define SRC_FAULT_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/common/rng.h"
+#include "src/common/status.h"
+
+namespace wukongs {
+
+// A scheduled node crash, fired when batch `at_seq` of `stream` reaches the
+// dispatcher. `torn_tail_bytes` > 0 additionally tears that many bytes off
+// the checkpoint log's tail (the crash interrupted an in-flight append);
+// applied by the crash handler, which knows the log's path.
+struct CrashEvent {
+  NodeId node = 0;
+  StreamId stream = 0;
+  BatchSeq at_seq = 0;
+  size_t torn_tail_bytes = 0;
+};
+
+struct FaultSchedule {
+  uint64_t seed = 1;
+
+  // Transport faults (per attempt; retries re-draw).
+  double read_failure_rate = 0.0;     // One-sided reads.
+  double message_failure_rate = 0.0;  // Two-sided / fork-join messages.
+
+  // Stream-delivery faults (per batch; mutually exclusive, drawn in this
+  // priority order).
+  double batch_drop_rate = 0.0;       // First delivery lost -> retransmit.
+  double batch_duplicate_rate = 0.0;  // Delivered twice -> dedup gate.
+  double batch_delay_rate = 0.0;      // Late delivery -> charged delay.
+  double batch_delay_ns = 200000.0;   // How late a delayed batch arrives.
+
+  // Scheduled crashes, fired at most once each.
+  std::vector<CrashEvent> crashes;
+};
+
+enum class BatchFate {
+  kDeliver = 0,
+  kDrop,
+  kDuplicate,
+  kDelay,
+};
+
+struct FaultInjectorStats {
+  uint64_t failed_reads = 0;
+  uint64_t failed_messages = 0;
+  uint64_t dropped_batches = 0;
+  uint64_t duplicated_batches = 0;
+  uint64_t delayed_batches = 0;
+  uint64_t crashes_fired = 0;
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultSchedule& schedule);
+
+  const FaultSchedule& schedule() const { return schedule_; }
+
+  // Transport layer: should this attempt fail? Thread-safe; each call
+  // advances the category's RNG stream.
+  bool FailRead(NodeId from, NodeId to);
+  bool FailMessage(NodeId from, NodeId to);
+
+  // Stream layer: the fate of batch `seq` of `stream`'s next delivery.
+  BatchFate FateOf(StreamId stream, BatchSeq seq);
+
+  // Cluster layer: the crash due at this delivery point, if any. Each
+  // scheduled crash fires exactly once.
+  std::optional<CrashEvent> TakeCrash(StreamId stream, BatchSeq seq);
+
+  // Torn write: truncates `bytes` off the end of the file at `path`,
+  // modeling a crash that interrupted an append. Tearing more bytes than the
+  // file holds empties it.
+  static Status TearFileTail(const std::string& path, size_t bytes);
+
+  FaultInjectorStats stats() const;
+  void ResetStats();
+
+  std::string DebugString() const;
+
+ private:
+  const FaultSchedule schedule_;
+
+  mutable std::mutex mu_;
+  // Independent streams per category: enabling one fault dimension does not
+  // perturb another's decision sequence.
+  Rng read_rng_;
+  Rng message_rng_;
+  Rng batch_rng_;
+  std::vector<bool> crash_fired_;
+  FaultInjectorStats stats_;
+};
+
+}  // namespace wukongs
+
+#endif  // SRC_FAULT_FAULT_INJECTOR_H_

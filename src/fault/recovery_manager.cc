@@ -1,0 +1,182 @@
+#include "src/fault/recovery_manager.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "src/common/latency_model.h"
+#include "src/stream/checkpoint.h"
+
+namespace wukongs {
+namespace {
+
+// Highest replayed seq per stream, so the upstream tail starts exactly where
+// the log's clean prefix ended.
+using Watermarks = std::unordered_map<StreamId, BatchSeq>;
+
+void Note(Watermarks* marks, const StreamBatch& b) {
+  auto [it, inserted] = marks->emplace(b.stream, b.seq);
+  if (!inserted && b.seq > it->second) {
+    it->second = b.seq;
+  }
+}
+
+}  // namespace
+
+RecoveryManager::RecoveryManager(std::string checkpoint_path,
+                                 std::string registry_path)
+    : checkpoint_path_(std::move(checkpoint_path)),
+      registry_path_(std::move(registry_path)) {}
+
+StatusOr<RecoveryReport> RecoveryManager::RecoverCluster(
+    Cluster* cluster, const UpstreamBuffer* upstream) const {
+  auto batches = ReadCheckpointLog(checkpoint_path_);
+  if (!batches.ok()) {
+    return batches.status();
+  }
+  RecoveryReport report;
+  LatencyProbe probe;
+  Watermarks marks;
+  for (const StreamBatch& b : *batches) {
+    Status s = cluster->ReplayBatch(b);
+    if (!s.ok()) {
+      return s;
+    }
+    Note(&marks, b);
+    ++report.log_batches;
+  }
+  if (upstream != nullptr) {
+    for (StreamId stream : upstream->streams()) {
+      auto it = marks.find(stream);
+      BatchSeq from = it == marks.end() ? 0 : it->second + 1;
+      // From one before the watermark would also be correct (the sequence
+      // gate suppresses the overlap); starting past it just avoids churn.
+      for (const StreamBatch& b : upstream->UnackedFrom(stream, from)) {
+        Status s = cluster->ReplayBatch(b);
+        if (!s.ok()) {
+          return s;
+        }
+        ++report.upstream_batches;
+      }
+    }
+  }
+  if (!registry_path_.empty()) {
+    auto queries = ReadQueryRegistry(registry_path_);
+    if (!queries.ok()) {
+      return queries.status();
+    }
+    for (const RegisteredQueryRecord& rec : *queries) {
+      auto h = cluster->RegisterContinuous(rec.text, rec.home);
+      if (!h.ok()) {
+        return h.status();
+      }
+      ++report.queries_reregistered;
+    }
+  }
+  report.recovery_ms = probe.FinishMs();
+  return report;
+}
+
+StatusOr<RecoveryReport> RecoveryManager::RestoreNode(
+    Cluster* cluster, NodeId node, std::span<const Triple> base_triples,
+    const UpstreamBuffer* upstream) const {
+  auto batches = ReadCheckpointLog(checkpoint_path_);
+  if (!batches.ok()) {
+    return batches.status();
+  }
+  RecoveryReport report;
+  LatencyProbe probe;
+  Status base = cluster->LoadBaseForNode(node, base_triples);
+  if (!base.ok()) {
+    return base;
+  }
+  Watermarks marks;
+  for (const StreamBatch& b : *batches) {
+    Status s = cluster->ReplayBatchForNode(node, b);
+    if (!s.ok()) {
+      return s;
+    }
+    Note(&marks, b);
+    ++report.log_batches;
+  }
+  if (upstream != nullptr) {
+    for (StreamId stream : upstream->streams()) {
+      auto it = marks.find(stream);
+      BatchSeq from = it == marks.end() ? 0 : it->second + 1;
+      for (const StreamBatch& b : upstream->UnackedFrom(stream, from)) {
+        Status s = cluster->ReplayBatchForNode(node, b);
+        if (!s.ok()) {
+          return s;
+        }
+        ++report.upstream_batches;
+      }
+    }
+  }
+  Status fin = cluster->FinishNodeRestore(node);
+  if (!fin.ok()) {
+    return fin;
+  }
+  report.recovery_ms = probe.FinishMs();
+  return report;
+}
+
+std::string ResultDigest(const QueryResult& result) {
+  std::string out;
+  for (size_t c = 0; c < result.columns.size(); ++c) {
+    if (c > 0) {
+      out += ',';
+    }
+    out += result.columns[c];
+  }
+  out += '|';
+  std::vector<std::string> rows;
+  rows.reserve(result.rows.size());
+  for (const auto& row : result.rows) {
+    std::string r;
+    for (const ResultValue& v : row) {
+      if (v.is_number) {
+        r += "n:" + std::to_string(v.number);
+      } else {
+        r += "v:" + std::to_string(v.vid);
+      }
+      r += ',';
+    }
+    rows.push_back(std::move(r));
+  }
+  std::sort(rows.begin(), rows.end());
+  for (const std::string& r : rows) {
+    out += r;
+    out += ';';
+  }
+  return out;
+}
+
+bool WindowDedup::Accept(uint64_t query, StreamTime window_end, bool partial,
+                         std::string digest) {
+  auto key = std::make_pair(query, window_end);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    entries_.emplace(key, Entry{partial, std::move(digest)});
+    return true;
+  }
+  if (it->second.partial && !partial) {
+    // A complete re-execution (post-recovery) upgrades the degraded result.
+    it->second = Entry{false, std::move(digest)};
+    ++upgrades_;
+    return true;
+  }
+  ++duplicates_;
+  return false;
+}
+
+const std::string* WindowDedup::Find(uint64_t query,
+                                     StreamTime window_end) const {
+  auto it = entries_.find(std::make_pair(query, window_end));
+  return it == entries_.end() ? nullptr : &it->second.digest;
+}
+
+bool WindowDedup::IsPartial(uint64_t query, StreamTime window_end) const {
+  auto it = entries_.find(std::make_pair(query, window_end));
+  return it != entries_.end() && it->second.partial;
+}
+
+}  // namespace wukongs

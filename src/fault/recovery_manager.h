@@ -1,0 +1,105 @@
+// RecoveryManager: orchestrates recovery after a fault (paper §5).
+//
+// Two flows, both at-least-once end to end:
+//
+//  * RecoverCluster — cold start: replay the checkpoint log's longest clean
+//    prefix into a fresh cluster, then the upstream backup's unacked tail
+//    (which re-supplies whatever a torn/corrupted log tail lost), then
+//    re-register continuous queries from the durable registry. The cluster's
+//    injection-side sequence gate turns the overlap between the two replay
+//    sources into exactly-once injection.
+//
+//  * RestoreNode — warm repair: a crashed node rejoins a surviving cluster.
+//    Its base partition is reloaded, every logged batch is replayed filtered
+//    to that node, the upstream tail fills the torn gap, and the node is
+//    re-admitted only once its progress covers the survivors' stable
+//    frontier.
+//
+// At-least-once delivery means a client can observe the same window twice
+// (once degraded/partial, once complete after recovery). WindowDedup is the
+// client-side dedup by (query, window end) the paper prescribes: complete
+// results are canonical and never replaced; a partial result is upgraded by
+// a complete re-execution.
+
+#ifndef SRC_FAULT_RECOVERY_MANAGER_H_
+#define SRC_FAULT_RECOVERY_MANAGER_H_
+
+#include <cstddef>
+#include <map>
+#include <span>
+#include <string>
+#include <utility>
+
+#include "src/cluster/cluster.h"
+#include "src/common/status.h"
+#include "src/fault/upstream_buffer.h"
+
+namespace wukongs {
+
+struct RecoveryReport {
+  size_t log_batches = 0;       // Replayed from the checkpoint log.
+  size_t upstream_batches = 0;  // Replayed from the upstream backup.
+  size_t queries_reregistered = 0;
+  double recovery_ms = 0.0;  // Measured CPU + modeled fabric time.
+};
+
+class RecoveryManager {
+ public:
+  // `registry_path` empty: query re-registration is skipped (RecoverCluster).
+  explicit RecoveryManager(std::string checkpoint_path,
+                           std::string registry_path = {});
+
+  // Rebuilds a fresh cluster (base data already loaded, streams already
+  // defined in the same order as before the crash) from the log + upstream
+  // tail. `upstream` may be null when the log is known to be complete.
+  StatusOr<RecoveryReport> RecoverCluster(Cluster* cluster,
+                                          const UpstreamBuffer* upstream = nullptr) const;
+
+  // Restores crashed `node` in place on a surviving cluster. `base_triples`
+  // is the original base load (the node refills only its own partition).
+  StatusOr<RecoveryReport> RestoreNode(Cluster* cluster, NodeId node,
+                                       std::span<const Triple> base_triples,
+                                       const UpstreamBuffer* upstream = nullptr) const;
+
+ private:
+  std::string checkpoint_path_;
+  std::string registry_path_;
+};
+
+// Canonical byte representation of a query result: the column list, then the
+// rows serialized and sorted lexicographically. Row order is not guaranteed
+// across in-place vs fork-join execution or across recovery replays, so
+// byte-identity of results is defined over this digest.
+std::string ResultDigest(const QueryResult& result);
+
+// Client-side window dedup for at-least-once continuous results.
+class WindowDedup {
+ public:
+  // Records `digest` as the result of (query, window_end). Returns true when
+  // it becomes the canonical result: first sighting, or a complete result
+  // upgrading a partial one. Duplicates (and partials arriving after a
+  // complete result) are suppressed and counted.
+  bool Accept(uint64_t query, StreamTime window_end, bool partial,
+              std::string digest);
+
+  // Canonical digest for the window, or null if never seen.
+  const std::string* Find(uint64_t query, StreamTime window_end) const;
+  bool IsPartial(uint64_t query, StreamTime window_end) const;
+
+  size_t size() const { return entries_.size(); }
+  size_t duplicates_suppressed() const { return duplicates_; }
+  size_t upgrades() const { return upgrades_; }
+
+ private:
+  struct Entry {
+    bool partial = false;
+    std::string digest;
+  };
+  std::map<std::pair<uint64_t, StreamTime>, Entry> entries_;
+  size_t duplicates_ = 0;
+  size_t upgrades_ = 0;
+};
+
+}  // namespace wukongs
+
+#endif  // SRC_FAULT_RECOVERY_MANAGER_H_

@@ -1,0 +1,75 @@
+#include "src/fault/upstream_buffer.h"
+
+#include <algorithm>
+
+namespace wukongs {
+
+void UpstreamBuffer::Retain(const StreamBatch& batch) {
+  std::lock_guard lock(mu_);
+  std::deque<StreamBatch>& q = retained_[batch.stream];
+  if (!q.empty() && batch.seq <= q.back().seq) {
+    return;  // Retransmission of an already-retained batch.
+  }
+  q.push_back(batch);
+}
+
+void UpstreamBuffer::AckThrough(StreamId stream, BatchSeq seq) {
+  std::lock_guard lock(mu_);
+  auto it = retained_.find(stream);
+  if (it == retained_.end()) {
+    return;
+  }
+  std::deque<StreamBatch>& q = it->second;
+  while (!q.empty() && q.front().seq <= seq) {
+    q.pop_front();
+  }
+}
+
+std::vector<StreamBatch> UpstreamBuffer::UnackedFrom(StreamId stream,
+                                                     BatchSeq from_seq) const {
+  std::lock_guard lock(mu_);
+  std::vector<StreamBatch> out;
+  auto it = retained_.find(stream);
+  if (it == retained_.end()) {
+    return out;
+  }
+  for (const StreamBatch& b : it->second) {
+    if (b.seq >= from_seq) {
+      out.push_back(b);
+    }
+  }
+  return out;
+}
+
+std::vector<StreamId> UpstreamBuffer::streams() const {
+  std::lock_guard lock(mu_);
+  std::vector<StreamId> out;
+  out.reserve(retained_.size());
+  for (const auto& [stream, q] : retained_) {
+    out.push_back(stream);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+size_t UpstreamBuffer::retained_batches() const {
+  std::lock_guard lock(mu_);
+  size_t n = 0;
+  for (const auto& [stream, q] : retained_) {
+    n += q.size();
+  }
+  return n;
+}
+
+size_t UpstreamBuffer::retained_tuples() const {
+  std::lock_guard lock(mu_);
+  size_t n = 0;
+  for (const auto& [stream, q] : retained_) {
+    for (const StreamBatch& b : q) {
+      n += b.tuples.size();
+    }
+  }
+  return n;
+}
+
+}  // namespace wukongs

@@ -1,0 +1,45 @@
+// Upstream backup (paper §5): sources retain emitted batches until they are
+// acknowledged as durably checkpointed, and replay the unacknowledged tail
+// after a failure. This closes the gap a torn checkpoint write leaves — the
+// log recovers the longest clean prefix, the upstream buffer re-supplies
+// everything past it, and the injection-side sequence gate turns the
+// resulting at-least-once delivery into exactly-once injection.
+
+#ifndef SRC_FAULT_UPSTREAM_BUFFER_H_
+#define SRC_FAULT_UPSTREAM_BUFFER_H_
+
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/stream/batch.h"
+
+namespace wukongs {
+
+class UpstreamBuffer {
+ public:
+  // Retains a copy of `batch` until acknowledged. Thread-safe.
+  void Retain(const StreamBatch& batch);
+
+  // Acknowledges every batch of `stream` with seq <= `seq` (durably
+  // checkpointed); they are dropped from the buffer.
+  void AckThrough(StreamId stream, BatchSeq seq);
+
+  // Retained batches of `stream` with seq >= `from_seq`, in seq order.
+  std::vector<StreamBatch> UnackedFrom(StreamId stream, BatchSeq from_seq) const;
+
+  std::vector<StreamId> streams() const;
+  size_t retained_batches() const;
+  size_t retained_tuples() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<StreamId, std::deque<StreamBatch>> retained_;
+};
+
+}  // namespace wukongs
+
+#endif  // SRC_FAULT_UPSTREAM_BUFFER_H_

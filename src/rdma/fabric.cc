@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "src/fault/fault_injector.h"
+
 namespace wukongs {
 
 const char* TransportName(Transport t) {
@@ -15,12 +17,36 @@ const char* TransportName(Transport t) {
 }
 
 Fabric::Fabric(uint32_t node_count, NetworkModel model, Transport transport)
-    : node_count_(node_count), model_(model), transport_(transport) {}
-
-void Fabric::OneSidedRead(NodeId from, NodeId to, size_t bytes) {
-  if (from == to) {
-    return;  // Local shard access: plain memory read, no network cost.
+    : node_count_(node_count),
+      model_(model),
+      transport_(transport),
+      node_up_(new std::atomic<bool>[node_count]) {
+  for (uint32_t n = 0; n < node_count_; ++n) {
+    node_up_[n].store(true, std::memory_order_relaxed);
   }
+}
+
+void Fabric::SetNodeUp(NodeId node, bool up) {
+  if (node < node_count_) {
+    node_up_[node].store(up, std::memory_order_relaxed);
+  }
+}
+
+bool Fabric::node_up(NodeId node) const {
+  return node < node_count_ && node_up_[node].load(std::memory_order_relaxed);
+}
+
+uint32_t Fabric::up_count() const {
+  uint32_t up = 0;
+  for (uint32_t n = 0; n < node_count_; ++n) {
+    if (node_up_[n].load(std::memory_order_relaxed)) {
+      ++up;
+    }
+  }
+  return up;
+}
+
+void Fabric::ChargeRead(size_t bytes) {
   one_sided_reads_.fetch_add(1, std::memory_order_relaxed);
   one_sided_read_bytes_.fetch_add(bytes, std::memory_order_relaxed);
   if (transport_ == Transport::kRdma) {
@@ -33,10 +59,7 @@ void Fabric::OneSidedRead(NodeId from, NodeId to, size_t bytes) {
   }
 }
 
-void Fabric::Message(NodeId from, NodeId to, size_t bytes) {
-  if (from == to) {
-    return;
-  }
+void Fabric::ChargeMessage(size_t bytes) {
   messages_.fetch_add(1, std::memory_order_relaxed);
   message_bytes_.fetch_add(bytes, std::memory_order_relaxed);
   if (transport_ == Transport::kRdma) {
@@ -46,6 +69,53 @@ void Fabric::Message(NodeId from, NodeId to, size_t bytes) {
     SimCost::Add(model_.tcp_msg_base_ns +
                  model_.tcp_msg_per_byte_ns * static_cast<double>(bytes));
   }
+}
+
+void Fabric::OneSidedRead(NodeId from, NodeId to, size_t bytes) {
+  if (from == to) {
+    return;  // Local shard access: plain memory read, no network cost.
+  }
+  ChargeRead(bytes);
+}
+
+void Fabric::Message(NodeId from, NodeId to, size_t bytes) {
+  if (from == to) {
+    return;
+  }
+  ChargeMessage(bytes);
+}
+
+Status Fabric::TryOneSidedRead(NodeId from, NodeId to, size_t bytes) {
+  if (from == to) {
+    return Status::Ok();
+  }
+  if (!node_up(to) || !node_up(from)) {
+    // No wire time: the requester's QP to a dead peer errors out instantly.
+    failed_reads_.fetch_add(1, std::memory_order_relaxed);
+    return Status::Unavailable("one-sided read: node down");
+  }
+  ChargeRead(bytes);
+  if (injector_ != nullptr && injector_->FailRead(from, to)) {
+    failed_reads_.fetch_add(1, std::memory_order_relaxed);
+    return Status::Unavailable("one-sided read lost");
+  }
+  return Status::Ok();
+}
+
+Status Fabric::TryMessage(NodeId from, NodeId to, size_t bytes) {
+  if (from == to) {
+    return Status::Ok();
+  }
+  if (!node_up(to) || !node_up(from)) {
+    failed_messages_.fetch_add(1, std::memory_order_relaxed);
+    return Status::Unavailable("message: node down");
+  }
+  ChargeMessage(bytes);
+  if (injector_ != nullptr && injector_->FailMessage(from, to)) {
+    failed_messages_.fetch_add(1, std::memory_order_relaxed);
+    return Status::Unavailable("message lost");
+  }
+  return Status::Ok();
 }
 
 void Fabric::CrossSystemTransfer(size_t tuples, size_t bytes_per_tuple) {
@@ -66,6 +136,8 @@ FabricStats Fabric::stats() const {
   s.messages = messages_.load(std::memory_order_relaxed);
   s.message_bytes = message_bytes_.load(std::memory_order_relaxed);
   s.cross_system_tuples = cross_system_tuples_.load(std::memory_order_relaxed);
+  s.failed_reads = failed_reads_.load(std::memory_order_relaxed);
+  s.failed_messages = failed_messages_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -75,14 +147,19 @@ void Fabric::ResetStats() {
   messages_.store(0, std::memory_order_relaxed);
   message_bytes_.store(0, std::memory_order_relaxed);
   cross_system_tuples_.store(0, std::memory_order_relaxed);
+  failed_reads_.store(0, std::memory_order_relaxed);
+  failed_messages_.store(0, std::memory_order_relaxed);
 }
 
 std::string Fabric::DebugString() const {
   FabricStats s = stats();
   std::ostringstream os;
-  os << "Fabric{nodes=" << node_count_ << ", transport=" << TransportName(transport_)
+  os << "Fabric{nodes=" << up_count() << "/" << node_count_
+     << " up, transport=" << TransportName(transport_)
      << ", reads=" << s.one_sided_reads << " (" << s.one_sided_read_bytes << "B)"
      << ", msgs=" << s.messages << " (" << s.message_bytes << "B)"
+     << ", failed_reads=" << s.failed_reads
+     << ", failed_msgs=" << s.failed_messages
      << ", cross_system_tuples=" << s.cross_system_tuples << "}";
   return os.str();
 }

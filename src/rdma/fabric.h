@@ -8,18 +8,28 @@
 // of each verb into the thread-local SimCost accumulator and (b) to count
 // operations so benches can report traffic. Switching the transport to kTcp
 // models the paper's non-RDMA (10GbE fork-join) configuration (Table 5).
+//
+// Failure surface: TryOneSidedRead / TryMessage consult the attached
+// FaultInjector and per-node liveness, returning kUnavailable on a lost
+// verb (the attempt's wire time is still charged — a failed read burns the
+// round trip before the requester notices). The legacy void entry points
+// remain the infallible fast path for callers that model a healthy fabric.
 
 #ifndef SRC_RDMA_FABRIC_H_
 #define SRC_RDMA_FABRIC_H_
 
 #include <atomic>
 #include <cstddef>
+#include <memory>
 #include <string>
 
 #include "src/common/ids.h"
 #include "src/common/latency_model.h"
+#include "src/common/status.h"
 
 namespace wukongs {
+
+class FaultInjector;
 
 enum class Transport {
   kRdma = 0,  // One-sided verbs available; in-place execution is cheap.
@@ -34,6 +44,8 @@ struct FabricStats {
   uint64_t messages = 0;
   uint64_t message_bytes = 0;
   uint64_t cross_system_tuples = 0;
+  uint64_t failed_reads = 0;     // Injected one-sided read failures.
+  uint64_t failed_messages = 0;  // Injected message failures + down targets.
 };
 
 class Fabric {
@@ -45,6 +57,18 @@ class Fabric {
   const NetworkModel& model() const { return model_; }
   void set_transport(Transport t) { transport_ = t; }
 
+  // Fault injection: `injector` (optional, non-owning, must outlive the
+  // fabric) makes Try* calls fallible. The void entry points never consult it.
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+  FaultInjector* fault_injector() const { return injector_; }
+
+  // Node liveness (quarantine). Verbs targeting (or issued by) a down node
+  // fail with kUnavailable until the node is marked up again.
+  void SetNodeUp(NodeId node, bool up);
+  bool node_up(NodeId node) const;
+  uint32_t up_count() const;
+  bool AnyNodeDown() const { return up_count() < node_count_; }
+
   // One-sided read of `bytes` from `to` issued by `from`. Local access is
   // free. Under TCP there are no one-sided verbs, so the cost is a full
   // message round trip.
@@ -52,6 +76,12 @@ class Fabric {
 
   // Two-sided message (request or response) of `bytes` from `from` to `to`.
   void Message(NodeId from, NodeId to, size_t bytes);
+
+  // Fallible variants: charge the attempt's wire time, then fail with
+  // kUnavailable if either endpoint is down or the injector lost the verb.
+  // Callers wrap these in RunWithRetry to model timeout + retransmission.
+  Status TryOneSidedRead(NodeId from, NodeId to, size_t bytes);
+  Status TryMessage(NodeId from, NodeId to, size_t bytes);
 
   // Composite-design boundary crossing: `tuples` tuples are transformed
   // between the stream processor's format and the store's format and shipped
@@ -65,15 +95,22 @@ class Fabric {
   std::string DebugString() const;
 
  private:
+  void ChargeRead(size_t bytes);
+  void ChargeMessage(size_t bytes);
+
   const uint32_t node_count_;
   NetworkModel model_;
   Transport transport_;
+  FaultInjector* injector_ = nullptr;
+  std::unique_ptr<std::atomic<bool>[]> node_up_;
 
   std::atomic<uint64_t> one_sided_reads_{0};
   std::atomic<uint64_t> one_sided_read_bytes_{0};
   std::atomic<uint64_t> messages_{0};
   std::atomic<uint64_t> message_bytes_{0};
   std::atomic<uint64_t> cross_system_tuples_{0};
+  std::atomic<uint64_t> failed_reads_{0};
+  std::atomic<uint64_t> failed_messages_{0};
 };
 
 }  // namespace wukongs

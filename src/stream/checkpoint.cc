@@ -1,17 +1,31 @@
 #include "src/stream/checkpoint.h"
 
+#include <unistd.h>
+
+#include <algorithm>
 #include <cstring>
+
+#include "src/common/crc32.h"
 
 namespace wukongs {
 namespace {
 
-constexpr uint32_t kLogMagic = 0x574b4c47;  // "WKLG"
+constexpr uint32_t kLogMagic = 0x574b4c32;  // "WKL2" (v2: CRC32 footers).
 constexpr uint32_t kRegMagic = 0x574b5247;  // "WKRG"
 
 bool WriteU32(std::FILE* f, uint32_t v) { return std::fwrite(&v, 4, 1, f) == 1; }
 bool WriteU64(std::FILE* f, uint64_t v) { return std::fwrite(&v, 8, 1, f) == 1; }
 bool ReadU32(std::FILE* f, uint32_t* v) { return std::fread(v, 4, 1, f) == 1; }
 bool ReadU64(std::FILE* f, uint64_t* v) { return std::fread(v, 8, 1, f) == 1; }
+
+void PutU32(std::vector<unsigned char>* buf, uint32_t v) {
+  const unsigned char* p = reinterpret_cast<const unsigned char*>(&v);
+  buf->insert(buf->end(), p, p + 4);
+}
+void PutU64(std::vector<unsigned char>* buf, uint64_t v) {
+  const unsigned char* p = reinterpret_cast<const unsigned char*>(&v);
+  buf->insert(buf->end(), p, p + 8);
+}
 
 }  // namespace
 
@@ -47,17 +61,23 @@ Status CheckpointLog::Append(const StreamBatch& batch) {
   if (file_ == nullptr) {
     return Status::FailedPrecondition("checkpoint log is closed");
   }
-  bool ok = WriteU32(file_, batch.stream) && WriteU64(file_, batch.seq) &&
-            WriteU64(file_, batch.tuples.size());
+  // Serialize the payload first so the CRC32 footer covers exactly the bytes
+  // written, and the record hits the stdio buffer in one fwrite.
+  std::vector<unsigned char> payload;
+  payload.reserve(20 + batch.tuples.size() * 32);
+  PutU32(&payload, batch.stream);
+  PutU64(&payload, batch.seq);
+  PutU64(&payload, batch.tuples.size());
   for (const StreamTuple& t : batch.tuples) {
-    if (!ok) {
-      break;
-    }
-    ok = WriteU64(file_, t.triple.subject) && WriteU32(file_, t.triple.predicate) &&
-         WriteU64(file_, t.triple.object) && WriteU64(file_, t.timestamp) &&
-         WriteU32(file_, static_cast<uint32_t>(t.kind));
+    PutU64(&payload, t.triple.subject);
+    PutU32(&payload, t.triple.predicate);
+    PutU64(&payload, t.triple.object);
+    PutU64(&payload, t.timestamp);
+    PutU32(&payload, static_cast<uint32_t>(t.kind));
   }
-  if (!ok) {
+  uint32_t crc = Crc32(payload.data(), payload.size());
+  PutU32(&payload, crc);
+  if (std::fwrite(payload.data(), 1, payload.size(), file_) != payload.size()) {
     return Status::Internal("short write to checkpoint log");
   }
   if (std::fflush(file_) != 0) {
@@ -69,8 +89,16 @@ Status CheckpointLog::Append(const StreamBatch& batch) {
 
 Status CheckpointLog::Sync() {
   std::lock_guard lock(mu_);
-  if (file_ != nullptr && std::fflush(file_) != 0) {
+  if (file_ == nullptr) {
+    return Status::Ok();
+  }
+  if (std::fflush(file_) != 0) {
     return Status::Internal("cannot flush checkpoint log");
+  }
+  // fflush only moves bytes into the kernel; durability needs the device
+  // write-back too (the durability contract in checkpoint.h).
+  if (::fsync(::fileno(file_)) != 0) {
+    return Status::Internal("cannot fsync checkpoint log");
   }
   return Status::Ok();
 }
@@ -80,41 +108,62 @@ StatusOr<std::vector<StreamBatch>> ReadCheckpointLog(const std::string& path) {
   if (f == nullptr) {
     return Status::NotFound("cannot open checkpoint log " + path);
   }
+  std::vector<StreamBatch> out;
   uint32_t magic = 0;
-  if (!ReadU32(f, &magic) || magic != kLogMagic) {
+  if (!ReadU32(f, &magic)) {
+    // Torn inside the magic itself: an empty (all-lost) but valid log.
+    std::fclose(f);
+    return out;
+  }
+  if (magic != kLogMagic) {
     std::fclose(f);
     return Status::InvalidArgument("bad checkpoint log header");
   }
-  std::vector<StreamBatch> out;
   while (true) {
     StreamBatch batch;
     uint32_t stream = 0;
-    if (!ReadU32(f, &stream)) {
-      break;  // Clean EOF.
-    }
     uint64_t seq = 0;
     uint64_t count = 0;
-    if (!ReadU64(f, &seq) || !ReadU64(f, &count)) {
-      std::fclose(f);
-      return Status::InvalidArgument("truncated checkpoint record header");
+    // Any short read below is a torn tail: stop and return the clean prefix.
+    if (!ReadU32(f, &stream) || !ReadU64(f, &seq) || !ReadU64(f, &count)) {
+      break;
     }
+    uint32_t crc = kCrc32Init;
+    crc = Crc32(&stream, 4, crc);
+    crc = Crc32(&seq, 8, crc);
+    crc = Crc32(&count, 8, crc);
     batch.stream = stream;
     batch.seq = seq;
-    batch.tuples.reserve(count);
-    for (uint64_t i = 0; i < count; ++i) {
+    // A corrupted count could claim an absurd size; cap the reservation and
+    // let the per-tuple reads (and the CRC) catch the lie.
+    batch.tuples.reserve(static_cast<size_t>(std::min<uint64_t>(count, 1 << 20)));
+    bool torn = false;
+    for (uint64_t i = 0; i < count && !torn; ++i) {
       StreamTuple t;
       uint32_t pred = 0;
       uint32_t kind = 0;
       if (!ReadU64(f, &t.triple.subject) || !ReadU32(f, &pred) ||
           !ReadU64(f, &t.triple.object) || !ReadU64(f, &t.timestamp) ||
           !ReadU32(f, &kind)) {
-        std::fclose(f);
-        // A torn final record is expected after a crash: drop it.
-        return out;
+        torn = true;
+        break;
       }
+      crc = Crc32(&t.triple.subject, 8, crc);
+      crc = Crc32(&pred, 4, crc);
+      crc = Crc32(&t.triple.object, 8, crc);
+      crc = Crc32(&t.timestamp, 8, crc);
+      crc = Crc32(&kind, 4, crc);
       t.triple.predicate = pred;
       t.kind = static_cast<TupleKind>(kind);
       batch.tuples.push_back(t);
+    }
+    uint32_t stored_crc = 0;
+    if (torn || !ReadU32(f, &stored_crc)) {
+      break;  // Torn body or missing footer: drop the record.
+    }
+    if (stored_crc != crc) {
+      break;  // Corrupted (not merely torn) tail: drop it; nothing after a
+              // bad record can be trusted either.
     }
     out.push_back(std::move(batch));
   }
@@ -135,6 +184,9 @@ Status WriteQueryRegistry(const std::string& path,
     }
     ok = WriteU32(f, q.home) && WriteU64(f, q.text.size()) &&
          std::fwrite(q.text.data(), 1, q.text.size(), f) == q.text.size();
+  }
+  if (ok) {
+    ok = std::fflush(f) == 0 && ::fsync(::fileno(f)) == 0;
   }
   std::fclose(f);
   return ok ? Status::Ok() : Status::Internal("short write to query registry");

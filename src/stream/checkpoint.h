@@ -4,9 +4,24 @@
 // the store only needs to persist (a) registered continuous queries and
 // (b) injected stream batches since the last checkpoint, plus the vector
 // timestamps. CheckpointLog appends batches as they are injected (hook it to
-// Cluster::SetBatchLogger); CheckpointReader replays them into a fresh
+// Cluster::SetBatchLogger); ReadCheckpointLog replays them into a fresh
 // cluster. Recovery gives at-least-once semantics — re-executed windows are
 // deduplicated client-side by their window end time, as the paper notes.
+//
+// On-disk format (version 2): a 4-byte magic, then a sequence of records.
+// Each record is [stream u32 | seq u64 | count u64 | count tuples | crc u32]
+// where the CRC32 footer covers every payload byte before it. The reader
+// returns the longest clean prefix: a record whose tail is missing (torn by
+// a crash mid-append) or whose CRC mismatches (corrupted tail) is dropped,
+// never surfaced as an error — after a crash both are expected states, and
+// upstream backup re-supplies whatever the log lost.
+//
+// Durability contract: Append is record-atomic in the *process* (the stdio
+// buffer is flushed per record, so a process crash loses at most the
+// in-flight record) but not durable against power loss; Sync() flushes stdio
+// AND fsyncs the underlying descriptor, so records appended before a
+// successful Sync() survive an OS/power failure. Recovery points should be
+// taken at Sync() boundaries.
 
 #ifndef SRC_STREAM_CHECKPOINT_H_
 #define SRC_STREAM_CHECKPOINT_H_
@@ -32,11 +47,13 @@ class CheckpointLog {
   CheckpointLog(const CheckpointLog&) = delete;
   CheckpointLog& operator=(const CheckpointLog&) = delete;
 
-  // Appends one batch record; thread-safe. Flushes record-atomically so a
-  // crash loses at most the in-flight record.
+  // Appends one batch record with a CRC32 footer; thread-safe. Flushes
+  // record-atomically so a process crash loses at most the in-flight record.
+  // Not durable against power loss until the next Sync().
   Status Append(const StreamBatch& batch);
 
-  // Durably persists buffered records.
+  // Durably persists every appended record: flushes the stdio buffer and
+  // fsyncs the file descriptor. See the durability contract above.
   Status Sync();
 
   size_t appended_batches() const { return appended_; }
@@ -52,6 +69,12 @@ class CheckpointLog {
 // Reads a whole checkpoint log back; batches appear in append order, which
 // preserves per-stream batch order (sufficient — the paper notes cross-stream
 // order within a checkpoint "is not important after recovery").
+//
+// Never errors on a torn or corrupted tail: a record with a truncated header,
+// truncated body, missing CRC footer, or mismatching CRC ends the scan and
+// the clean prefix before it is returned. A file torn inside the 4-byte magic
+// reads as an empty log. Only a *wrong* (fully present) magic — a file that
+// was never a checkpoint log — is an error.
 StatusOr<std::vector<StreamBatch>> ReadCheckpointLog(const std::string& path);
 
 // Persisted continuous-query registrations (query text + home node).

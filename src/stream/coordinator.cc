@@ -10,7 +10,8 @@ Coordinator::Coordinator(uint32_t node_count, size_t reserved_snapshots,
     : node_count_(node_count),
       reserved_snapshots_(std::max<size_t>(reserved_snapshots, 2)),
       batches_per_sn_(std::max<uint64_t>(batches_per_sn, 1)),
-      local_vts_(node_count) {}
+      local_vts_(node_count),
+      active_(node_count, true) {}
 
 void Coordinator::RegisterStream(StreamId stream) {
   std::lock_guard lock(mu_);
@@ -43,19 +44,48 @@ VectorTimestamp Coordinator::LocalVts(NodeId node) const {
   return local_vts_[node];
 }
 
-VectorTimestamp Coordinator::StableVts() const {
+void Coordinator::SetNodeActive(NodeId node, bool active) {
   std::lock_guard lock(mu_);
-  if (local_vts_.empty()) {
-    return VectorTimestamp(stream_count_);
-  }
-  VectorTimestamp stable = local_vts_[0];
-  for (size_t n = 1; n < local_vts_.size(); ++n) {
-    stable = VectorTimestamp::Min(stable, local_vts_[n]);
+  assert(node < node_count_);
+  active_[node] = active;
+}
+
+bool Coordinator::node_active(NodeId node) const {
+  std::lock_guard lock(mu_);
+  return node < node_count_ && active_[node];
+}
+
+void Coordinator::ResetNode(NodeId node) {
+  std::lock_guard lock(mu_);
+  assert(node < node_count_);
+  local_vts_[node] = VectorTimestamp(stream_count_);
+}
+
+VectorTimestamp Coordinator::StableVtsLocked() const {
+  // Element-wise min over *active* nodes only: a crashed node must not stall
+  // the trigger condition for the survivors (graceful degradation).
+  bool seeded = false;
+  VectorTimestamp stable(stream_count_);
+  for (size_t n = 0; n < local_vts_.size(); ++n) {
+    if (!active_[n]) {
+      continue;
+    }
+    if (!seeded) {
+      stable = local_vts_[n];
+      seeded = true;
+    } else {
+      stable = VectorTimestamp::Min(stable, local_vts_[n]);
+    }
   }
   if (stable.size() < stream_count_) {
     stable.Resize(stream_count_);
   }
   return stable;
+}
+
+VectorTimestamp Coordinator::StableVts() const {
+  std::lock_guard lock(mu_);
+  return StableVtsLocked();
 }
 
 SnapshotNum Coordinator::MaxSnCoveredLocked(const VectorTimestamp& vts) const {
@@ -83,11 +113,7 @@ SnapshotNum Coordinator::StableSn() const {
   if (local_vts_.empty()) {
     return 0;
   }
-  VectorTimestamp stable = local_vts_[0];
-  for (size_t n = 1; n < local_vts_.size(); ++n) {
-    stable = VectorTimestamp::Min(stable, local_vts_[n]);
-  }
-  return MaxSnCoveredLocked(stable);
+  return MaxSnCoveredLocked(StableVtsLocked());
 }
 
 SnapshotNum Coordinator::LocalSn(NodeId node) const {

@@ -39,6 +39,16 @@ class Coordinator {
   // Batches complete in order per (node, stream).
   void ReportInjected(NodeId node, StreamId stream, BatchSeq seq);
 
+  // Membership view (fault tolerance, §5): a node marked inactive (crashed /
+  // quarantined) is excluded from Stable_VTS and Stable_SN, so surviving
+  // nodes keep triggering windows — degraded, not stalled. Reactivate only
+  // after the node's Local_VTS has caught back up, or Stable_VTS regresses.
+  void SetNodeActive(NodeId node, bool active);
+  bool node_active(NodeId node) const;
+  // Recovery: forget a crashed node's injection progress so replay can
+  // re-report its batches from the beginning.
+  void ResetNode(NodeId node);
+
   VectorTimestamp LocalVts(NodeId node) const;
   VectorTimestamp StableVts() const;
 
@@ -69,6 +79,7 @@ class Coordinator {
   };
 
   SnapshotNum MaxSnCoveredLocked(const VectorTimestamp& vts) const;
+  VectorTimestamp StableVtsLocked() const;
   void ExtendPlanLocked();
 
   const uint32_t node_count_;
@@ -78,6 +89,7 @@ class Coordinator {
   mutable std::mutex mu_;
   size_t stream_count_ = 0;
   std::vector<VectorTimestamp> local_vts_;  // Per node.
+  std::vector<bool> active_;                // Per node; all true initially.
   std::vector<Plan> plans_;                 // Ascending SN, SN starts at 1.
   size_t plan_extensions_ = 0;
 };

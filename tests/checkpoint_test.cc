@@ -92,6 +92,82 @@ TEST_F(CheckpointTest, TornTailIsDropped) {
   EXPECT_EQ(read->size(), 1u);  // Only the intact record survives.
 }
 
+TEST_F(CheckpointTest, CorruptedTailIsDropped) {
+  // A flipped byte (not a truncation) in the last record must be caught by
+  // the CRC32 footer and the record dropped, keeping the clean prefix.
+  {
+    auto log = CheckpointLog::Create(Path("corrupt.log"));
+    ASSERT_TRUE(log.ok());
+    ASSERT_TRUE(log->Append(MakeBatch(0, 0, 2)).ok());
+    ASSERT_TRUE(log->Append(MakeBatch(0, 1, 3)).ok());
+  }
+  auto size = std::filesystem::file_size(Path("corrupt.log"));
+  {
+    std::FILE* f = std::fopen(Path("corrupt.log").c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    // Flip a byte inside the last record's payload (before its CRC footer).
+    ASSERT_EQ(std::fseek(f, static_cast<long>(size) - 12, SEEK_SET), 0);
+    int c = std::fgetc(f);
+    ASSERT_NE(c, EOF);
+    ASSERT_EQ(std::fseek(f, static_cast<long>(size) - 12, SEEK_SET), 0);
+    std::fputc(c ^ 0xFF, f);
+    std::fclose(f);
+  }
+  auto read = ReadCheckpointLog(Path("corrupt.log"));
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  ASSERT_EQ(read->size(), 1u);
+  EXPECT_EQ((*read)[0].seq, 0u);
+}
+
+TEST_F(CheckpointTest, TruncationAtEveryByteOffsetYieldsLongestCleanPrefix) {
+  // Property: however the log is torn, reading it (a) never errors, (b) never
+  // surfaces a partial batch, and (c) returns exactly the records whose last
+  // byte survived — the longest clean prefix.
+  std::vector<StreamBatch> originals = {MakeBatch(0, 0, 3), MakeBatch(1, 0, 0),
+                                        MakeBatch(0, 1, 5), MakeBatch(1, 1, 1),
+                                        MakeBatch(0, 2, 7)};
+  std::string full = Path("full.log");
+  std::vector<uintmax_t> boundaries;  // File size after each append.
+  {
+    auto log = CheckpointLog::Create(full);
+    ASSERT_TRUE(log.ok());
+    for (const StreamBatch& b : originals) {
+      ASSERT_TRUE(log->Append(b).ok());  // Append flushes per record.
+      boundaries.push_back(std::filesystem::file_size(full));
+    }
+    ASSERT_TRUE(log->Sync().ok());
+  }
+  uintmax_t size = std::filesystem::file_size(full);
+  ASSERT_EQ(size, boundaries.back());
+
+  size_t prev_count = 0;
+  for (uintmax_t len = 0; len <= size; ++len) {
+    std::string torn = Path("torn.log");
+    std::filesystem::copy_file(full, torn,
+                               std::filesystem::copy_options::overwrite_existing);
+    std::filesystem::resize_file(torn, len);
+
+    auto read = ReadCheckpointLog(torn);
+    ASSERT_TRUE(read.ok()) << "len " << len << ": " << read.status().ToString();
+
+    // Expected count: records fully contained in the first `len` bytes.
+    size_t expect = 0;
+    while (expect < boundaries.size() && boundaries[expect] <= len) {
+      ++expect;
+    }
+    ASSERT_EQ(read->size(), expect) << "len " << len;
+    for (size_t i = 0; i < expect; ++i) {
+      // No partial batch, ever: each surviving record is byte-exact.
+      ASSERT_EQ((*read)[i].stream, originals[i].stream) << "len " << len;
+      ASSERT_EQ((*read)[i].seq, originals[i].seq) << "len " << len;
+      ASSERT_EQ((*read)[i].tuples, originals[i].tuples) << "len " << len;
+    }
+    ASSERT_GE(read->size(), prev_count);  // Monotone in surviving bytes.
+    prev_count = read->size();
+  }
+  EXPECT_EQ(prev_count, originals.size());  // Untorn file reads fully.
+}
+
 TEST_F(CheckpointTest, QueryRegistryRoundTrip) {
   std::vector<RegisteredQueryRecord> queries = {
       {"REGISTER QUERY a AS SELECT ?X ...", 0},

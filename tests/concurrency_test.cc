@@ -8,6 +8,7 @@
 
 #include <atomic>
 #include <thread>
+#include <utility>
 
 #include "src/cluster/cluster.h"
 
@@ -91,7 +92,11 @@ TEST_F(ConcurrencyTest, QueriesRunSafelyDuringInjection) {
   for (int w = 0; w < 3; ++w) {
     workers.emplace_back([&, w] {
       size_t last_oneshot_count = 0;
-      while (fed_to.load(std::memory_order_acquire) < kTotalPosts) {
+      // At least one iteration even if the feeder wins the race and finishes
+      // first — otherwise `executed` can legitimately end up 0.
+      bool first = true;
+      while (std::exchange(first, false) ||
+             fed_to.load(std::memory_order_acquire) < kTotalPosts) {
         StreamTime safe_end = fed_to.load(std::memory_order_acquire);
         safe_end -= safe_end % 10;
         if (safe_end >= 200) {

@@ -1,0 +1,477 @@
+// Fault injection + recovery tests (robustness tentpole).
+//
+// The acceptance property: a seeded fault schedule — node crash at batch k,
+// torn checkpoint-log tail, probabilistic fabric failures — run through the
+// RecoveryManager reproduces byte-identical continuous-query results vs a
+// fault-free golden run, after client-side window dedup (paper §5's
+// at-least-once + dedup-by-window-end contract).
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/cluster/cluster.h"
+#include "src/common/latency_model.h"
+#include "src/common/retry.h"
+#include "src/fault/fault_injector.h"
+#include "src/fault/recovery_manager.h"
+#include "src/fault/upstream_buffer.h"
+#include "src/stream/checkpoint.h"
+
+namespace wukongs {
+namespace {
+
+constexpr StreamTime kEndMs = 2000;
+constexpr StreamTime kStepMs = 100;
+constexpr StreamTime kFirstWindowMs = 500;
+constexpr int kUsers = 30;
+
+const char* kJoinQuery = R"(
+    REGISTER QUERY QJoin AS
+    SELECT ?X ?Y
+    FROM STREAM <S> [RANGE 500ms STEP 100ms]
+    WHERE { GRAPH <S> { ?X po ?Y } })";
+
+// Fixed subject -> selective -> in-place execution -> charged (fallible)
+// one-sided reads, exercising the retry path.
+const char* kPointQuery = R"(
+    REGISTER QUERY QPoint AS
+    SELECT ?Y
+    FROM STREAM <S> [RANGE 500ms STEP 100ms]
+    WHERE { GRAPH <S> { user5 po ?Y } })";
+
+class FaultRecoveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("wukongs_fault_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& name) { return (dir_ / name).string(); }
+
+  std::vector<Triple> BaseTriples(StringServer* s) {
+    std::vector<Triple> base;
+    for (int i = 0; i < kUsers; ++i) {
+      base.push_back({s->InternVertex("user" + std::to_string(i)),
+                      s->InternPredicate("fo"),
+                      s->InternVertex("user" + std::to_string((i + 1) % kUsers))});
+    }
+    return base;
+  }
+
+  // Tuples of the interval [from, to): a post edge every 5 ms plus a timing
+  // (GPS-style) reading every 20 ms.
+  StreamTupleVec IntervalTuples(StringServer* s, StreamTime from, StreamTime to) {
+    StreamTupleVec tuples;
+    for (StreamTime t = from; t < to; t += 5) {
+      tuples.push_back(
+          StreamTuple{{s->InternVertex("user" + std::to_string((t / 5) % kUsers)),
+                       s->InternPredicate("po"),
+                       s->InternVertex("post" + std::to_string(t / 5))},
+                      t,
+                      TupleKind::kTimeless});
+      if (t % 20 == 0) {
+        tuples.push_back(
+            StreamTuple{{s->InternVertex("user" + std::to_string((t / 20) % kUsers)),
+                         s->InternPredicate("ga"),
+                         s->InternVertex("loc" + std::to_string(t % 7))},
+                        t,
+                        TupleKind::kTiming});
+      }
+    }
+    return tuples;
+  }
+
+  // Fault-free reference: every window's canonical digest per query handle.
+  std::map<std::pair<uint64_t, StreamTime>, std::string> GoldenDigests(
+      StringServer* strings) {
+    ClusterConfig config;
+    config.nodes = 3;
+    Cluster cluster(config, strings);
+    StreamId stream = *cluster.DefineStream("S", {"ga"});
+    cluster.LoadBase(BaseTriples(strings));
+    auto h1 = cluster.RegisterContinuous(kJoinQuery, /*home=*/2);
+    auto h2 = cluster.RegisterContinuous(kPointQuery, /*home=*/2);
+    EXPECT_TRUE(h1.ok() && h2.ok());
+
+    std::map<std::pair<uint64_t, StreamTime>, std::string> golden;
+    for (StreamTime t = kStepMs; t <= kEndMs; t += kStepMs) {
+      EXPECT_TRUE(
+          cluster.FeedStream(stream, IntervalTuples(strings, t - kStepMs, t)).ok());
+      cluster.AdvanceStreams(t);
+      if (t < kFirstWindowMs) {
+        continue;
+      }
+      for (uint64_t h : {*h1, *h2}) {
+        EXPECT_TRUE(cluster.WindowReady(h, t));
+        auto exec = cluster.ExecuteContinuousAt(h, t);
+        EXPECT_TRUE(exec.ok()) << exec.status().ToString();
+        EXPECT_FALSE(exec->partial);
+        golden[{h, t}] = ResultDigest(exec->result);
+      }
+    }
+    EXPECT_FALSE(golden.empty());
+    return golden;
+  }
+
+  std::filesystem::path dir_;
+};
+
+// Full-cluster crash at batch k: the process dies mid-append (torn log
+// tail), a fresh cluster recovers from the clean log prefix + the upstream
+// backup's tail + the durable query registry, then the stream resumes.
+// Every window — pre-crash, recovered, and post-resume — must be
+// byte-identical to the golden run.
+TEST_F(FaultRecoveryTest, ClusterRecoveryIsByteIdenticalUnderSeededSchedule) {
+  StringServer strings;
+  auto golden = GoldenDigests(&strings);
+
+  FaultSchedule schedule;
+  schedule.seed = 42;
+  schedule.read_failure_rate = 0.01;
+  schedule.message_failure_rate = 0.01;
+  schedule.crashes = {CrashEvent{/*node=*/2, /*stream=*/0, /*at_seq=*/5,
+                                 /*torn_tail_bytes=*/11}};
+  FaultInjector injector(schedule);
+  UpstreamBuffer upstream;
+  ASSERT_TRUE(WriteQueryRegistry(Path("registry.bin"),
+                                 {{kJoinQuery, 2}, {kPointQuery, 2}})
+                  .ok());
+
+  WindowDedup dedup;
+  std::optional<CrashEvent> crash;
+  StreamTime crashed_at = 0;
+  {
+    ClusterConfig config;
+    config.nodes = 3;
+    config.fault_injector = &injector;
+    Cluster live(config, &strings);
+    StreamId stream = *live.DefineStream("S", {"ga"});
+    live.LoadBase(BaseTriples(&strings));
+    auto h1 = live.RegisterContinuous(kJoinQuery, 2);
+    auto h2 = live.RegisterContinuous(kPointQuery, 2);
+    ASSERT_TRUE(h1.ok() && h2.ok());
+
+    auto log = CheckpointLog::Create(Path("batches.log"));
+    ASSERT_TRUE(log.ok());
+    live.SetBatchLogger(
+        [&](const StreamBatch& b) { ASSERT_TRUE(log->Append(b).ok()); });
+    live.SetUpstreamBuffer(&upstream);
+    // Models the whole process dying at the scheduled point: stop the run
+    // and remember the event so the log tail can be torn afterwards.
+    live.SetCrashHandler([&](const CrashEvent& e) { crash = e; });
+
+    for (StreamTime t = kStepMs; t <= kEndMs; t += kStepMs) {
+      ASSERT_TRUE(
+          live.FeedStream(stream, IntervalTuples(&strings, t - kStepMs, t)).ok());
+      live.AdvanceStreams(t);
+      if (crash.has_value()) {
+        crashed_at = t;
+        break;
+      }
+      if (t < kFirstWindowMs) {
+        continue;
+      }
+      for (uint64_t h : {*h1, *h2}) {
+        auto exec = live.ExecuteContinuousAt(h, t);
+        ASSERT_TRUE(exec.ok()) << exec.status().ToString();
+        dedup.Accept(h, t, exec->partial, ResultDigest(exec->result));
+      }
+    }
+    ASSERT_TRUE(crash.has_value());
+    EXPECT_EQ(live.fault_stats().crashes, 1u);
+    EXPECT_EQ(injector.stats().crashes_fired, 1u);
+  }  // "Process" dies: log closed with the last record mid-flight.
+
+  ASSERT_TRUE(
+      FaultInjector::TearFileTail(Path("batches.log"), crash->torn_tail_bytes)
+          .ok());
+
+  // Recovery into a fresh cluster.
+  ClusterConfig config;
+  config.nodes = 3;
+  Cluster recovered(config, &strings);
+  StreamId stream = *recovered.DefineStream("S", {"ga"});
+  recovered.LoadBase(BaseTriples(&strings));
+  RecoveryManager manager(Path("batches.log"), Path("registry.bin"));
+  auto report = manager.RecoverCluster(&recovered, &upstream);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->queries_reregistered, 2u);
+  // The torn tail dropped the in-flight record; the upstream backup
+  // re-supplied at least that batch.
+  EXPECT_GE(report->upstream_batches, 1u);
+  EXPECT_GT(report->log_batches, 0u);
+
+  // The stream resumes where the crash interrupted it (the interval ending
+  // at `crashed_at` was already batched and recovered); every window — old
+  // ones re-executed, new ones fresh — feeds the client-side dedup.
+  for (StreamTime t = crashed_at + kStepMs; t <= kEndMs; t += kStepMs) {
+    ASSERT_TRUE(
+        recovered.FeedStream(stream, IntervalTuples(&strings, t - kStepMs, t))
+            .ok());
+    recovered.AdvanceStreams(t);
+  }
+  for (StreamTime t = kFirstWindowMs; t <= kEndMs; t += kStepMs) {
+    for (uint64_t h : {0u, 1u}) {
+      ASSERT_TRUE(recovered.WindowReady(h, t));
+      auto exec = recovered.ExecuteContinuousAt(h, t);
+      ASSERT_TRUE(exec.ok()) << exec.status().ToString();
+      EXPECT_FALSE(exec->partial);
+      dedup.Accept(h, t, exec->partial, ResultDigest(exec->result));
+    }
+  }
+
+  // Byte-identical to the fault-free run, for every (query, window).
+  ASSERT_EQ(dedup.size(), golden.size());
+  for (const auto& [key, want] : golden) {
+    const std::string* got = dedup.Find(key.first, key.second);
+    ASSERT_NE(got, nullptr) << "query " << key.first << " window " << key.second;
+    EXPECT_EQ(*got, want) << "query " << key.first << " window " << key.second;
+    EXPECT_FALSE(dedup.IsPartial(key.first, key.second));
+  }
+  // Re-executed pre-crash windows were suppressed as duplicates.
+  EXPECT_GT(dedup.duplicates_suppressed(), 0u);
+}
+
+// In-place node restore: the cluster rides through a crash degraded (partial
+// results, reroutes, forced fork-join over survivors), the node is restored
+// from log + upstream while the survivors stay live, and re-executed windows
+// upgrade the partial results to byte-identical complete ones.
+TEST_F(FaultRecoveryTest, NodeRestoreUpgradesDegradedWindows) {
+  StringServer strings;
+  auto golden = GoldenDigests(&strings);
+
+  FaultSchedule schedule;
+  schedule.seed = 7;
+  schedule.read_failure_rate = 0.02;
+  schedule.message_failure_rate = 0.02;
+  schedule.batch_drop_rate = 0.25;
+  schedule.batch_duplicate_rate = 0.25;
+  schedule.batch_delay_rate = 0.2;
+  schedule.crashes = {CrashEvent{/*node=*/2, /*stream=*/0, /*at_seq=*/8,
+                                 /*torn_tail_bytes=*/0}};
+  FaultInjector injector(schedule);
+  UpstreamBuffer upstream;
+
+  ClusterConfig config;
+  config.nodes = 3;
+  config.fault_injector = &injector;
+  Cluster cluster(config, &strings);
+  StreamId stream = *cluster.DefineStream("S", {"ga"});
+  std::vector<Triple> base = BaseTriples(&strings);
+  cluster.LoadBase(base);
+  auto h1 = cluster.RegisterContinuous(kJoinQuery, 2);
+  auto h2 = cluster.RegisterContinuous(kPointQuery, 2);
+  ASSERT_TRUE(h1.ok() && h2.ok());
+
+  auto log = CheckpointLog::Create(Path("batches.log"));
+  ASSERT_TRUE(log.ok());
+  cluster.SetBatchLogger(
+      [&](const StreamBatch& b) { ASSERT_TRUE(log->Append(b).ok()); });
+  cluster.SetUpstreamBuffer(&upstream);
+
+  WindowDedup dedup;
+  size_t partial_windows = 0;
+  for (StreamTime t = kStepMs; t <= kEndMs; t += kStepMs) {
+    ASSERT_TRUE(
+        cluster.FeedStream(stream, IntervalTuples(&strings, t - kStepMs, t)).ok());
+    cluster.AdvanceStreams(t);
+    if (t < kFirstWindowMs) {
+      continue;
+    }
+    for (uint64_t h : {*h1, *h2}) {
+      ASSERT_TRUE(cluster.WindowReady(h, t))
+          << "a crashed node must not stall surviving windows";
+      auto exec = cluster.ExecuteContinuousAt(h, t);
+      ASSERT_TRUE(exec.ok()) << exec.status().ToString();
+      partial_windows += exec->partial ? 1 : 0;
+      dedup.Accept(h, t, exec->partial, ResultDigest(exec->result));
+    }
+  }
+
+  const auto& stats = cluster.fault_stats();
+  EXPECT_EQ(stats.crashes, 1u);
+  EXPECT_FALSE(cluster.NodeUp(2));
+  EXPECT_EQ(cluster.UpNodeCount(), 2u);
+  EXPECT_GT(partial_windows, 0u);          // Degraded, not crashed.
+  EXPECT_GT(stats.degraded_executions, 0u);
+  EXPECT_GT(stats.reroutes, 0u);           // Both queries' home was node 2.
+  // The seeded schedule exercises every batch fate at these rates.
+  EXPECT_GT(stats.batches_redelivered + stats.duplicates_suppressed +
+                stats.batches_delayed,
+            0u);
+
+  // Restore the crashed node in place from the durable log + upstream tail.
+  ASSERT_TRUE(log->Sync().ok());
+  RecoveryManager manager(Path("batches.log"));
+  auto report = manager.RestoreNode(&cluster, 2, base, &upstream);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_GT(report->log_batches, 0u);
+  EXPECT_TRUE(cluster.NodeUp(2));
+  EXPECT_EQ(cluster.UpNodeCount(), 3u);
+
+  // Re-execute every window: complete results upgrade the partial ones.
+  for (StreamTime t = kFirstWindowMs; t <= kEndMs; t += kStepMs) {
+    for (uint64_t h : {*h1, *h2}) {
+      auto exec = cluster.ExecuteContinuousAt(h, t);
+      ASSERT_TRUE(exec.ok()) << exec.status().ToString();
+      EXPECT_FALSE(exec->partial);
+      dedup.Accept(h, t, exec->partial, ResultDigest(exec->result));
+    }
+  }
+  EXPECT_GT(dedup.upgrades(), 0u);
+
+  ASSERT_EQ(dedup.size(), golden.size());
+  for (const auto& [key, want] : golden) {
+    const std::string* got = dedup.Find(key.first, key.second);
+    ASSERT_NE(got, nullptr);
+    EXPECT_EQ(*got, want) << "query " << key.first << " window " << key.second;
+    EXPECT_FALSE(dedup.IsPartial(key.first, key.second));
+  }
+}
+
+TEST(FaultInjectorTest, SameSeedSameSchedule) {
+  FaultSchedule schedule;
+  schedule.seed = 99;
+  schedule.read_failure_rate = 0.3;
+  schedule.batch_drop_rate = 0.2;
+  schedule.batch_duplicate_rate = 0.2;
+  schedule.batch_delay_rate = 0.2;
+  FaultInjector a(schedule);
+  FaultInjector b(schedule);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(a.FailRead(0, 1), b.FailRead(0, 1));
+    EXPECT_EQ(a.FateOf(0, static_cast<BatchSeq>(i)),
+              b.FateOf(0, static_cast<BatchSeq>(i)));
+  }
+}
+
+TEST(FaultInjectorTest, CategoriesAreIndependentStreams) {
+  // Enabling read failures must not shift the batch-fate sequence.
+  FaultSchedule plain;
+  plain.seed = 5;
+  plain.batch_drop_rate = 0.2;
+  plain.batch_duplicate_rate = 0.2;
+  FaultSchedule with_reads = plain;
+  with_reads.read_failure_rate = 0.5;
+
+  FaultInjector a(plain);
+  FaultInjector b(with_reads);
+  for (int i = 0; i < 100; ++i) {
+    (void)b.FailRead(0, 1);  // Interleave read draws; fates must not move.
+    EXPECT_EQ(a.FateOf(0, static_cast<BatchSeq>(i)),
+              b.FateOf(0, static_cast<BatchSeq>(i)));
+  }
+}
+
+TEST(FaultInjectorTest, CrashFiresExactlyOnce) {
+  FaultSchedule schedule;
+  schedule.crashes = {CrashEvent{1, 0, 3, 16}};
+  FaultInjector injector(schedule);
+  EXPECT_FALSE(injector.TakeCrash(0, 2).has_value());
+  auto c = injector.TakeCrash(0, 3);
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->node, 1u);
+  EXPECT_EQ(c->torn_tail_bytes, 16u);
+  EXPECT_FALSE(injector.TakeCrash(0, 3).has_value());
+}
+
+TEST(RetryPolicyTest, BackoffGrowsAndIsCharged) {
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  policy.initial_backoff_ns = 1000.0;
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff_ns = 3000.0;
+  EXPECT_DOUBLE_EQ(policy.BackoffNs(1), 1000.0);
+  EXPECT_DOUBLE_EQ(policy.BackoffNs(2), 2000.0);
+  EXPECT_DOUBLE_EQ(policy.BackoffNs(3), 3000.0);  // Capped.
+
+  // Fails twice, then succeeds: two backoffs land in SimCost.
+  int calls = 0;
+  RetryStats stats;
+  double before = SimCost::TotalNs();
+  Status s = RunWithRetry(
+      policy,
+      [&] {
+        ++calls;
+        return calls < 3 ? Status::Unavailable("flaky") : Status::Ok();
+      },
+      &stats);
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(stats.retries, 2u);
+  EXPECT_DOUBLE_EQ(SimCost::TotalNs() - before, 3000.0);
+
+  // Non-retryable errors surface immediately.
+  calls = 0;
+  Status hard = RunWithRetry(policy, [&] {
+    ++calls;
+    return Status::Internal("bug");
+  });
+  EXPECT_EQ(hard.code(), StatusCode::kInternal);
+  EXPECT_EQ(calls, 1);
+
+  // Exhaustion: max_attempts calls, no backoff after the last.
+  calls = 0;
+  RetryStats exhausted;
+  before = SimCost::TotalNs();
+  Status gone = RunWithRetry(
+      policy, [&] {
+        ++calls;
+        return Status::Unavailable("down");
+      },
+      &exhausted);
+  EXPECT_EQ(gone.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(calls, 4);
+  EXPECT_EQ(exhausted.exhausted, 1u);
+  EXPECT_DOUBLE_EQ(SimCost::TotalNs() - before, 1000.0 + 2000.0 + 3000.0);
+}
+
+TEST(WindowDedupTest, CompleteUpgradesPartialAndSuppressesDuplicates) {
+  WindowDedup dedup;
+  EXPECT_TRUE(dedup.Accept(0, 100, /*partial=*/true, "half"));
+  EXPECT_TRUE(dedup.IsPartial(0, 100));
+  EXPECT_FALSE(dedup.Accept(0, 100, /*partial=*/true, "half"));  // Duplicate.
+  EXPECT_TRUE(dedup.Accept(0, 100, /*partial=*/false, "full"));  // Upgrade.
+  EXPECT_FALSE(dedup.IsPartial(0, 100));
+  EXPECT_FALSE(dedup.Accept(0, 100, /*partial=*/false, "full"));
+  EXPECT_FALSE(dedup.Accept(0, 100, /*partial=*/true, "late-partial"));
+  EXPECT_EQ(*dedup.Find(0, 100), "full");
+  EXPECT_EQ(dedup.size(), 1u);
+  EXPECT_EQ(dedup.duplicates_suppressed(), 3u);
+  EXPECT_EQ(dedup.upgrades(), 1u);
+}
+
+TEST(FaultFabricTest, DownNodeFailsVerbsWithoutWireCharge) {
+  Fabric fabric(2, NetworkModel{}, Transport::kRdma);
+  EXPECT_TRUE(fabric.TryOneSidedRead(0, 1, 64).ok());
+  fabric.SetNodeUp(1, false);
+  double before = SimCost::TotalNs();
+  Status s = fabric.TryOneSidedRead(0, 1, 64);
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+  EXPECT_DOUBLE_EQ(SimCost::TotalNs(), before);  // Fails fast, no wire time.
+  EXPECT_EQ(fabric.up_count(), 1u);
+  EXPECT_TRUE(fabric.AnyNodeDown());
+  fabric.SetNodeUp(1, true);
+  EXPECT_TRUE(fabric.TryMessage(0, 1, 64).ok());
+}
+
+TEST(FaultFabricTest, CannotCrashLastNode) {
+  ClusterConfig config;
+  config.nodes = 2;
+  Cluster cluster(config);
+  EXPECT_TRUE(cluster.CrashNode(0).ok());
+  Status s = cluster.CrashNode(1);
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(cluster.CrashNode(0).code(), StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace wukongs

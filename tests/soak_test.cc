@@ -5,7 +5,13 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+
 #include "src/cluster/cluster.h"
+#include "src/fault/fault_injector.h"
+#include "src/fault/recovery_manager.h"
+#include "src/fault/upstream_buffer.h"
+#include "src/stream/checkpoint.h"
 
 namespace wukongs {
 namespace {
@@ -98,6 +104,112 @@ TEST(SoakTest, WindowStateStaysBoundedUnderSustainedStreaming) {
   auto count = cluster.OneShot("SELECT COUNT(?P) WHERE { ?U po ?P }");
   ASSERT_TRUE(count.ok());
   EXPECT_DOUBLE_EQ(count->result.rows[0][0].number, static_cast<double>(post_id));
+}
+
+TEST(SoakTest, SurvivesRepeatedCrashRestoreCyclesUnderLossyFabric) {
+  // Sustained streaming through a lossy fabric (drops, duplicates, delays,
+  // failed reads) with a node crash + in-place restore every few intervals.
+  // The system must stay live (windows keep triggering, queries keep
+  // answering) and every restore must bring the node fully back.
+  std::string log_path =
+      (std::filesystem::temp_directory_path() /
+       ("wukongs_soak_" + std::to_string(::getpid()) + ".log"))
+          .string();
+
+  FaultSchedule schedule;
+  schedule.seed = 2026;
+  schedule.read_failure_rate = 0.02;
+  schedule.message_failure_rate = 0.02;
+  schedule.batch_drop_rate = 0.1;
+  schedule.batch_duplicate_rate = 0.1;
+  schedule.batch_delay_rate = 0.1;
+  FaultInjector injector(schedule);
+  UpstreamBuffer upstream;
+
+  ClusterConfig config;
+  config.nodes = 3;
+  config.batch_interval_ms = 10;
+  config.fault_injector = &injector;
+  Cluster cluster(config);
+  StreamId facts = *cluster.DefineStream("Facts");
+
+  StringServer* s = cluster.strings();
+  PredicateId po = s->InternPredicate("po");
+  std::vector<Triple> base;
+  for (int u = 0; u < 30; ++u) {
+    base.push_back({s->InternVertex("u" + std::to_string(u)),
+                    s->InternPredicate("fo"),
+                    s->InternVertex("u" + std::to_string((u + 1) % 30))});
+  }
+  cluster.LoadBase(base);
+
+  auto handle = cluster.RegisterContinuous(R"(
+      REGISTER QUERY soak AS
+      SELECT ?U ?P
+      FROM STREAM <Facts> [RANGE 50ms STEP 10ms]
+      WHERE { GRAPH <Facts> { ?U po ?P } })");
+  ASSERT_TRUE(handle.ok());
+
+  auto log = CheckpointLog::Create(log_path);
+  ASSERT_TRUE(log.ok());
+  cluster.SetBatchLogger(
+      [&](const StreamBatch& b) { ASSERT_TRUE(log->Append(b).ok()); });
+  cluster.SetUpstreamBuffer(&upstream);
+
+  RecoveryManager manager(log_path);
+  Rng rng(11);
+  constexpr StreamTime kIntervalMs = 50;
+  constexpr int kIntervals = 40;
+  size_t restores = 0;
+  size_t executed = 0;
+  size_t post = 0;
+  for (int i = 1; i <= kIntervals; ++i) {
+    StreamTime now = static_cast<StreamTime>(i) * kIntervalMs;
+    StreamTupleVec tuples;
+    for (StreamTime t = now - kIntervalMs; t < now; t += 2) {
+      tuples.push_back(StreamTuple{{s->InternVertex("u" + std::to_string(post % 30)),
+                                    po,
+                                    s->InternVertex("p" + std::to_string(post))},
+                                   t,
+                                   TupleKind::kTimeless});
+      ++post;
+    }
+    ASSERT_TRUE(cluster.FeedStream(facts, tuples).ok());
+    cluster.AdvanceStreams(now);
+
+    if (i % 8 == 3) {
+      // Crash a random non-last-survivor node...
+      NodeId victim = static_cast<NodeId>(rng.Uniform(0, 2));
+      ASSERT_TRUE(cluster.CrashNode(victim).ok()) << "interval " << i;
+      // ...ride degraded for one interval's worth of queries...
+      auto degraded = cluster.ExecuteContinuousAt(*handle, now);
+      ASSERT_TRUE(degraded.ok()) << degraded.status().ToString();
+      // ...then restore it in place from the log + upstream tail.
+      ASSERT_TRUE(log->Sync().ok());
+      auto report = manager.RestoreNode(&cluster, victim, base, &upstream);
+      ASSERT_TRUE(report.ok()) << "interval " << i << ": "
+                               << report.status().ToString();
+      ++restores;
+      ASSERT_EQ(cluster.UpNodeCount(), 3u);
+    }
+
+    auto exec = cluster.ExecuteContinuousAt(*handle, now);
+    ASSERT_TRUE(exec.ok()) << "interval " << i << ": " << exec.status().ToString();
+    EXPECT_FALSE(exec->result.rows.empty()) << "interval " << i;
+    EXPECT_FALSE(exec->partial) << "interval " << i;  // All nodes are up again.
+    ++executed;
+  }
+
+  EXPECT_EQ(restores, 5u);
+  EXPECT_EQ(executed, static_cast<size_t>(kIntervals));
+  EXPECT_EQ(cluster.fault_stats().crashes, restores);
+  // The lossy fabric actually bit: some fates fired at these rates.
+  const auto& istats = injector.stats();
+  EXPECT_GT(istats.dropped_batches + istats.duplicated_batches +
+                istats.delayed_batches,
+            0u);
+
+  std::filesystem::remove(log_path);
 }
 
 }  // namespace
