@@ -36,9 +36,11 @@ Cluster::Cluster(const ClusterConfig& config, StringServer* shared_strings)
       strings_(shared_strings == nullptr ? owned_strings_.get() : shared_strings),
       fabric_(std::make_unique<Fabric>(config.nodes, config.network,
                                        config.transport)),
-      coordinator_(std::make_unique<Coordinator>(config.nodes,
-                                                 config.reserved_snapshots,
-                                                 config.batches_per_sn)) {
+      coordinator_(std::make_unique<Coordinator>(
+          config.nodes, config.reserved_snapshots, config.batches_per_sn,
+          config.overload.max_plan_extensions)),
+      shedder_(config.overload.shed),
+      backlog_(config.nodes) {
   assert(config_.nodes >= 1);
   fabric_->set_fault_injector(config_.fault_injector);
   stores_.reserve(config_.nodes);
@@ -46,12 +48,17 @@ Cluster::Cluster(const ClusterConfig& config, StringServer* shared_strings)
     stores_.push_back(std::make_unique<GStore>(n));
     stores_raw_.push_back(stores_.back().get());
   }
+  if (config_.overload.enabled && config_.overload.failure_detector) {
+    health_ =
+        std::make_unique<FailureDetector>(config_.nodes, config_.overload.phi);
+  }
 }
 
 Cluster::~Cluster() = default;
 
 StatusOr<StreamId> Cluster::DefineStream(
-    const std::string& name, const std::vector<std::string>& timing_predicates) {
+    const std::string& name, const std::vector<std::string>& timing_predicates,
+    int shed_priority) {
   if (stream_names_.count(name) > 0) {
     return Status::AlreadyExists("stream " + name + " already defined");
   }
@@ -65,6 +72,7 @@ StatusOr<StreamId> Cluster::DefineStream(
   state.adaptor = std::make_unique<StreamAdaptor>(id, config_.batch_interval_ms,
                                                   std::move(timing));
   state.ingest_node = static_cast<NodeId>(id % config_.nodes);
+  state.shed_priority = shed_priority;
   streams_.push_back(std::move(state));
   stream_names_.emplace(name, id);
 
@@ -105,13 +113,28 @@ Status Cluster::FeedStream(StreamId stream, const StreamTupleVec& tuples) {
   if (stream >= streams_.size()) {
     return Status::NotFound("unknown stream id");
   }
+  if (config_.overload.enabled) {
+    // Credits or plan extensions may have freed since the last pump.
+    PumpPending(stream);
+    if (streams_[stream].pending.size() >=
+        config_.overload.pending_queue_capacity) {
+      {
+        std::lock_guard lock(overload_mu_);
+        ++overload_stats_.feed_rejections;
+      }
+      // The backpressure terminus: the feeder gets a retryable rejection
+      // instead of the cluster buffering without bound.
+      return Status::ResourceExhausted("stream " + streams_[stream].name +
+                                       " backpressured: pending queue full");
+    }
+  }
   std::vector<StreamBatch> batches;
   Status s = streams_[stream].adaptor->Ingest(tuples, &batches);
   if (!s.ok()) {
     return s;
   }
-  for (const StreamBatch& b : batches) {
-    DeliverBatch(b);
+  for (StreamBatch& b : batches) {
+    EnqueueBatch(std::move(b));
   }
   return Status::Ok();
 }
@@ -129,8 +152,85 @@ void Cluster::AdvanceStreams(StreamTime now_ms) {
                    [](const StreamBatch& a, const StreamBatch& b) {
                      return a.seq < b.seq;
                    });
-  for (const StreamBatch& b : batches) {
-    DeliverBatch(b);
+  for (StreamBatch& b : batches) {
+    EnqueueBatch(std::move(b));
+  }
+  TickHealth(now_ms);
+}
+
+void Cluster::EnqueueBatch(StreamBatch&& batch) {
+  const StreamId sid = batch.stream;
+  StreamState& state = streams_[sid];
+  const size_t timing = CountTimingTuples(batch);
+  if (timing > 0) {
+    std::lock_guard lock(overload_mu_);
+    state.shed[batch.seq].timing_tuples += timing;
+  }
+  if (!config_.overload.enabled) {
+    DeliverBatch(batch);
+    return;
+  }
+  if (config_.overload.shed_timing && timing > 0) {
+    // Pressure is the worse of the decaying append-failure signal and the
+    // door queue's occupancy, so shedding kicks in before the queue bounces
+    // the feeder outright.
+    const double occupancy =
+        config_.overload.pending_queue_capacity > 0
+            ? static_cast<double>(state.pending.size()) /
+                  static_cast<double>(config_.overload.pending_queue_capacity)
+            : 0.0;
+    const double pressure = std::max(state.pressure.level(), occupancy);
+    const double keep = shedder_.KeepFraction(pressure, state.shed_priority);
+    if (keep < 1.0) {
+      const size_t max_keep =
+          static_cast<size_t>(keep * static_cast<double>(timing));
+      const size_t shed = ShedTimingSuffix(&batch, max_keep);
+      if (shed > 0) {
+        std::lock_guard lock(overload_mu_);
+        state.shed[batch.seq].door_shed_tuples += shed;
+        overload_stats_.door_shed_tuples += shed;
+      }
+    }
+  }
+  state.pending.push_back(std::move(batch));
+  PumpPending(sid);
+}
+
+bool Cluster::HasCredit(StreamId stream) const {
+  const size_t credits = config_.overload.credits_per_stream;
+  if (credits == 0) {
+    return true;
+  }
+  // In flight = injected but not yet stable. The queued batch would join
+  // them, so the pump holds once the frontier runs `credits` ahead.
+  const BatchSeq stable = coordinator_->StableVts().Get(stream);
+  const uint64_t stable_next = stable == kNoBatch ? 0 : stable + 1;
+  const uint64_t delivered = delivered_next_[stream];
+  const uint64_t in_flight = delivered > stable_next ? delivered - stable_next : 0;
+  return in_flight < credits;
+}
+
+void Cluster::PumpPending(StreamId stream) {
+  if (!config_.overload.enabled) {
+    return;
+  }
+  StreamState& state = streams_[stream];
+  while (!state.pending.empty()) {
+    if (!HasCredit(stream)) {
+      std::lock_guard lock(overload_mu_);
+      ++overload_stats_.credit_stalls;
+      break;
+    }
+    if (!coordinator_->CanPlanSnFor(stream, state.pending.front().seq)) {
+      // The injector stalls rather than extending the SN-VTS plan past the
+      // cap (§4.3's bounded-scalarization discipline under overload).
+      std::lock_guard lock(overload_mu_);
+      ++overload_stats_.plan_stalls;
+      break;
+    }
+    StreamBatch batch = std::move(state.pending.front());
+    state.pending.pop_front();
+    DeliverBatch(batch);
   }
 }
 
@@ -217,8 +317,14 @@ void Cluster::InjectBatch(const StreamBatch& batch, int only_node) {
   }
 
   // Injection: persistent appends (timeless) + transient slices (timing).
+  // A node inside a scheduled slow window gets its partition parked in the
+  // per-node backlog instead — healthy nodes never wait on a straggler, and
+  // the backlog drains FIFO once the window ends.
+  FaultInjector* inj = config_.fault_injector;
+  const StreamTime batch_end_ms = (batch.seq + 1) * config_.batch_interval_ms;
   LatencyProbe inject_probe;
   std::vector<std::vector<AppendSpan>> spans(nodes);
+  std::vector<char> deferred(nodes, 0);
   for (NodeId n = 0; n < nodes; ++n) {
     if (!applies(n)) {
       continue;
@@ -226,7 +332,7 @@ void Cluster::InjectBatch(const StreamBatch& batch, int only_node) {
     size_t tuple_count = timeless[n].size() + timing[n].size();
     if (tuple_count > 0) {
       size_t bytes = tuple_count * kTupleWireBytes;
-      if (config_.fault_injector != nullptr && !filtered) {
+      if (inj != nullptr && !filtered) {
         // Dispatcher->Injector shipping is fallible: a lost send retries
         // with backoff. If the budget is exhausted the dispatcher escalates
         // to a slow reliable path (one more full send) — delivery never
@@ -241,10 +347,22 @@ void Cluster::InjectBatch(const StreamBatch& batch, int only_node) {
         fabric_->Message(ingest, n, bytes);
       }
     }
+    if (!filtered && inj != nullptr && inj->NodeSlowAt(n, batch_end_ms)) {
+      backlog_[n].push_back(DeferredInjection{batch.stream, batch.seq, sn,
+                                              std::move(timeless[n]),
+                                              std::move(timing[n])});
+      deferred[n] = 1;
+      std::lock_guard lock(overload_mu_);
+      ++overload_stats_.backlog_deferred;
+      continue;
+    }
+    if (!filtered && !backlog_[n].empty()) {
+      DrainBacklog(n);  // FIFO: parked batches land before this one.
+    }
     for (const auto& [key, value] : timeless[n]) {
       stores_raw_[n]->InjectEdge(key, value, sn, &spans[n]);
     }
-    transients_raw_[batch.stream][n]->AppendSlice(batch.seq, timing[n]);
+    AppendTimingEdges(batch.stream, n, batch.seq, timing[n]);
   }
   if (!filtered) {
     state.profile.inject_ms += inject_probe.FinishMs();
@@ -255,7 +373,7 @@ void Cluster::InjectBatch(const StreamBatch& batch, int only_node) {
   // subscribers already happened during the original live injection.
   LatencyProbe index_probe;
   for (NodeId n = 0; n < nodes; ++n) {
-    if (!applies(n)) {
+    if (!applies(n) || deferred[n]) {
       continue;
     }
     stream_indexes_raw_[batch.stream][n]->AddBatch(batch.seq, spans[n]);
@@ -277,7 +395,7 @@ void Cluster::InjectBatch(const StreamBatch& batch, int only_node) {
   }
 
   for (NodeId n = 0; n < nodes; ++n) {
-    if (applies(n)) {
+    if (applies(n) && !deferred[n]) {
       coordinator_->ReportInjected(n, batch.stream, batch.seq);
     }
   }
@@ -290,6 +408,214 @@ void Cluster::InjectBatch(const StreamBatch& batch, int only_node) {
   if (batch_logger_) {
     batch_logger_(batch);
   }
+}
+
+void Cluster::AppendTimingEdges(
+    StreamId stream, NodeId n, BatchSeq seq,
+    const std::vector<std::pair<Key, VertexId>>& edges) {
+  TransientStore* ts = transients_raw_[stream][n];
+  if (ts->AppendSlice(seq, edges)) {
+    return;
+  }
+  // The memory budget refused the slice even after its internal GC. Escalate:
+  // raise the stream's shed pressure, give maintenance one chance to free
+  // expired slices (the listener typically kicks the daemon or runs a
+  // synchronous pass), then retry once.
+  {
+    std::lock_guard lock(overload_mu_);
+    ++overload_stats_.append_pressure_events;
+  }
+  streams_[stream].pressure.Raise(config_.overload.append_failure_pressure);
+  if (pressure_listener_) {
+    pressure_listener_(stream, n);
+  }
+  if (ts->AppendSlice(seq, edges)) {
+    return;
+  }
+  size_t kept = 0;
+  if (config_.overload.enabled && config_.overload.shed_timing) {
+    // Shed: keep the largest batch prefix that fits (suffix-only loss).
+    kept = ts->AppendSlicePrefix(seq, edges);
+  }
+  // else: the pre-overload behavior — the partition is dropped — but the
+  // loss is now recorded and surfaces as shed_fraction on window results
+  // instead of vanishing silently.
+  const size_t lost = edges.size() - kept;
+  if (lost == 0) {
+    return;
+  }
+  std::lock_guard lock(overload_mu_);
+  streams_[stream].shed[seq].injector_lost_edges += lost;
+  if (config_.overload.enabled && config_.overload.shed_timing) {
+    overload_stats_.injector_shed_edges += lost;
+  } else {
+    overload_stats_.timing_edges_lost += lost;
+  }
+}
+
+void Cluster::DrainBacklog(NodeId n) {
+  if (backlog_[n].empty()) {
+    return;
+  }
+  const double delay_ns = config_.fault_injector != nullptr
+                              ? config_.fault_injector->CatchUpDelayNs(n)
+                              : 0.0;
+  while (!backlog_[n].empty()) {
+    DeferredInjection d = std::move(backlog_[n].front());
+    backlog_[n].pop_front();
+    // Catching up is not free: each parked batch charges the recovering
+    // node's modeled apply delay.
+    SimCost::Add(delay_ns);
+    std::vector<AppendSpan> spans;
+    for (const auto& [key, value] : d.timeless) {
+      stores_raw_[n]->InjectEdge(key, value, d.sn, &spans);
+    }
+    AppendTimingEdges(d.stream, n, d.seq, d.timing);
+    stream_indexes_raw_[d.stream][n]->AddBatch(d.seq, spans);
+    if (!spans.empty() && config_.locality_aware_index) {
+      size_t index_bytes = spans.size() * sizeof(AppendSpan) + 32;
+      for (NodeId sub : streams_[d.stream].subscribers) {
+        if (sub != n && fabric_->node_up(sub)) {
+          fabric_->Message(n, sub, index_bytes);
+          ++index_replications_;
+        }
+      }
+    }
+    coordinator_->ReportInjected(n, d.stream, d.seq);
+    std::lock_guard lock(overload_mu_);
+    ++overload_stats_.backlog_drained;
+  }
+}
+
+bool Cluster::NodeCaughtUp(NodeId n) const {
+  if (!backlog_[n].empty()) {
+    return false;
+  }
+  return coordinator_->LocalVts(n).Covers(coordinator_->StableVts());
+}
+
+void Cluster::TickHealth(StreamTime now_ms) {
+  if (now_ms > last_health_ms_) {
+    last_health_ms_ = now_ms;
+  }
+  FaultInjector* inj = config_.fault_injector;
+  // A slow window that ended releases its node's parked batches even when no
+  // new batch happens to target that node.
+  for (NodeId n = 0; n < config_.nodes; ++n) {
+    if (!backlog_[n].empty() && fabric_->node_up(n) &&
+        (inj == nullptr || !inj->NodeSlowAt(n, now_ms))) {
+      DrainBacklog(n);
+    }
+  }
+  if (config_.overload.enabled) {
+    for (StreamState& state : streams_) {
+      state.pressure.Decay(config_.overload.pressure_decay);
+    }
+  }
+  if (health_ != nullptr) {
+    for (NodeId n = 0; n < config_.nodes; ++n) {
+      if (!fabric_->node_up(n)) {
+        continue;
+      }
+      if (inj != nullptr && inj->NodeSlowAt(n, now_ms)) {
+        continue;  // The straggler's heartbeat goes missing — that IS the signal.
+      }
+      fabric_->Heartbeat(n, 0);
+      health_->Heartbeat(n, now_ms);
+    }
+    for (NodeId n = 0; n < config_.nodes; ++n) {
+      if (!fabric_->node_up(n)) {
+        continue;
+      }
+      HealthAction action = health_->Evaluate(n, now_ms, NodeCaughtUp(n));
+      if (action == HealthAction::kQuarantine && fabric_->node_serving(n) &&
+          fabric_->serving_count() > 1) {
+        // Stop waiting on the straggler: queries skip its shard (partial,
+        // like a crash) but injection keeps feeding it so it can catch up.
+        coordinator_->SetNodeActive(n, false);
+        fabric_->SetNodeServing(n, false);
+        std::lock_guard lock(overload_mu_);
+        ++overload_stats_.quarantines;
+      } else if (action == HealthAction::kReactivate &&
+                 !fabric_->node_serving(n)) {
+        coordinator_->SetNodeActive(n, true);
+        fabric_->SetNodeServing(n, true);
+        std::lock_guard lock(overload_mu_);
+        ++overload_stats_.reactivations;
+      }
+    }
+  }
+  // Quarantine moves Stable_VTS over the survivors: credits may have freed.
+  for (StreamId s = 0; s < static_cast<StreamId>(streams_.size()); ++s) {
+    PumpPending(s);
+  }
+}
+
+void Cluster::SetPressureListener(std::function<void(StreamId, NodeId)> listener) {
+  pressure_listener_ = std::move(listener);
+}
+
+OverloadStats Cluster::overload_stats() const {
+  std::lock_guard lock(overload_mu_);
+  OverloadStats s = overload_stats_;
+  if (health_ != nullptr) {
+    s.heartbeats = health_->stats().heartbeats;
+  }
+  return s;
+}
+
+size_t Cluster::PendingBatches(StreamId stream) const {
+  if (stream >= streams_.size()) {
+    return 0;
+  }
+  return streams_[stream].pending.size();
+}
+
+bool Cluster::NodeServing(NodeId n) const { return fabric_->node_serving(n); }
+
+uint32_t Cluster::ServingNodeCount() const { return fabric_->serving_count(); }
+
+double Cluster::WindowShedFraction(const Registration& reg,
+                                   StreamTime end_ms) const {
+  // Everything in edge units (1 door tuple = 2 dispatched edges) so door
+  // sheds and injector losses add up consistently.
+  uint64_t total = 0;
+  uint64_t shed = 0;
+  VectorTimestamp stable = coordinator_->StableVts();
+  std::lock_guard lock(overload_mu_);
+  for (size_t w = 0; w < reg.query.windows.size(); ++w) {
+    const WindowSpec& spec = reg.query.windows[w];
+    StreamId sid = reg.stream_ids[w];
+    BatchRange range;
+    if (spec.absolute) {
+      range.lo = spec.from_ms / config_.batch_interval_ms;
+      range.hi = (spec.to_ms - 1) / config_.batch_interval_ms;
+      BatchSeq have = stable.Get(sid);
+      if (have == kNoBatch || have < range.lo) {
+        range.empty = true;
+      } else if (range.hi > have) {
+        range.hi = have;
+      }
+    } else {
+      range = WindowBatches(end_ms, spec.range_ms, config_.batch_interval_ms);
+    }
+    if (range.empty) {
+      continue;
+    }
+    const auto& ledger = streams_[sid].shed;
+    for (BatchSeq b = range.lo; b <= range.hi; ++b) {
+      auto it = ledger.find(b);
+      if (it == ledger.end()) {
+        continue;
+      }
+      total += 2 * it->second.timing_tuples;
+      shed += 2 * it->second.door_shed_tuples + it->second.injector_lost_edges;
+    }
+  }
+  if (total == 0) {
+    return 0.0;
+  }
+  return std::min(1.0, static_cast<double>(shed) / static_cast<double>(total));
 }
 
 bool Cluster::IsSelective(const Query& q, const std::vector<int>& plan) const {
@@ -338,16 +664,18 @@ StatusOr<ExecContext> Cluster::BuildContext(
 }
 
 NodeId Cluster::EffectiveHome(NodeId home) {
-  if (fabric_->node_up(home)) {
+  // A quarantined (slow) home is avoided just like a crashed one: executions
+  // land on a serving node.
+  if (fabric_->node_serving(home)) {
     return home;
   }
   for (NodeId n = 0; n < config_.nodes; ++n) {
-    if (fabric_->node_up(n)) {
+    if (fabric_->node_serving(n)) {
       ++fault_stats_.reroutes;
       return n;
     }
   }
-  return home;  // Nothing is up; callers will fail downstream.
+  return home;  // Nothing is serving; callers will fail downstream.
 }
 
 void Cluster::ApplyDegrade(const DegradeState& degrade, QueryExecution* exec) {
@@ -367,8 +695,8 @@ StatusOr<QueryExecution> Cluster::RunQuery(const Query& q,
                                            SnapshotNum snapshot) {
   const NetworkModel& m = config_.network;
   const bool rdma = fabric_->transport() == Transport::kRdma;
-  // Degraded clusters fork-join over the survivors only.
-  const uint32_t live = fabric_->up_count();
+  // Degraded clusters fork-join over the serving survivors only.
+  const uint32_t live = fabric_->serving_count();
   // A selective query forced into fork-join involves only the nodes its few
   // keys live on: migrating execution, no cluster-wide barrier.
   const bool migrating = fork_join && selective;
@@ -469,7 +797,7 @@ StatusOr<QueryExecution> Cluster::ExecuteUnion(const Registration& reg,
   total.snapshot = snapshot;
   total.window_end_ms = end_ms;
   NodeId home = EffectiveHome(reg.home);
-  const bool degraded = fabric_->AnyNodeDown();
+  const bool degraded = fabric_->AnyNodeNotServing();
   DegradeState degrade;
   for (const std::vector<TriplePattern>& branch : reg.query.unions) {
     Query bq = reg.query;
@@ -524,6 +852,7 @@ StatusOr<QueryExecution> Cluster::ExecuteUnion(const Registration& reg,
     return fin;
   }
   ApplyDegrade(degrade, &total);
+  total.shed_fraction = WindowShedFraction(reg, end_ms);
   return total;
 }
 
@@ -563,7 +892,7 @@ StatusOr<QueryExecution> Cluster::OneShotParsed(const Query& q, NodeId home) {
     return ExecuteUnion(reg, 0, snapshot);
   }
   NodeId exec_home = EffectiveHome(home);
-  const bool degraded = fabric_->AnyNodeDown();
+  const bool degraded = fabric_->AnyNodeNotServing();
   DegradeState degrade;
   auto plan_ctx = BuildContext(reg, 0, ChargePolicy::kNoCharge, exec_home,
                                &holders, nullptr);
@@ -585,6 +914,7 @@ StatusOr<QueryExecution> Cluster::OneShotParsed(const Query& q, NodeId home) {
   auto exec = RunQuery(q, plan, *ctx, exec_home, fork_join, selective, snapshot);
   if (exec.ok()) {
     ApplyDegrade(degrade, &exec.value());
+    exec->shed_fraction = WindowShedFraction(reg, 0);
   }
   return exec;
 }
@@ -662,7 +992,7 @@ StatusOr<QueryExecution> Cluster::ExecuteContinuousAt(ContinuousHandle h,
   // Degradation reroute: a registration whose home node is down executes on
   // the first surviving node instead of crashing.
   NodeId home = EffectiveHome(reg.home);
-  const bool degraded = fabric_->AnyNodeDown();
+  const bool degraded = fabric_->AnyNodeNotServing();
   DegradeState degrade;
 
   // Plan once, at the first triggered execution (stored-procedure style).
@@ -694,6 +1024,7 @@ StatusOr<QueryExecution> Cluster::ExecuteContinuousAt(ContinuousHandle h,
   if (exec.ok()) {
     exec->window_end_ms = end_ms;
     ApplyDegrade(degrade, &exec.value());
+    exec->shed_fraction = WindowShedFraction(reg, end_ms);
   }
   return exec;
 }
@@ -710,6 +1041,14 @@ void Cluster::RunMaintenance(StreamTime live_horizon_ms) {
       transients_raw_[s][n]->SetGcHorizon(min_live);
       transients_raw_[s][n]->RunGc();
     }
+  }
+  // Shed ledger entries age out with the same horizon: no window can reach
+  // those batches again, so their loss accounting is dead weight.
+  std::lock_guard lock(overload_mu_);
+  for (StreamState& state : streams_) {
+    std::erase_if(state.shed, [min_live](const auto& kv) {
+      return kv.first < min_live;
+    });
   }
 }
 
@@ -817,6 +1156,11 @@ Status Cluster::CrashNode(NodeId node) {
     return Status::FailedPrecondition("cannot crash the last live node");
   }
   fabric_->SetNodeUp(node, false);
+  // A crash supersedes any quarantine; clear the serving flag so the restored
+  // node is not born quarantined, and drop batches parked for it (the restore
+  // path replays them from the checkpoint log instead).
+  fabric_->SetNodeServing(node, true);
+  backlog_[node].clear();
   // Excluded from Stable_VTS so surviving nodes keep triggering windows, and
   // its injection progress is forgotten so restore can re-report from seq 0.
   coordinator_->SetNodeActive(node, false);
@@ -919,6 +1263,11 @@ Status Cluster::FinishNodeRestore(NodeId node) {
   }
   fabric_->SetNodeUp(node, true);
   coordinator_->SetNodeActive(node, true);
+  if (health_ != nullptr) {
+    // Restart the node's heartbeat history; stale pre-crash inter-arrival
+    // gaps would instantly re-quarantine it.
+    health_->Reset(node, last_health_ms_);
+  }
   return Status::Ok();
 }
 

@@ -29,6 +29,9 @@
 #include "src/common/status.h"
 #include "src/engine/executor.h"
 #include "src/fault/fault_injector.h"
+#include "src/overload/load_shedder.h"
+#include "src/overload/overload_config.h"
+#include "src/overload/phi_accrual.h"
 #include "src/rdf/string_server.h"
 #include "src/rdf/triple.h"
 #include "src/rdma/fabric.h"
@@ -82,6 +85,11 @@ struct ClusterConfig {
   // dispatcher shipping); backoff is charged into SimCost so degraded-mode
   // latency shows up in measured query latency.
   RetryPolicy retry;
+
+  // Overload protection (§5.6): credit backpressure, load shedding, plan-
+  // extension caps and the phi-accrual failure detector. All defaults off —
+  // a default-constructed config behaves exactly like the seed.
+  OverloadConfig overload;
 };
 
 // Outcome of one query execution with its modeled cost breakdown.
@@ -101,6 +109,9 @@ struct QueryExecution {
   uint64_t skipped_shards = 0;
   uint64_t fault_retries = 0;
   double backoff_ms = 0.0;
+  // Fraction of the windows' timing edges shed (door) or lost (injector);
+  // 0 on a loss-free execution. The overload analogue of `partial`.
+  double shed_fraction = 0.0;
 
   double latency_ms() const { return cpu_ms + net_ms; }
 };
@@ -130,9 +141,11 @@ class Cluster {
 
   // --- Streams. ---
   // Declares a stream; `timing_predicates` name predicates whose tuples are
-  // timing data (GPS-style), kept only in the transient store.
+  // timing data (GPS-style), kept only in the transient store. Higher
+  // `shed_priority` sheds later under pressure (overload.shed policy).
   StatusOr<StreamId> DefineStream(const std::string& name,
-                                  const std::vector<std::string>& timing_predicates = {});
+                                  const std::vector<std::string>& timing_predicates = {},
+                                  int shed_priority = 0);
   StatusOr<StreamId> FindStream(const std::string& name) const;
 
   // --- Data. ---
@@ -234,13 +247,56 @@ class Cluster {
   Status ReplayBatchForNode(NodeId node, const StreamBatch& batch);
   Status FinishNodeRestore(NodeId node);
 
+  // --- Overload protection (§5.6). ---
+  // Drives heartbeats / the failure detector, drains slow-node backlogs, and
+  // decays shed pressure. AdvanceStreams calls this; drivers whose feed is
+  // stalled by backpressure call it directly so wall-clock still advances.
+  void TickHealth(StreamTime now_ms);
+  // Hook fired when a transient append hits the memory budget (before the
+  // one retry) — typically MaintenanceDaemon::Kick. Single-threaded with
+  // respect to the feed path.
+  void SetPressureListener(std::function<void(StreamId, NodeId)> listener);
+  OverloadStats overload_stats() const;
+  const FailureDetector* failure_detector() const { return health_.get(); }
+  // Batches held at the adaptor door by credit/plan backpressure.
+  size_t PendingBatches(StreamId stream) const;
+  bool NodeServing(NodeId n) const;
+  uint32_t ServingNodeCount() const;
+
  private:
+  // Per-batch shed/loss ledger, in door-tuple units (1 tuple = 2 edges):
+  // lets window executions report exactly how much of their timing data is
+  // missing (guarded by overload_mu_; pruned with the GC horizon).
+  struct ShedRecord {
+    uint64_t timing_tuples = 0;        // At the door, before shedding.
+    uint64_t door_shed_tuples = 0;     // Suffix-shed at the adaptor.
+    uint64_t injector_lost_edges = 0;  // Shed or lost at AppendSlice.
+  };
+
   struct StreamState {
     std::string name;
     std::unique_ptr<StreamAdaptor> adaptor;
     NodeId ingest_node = 0;  // Where Adaptor+Dispatcher run for this stream.
     std::unordered_set<NodeId> subscribers;  // Locality-aware index replicas.
     InjectionProfile profile;
+
+    // Overload state (feed-path single-threaded except `shed`, which query
+    // threads read under overload_mu_).
+    int shed_priority = 0;
+    std::deque<StreamBatch> pending;  // Door queue awaiting credits/plans.
+    PressureGauge pressure;
+    std::unordered_map<BatchSeq, ShedRecord> shed;
+  };
+
+  // A batch partition destined for a slow node, parked until the node's
+  // slow window ends (paper's fallback: never stall healthy nodes on a
+  // straggler — defer, then drain FIFO when it catches up).
+  struct DeferredInjection {
+    StreamId stream = 0;
+    BatchSeq seq = 0;
+    SnapshotNum sn = 0;
+    std::vector<std::pair<Key, VertexId>> timeless;
+    std::vector<std::pair<Key, VertexId>> timing;
   };
 
   struct Registration {
@@ -255,6 +311,22 @@ class Cluster {
     std::vector<int> cached_plan;
     bool cached_selective = true;
   };
+
+  // Door-side admission of a finished mini-batch: records its timing total,
+  // sheds a suffix under pressure, then queues it behind the credit gate.
+  void EnqueueBatch(StreamBatch&& batch);
+  // Delivers queued batches while credits and plan extensions allow.
+  void PumpPending(StreamId stream);
+  bool HasCredit(StreamId stream) const;
+  // Appends a batch's timing edges to node `n`'s transient slice, running
+  // the pressure escalation (kick maintenance, retry, shed prefix) when the
+  // memory budget rejects the append.
+  void AppendTimingEdges(StreamId stream, NodeId n, BatchSeq seq,
+                         const std::vector<std::pair<Key, VertexId>>& edges);
+  void DrainBacklog(NodeId n);
+  bool NodeCaughtUp(NodeId n) const;
+  // Shed/lost fraction of the timing edges inside `reg`'s windows at end_ms.
+  double WindowShedFraction(const Registration& reg, StreamTime end_ms) const;
 
   // Dispatcher-side delivery: applies the fault schedule (drop = backoff +
   // retransmit, duplicate, delay), fires scheduled crashes, retains the batch
@@ -314,6 +386,17 @@ class Cluster {
   std::function<void(const CrashEvent&)> crash_handler_;
   UpstreamBuffer* upstream_ = nullptr;
   FaultStats fault_stats_;
+
+  // --- Overload protection. ---
+  LoadShedder shedder_;
+  std::unique_ptr<FailureDetector> health_;  // Set iff failure_detector on.
+  std::vector<std::deque<DeferredInjection>> backlog_;  // Per node.
+  std::function<void(StreamId, NodeId)> pressure_listener_;
+  StreamTime last_health_ms_ = 0;
+  // Guards shed records + overload_stats_ (query threads read both while
+  // the feed thread writes); never held across DeliverBatch or the listener.
+  mutable std::mutex overload_mu_;
+  OverloadStats overload_stats_;
 };
 
 }  // namespace wukongs

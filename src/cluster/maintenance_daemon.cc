@@ -22,12 +22,23 @@ void MaintenanceDaemon::RunOnce() {
   passes_.fetch_add(1, std::memory_order_relaxed);
 }
 
+void MaintenanceDaemon::Kick() {
+  {
+    std::lock_guard lock(mu_);
+    kicked_ = true;
+  }
+  kicks_.fetch_add(1, std::memory_order_relaxed);
+  stop_cv_.notify_all();
+}
+
 void MaintenanceDaemon::Loop(std::chrono::milliseconds period) {
   std::unique_lock lock(mu_);
   while (!stopping_) {
-    if (stop_cv_.wait_for(lock, period, [this] { return stopping_; })) {
+    stop_cv_.wait_for(lock, period, [this] { return stopping_ || kicked_; });
+    if (stopping_) {
       return;
     }
+    kicked_ = false;
     lock.unlock();
     RunOnce();
     lock.lock();

@@ -34,7 +34,13 @@ class MaintenanceDaemon {
   // Runs one maintenance pass immediately (also callable while running).
   void RunOnce();
 
+  // Pressure hook: wakes the daemon thread for an immediate pass instead of
+  // waiting out the period — wired to transient-budget exhaustion so GC
+  // reacts to overload the moment it appears. Safe from any thread.
+  void Kick();
+
   size_t passes() const { return passes_.load(std::memory_order_relaxed); }
+  size_t kicks() const { return kicks_.load(std::memory_order_relaxed); }
 
  private:
   void Loop(std::chrono::milliseconds period);
@@ -42,9 +48,11 @@ class MaintenanceDaemon {
   Cluster* cluster_;
   HorizonFn horizon_;
   std::atomic<size_t> passes_{0};
+  std::atomic<size_t> kicks_{0};
   std::mutex mu_;
   std::condition_variable stop_cv_;
   bool stopping_ = false;
+  bool kicked_ = false;
   std::thread thread_;
 };
 

@@ -46,7 +46,7 @@ void StoreSource::GetNeighbors(Key key, std::vector<VertexId>* out) const {
     // Index keys are partitioned: union every node's local portion.
     std::vector<VertexId> tmp;
     for (NodeId n = 0; n < shards_.size(); ++n) {
-      if (!fabric_->node_up(n)) {
+      if (!fabric_->node_serving(n)) {
         // Quarantined shard: its portion is unavailable; serve the rest.
         if (degrade_ != nullptr) {
           degrade_->partial = true;
@@ -67,7 +67,7 @@ void StoreSource::GetNeighbors(Key key, std::vector<VertexId>* out) const {
     return;
   }
   NodeId owner = OwnerOfVertex(key.vid(), static_cast<uint32_t>(shards_.size()));
-  if (!fabric_->node_up(owner)) {
+  if (!fabric_->node_serving(owner)) {
     if (degrade_ != nullptr) {
       degrade_->partial = true;
       ++degrade_->skipped_shards;
@@ -91,7 +91,7 @@ size_t StoreSource::EstimateCount(Key key) const {
   if (key.is_index()) {
     size_t n = 0;
     for (NodeId node = 0; node < shards_.size(); ++node) {
-      if (!fabric_->node_up(node)) {
+      if (!fabric_->node_serving(node)) {
         continue;
       }
       n += shards_[node]->EdgeCount(key, snapshot_);
@@ -99,7 +99,7 @@ size_t StoreSource::EstimateCount(Key key) const {
     return n;
   }
   NodeId owner = OwnerOfVertex(key.vid(), static_cast<uint32_t>(shards_.size()));
-  if (!fabric_->node_up(owner)) {
+  if (!fabric_->node_serving(owner)) {
     return 0;
   }
   return shards_[owner]->EdgeCount(key, snapshot_);
@@ -131,7 +131,7 @@ bool WindowSource::ChargeRead(NodeId n, size_t bytes) const {
 
 void WindowSource::CollectFromNode(NodeId n, Key key,
                                    std::vector<VertexId>* out) const {
-  if (!fabric_->node_up(n)) {
+  if (!fabric_->node_serving(n)) {
     if (degrade_ != nullptr) {
       degrade_->partial = true;
       ++degrade_->skipped_shards;
@@ -173,7 +173,7 @@ void WindowSource::GetNeighbors(Key key, std::vector<VertexId>* out) const {
     // (timing data); a vertex active in several batches appears once.
     std::vector<VertexId> raw;
     for (NodeId n = 0; n < shards_.size(); ++n) {
-      if (!fabric_->node_up(n)) {
+      if (!fabric_->node_serving(n)) {
         if (degrade_ != nullptr) {
           degrade_->partial = true;
           ++degrade_->skipped_shards;
@@ -212,7 +212,7 @@ size_t WindowSource::EstimateCount(Key key) const {
   size_t n = 0;
   if (key.is_index()) {
     for (NodeId node = 0; node < shards_.size(); ++node) {
-      if (!fabric_->node_up(node)) {
+      if (!fabric_->node_serving(node)) {
         continue;
       }
       for (BatchSeq b = range_.lo; b <= range_.hi; ++b) {
@@ -223,7 +223,7 @@ size_t WindowSource::EstimateCount(Key key) const {
     return n;
   }
   NodeId owner = OwnerOfVertex(key.vid(), static_cast<uint32_t>(shards_.size()));
-  if (!fabric_->node_up(owner)) {
+  if (!fabric_->node_serving(owner)) {
     return 0;
   }
   for (BatchSeq b = range_.lo; b <= range_.hi; ++b) {

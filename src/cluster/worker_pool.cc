@@ -35,10 +35,31 @@ std::future<StatusOr<QueryExecution>> WorkerPool::SubmitContinuous(
   return future;
 }
 
+void WorkerPool::SetAdmissionController(AdmissionController* admission) {
+  admission_ = admission;
+}
+
 std::future<StatusOr<QueryExecution>> WorkerPool::SubmitOneShot(Query query,
-                                                                NodeId home) {
+                                                                NodeId home,
+                                                                double deadline_ms) {
+  if (admission_ != nullptr) {
+    Status verdict = admission_->Admit(deadline_ms);
+    if (!verdict.ok()) {
+      // Fast rejection: the future is ready before the caller even waits —
+      // no worker slot, no queue residency.
+      std::promise<StatusOr<QueryExecution>> rejected;
+      rejected.set_value(StatusOr<QueryExecution>(std::move(verdict)));
+      return rejected.get_future();
+    }
+  }
   std::packaged_task<StatusOr<QueryExecution>()> task(
-      [this, q = std::move(query), home] { return cluster_->OneShotParsed(q, home); });
+      [this, q = std::move(query), home] {
+        auto exec = cluster_->OneShotParsed(q, home);
+        if (admission_ != nullptr) {
+          admission_->Complete(exec.ok() ? exec->latency_ms() : 0.0);
+        }
+        return exec;
+      });
   auto future = task.get_future();
   {
     std::lock_guard lock(mu_);

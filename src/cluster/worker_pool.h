@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "src/cluster/cluster.h"
+#include "src/overload/admission_controller.h"
 
 namespace wukongs {
 
@@ -31,13 +32,20 @@ class WorkerPool {
   WorkerPool(const WorkerPool&) = delete;
   WorkerPool& operator=(const WorkerPool&) = delete;
 
+  // Admission control (optional, non-owning; must outlive the pool). When
+  // set, one-shot submissions past the concurrency cap or an unmeetable
+  // deadline are rejected fast with kResourceExhausted instead of queueing.
+  void SetAdmissionController(AdmissionController* admission);
+
   // Enqueues the execution of a registered continuous query for the window
   // ending at `end_ms`.
   std::future<StatusOr<QueryExecution>> SubmitContinuous(
       Cluster::ContinuousHandle handle, StreamTime end_ms);
 
-  // Enqueues a one-shot query.
-  std::future<StatusOr<QueryExecution>> SubmitOneShot(Query query, NodeId home = 0);
+  // Enqueues a one-shot query. `deadline_ms` (0 = none) is the caller's
+  // latency budget, checked by the admission controller at the door.
+  std::future<StatusOr<QueryExecution>> SubmitOneShot(Query query, NodeId home = 0,
+                                                      double deadline_ms = 0.0);
 
   // Tasks accepted but not yet finished.
   size_t Pending() const;
@@ -50,6 +58,7 @@ class WorkerPool {
   void WorkerLoop();
 
   Cluster* cluster_;
+  AdmissionController* admission_ = nullptr;
   mutable std::mutex mu_;
   std::condition_variable work_ready_;
   std::condition_variable drained_;

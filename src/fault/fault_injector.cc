@@ -90,6 +90,26 @@ std::optional<CrashEvent> FaultInjector::TakeCrash(StreamId stream, BatchSeq seq
   return std::nullopt;
 }
 
+bool FaultInjector::NodeSlowAt(NodeId node, StreamTime at_ms) const {
+  // schedule_ is immutable after construction: no lock, no RNG draw.
+  for (const SlowNodeEvent& e : schedule_.slow_nodes) {
+    if (e.node == node && at_ms >= e.from_ms && at_ms < e.until_ms) {
+      return true;
+    }
+  }
+  return false;
+}
+
+double FaultInjector::CatchUpDelayNs(NodeId node) const {
+  double delay = 0.0;
+  for (const SlowNodeEvent& e : schedule_.slow_nodes) {
+    if (e.node == node && e.catch_up_delay_ns > delay) {
+      delay = e.catch_up_delay_ns;
+    }
+  }
+  return delay;
+}
+
 Status FaultInjector::TearFileTail(const std::string& path, size_t bytes) {
   std::error_code ec;
   uintmax_t size = std::filesystem::file_size(path, ec);
@@ -124,6 +144,7 @@ std::string FaultInjector::DebugString() const {
      << ", dup=" << schedule_.batch_duplicate_rate
      << ", delay=" << schedule_.batch_delay_rate
      << ", crashes=" << schedule_.crashes.size()
+     << ", slow_windows=" << schedule_.slow_nodes.size()
      << "; fired: reads=" << s.failed_reads << " msgs=" << s.failed_messages
      << " drops=" << s.dropped_batches << " dups=" << s.duplicated_batches
      << " delays=" << s.delayed_batches << " crashes=" << s.crashes_fired << "}";

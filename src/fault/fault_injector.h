@@ -28,6 +28,7 @@
 #include "src/common/ids.h"
 #include "src/common/rng.h"
 #include "src/common/status.h"
+#include "src/rdf/triple.h"
 
 namespace wukongs {
 
@@ -40,6 +41,18 @@ struct CrashEvent {
   StreamId stream = 0;
   BatchSeq at_seq = 0;
   size_t torn_tail_bytes = 0;
+};
+
+// A slow-node window: between [from_ms, until_ms) of stream time, `node`'s
+// injector is too overloaded to apply batches — deliveries destined for it
+// are deferred into a backlog (and its heartbeats stop arriving, which is
+// what the phi-accrual detector keys off). `catch_up_delay_ns` is charged
+// per backlog batch when the node drains after the window.
+struct SlowNodeEvent {
+  NodeId node = 0;
+  StreamTime from_ms = 0;
+  StreamTime until_ms = 0;
+  double catch_up_delay_ns = 10000.0;
 };
 
 struct FaultSchedule {
@@ -58,6 +71,9 @@ struct FaultSchedule {
 
   // Scheduled crashes, fired at most once each.
   std::vector<CrashEvent> crashes;
+
+  // Slow-node (overload) windows; may overlap and repeat per node.
+  std::vector<SlowNodeEvent> slow_nodes;
 };
 
 enum class BatchFate {
@@ -93,6 +109,14 @@ class FaultInjector {
   // Cluster layer: the crash due at this delivery point, if any. Each
   // scheduled crash fires exactly once.
   std::optional<CrashEvent> TakeCrash(StreamId stream, BatchSeq seq);
+
+  // Overload layer: is `node` inside a scheduled slow window at stream time
+  // `at_ms`? Pure schedule lookup — no RNG draw, so enabling slow windows
+  // perturbs no other fault category's sequence.
+  bool NodeSlowAt(NodeId node, StreamTime at_ms) const;
+  // Per-batch drain cost once the node recovers (max over the node's
+  // windows; 0 when none are scheduled).
+  double CatchUpDelayNs(NodeId node) const;
 
   // Torn write: truncates `bytes` off the end of the file at `path`,
   // modeling a crash that interrupted an append. Tearing more bytes than the

@@ -1,0 +1,69 @@
+#include "src/overload/admission_controller.h"
+
+#include <algorithm>
+#include <string>
+
+namespace wukongs {
+
+AdmissionController::AdmissionController(const AdmissionConfig& config)
+    : config_(config), ewma_service_ms_(config.initial_service_ms) {}
+
+double AdmissionController::EstimatedWaitMsLocked() const {
+  uint32_t workers = std::max(config_.workers, 1u);
+  double queued = static_cast<double>(in_flight_) / static_cast<double>(workers);
+  return queued * ewma_service_ms_;
+}
+
+Status AdmissionController::Admit(double deadline_ms) {
+  std::lock_guard lock(mu_);
+  if (config_.max_concurrent != 0 && in_flight_ >= config_.max_concurrent) {
+    ++stats_.rejected_capacity;
+    return Status::ResourceExhausted(
+        "admission limit reached (" + std::to_string(in_flight_) + " in flight)");
+  }
+  if (deadline_ms > 0.0) {
+    double predicted = EstimatedWaitMsLocked() + ewma_service_ms_;
+    if (predicted > deadline_ms) {
+      ++stats_.rejected_deadline;
+      return Status::ResourceExhausted(
+          "deadline unmeetable: predicted " + std::to_string(predicted) +
+          " ms > budget " + std::to_string(deadline_ms) + " ms");
+    }
+  }
+  ++in_flight_;
+  ++stats_.admitted;
+  return Status::Ok();
+}
+
+void AdmissionController::Complete(double service_ms) {
+  std::lock_guard lock(mu_);
+  if (in_flight_ > 0) {
+    --in_flight_;
+  }
+  if (service_ms > 0.0) {
+    double a = std::clamp(config_.ewma_alpha, 0.0, 1.0);
+    ewma_service_ms_ = (1.0 - a) * ewma_service_ms_ + a * service_ms;
+  }
+}
+
+size_t AdmissionController::in_flight() const {
+  std::lock_guard lock(mu_);
+  return in_flight_;
+}
+
+double AdmissionController::estimated_service_ms() const {
+  std::lock_guard lock(mu_);
+  return ewma_service_ms_;
+}
+
+double AdmissionController::EstimatedWaitMs() const {
+  std::lock_guard lock(mu_);
+  return EstimatedWaitMsLocked();
+}
+
+AdmissionController::Stats AdmissionController::stats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
+}
+
+}  // namespace wukongs

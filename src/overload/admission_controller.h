@@ -1,0 +1,63 @@
+// Admission control at the query door (overload tentpole, piece 3).
+//
+// A one-shot query that cannot meet its deadline — or that would push the
+// worker pool past its concurrency budget — is rejected immediately with
+// kResourceExhausted instead of queueing. Rejection costs microseconds;
+// queueing a doomed query costs a worker slot, memory, and (worse) the
+// latency of every request behind it. The wait estimate is
+// in_flight / workers * EWMA(service time): the standard M/M/c shortcut,
+// good enough to separate "will clearly blow the deadline" from "admit".
+
+#ifndef SRC_OVERLOAD_ADMISSION_CONTROLLER_H_
+#define SRC_OVERLOAD_ADMISSION_CONTROLLER_H_
+
+#include <cstdint>
+#include <mutex>
+
+#include "src/common/status.h"
+
+namespace wukongs {
+
+struct AdmissionConfig {
+  size_t max_concurrent = 0;  // Admitted-but-unfinished cap; 0 = unlimited.
+  uint32_t workers = 1;       // Drain parallelism the wait estimate assumes.
+  double ewma_alpha = 0.2;    // Service-time estimator smoothing.
+  double initial_service_ms = 0.5;  // Estimate before the first completion.
+};
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(const AdmissionConfig& config);
+
+  // Decides admission for a query with `deadline_ms` of latency budget
+  // (0 = no deadline; only the concurrency cap applies). On Ok the caller
+  // MUST later call Complete() exactly once.
+  Status Admit(double deadline_ms = 0.0);
+  // Reports a completed (or failed) admitted query and its service time.
+  void Complete(double service_ms);
+
+  size_t in_flight() const;
+  double estimated_service_ms() const;
+  // Predicted queue wait for a new arrival, before its own service time.
+  double EstimatedWaitMs() const;
+
+  struct Stats {
+    uint64_t admitted = 0;
+    uint64_t rejected_capacity = 0;
+    uint64_t rejected_deadline = 0;
+  };
+  Stats stats() const;
+
+ private:
+  double EstimatedWaitMsLocked() const;
+
+  const AdmissionConfig config_;
+  mutable std::mutex mu_;
+  size_t in_flight_ = 0;
+  double ewma_service_ms_;
+  Stats stats_;
+};
+
+}  // namespace wukongs
+
+#endif  // SRC_OVERLOAD_ADMISSION_CONTROLLER_H_

@@ -1,0 +1,30 @@
+#include "src/overload/load_shedder.h"
+
+#include <algorithm>
+
+namespace wukongs {
+
+void PressureGauge::Raise(double amount) {
+  level_ = std::clamp(level_ + amount, 0.0, 1.0);
+}
+
+void PressureGauge::Decay(double factor) {
+  level_ *= std::clamp(factor, 0.0, 1.0);
+  if (level_ < 1e-6) {
+    level_ = 0.0;
+  }
+}
+
+double LoadShedder::KeepFraction(double pressure, int priority) const {
+  double onset = policy_.start_pressure +
+                 policy_.priority_step * static_cast<double>(std::max(priority, 0));
+  if (pressure <= onset || onset >= 1.0) {
+    return 1.0;
+  }
+  // Linear ramp from "keep all" at the onset to min_keep at full pressure.
+  double span = 1.0 - onset;
+  double keep = 1.0 - (pressure - onset) / span;
+  return std::clamp(keep, std::clamp(policy_.min_keep_fraction, 0.0, 1.0), 1.0);
+}
+
+}  // namespace wukongs

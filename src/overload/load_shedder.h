@@ -1,0 +1,65 @@
+// Load shedding policy (overload tentpole, piece 2).
+//
+// When the transient ring buffers or the injection pipeline saturate, the
+// system sheds *timing* tuples — the data the paper itself classifies as
+// disposable outside live windows — rather than stalling or dying. Two
+// invariants make shedding safe for the consistency machinery:
+//
+//   * only whole batch *suffixes* are dropped, never middles, so every
+//     surviving batch is a timestamp-ordered prefix and Stable_VTS semantics
+//     (batch seq == progress) are untouched;
+//   * timeless tuples are never shed — the persistent store stays complete.
+//
+// The policy is priority-aware: each stream carries a shed priority, and
+// higher-priority streams start shedding at higher pressure and shed less.
+// PressureGauge is the decaying input signal (append failures, queue
+// occupancy); LoadShedder maps (pressure, priority) -> keep fraction.
+
+#ifndef SRC_OVERLOAD_LOAD_SHEDDER_H_
+#define SRC_OVERLOAD_LOAD_SHEDDER_H_
+
+#include <cstdint>
+
+namespace wukongs {
+
+struct ShedPolicy {
+  // Pressure below which a priority-0 stream sheds nothing.
+  double start_pressure = 0.5;
+  // Each priority level postpones the shed onset by this much pressure.
+  double priority_step = 0.15;
+  // Keep at least this fraction even at pressure 1.0 (a trickle preserves
+  // result continuity; 0 = allowed to shed a batch's entire timing suffix).
+  double min_keep_fraction = 0.0;
+};
+
+// A decaying overload signal in [0, 1]. Raised by discrete pressure events
+// (transient append failure, credit stall); decayed once per advance tick so
+// shedding relaxes when the burst passes.
+class PressureGauge {
+ public:
+  void Raise(double amount);
+  void Decay(double factor);
+  double level() const { return level_; }
+
+ private:
+  double level_ = 0.0;
+};
+
+class LoadShedder {
+ public:
+  explicit LoadShedder(const ShedPolicy& policy) : policy_(policy) {}
+
+  // Fraction of a stream's timing tuples to keep under `pressure` for a
+  // stream of `priority`. 1.0 = shed nothing. Deterministic: same inputs,
+  // same answer — the property tests rely on replayability.
+  double KeepFraction(double pressure, int priority) const;
+
+  const ShedPolicy& policy() const { return policy_; }
+
+ private:
+  ShedPolicy policy_;
+};
+
+}  // namespace wukongs
+
+#endif  // SRC_OVERLOAD_LOAD_SHEDDER_H_

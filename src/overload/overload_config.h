@@ -1,0 +1,75 @@
+// Overload-protection configuration and observability surface.
+//
+// The control loop this configures (DESIGN.md §5.6):
+//
+//   transient budget full ──> pressure gauge + GC kick ──> load shedding
+//   Stable_SN stalls ──> plan-extension cap ──> credits withheld
+//   credits withheld ──> per-stream pending queue fills ──> FeedStream
+//       returns kResourceExhausted (backpressure to the feeder)
+//   missing heartbeats ──> phi-accrual quarantine ──> Stable_VTS advances
+//       over the survivors ──> credits release ──> queues drain
+//
+// Everything defaults to *off* / unbounded: a cluster that does not opt in
+// behaves exactly like the pre-overload seed, which is what keeps the
+// original latency benches and golden-digest tests bit-stable.
+
+#ifndef SRC_OVERLOAD_OVERLOAD_CONFIG_H_
+#define SRC_OVERLOAD_OVERLOAD_CONFIG_H_
+
+#include <cstdint>
+
+#include "src/overload/load_shedder.h"
+#include "src/overload/phi_accrual.h"
+
+namespace wukongs {
+
+struct OverloadConfig {
+  // Master switch for credit flow control, pending queues and shedding.
+  bool enabled = false;
+
+  // Credit-based flow control: max batches of one stream past the stable
+  // frontier (injected-but-unstable + queued). 0 = unbounded (seed behavior).
+  size_t credits_per_stream = 0;
+  // Dispatcher-side pending queue per stream; when full, FeedStream bounces
+  // the feeder with kResourceExhausted instead of buffering unboundedly.
+  size_t pending_queue_capacity = 8;
+
+  // Cap on Coordinator plan extensions past Stable_SN. Past it, batches wait
+  // in the pending queue (the injector "stalls" as §4.3 prescribes) instead
+  // of the plan growing forever. 0 = unbounded (seed behavior).
+  size_t max_plan_extensions = 0;
+
+  // Load shedding of timing tuples (timeless data is never shed).
+  bool shed_timing = false;
+  ShedPolicy shed;
+  // Pressure added per transient-append failure, and the per-advance decay
+  // multiplier that relaxes shedding once the burst passes.
+  double append_failure_pressure = 0.5;
+  double pressure_decay = 0.5;
+
+  // Phi-accrual failure detection over fabric heartbeats.
+  bool failure_detector = false;
+  PhiAccrualConfig phi;
+};
+
+// Aggregate counters for the whole overload subsystem, surfaced by
+// Cluster::overload_stats(). Monotone; cheap enough to read in bench loops.
+struct OverloadStats {
+  uint64_t feed_rejections = 0;       // FeedStream bounced (queue full).
+  uint64_t credit_stalls = 0;         // Pump paused: no credits.
+  uint64_t plan_stalls = 0;           // Pump paused: plan-extension cap.
+  uint64_t door_shed_tuples = 0;      // Timing tuples shed at the adaptor.
+  uint64_t injector_shed_edges = 0;   // Timing edges shed at AppendSlice.
+  uint64_t timing_edges_lost = 0;     // Budget loss with shedding off
+                                      // (pre-overload silent-drop, surfaced).
+  uint64_t append_pressure_events = 0;
+  uint64_t backlog_deferred = 0;      // Batches deferred on a slow node.
+  uint64_t backlog_drained = 0;
+  uint64_t heartbeats = 0;
+  uint64_t quarantines = 0;
+  uint64_t reactivations = 0;
+};
+
+}  // namespace wukongs
+
+#endif  // SRC_OVERLOAD_OVERLOAD_CONFIG_H_

@@ -1,0 +1,139 @@
+#include "src/overload/phi_accrual.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace wukongs {
+namespace {
+
+// phi = -log10(P(gap >= t)) with exponentially distributed inter-arrivals:
+// P(gap >= t) = exp(-t / mean), so phi = t / (mean * ln 10).
+constexpr double kLn10 = 2.302585092994046;
+
+}  // namespace
+
+PhiAccrualDetector::PhiAccrualDetector(uint32_t node_count,
+                                       const PhiAccrualConfig& config)
+    : config_(config), nodes_(node_count) {}
+
+void PhiAccrualDetector::Heartbeat(NodeId node, StreamTime now_ms) {
+  std::lock_guard lock(mu_);
+  assert(node < nodes_.size());
+  NodeHistory& h = nodes_[node];
+  if (h.seen && now_ms >= h.last_ms) {
+    h.intervals.push_back(static_cast<double>(now_ms - h.last_ms));
+    while (h.intervals.size() > config_.history) {
+      h.intervals.pop_front();
+    }
+  }
+  h.seen = true;
+  h.last_ms = now_ms;
+  ++heartbeats_;
+}
+
+double PhiAccrualDetector::MeanIntervalLocked(const NodeHistory& h) const {
+  if (h.intervals.empty()) {
+    return std::max(config_.expected_interval_ms, config_.min_mean_interval_ms);
+  }
+  double sum = 0.0;
+  for (double v : h.intervals) {
+    sum += v;
+  }
+  return std::max(sum / static_cast<double>(h.intervals.size()),
+                  config_.min_mean_interval_ms);
+}
+
+double PhiAccrualDetector::Phi(NodeId node, StreamTime now_ms) const {
+  std::lock_guard lock(mu_);
+  assert(node < nodes_.size());
+  const NodeHistory& h = nodes_[node];
+  if (!h.seen || now_ms <= h.last_ms) {
+    return 0.0;
+  }
+  double gap = static_cast<double>(now_ms - h.last_ms);
+  return gap / (MeanIntervalLocked(h) * kLn10);
+}
+
+void PhiAccrualDetector::Reset(NodeId node, StreamTime now_ms) {
+  std::lock_guard lock(mu_);
+  assert(node < nodes_.size());
+  nodes_[node] = NodeHistory{};
+  nodes_[node].seen = true;
+  nodes_[node].last_ms = now_ms;
+}
+
+uint64_t PhiAccrualDetector::heartbeats() const {
+  std::lock_guard lock(mu_);
+  return heartbeats_;
+}
+
+FailureDetector::FailureDetector(uint32_t node_count,
+                                 const PhiAccrualConfig& config)
+    : config_(config),
+      phi_(node_count, config),
+      quarantined_(node_count, false),
+      healthy_streak_(node_count, 0) {}
+
+void FailureDetector::Heartbeat(NodeId node, StreamTime now_ms) {
+  phi_.Heartbeat(node, now_ms);
+}
+
+double FailureDetector::Phi(NodeId node, StreamTime now_ms) const {
+  return phi_.Phi(node, now_ms);
+}
+
+HealthAction FailureDetector::Evaluate(NodeId node, StreamTime now_ms,
+                                       bool caught_up) {
+  double phi = phi_.Phi(node, now_ms);
+  std::lock_guard lock(mu_);
+  assert(node < quarantined_.size());
+  if (!quarantined_[node]) {
+    if (phi >= config_.quarantine_phi) {
+      quarantined_[node] = true;
+      healthy_streak_[node] = 0;
+      ++quarantines_;
+      return HealthAction::kQuarantine;
+    }
+    return HealthAction::kNone;
+  }
+  // Quarantined: recover only after a streak of low-suspicion evaluations
+  // (hysteresis against flapping) and a confirmed catch-up, so reactivation
+  // can never regress Stable_VTS.
+  if (phi < config_.reactivate_phi) {
+    ++healthy_streak_[node];
+  } else {
+    healthy_streak_[node] = 0;
+  }
+  if (healthy_streak_[node] >= config_.hysteresis_beats && caught_up) {
+    quarantined_[node] = false;
+    healthy_streak_[node] = 0;
+    ++reactivations_;
+    return HealthAction::kReactivate;
+  }
+  return HealthAction::kNone;
+}
+
+bool FailureDetector::quarantined(NodeId node) const {
+  std::lock_guard lock(mu_);
+  return node < quarantined_.size() && quarantined_[node];
+}
+
+void FailureDetector::Reset(NodeId node, StreamTime now_ms) {
+  phi_.Reset(node, now_ms);
+  std::lock_guard lock(mu_);
+  assert(node < quarantined_.size());
+  quarantined_[node] = false;
+  healthy_streak_[node] = 0;
+}
+
+FailureDetector::Stats FailureDetector::stats() const {
+  Stats s;
+  s.heartbeats = phi_.heartbeats();
+  std::lock_guard lock(mu_);
+  s.quarantines = quarantines_;
+  s.reactivations = reactivations_;
+  return s;
+}
+
+}  // namespace wukongs

@@ -1,0 +1,118 @@
+// Phi-accrual failure detection (Hayashibara et al., SRDS'04), as deployed
+// in Cassandra/Akka: instead of a binary alive/dead timeout, the detector
+// outputs a continuous suspicion level phi derived from the observed
+// heartbeat inter-arrival distribution. phi = 1 means "if the node were
+// healthy, a gap this long would happen one time in 10"; phi = 3 one time in
+// 1000. Quarantine triggers when phi crosses a threshold, which adapts
+// automatically to each node's own heartbeat cadence — a node that always
+// beats every 100 ms is suspected after a much shorter silence than one that
+// beats erratically.
+//
+// FailureDetector layers a hysteresis state machine on top: a quarantined
+// node is only reactivated after (a) phi has dropped back below a (lower)
+// reactivation threshold for several consecutive evaluations AND (b) the
+// caller confirms it has caught up (its Local_VTS covers the survivors'
+// Stable_VTS and its injection backlog is drained). The dual thresholds plus
+// the streak requirement prevent flapping; the catch-up gate prevents a
+// reactivation from regressing Stable_VTS.
+//
+// Time is the caller's logical stream time (deterministic, replayable); the
+// detector never reads a wall clock.
+
+#ifndef SRC_OVERLOAD_PHI_ACCRUAL_H_
+#define SRC_OVERLOAD_PHI_ACCRUAL_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/rdf/triple.h"
+
+namespace wukongs {
+
+struct PhiAccrualConfig {
+  // Assumed inter-arrival before any history exists (the first gap is judged
+  // against this, so detection works from the first missed beat).
+  double expected_interval_ms = 100.0;
+  size_t history = 16;               // Sliding window of inter-arrival times.
+  double min_mean_interval_ms = 1.0; // Floor against a burst collapsing the mean.
+  double quarantine_phi = 3.0;       // Suspicion level that quarantines.
+  double reactivate_phi = 0.5;       // Must drop below this to start recovery.
+  size_t hysteresis_beats = 3;       // Consecutive healthy evaluations required.
+};
+
+// Pure phi estimator: per-node heartbeat history -> suspicion level.
+// Thread-safe; time only moves through the caller's now_ms arguments.
+class PhiAccrualDetector {
+ public:
+  PhiAccrualDetector(uint32_t node_count, const PhiAccrualConfig& config);
+
+  void Heartbeat(NodeId node, StreamTime now_ms);
+  // Suspicion level now. Uses the exponential inter-arrival model:
+  // phi = (now - last_arrival) / (mean_interval * ln 10).
+  double Phi(NodeId node, StreamTime now_ms) const;
+  // Forget a node's history (post-crash restore: old silence is not evidence).
+  void Reset(NodeId node, StreamTime now_ms);
+
+  uint64_t heartbeats() const;
+
+ private:
+  struct NodeHistory {
+    bool seen = false;
+    StreamTime last_ms = 0;
+    std::deque<double> intervals;
+  };
+
+  double MeanIntervalLocked(const NodeHistory& h) const;
+
+  const PhiAccrualConfig config_;
+  mutable std::mutex mu_;
+  std::vector<NodeHistory> nodes_;
+  uint64_t heartbeats_ = 0;
+};
+
+enum class HealthAction {
+  kNone = 0,
+  kQuarantine,  // Caller should exclude the node (Coordinator::SetNodeActive).
+  kReactivate,  // Caller should re-admit it.
+};
+
+// Phi detector + quarantine/reactivation state machine with hysteresis.
+// The detector only *decides*; the caller applies the action, so this layer
+// stays free of cluster dependencies.
+class FailureDetector {
+ public:
+  FailureDetector(uint32_t node_count, const PhiAccrualConfig& config);
+
+  void Heartbeat(NodeId node, StreamTime now_ms);
+  double Phi(NodeId node, StreamTime now_ms) const;
+
+  // One evaluation step for `node` at `now_ms`. `caught_up` gates
+  // reactivation (Local_VTS covers Stable_VTS and no pending backlog).
+  HealthAction Evaluate(NodeId node, StreamTime now_ms, bool caught_up);
+
+  bool quarantined(NodeId node) const;
+  void Reset(NodeId node, StreamTime now_ms);
+
+  struct Stats {
+    uint64_t heartbeats = 0;
+    uint64_t quarantines = 0;
+    uint64_t reactivations = 0;
+  };
+  Stats stats() const;
+
+ private:
+  const PhiAccrualConfig config_;
+  PhiAccrualDetector phi_;
+  mutable std::mutex mu_;
+  std::vector<bool> quarantined_;
+  std::vector<size_t> healthy_streak_;
+  uint64_t quarantines_ = 0;
+  uint64_t reactivations_ = 0;
+};
+
+}  // namespace wukongs
+
+#endif  // SRC_OVERLOAD_PHI_ACCRUAL_H_

@@ -20,9 +20,11 @@ Fabric::Fabric(uint32_t node_count, NetworkModel model, Transport transport)
     : node_count_(node_count),
       model_(model),
       transport_(transport),
-      node_up_(new std::atomic<bool>[node_count]) {
+      node_up_(new std::atomic<bool>[node_count]),
+      node_serving_(new std::atomic<bool>[node_count]) {
   for (uint32_t n = 0; n < node_count_; ++n) {
     node_up_[n].store(true, std::memory_order_relaxed);
+    node_serving_[n].store(true, std::memory_order_relaxed);
   }
 }
 
@@ -44,6 +46,26 @@ uint32_t Fabric::up_count() const {
     }
   }
   return up;
+}
+
+void Fabric::SetNodeServing(NodeId node, bool serving) {
+  if (node < node_count_) {
+    node_serving_[node].store(serving, std::memory_order_relaxed);
+  }
+}
+
+bool Fabric::node_serving(NodeId node) const {
+  return node_up(node) && node_serving_[node].load(std::memory_order_relaxed);
+}
+
+uint32_t Fabric::serving_count() const {
+  uint32_t serving = 0;
+  for (uint32_t n = 0; n < node_count_; ++n) {
+    if (node_serving(static_cast<NodeId>(n))) {
+      ++serving;
+    }
+  }
+  return serving;
 }
 
 void Fabric::ChargeRead(size_t bytes) {
@@ -83,6 +105,26 @@ void Fabric::Message(NodeId from, NodeId to, size_t bytes) {
     return;
   }
   ChargeMessage(bytes);
+}
+
+void Fabric::Heartbeat(NodeId from, NodeId to) {
+  if (!node_up(from) || !node_up(to)) {
+    return;  // A dead endpoint simply misses the beat.
+  }
+  heartbeats_.fetch_add(1, std::memory_order_relaxed);
+  if (from == to) {
+    return;
+  }
+  // A beat is a minimal two-sided send; charged so health traffic is not
+  // magically free, but counted apart from data messages.
+  constexpr size_t kBeatBytes = 16;
+  if (transport_ == Transport::kRdma) {
+    SimCost::Add(model_.rdma_msg_base_ns +
+                 model_.rdma_msg_per_byte_ns * static_cast<double>(kBeatBytes));
+  } else {
+    SimCost::Add(model_.tcp_msg_base_ns +
+                 model_.tcp_msg_per_byte_ns * static_cast<double>(kBeatBytes));
+  }
 }
 
 Status Fabric::TryOneSidedRead(NodeId from, NodeId to, size_t bytes) {
@@ -138,6 +180,7 @@ FabricStats Fabric::stats() const {
   s.cross_system_tuples = cross_system_tuples_.load(std::memory_order_relaxed);
   s.failed_reads = failed_reads_.load(std::memory_order_relaxed);
   s.failed_messages = failed_messages_.load(std::memory_order_relaxed);
+  s.heartbeats = heartbeats_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -149,6 +192,7 @@ void Fabric::ResetStats() {
   cross_system_tuples_.store(0, std::memory_order_relaxed);
   failed_reads_.store(0, std::memory_order_relaxed);
   failed_messages_.store(0, std::memory_order_relaxed);
+  heartbeats_.store(0, std::memory_order_relaxed);
 }
 
 std::string Fabric::DebugString() const {

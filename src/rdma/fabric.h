@@ -46,6 +46,7 @@ struct FabricStats {
   uint64_t cross_system_tuples = 0;
   uint64_t failed_reads = 0;     // Injected one-sided read failures.
   uint64_t failed_messages = 0;  // Injected message failures + down targets.
+  uint64_t heartbeats = 0;       // Failure-detector beats carried.
 };
 
 class Fabric {
@@ -69,6 +70,15 @@ class Fabric {
   uint32_t up_count() const;
   bool AnyNodeDown() const { return up_count() < node_count_; }
 
+  // Serving state (overload quarantine): a sick-but-alive node is marked
+  // non-serving — queries skip its shards (partial results, like a crash)
+  // while injection keeps feeding it so it can catch up and rejoin. A down
+  // node is never serving.
+  void SetNodeServing(NodeId node, bool serving);
+  bool node_serving(NodeId node) const;
+  uint32_t serving_count() const;
+  bool AnyNodeNotServing() const { return serving_count() < node_count_; }
+
   // One-sided read of `bytes` from `to` issued by `from`. Local access is
   // free. Under TCP there are no one-sided verbs, so the cost is a full
   // message round trip.
@@ -76,6 +86,11 @@ class Fabric {
 
   // Two-sided message (request or response) of `bytes` from `from` to `to`.
   void Message(NodeId from, NodeId to, size_t bytes);
+
+  // Failure-detector heartbeat: a tiny message counted separately so health
+  // traffic does not distort the benches' message statistics. Dropped (not
+  // an error) when either endpoint is down.
+  void Heartbeat(NodeId from, NodeId to);
 
   // Fallible variants: charge the attempt's wire time, then fail with
   // kUnavailable if either endpoint is down or the injector lost the verb.
@@ -103,6 +118,7 @@ class Fabric {
   Transport transport_;
   FaultInjector* injector_ = nullptr;
   std::unique_ptr<std::atomic<bool>[]> node_up_;
+  std::unique_ptr<std::atomic<bool>[]> node_serving_;
 
   std::atomic<uint64_t> one_sided_reads_{0};
   std::atomic<uint64_t> one_sided_read_bytes_{0};
@@ -111,6 +127,7 @@ class Fabric {
   std::atomic<uint64_t> cross_system_tuples_{0};
   std::atomic<uint64_t> failed_reads_{0};
   std::atomic<uint64_t> failed_messages_{0};
+  std::atomic<uint64_t> heartbeats_{0};
 };
 
 }  // namespace wukongs

@@ -5,6 +5,38 @@
 
 namespace wukongs {
 
+size_t CountTimingTuples(const StreamBatch& batch) {
+  size_t n = 0;
+  for (const StreamTuple& t : batch.tuples) {
+    if (t.kind == TupleKind::kTiming) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+size_t ShedTimingSuffix(StreamBatch* batch, size_t max_keep_timing) {
+  size_t kept_timing = 0;
+  size_t shed = 0;
+  size_t write = 0;
+  for (size_t read = 0; read < batch->tuples.size(); ++read) {
+    StreamTuple& t = batch->tuples[read];
+    if (t.kind == TupleKind::kTiming) {
+      if (kept_timing >= max_keep_timing) {
+        ++shed;  // Timing suffix: everything past the keep budget drops.
+        continue;
+      }
+      ++kept_timing;
+    }
+    if (write != read) {
+      batch->tuples[write] = std::move(t);
+    }
+    ++write;
+  }
+  batch->tuples.resize(write);
+  return shed;
+}
+
 StreamAdaptor::StreamAdaptor(StreamId stream, uint64_t interval_ms,
                              std::unordered_set<PredicateId> timing_predicates,
                              std::unordered_set<PredicateId> relevant_predicates)

@@ -20,6 +20,16 @@
 
 namespace wukongs {
 
+// Door-side load shedding (overload control): truncates the batch's *timing*
+// subsequence to its first `max_keep_timing` tuples, dropping the rest — a
+// suffix, never a middle, so the surviving batch is still a timestamp-ordered
+// prefix. Timeless tuples are never shed (the persistent store must stay
+// complete). Returns the number of timing tuples dropped.
+size_t ShedTimingSuffix(StreamBatch* batch, size_t max_keep_timing);
+
+// Timing tuples in the batch (the shed policy's denominator).
+size_t CountTimingTuples(const StreamBatch& batch);
+
 class StreamAdaptor {
  public:
   // `timing_predicates`: predicates whose tuples are timing data (transient

@@ -6,10 +6,11 @@
 namespace wukongs {
 
 Coordinator::Coordinator(uint32_t node_count, size_t reserved_snapshots,
-                         uint64_t batches_per_sn)
+                         uint64_t batches_per_sn, size_t max_plan_extensions)
     : node_count_(node_count),
       reserved_snapshots_(std::max<size_t>(reserved_snapshots, 2)),
       batches_per_sn_(std::max<uint64_t>(batches_per_sn, 1)),
+      max_plan_extensions_(max_plan_extensions),
       local_vts_(node_count),
       active_(node_count, true) {}
 
@@ -152,6 +153,35 @@ SnapshotNum Coordinator::PlanSnFor(StreamId stream, BatchSeq seq) {
     ExtendPlanLocked();
     ++plan_extensions_;
   }
+}
+
+bool Coordinator::CanPlanSnFor(StreamId stream, BatchSeq seq) const {
+  std::lock_guard lock(mu_);
+  if (max_plan_extensions_ == 0) {
+    return true;
+  }
+  for (const Plan& plan : plans_) {
+    if (stream < plan.target.size() && seq <= plan.target[stream]) {
+      return true;  // Already announced.
+    }
+  }
+  // How many extensions PlanSnFor would need, and where that would put the
+  // frontier relative to Stable_SN.
+  SnapshotNum frontier = 0;
+  BatchSeq covered_through = kNoBatch;
+  if (!plans_.empty()) {
+    frontier = plans_.back().sn;
+    if (stream < plans_.back().target.size()) {
+      covered_through = plans_.back().target[stream];
+    }
+  }
+  uint64_t have = covered_through == kNoBatch ? 0 : covered_through + 1;
+  uint64_t need = seq + 1;
+  uint64_t extensions = (need - have + batches_per_sn_ - 1) / batches_per_sn_;
+  SnapshotNum stable = local_vts_.empty()
+                           ? 0
+                           : MaxSnCoveredLocked(StableVtsLocked());
+  return frontier + extensions <= stable + max_plan_extensions_;
 }
 
 SnapshotNum Coordinator::CollapseFloor() const {

@@ -27,8 +27,11 @@ class Coordinator {
  public:
   // `batches_per_sn`: how many batches of every stream one SN covers — the
   // plan "interval" trading staleness for injection flexibility (§4.3).
+  // `max_plan_extensions`: how far the announced plan frontier may run ahead
+  // of Stable_SN before CanPlanSnFor tells the injector to stall (0 =
+  // unbounded, the pre-overload behavior).
   Coordinator(uint32_t node_count, size_t reserved_snapshots = 2,
-              uint64_t batches_per_sn = 1);
+              uint64_t batches_per_sn = 1, size_t max_plan_extensions = 0);
 
   // Declares a stream; all VTS grow to cover it. Adding streams mid-run only
   // affects future plans (the paper's "dynamic streams" flexibility).
@@ -63,6 +66,13 @@ class Coordinator {
   // observable via plan_extensions()).
   SnapshotNum PlanSnFor(StreamId stream, BatchSeq seq);
 
+  // Credit gate for the injector: false when assigning an SN to `seq` would
+  // push the plan frontier more than `max_plan_extensions` SNs past
+  // Stable_SN. The caller parks the batch in its pending queue instead of
+  // calling PlanSnFor (which would extend unboundedly). Always true when the
+  // cap is 0.
+  bool CanPlanSnFor(StreamId stream, BatchSeq seq) const;
+
   // Snapshots <= floor can fold into base prefixes: Stable_SN minus the
   // reserved window. Callers forward this to GStore::CollapseBelow.
   SnapshotNum CollapseFloor() const;
@@ -85,6 +95,7 @@ class Coordinator {
   const uint32_t node_count_;
   const size_t reserved_snapshots_;
   const uint64_t batches_per_sn_;
+  const size_t max_plan_extensions_;
 
   mutable std::mutex mu_;
   size_t stream_count_ = 0;

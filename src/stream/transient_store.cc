@@ -25,14 +25,13 @@ bool TransientStore::AppendSlice(BatchSeq seq, const StreamTupleVec& timing_tupl
   return AppendSlice(seq, edges);
 }
 
-bool TransientStore::AppendSlice(BatchSeq seq,
-                                 const std::vector<std::pair<Key, VertexId>>& edges) {
-  std::lock_guard lock(mu_);
-  assert(slices_.empty() || slices_.back().seq < seq);
-
+TransientStore::Slice TransientStore::BuildSlice(
+    BatchSeq seq, const std::vector<std::pair<Key, VertexId>>& edges,
+    size_t count) {
   Slice slice;
   slice.seq = seq;
-  for (const auto& [key, value] : edges) {
+  for (size_t i = 0; i < count; ++i) {
+    const auto& [key, value] = edges[i];
     auto [it, created] = slice.edges.try_emplace(key);
     it->second.push_back(value);
     if (created && !key.is_index()) {
@@ -41,8 +40,18 @@ bool TransientStore::AppendSlice(BatchSeq seq,
     }
   }
   for (const auto& [key, value_list] : slice.edges) {
+    (void)key;
     slice.bytes += sizeof(Key) + 48 + value_list.capacity() * sizeof(VertexId);
   }
+  return slice;
+}
+
+bool TransientStore::AppendSlice(BatchSeq seq,
+                                 const std::vector<std::pair<Key, VertexId>>& edges) {
+  std::lock_guard lock(mu_);
+  assert(slices_.empty() || slices_.back().seq < seq);
+
+  Slice slice = BuildSlice(seq, edges, edges.size());
 
   if (memory_budget_bytes_ != 0 &&
       total_bytes_ + slice.bytes > memory_budget_bytes_) {
@@ -56,6 +65,38 @@ bool TransientStore::AppendSlice(BatchSeq seq,
   total_bytes_ += slice.bytes;
   slices_.push_back(std::move(slice));
   return true;
+}
+
+size_t TransientStore::AppendSlicePrefix(
+    BatchSeq seq, const std::vector<std::pair<Key, VertexId>>& edges) {
+  std::lock_guard lock(mu_);
+  assert(slices_.empty() || slices_.back().seq < seq);
+  EvictBeforeLocked(gc_horizon_);
+
+  size_t budget_left =
+      memory_budget_bytes_ == 0
+          ? SIZE_MAX
+          : (memory_budget_bytes_ > total_bytes_ ? memory_budget_bytes_ - total_bytes_
+                                                 : 0);
+  // Slice bytes grow monotonically with the edge count, so binary-search the
+  // largest fitting prefix (rebuilding the candidate slice per probe keeps
+  // the byte accounting identical to AppendSlice's).
+  size_t lo = 0;
+  size_t hi = edges.size();
+  while (lo < hi) {
+    size_t mid = lo + (hi - lo + 1) / 2;
+    if (BuildSlice(seq, edges, mid).bytes <= budget_left) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  // lo == 0 still appends an empty slice, keeping the batch sequence dense
+  // for FindSlice.
+  Slice slice = BuildSlice(seq, edges, lo);
+  total_bytes_ += slice.bytes;
+  slices_.push_back(std::move(slice));
+  return lo;
 }
 
 const TransientStore::Slice* TransientStore::FindSlice(BatchSeq seq) const {

@@ -37,6 +37,14 @@ class TransientStore {
   // Convenience: single-node form indexing both directions of each tuple.
   bool AppendSlice(BatchSeq seq, const StreamTupleVec& timing_tuples);
 
+  // Load-shedding append: stores the largest *prefix* of `edges` that fits
+  // the remaining budget (after forced GC) and returns how many edges were
+  // kept. Shedding only ever drops a batch suffix, so surviving data stays a
+  // time-ordered prefix and Stable_VTS semantics are preserved; the slice is
+  // created even when nothing fits (an empty slice keeps batches dense).
+  size_t AppendSlicePrefix(BatchSeq seq,
+                           const std::vector<std::pair<Key, VertexId>>& edges);
+
   // Appends the neighbors of `key` within batch `seq` to `out`.
   void GetNeighbors(BatchSeq seq, Key key, std::vector<VertexId>* out) const;
   size_t EdgeCount(BatchSeq seq, Key key) const;
@@ -62,6 +70,9 @@ class TransientStore {
 
   const Slice* FindSlice(BatchSeq seq) const;
   size_t EvictBeforeLocked(BatchSeq min_live_seq);
+  static Slice BuildSlice(BatchSeq seq,
+                          const std::vector<std::pair<Key, VertexId>>& edges,
+                          size_t count);
 
   const size_t memory_budget_bytes_;
   mutable std::mutex mu_;

@@ -1,0 +1,607 @@
+// Overload-protection properties (robustness tentpole, PR 2).
+//
+// The invariants under test:
+//   * shedding only ever drops batch suffixes (door: timing-tuple suffix;
+//     injector: edge suffix) and never touches timeless data;
+//   * Stable_VTS stays monotone under arbitrary overload + shed schedules —
+//     backpressure and shedding change *how much* data a window sees, never
+//     the consistency machinery underneath;
+//   * with shedding disabled (and memory unbounded) the overload machinery —
+//     credits, pending queues, slow-node backlogs, phi-accrual quarantine and
+//     reactivation — is result-invisible: window digests are byte-identical
+//     to a fault-free golden run;
+//   * the phi-accrual detector is deterministic, quarantines a silent node,
+//     and only reactivates after hysteresis + catch-up.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <deque>
+#include <map>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/cluster/cluster.h"
+#include "src/cluster/maintenance_daemon.h"
+#include "src/cluster/worker_pool.h"
+#include "src/fault/fault_injector.h"
+#include "src/fault/recovery_manager.h"
+#include "src/overload/admission_controller.h"
+#include "src/overload/load_shedder.h"
+#include "src/overload/phi_accrual.h"
+#include "src/stream/adaptor.h"
+#include "src/stream/transient_store.h"
+
+namespace wukongs {
+namespace {
+
+constexpr StreamTime kStepMs = 100;
+
+// --- Suffix-only shedding at the door. ---
+
+StreamBatch RandomBatch(std::mt19937* rng, size_t tuples) {
+  StreamBatch batch;
+  batch.stream = 0;
+  batch.seq = 7;
+  std::uniform_int_distribution<int> coin(0, 1);
+  std::uniform_int_distribution<VertexId> vid(1, 50);
+  for (size_t i = 0; i < tuples; ++i) {
+    StreamTuple t;
+    t.triple = Triple{vid(*rng), 1, vid(*rng)};
+    t.timestamp = 700 + static_cast<StreamTime>(i);  // Non-decreasing.
+    t.kind = coin(*rng) == 0 ? TupleKind::kTiming : TupleKind::kTimeless;
+    batch.tuples.push_back(t);
+  }
+  return batch;
+}
+
+TEST(ShedTimingSuffixTest, DropsOnlyTimingSuffixAndPreservesOrder) {
+  for (uint32_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    std::mt19937 rng(seed);
+    std::uniform_int_distribution<size_t> size(0, 40);
+    for (int round = 0; round < 50; ++round) {
+      StreamBatch original = RandomBatch(&rng, size(rng));
+      const size_t timing_before = CountTimingTuples(original);
+      std::uniform_int_distribution<size_t> keep_dist(0, timing_before + 2);
+      const size_t max_keep = keep_dist(rng);
+
+      StreamBatch batch = original;
+      const size_t shed = ShedTimingSuffix(&batch, max_keep);
+
+      ASSERT_EQ(shed, timing_before - std::min(timing_before, max_keep));
+      ASSERT_EQ(CountTimingTuples(batch), std::min(timing_before, max_keep));
+
+      // The survivor must be exactly the original with the timing
+      // subsequence truncated after its first `max_keep` elements: walk the
+      // original, keeping all timeless tuples and the first-k timing ones.
+      StreamTupleVec expected;
+      size_t timing_seen = 0;
+      for (const StreamTuple& t : original.tuples) {
+        if (t.kind == TupleKind::kTiming) {
+          if (timing_seen++ >= max_keep) {
+            continue;
+          }
+        }
+        expected.push_back(t);
+      }
+      ASSERT_EQ(batch.tuples.size(), expected.size());
+      for (size_t i = 0; i < expected.size(); ++i) {
+        EXPECT_TRUE(batch.tuples[i] == expected[i]) << "index " << i;
+      }
+    }
+  }
+}
+
+// --- Suffix-only shedding at the injector (transient memory budget). ---
+
+TEST(TransientStorePrefixTest, KeepsLargestFittingPrefixAndStaysDense) {
+  for (uint32_t seed : {11u, 22u, 33u}) {
+    std::mt19937 rng(seed);
+    TransientStore tight(/*memory_budget_bytes=*/600);
+    std::uniform_int_distribution<VertexId> vid(1, 30);
+    std::uniform_int_distribution<size_t> count(0, 25);
+    for (BatchSeq seq = 0; seq < 12; ++seq) {
+      std::vector<std::pair<Key, VertexId>> edges;
+      const size_t n = count(rng);
+      for (size_t i = 0; i < n; ++i) {
+        edges.emplace_back(Key(vid(rng), 1, Dir::kOut), vid(rng));
+      }
+      const size_t kept = tight.AppendSlicePrefix(seq, edges);
+      ASSERT_LE(kept, edges.size());
+      // Batches stay dense: the slice exists even when nothing fit.
+      ASSERT_EQ(tight.NewestSeq(), seq);
+
+      // Exactly the first `kept` edges are readable (a prefix, no middle
+      // gaps): per-key edge counts must match the kept prefix and nothing
+      // from the shed suffix may appear.
+      std::unordered_map<Key, size_t, KeyHash> expected;
+      for (size_t i = 0; i < kept; ++i) {
+        ++expected[edges[i].first];
+      }
+      std::unordered_map<Key, size_t, KeyHash> distinct;
+      for (const auto& [key, value] : edges) {
+        distinct[key] = 0;
+      }
+      for (const auto& [key, unused] : distinct) {
+        auto it = expected.find(key);
+        ASSERT_EQ(tight.EdgeCount(seq, key),
+                  it == expected.end() ? 0u : it->second);
+      }
+    }
+  }
+}
+
+// --- Phi-accrual detector. ---
+
+TEST(PhiAccrualTest, DeterministicAndGrowsWithSilence) {
+  PhiAccrualConfig config;
+  PhiAccrualDetector a(2, config);
+  PhiAccrualDetector b(2, config);
+  for (StreamTime t = 100; t <= 1000; t += 100) {
+    a.Heartbeat(0, t);
+    b.Heartbeat(0, t);
+  }
+  double prev = 0.0;
+  for (StreamTime t = 1100; t <= 2500; t += 100) {
+    const double phi = a.Phi(0, t);
+    EXPECT_DOUBLE_EQ(phi, b.Phi(0, t));  // Same inputs, same suspicion.
+    EXPECT_GE(phi, prev);                // Silence only raises suspicion.
+    prev = phi;
+  }
+  // A healthy cadence keeps phi low at one-interval gaps.
+  EXPECT_LT(a.Phi(0, 1100), 1.0);
+  EXPECT_GT(a.Phi(0, 2500), 3.0);
+}
+
+TEST(FailureDetectorTest, QuarantineThenReactivateRequiresHysteresisAndCatchUp) {
+  PhiAccrualConfig config;
+  config.hysteresis_beats = 3;
+  FailureDetector detector(2, config);
+  for (StreamTime t = 100; t <= 1000; t += 100) {
+    detector.Heartbeat(1, t);
+    EXPECT_EQ(detector.Evaluate(1, t, true), HealthAction::kNone);
+  }
+  // Silence: suspicion accrues until the quarantine threshold.
+  StreamTime t = 1000;
+  HealthAction action = HealthAction::kNone;
+  while (action == HealthAction::kNone && t < 10000) {
+    t += kStepMs;
+    action = detector.Evaluate(1, t, true);
+  }
+  ASSERT_EQ(action, HealthAction::kQuarantine);
+  EXPECT_TRUE(detector.quarantined(1));
+  EXPECT_EQ(detector.stats().quarantines, 1u);
+
+  // Heartbeats resume but the node lags: the catch-up gate alone blocks
+  // reactivation no matter how healthy phi looks — a lagging replica must
+  // not regress Stable_VTS.
+  for (int beat = 0; beat < 10; ++beat) {
+    t += kStepMs;
+    detector.Heartbeat(1, t);
+    EXPECT_EQ(detector.Evaluate(1, t, /*caught_up=*/false), HealthAction::kNone)
+        << "reactivated while behind";
+  }
+  EXPECT_TRUE(detector.quarantined(1));
+
+  // The phi streak is already satisfied, so the first caught-up evaluation
+  // lets it back in.
+  t += kStepMs;
+  detector.Heartbeat(1, t);
+  EXPECT_EQ(detector.Evaluate(1, t, /*caught_up=*/true),
+            HealthAction::kReactivate);
+  EXPECT_FALSE(detector.quarantined(1));
+  EXPECT_EQ(detector.stats().reactivations, 1u);
+}
+
+TEST(FailureDetectorTest, ReactivationWaitsForTheFullHealthyStreak) {
+  PhiAccrualConfig config;
+  config.hysteresis_beats = 3;
+  FailureDetector detector(1, config);
+  for (StreamTime t = 100; t <= 800; t += 100) {
+    detector.Heartbeat(0, t);
+  }
+  // Silence until quarantine; these evaluations keep the healthy streak at
+  // zero, so recovery below starts from scratch.
+  StreamTime t = 800;
+  HealthAction action = HealthAction::kNone;
+  while (action == HealthAction::kNone && t < 10000) {
+    t += kStepMs;
+    action = detector.Evaluate(0, t, true);
+  }
+  ASSERT_EQ(action, HealthAction::kQuarantine);
+
+  // Caught up from the first beat: reactivation still waits for exactly
+  // hysteresis_beats consecutive healthy evaluations (flap damping).
+  int beats = 0;
+  action = HealthAction::kNone;
+  while (action == HealthAction::kNone && beats < 20) {
+    t += kStepMs;
+    detector.Heartbeat(0, t);
+    action = detector.Evaluate(0, t, /*caught_up=*/true);
+    ++beats;
+  }
+  EXPECT_EQ(action, HealthAction::kReactivate);
+  EXPECT_EQ(beats, 3);
+}
+
+// --- Admission control. ---
+
+TEST(AdmissionControllerTest, RejectsOnCapacityAndDeadline) {
+  AdmissionConfig config;
+  config.max_concurrent = 2;
+  config.initial_service_ms = 5.0;
+  AdmissionController admission(config);
+
+  EXPECT_TRUE(admission.Admit().ok());
+  EXPECT_TRUE(admission.Admit().ok());
+  Status full = admission.Admit();
+  EXPECT_EQ(full.code(), StatusCode::kResourceExhausted);
+
+  admission.Complete(10.0);
+  EXPECT_EQ(admission.in_flight(), 1u);
+  // Deadline gate: estimated wait + service clearly exceeds 1 ms.
+  Status late = admission.Admit(/*deadline_ms=*/1.0);
+  EXPECT_EQ(late.code(), StatusCode::kResourceExhausted);
+  // A generous deadline is admitted.
+  EXPECT_TRUE(admission.Admit(/*deadline_ms=*/10000.0).ok());
+
+  const auto stats = admission.stats();
+  EXPECT_EQ(stats.admitted, 3u);
+  EXPECT_EQ(stats.rejected_capacity, 1u);
+  EXPECT_EQ(stats.rejected_deadline, 1u);
+}
+
+TEST(WorkerPoolAdmissionTest, SaturatedPoolRejectsFastWithReadyFuture) {
+  ClusterConfig config;
+  config.nodes = 1;
+  Cluster cluster(config);
+  ASSERT_TRUE(cluster.DefineStream("S").ok());
+  WorkerPool pool(&cluster, 1);
+
+  AdmissionConfig aconfig;
+  aconfig.initial_service_ms = 50.0;  // Pessimistic estimator.
+  AdmissionController admission(aconfig);
+  pool.SetAdmissionController(&admission);
+
+  Query q;  // Empty pattern set: executes trivially when admitted.
+  auto rejected = pool.SubmitOneShot(q, 0, /*deadline_ms=*/0.001);
+  ASSERT_EQ(rejected.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);  // Ready before any worker ran it.
+  auto verdict = rejected.get();
+  ASSERT_FALSE(verdict.ok());
+  EXPECT_EQ(verdict.status().code(), StatusCode::kResourceExhausted);
+
+  auto admitted = pool.SubmitOneShot(q, 0, /*deadline_ms=*/0.0);
+  EXPECT_TRUE(admitted.get().ok());
+  pool.Drain();
+  EXPECT_EQ(admission.stats().rejected_deadline, 1u);
+  EXPECT_EQ(admission.in_flight(), 0u);
+}
+
+// --- Maintenance daemon kick (pressure hook). ---
+
+TEST(MaintenanceDaemonTest, KickRunsAPassWithoutWaitingForThePeriod) {
+  ClusterConfig config;
+  config.nodes = 1;
+  Cluster cluster(config);
+  MaintenanceDaemon daemon(
+      &cluster, [] { return StreamTime{0}; },
+      std::chrono::milliseconds(60000));  // Period far beyond the test.
+  daemon.Kick();
+  for (int i = 0; i < 200 && daemon.passes() < 1; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GE(daemon.passes(), 1u);
+  EXPECT_GE(daemon.kicks(), 1u);
+}
+
+// --- End-to-end backpressure: plan cap + credits stall the feeder; ---
+// --- quarantining the straggler releases the pipeline.               ---
+
+StreamTupleVec TimingBurst(StringServer* strings, StreamTime from, StreamTime to,
+                           int per_ms) {
+  StreamTupleVec tuples;
+  for (StreamTime t = from; t < to; t += 10) {
+    for (int i = 0; i < per_ms; ++i) {
+      tuples.push_back(StreamTuple{
+          {strings->InternVertex("v" + std::to_string((t + i) % 40)),
+           strings->InternPredicate("ga"),
+           strings->InternVertex("loc" + std::to_string(i % 5))},
+          t,
+          TupleKind::kTiming});
+    }
+  }
+  return tuples;
+}
+
+TEST(OverloadBackpressureTest, StalledStragglerBouncesFeederUntilQuarantined) {
+  FaultSchedule schedule;
+  // Node 1 never recovers on its own: the only way out is quarantine.
+  schedule.slow_nodes = {SlowNodeEvent{1, 200, 1u << 30, 1000.0}};
+  FaultInjector injector(schedule);
+
+  ClusterConfig config;
+  config.nodes = 2;
+  config.fault_injector = &injector;
+  config.overload.enabled = true;
+  config.overload.credits_per_stream = 3;
+  config.overload.pending_queue_capacity = 2;
+  config.overload.max_plan_extensions = 4;
+  Cluster cluster(config);
+  StreamId stream = *cluster.DefineStream("S", {"ga"});
+
+  bool bounced = false;
+  StreamTime t = kStepMs;
+  for (; t <= 5000; t += kStepMs) {
+    Status s = cluster.FeedStream(
+        stream, TimingBurst(cluster.strings(), t - kStepMs, t, 2));
+    if (!s.ok()) {
+      ASSERT_EQ(s.code(), StatusCode::kResourceExhausted);
+      bounced = true;
+      break;
+    }
+    cluster.AdvanceStreams(t);
+  }
+  ASSERT_TRUE(bounced) << "a stalled node must backpressure the feeder";
+  const OverloadStats stalled = cluster.overload_stats();
+  EXPECT_GT(stalled.feed_rejections, 0u);
+  EXPECT_GT(stalled.credit_stalls + stalled.plan_stalls, 0u);
+  EXPECT_GT(stalled.backlog_deferred, 0u);
+  // The plan frontier stayed bounded instead of growing with the backlog.
+  EXPECT_LE(cluster.coordinator()->plan_extensions(),
+            config.overload.max_plan_extensions + 1);
+  BatchSeq stable_before = cluster.coordinator()->StableVts().Get(stream);
+
+  // Operator (or the failure detector) quarantines the straggler: the
+  // stable frontier advances over the survivor and the pipeline un-stalls.
+  cluster.coordinator()->SetNodeActive(1, false);
+  cluster.fabric()->SetNodeServing(1, false);
+  cluster.TickHealth(t);
+  ASSERT_TRUE(cluster
+                  .FeedStream(stream,
+                              TimingBurst(cluster.strings(), t - kStepMs, t, 2))
+                  .ok())
+      << "quarantine must release the backpressure";
+  cluster.AdvanceStreams(t);
+  BatchSeq stable_after = cluster.coordinator()->StableVts().Get(stream);
+  EXPECT_TRUE(stable_before == kNoBatch || stable_after > stable_before);
+  EXPECT_EQ(cluster.PendingBatches(stream), 0u);
+}
+
+// --- System property: Stable_VTS monotone under random overload. ---
+
+const char* kWindowQuery = R"(
+    REGISTER QUERY QWin AS
+    SELECT ?X ?Y
+    FROM STREAM <S> [RANGE 500ms STEP 100ms]
+    WHERE { GRAPH <S> { ?X po ?Y } })";
+
+StreamTupleVec MixedInterval(StringServer* strings, StreamTime from,
+                             StreamTime to, int timing_per_10ms) {
+  StreamTupleVec tuples;
+  for (StreamTime t = from; t < to; t += 10) {
+    tuples.push_back(StreamTuple{
+        {strings->InternVertex("user" + std::to_string((t / 10) % 20)),
+         strings->InternPredicate("po"),
+         strings->InternVertex("post" + std::to_string(t / 10))},
+        t,
+        TupleKind::kTimeless});
+    for (int i = 0; i < timing_per_10ms; ++i) {
+      tuples.push_back(StreamTuple{
+          {strings->InternVertex("user" + std::to_string((t / 10 + i) % 20)),
+           strings->InternPredicate("ga"),
+           strings->InternVertex("loc" + std::to_string(i % 7))},
+          t,
+          TupleKind::kTiming});
+    }
+  }
+  return tuples;
+}
+
+TEST(OverloadSystemTest, StableVtsMonotoneUnderRandomOverloadAndShedding) {
+  for (uint32_t seed : {17u, 18u, 19u}) {
+    std::mt19937 rng(seed);
+    FaultSchedule schedule;
+    schedule.seed = seed;
+    std::uniform_int_distribution<StreamTime> start(300, 1200);
+    StreamTime from = start(rng);
+    schedule.slow_nodes = {SlowNodeEvent{2, from, from + 800, 2000.0}};
+    FaultInjector injector(schedule);
+
+    ClusterConfig config;
+    config.nodes = 3;
+    config.fault_injector = &injector;
+    config.transient_budget_bytes = 4096;  // Tight: forces injector pressure.
+    config.overload.enabled = true;
+    config.overload.credits_per_stream = 6;
+    config.overload.pending_queue_capacity = 4;
+    config.overload.max_plan_extensions = 8;
+    config.overload.shed_timing = true;
+    config.overload.shed.start_pressure = 0.2;
+    config.overload.failure_detector = true;
+    Cluster cluster(config);
+    StreamId stream = *cluster.DefineStream("S", {"ga"});
+    auto handle = cluster.RegisterContinuous(kWindowQuery, 0);
+    ASSERT_TRUE(handle.ok());
+
+    std::deque<StreamTupleVec> carry;
+    VectorTimestamp prev = cluster.coordinator()->StableVts();
+    std::uniform_int_distribution<int> rate(1, 12);  // Varying overload.
+    size_t executed = 0;
+    for (StreamTime t = kStepMs; t <= 4000; t += kStepMs) {
+      carry.push_back(MixedInterval(cluster.strings(), t - kStepMs, t, rate(rng)));
+      while (!carry.empty()) {
+        Status s = cluster.FeedStream(stream, carry.front());
+        if (!s.ok()) {
+          ASSERT_EQ(s.code(), StatusCode::kResourceExhausted);
+          break;
+        }
+        carry.pop_front();
+      }
+      if (carry.empty()) {
+        cluster.AdvanceStreams(t);
+      } else {
+        // Feeder stalled: the adaptor clock holds, but wall-clock health
+        // (heartbeats, quarantine, backlog drain) keeps moving.
+        cluster.TickHealth(t);
+      }
+
+      VectorTimestamp stable = cluster.coordinator()->StableVts();
+      ASSERT_TRUE(stable.Covers(prev))
+          << "Stable_VTS regressed at t=" << t << " (seed " << seed << ")";
+      prev = stable;
+
+      if (cluster.WindowReady(*handle, t)) {
+        auto exec = cluster.ExecuteContinuousAt(*handle, t);
+        ASSERT_TRUE(exec.ok()) << exec.status().ToString();
+        EXPECT_GE(exec->shed_fraction, 0.0);
+        EXPECT_LE(exec->shed_fraction, 1.0);
+        ++executed;
+      }
+    }
+    EXPECT_GT(executed, 0u) << "seed " << seed;
+
+    const OverloadStats stats = cluster.overload_stats();
+    // The schedule genuinely overloaded the cluster...
+    EXPECT_GT(stats.append_pressure_events + stats.door_shed_tuples +
+                  stats.feed_rejections + stats.backlog_deferred,
+              0u)
+        << "seed " << seed;
+    // ...and the detector noticed the straggler, then let it back in.
+    EXPECT_GE(stats.quarantines, 1u) << "seed " << seed;
+    EXPECT_GE(stats.reactivations, 1u) << "seed " << seed;
+    EXPECT_GT(stats.heartbeats, 0u);
+    EXPECT_EQ(stats.backlog_drained, stats.backlog_deferred);
+  }
+}
+
+// --- Result invisibility: shedding off => digests identical to golden. ---
+
+TEST(OverloadSystemTest, DigestsMatchGoldenRunWithSheddingDisabled) {
+  StringServer strings;
+  constexpr StreamTime kEndMs = 4000;
+  constexpr StreamTime kFirstWindowMs = 500;
+
+  // Golden: no faults, no overload machinery.
+  std::map<StreamTime, std::string> golden;
+  {
+    ClusterConfig config;
+    config.nodes = 3;
+    Cluster cluster(config, &strings);
+    StreamId stream = *cluster.DefineStream("S", {"ga"});
+    auto handle = cluster.RegisterContinuous(kWindowQuery, 0);
+    ASSERT_TRUE(handle.ok());
+    for (StreamTime t = kStepMs; t <= kEndMs; t += kStepMs) {
+      ASSERT_TRUE(
+          cluster.FeedStream(stream, MixedInterval(&strings, t - kStepMs, t, 3))
+              .ok());
+      cluster.AdvanceStreams(t);
+      if (t < kFirstWindowMs) {
+        continue;
+      }
+      auto exec = cluster.ExecuteContinuousAt(*handle, t);
+      ASSERT_TRUE(exec.ok());
+      EXPECT_DOUBLE_EQ(exec->shed_fraction, 0.0);
+      golden[t] = ResultDigest(exec->result);
+    }
+  }
+
+  // Same workload through the full overload pipeline: credits, pending
+  // queues, a slow node, quarantine and reactivation — but shedding off and
+  // memory unbounded, so nothing may be lost.
+  FaultSchedule schedule;
+  schedule.slow_nodes = {SlowNodeEvent{2, 500, 2000, 1500.0}};
+  FaultInjector injector(schedule);
+  ClusterConfig config;
+  config.nodes = 3;
+  config.fault_injector = &injector;
+  config.overload.enabled = true;
+  config.overload.credits_per_stream = 8;
+  config.overload.pending_queue_capacity = 6;
+  config.overload.failure_detector = true;
+  Cluster cluster(config, &strings);
+  StreamId stream = *cluster.DefineStream("S", {"ga"});
+  auto handle = cluster.RegisterContinuous(kWindowQuery, 0);
+  ASSERT_TRUE(handle.ok());
+
+  WindowDedup dedup;
+  std::deque<StreamTupleVec> carry;
+  for (StreamTime t = kStepMs; t <= kEndMs; t += kStepMs) {
+    carry.push_back(MixedInterval(&strings, t - kStepMs, t, 3));
+    while (!carry.empty()) {
+      Status s = cluster.FeedStream(stream, carry.front());
+      if (!s.ok()) {
+        ASSERT_EQ(s.code(), StatusCode::kResourceExhausted);
+        break;
+      }
+      carry.pop_front();
+    }
+    if (carry.empty()) {
+      cluster.AdvanceStreams(t);
+    } else {
+      cluster.TickHealth(t);
+    }
+    if (t >= kFirstWindowMs && cluster.WindowReady(*handle, t)) {
+      auto exec = cluster.ExecuteContinuousAt(*handle, t);
+      ASSERT_TRUE(exec.ok());
+      EXPECT_DOUBLE_EQ(exec->shed_fraction, 0.0) << "t=" << t;
+      dedup.Accept(*handle, t, exec->partial, ResultDigest(exec->result));
+    }
+  }
+  const OverloadStats stats = cluster.overload_stats();
+  EXPECT_GE(stats.quarantines, 1u);
+  EXPECT_GE(stats.reactivations, 1u);
+  EXPECT_EQ(stats.door_shed_tuples, 0u);
+  EXPECT_EQ(stats.injector_shed_edges, 0u);
+  EXPECT_EQ(stats.timing_edges_lost, 0u);
+
+  // Every window re-executes complete after reactivation; partial results
+  // taken during the quarantine upgrade via the client-side dedup.
+  for (StreamTime t = kFirstWindowMs; t <= kEndMs; t += kStepMs) {
+    ASSERT_TRUE(cluster.WindowReady(*handle, t));
+    auto exec = cluster.ExecuteContinuousAt(*handle, t);
+    ASSERT_TRUE(exec.ok());
+    EXPECT_FALSE(exec->partial) << "t=" << t;
+    EXPECT_DOUBLE_EQ(exec->shed_fraction, 0.0);
+    dedup.Accept(*handle, t, exec->partial, ResultDigest(exec->result));
+  }
+  ASSERT_EQ(dedup.size(), golden.size());
+  for (const auto& [t, want] : golden) {
+    const std::string* got = dedup.Find(*handle, t);
+    ASSERT_NE(got, nullptr) << "window " << t;
+    EXPECT_EQ(*got, want) << "window " << t;
+    EXPECT_FALSE(dedup.IsPartial(*handle, t));
+  }
+}
+
+// --- Surfaced loss: the pre-overload silent drop now shows up. ---
+
+TEST(OverloadSystemTest, BudgetLossSurfacesAsShedFractionWithSheddingOff) {
+  ClusterConfig config;
+  config.nodes = 1;
+  config.transient_budget_bytes = 512;  // Far below one batch's timing data.
+  Cluster cluster(config);  // Overload machinery entirely off.
+  StreamId stream = *cluster.DefineStream("S", {"ga"});
+  auto handle = cluster.RegisterContinuous(kWindowQuery, 0);
+  ASSERT_TRUE(handle.ok());
+  for (StreamTime t = kStepMs; t <= 1000; t += kStepMs) {
+    ASSERT_TRUE(cluster
+                    .FeedStream(stream,
+                                MixedInterval(cluster.strings(), t - kStepMs, t, 10))
+                    .ok());
+    cluster.AdvanceStreams(t);
+  }
+  const OverloadStats stats = cluster.overload_stats();
+  EXPECT_GT(stats.timing_edges_lost, 0u) << "budget loss went unrecorded";
+  EXPECT_GT(stats.append_pressure_events, 0u);
+  auto exec = cluster.ExecuteContinuousAt(*handle, 1000);
+  ASSERT_TRUE(exec.ok());
+  EXPECT_GT(exec->shed_fraction, 0.0) << "loss must be visible on the result";
+  EXPECT_LE(exec->shed_fraction, 1.0);
+}
+
+}  // namespace
+}  // namespace wukongs
