@@ -4,7 +4,9 @@
 #include <cassert>
 #include <cmath>
 
+#include "src/common/test_hooks.h"
 #include "src/fault/upstream_buffer.h"
+#include "src/testkit/schedule_controller.h"
 
 namespace wukongs {
 namespace {
@@ -152,6 +154,13 @@ void Cluster::AdvanceStreams(StreamTime now_ms) {
                    [](const StreamBatch& a, const StreamBatch& b) {
                      return a.seq < b.seq;
                    });
+  if (config_.schedule != nullptr) {
+    // Schedule fuzzing: permute cross-stream delivery order (per-stream seq
+    // order is preserved — the adaptor guarantees in-order streams, but
+    // nothing orders deliveries *across* streams, so any interleaving here
+    // is one the real dispatcher could produce).
+    config_.schedule->PermuteBatchOrder(&batches);
+  }
   for (StreamBatch& b : batches) {
     EnqueueBatch(std::move(b));
   }
@@ -571,6 +580,22 @@ size_t Cluster::PendingBatches(StreamId stream) const {
   return streams_[stream].pending.size();
 }
 
+Cluster::ShedInfo Cluster::ShedInfoFor(StreamId stream, BatchSeq seq) const {
+  ShedInfo info;
+  if (stream >= streams_.size()) {
+    return info;
+  }
+  std::lock_guard lock(overload_mu_);
+  auto it = streams_[stream].shed.find(seq);
+  if (it == streams_[stream].shed.end()) {
+    return info;
+  }
+  info.timing_tuples = it->second.timing_tuples;
+  info.door_shed_tuples = it->second.door_shed_tuples;
+  info.injector_lost_edges = it->second.injector_lost_edges;
+  return info;
+}
+
 bool Cluster::NodeServing(NodeId n) const { return fabric_->node_serving(n); }
 
 uint32_t Cluster::ServingNodeCount() const { return fabric_->serving_count(); }
@@ -875,6 +900,9 @@ StatusOr<QueryExecution> Cluster::OneShotParsed(const Query& q, NodeId home) {
     }
   }
   SnapshotNum snapshot = coordinator_->StableSn();
+  if (test_hooks::stale_sn_read.load(std::memory_order_relaxed) && snapshot > 0) {
+    --snapshot;  // Planted defect: read one snapshot behind Stable_SN.
+  }
 
   // Plan against a charge-free view, then execute with charging.
   std::vector<std::unique_ptr<NeighborSource>> holders;

@@ -47,6 +47,10 @@ namespace wukongs {
 
 class UpstreamBuffer;
 
+namespace testkit {
+class ScheduleController;
+}  // namespace testkit
+
 struct ClusterConfig {
   uint32_t nodes = 1;
   Transport transport = Transport::kRdma;
@@ -90,6 +94,12 @@ struct ClusterConfig {
   // extension caps and the phi-accrual failure detector. All defaults off —
   // a default-constructed config behaves exactly like the seed.
   OverloadConfig overload;
+
+  // Schedule fuzzing (non-owning; must outlive the cluster). When set,
+  // AdvanceStreams lets it permute cross-stream batch delivery order; the
+  // MaintenanceDaemon and WorkerPool accept the same controller for timing
+  // and dequeue-order decisions. Null = deterministic seed behavior.
+  testkit::ScheduleController* schedule = nullptr;
 };
 
 // Outcome of one query execution with its modeled cost breakdown.
@@ -257,6 +267,15 @@ class Cluster {
   // respect to the feed path.
   void SetPressureListener(std::function<void(StreamId, NodeId)> listener);
   OverloadStats overload_stats() const;
+  // Per-batch shed/loss ledger entry, for auditing "correct modulo declared
+  // loss": the differential harness checks that everything missing from a
+  // window result is accounted for here. Zeroes when nothing was recorded.
+  struct ShedInfo {
+    uint64_t timing_tuples = 0;        // At the door, before shedding.
+    uint64_t door_shed_tuples = 0;     // Suffix-shed at the adaptor.
+    uint64_t injector_lost_edges = 0;  // Shed or lost at AppendSlice.
+  };
+  ShedInfo ShedInfoFor(StreamId stream, BatchSeq seq) const;
   const FailureDetector* failure_detector() const { return health_.get(); }
   // Batches held at the adaptor door by credit/plan backpressure.
   size_t PendingBatches(StreamId stream) const;

@@ -3,9 +3,11 @@
 namespace wukongs {
 
 MaintenanceDaemon::MaintenanceDaemon(Cluster* cluster, HorizonFn horizon,
-                                     std::chrono::milliseconds period)
+                                     std::chrono::milliseconds period,
+                                     testkit::ScheduleController* schedule)
     : cluster_(cluster),
       horizon_(std::move(horizon)),
+      schedule_(schedule),
       thread_([this, period] { Loop(period); }) {}
 
 MaintenanceDaemon::~MaintenanceDaemon() {
@@ -34,7 +36,11 @@ void MaintenanceDaemon::Kick() {
 void MaintenanceDaemon::Loop(std::chrono::milliseconds period) {
   std::unique_lock lock(mu_);
   while (!stopping_) {
-    stop_cv_.wait_for(lock, period, [this] { return stopping_ || kicked_; });
+    std::chrono::milliseconds wait = period;
+    if (schedule_ != nullptr) {
+      wait += schedule_->MaintenanceJitter(period);
+    }
+    stop_cv_.wait_for(lock, wait, [this] { return stopping_ || kicked_; });
     if (stopping_) {
       return;
     }

@@ -17,6 +17,7 @@
 #include <thread>
 
 #include "src/cluster/cluster.h"
+#include "src/testkit/schedule_controller.h"
 
 namespace wukongs {
 
@@ -24,8 +25,12 @@ class MaintenanceDaemon {
  public:
   using HorizonFn = std::function<StreamTime()>;
 
+  // `schedule` (optional, non-owning): a schedule fuzzer that jitters the
+  // periodic wait so GC passes land at seeded-random points relative to
+  // injection and queries, instead of only on the metronome.
   MaintenanceDaemon(Cluster* cluster, HorizonFn horizon,
-                    std::chrono::milliseconds period);
+                    std::chrono::milliseconds period,
+                    testkit::ScheduleController* schedule = nullptr);
   ~MaintenanceDaemon();
 
   MaintenanceDaemon(const MaintenanceDaemon&) = delete;
@@ -47,6 +52,7 @@ class MaintenanceDaemon {
 
   Cluster* cluster_;
   HorizonFn horizon_;
+  testkit::ScheduleController* schedule_;
   std::atomic<size_t> passes_{0};
   std::atomic<size_t> kicks_{0};
   std::mutex mu_;

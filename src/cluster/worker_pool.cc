@@ -4,7 +4,9 @@
 
 namespace wukongs {
 
-WorkerPool::WorkerPool(Cluster* cluster, uint32_t threads) : cluster_(cluster) {
+WorkerPool::WorkerPool(Cluster* cluster, uint32_t threads,
+                       testkit::ScheduleController* schedule)
+    : cluster_(cluster), schedule_(schedule) {
   workers_.reserve(std::max(threads, 1u));
   for (uint32_t t = 0; t < std::max(threads, 1u); ++t) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -88,8 +90,9 @@ void WorkerPool::WorkerLoop() {
       if (queue_.empty()) {
         return;  // Stopping and nothing left to do.
       }
-      task = std::move(queue_.front());
-      queue_.pop_front();
+      size_t pick = schedule_ != nullptr ? schedule_->PickIndex(queue_.size()) : 0;
+      task = std::move(queue_[pick]);
+      queue_.erase(queue_.begin() + static_cast<ptrdiff_t>(pick));
       ++in_flight_;
     }
     task();

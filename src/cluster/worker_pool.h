@@ -21,12 +21,17 @@
 
 #include "src/cluster/cluster.h"
 #include "src/overload/admission_controller.h"
+#include "src/testkit/schedule_controller.h"
 
 namespace wukongs {
 
 class WorkerPool {
  public:
-  WorkerPool(Cluster* cluster, uint32_t threads);
+  // `schedule` (optional, non-owning): a schedule fuzzer that picks which
+  // queued task a worker pops — the pool promises completion, not FIFO, so
+  // any dequeue order is a legal schedule worth testing.
+  WorkerPool(Cluster* cluster, uint32_t threads,
+             testkit::ScheduleController* schedule = nullptr);
   ~WorkerPool();
 
   WorkerPool(const WorkerPool&) = delete;
@@ -59,6 +64,7 @@ class WorkerPool {
 
   Cluster* cluster_;
   AdmissionController* admission_ = nullptr;
+  testkit::ScheduleController* schedule_ = nullptr;
   mutable std::mutex mu_;
   std::condition_variable work_ready_;
   std::condition_variable drained_;

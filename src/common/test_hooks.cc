@@ -1,0 +1,8 @@
+#include "src/common/test_hooks.h"
+
+namespace wukongs::test_hooks {
+
+std::atomic<bool> off_by_one_window{false};
+std::atomic<bool> stale_sn_read{false};
+
+}  // namespace wukongs::test_hooks

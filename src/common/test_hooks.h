@@ -1,0 +1,43 @@
+// Runtime-switchable planted defects for the differential test harness.
+//
+// The harness (tests/differential_test.cc) must prove it has teeth: with a
+// deliberately wrong engine it must report a mismatch against the reference
+// oracle. These flags are the two canonical stream-engine bugs the RSP
+// literature documents engines silently disagreeing on — a window boundary
+// off by one batch, and a one-shot read at a stale snapshot number. Both
+// default to off; production behavior is bit-identical unless a test flips
+// them, and the atomics are relaxed because the flag is only ever toggled
+// while the cluster is quiescent.
+
+#ifndef SRC_COMMON_TEST_HOOKS_H_
+#define SRC_COMMON_TEST_HOOKS_H_
+
+#include <atomic>
+
+namespace wukongs::test_hooks {
+
+// WindowBatches extends every relative window by one future batch.
+extern std::atomic<bool> off_by_one_window;
+
+// Cluster::OneShotParsed reads one snapshot behind the scalarized Stable_SN.
+extern std::atomic<bool> stale_sn_read;
+
+// RAII toggle so a throwing test cannot leave a mutation armed for the rest
+// of the suite.
+class ScopedMutation {
+ public:
+  explicit ScopedMutation(std::atomic<bool>* flag) : flag_(flag) {
+    flag_->store(true, std::memory_order_relaxed);
+  }
+  ~ScopedMutation() { flag_->store(false, std::memory_order_relaxed); }
+
+  ScopedMutation(const ScopedMutation&) = delete;
+  ScopedMutation& operator=(const ScopedMutation&) = delete;
+
+ private:
+  std::atomic<bool>* flag_;
+};
+
+}  // namespace wukongs::test_hooks
+
+#endif  // SRC_COMMON_TEST_HOOKS_H_

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "src/common/ids.h"
+#include "src/common/test_hooks.h"
 #include "src/rdf/triple.h"
 
 namespace wukongs {
@@ -45,6 +46,9 @@ inline BatchRange WindowBatches(StreamTime now_ms, uint64_t range_ms,
   StreamTime start = now_ms > range_ms ? now_ms - range_ms : 0;
   r.lo = start / interval_ms;
   r.hi = (now_ms - 1) / interval_ms;
+  if (test_hooks::off_by_one_window.load(std::memory_order_relaxed)) {
+    r.hi += 1;  // Planted defect: the window swallows one future batch.
+  }
   return r;
 }
 

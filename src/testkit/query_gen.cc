@@ -1,0 +1,308 @@
+#include "src/testkit/query_gen.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <set>
+
+namespace wukongs::testkit {
+namespace {
+
+const std::string& Pick(const std::vector<std::string>& v, Rng* rng) {
+  return v[rng->Uniform(0, v.size() - 1)];
+}
+
+std::string Ms(uint64_t ms) { return std::to_string(ms) + "ms"; }
+
+struct Pattern {
+  std::string subject;
+  std::string predicate;
+  std::string object;
+  int scope = -1;  // -1 = stored, else index into GenVocab::streams.
+};
+
+struct BodySpec {
+  std::vector<Pattern> patterns;
+  std::vector<std::string> vars;  // Chain variables, all bound by patterns.
+  bool has_value_var = false;     // ?num is bound by a value pattern.
+  std::set<size_t> windows;       // Stream indexes used by the patterns.
+
+  std::string Text(const GenVocab& vocab) const {
+    std::string out;
+    for (const Pattern& p : patterns) {
+      if (p.scope < 0) {
+        out += p.subject + " " + p.predicate + " " + p.object + " . ";
+      }
+    }
+    for (size_t w : windows) {
+      std::string inner;
+      for (const Pattern& p : patterns) {
+        if (p.scope == static_cast<int>(w)) {
+          inner += p.subject + " " + p.predicate + " " + p.object + " . ";
+        }
+      }
+      out += "GRAPH " + vocab.streams[w] + " { " + inner + "} ";
+    }
+    return out;
+  }
+};
+
+}  // namespace
+
+QueryGenerator::QueryGenerator(GenVocab vocab, uint64_t batch_interval_ms)
+    : vocab_(std::move(vocab)), interval_ms_(batch_interval_ms) {}
+
+// Builds a chain BGP ?v0 -> ?v1 -> ... with optional entity anchor and value
+// leaf, then scatters the patterns over stored + window scopes. Chain shape
+// guarantees the oracle-supported fragment: no self-loops (variables are
+// distinct by construction) and no constant-constant patterns (every pattern
+// keeps at least one variable).
+static BodySpec MakeChain(const GenVocab& vocab, Rng* rng, size_t nvars,
+                          size_t min_windows, size_t max_windows,
+                          bool allow_value, bool force_value) {
+  BodySpec spec;
+  for (size_t i = 0; i < nvars; ++i) {
+    spec.vars.push_back("v" + std::to_string(i));
+  }
+  for (size_t i = 0; i + 1 < nvars; ++i) {
+    spec.patterns.push_back({"?" + spec.vars[i], Pick(vocab.edge_predicates, rng),
+                             "?" + spec.vars[i + 1], -1});
+  }
+  if (rng->Bernoulli(0.35)) {
+    spec.patterns.push_back({Pick(vocab.entities, rng),
+                             Pick(vocab.edge_predicates, rng),
+                             "?" + spec.vars[0], -1});
+  }
+  if (force_value || (allow_value && rng->Bernoulli(0.5))) {
+    size_t k = rng->Uniform(0, nvars - 1);
+    spec.patterns.push_back({"?" + spec.vars[k],
+                             Pick(vocab.value_predicates, rng), "?num", -1});
+    spec.has_value_var = true;
+  }
+  max_windows = std::min({max_windows, vocab.streams.size(), spec.patterns.size()});
+  if (max_windows < min_windows) {
+    return spec;  // Caller asked for windows the config cannot provide.
+  }
+  size_t wcount = rng->Uniform(min_windows, max_windows);
+  if (wcount == 0) {
+    return spec;
+  }
+  std::vector<size_t> pool(vocab.streams.size());
+  for (size_t i = 0; i < pool.size(); ++i) {
+    pool[i] = i;
+  }
+  std::vector<size_t> chosen;
+  for (size_t i = 0; i < wcount; ++i) {
+    size_t j = rng->Uniform(0, pool.size() - 1);
+    chosen.push_back(pool[j]);
+    pool.erase(pool.begin() + static_cast<ptrdiff_t>(j));
+  }
+  for (Pattern& p : spec.patterns) {
+    uint64_t roll = rng->Uniform(0, chosen.size());  // 0 = stored.
+    p.scope = roll == 0 ? -1 : static_cast<int>(chosen[roll - 1]);
+  }
+  // Every chosen window must scope at least one pattern, or its FROM clause
+  // would declare a window the body never reads.
+  for (size_t i = 0; i < chosen.size(); ++i) {
+    bool used = false;
+    for (const Pattern& p : spec.patterns) {
+      used |= p.scope == static_cast<int>(chosen[i]);
+    }
+    if (!used && i < spec.patterns.size()) {
+      spec.patterns[i].scope = static_cast<int>(chosen[i]);
+    }
+  }
+  for (const Pattern& p : spec.patterns) {
+    if (p.scope >= 0) {
+      spec.windows.insert(static_cast<size_t>(p.scope));
+    }
+  }
+  return spec;
+}
+
+static std::string SelectVars(const std::vector<std::string>& vars, Rng* rng,
+                              std::vector<std::string>* picked) {
+  std::vector<std::string> pool = vars;
+  size_t n = rng->Uniform(1, std::min<size_t>(3, pool.size()));
+  std::string out;
+  for (size_t i = 0; i < n; ++i) {
+    size_t j = rng->Uniform(0, pool.size() - 1);
+    out += "?" + pool[j] + " ";
+    picked->push_back(pool[j]);
+    pool.erase(pool.begin() + static_cast<ptrdiff_t>(j));
+  }
+  return out;
+}
+
+static std::string MakeFilter(const BodySpec& spec, const GenVocab& vocab,
+                              Rng* rng, bool entity_ok) {
+  static const char* kNumOps[] = {"<", "<=", ">", ">=", "=", "!="};
+  if (spec.has_value_var && rng->Bernoulli(0.5)) {
+    return "FILTER (?num " + std::string(kNumOps[rng->Uniform(0, 5)]) + " " +
+           std::to_string(rng->Uniform(0, 15)) + ") ";
+  }
+  if (entity_ok && rng->Bernoulli(0.25)) {
+    const std::string& var = spec.vars[rng->Uniform(0, spec.vars.size() - 1)];
+    const char* op = rng->Bernoulli(0.5) ? "=" : "!=";
+    return "FILTER (?" + var + " " + op + " " + Pick(vocab.entities, rng) + ") ";
+  }
+  return "";
+}
+
+std::string QueryGenerator::OneShot(Rng* rng, StreamTime min_ms,
+                                    StreamTime horizon_ms) const {
+  const uint64_t max_b = interval_ms_ > 0 ? horizon_ms / interval_ms_ : 0;
+  const uint64_t min_b = interval_ms_ > 0 ? min_ms / interval_ms_ : 0;
+  const size_t max_windows = max_b >= min_b + 1 ? 2 : 0;
+  const uint64_t shape = rng->Uniform(0, 3);
+  const size_t nvars = rng->Uniform(2, 4);
+
+  BodySpec spec;
+  std::string body;
+  std::string select;
+  std::string tail;  // GROUP BY etc.
+  bool distinct = false;
+
+  if (shape == 2) {
+    // UNION: branches share the chain variables (same nvars => same names),
+    // so every branch binds every selectable variable.
+    const size_t branches = rng->Uniform(2, 3);
+    std::set<size_t> used;
+    for (size_t b = 0; b < branches; ++b) {
+      BodySpec branch = MakeChain(vocab_, rng, nvars, 0, max_windows,
+                                  /*allow_value=*/false, /*force_value=*/false);
+      used.insert(branch.windows.begin(), branch.windows.end());
+      body += (b == 0 ? "{ " : "UNION { ") + branch.Text(vocab_) + "} ";
+      if (b == 0) {
+        spec = branch;
+      }
+    }
+    spec.windows = used;
+    body += MakeFilter(spec, vocab_, rng, /*entity_ok=*/true);
+    std::vector<std::string> picked;
+    select = SelectVars(spec.vars, rng, &picked);
+    distinct = rng->Bernoulli(0.3);
+  } else {
+    spec = MakeChain(vocab_, rng, nvars, 0, max_windows,
+                     /*allow_value=*/true, /*force_value=*/shape == 1);
+    body = spec.Text(vocab_);
+    if (shape == 3 && spec.has_value_var) {
+      // Rebuild with the value pattern inside an OPTIONAL group instead.
+      std::string opt;
+      std::vector<Pattern> keep;
+      for (const Pattern& p : spec.patterns) {
+        if (p.object == "?num") {
+          opt = "OPTIONAL { " + p.subject + " " + p.predicate + " ?num . } ";
+        } else {
+          keep.push_back(p);
+        }
+      }
+      BodySpec required = spec;
+      required.patterns = std::move(keep);
+      required.windows.clear();
+      for (const Pattern& p : required.patterns) {
+        if (p.scope >= 0) {
+          required.windows.insert(static_cast<size_t>(p.scope));
+        }
+      }
+      spec = required;
+      body = spec.Text(vocab_) + opt;
+      spec.has_value_var = true;
+    }
+    body += MakeFilter(spec, vocab_, rng, /*entity_ok=*/true);
+    if (shape == 1 && spec.has_value_var) {
+      static const char* kAggs[] = {"COUNT", "SUM", "AVG", "MIN", "MAX"};
+      std::string agg1 = kAggs[rng->Uniform(0, 4)];
+      if (rng->Bernoulli(0.6)) {
+        const std::string& g = spec.vars[rng->Uniform(0, spec.vars.size() - 1)];
+        select = "?" + g + " " + agg1 + "(?num) ";
+        tail = "GROUP BY ?" + g + " ";
+      } else {
+        select = agg1 + "(?num) ";
+        if (rng->Bernoulli(0.5)) {
+          select += std::string(kAggs[rng->Uniform(0, 4)]) + "(?num) ";
+        }
+      }
+    } else {
+      std::vector<std::string> vars = spec.vars;
+      if (spec.has_value_var) {
+        vars.push_back("num");  // In shape 3 this exercises unbound output.
+      }
+      std::vector<std::string> picked;
+      select = SelectVars(vars, rng, &picked);
+      distinct = rng->Bernoulli(0.3);
+    }
+  }
+
+  std::string from;
+  for (size_t w : spec.windows) {
+    uint64_t a = interval_ms_ * rng->Uniform(min_b, max_b - 1);
+    uint64_t b = interval_ms_ * rng->Uniform(a / interval_ms_ + 1, max_b);
+    from += "FROM STREAM " + vocab_.streams[w] + " [FROM " + Ms(a) + " TO " +
+            Ms(b) + "] ";
+  }
+  return "SELECT " + std::string(distinct ? "DISTINCT " : "") + select + from +
+         "WHERE { " + body + "} " + tail;
+}
+
+std::string QueryGenerator::Continuous(Rng* rng, const std::string& name) const {
+  const size_t nvars = rng->Uniform(2, 4);
+  const uint64_t shape = rng->Uniform(0, 2);  // 0 plain, 1 aggregate, 2 union.
+
+  BodySpec spec;
+  std::string body;
+  std::string select;
+  std::string tail;
+  bool distinct = false;
+
+  if (shape == 2) {
+    const size_t branches = 2;
+    std::set<size_t> used;
+    for (size_t b = 0; b < branches; ++b) {
+      // First branch must hit a window: a continuous query with no stream
+      // scope is rejected by the parser.
+      BodySpec branch = MakeChain(vocab_, rng, nvars, b == 0 ? 1 : 0, 2,
+                                  /*allow_value=*/false, /*force_value=*/false);
+      used.insert(branch.windows.begin(), branch.windows.end());
+      body += (b == 0 ? "{ " : "UNION { ") + branch.Text(vocab_) + "} ";
+      if (b == 0) {
+        spec = branch;
+      }
+    }
+    spec.windows = used;
+    body += MakeFilter(spec, vocab_, rng, /*entity_ok=*/true);
+    std::vector<std::string> picked;
+    select = SelectVars(spec.vars, rng, &picked);
+    distinct = rng->Bernoulli(0.3);
+  } else {
+    spec = MakeChain(vocab_, rng, nvars, 1, 2,
+                     /*allow_value=*/true, /*force_value=*/shape == 1);
+    body = spec.Text(vocab_) + MakeFilter(spec, vocab_, rng, /*entity_ok=*/true);
+    if (shape == 1 && spec.has_value_var) {
+      static const char* kAggs[] = {"COUNT", "SUM", "AVG", "MIN", "MAX"};
+      const std::string& g = spec.vars[rng->Uniform(0, spec.vars.size() - 1)];
+      select = "?" + g + " " + kAggs[rng->Uniform(0, 4)] + "(?num) ";
+      tail = "GROUP BY ?" + g + " ";
+    } else {
+      std::vector<std::string> vars = spec.vars;
+      if (spec.has_value_var) {
+        vars.push_back("num");
+      }
+      std::vector<std::string> picked;
+      select = SelectVars(vars, rng, &picked);
+      distinct = rng->Bernoulli(0.3);
+    }
+  }
+
+  std::string from;
+  for (size_t w : spec.windows) {
+    uint64_t range = interval_ms_ * rng->Uniform(1, 4);
+    uint64_t step = interval_ms_ * rng->Uniform(1, 2);
+    from += "FROM STREAM " + vocab_.streams[w] + " [RANGE " + Ms(range) +
+            " STEP " + Ms(step) + "] ";
+  }
+  return "REGISTER QUERY " + name + " AS SELECT " +
+         std::string(distinct ? "DISTINCT " : "") + select + from + "WHERE { " +
+         body + "} " + tail;
+}
+
+}  // namespace wukongs::testkit

@@ -1,0 +1,63 @@
+// Random query generator for the differential harness.
+//
+// Generates query *text* and lets the production parser turn it into an AST,
+// so the differential lane exercises the same front door clients use. The
+// generated subset deliberately stays inside the oracle's supported fragment
+// (see reference_oracle.h): chain-shaped BGPs over stored and window scopes,
+// FILTER, DISTINCT, aggregates with GROUP BY, OPTIONAL, UNION — but no
+// ORDER BY / LIMIT (results are compared as bags), no self-loop patterns and
+// no constant-constant patterns.
+//
+// The vocabulary mirrors the data the harness feeds: `edge_predicates` link
+// entities to entities, `value_predicates` link entities to numeric literals
+// (so FILTER and SUM/AVG/MIN/MAX have something to chew on).
+
+#ifndef SRC_TESTKIT_QUERY_GEN_H_
+#define SRC_TESTKIT_QUERY_GEN_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/common/rng.h"
+#include "src/rdf/triple.h"
+
+namespace wukongs::testkit {
+
+struct GenVocab {
+  std::vector<std::string> entities;
+  std::vector<std::string> values;  // Strings that parse as numbers.
+  std::vector<std::string> edge_predicates;
+  std::vector<std::string> value_predicates;
+  std::vector<std::string> streams;  // Declaration order == StreamId order.
+};
+
+class QueryGenerator {
+ public:
+  QueryGenerator(GenVocab vocab, uint64_t batch_interval_ms);
+
+  // One-shot query text; absolute window bounds stay within
+  // [min_ms, horizon_ms] — min_ms is the caller's GC horizon (windows must
+  // not reach into evicted history). horizon_ms < min_ms + interval
+  // generates stored-only queries.
+  std::string OneShot(Rng* rng, StreamTime min_ms, StreamTime horizon_ms) const;
+
+  // Continuous query text named `name`, with RANGE/STEP windows whose STEP is
+  // a multiple of the batch interval (keeps harness-chosen window ends
+  // aligned without loss of generality).
+  std::string Continuous(Rng* rng, const std::string& name) const;
+
+ private:
+  // Shared body builder; fills `windows_out` with the indexes of
+  // vocab.streams used by the generated body (FROM clauses must declare them).
+  std::string Body(Rng* rng, bool continuous, size_t max_windows,
+                   std::vector<size_t>* windows_out, bool* has_value_var,
+                   std::vector<std::string>* vars_out) const;
+
+  const GenVocab vocab_;
+  const uint64_t interval_ms_;
+};
+
+}  // namespace wukongs::testkit
+
+#endif  // SRC_TESTKIT_QUERY_GEN_H_

@@ -1,0 +1,68 @@
+#include "src/testkit/schedule_controller.h"
+
+#include <utility>
+
+namespace wukongs::testkit {
+
+void ScheduleController::PermuteBatchOrder(std::vector<StreamBatch>* batches) {
+  std::lock_guard lock(mu_);
+  if (batches->size() < 2) {
+    return;
+  }
+  // Stable-partition the flat list into per-stream chains (already seq-sorted
+  // within a stream), then repeatedly pull the front of a random chain.
+  std::vector<StreamId> stream_of;
+  std::vector<std::vector<StreamBatch>> chains;
+  for (StreamBatch& b : *batches) {
+    size_t c = 0;
+    for (; c < stream_of.size(); ++c) {
+      if (stream_of[c] == b.stream) {
+        break;
+      }
+    }
+    if (c == stream_of.size()) {
+      stream_of.push_back(b.stream);
+      chains.emplace_back();
+    }
+    chains[c].push_back(std::move(b));
+  }
+  std::vector<size_t> heads(chains.size(), 0);
+  batches->clear();
+  std::vector<size_t> alive;
+  for (size_t c = 0; c < chains.size(); ++c) {
+    alive.push_back(c);
+  }
+  while (!alive.empty()) {
+    size_t pick = alive.size() == 1
+                      ? 0
+                      : static_cast<size_t>(rng_.Uniform(0, alive.size() - 1));
+    ++decisions_;
+    size_t c = alive[pick];
+    batches->push_back(std::move(chains[c][heads[c]]));
+    if (++heads[c] == chains[c].size()) {
+      alive.erase(alive.begin() + static_cast<ptrdiff_t>(pick));
+    }
+  }
+}
+
+std::chrono::milliseconds ScheduleController::MaintenanceJitter(
+    std::chrono::milliseconds period) {
+  std::lock_guard lock(mu_);
+  ++decisions_;
+  if (period.count() <= 0) {
+    return std::chrono::milliseconds{0};
+  }
+  return std::chrono::milliseconds{
+      static_cast<int64_t>(rng_.Uniform(0, static_cast<uint64_t>(period.count())))};
+}
+
+size_t ScheduleController::PickIndex(size_t queue_size) {
+  std::lock_guard lock(mu_);
+  ++decisions_;
+  if (queue_size <= 1) {
+    return 0;
+  }
+  return static_cast<size_t>(rng_.Uniform(0, queue_size - 1));
+}
+
+}  // namespace wukongs::testkit

@@ -1,0 +1,62 @@
+// Seeded schedule fuzzer (differential harness, DESIGN.md §5.7).
+//
+// A ScheduleController is a single source of scheduling nondeterminism that
+// the production code consults at its decision points: cross-stream batch
+// delivery order (Cluster::AdvanceStreams), maintenance-pass timing
+// (MaintenanceDaemon) and worker dequeue order (WorkerPool). Every decision
+// is drawn from one seeded Rng, so a given seed replays the same schedule —
+// the harness turns "flaky under some interleaving" into "failing for
+// seed N", which a developer can replay at will.
+//
+// The controller never invents schedules the real system could not produce:
+// per-stream batch order is preserved (streams are in-order by contract),
+// maintenance jitter only delays a pass within one period, and a worker may
+// pop any queued task (the paper's pool makes no FIFO promise to clients).
+
+#ifndef SRC_TESTKIT_SCHEDULE_CONTROLLER_H_
+#define SRC_TESTKIT_SCHEDULE_CONTROLLER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/stream/batch.h"
+
+namespace wukongs::testkit {
+
+class ScheduleController {
+ public:
+  explicit ScheduleController(uint64_t seed) : rng_(seed) {}
+
+  ScheduleController(const ScheduleController&) = delete;
+  ScheduleController& operator=(const ScheduleController&) = delete;
+
+  // Permutes the cross-stream interleaving of `batches` while keeping each
+  // stream's batches in ascending seq order (a random topological shuffle of
+  // the per-stream chains).
+  void PermuteBatchOrder(std::vector<StreamBatch>* batches);
+
+  // Extra delay before the next periodic maintenance pass, in [0, period].
+  std::chrono::milliseconds MaintenanceJitter(std::chrono::milliseconds period);
+
+  // Index of the queued task the next worker should pop, in [0, queue_size).
+  size_t PickIndex(size_t queue_size);
+
+  // Scheduling decisions drawn so far (telemetry; also a cheap way for tests
+  // to assert the hooks are actually reached).
+  uint64_t decisions() const {
+    std::lock_guard lock(mu_);
+    return decisions_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  Rng rng_;
+  uint64_t decisions_ = 0;
+};
+
+}  // namespace wukongs::testkit
+
+#endif  // SRC_TESTKIT_SCHEDULE_CONTROLLER_H_

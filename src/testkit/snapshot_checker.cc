@@ -1,0 +1,86 @@
+#include "src/testkit/snapshot_checker.h"
+
+#include <string>
+
+namespace wukongs::testkit {
+
+SnapshotChecker::SnapshotChecker(uint64_t batches_per_sn)
+    : batches_per_sn_(batches_per_sn) {}
+
+SnapshotNum SnapshotChecker::RecomputeStableSn(const VectorTimestamp& stable,
+                                               size_t stream_count) const {
+  if (stream_count == 0) {
+    return 0;
+  }
+  SnapshotNum sn = ~SnapshotNum{0};
+  for (size_t s = 0; s < stream_count; ++s) {
+    BatchSeq have = stable.Get(static_cast<StreamId>(s));
+    if (have == kNoBatch) {
+      return 0;
+    }
+    // SN k needs batches up to k * batches_per_sn - 1, i.e. k <= (have+1)/bps.
+    SnapshotNum covered = (have + 1) / batches_per_sn_;
+    sn = covered < sn ? covered : sn;
+  }
+  return sn;
+}
+
+Status SnapshotChecker::CheckOneShot(const QueryExecution& exec,
+                                     const VectorTimestamp& stable,
+                                     size_t stream_count) {
+  SnapshotNum expect = RecomputeStableSn(stable, stream_count);
+  if (exec.snapshot != expect) {
+    return Status::Internal(
+        "snapshot audit: one-shot read SN " + std::to_string(exec.snapshot) +
+        " but the captured Stable_VTS entitles SN " + std::to_string(expect));
+  }
+  if (exec.snapshot < last_oneshot_sn_) {
+    return Status::Internal(
+        "snapshot audit: one-shot SN regressed from " +
+        std::to_string(last_oneshot_sn_) + " to " +
+        std::to_string(exec.snapshot));
+  }
+  last_oneshot_sn_ = exec.snapshot;
+  return Status::Ok();
+}
+
+Status SnapshotChecker::CheckContinuous(uint64_t handle, const Query& q,
+                                        const std::vector<StreamId>& stream_ids,
+                                        const QueryExecution& exec,
+                                        const VectorTimestamp& stable,
+                                        uint64_t interval_ms) {
+  const StreamTime end = exec.window_end_ms;
+  if (end == 0) {
+    return Status::Internal("snapshot audit: continuous execution reported "
+                            "window_end_ms == 0");
+  }
+  auto [it, fresh] = last_end_.try_emplace(handle, 0);
+  if (!fresh && end <= it->second) {
+    return Status::Internal(
+        "snapshot audit: window end went from " + std::to_string(it->second) +
+        " to " + std::to_string(end) + " (prefix integrity broken)");
+  }
+  for (size_t w = 0; w < q.windows.size(); ++w) {
+    const WindowSpec& spec = q.windows[w];
+    if (spec.step_ms != 0 && end % spec.step_ms != 0) {
+      return Status::Internal(
+          "snapshot audit: window end " + std::to_string(end) +
+          " is not aligned to STEP " + std::to_string(spec.step_ms));
+    }
+    // Trigger condition, re-derived: the window's last batch must be covered
+    // by the Stable_VTS captured before the execution.
+    BatchSeq need = (end - 1) / interval_ms;
+    BatchSeq have = stable.Get(stream_ids[w]);
+    if (have == kNoBatch || have < need) {
+      return Status::Internal(
+          "snapshot audit: window over stream " + spec.stream_name +
+          " ends at batch " + std::to_string(need) +
+          " but Stable_VTS only covers " +
+          (have == kNoBatch ? std::string("nothing") : std::to_string(have)));
+    }
+  }
+  it->second = end;
+  return Status::Ok();
+}
+
+}  // namespace wukongs::testkit

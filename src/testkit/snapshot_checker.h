@@ -1,0 +1,63 @@
+// Snapshot-consistency checker: audits what the engine *claims* about an
+// execution against the coordinator protocol recomputed from first principles
+// (DESIGN.md §5.7).
+//
+// The checker never looks inside the engine: it sees only the captured
+// Stable_VTS (taken by the harness before the execution), the query, and the
+// QueryExecution the engine returned. From the SN-VTS plan definition —
+// snapshot k of every stream covers batches up to k * batches_per_sn - 1 —
+// it independently derives the Stable_SN the execution was entitled to read,
+// and verifies:
+//
+//   * one-shot:   exec.snapshot == recomputed Stable_SN, and snapshots never
+//                 regress across successive one-shots (read monotonicity);
+//   * continuous: window ends advance strictly per registration, every end is
+//                 aligned to each window's STEP, and the final batch of every
+//                 window is covered by the captured Stable_VTS (the trigger
+//                 condition held for real, not just per the engine's word).
+//
+// The planted stale-SN mutation (test_hooks::stale_sn_read) is exactly the
+// defect class the one-shot audit exists to catch.
+
+#ifndef SRC_TESTKIT_SNAPSHOT_CHECKER_H_
+#define SRC_TESTKIT_SNAPSHOT_CHECKER_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/cluster/cluster.h"
+#include "src/common/status.h"
+#include "src/sparql/ast.h"
+#include "src/stream/vts.h"
+
+namespace wukongs::testkit {
+
+class SnapshotChecker {
+ public:
+  explicit SnapshotChecker(uint64_t batches_per_sn);
+
+  // Largest SN whose plan target is covered by `stable`, recomputed without
+  // asking the Coordinator: min over streams of floor((stable_s + 1) /
+  // batches_per_sn), 0 when any stream is still at kNoBatch.
+  SnapshotNum RecomputeStableSn(const VectorTimestamp& stable,
+                                size_t stream_count) const;
+
+  Status CheckOneShot(const QueryExecution& exec,
+                      const VectorTimestamp& stable, size_t stream_count);
+
+  // `stream_ids` is parallel to q.windows (the registration's resolution).
+  Status CheckContinuous(uint64_t handle, const Query& q,
+                         const std::vector<StreamId>& stream_ids,
+                         const QueryExecution& exec,
+                         const VectorTimestamp& stable, uint64_t interval_ms);
+
+ private:
+  const uint64_t batches_per_sn_;
+  SnapshotNum last_oneshot_sn_ = 0;
+  std::unordered_map<uint64_t, StreamTime> last_end_;  // Per handle.
+};
+
+}  // namespace wukongs::testkit
+
+#endif  // SRC_TESTKIT_SNAPSHOT_CHECKER_H_

@@ -1,0 +1,698 @@
+// Deterministic differential test harness (DESIGN.md §5.7).
+//
+// Every seed expands into an explicit event trace — feeds, clock advances,
+// registrations, executions, maintenance passes — which one RunTrace() call
+// replays against the production Cluster while a ReferenceOracle (naive flat
+// interpreter sharing only the parser/AST) evaluates the same queries over
+// the same visibility frontier. A SnapshotChecker audits the engine's
+// consistency claims independently of result content. Failures are therefore
+// a (config, trace) pair: greedy minimization shrinks the trace while it
+// still fails, and replays are byte-identical.
+//
+// Two planted mutations (src/common/test_hooks.h) prove the harness has
+// teeth: an off-by-one window boundary and a stale Stable_SN read must both
+// be detected within a handful of seeds.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <future>
+#include <numeric>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/cluster/cluster.h"
+#include "src/cluster/maintenance_daemon.h"
+#include "src/cluster/worker_pool.h"
+#include "src/common/test_hooks.h"
+#include "src/sparql/parser.h"
+#include "src/testkit/query_gen.h"
+#include "src/testkit/reference_oracle.h"
+#include "src/testkit/schedule_controller.h"
+#include "src/testkit/snapshot_checker.h"
+
+namespace wukongs::testkit {
+namespace {
+
+constexpr uint64_t kInterval = 100;  // Batch interval (ms) for all lanes.
+// Maintenance never GC's the most recent 1.2s of stream history, so live
+// windows (range <= 400ms) and generated absolute windows stay intact.
+constexpr StreamTime kGcLagMs = 1200;
+
+struct TupleDesc {
+  std::string s, p, o;
+  StreamTime ts = 0;
+};
+
+struct Event {
+  enum class Kind { kFeed, kAdvance, kRegister, kContinuousExec, kOneShot, kMaintenance };
+  Kind kind = Kind::kAdvance;
+  size_t stream = 0;             // kFeed.
+  std::vector<TupleDesc> tuples; // kFeed.
+  StreamTime time_ms = 0;        // kAdvance / kContinuousExec end / kMaintenance.
+  size_t handle = 0;             // kContinuousExec: index among kRegister events.
+  std::string text;              // kRegister / kOneShot.
+};
+
+struct RunConfig {
+  uint64_t seed = 0;
+  uint32_t nodes = 1;
+  uint64_t batches_per_sn = 1;
+  bool fuzz_schedule = true;
+};
+
+RunConfig ConfigForSeed(uint64_t seed) {
+  Rng rng(seed * 0x9e3779b97f4a7c15ull + 1);
+  RunConfig cfg;
+  cfg.seed = seed;
+  cfg.nodes = static_cast<uint32_t>(1 + rng.Uniform(0, 2));
+  cfg.batches_per_sn = 1 + rng.Uniform(0, 1);
+  return cfg;
+}
+
+GenVocab MakeVocab() {
+  GenVocab v;
+  for (int i = 0; i < 8; ++i) {
+    v.entities.push_back("e" + std::to_string(i));
+  }
+  for (int i = 0; i <= 12; ++i) {
+    v.values.push_back(std::to_string(i));
+  }
+  v.edge_predicates = {"p0", "p1", "fo"};
+  v.value_predicates = {"q0", "tg"};  // tg is declared timing (window-only).
+  v.streams = {"S0", "S1"};
+  return v;
+}
+
+std::vector<Triple> MakeBase(uint64_t seed, StringServer* s, const GenVocab& v) {
+  Rng rng(seed ^ 0xbadc0ffeull);
+  auto ent = [&] { return s->InternVertex(v.entities[rng.Uniform(0, v.entities.size() - 1)]); };
+  std::vector<Triple> base;
+  for (int i = 0; i < 24; ++i) {
+    base.push_back({ent(),
+                    s->InternPredicate(
+                        v.edge_predicates[rng.Uniform(0, v.edge_predicates.size() - 1)]),
+                    ent()});
+  }
+  for (int i = 0; i < 12; ++i) {
+    base.push_back({ent(), s->InternPredicate("q0"),
+                    s->InternVertex(v.values[rng.Uniform(0, v.values.size() - 1)])});
+  }
+  return base;
+}
+
+// Expands a seed into the full event trace. Pure function of the seed: two
+// calls with the same seed produce byte-identical traces.
+std::vector<Event> MakeTrace(uint64_t seed) {
+  Rng rng(seed);
+  GenVocab vocab = MakeVocab();
+  QueryGenerator gen(vocab, kInterval);
+  // Scratch interner: generation only needs window STEPs out of the parse.
+  StringServer scratch;
+
+  std::vector<Event> trace;
+  std::vector<uint64_t> exec_align;  // Per registration: lcm of window steps.
+  const size_t nregs = rng.Uniform(1, 2);
+  for (size_t i = 0; i < nregs; ++i) {
+    std::string text = gen.Continuous(&rng, "q" + std::to_string(i));
+    auto q = ParseQuery(text, &scratch);
+    if (!q.ok()) {
+      continue;  // Defensive; the generator is supposed to emit valid text.
+    }
+    uint64_t align = 1;
+    for (const WindowSpec& w : q->windows) {
+      align = std::lcm(align, w.step_ms);
+    }
+    Event e;
+    e.kind = Event::Kind::kRegister;
+    e.text = std::move(text);
+    trace.push_back(std::move(e));
+    exec_align.push_back(align);
+  }
+
+  const size_t rounds = 8 + rng.Uniform(0, 6);
+  StreamTime now = 0;
+  for (size_t r = 0; r < rounds; ++r) {
+    for (size_t s = 0; s < vocab.streams.size(); ++s) {
+      const size_t n = rng.Uniform(0, 3);
+      if (n == 0) {
+        continue;
+      }
+      Event e;
+      e.kind = Event::Kind::kFeed;
+      e.stream = s;
+      for (size_t i = 0; i < n; ++i) {
+        TupleDesc t;
+        t.s = vocab.entities[rng.Uniform(0, vocab.entities.size() - 1)];
+        const uint64_t kind = rng.Uniform(0, 3);
+        if (kind == 0) {
+          t.p = "q0";
+          t.o = vocab.values[rng.Uniform(0, vocab.values.size() - 1)];
+        } else if (kind == 1) {
+          t.p = "tg";  // Timing: transient-only, visible in windows.
+          t.o = vocab.values[rng.Uniform(0, vocab.values.size() - 1)];
+        } else {
+          t.p = vocab.edge_predicates[rng.Uniform(0, vocab.edge_predicates.size() - 1)];
+          t.o = vocab.entities[rng.Uniform(0, vocab.entities.size() - 1)];
+        }
+        t.ts = now + rng.Uniform(0, kInterval - 1);
+        e.tuples.push_back(std::move(t));
+      }
+      std::sort(e.tuples.begin(), e.tuples.end(),
+                [](const TupleDesc& a, const TupleDesc& b) { return a.ts < b.ts; });
+      trace.push_back(std::move(e));
+    }
+    now = (r + 1) * kInterval;
+    trace.push_back({Event::Kind::kAdvance, 0, {}, now, 0, ""});
+    if (rng.Bernoulli(0.15)) {
+      trace.push_back({Event::Kind::kMaintenance, 0, {}, now, 0, ""});
+    }
+    for (size_t h = 0; h < exec_align.size(); ++h) {
+      const StreamTime end = now - now % exec_align[h];
+      if (end > 0) {
+        trace.push_back({Event::Kind::kContinuousExec, 0, {}, end, h, ""});
+      }
+    }
+    if (rng.Bernoulli(0.5)) {
+      const StreamTime min_ms = now > kGcLagMs ? now - kGcLagMs : 0;
+      Event e;
+      e.kind = Event::Kind::kOneShot;
+      e.text = gen.OneShot(&rng, min_ms, now);
+      trace.push_back(std::move(e));
+    }
+  }
+  return trace;
+}
+
+std::string SerializeTrace(const std::vector<Event>& trace) {
+  std::string out;
+  for (const Event& e : trace) {
+    switch (e.kind) {
+      case Event::Kind::kFeed:
+        out += "feed " + std::to_string(e.stream);
+        for (const TupleDesc& t : e.tuples) {
+          out += " [" + t.s + " " + t.p + " " + t.o + " @" + std::to_string(t.ts) + "]";
+        }
+        out += "\n";
+        break;
+      case Event::Kind::kAdvance:
+        out += "advance " + std::to_string(e.time_ms) + "\n";
+        break;
+      case Event::Kind::kMaintenance:
+        out += "maintenance " + std::to_string(e.time_ms) + "\n";
+        break;
+      case Event::Kind::kRegister:
+        out += "register " + e.text + "\n";
+        break;
+      case Event::Kind::kContinuousExec:
+        out += "exec " + std::to_string(e.handle) + " @" + std::to_string(e.time_ms) + "\n";
+        break;
+      case Event::Kind::kOneShot:
+        out += "oneshot " + e.text + "\n";
+        break;
+    }
+  }
+  return out;
+}
+
+// Replays one trace against a fresh cluster + oracle pair. Ok() means every
+// execution matched the oracle and every consistency audit passed.
+Status RunTrace(const RunConfig& cfg, const std::vector<Event>& trace) {
+  GenVocab vocab = MakeVocab();
+  ClusterConfig config;
+  config.nodes = cfg.nodes;
+  config.batch_interval_ms = kInterval;
+  config.batches_per_sn = cfg.batches_per_sn;
+  ScheduleController schedule(cfg.seed);
+  if (cfg.fuzz_schedule) {
+    config.schedule = &schedule;
+  }
+  Cluster cluster(config);
+  StringServer* strings = cluster.strings();
+
+  std::vector<StreamId> sids;
+  ReferenceOracle oracle(strings, kInterval, cfg.batches_per_sn);
+  for (const std::string& name : vocab.streams) {
+    auto sid = cluster.DefineStream(name, {"tg"});
+    if (!sid.ok()) {
+      return sid.status();
+    }
+    sids.push_back(*sid);
+    oracle.DefineStream(name);
+  }
+  cluster.SetBatchLogger([&oracle](const StreamBatch& b) {
+    oracle.AddBatch(b.stream, b.seq, b.tuples);
+  });
+  std::vector<Triple> base = MakeBase(cfg.seed, strings, vocab);
+  cluster.LoadBase(base);
+  oracle.LoadBase(base);
+  SnapshotChecker checker(cfg.batches_per_sn);
+
+  struct Reg {
+    Cluster::ContinuousHandle handle = 0;
+    Query q;
+    std::vector<StreamId> stream_ids;
+    StreamTime last_end = 0;
+  };
+  std::vector<Reg> regs;
+  StreamTime frontier = 0;
+  const size_t nstreams = vocab.streams.size();
+
+  auto compare = [&](const Query& q, const QueryExecution& exec, SnapshotNum sn,
+                     const VectorTimestamp& stable, StreamTime end,
+                     const std::string& what) -> Status {
+    auto want = oracle.Evaluate(q, sn, stable, end);
+    if (!want.ok()) {
+      return Status::Internal(what + ": oracle failed: " + want.status().ToString());
+    }
+    std::vector<std::string> got = CanonicalBag(exec.result);
+    std::vector<std::string> expect = CanonicalBag(*want);
+    if (got != expect) {
+      std::string msg = what + ": engine/oracle mismatch: engine " +
+                        std::to_string(got.size()) + " rows vs oracle " +
+                        std::to_string(expect.size());
+      for (size_t i = 0; i < std::max(got.size(), expect.size()) && i < 6; ++i) {
+        msg += "\n  engine=" + (i < got.size() ? got[i] : std::string("<none>")) +
+               " oracle=" + (i < expect.size() ? expect[i] : std::string("<none>"));
+      }
+      return Status::Internal(msg);
+    }
+    return Status::Ok();
+  };
+
+  for (const Event& e : trace) {
+    switch (e.kind) {
+      case Event::Kind::kFeed: {
+        StreamTupleVec tuples;
+        for (const TupleDesc& t : e.tuples) {
+          tuples.push_back({{strings->InternVertex(t.s), strings->InternPredicate(t.p),
+                             strings->InternVertex(t.o)},
+                            t.ts,
+                            TupleKind::kTimeless});
+        }
+        Status st = cluster.FeedStream(sids[e.stream], tuples);
+        if (!st.ok()) {
+          return Status::Internal("feed failed: " + st.ToString());
+        }
+        break;
+      }
+      case Event::Kind::kAdvance:
+        cluster.AdvanceStreams(e.time_ms);
+        frontier = std::max(frontier, e.time_ms);
+        break;
+      case Event::Kind::kMaintenance:
+        // Clamped against the *replayed* frontier so a minimized trace (with
+        // advances removed) can never GC history its windows still need.
+        cluster.RunMaintenance(frontier > kGcLagMs ? frontier - kGcLagMs : 0);
+        break;
+      case Event::Kind::kRegister: {
+        auto h = cluster.RegisterContinuous(e.text);
+        if (!h.ok()) {
+          return Status::Internal("register failed: " + h.status().ToString() +
+                                  "\n  text: " + e.text);
+        }
+        Reg r;
+        r.handle = *h;
+        r.q = cluster.ContinuousQueryOf(*h);
+        for (const WindowSpec& w : r.q.windows) {
+          auto sid = cluster.FindStream(w.stream_name);
+          if (!sid.ok()) {
+            return sid.status();
+          }
+          r.stream_ids.push_back(*sid);
+        }
+        regs.push_back(std::move(r));
+        break;
+      }
+      case Event::Kind::kOneShot: {
+        auto q = ParseQuery(e.text, strings);
+        if (!q.ok()) {
+          return Status::Internal("generated one-shot did not parse: " +
+                                  q.status().ToString() + "\n  text: " + e.text);
+        }
+        VectorTimestamp stable = cluster.coordinator()->StableVts();
+        SnapshotNum presn = checker.RecomputeStableSn(stable, nstreams);
+        auto exec = cluster.OneShotParsed(*q);
+        if (!exec.ok()) {
+          // The engine exits its pattern loop early on an empty intermediate
+          // join and then rejects FILTERs over the still-unbound variables;
+          // that is legitimate iff the oracle agrees the join is empty (or
+          // rejects the query itself).
+          if (exec.status().code() == StatusCode::kInvalidArgument) {
+            if (!oracle.Evaluate(*q, presn, stable, 0).ok()) {
+              break;
+            }
+            auto empty = oracle.HasEmptyJoin(*q, presn, stable, 0);
+            if (empty.ok() && *empty) {
+              break;
+            }
+          }
+          return Status::Internal("one-shot failed: " + exec.status().ToString() +
+                                  "\n  text: " + e.text);
+        }
+        Status audit = checker.CheckOneShot(*exec, stable, nstreams);
+        if (!audit.ok()) {
+          return audit;
+        }
+        SnapshotNum sn = checker.RecomputeStableSn(stable, nstreams);
+        Status cmp = compare(*q, *exec, sn, stable, 0, "one-shot");
+        if (!cmp.ok()) {
+          return Status::Internal(cmp.message() + "\n  text: " + e.text);
+        }
+        break;
+      }
+      case Event::Kind::kContinuousExec: {
+        if (e.handle >= regs.size()) {
+          break;  // Its registration was minimized away.
+        }
+        Reg& r = regs[e.handle];
+        const StreamTime end = e.time_ms;
+        if (end <= r.last_end) {
+          break;
+        }
+        // Independent readiness model: AdvanceStreams(frontier) delivered
+        // batches 0 .. frontier/interval - 1 on every stream, so a window
+        // ending at `end` (last batch (end-1)/interval) must be ready.
+        const bool expect_ready =
+            frontier >= kInterval && (end - 1) / kInterval <= frontier / kInterval - 1;
+        const bool ready = cluster.WindowReady(r.handle, end);
+        if (expect_ready && !ready) {
+          return Status::Internal(
+              "trigger refused a ready window: end=" + std::to_string(end) +
+              " frontier=" + std::to_string(frontier));
+        }
+        if (!ready) {
+          break;
+        }
+        VectorTimestamp stable = cluster.coordinator()->StableVts();
+        auto exec = cluster.ExecuteContinuousAt(r.handle, end);
+        if (!exec.ok()) {
+          if (exec.status().code() == StatusCode::kInvalidArgument) {
+            SnapshotNum sn = checker.RecomputeStableSn(stable, nstreams);
+            auto empty = oracle.HasEmptyJoin(r.q, sn, stable, end);
+            if (!oracle.Evaluate(r.q, sn, stable, end).ok() ||
+                (empty.ok() && *empty)) {
+              r.last_end = end;  // Matched rejection still advances the prefix.
+              break;
+            }
+          }
+          return Status::Internal("continuous exec failed: " + exec.status().ToString());
+        }
+        Status audit =
+            checker.CheckContinuous(e.handle, r.q, r.stream_ids, *exec, stable, kInterval);
+        if (!audit.ok()) {
+          return audit;
+        }
+        SnapshotNum sn = checker.RecomputeStableSn(stable, nstreams);
+        Status cmp = compare(r.q, *exec, sn, stable, end,
+                             "continuous q" + std::to_string(e.handle));
+        if (!cmp.ok()) {
+          return cmp;
+        }
+        r.last_end = end;
+        break;
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Status RunSeed(uint64_t seed) {
+  return RunTrace(ConfigForSeed(seed), MakeTrace(seed));
+}
+
+// Greedy ddmin-style minimization: repeatedly drop any single event whose
+// removal keeps the trace failing.
+std::vector<Event> MinimizeTrace(const RunConfig& cfg, std::vector<Event> trace) {
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (size_t i = 0; i < trace.size(); ++i) {
+      std::vector<Event> candidate = trace;
+      candidate.erase(candidate.begin() + static_cast<ptrdiff_t>(i));
+      if (!RunTrace(cfg, candidate).ok()) {
+        trace = std::move(candidate);
+        progress = true;
+        break;
+      }
+    }
+  }
+  return trace;
+}
+
+// --- The main differential lane. ---
+
+TEST(DifferentialTest, SeedsMatchOracle) {
+  uint64_t seeds = 200;
+  if (const char* env = std::getenv("WUKONGS_DIFF_SEEDS")) {
+    seeds = std::strtoull(env, nullptr, 10);
+  }
+  for (uint64_t seed = 1; seed <= seeds; ++seed) {
+    Status st = RunSeed(seed);
+    ASSERT_TRUE(st.ok()) << "seed " << seed << ": " << st.ToString()
+                         << "\ntrace:\n" << SerializeTrace(MakeTrace(seed));
+  }
+}
+
+TEST(DifferentialTest, TraceGenerationIsDeterministic) {
+  for (uint64_t seed : {1ull, 7ull, 42ull}) {
+    EXPECT_EQ(SerializeTrace(MakeTrace(seed)), SerializeTrace(MakeTrace(seed)));
+  }
+}
+
+// --- Planted mutations: the harness must catch both defect classes. ---
+
+uint64_t FirstFailingSeed(uint64_t max_seed) {
+  for (uint64_t seed = 1; seed <= max_seed; ++seed) {
+    if (!RunSeed(seed).ok()) {
+      return seed;
+    }
+  }
+  return 0;
+}
+
+TEST(DifferentialMutationTest, PlantedOffByOneWindowIsCaught) {
+  test_hooks::ScopedMutation plant(&test_hooks::off_by_one_window);
+  EXPECT_NE(FirstFailingSeed(20), 0u)
+      << "off-by-one window boundary survived 20 differential seeds";
+}
+
+TEST(DifferentialMutationTest, PlantedStaleSnReadIsCaught) {
+  test_hooks::ScopedMutation plant(&test_hooks::stale_sn_read);
+  EXPECT_NE(FirstFailingSeed(20), 0u)
+      << "stale Stable_SN read survived 20 differential seeds";
+}
+
+TEST(DifferentialMutationTest, FailingTraceMinimizesAndReplaysByteIdentically) {
+  test_hooks::ScopedMutation plant(&test_hooks::off_by_one_window);
+  uint64_t seed = FirstFailingSeed(20);
+  ASSERT_NE(seed, 0u);
+  RunConfig cfg = ConfigForSeed(seed);
+  std::vector<Event> trace = MakeTrace(seed);
+  Status original = RunTrace(cfg, trace);
+  ASSERT_FALSE(original.ok());
+
+  std::vector<Event> minimized = MinimizeTrace(cfg, trace);
+  EXPECT_LE(minimized.size(), trace.size());
+  Status first = RunTrace(cfg, minimized);
+  Status second = RunTrace(cfg, minimized);
+  ASSERT_FALSE(first.ok());
+  // Byte-identical replay: same trace serialization, same failure, twice.
+  EXPECT_EQ(first.ToString(), second.ToString());
+  EXPECT_EQ(SerializeTrace(minimized), SerializeTrace(minimized));
+  // The minimized trace still names the defect the seed found.
+  EXPECT_FALSE(second.ok());
+}
+
+// --- Schedule controller semantics. ---
+
+TEST(ScheduleControllerTest, PermutationPreservesPerStreamOrder) {
+  ScheduleController schedule(7);
+  std::vector<StreamBatch> batches;
+  for (StreamId s = 0; s < 3; ++s) {
+    for (BatchSeq b = 0; b < 5; ++b) {
+      batches.push_back({s, b, {}});
+    }
+  }
+  schedule.PermuteBatchOrder(&batches);
+  ASSERT_EQ(batches.size(), 15u);
+  std::vector<BatchSeq> next(3, 0);
+  for (const StreamBatch& b : batches) {
+    EXPECT_EQ(b.seq, next[b.stream]) << "stream " << b.stream;
+    ++next[b.stream];
+  }
+  EXPECT_GT(schedule.decisions(), 0u);
+}
+
+TEST(ScheduleControllerTest, SameSeedSamePermutation) {
+  auto permute = [](uint64_t seed) {
+    ScheduleController schedule(seed);
+    std::vector<StreamBatch> batches;
+    for (StreamId s = 0; s < 4; ++s) {
+      for (BatchSeq b = 0; b < 4; ++b) {
+        batches.push_back({s, b, {}});
+      }
+    }
+    schedule.PermuteBatchOrder(&batches);
+    std::vector<std::pair<StreamId, BatchSeq>> order;
+    for (const StreamBatch& b : batches) {
+      order.emplace_back(b.stream, b.seq);
+    }
+    return order;
+  };
+  EXPECT_EQ(permute(11), permute(11));
+  EXPECT_NE(permute(11), permute(12));  // 16 batches: collision ~ never.
+}
+
+TEST(ScheduleControllerTest, JitterAndPicksStayInRange) {
+  ScheduleController schedule(3);
+  for (int i = 0; i < 100; ++i) {
+    auto j = schedule.MaintenanceJitter(std::chrono::milliseconds(50));
+    EXPECT_GE(j.count(), 0);
+    EXPECT_LE(j.count(), 50);
+    size_t pick = schedule.PickIndex(7);
+    EXPECT_LT(pick, 7u);
+  }
+  EXPECT_EQ(schedule.PickIndex(1), 0u);
+}
+
+// --- Shedding lane: "correct modulo declared loss". ---
+//
+// Overload is configured so only *door* shedding can fire (whole-tuple suffix
+// drops; the transient budget stays unbounded so no asymmetric injector
+// loss). The oracle is fed post-door-shed batches via the batch logger, so
+// engine and oracle must still agree exactly, while the shed ledger accounts
+// for every dropped tuple.
+TEST(DifferentialShedTest, DoorShedResultsMatchOracleModuloDeclaredLoss) {
+  ClusterConfig config;
+  config.nodes = 2;
+  config.batch_interval_ms = kInterval;
+  config.batches_per_sn = 2;
+  config.overload.enabled = true;
+  config.overload.shed_timing = true;
+  config.overload.max_plan_extensions = 1;
+  config.overload.pending_queue_capacity = 16;
+  config.overload.shed.start_pressure = 0.05;
+  config.overload.shed.min_keep_fraction = 0.0;
+  Cluster cluster(config);
+  StringServer* strings = cluster.strings();
+  StreamId s0 = *cluster.DefineStream("S0", {"tg"});
+  ASSERT_TRUE(cluster.DefineStream("S1").ok());
+
+  ReferenceOracle oracle(strings, kInterval, config.batches_per_sn);
+  oracle.DefineStream("S0");
+  oracle.DefineStream("S1");
+  cluster.SetBatchLogger([&oracle](const StreamBatch& b) {
+    oracle.AddBatch(b.stream, b.seq, b.tuples);
+  });
+
+  // S0 runs 8 batches ahead while S1 is silent: Stable_SN stalls, the plan
+  // cap parks S0 batches at the door, occupancy drives the shed policy.
+  StreamTupleVec burst;
+  for (BatchSeq b = 0; b < 8; ++b) {
+    for (int i = 0; i < 6; ++i) {
+      burst.push_back({{strings->InternVertex("e" + std::to_string(i)),
+                        strings->InternPredicate("tg"),
+                        strings->InternVertex(std::to_string(i))},
+                       b * kInterval + 10 + static_cast<StreamTime>(i),
+                       TupleKind::kTimeless});
+    }
+  }
+  ASSERT_TRUE(cluster.FeedStream(s0, burst).ok());
+  cluster.AdvanceStreams(9 * kInterval);  // S1 empty batches release the SNs.
+
+  const OverloadStats stats = cluster.overload_stats();
+  ASSERT_GT(stats.door_shed_tuples, 0u) << "lane failed to provoke door shedding";
+  EXPECT_EQ(stats.injector_shed_edges, 0u) << "injector loss would be asymmetric";
+  EXPECT_EQ(stats.timing_edges_lost, 0u);
+
+  // Ledger audit: per-batch records cover exactly the global counter, and no
+  // batch sheds more than it admitted.
+  uint64_t ledger_shed = 0;
+  for (BatchSeq b = 0; b < 9; ++b) {
+    Cluster::ShedInfo info = cluster.ShedInfoFor(s0, b);
+    EXPECT_LE(info.door_shed_tuples, info.timing_tuples) << "batch " << b;
+    ledger_shed += info.door_shed_tuples;
+  }
+  EXPECT_EQ(ledger_shed, stats.door_shed_tuples);
+
+  // Differential check over the shed window: the oracle saw post-shed
+  // batches, so results agree exactly — correct modulo declared loss.
+  auto handle = cluster.RegisterContinuous(
+      "REGISTER QUERY shed AS SELECT ?X ?G FROM STREAM <S0> "
+      "[RANGE 400ms STEP 100ms] WHERE { GRAPH <S0> { ?X tg ?G } }");
+  ASSERT_TRUE(handle.ok()) << handle.status().ToString();
+  const StreamTime end = 8 * kInterval;
+  ASSERT_TRUE(cluster.WindowReady(*handle, end));
+  VectorTimestamp stable = cluster.coordinator()->StableVts();
+  auto exec = cluster.ExecuteContinuousAt(*handle, end);
+  ASSERT_TRUE(exec.ok()) << exec.status().ToString();
+  SnapshotChecker checker(config.batches_per_sn);
+  SnapshotNum sn = checker.RecomputeStableSn(stable, 2);
+  auto want = oracle.Evaluate(cluster.ContinuousQueryOf(*handle), sn, stable, end);
+  ASSERT_TRUE(want.ok()) << want.status().ToString();
+  EXPECT_EQ(CanonicalBag(exec->result), CanonicalBag(*want));
+  EXPECT_GT(exec->shed_fraction, 0.0);  // The loss is declared, not hidden.
+}
+
+// --- Threaded lane: the controller's hooks under real concurrency. ---
+//
+// Exercises MaintenanceDaemon jitter and WorkerPool dequeue picking with a
+// live schedule controller while queries run; primarily a TSan target (the
+// CI matrix builds this binary with -fsanitize=thread).
+TEST(DifferentialThreadedTest, ScheduleControllerUnderConcurrency) {
+  ScheduleController schedule(99);
+  ClusterConfig config;
+  config.nodes = 2;
+  config.batch_interval_ms = kInterval;
+  config.schedule = &schedule;
+  Cluster cluster(config);
+  StringServer* strings = cluster.strings();
+  StreamId s0 = *cluster.DefineStream("S0");
+  std::vector<Triple> base;
+  for (int i = 0; i < 50; ++i) {
+    base.push_back({strings->InternVertex("e" + std::to_string(i % 8)),
+                    strings->InternPredicate("p0"),
+                    strings->InternVertex("e" + std::to_string((i + 1) % 8))});
+  }
+  cluster.LoadBase(base);
+
+  MaintenanceDaemon daemon(
+      &cluster, [] { return StreamTime{0}; }, std::chrono::milliseconds(2),
+      &schedule);
+  WorkerPool pool(&cluster, 3, &schedule);
+  std::vector<std::future<StatusOr<QueryExecution>>> futures;
+  for (int i = 0; i < 24; ++i) {
+    auto q = ParseQuery("SELECT ?X ?Y WHERE { ?X p0 ?Y }", strings);
+    ASSERT_TRUE(q.ok());
+    futures.push_back(pool.SubmitOneShot(*q));
+    if (i % 6 == 0) {
+      StreamTupleVec tuples = {{{strings->InternVertex("e1"),
+                                 strings->InternPredicate("p0"),
+                                 strings->InternVertex("e2")},
+                                static_cast<StreamTime>(i / 6) * kInterval + 5,
+                                TupleKind::kTimeless}};
+      ASSERT_TRUE(cluster.FeedStream(s0, tuples).ok());
+    }
+    if (i % 8 == 0) {
+      daemon.Kick();
+    }
+  }
+  pool.Drain();
+  for (auto& f : futures) {
+    auto exec = f.get();
+    ASSERT_TRUE(exec.ok()) << exec.status().ToString();
+    // Concurrent feeds advance the snapshot mid-run, so later one-shots may
+    // also see the injected p0 edges (up to 4 of them) on top of the base 50.
+    EXPECT_GE(exec->result.rows.size(), 50u);
+    EXPECT_LE(exec->result.rows.size(), 54u);
+  }
+  EXPECT_EQ(pool.executed(), 24u);
+  EXPECT_GT(schedule.decisions(), 0u);
+}
+
+}  // namespace
+}  // namespace wukongs::testkit

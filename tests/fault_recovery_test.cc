@@ -449,6 +449,52 @@ TEST(WindowDedupTest, CompleteUpgradesPartialAndSuppressesDuplicates) {
   EXPECT_EQ(dedup.upgrades(), 1u);
 }
 
+TEST(WindowDedupTest, EmptyWindowResultsAreFirstClassEntries) {
+  // An empty window result is still a result: its digest must be recorded,
+  // deduped, and upgradable exactly like a non-empty one.
+  const std::string empty_digest = ResultDigest(QueryResult{});
+  WindowDedup dedup;
+  EXPECT_TRUE(dedup.Accept(3, 500, /*partial=*/false, empty_digest));
+  EXPECT_FALSE(dedup.Accept(3, 500, /*partial=*/false, empty_digest));
+  ASSERT_NE(dedup.Find(3, 500), nullptr);
+  EXPECT_EQ(*dedup.Find(3, 500), empty_digest);
+  // A *partial* empty result on a later window upgrades to a complete
+  // non-empty one — emptiness must not be confused with absence.
+  EXPECT_TRUE(dedup.Accept(3, 600, /*partial=*/true, empty_digest));
+  EXPECT_TRUE(dedup.IsPartial(3, 600));
+  EXPECT_TRUE(dedup.Accept(3, 600, /*partial=*/false, "rows"));
+  EXPECT_EQ(*dedup.Find(3, 600), "rows");
+  EXPECT_EQ(dedup.size(), 2u);
+  EXPECT_EQ(dedup.upgrades(), 1u);
+}
+
+TEST(WindowDedupTest, RepeatedRecoveriesUpgradeAtMostOncePerWindow) {
+  // At-least-once delivery means every recovery replays the window stream.
+  // Simulate three recovery cycles, each re-delivering a partial result and
+  // then the complete one: the complete result must win exactly once and
+  // every replay after that must be suppressed without downgrading.
+  WindowDedup dedup;
+  EXPECT_TRUE(dedup.Accept(1, 100, /*partial=*/true, "degraded"));
+  size_t accepted = 0;
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    if (dedup.Accept(1, 100, /*partial=*/true, "degraded")) {
+      ++accepted;
+    }
+    if (dedup.Accept(1, 100, /*partial=*/false, "complete")) {
+      ++accepted;
+    }
+  }
+  EXPECT_EQ(accepted, 1u);  // The first complete delivery, nothing else.
+  EXPECT_EQ(dedup.upgrades(), 1u);
+  EXPECT_FALSE(dedup.IsPartial(1, 100));
+  EXPECT_EQ(*dedup.Find(1, 100), "complete");
+  EXPECT_EQ(dedup.duplicates_suppressed(), 5u);
+  // Windows and queries stay independent across the replays.
+  EXPECT_TRUE(dedup.Accept(1, 200, /*partial=*/true, "next-window"));
+  EXPECT_TRUE(dedup.Accept(2, 100, /*partial=*/false, "other-query"));
+  EXPECT_EQ(dedup.size(), 3u);
+}
+
 TEST(FaultFabricTest, DownNodeFailsVerbsWithoutWireCharge) {
   Fabric fabric(2, NetworkModel{}, Transport::kRdma);
   EXPECT_TRUE(fabric.TryOneSidedRead(0, 1, 64).ok());

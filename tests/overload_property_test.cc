@@ -136,6 +136,41 @@ TEST(TransientStorePrefixTest, KeepsLargestFittingPrefixAndStaysDense) {
 
 // --- Phi-accrual detector. ---
 
+TEST(TransientStorePrefixTest, InjectorShedIsFullyAccountedInLedger) {
+  // A starved transient budget forces AppendSlicePrefix at the injector; the
+  // loss must land in the per-batch shed ledger and the global counter, and
+  // the two views must agree edge-for-edge.
+  ClusterConfig config;
+  config.nodes = 1;
+  config.transient_budget_bytes = 256;  // A handful of edges, then starvation.
+  config.overload.enabled = true;
+  config.overload.shed_timing = true;
+  Cluster cluster(config);
+  StringServer* strings = cluster.strings();
+  StreamId stream = *cluster.DefineStream("S", {"ga"});
+  const VertexId ga = strings->InternPredicate("ga");
+
+  StreamTupleVec tuples;
+  for (StreamTime t = 0; t < 400; ++t) {
+    tuples.push_back({{strings->InternVertex("u" + std::to_string(t % 40)), ga,
+                       strings->InternVertex(std::to_string(t % 9))},
+                      t,
+                      TupleKind::kTiming});
+  }
+  ASSERT_TRUE(cluster.FeedStream(stream, tuples).ok());
+  cluster.AdvanceStreams(400);
+
+  const OverloadStats stats = cluster.overload_stats();
+  ASSERT_GT(stats.injector_shed_edges, 0u) << "budget failed to starve";
+  EXPECT_EQ(stats.timing_edges_lost, 0u);  // Shedding on => declared, not lost.
+  uint64_t ledger = 0;
+  for (BatchSeq b = 0; b < 4; ++b) {
+    Cluster::ShedInfo info = cluster.ShedInfoFor(stream, b);
+    ledger += info.injector_lost_edges;
+  }
+  EXPECT_EQ(ledger, stats.injector_shed_edges);
+}
+
 TEST(PhiAccrualTest, DeterministicAndGrowsWithSilence) {
   PhiAccrualConfig config;
   PhiAccrualDetector a(2, config);

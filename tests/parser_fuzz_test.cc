@@ -1,8 +1,22 @@
 // Parser robustness: random garbage, random token soups, and mutated valid
 // queries must never crash or hang — they either parse or return a clean
 // InvalidArgument. Parameterized over seeds.
+//
+// A checked-in seed corpus (tests/corpus/*.rq) is loaded deterministically
+// (sorted by filename) before any random generation: `valid_*` files pin the
+// accepted grammar, `invalid_*` files pin rejections that once needed a
+// dedicated check, and every corpus entry also seeds the mutation fuzzer so
+// regressions reproduce from a file, not a seed hunt.
 
 #include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "src/common/rng.h"
 #include "src/sparql/parser.h"
@@ -10,7 +24,91 @@
 namespace wukongs {
 namespace {
 
+struct CorpusEntry {
+  std::string name;  // Filename, e.g. "valid_union_filter.rq".
+  std::string text;
+};
+
+// Deterministic load order: sorted by filename, independent of directory
+// iteration order, so fuzz runs are reproducible across machines.
+const std::vector<CorpusEntry>& Corpus() {
+  static const std::vector<CorpusEntry>* corpus = [] {
+    auto* out = new std::vector<CorpusEntry>();
+    for (const auto& entry :
+         std::filesystem::directory_iterator(WUKONGS_TEST_CORPUS_DIR)) {
+      if (entry.path().extension() != ".rq") {
+        continue;
+      }
+      std::ifstream in(entry.path());
+      std::ostringstream text;
+      text << in.rdbuf();
+      out->push_back({entry.path().filename().string(), text.str()});
+    }
+    std::sort(out->begin(), out->end(),
+              [](const CorpusEntry& a, const CorpusEntry& b) {
+                return a.name < b.name;
+              });
+    return out;
+  }();
+  return *corpus;
+}
+
+TEST(ParserCorpusTest, ValidSeedsParseAndInvalidSeedsFailCleanly) {
+  ASSERT_FALSE(Corpus().empty()) << "corpus dir missing: " << WUKONGS_TEST_CORPUS_DIR;
+  size_t valid = 0;
+  size_t invalid = 0;
+  for (const CorpusEntry& e : Corpus()) {
+    StringServer strings;
+    auto q = ParseQuery(e.text, &strings);
+    if (e.name.rfind("valid_", 0) == 0) {
+      EXPECT_TRUE(q.ok()) << e.name << ": " << q.status().ToString();
+      ++valid;
+    } else if (e.name.rfind("invalid_", 0) == 0) {
+      EXPECT_FALSE(q.ok()) << e.name << " parsed but is a pinned rejection";
+      if (!q.ok()) {
+        EXPECT_EQ(q.status().code(), StatusCode::kInvalidArgument) << e.name;
+      }
+      ++invalid;
+    } else {
+      ADD_FAILURE() << "corpus file " << e.name
+                    << " must be named valid_* or invalid_*";
+    }
+  }
+  EXPECT_GE(valid, 5u);
+  EXPECT_GE(invalid, 5u);
+}
+
 class ParserFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ParserFuzzTest, CorpusSeededMutantsNeverCrash) {
+  // Corpus entries are mutated *before* (and independently of) the random
+  // generators below — a crash found here reproduces from the named file.
+  Rng rng(GetParam() + 3000);
+  StringServer strings;
+  for (const CorpusEntry& e : Corpus()) {
+    for (int i = 0; i < 60; ++i) {
+      std::string text = e.text;
+      int mutations = static_cast<int>(rng.Uniform(1, 4));
+      for (int m = 0; m < mutations && !text.empty(); ++m) {
+        size_t pos = rng.Uniform(0, text.size() - 1);
+        switch (rng.Uniform(0, 2)) {
+          case 0:
+            text.erase(pos, rng.Uniform(1, 5));
+            break;
+          case 1:
+            text.insert(pos,
+                        std::string(1, static_cast<char>(rng.Uniform(32, 126))));
+            break;
+          default:
+            text[pos] = static_cast<char>(rng.Uniform(32, 126));
+            break;
+        }
+      }
+      auto q = ParseQuery(text, &strings);  // Must return, never crash.
+      (void)q;
+    }
+  }
+}
 
 TEST_P(ParserFuzzTest, RandomBytesNeverCrash) {
   Rng rng(GetParam());

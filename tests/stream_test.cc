@@ -217,6 +217,46 @@ TEST(TransientStoreTest, BudgetTriggersGcOrBackpressure) {
   EXPECT_LE(ts.MemoryBytes(), 4096u + 512u);
 }
 
+TEST(TransientStoreTest, AppendSlicePrefixEmptyBatchStaysDense) {
+  TransientStore ts(/*memory_budget_bytes=*/4096);
+  ASSERT_TRUE(ts.AppendSlice(0, StreamTupleVec{{{1, 7, 2}, 5, TupleKind::kTiming}}));
+  // An empty batch must still create its slice so FindSlice stays dense.
+  EXPECT_EQ(ts.AppendSlicePrefix(1, {}), 0u);
+  ASSERT_TRUE(ts.AppendSlice(2, StreamTupleVec{{{3, 7, 4}, 205, TupleKind::kTiming}}));
+  EXPECT_EQ(ts.SliceCount(), 3u);
+  std::vector<VertexId> out;
+  ts.GetNeighbors(1, Key(1, 7, Dir::kOut), &out);
+  EXPECT_TRUE(out.empty());
+  ts.GetNeighbors(2, Key(3, 7, Dir::kOut), &out);
+  EXPECT_EQ(out, (std::vector<VertexId>{4}));
+}
+
+TEST(TransientStoreTest, AppendSlicePrefixExhaustedBudgetKeepsZero) {
+  TransientStore ts(/*memory_budget_bytes=*/1);  // Nothing ever fits.
+  std::vector<std::pair<Key, VertexId>> edges;
+  for (VertexId v = 1; v <= 8; ++v) {
+    edges.emplace_back(Key(v, 7, Dir::kOut), v + 100);
+  }
+  EXPECT_EQ(ts.AppendSlicePrefix(0, edges), 0u);
+  // The empty slice still exists — the batch is not a gap.
+  EXPECT_EQ(ts.SliceCount(), 1u);
+  EXPECT_EQ(ts.EdgeCount(0, Key(1, 7, Dir::kOut)), 0u);
+}
+
+TEST(TransientStoreTest, AppendSlicePrefixUnboundedKeepsWholeBatch) {
+  TransientStore ts;  // Budget 0 = unbounded.
+  std::vector<std::pair<Key, VertexId>> edges;
+  for (VertexId v = 1; v <= 8; ++v) {
+    edges.emplace_back(Key(v, 7, Dir::kOut), v + 100);
+  }
+  EXPECT_EQ(ts.AppendSlicePrefix(0, edges), edges.size());
+  for (VertexId v = 1; v <= 8; ++v) {
+    std::vector<VertexId> out;
+    ts.GetNeighbors(0, Key(v, 7, Dir::kOut), &out);
+    EXPECT_EQ(out, (std::vector<VertexId>{v + 100}));
+  }
+}
+
 TEST(TransientStoreTest, BudgetWithMovingHorizonNeverBlocks) {
   TransientStore ts(/*memory_budget_bytes=*/8192);
   for (BatchSeq b = 0; b < 500; ++b) {
