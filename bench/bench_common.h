@@ -9,15 +9,19 @@
 #ifndef BENCH_BENCH_COMMON_H_
 #define BENCH_BENCH_COMMON_H_
 
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "src/baselines/baseline_streams.h"
 #include "src/cluster/cluster.h"
 #include "src/common/histogram.h"
 #include "src/common/table_printer.h"
+#include "src/obs/metrics.h"
 #include "src/sparql/parser.h"
 #include "src/workloads/lsbench.h"
 
@@ -124,6 +128,89 @@ Histogram MeasureEngine(Fn&& execute, StreamTime first_end_ms, StreamTime step_m
   }
   return hist;
 }
+
+// --- machine-readable artifacts (DESIGN.md §5.8) -------------------------
+//
+// Every bench accepts `--json <path>`; when given, the numbers behind the
+// printed table are mirrored into a MetricsRegistry (full latency
+// distributions as histograms, scalars as gauges/counters) and dumped as
+// `{"bench": <name>, "metrics": <registry JSON>}` so CI can upload them and
+// runs can be diffed without scraping stdout.
+
+inline std::string JsonOutPath(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--json") {
+      return argv[i + 1];
+    }
+  }
+  return {};
+}
+
+inline bool HasFlag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == flag) {
+      return true;
+    }
+  }
+  return false;
+}
+
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+
+class BenchArtifact {
+ public:
+  explicit BenchArtifact(std::string name) : name_(std::move(name)) {}
+
+  // Replays a measured latency distribution into the registry so the JSON
+  // carries p50/p90/p99/max, not just the one number the table printed.
+  void RecordLatencies(const std::string& metric, const MetricLabels& labels,
+                       const Histogram& hist) {
+    obs::HistogramMetric* h =
+        registry_.GetHistogram(obs::MetricsRegistry::Labeled(metric, labels));
+    for (double v : hist.samples()) {
+      h->Observe(v);
+    }
+  }
+
+  void SetValue(const std::string& metric, const MetricLabels& labels,
+                double value) {
+    registry_.GetGauge(obs::MetricsRegistry::Labeled(metric, labels))
+        ->Set(value);
+  }
+
+  // Direct Add (not obs::Bump): the artifact must fill even in a
+  // -DWUKONGS_OBS=OFF build, where Bump compiles to a no-op.
+  void AddCount(const std::string& metric, const MetricLabels& labels,
+                uint64_t n) {
+    registry_.GetCounter(obs::MetricsRegistry::Labeled(metric, labels))
+        ->Add(n);
+  }
+
+  // Folds a live registry (e.g. the cluster's, when the bench ran with
+  // observability attached) into the artifact.
+  void MergeRegistry(const obs::MetricsRegistry& other) {
+    registry_.MergeFrom(other);
+  }
+
+  // No-op when `path` is empty (bench invoked without --json).
+  void Write(const std::string& path) const {
+    if (path.empty()) {
+      return;
+    }
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "cannot write bench artifact to " << path << "\n";
+      std::abort();
+    }
+    out << "{\"bench\":\"" << name_ << "\",\"metrics\":" << registry_.ToJson()
+        << "}\n";
+    std::cout << "\nartifact: " << path << "\n";
+  }
+
+ private:
+  std::string name_;
+  obs::MetricsRegistry registry_;
+};
 
 inline void PrintHeader(const std::string& title, const NetworkModel& model) {
   std::cout << "=== " << title << " ===\n";

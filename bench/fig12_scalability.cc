@@ -15,9 +15,11 @@ constexpr StreamTime kFeedTo = 4000;
 constexpr StreamTime kFirstEnd = 2000;
 constexpr StreamTime kStep = 100;
 
-void Run() {
+void Run(int argc, char** argv) {
   PrintHeader("Fig. 12: latency (ms) vs number of machines, LSBench",
               NetworkModel{});
+  BenchArtifact artifact("fig12_scalability");
+  artifact.SetValue("bench_samples_per_query", {}, kSamples);
 
   std::vector<uint32_t> node_counts = {2, 4, 6, 8};
   // medians[q][n] for query L(q+1) at node_counts[n].
@@ -30,9 +32,13 @@ void Run() {
     for (int i = 1; i <= LsBench::kNumContinuous; ++i) {
       Query q = MustParse(env.bench->ContinuousQueryText(i), env.strings.get());
       auto handle = env.cluster->RegisterContinuousParsed(q);
-      medians[static_cast<size_t>(i - 1)].push_back(
-          MeasureContinuous(env.cluster.get(), *handle, kFirstEnd, kStep, kSamples)
-              .Median());
+      Histogram hist = MeasureContinuous(env.cluster.get(), *handle, kFirstEnd,
+                                         kStep, kSamples);
+      medians[static_cast<size_t>(i - 1)].push_back(hist.Median());
+      artifact.RecordLatencies("bench_latency_ms",
+                               {{"query", "L" + std::to_string(i)},
+                                {"nodes", std::to_string(nodes)}},
+                               hist);
     }
   }
 
@@ -46,17 +52,21 @@ void Run() {
     }
     row.push_back(TablePrinter::Num(m.front() / m.back(), 2) + "x");
     table.AddRow(row);
+    artifact.SetValue("bench_speedup_2_to_8",
+                      {{"query", "L" + std::to_string(i + 1)}},
+                      m.front() / m.back());
   }
   table.Print();
   std::cout << "\ngroup (I) = L1-L3 (expected ~flat), group (II) = L4-L6 "
                "(expected ~3x speedup 2->8)\n";
+  artifact.Write(JsonOutPath(argc, argv));
 }
 
 }  // namespace
 }  // namespace bench
 }  // namespace wukongs
 
-int main() {
-  wukongs::bench::Run();
+int main(int argc, char** argv) {
+  wukongs::bench::Run(argc, argv);
   return 0;
 }

@@ -10,6 +10,7 @@
 #include "bench/bench_common.h"
 #include "src/baselines/csparql_engine.h"
 #include "src/baselines/storm_wukong.h"
+#include "src/obs/trace.h"
 
 namespace wukongs {
 namespace bench {
@@ -20,11 +21,27 @@ constexpr StreamTime kFeedTo = 4000;
 constexpr StreamTime kFirstEnd = 2000;
 constexpr StreamTime kStep = 100;
 
-void Run() {
+void Run(int argc, char** argv) {
+  // --obs attaches the live observability layer to the measured cluster —
+  // the configuration the EXPERIMENTS.md overhead row compares against the
+  // default (runtime-disabled) run.
+  const bool with_obs = HasFlag(argc, argv, "--obs");
+  obs::MetricsRegistry registry;
+  obs::Tracer tracer;
+  ClusterConfig cluster_config;
+  if (with_obs) {
+    cluster_config.metrics = &registry;
+    cluster_config.tracer = &tracer;
+  }
+
   LsBenchConfig config;
-  LsEnvironment env = LsEnvironment::Create(/*nodes=*/1, config, kFeedTo);
+  LsEnvironment env =
+      LsEnvironment::Create(/*nodes=*/1, config, kFeedTo, cluster_config);
   PrintHeader("Table 2: single-node continuous query latency (ms), LSBench",
               env.cluster->config().network);
+  if (with_obs) {
+    std::cout << "observability: ENABLED (metrics registry + tracer attached)\n";
+  }
   std::cout << "initial triples: " << env.bench->initial_triples()
             << ", stream rate: " << env.bench->total_rate_tuples_per_sec()
             << " tuples/s, samples/query: " << kSamples << "\n\n";
@@ -45,6 +62,9 @@ void Run() {
   TablePrinter table({"LSBench", "Wukong+S", "Storm+Wukong All", "(Storm)",
                       "(Wukong)", "CSPARQL-engine"});
   std::vector<double> ws_all, sw_all, cs_all;
+  BenchArtifact artifact("table2_latency_single");
+  artifact.SetValue("bench_obs_enabled", {}, with_obs ? 1.0 : 0.0);
+  artifact.SetValue("bench_samples_per_query", {}, kSamples);
 
   for (int i = 1; i <= LsBench::kNumContinuous; ++i) {
     Query q = MustParse(env.bench->ContinuousQueryText(i), env.strings.get());
@@ -85,6 +105,14 @@ void Run() {
     ws_all.push_back(ws.Median());
     sw_all.push_back(sw.Median());
     cs_all.push_back(cs.Median());
+
+    const std::string query = "L" + std::to_string(i);
+    artifact.RecordLatencies("bench_latency_ms",
+                             {{"query", query}, {"engine", "wukongs"}}, ws);
+    artifact.RecordLatencies("bench_latency_ms",
+                             {{"query", query}, {"engine", "storm_wukong"}}, sw);
+    artifact.RecordLatencies("bench_latency_ms",
+                             {{"query", query}, {"engine", "csparql"}}, cs);
   }
   table.AddRow({"Geo.M", TablePrinter::Num(GeometricMeanOf(ws_all)),
                 TablePrinter::Num(GeometricMeanOf(sw_all)), "-", "-",
@@ -96,13 +124,33 @@ void Run() {
             << "x, vs CSPARQL-engine = "
             << TablePrinter::Num(GeometricMeanOf(cs_all) / GeometricMeanOf(ws_all), 0)
             << "x\n";
+
+  artifact.SetValue("bench_geomean_ms", {{"engine", "wukongs"}},
+                    GeometricMeanOf(ws_all));
+  artifact.SetValue("bench_geomean_ms", {{"engine", "storm_wukong"}},
+                    GeometricMeanOf(sw_all));
+  artifact.SetValue("bench_geomean_ms", {{"engine", "csparql"}},
+                    GeometricMeanOf(cs_all));
+  artifact.SetValue("bench_speedup", {{"vs", "storm_wukong"}},
+                    GeometricMeanOf(sw_all) / GeometricMeanOf(ws_all));
+  artifact.SetValue("bench_speedup", {{"vs", "csparql"}},
+                    GeometricMeanOf(cs_all) / GeometricMeanOf(ws_all));
+  if (with_obs) {
+    // Fold the cluster's live counters (ingest, index, query lifecycle) into
+    // the artifact so the JSON also proves what the run did.
+    env.cluster->UpdateScrapedMetrics();
+    artifact.MergeRegistry(registry);
+    artifact.SetValue("bench_trace_events", {},
+                      static_cast<double>(tracer.size()));
+  }
+  artifact.Write(JsonOutPath(argc, argv));
 }
 
 }  // namespace
 }  // namespace bench
 }  // namespace wukongs
 
-int main() {
-  wukongs::bench::Run();
+int main(int argc, char** argv) {
+  wukongs::bench::Run(argc, argv);
   return 0;
 }

@@ -79,6 +79,7 @@ struct FloodResult {
   double p99_ms = 0.0;
   uint64_t rejected = 0;
   size_t total = 0;
+  Histogram sojourn;  // Full distribution, for the JSON artifact.
 };
 
 FloodResult Flood(Cluster* cluster, const std::vector<Query>& mix,
@@ -130,7 +131,7 @@ FloodResult Flood(Cluster* cluster, const std::vector<Query>& mix,
 
   FloodResult out;
   out.total = n;
-  Histogram sojourn;
+  Histogram& sojourn = out.sojourn;
   size_t ok = 0;
   Clock::time_point last_done = start;
   for (size_t i = 0; i < n; ++i) {
@@ -156,7 +157,7 @@ FloodResult Flood(Cluster* cluster, const std::vector<Query>& mix,
   return out;
 }
 
-void RunQueryFlood() {
+void RunQueryFlood(BenchArtifact* artifact) {
   LsBenchConfig config;
   config.users = 2000;
   LsEnvironment env = LsEnvironment::Create(kNodes, config, /*feed_to_ms=*/1000);
@@ -180,6 +181,10 @@ void RunQueryFlood() {
             << " ms under contention); unloaded (0.2x) p50 "
             << TablePrinter::Num(base.p50_ms, 3) << " ms, p99 "
             << TablePrinter::Num(base.p99_ms, 3) << " ms\n";
+
+  artifact->SetValue("bench_saturation_qps", {}, saturation_qps);
+  artifact->RecordLatencies("bench_sojourn_ms", {{"load", "unloaded"}},
+                            base.sojourn);
 
   TablePrinter table({"load", "offered (q/s)", "goodput (q/s)", "p50 (ms)",
                       "p99 (ms)", "p99 vs unloaded", "rejected"});
@@ -214,6 +219,18 @@ void RunQueryFlood() {
                   TablePrinter::Num(on.p99_ms / base.p99_ms, 1) + "x",
                   TablePrinter::Num(static_cast<double>(on.rejected), 0) + "/" +
                       TablePrinter::Num(static_cast<double>(on.total), 0)});
+
+    char load[16];
+    std::snprintf(load, sizeof(load), "%.1fx", m);
+    for (const auto& [protect, r] :
+         {std::pair<const char*, const FloodResult*>{"off", &off},
+          {"on", &on}}) {
+      MetricLabels labels = {{"load", load}, {"protect", protect}};
+      artifact->RecordLatencies("bench_sojourn_ms", labels, r->sojourn);
+      artifact->SetValue("bench_goodput_qps", labels, r->goodput_qps);
+      artifact->SetValue("bench_offered_qps", labels, r->offered_qps);
+      artifact->AddCount("bench_rejected_total", labels, r->rejected);
+    }
   }
   table.Print();
   std::cout << "acceptance: at 2x saturation, protected p99 = "
@@ -309,7 +326,7 @@ ShedRun FeedAtRate(double scale, bool protect) {
   return out;
 }
 
-void RunStreamPressure() {
+void RunStreamPressure(BenchArtifact* artifact) {
   std::cout << "\nPart B: GPS timing stream at m x base rate (200 t/s), "
             << TablePrinter::Num(kTransientBudgetBytes / 1024.0, 0)
             << " KB transient ring per node, " << kFeedToMs / 1000 << "s feed\n";
@@ -333,6 +350,19 @@ void RunStreamPressure() {
            TablePrinter::Num(100.0 * delivered, 1) + "%",
            TablePrinter::Num(r.window_shed_fraction, 3),
            TablePrinter::Num(static_cast<double>(r.window_rows), 0)});
+
+      char load[16];
+      std::snprintf(load, sizeof(load), "%.1fx", m);
+      MetricLabels labels = {{"load", load}, {"protect", protect ? "on" : "off"}};
+      artifact->AddCount("bench_timing_edges_total", labels,
+                         static_cast<uint64_t>(total));
+      artifact->AddCount("bench_door_shed_edges_total", labels,
+                         static_cast<uint64_t>(door));
+      artifact->AddCount("bench_silent_lost_edges_total", labels,
+                         static_cast<uint64_t>(lost));
+      artifact->SetValue("bench_delivered_fraction", labels, delivered);
+      artifact->SetValue("bench_window_shed_fraction", labels,
+                         r.window_shed_fraction);
     }
   }
   table.Print();
@@ -342,18 +372,20 @@ void RunStreamPressure() {
                "at the store, and every window result carries the fraction)\n";
 }
 
-void Run() {
+void Run(int argc, char** argv) {
   PrintHeader("Overload protection: admission control + load shedding vs the cliff",
               NetworkModel{});
-  RunQueryFlood();
-  RunStreamPressure();
+  BenchArtifact artifact("table_overload");
+  RunQueryFlood(&artifact);
+  RunStreamPressure(&artifact);
+  artifact.Write(JsonOutPath(argc, argv));
 }
 
 }  // namespace
 }  // namespace bench
 }  // namespace wukongs
 
-int main() {
-  wukongs::bench::Run();
+int main(int argc, char** argv) {
+  wukongs::bench::Run(argc, argv);
   return 0;
 }

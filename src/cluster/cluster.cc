@@ -29,6 +29,24 @@ constexpr double kForkJoinSetupTcpNs = 40000.0;
 constexpr size_t kBindingBytes = sizeof(VertexId);
 constexpr size_t kTupleWireBytes = 24;
 
+// Observability span helper (counter bumps use obs::Bump, found by ADL):
+// compiled out entirely under -DWUKONGS_OBS_DISABLED, a single predictable
+// branch when the runtime switch (null tracer in ClusterConfig) is off.
+obs::Tracer::Span TraceSpan(obs::Tracer* tracer, const char* cat,
+                            const char* name, uint32_t tid) {
+  if constexpr (obs::kCompiledIn) {
+    if (tracer != nullptr) {
+      return tracer->StartSpan(cat, name, tid);
+    }
+  } else {
+    (void)tracer;
+    (void)cat;
+    (void)name;
+    (void)tid;
+  }
+  return {};
+}
+
 }  // namespace
 
 Cluster::Cluster(const ClusterConfig& config, StringServer* shared_strings)
@@ -54,6 +72,40 @@ Cluster::Cluster(const ClusterConfig& config, StringServer* shared_strings)
     health_ =
         std::make_unique<FailureDetector>(config_.nodes, config_.overload.phi);
   }
+  if constexpr (obs::kCompiledIn) {
+    tracer_ = config_.tracer;
+    if (obs::MetricsRegistry* m = config_.metrics; m != nullptr) {
+      obs_.door_shed_tuples = m->GetCounter("wukongs_door_shed_tuples_total");
+      obs_.injector_shed_edges =
+          m->GetCounter("wukongs_injector_shed_edges_total");
+      obs_.timing_edges_lost = m->GetCounter("wukongs_timing_edges_lost_total");
+      obs_.feed_rejections = m->GetCounter("wukongs_feed_rejections_total");
+      obs_.credit_stalls = m->GetCounter("wukongs_credit_stalls_total");
+      obs_.plan_stalls = m->GetCounter("wukongs_plan_stalls_total");
+      obs_.append_pressure_events =
+          m->GetCounter("wukongs_append_pressure_events_total");
+      obs_.backlog_deferred = m->GetCounter("wukongs_backlog_deferred_total");
+      obs_.backlog_drained = m->GetCounter("wukongs_backlog_drained_total");
+      obs_.quarantines = m->GetCounter("wukongs_quarantines_total");
+      obs_.reactivations = m->GetCounter("wukongs_reactivations_total");
+      obs_.heartbeats = m->GetCounter("wukongs_heartbeats_total");
+      obs_.batches_injected = m->GetCounter("wukongs_batches_injected_total");
+      obs_.tuples_injected = m->GetCounter("wukongs_tuples_injected_total");
+      obs_.queries_oneshot = m->GetCounter("wukongs_queries_oneshot_total");
+      obs_.queries_continuous =
+          m->GetCounter("wukongs_queries_continuous_total");
+      obs_.fault_retries = m->GetCounter("wukongs_fault_retries_total");
+      obs_.backoff_us = m->GetCounter("wukongs_fault_backoff_us_total");
+      obs_.batches_redelivered =
+          m->GetCounter("wukongs_batches_redelivered_total");
+      obs_.duplicates_suppressed =
+          m->GetCounter("wukongs_duplicates_suppressed_total");
+      obs_.crashes = m->GetCounter("wukongs_crashes_total");
+      obs_.reroutes = m->GetCounter("wukongs_reroutes_total");
+      obs_.degraded_executions =
+          m->GetCounter("wukongs_degraded_executions_total");
+    }
+  }
 }
 
 Cluster::~Cluster() = default;
@@ -75,6 +127,14 @@ StatusOr<StreamId> Cluster::DefineStream(
                                                   std::move(timing));
   state.ingest_node = static_cast<NodeId>(id % config_.nodes);
   state.shed_priority = shed_priority;
+  if constexpr (obs::kCompiledIn) {
+    if (obs::MetricsRegistry* m = config_.metrics; m != nullptr) {
+      state.obs_batches = m->GetCounter(obs::MetricsRegistry::Labeled(
+          "wukongs_stream_batches_injected_total", {{"stream", name}}));
+      state.obs_tuples = m->GetCounter(obs::MetricsRegistry::Labeled(
+          "wukongs_stream_tuples_injected_total", {{"stream", name}}));
+    }
+  }
   streams_.push_back(std::move(state));
   stream_names_.emplace(name, id);
 
@@ -124,6 +184,7 @@ Status Cluster::FeedStream(StreamId stream, const StreamTupleVec& tuples) {
         std::lock_guard lock(overload_mu_);
         ++overload_stats_.feed_rejections;
       }
+      Bump(obs_.feed_rejections);
       // The backpressure terminus: the feeder gets a retryable rejection
       // instead of the cluster buffering without bound.
       return Status::ResourceExhausted("stream " + streams_[stream].name +
@@ -131,7 +192,13 @@ Status Cluster::FeedStream(StreamId stream, const StreamTupleVec& tuples) {
     }
   }
   std::vector<StreamBatch> batches;
+  auto span = TraceSpan(tracer_, "ingest", "ingest/adaptor",
+                        streams_[stream].ingest_node);
   Status s = streams_[stream].adaptor->Ingest(tuples, &batches);
+  span.Arg("stream", static_cast<uint64_t>(stream))
+      .Arg("tuples", static_cast<uint64_t>(tuples.size()))
+      .Arg("batches", static_cast<uint64_t>(batches.size()));
+  span.End();
   if (!s.ok()) {
     return s;
   }
@@ -195,6 +262,7 @@ void Cluster::EnqueueBatch(StreamBatch&& batch) {
           static_cast<size_t>(keep * static_cast<double>(timing));
       const size_t shed = ShedTimingSuffix(&batch, max_keep);
       if (shed > 0) {
+        Bump(obs_.door_shed_tuples, shed);
         std::lock_guard lock(overload_mu_);
         state.shed[batch.seq].door_shed_tuples += shed;
         overload_stats_.door_shed_tuples += shed;
@@ -226,6 +294,7 @@ void Cluster::PumpPending(StreamId stream) {
   StreamState& state = streams_[stream];
   while (!state.pending.empty()) {
     if (!HasCredit(stream)) {
+      Bump(obs_.credit_stalls);
       std::lock_guard lock(overload_mu_);
       ++overload_stats_.credit_stalls;
       break;
@@ -233,6 +302,7 @@ void Cluster::PumpPending(StreamId stream) {
     if (!coordinator_->CanPlanSnFor(stream, state.pending.front().seq)) {
       // The injector stalls rather than extending the SN-VTS plan past the
       // cap (§4.3's bounded-scalarization discipline under overload).
+      Bump(obs_.plan_stalls);
       std::lock_guard lock(overload_mu_);
       ++overload_stats_.plan_stalls;
       break;
@@ -273,6 +343,9 @@ void Cluster::DeliverBatch(const StreamBatch& batch) {
     fault_stats_.delivery_retry.backoff_ns += wait;
     ++fault_stats_.delivery_retry.retries;
     ++fault_stats_.batches_redelivered;
+    Bump(obs_.batches_redelivered);
+    Bump(obs_.fault_retries);
+    Bump(obs_.backoff_us, static_cast<uint64_t>(wait / 1e3));
   } else if (fate == BatchFate::kDelay) {
     SimCost::Add(inj->schedule().batch_delay_ns);
     ++fault_stats_.batches_delayed;
@@ -284,6 +357,7 @@ void Cluster::DeliverBatch(const StreamBatch& batch) {
   for (int c = 0; c < copies; ++c) {
     if (batch.seq < delivered_next_[batch.stream]) {
       ++fault_stats_.duplicates_suppressed;
+      Bump(obs_.duplicates_suppressed);
       continue;
     }
     InjectBatch(batch);
@@ -315,6 +389,11 @@ void Cluster::InjectBatch(const StreamBatch& batch, int only_node) {
   }
 
   // Dispatcher: partition each tuple's two directions by owner node.
+  obs::Tracer* batch_tracer = filtered ? nullptr : tracer_;
+  auto dispatch_span = TraceSpan(batch_tracer, "ingest", "ingest/dispatch", ingest);
+  dispatch_span.Arg("stream", static_cast<uint64_t>(batch.stream))
+      .Arg("seq", static_cast<uint64_t>(batch.seq))
+      .Arg("tuples", static_cast<uint64_t>(batch.tuples.size()));
   std::vector<std::vector<std::pair<Key, VertexId>>> timeless(nodes);
   std::vector<std::vector<std::pair<Key, VertexId>>> timing(nodes);
   for (const StreamTuple& t : batch.tuples) {
@@ -324,6 +403,7 @@ void Cluster::InjectBatch(const StreamBatch& batch, int only_node) {
     out_dst[OwnerOf(t.triple.subject)].emplace_back(out_key, t.triple.object);
     out_dst[OwnerOf(t.triple.object)].emplace_back(in_key, t.triple.subject);
   }
+  dispatch_span.End();
 
   // Injection: persistent appends (timeless) + transient slices (timing).
   // A node inside a scheduled slow window gets its partition parked in the
@@ -332,6 +412,9 @@ void Cluster::InjectBatch(const StreamBatch& batch, int only_node) {
   FaultInjector* inj = config_.fault_injector;
   const StreamTime batch_end_ms = (batch.seq + 1) * config_.batch_interval_ms;
   LatencyProbe inject_probe;
+  auto append_span = TraceSpan(batch_tracer, "ingest", "ingest/append", ingest);
+  append_span.Arg("stream", static_cast<uint64_t>(batch.stream))
+      .Arg("seq", static_cast<uint64_t>(batch.seq));
   std::vector<std::vector<AppendSpan>> spans(nodes);
   std::vector<char> deferred(nodes, 0);
   for (NodeId n = 0; n < nodes; ++n) {
@@ -361,6 +444,7 @@ void Cluster::InjectBatch(const StreamBatch& batch, int only_node) {
                                               std::move(timeless[n]),
                                               std::move(timing[n])});
       deferred[n] = 1;
+      Bump(obs_.backlog_deferred);
       std::lock_guard lock(overload_mu_);
       ++overload_stats_.backlog_deferred;
       continue;
@@ -368,11 +452,24 @@ void Cluster::InjectBatch(const StreamBatch& batch, int only_node) {
     if (!filtered && !backlog_[n].empty()) {
       DrainBacklog(n);  // FIFO: parked batches land before this one.
     }
-    for (const auto& [key, value] : timeless[n]) {
-      stores_raw_[n]->InjectEdge(key, value, sn, &spans[n]);
+    {
+      auto persist_span = TraceSpan(
+          timeless[n].empty() ? nullptr : batch_tracer, "ingest",
+          "ingest/append_persistent", n);
+      persist_span.Arg("edges", static_cast<uint64_t>(timeless[n].size()));
+      for (const auto& [key, value] : timeless[n]) {
+        stores_raw_[n]->InjectEdge(key, value, sn, &spans[n]);
+      }
     }
-    AppendTimingEdges(batch.stream, n, batch.seq, timing[n]);
+    {
+      auto transient_span = TraceSpan(
+          timing[n].empty() ? nullptr : batch_tracer, "ingest",
+          "ingest/append_transient", n);
+      transient_span.Arg("edges", static_cast<uint64_t>(timing[n].size()));
+      AppendTimingEdges(batch.stream, n, batch.seq, timing[n]);
+    }
   }
+  append_span.End();
   if (!filtered) {
     state.profile.inject_ms += inject_probe.FinishMs();
   }
@@ -381,6 +478,10 @@ void Cluster::InjectBatch(const StreamBatch& batch, int only_node) {
   // replay rebuilds only the target node's index portion; replication to
   // subscribers already happened during the original live injection.
   LatencyProbe index_probe;
+  auto index_span =
+      TraceSpan(batch_tracer, "ingest", "ingest/index_publish", ingest);
+  index_span.Arg("stream", static_cast<uint64_t>(batch.stream))
+      .Arg("seq", static_cast<uint64_t>(batch.seq));
   for (NodeId n = 0; n < nodes; ++n) {
     if (!applies(n) || deferred[n]) {
       continue;
@@ -399,6 +500,7 @@ void Cluster::InjectBatch(const StreamBatch& batch, int only_node) {
       }
     }
   }
+  index_span.End();
   if (!filtered) {
     state.profile.index_ms += index_probe.FinishMs();
   }
@@ -413,6 +515,10 @@ void Cluster::InjectBatch(const StreamBatch& batch, int only_node) {
   }
   state.profile.tuples += batch.tuples.size();
   state.profile.batches += 1;
+  Bump(obs_.batches_injected);
+  Bump(obs_.tuples_injected, batch.tuples.size());
+  Bump(state.obs_batches);
+  Bump(state.obs_tuples, batch.tuples.size());
 
   if (batch_logger_) {
     batch_logger_(batch);
@@ -434,6 +540,7 @@ void Cluster::AppendTimingEdges(
     std::lock_guard lock(overload_mu_);
     ++overload_stats_.append_pressure_events;
   }
+  Bump(obs_.append_pressure_events);
   streams_[stream].pressure.Raise(config_.overload.append_failure_pressure);
   if (pressure_listener_) {
     pressure_listener_(stream, n);
@@ -452,6 +559,11 @@ void Cluster::AppendTimingEdges(
   const size_t lost = edges.size() - kept;
   if (lost == 0) {
     return;
+  }
+  if (config_.overload.enabled && config_.overload.shed_timing) {
+    Bump(obs_.injector_shed_edges, lost);
+  } else {
+    Bump(obs_.timing_edges_lost, lost);
   }
   std::lock_guard lock(overload_mu_);
   streams_[stream].shed[seq].injector_lost_edges += lost;
@@ -491,6 +603,7 @@ void Cluster::DrainBacklog(NodeId n) {
       }
     }
     coordinator_->ReportInjected(n, d.stream, d.seq);
+    Bump(obs_.backlog_drained);
     std::lock_guard lock(overload_mu_);
     ++overload_stats_.backlog_drained;
   }
@@ -531,6 +644,7 @@ void Cluster::TickHealth(StreamTime now_ms) {
       }
       fabric_->Heartbeat(n, 0);
       health_->Heartbeat(n, now_ms);
+      Bump(obs_.heartbeats);
     }
     for (NodeId n = 0; n < config_.nodes; ++n) {
       if (!fabric_->node_up(n)) {
@@ -543,12 +657,14 @@ void Cluster::TickHealth(StreamTime now_ms) {
         // like a crash) but injection keeps feeding it so it can catch up.
         coordinator_->SetNodeActive(n, false);
         fabric_->SetNodeServing(n, false);
+        Bump(obs_.quarantines);
         std::lock_guard lock(overload_mu_);
         ++overload_stats_.quarantines;
       } else if (action == HealthAction::kReactivate &&
                  !fabric_->node_serving(n)) {
         coordinator_->SetNodeActive(n, true);
         fabric_->SetNodeServing(n, true);
+        Bump(obs_.reactivations);
         std::lock_guard lock(overload_mu_);
         ++overload_stats_.reactivations;
       }
@@ -600,8 +716,8 @@ bool Cluster::NodeServing(NodeId n) const { return fabric_->node_serving(n); }
 
 uint32_t Cluster::ServingNodeCount() const { return fabric_->serving_count(); }
 
-double Cluster::WindowShedFraction(const Registration& reg,
-                                   StreamTime end_ms) const {
+void Cluster::ApplyWindowLoss(const Registration& reg, StreamTime end_ms,
+                              QueryExecution* exec) const {
   // Everything in edge units (1 door tuple = 2 dispatched edges) so door
   // sheds and injector losses add up consistently.
   uint64_t total = 0;
@@ -637,10 +753,11 @@ double Cluster::WindowShedFraction(const Registration& reg,
       shed += 2 * it->second.door_shed_tuples + it->second.injector_lost_edges;
     }
   }
-  if (total == 0) {
-    return 0.0;
-  }
-  return std::min(1.0, static_cast<double>(shed) / static_cast<double>(total));
+  exec->timing_edges_lost = shed;
+  exec->shed_fraction =
+      total == 0 ? 0.0
+                 : std::min(1.0, static_cast<double>(shed) /
+                                     static_cast<double>(total));
 }
 
 bool Cluster::IsSelective(const Query& q, const std::vector<int>& plan) const {
@@ -656,6 +773,10 @@ StatusOr<ExecContext> Cluster::BuildContext(
     std::vector<std::unique_ptr<NeighborSource>>* holders, DegradeState* degrade) {
   ExecContext ctx;
   ctx.strings = strings_;
+  if constexpr (obs::kCompiledIn) {
+    ctx.tracer = tracer_;
+    ctx.trace_node = home;
+  }
   holders->push_back(std::make_unique<StoreSource>(
       stores_raw_, fabric_.get(), home, coordinator_->StableSn(), policy,
       &config_.retry, degrade));
@@ -697,6 +818,7 @@ NodeId Cluster::EffectiveHome(NodeId home) {
   for (NodeId n = 0; n < config_.nodes; ++n) {
     if (fabric_->node_serving(n)) {
       ++fault_stats_.reroutes;
+      Bump(obs_.reroutes);
       return n;
     }
   }
@@ -708,8 +830,11 @@ void Cluster::ApplyDegrade(const DegradeState& degrade, QueryExecution* exec) {
   exec->skipped_shards = degrade.skipped_shards;
   exec->fault_retries = degrade.retry.retries;
   exec->backoff_ms = degrade.retry.backoff_ns / 1e6;
+  Bump(obs_.fault_retries, degrade.retry.retries);
+  Bump(obs_.backoff_us, static_cast<uint64_t>(degrade.retry.backoff_ns / 1e3));
   if (degrade.partial) {
     ++fault_stats_.degraded_executions;
+    Bump(obs_.degraded_executions);
   }
 }
 
@@ -758,6 +883,14 @@ StatusOr<QueryExecution> Cluster::RunQuery(const Query& q,
 
   double sim_before = SimCost::TotalNs();
   Stopwatch wall;
+  const char* mode =
+      fork_join ? (migrating ? "migrating" : "fork_join") : "in_place";
+  if (tracer_ != nullptr) {
+    tracer_->Instant("query", "query/dispatch", home);
+  }
+  auto exec_span = TraceSpan(tracer_, "query", "query/execute", home);
+  exec_span.Arg("mode", std::string(mode))
+      .Arg("patterns", static_cast<uint64_t>(plan.size()));
   auto table = ExecutePatterns(q, plan, ctx, hook);
   if (!table.ok()) {
     return table.status();
@@ -779,7 +912,10 @@ StatusOr<QueryExecution> Cluster::RunQuery(const Query& q,
     return fin;
   }
   double cpu_ns = wall.ElapsedNs();
+  exec_span.Arg("rows", static_cast<uint64_t>(result->rows.size()));
+  exec_span.End();
 
+  auto merge_span = TraceSpan(tracer_, "query", "query/merge", home);
   if (fork_join && live > 1 && !migrating) {
     // Full fork-join: dispatch into every node's task queue + join barrier.
     SimCost::Add(rdma ? kForkJoinSetupRdmaNs : kForkJoinSetupTcpNs);
@@ -804,6 +940,7 @@ StatusOr<QueryExecution> Cluster::RunQuery(const Query& q,
   } else if (migrating && live > 1) {
     SimCost::Add(rdma ? kRdmaHopNs : kTcpHopNs);  // Final reply hop.
   }
+  merge_span.End();
   double net_ns = SimCost::TotalNs() - sim_before;
 
   QueryExecution exec;
@@ -877,12 +1014,17 @@ StatusOr<QueryExecution> Cluster::ExecuteUnion(const Registration& reg,
     return fin;
   }
   ApplyDegrade(degrade, &total);
-  total.shed_fraction = WindowShedFraction(reg, end_ms);
+  // The merge step carries the loss accounting: before this, a UNION /
+  // fork-join execution rebuilt QueryExecution from the branch merges and the
+  // client never saw shed_fraction or the absolute edge loss.
+  ApplyWindowLoss(reg, end_ms, &total);
   return total;
 }
 
 StatusOr<QueryExecution> Cluster::OneShot(std::string_view text, NodeId home) {
+  auto parse_span = TraceSpan(tracer_, "query", "query/parse", home);
   auto q = ParseQuery(text, strings_);
+  parse_span.End();
   if (!q.ok()) {
     return q.status();
   }
@@ -917,17 +1059,24 @@ StatusOr<QueryExecution> Cluster::OneShotParsed(const Query& q, NodeId home) {
     reg.stream_ids.push_back(*sid);
   }
   if (!q.unions.empty()) {
-    return ExecuteUnion(reg, 0, snapshot);
+    auto exec = ExecuteUnion(reg, 0, snapshot);
+    if (exec.ok()) {
+      Bump(obs_.queries_oneshot);
+    }
+    return exec;
   }
   NodeId exec_home = EffectiveHome(home);
   const bool degraded = fabric_->AnyNodeNotServing();
   DegradeState degrade;
+  auto plan_span = TraceSpan(tracer_, "query", "query/plan", exec_home);
   auto plan_ctx = BuildContext(reg, 0, ChargePolicy::kNoCharge, exec_home,
                                &holders, nullptr);
   if (!plan_ctx.ok()) {
     return plan_ctx.status();
   }
   std::vector<int> plan = PlanQuery(q, *plan_ctx);
+  plan_span.Arg("patterns", static_cast<uint64_t>(plan.size()));
+  plan_span.End();
   bool selective = IsSelective(q, plan);
   bool fork_join = config_.force_fork_join ||
                    ((!selective || degraded) && !config_.force_in_place);
@@ -942,14 +1091,17 @@ StatusOr<QueryExecution> Cluster::OneShotParsed(const Query& q, NodeId home) {
   auto exec = RunQuery(q, plan, *ctx, exec_home, fork_join, selective, snapshot);
   if (exec.ok()) {
     ApplyDegrade(degrade, &exec.value());
-    exec->shed_fraction = WindowShedFraction(reg, 0);
+    ApplyWindowLoss(reg, 0, &exec.value());
+    Bump(obs_.queries_oneshot);
   }
   return exec;
 }
 
 StatusOr<Cluster::ContinuousHandle> Cluster::RegisterContinuous(
     std::string_view text, NodeId home) {
+  auto parse_span = TraceSpan(tracer_, "query", "query/parse", home);
   auto q = ParseQuery(text, strings_);
+  parse_span.End();
   if (!q.ok()) {
     return q.status();
   }
@@ -1013,6 +1165,10 @@ StatusOr<QueryExecution> Cluster::ExecuteContinuousAt(ContinuousHandle h,
     auto exec = ExecuteUnion(reg, end_ms, coordinator_->StableSn());
     if (exec.ok()) {
       exec->window_end_ms = end_ms;
+      Bump(obs_.queries_continuous);
+      if (tracer_ != nullptr) {
+        tracer_->Instant("query", "query/deliver", reg.home);
+      }
     }
     return exec;
   }
@@ -1025,6 +1181,7 @@ StatusOr<QueryExecution> Cluster::ExecuteContinuousAt(ContinuousHandle h,
 
   // Plan once, at the first triggered execution (stored-procedure style).
   std::call_once(*reg.plan_once, [&] {
+    auto plan_span = TraceSpan(tracer_, "query", "query/plan", home);
     std::vector<std::unique_ptr<NeighborSource>> plan_holders;
     auto plan_ctx = BuildContext(reg, end_ms, ChargePolicy::kNoCharge, home,
                                  &plan_holders, nullptr);
@@ -1052,7 +1209,11 @@ StatusOr<QueryExecution> Cluster::ExecuteContinuousAt(ContinuousHandle h,
   if (exec.ok()) {
     exec->window_end_ms = end_ms;
     ApplyDegrade(degrade, &exec.value());
-    exec->shed_fraction = WindowShedFraction(reg, end_ms);
+    ApplyWindowLoss(reg, end_ms, &exec.value());
+    Bump(obs_.queries_continuous);
+    if (tracer_ != nullptr) {
+      tracer_->Instant("query", "query/deliver", home);
+    }
   }
   return exec;
 }
@@ -1143,6 +1304,7 @@ Status Cluster::ReplayBatch(const StreamBatch& batch) {
     // At-least-once replay (checkpoint log + upstream backup overlap):
     // already-injected batches are suppressed by the sequence gate.
     ++fault_stats_.duplicates_suppressed;
+    Bump(obs_.duplicates_suppressed);
     return Status::Ok();
   }
   // Bring the adaptor level with the replay so later live feeding continues
@@ -1205,6 +1367,7 @@ Status Cluster::CrashNode(NodeId node) {
     transients_raw_[s][node] = transients_[s][node].get();
   }
   ++fault_stats_.crashes;
+  Bump(obs_.crashes);
   return Status::Ok();
 }
 
@@ -1251,6 +1414,7 @@ Status Cluster::ReplayBatchForNode(NodeId node, const StreamBatch& batch) {
   if (batch.seq < next) {
     // Overlap between the checkpoint log and the upstream-backup tail.
     ++fault_stats_.duplicates_suppressed;
+    Bump(obs_.duplicates_suppressed);
     return Status::Ok();
   }
   if (batch.seq > next) {
@@ -1297,6 +1461,115 @@ Status Cluster::FinishNodeRestore(NodeId node) {
     health_->Reset(node, last_health_ms_);
   }
   return Status::Ok();
+}
+
+void Cluster::UpdateScrapedMetrics() {
+  if constexpr (!obs::kCompiledIn) {
+    return;
+  }
+  obs::MetricsRegistry* m = config_.metrics;
+  if (m == nullptr) {
+    return;
+  }
+  // Frontier of a VTS entry as "batches completed" so kNoBatch (nothing
+  // injected yet) compares as 0 against batch seqs, which start at 0.
+  auto frontier = [](BatchSeq b) -> uint64_t {
+    return b == kNoBatch ? 0 : static_cast<uint64_t>(b) + 1;
+  };
+  VectorTimestamp stable = coordinator_->StableVts();
+  std::vector<VectorTimestamp> locals;
+  locals.reserve(config_.nodes);
+  for (NodeId n = 0; n < config_.nodes; ++n) {
+    locals.push_back(coordinator_->LocalVts(n));
+  }
+  for (StreamId s = 0; s < static_cast<StreamId>(streams_.size()); ++s) {
+    const std::string& name = streams_[s].name;
+    uint64_t lead = frontier(stable.Get(s));
+    for (NodeId n = 0; n < config_.nodes; ++n) {
+      lead = std::max(lead, frontier(locals[n].Get(s)));
+    }
+    m->GetGauge(obs::MetricsRegistry::Labeled("wukongs_vts_lag_batches",
+                                              {{"stream", name}}))
+        ->Set(static_cast<double>(lead - frontier(stable.Get(s))));
+    m->GetGauge(obs::MetricsRegistry::Labeled("wukongs_door_pending_batches",
+                                              {{"stream", name}}))
+        ->Set(static_cast<double>(PendingBatches(s)));
+    m->GetGauge(obs::MetricsRegistry::Labeled("wukongs_door_pressure",
+                                              {{"stream", name}}))
+        ->Set(streams_[s].pressure.level());
+    // Stream-index lookups and transient GC reclaim, summed across nodes.
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t gc_slices = 0;
+    uint64_t gc_bytes = 0;
+    for (NodeId n = 0; n < config_.nodes; ++n) {
+      StreamIndex::LookupStats ls = stream_indexes_raw_[s][n]->lookup_stats();
+      hits += ls.hits;
+      misses += ls.misses;
+      TransientStore::GcStats gs = transients_raw_[s][n]->gc_stats();
+      gc_slices += gs.slices_reclaimed;
+      gc_bytes += gs.bytes_reclaimed;
+    }
+    m->GetCounter(obs::MetricsRegistry::Labeled(
+                      "wukongs_stream_index_lookups_total",
+                      {{"stream", name}, {"result", "hit"}}))
+        ->Set(hits);
+    m->GetCounter(obs::MetricsRegistry::Labeled(
+                      "wukongs_stream_index_lookups_total",
+                      {{"stream", name}, {"result", "miss"}}))
+        ->Set(misses);
+    m->GetCounter(obs::MetricsRegistry::Labeled(
+                      "wukongs_transient_gc_slices_reclaimed_total",
+                      {{"stream", name}}))
+        ->Set(gc_slices);
+    m->GetCounter(obs::MetricsRegistry::Labeled(
+                      "wukongs_transient_gc_bytes_reclaimed_total",
+                      {{"stream", name}}))
+        ->Set(gc_bytes);
+  }
+  if (health_ != nullptr) {
+    for (NodeId n = 0; n < config_.nodes; ++n) {
+      m->GetGauge(obs::MetricsRegistry::Labeled(
+                      "wukongs_phi_suspicion", {{"node", std::to_string(n)}}))
+          ->Set(health_->Phi(n, last_health_ms_));
+    }
+  }
+  m->GetGauge("wukongs_stable_sn")
+      ->Set(static_cast<double>(coordinator_->StableSn()));
+  m->GetCounter("wukongs_plan_extensions_total")
+      ->Set(coordinator_->plan_extensions());
+  MemoryReport mem = Memory();
+  m->GetGauge("wukongs_memory_store_bytes")
+      ->Set(static_cast<double>(mem.store_bytes));
+  m->GetGauge("wukongs_memory_snapshot_meta_bytes")
+      ->Set(static_cast<double>(mem.snapshot_meta_bytes));
+  m->GetGauge("wukongs_memory_stream_index_bytes")
+      ->Set(static_cast<double>(mem.stream_index_bytes));
+  m->GetGauge("wukongs_memory_transient_bytes")
+      ->Set(static_cast<double>(mem.transient_bytes));
+  FabricStats fs = fabric_->stats();
+  m->GetCounter("wukongs_fabric_one_sided_reads_total")->Set(fs.one_sided_reads);
+  m->GetCounter("wukongs_fabric_one_sided_read_bytes_total")
+      ->Set(fs.one_sided_read_bytes);
+  m->GetCounter("wukongs_fabric_messages_total")->Set(fs.messages);
+  m->GetCounter("wukongs_fabric_message_bytes_total")->Set(fs.message_bytes);
+  m->GetCounter("wukongs_fabric_failed_reads_total")->Set(fs.failed_reads);
+  m->GetCounter("wukongs_fabric_failed_messages_total")->Set(fs.failed_messages);
+  m->GetGauge("wukongs_nodes_up")->Set(static_cast<double>(UpNodeCount()));
+  m->GetGauge("wukongs_nodes_serving")
+      ->Set(static_cast<double>(ServingNodeCount()));
+}
+
+std::string Cluster::DumpMetrics(const std::string& name_filter) {
+  if constexpr (!obs::kCompiledIn) {
+    (void)name_filter;
+    return {};
+  }
+  if (config_.metrics == nullptr) {
+    return {};
+  }
+  UpdateScrapedMetrics();
+  return config_.metrics->TextDump(name_filter);
 }
 
 }  // namespace wukongs

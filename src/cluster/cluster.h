@@ -27,6 +27,8 @@
 #include "src/cluster/sources.h"
 #include "src/common/retry.h"
 #include "src/common/status.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/engine/executor.h"
 #include "src/fault/fault_injector.h"
 #include "src/overload/load_shedder.h"
@@ -100,6 +102,13 @@ struct ClusterConfig {
   // MaintenanceDaemon and WorkerPool accept the same controller for timing
   // and dequeue-order decisions. Null = deterministic seed behavior.
   testkit::ScheduleController* schedule = nullptr;
+
+  // Observability (§5.8; non-owning, must outlive the cluster). Null is the
+  // runtime kill switch: every wiring site guards on it, hot paths resolve
+  // metric handles once at construction, and a default-constructed config
+  // behaves exactly like the seed.
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::Tracer* tracer = nullptr;
 };
 
 // Outcome of one query execution with its modeled cost breakdown.
@@ -120,8 +129,12 @@ struct QueryExecution {
   uint64_t fault_retries = 0;
   double backoff_ms = 0.0;
   // Fraction of the windows' timing edges shed (door) or lost (injector);
-  // 0 on a loss-free execution. The overload analogue of `partial`.
+  // 0 on a loss-free execution. The overload analogue of `partial`. Both
+  // values are threaded through the fork-join merge (ExecuteUnion) so the
+  // client sees loss accounting on every path, and the absolute edge count
+  // lets it audit the fraction against the shed ledger.
   double shed_fraction = 0.0;
+  uint64_t timing_edges_lost = 0;
 
   double latency_ms() const { return cpu_ms + net_ms; }
 };
@@ -189,6 +202,17 @@ class Cluster {
   // `live_horizon_ms`: no registered window will ever reach before this
   // stream time again (typically now - max window range).
   void RunMaintenance(StreamTime live_horizon_ms);
+
+  // --- Observability (§5.8). ---
+  // Refreshes export-time gauges in the attached registry — VTS lag per
+  // stream (Local_VTS − Stable_VTS), phi-accrual suspicion per node, door
+  // pressure and pending batches, memory, stream-index hit/miss, transient
+  // GC reclaim, fabric verb counts, admission stats are scraped by their
+  // owners. No-op without a registry.
+  void UpdateScrapedMetrics();
+  // UpdateScrapedMetrics + the registry's Prometheus-style exposition;
+  // `name_filter` narrows to matching metric names (e.g. `node="0"`).
+  std::string DumpMetrics(const std::string& name_filter = "");
 
   // --- Instrumentation. ---
   struct InjectionProfile {
@@ -305,6 +329,11 @@ class Cluster {
     std::deque<StreamBatch> pending;  // Door queue awaiting credits/plans.
     PressureGauge pressure;
     std::unordered_map<BatchSeq, ShedRecord> shed;
+
+    // Per-stream ingest counters, resolved at DefineStream (null when no
+    // registry is attached).
+    obs::Counter* obs_batches = nullptr;
+    obs::Counter* obs_tuples = nullptr;
   };
 
   // A batch partition destined for a slow node, parked until the node's
@@ -344,8 +373,12 @@ class Cluster {
                          const std::vector<std::pair<Key, VertexId>>& edges);
   void DrainBacklog(NodeId n);
   bool NodeCaughtUp(NodeId n) const;
-  // Shed/lost fraction of the timing edges inside `reg`'s windows at end_ms.
-  double WindowShedFraction(const Registration& reg, StreamTime end_ms) const;
+  // Loss accounting for the timing edges inside `reg`'s windows at end_ms:
+  // sets exec->shed_fraction and exec->timing_edges_lost from the shed
+  // ledger. Every execution path (in-place, fork-join, and the UNION merge)
+  // funnels through this one helper so no path can drop the accounting.
+  void ApplyWindowLoss(const Registration& reg, StreamTime end_ms,
+                       QueryExecution* exec) const;
 
   // Dispatcher-side delivery: applies the fault schedule (drop = backoff +
   // retransmit, duplicate, delay), fires scheduled crashes, retains the batch
@@ -416,6 +449,40 @@ class Cluster {
   // the feed thread writes); never held across DeliverBatch or the listener.
   mutable std::mutex overload_mu_;
   OverloadStats overload_stats_;
+
+  // --- Observability (§5.8). ---
+  // Hot-path counter handles, resolved once at construction so an enabled
+  // registry costs one relaxed atomic add per event and a disabled one costs
+  // a null check. These are incremented at the event sites themselves —
+  // independently of OverloadStats / FaultStats / the shed ledger — which is
+  // what lets the differential harness cross-check registry vs. ledger.
+  struct ObsCounters {
+    obs::Counter* door_shed_tuples = nullptr;
+    obs::Counter* injector_shed_edges = nullptr;
+    obs::Counter* timing_edges_lost = nullptr;
+    obs::Counter* feed_rejections = nullptr;
+    obs::Counter* credit_stalls = nullptr;
+    obs::Counter* plan_stalls = nullptr;
+    obs::Counter* append_pressure_events = nullptr;
+    obs::Counter* backlog_deferred = nullptr;
+    obs::Counter* backlog_drained = nullptr;
+    obs::Counter* quarantines = nullptr;
+    obs::Counter* reactivations = nullptr;
+    obs::Counter* heartbeats = nullptr;
+    obs::Counter* batches_injected = nullptr;
+    obs::Counter* tuples_injected = nullptr;
+    obs::Counter* queries_oneshot = nullptr;
+    obs::Counter* queries_continuous = nullptr;
+    obs::Counter* fault_retries = nullptr;
+    obs::Counter* backoff_us = nullptr;
+    obs::Counter* batches_redelivered = nullptr;
+    obs::Counter* duplicates_suppressed = nullptr;
+    obs::Counter* crashes = nullptr;
+    obs::Counter* reroutes = nullptr;
+    obs::Counter* degraded_executions = nullptr;
+  };
+  ObsCounters obs_;
+  obs::Tracer* tracer_ = nullptr;  // config_.tracer, null when disabled.
 };
 
 }  // namespace wukongs

@@ -5,10 +5,15 @@ namespace wukongs {
 MaintenanceDaemon::MaintenanceDaemon(Cluster* cluster, HorizonFn horizon,
                                      std::chrono::milliseconds period,
                                      testkit::ScheduleController* schedule)
-    : cluster_(cluster),
-      horizon_(std::move(horizon)),
-      schedule_(schedule),
-      thread_([this, period] { Loop(period); }) {}
+    : cluster_(cluster), horizon_(std::move(horizon)), schedule_(schedule) {
+  if constexpr (obs::kCompiledIn) {
+    if (obs::MetricsRegistry* m = cluster_->config().metrics; m != nullptr) {
+      obs_passes_ = m->GetCounter("wukongs_maintenance_passes_total");
+      obs_kicks_ = m->GetCounter("wukongs_maintenance_kicks_total");
+    }
+  }
+  thread_ = std::thread([this, period] { Loop(period); });
+}
 
 MaintenanceDaemon::~MaintenanceDaemon() {
   {
@@ -22,6 +27,7 @@ MaintenanceDaemon::~MaintenanceDaemon() {
 void MaintenanceDaemon::RunOnce() {
   cluster_->RunMaintenance(horizon_());
   passes_.fetch_add(1, std::memory_order_relaxed);
+  Bump(obs_passes_);
 }
 
 void MaintenanceDaemon::Kick() {
@@ -30,6 +36,7 @@ void MaintenanceDaemon::Kick() {
     kicked_ = true;
   }
   kicks_.fetch_add(1, std::memory_order_relaxed);
+  Bump(obs_kicks_);
   stop_cv_.notify_all();
 }
 

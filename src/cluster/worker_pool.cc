@@ -7,6 +7,13 @@ namespace wukongs {
 WorkerPool::WorkerPool(Cluster* cluster, uint32_t threads,
                        testkit::ScheduleController* schedule)
     : cluster_(cluster), schedule_(schedule) {
+  if constexpr (obs::kCompiledIn) {
+    if (obs::MetricsRegistry* m = cluster_->config().metrics; m != nullptr) {
+      obs_submitted_ = m->GetCounter("wukongs_pool_tasks_submitted_total");
+      obs_executed_ = m->GetCounter("wukongs_pool_tasks_executed_total");
+      obs_rejected_ = m->GetCounter("wukongs_query_rejections_total");
+    }
+  }
   workers_.reserve(std::max(threads, 1u));
   for (uint32_t t = 0; t < std::max(threads, 1u); ++t) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -26,6 +33,7 @@ WorkerPool::~WorkerPool() {
 
 std::future<StatusOr<QueryExecution>> WorkerPool::SubmitContinuous(
     Cluster::ContinuousHandle handle, StreamTime end_ms) {
+  Bump(obs_submitted_);
   std::packaged_task<StatusOr<QueryExecution>()> task(
       [this, handle, end_ms] { return cluster_->ExecuteContinuousAt(handle, end_ms); });
   auto future = task.get_future();
@@ -47,6 +55,7 @@ std::future<StatusOr<QueryExecution>> WorkerPool::SubmitOneShot(Query query,
   if (admission_ != nullptr) {
     Status verdict = admission_->Admit(deadline_ms);
     if (!verdict.ok()) {
+      Bump(obs_rejected_);
       // Fast rejection: the future is ready before the caller even waits —
       // no worker slot, no queue residency.
       std::promise<StatusOr<QueryExecution>> rejected;
@@ -54,6 +63,7 @@ std::future<StatusOr<QueryExecution>> WorkerPool::SubmitOneShot(Query query,
       return rejected.get_future();
     }
   }
+  Bump(obs_submitted_);
   std::packaged_task<StatusOr<QueryExecution>()> task(
       [this, q = std::move(query), home] {
         auto exec = cluster_->OneShotParsed(q, home);
@@ -97,6 +107,7 @@ void WorkerPool::WorkerLoop() {
     }
     task();
     executed_.fetch_add(1, std::memory_order_relaxed);
+    Bump(obs_executed_);
     {
       std::lock_guard lock(mu_);
       --in_flight_;

@@ -72,6 +72,10 @@ class WorkerPool {
   size_t in_flight_ = 0;
   bool stopping_ = false;
   std::atomic<size_t> executed_{0};
+  // Resolved from the cluster's registry at construction; null = obs off.
+  obs::Counter* obs_submitted_ = nullptr;
+  obs::Counter* obs_executed_ = nullptr;
+  obs::Counter* obs_rejected_ = nullptr;
   std::vector<std::thread> workers_;
 };
 

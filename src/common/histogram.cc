@@ -98,6 +98,132 @@ std::string Histogram::Summary() const {
   return os.str();
 }
 
+double BucketHistogram::MinTracked() {
+  return std::ldexp(1.0, kMinExponent);
+}
+
+double BucketHistogram::MaxTracked() {
+  return std::ldexp(1.0, kMaxExponent);
+}
+
+int BucketHistogram::BucketIndex(double value) {
+  if (!(value > 0.0)) {  // Also catches NaN; clamp to the smallest bucket.
+    return 0;
+  }
+  if (value >= MaxTracked()) {
+    return kNumBuckets - 1;
+  }
+  int exp = 0;
+  double frac = std::frexp(value, &exp);  // value = frac * 2^exp, frac in [0.5,1).
+  if (exp - 1 < kMinExponent) {
+    return 0;
+  }
+  int octave = (exp - 1) - kMinExponent;
+  int sub = static_cast<int>((frac - 0.5) * 2.0 * kSubBuckets);
+  sub = std::min(sub, kSubBuckets - 1);
+  return octave * kSubBuckets + sub;
+}
+
+double BucketHistogram::BucketMidpoint(int index) {
+  if (index >= kNumBuckets - 1) {
+    return MaxTracked();
+  }
+  int octave = index / kSubBuckets;
+  int sub = index % kSubBuckets;
+  double lo = std::ldexp(1.0 + static_cast<double>(sub) / kSubBuckets,
+                         kMinExponent + octave);
+  double hi = std::ldexp(1.0 + static_cast<double>(sub + 1) / kSubBuckets,
+                         kMinExponent + octave);
+  return 0.5 * (lo + hi);
+}
+
+void BucketHistogram::AddCount(double value, uint64_t n) {
+  if (n == 0) {
+    return;
+  }
+  if (buckets_.empty()) {
+    buckets_.assign(kNumBuckets, 0);
+  }
+  buckets_[static_cast<size_t>(BucketIndex(value))] += n;
+  count_ += n;
+  sum_ += value * static_cast<double>(n);
+  max_ = std::max(max_, value);
+}
+
+void BucketHistogram::Merge(const BucketHistogram& other) {
+  if (other.count_ == 0) {
+    return;
+  }
+  if (buckets_.empty()) {
+    buckets_.assign(kNumBuckets, 0);
+  }
+  for (size_t i = 0; i < other.buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  max_ = std::max(max_, other.max_);
+}
+
+void BucketHistogram::Clear() {
+  buckets_.clear();
+  count_ = 0;
+  sum_ = 0.0;
+  max_ = 0.0;
+}
+
+uint64_t BucketHistogram::overflow_count() const {
+  return buckets_.empty() ? 0 : buckets_[kNumBuckets - 1];
+}
+
+double BucketHistogram::Mean() const {
+  assert(count_ > 0);
+  return sum_ / static_cast<double>(count_);
+}
+
+double BucketHistogram::Percentile(double p) const {
+  assert(count_ > 0);
+  assert(p >= 0.0 && p <= 100.0);
+  // Nearest-rank on the cumulative bucket counts; rank is 1-based.
+  uint64_t rank = static_cast<uint64_t>(
+      std::ceil((p / 100.0) * static_cast<double>(count_)));
+  rank = std::max<uint64_t>(rank, 1);
+  uint64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    seen += buckets_[static_cast<size_t>(i)];
+    if (seen >= rank) {
+      // The top of the distribution is tracked exactly: if this bucket holds
+      // the maximum sample, the max itself is the better representative.
+      if (seen == count_ && i == BucketIndex(max_)) {
+        return max_;
+      }
+      return BucketMidpoint(i);
+    }
+  }
+  return max_;
+}
+
+std::string BucketHistogram::Summary() const {
+  if (count_ == 0) {
+    return "{empty}";
+  }
+  std::ostringstream os;
+  os << "{n=" << count_ << " p50=" << Median() << " p90=" << Percentile(90)
+     << " p99=" << Percentile(99) << " max=" << max_ << "}";
+  return os.str();
+}
+
+std::string BucketHistogram::Encode() const {
+  std::ostringstream os;
+  os << "count=" << count_ << " sum=" << sum_ << " max=" << max_ << " buckets=";
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] != 0) {
+      os << i << ":" << buckets_[i] << ",";
+    }
+  }
+  return os.str();
+}
+
 double GeometricMeanOf(const std::vector<double>& values) {
   assert(!values.empty());
   double log_sum = 0.0;

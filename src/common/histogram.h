@@ -5,6 +5,7 @@
 #define SRC_COMMON_HISTOGRAM_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -33,6 +34,13 @@ class Histogram {
   // CDF sampled at `points` evenly spaced quantiles, as (value, cum_frac).
   std::vector<std::pair<double, double>> Cdf(size_t points = 20) const;
 
+  // Raw samples, sorted; lets benches replay a measurement into a registry
+  // HistogramMetric for the machine-readable JSON artifact.
+  const std::vector<double>& samples() const {
+    EnsureSorted();
+    return samples_;
+  }
+
   std::string Summary() const;
 
  private:
@@ -44,6 +52,69 @@ class Histogram {
 
 // Geometric mean over an arbitrary value list (helper for table "Geo. M" rows).
 double GeometricMeanOf(const std::vector<double>& values);
+
+// HDR-style log-linear bucketed histogram: constant memory, exact merge.
+//
+// The plain Histogram above keeps every sample, which makes Merge a
+// concatenation — fine for a bench run, unusable as a long-lived metric. This
+// variant buckets non-negative values into `kSubBuckets` linear sub-buckets
+// per power-of-two octave, which bounds the relative quantization error at
+// 1/kSubBuckets (~1.6%) for any value inside the tracked range
+// [kMinTracked, kMaxTracked). Values below the range land in bucket 0
+// (reported as kMinTracked at worst), values at or above it land in a
+// dedicated overflow bucket whose representative is the exact running max.
+//
+// Merge adds bucket counts, so it is exactly associative and commutative —
+// the property the cluster-wide metrics merge relies on. All state is plain
+// integers plus two doubles (sum, max), so two runs that feed identical
+// samples in any order produce identical quantiles and counts.
+class BucketHistogram {
+ public:
+  static constexpr int kSubBuckets = 64;       // 2^6 linear steps per octave.
+  static constexpr int kMinExponent = -20;     // kMinTracked ~ 9.5e-7.
+  static constexpr int kMaxExponent = 31;      // kMaxTracked ~ 2.1e9.
+  static constexpr int kOctaves = kMaxExponent - kMinExponent;
+  static constexpr int kNumBuckets = kOctaves * kSubBuckets + 1;  // +overflow.
+
+  static double MinTracked();
+  static double MaxTracked();
+  // Upper bound on |reported - true| / true for in-range values.
+  static double MaxRelativeError() { return 1.0 / kSubBuckets; }
+
+  void Add(double value) { AddCount(value, 1); }
+  void AddCount(double value, uint64_t n);
+  void Merge(const BucketHistogram& other);
+  void Clear();
+
+  uint64_t count() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  uint64_t overflow_count() const;
+  double Sum() const { return sum_; }
+  double Mean() const;
+  double Max() const { return max_; }
+  // p in [0, 100]; returns the representative (midpoint) of the bucket that
+  // contains the requested rank. Exact for Max via the overflow/max track.
+  double Percentile(double p) const;
+  double Median() const { return Percentile(50.0); }
+
+  std::string Summary() const;
+
+  // Stable textual form ("idx:count,..." plus count/sum/max) used by metric
+  // dumps and the determinism tests; equal histograms encode equally.
+  std::string Encode() const;
+
+  friend bool operator==(const BucketHistogram&, const BucketHistogram&) =
+      default;
+
+ private:
+  static int BucketIndex(double value);
+  static double BucketMidpoint(int index);
+
+  std::vector<uint64_t> buckets_;  // Sized lazily on first Add.
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double max_ = 0.0;
+};
 
 }  // namespace wukongs
 

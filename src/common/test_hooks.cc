@@ -4,5 +4,6 @@ namespace wukongs::test_hooks {
 
 std::atomic<bool> off_by_one_window{false};
 std::atomic<bool> stale_sn_read{false};
+std::atomic<bool> reorder_trace_spans{false};
 
 }  // namespace wukongs::test_hooks

@@ -22,6 +22,10 @@ extern std::atomic<bool> off_by_one_window;
 // Cluster::OneShotParsed reads one snapshot behind the scalarized Stable_SN.
 extern std::atomic<bool> stale_sn_read;
 
+// obs::Tracer swaps adjacent span emissions — the planted mutation the
+// golden-trace determinism test must catch via a digest change.
+extern std::atomic<bool> reorder_trace_spans;
+
 // RAII toggle so a throwing test cannot leave a mutation armed for the rest
 // of the suite.
 class ScopedMutation {

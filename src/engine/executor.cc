@@ -7,6 +7,8 @@
 #include <set>
 #include <unordered_set>
 
+#include "src/obs/metrics.h"
+
 namespace wukongs {
 namespace {
 
@@ -14,6 +16,16 @@ const NeighborSource* SourceFor(const ExecContext& ctx, int graph) {
   size_t idx = graph == kGraphStored ? 0 : static_cast<size_t>(graph) + 1;
   assert(idx < ctx.sources.size());
   return ctx.sources[idx];
+}
+
+// Per-stage executor span, inert when tracing is off or compiled out.
+obs::Tracer::Span StageSpan(const ExecContext& ctx, const char* name) {
+  if constexpr (obs::kCompiledIn) {
+    if (ctx.tracer != nullptr) {
+      return ctx.tracer->StartSpan("exec", name, ctx.trace_node);
+    }
+  }
+  return {};
 }
 
 // Applies one triple pattern to `table`, producing the next table.
@@ -171,6 +183,8 @@ StatusOr<BindingTable> ExecutePatterns(const Query& q, const std::vector<int>& p
   if (plan.size() != q.patterns.size()) {
     return Status::Internal("plan does not cover all patterns");
   }
+  obs::Tracer::Span span = StageSpan(ctx, "exec/patterns");
+  span.Arg("patterns", static_cast<uint64_t>(plan.size()));
   BindingTable table;
   for (int idx : plan) {
     const TriplePattern& p = q.patterns[static_cast<size_t>(idx)];
@@ -188,6 +202,7 @@ StatusOr<BindingTable> ExecutePatterns(const Query& q, const std::vector<int>& p
       break;  // Early exit: no bindings survive (or a constant check failed).
     }
   }
+  span.Arg("rows", static_cast<uint64_t>(table.num_rows()));
   return table;
 }
 
@@ -195,6 +210,9 @@ Status ApplyFilters(const Query& q, const ExecContext& ctx, BindingTable* table)
   if (q.filters.empty() || table->num_cols() == 0) {
     return Status::Ok();
   }
+  obs::Tracer::Span span = StageSpan(ctx, "exec/filters");
+  span.Arg("filters", static_cast<uint64_t>(q.filters.size()))
+      .Arg("rows_in", static_cast<uint64_t>(table->num_rows()));
   for (const FilterExpr& f : q.filters) {
     int col = table->ColumnOf(f.var);
     if (col < 0) {
@@ -331,6 +349,8 @@ Status FinalizeSolution(const Query& q, const ExecContext& ctx,
 
 StatusOr<QueryResult> ProjectResult(const Query& q, const ExecContext& ctx,
                                     const BindingTable& table) {
+  obs::Tracer::Span span = StageSpan(ctx, "exec/project");
+  span.Arg("rows_in", static_cast<uint64_t>(table.num_rows()));
   QueryResult result;
   for (const SelectItem& item : q.select) {
     std::string name = q.var_names[static_cast<size_t>(item.var)];

@@ -15,6 +15,7 @@
 #include "src/common/status.h"
 #include "src/engine/binding.h"
 #include "src/engine/neighbor_source.h"
+#include "src/obs/trace.h"
 #include "src/rdf/string_server.h"
 #include "src/sparql/ast.h"
 
@@ -25,6 +26,10 @@ struct ExecContext {
   // scoped to Query::windows[w].
   std::vector<const NeighborSource*> sources;
   const StringServer* strings = nullptr;  // Needed only when FILTERs compare numbers.
+  // Per-stage span emission (exec/patterns, exec/filters, exec/project);
+  // null = tracing off. `trace_node` is the executing node for the tid field.
+  obs::Tracer* tracer = nullptr;
+  uint32_t trace_node = 0;
 };
 
 // Per-step observer: invoked after each pattern with the pattern, the table

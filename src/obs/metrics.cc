@@ -1,0 +1,232 @@
+#include "src/obs/metrics.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace wukongs::obs {
+
+namespace {
+
+// "name{labels}" -> base name without the label block.
+std::string BaseName(const std::string& name) {
+  size_t brace = name.find('{');
+  return brace == std::string::npos ? name : name.substr(0, brace);
+}
+
+// Inserts a suffix before the label block: ("lat{q=\"L1\"}", "_count") ->
+// "lat_count{q=\"L1\"}".
+std::string WithSuffix(const std::string& name, const std::string& suffix) {
+  size_t brace = name.find('{');
+  if (brace == std::string::npos) {
+    return name + suffix;
+  }
+  return name.substr(0, brace) + suffix + name.substr(brace);
+}
+
+// Adds one label to the (possibly empty) label block.
+std::string WithLabel(const std::string& name, const std::string& key,
+                      const std::string& value) {
+  std::string label = key + "=\"" + value + "\"";
+  size_t brace = name.find('{');
+  if (brace == std::string::npos) {
+    return name + "{" + label + "}";
+  }
+  std::string out = name;
+  out.insert(out.size() - 1, "," + label);
+  return out;
+}
+
+void EmitType(std::ostream& os, std::string* last_base, const std::string& name,
+              const char* type) {
+  std::string base = BaseName(name);
+  if (base != *last_base) {
+    os << "# TYPE " << base << " " << type << "\n";
+    *last_base = base;
+  }
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string FormatMetricValue(double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::abs(v) < 1e15) {
+    std::ostringstream os;
+    os << static_cast<int64_t>(v);
+    return os.str();
+  }
+  std::ostringstream os;
+  os.precision(9);
+  os << v;
+  return os.str();
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Counter>();
+  }
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Gauge>();
+  }
+  return slot.get();
+}
+
+HistogramMetric* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<HistogramMetric>();
+  }
+  return slot.get();
+}
+
+std::string MetricsRegistry::Labeled(
+    const std::string& name,
+    const std::vector<std::pair<std::string, std::string>>& labels) {
+  if (labels.empty()) {
+    return name;
+  }
+  std::string out = name + "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) {
+      out += ",";
+    }
+    first = false;
+    out += k + "=\"" + v + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+void MetricsRegistry::MergeFrom(const MetricsRegistry& other) {
+  // Snapshot `other` under its lock, then fold in under ours; Get* takes our
+  // lock internally, so the fold must not hold it.
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, BucketHistogram>> hists;
+  {
+    std::lock_guard<std::mutex> lock(other.mu_);
+    for (const auto& [name, c] : other.counters_) {
+      counters.emplace_back(name, c->value());
+    }
+    for (const auto& [name, g] : other.gauges_) {
+      gauges.emplace_back(name, g->value());
+    }
+    for (const auto& [name, h] : other.histograms_) {
+      hists.emplace_back(name, h->Snapshot());
+    }
+  }
+  for (const auto& [name, v] : counters) {
+    GetCounter(name)->Add(v);
+  }
+  for (const auto& [name, v] : gauges) {
+    Gauge* g = GetGauge(name);
+    if (v > g->value()) {
+      g->Set(v);
+    }
+  }
+  for (const auto& [name, h] : hists) {
+    GetHistogram(name)->MergeInto(h);
+  }
+}
+
+std::string MetricsRegistry::TextDump(const std::string& name_filter) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  std::string last_base;
+  auto keep = [&name_filter](const std::string& name) {
+    return name_filter.empty() || name.find(name_filter) != std::string::npos;
+  };
+  for (const auto& [name, c] : counters_) {
+    if (!keep(name)) {
+      continue;
+    }
+    EmitType(os, &last_base, name, "counter");
+    os << name << " " << c->value() << "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    if (!keep(name)) {
+      continue;
+    }
+    EmitType(os, &last_base, name, "gauge");
+    os << name << " " << FormatMetricValue(g->value()) << "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    if (!keep(name)) {
+      continue;
+    }
+    EmitType(os, &last_base, name, "summary");
+    BucketHistogram snap = h->Snapshot();
+    os << WithSuffix(name, "_count") << " " << snap.count() << "\n";
+    os << WithSuffix(name, "_sum") << " " << FormatMetricValue(snap.Sum())
+       << "\n";
+    if (!snap.empty()) {
+      for (double q : {50.0, 90.0, 99.0}) {
+        os << WithLabel(name, "quantile", FormatMetricValue(q / 100.0)) << " "
+           << FormatMetricValue(snap.Percentile(q)) << "\n";
+      }
+      os << WithSuffix(name, "_max") << " " << FormatMetricValue(snap.Max())
+         << "\n";
+    }
+  }
+  return os.str();
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    os << (first ? "" : ",") << "\"" << JsonEscape(name)
+       << "\":" << c->value();
+    first = false;
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    os << (first ? "" : ",") << "\"" << JsonEscape(name)
+       << "\":" << FormatMetricValue(g->value());
+    first = false;
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    BucketHistogram snap = h->Snapshot();
+    os << (first ? "" : ",") << "\"" << JsonEscape(name) << "\":{";
+    os << "\"count\":" << snap.count();
+    os << ",\"sum\":" << FormatMetricValue(snap.Sum());
+    if (!snap.empty()) {
+      os << ",\"mean\":" << FormatMetricValue(snap.Mean());
+      os << ",\"p50\":" << FormatMetricValue(snap.Percentile(50));
+      os << ",\"p90\":" << FormatMetricValue(snap.Percentile(90));
+      os << ",\"p99\":" << FormatMetricValue(snap.Percentile(99));
+      os << ",\"max\":" << FormatMetricValue(snap.Max());
+    }
+    os << ",\"overflow\":" << snap.overflow_count() << "}";
+    first = false;
+  }
+  os << "}}";
+  return os.str();
+}
+
+}  // namespace wukongs::obs

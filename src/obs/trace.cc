@@ -1,0 +1,158 @@
+#include "src/obs/trace.h"
+
+#include <sstream>
+#include <utility>
+
+#include "src/common/crc32.h"
+#include "src/common/latency_model.h"
+#include "src/common/test_hooks.h"
+#include "src/obs/metrics.h"
+
+namespace wukongs::obs {
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+Tracer::Span::Span(Tracer* tracer, const char* cat, std::string name,
+                   uint32_t tid)
+    : tracer_(tracer) {
+  event_.name = std::move(name);
+  event_.cat = cat;
+  event_.tid = tid;
+  event_.ts_ns = SimCost::TotalNs();
+}
+
+Tracer::Span& Tracer::Span::operator=(Span&& other) noexcept {
+  if (this != &other) {
+    End();
+    tracer_ = std::exchange(other.tracer_, nullptr);
+    event_ = std::move(other.event_);
+  }
+  return *this;
+}
+
+Tracer::Span& Tracer::Span::Arg(const char* key, uint64_t value) {
+  if (tracer_ != nullptr) {
+    std::ostringstream os;
+    os << value;
+    event_.args.push_back({key, os.str(), /*quoted=*/false});
+  }
+  return *this;
+}
+
+Tracer::Span& Tracer::Span::Arg(const char* key, int64_t value) {
+  if (tracer_ != nullptr) {
+    std::ostringstream os;
+    os << value;
+    event_.args.push_back({key, os.str(), /*quoted=*/false});
+  }
+  return *this;
+}
+
+Tracer::Span& Tracer::Span::Arg(const char* key, double value) {
+  if (tracer_ != nullptr) {
+    event_.args.push_back({key, FormatMetricValue(value), /*quoted=*/false});
+  }
+  return *this;
+}
+
+Tracer::Span& Tracer::Span::Arg(const char* key, const std::string& value) {
+  if (tracer_ != nullptr) {
+    event_.args.push_back({key, JsonEscape(value), /*quoted=*/true});
+  }
+  return *this;
+}
+
+void Tracer::Span::End() {
+  if (tracer_ == nullptr) {
+    return;
+  }
+  event_.dur_ns = SimCost::TotalNs() - event_.ts_ns;
+  Tracer* t = std::exchange(tracer_, nullptr);
+  t->Emit(std::move(event_));
+}
+
+void Tracer::Instant(const char* cat, std::string name, uint32_t tid) {
+  TraceEvent ev;
+  ev.name = std::move(name);
+  ev.cat = cat;
+  ev.tid = tid;
+  ev.phase = 'i';
+  ev.ts_ns = SimCost::TotalNs();
+  Emit(std::move(ev));
+}
+
+void Tracer::Emit(TraceEvent event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  event.seq = next_seq_++;
+  events_.push_back(std::move(event));
+  // Planted mutation for the golden-trace test: swapping adjacent emissions
+  // must change the digest, proving the determinism check has teeth.
+  if (test_hooks::reorder_trace_spans.load(std::memory_order_relaxed) &&
+      events_.size() >= 2) {
+    std::swap(events_[events_.size() - 1], events_[events_.size() - 2]);
+  }
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  next_seq_ = 0;
+}
+
+size_t Tracer::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::string Tracer::ToChromeJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& ev : events_) {
+    os << (first ? "\n" : ",\n");
+    first = false;
+    os << "{\"name\":\"" << JsonEscape(ev.name) << "\",\"cat\":\"" << ev.cat
+       << "\",\"ph\":\"" << ev.phase << "\",\"pid\":0,\"tid\":" << ev.tid
+       << ",\"ts\":" << FormatMetricValue(ev.ts_ns / 1000.0);
+    if (ev.phase == 'X') {
+      os << ",\"dur\":" << FormatMetricValue(ev.dur_ns / 1000.0);
+    }
+    if (ev.phase == 'i') {
+      os << ",\"s\":\"t\"";
+    }
+    os << ",\"args\":{\"seq\":" << ev.seq;
+    for (const TraceEvent::Arg& a : ev.args) {
+      os << ",\"" << JsonEscape(a.key) << "\":";
+      if (a.quoted) {
+        os << "\"" << a.value << "\"";
+      } else {
+        os << a.value;
+      }
+    }
+    os << "}}";
+  }
+  os << "\n],\"displayTimeUnit\":\"ns\"}\n";
+  return os.str();
+}
+
+uint32_t Tracer::Digest() const {
+  std::string json = ToChromeJson();
+  return Crc32(json.data(), json.size());
+}
+
+}  // namespace wukongs::obs

@@ -1,0 +1,108 @@
+// Deterministic query-lifecycle tracer (DESIGN.md §5.8).
+//
+// Spans cover the query path (query/parse → query/plan → query/dispatch →
+// query/execute → query/merge → query/deliver) and the ingest path
+// (ingest/adaptor → ingest/dispatch → ingest/append_persistent /
+// ingest/append_transient → ingest/index_publish), plus per-stage executor
+// spans (exec/patterns, exec/filters, ...).
+//
+// Timestamps come from SimCost — the thread-local modeled-cost accumulator —
+// NOT from the wall clock. SimCost is a deterministic function of the work
+// performed, so the same ScheduleController seed replays to a byte-identical
+// Chrome trace_event JSON; the golden-trace test (tests/obs_test.cc) enforces
+// that, and test_hooks::reorder_trace_spans plants the mutation it must
+// catch. Wall-clock timing stays where it belongs: in LatencyProbe and the
+// bench tables.
+//
+// Events are Chrome trace_event "X" (complete) events, emitted when a span
+// ends; `ts` is SimCost at span start (µs), `dur` the SimCost accrued inside
+// the span, `tid` the simulated node, and `args.seq` a global emission
+// sequence number that keeps ordering stable even when many spans share a
+// timestamp (SimCost only advances on modeled remote operations). Load the
+// JSON in chrome://tracing or Perfetto.
+//
+// A null Tracer* in ClusterConfig is the runtime kill switch; every wiring
+// site guards on it, so the disabled cost is a not-taken branch.
+
+#ifndef SRC_OBS_TRACE_H_
+#define SRC_OBS_TRACE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace wukongs::obs {
+
+struct TraceEvent {
+  std::string name;
+  std::string cat;
+  double ts_ns = 0.0;   // SimCost at begin.
+  double dur_ns = 0.0;  // SimCost accrued inside the span; 0 for instants.
+  uint32_t tid = 0;     // Simulated node id.
+  char phase = 'X';     // 'X' complete, 'i' instant.
+  uint64_t seq = 0;     // Emission order; assigned by the tracer.
+  // Pre-rendered JSON literals: value is emitted verbatim (numbers) unless
+  // quoted is set (strings, already escaped).
+  struct Arg {
+    std::string key;
+    std::string value;
+    bool quoted = false;
+  };
+  std::vector<Arg> args;
+};
+
+class Tracer {
+ public:
+  Tracer() = default;
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  // RAII span: captures SimCost on construction, emits an 'X' event on End()
+  // or destruction. A default-constructed Span is inert, which is how wiring
+  // sites handle the tracer-disabled case without branching at every stage.
+  class Span {
+   public:
+    Span() = default;
+    Span(Tracer* tracer, const char* cat, std::string name, uint32_t tid);
+    Span(Span&& other) noexcept { *this = std::move(other); }
+    Span& operator=(Span&& other) noexcept;
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+    ~Span() { End(); }
+
+    Span& Arg(const char* key, uint64_t value);
+    Span& Arg(const char* key, int64_t value);
+    Span& Arg(const char* key, double value);
+    Span& Arg(const char* key, const std::string& value);
+
+    void End();
+
+   private:
+    Tracer* tracer_ = nullptr;
+    TraceEvent event_;
+  };
+
+  Span StartSpan(const char* cat, std::string name, uint32_t tid = 0) {
+    return Span(this, cat, std::move(name), tid);
+  }
+  void Instant(const char* cat, std::string name, uint32_t tid = 0);
+
+  void Clear();
+  size_t size() const;
+  std::string ToChromeJson() const;
+  // CRC32 over ToChromeJson(); the golden-trace tests compare digests.
+  uint32_t Digest() const;
+
+ private:
+  void Emit(TraceEvent event);
+
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace wukongs::obs
+
+#endif  // SRC_OBS_TRACE_H_

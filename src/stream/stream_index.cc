@@ -60,8 +60,10 @@ bool StreamIndex::GetSpans(BatchSeq seq, Key key, std::vector<IndexSpan>* out) c
   std::lock_guard lock(mu_);
   const BatchIndex* bi = FindBatch(seq);
   if (bi == nullptr) {
+    ++lookups_.misses;
     return false;
   }
+  ++lookups_.hits;
   auto it = bi->spans.find(key);
   if (it != bi->spans.end()) {
     out->insert(out->end(), it->second.begin(), it->second.end());
@@ -91,8 +93,10 @@ bool StreamIndex::GetSeeds(BatchSeq seq, PredicateId pid, Dir dir,
   std::lock_guard lock(mu_);
   const BatchIndex* bi = FindBatch(seq);
   if (bi == nullptr) {
+    ++lookups_.misses;
     return false;
   }
+  ++lookups_.hits;
   auto it = bi->seeds.find(Key(kIndexVertex, pid, dir).packed());
   if (it != bi->seeds.end()) {
     out->insert(out->end(), it->second.begin(), it->second.end());
@@ -108,6 +112,11 @@ size_t StreamIndex::SeedCount(BatchSeq seq, PredicateId pid, Dir dir) const {
   }
   auto it = bi->seeds.find(Key(kIndexVertex, pid, dir).packed());
   return it == bi->seeds.end() ? 0 : it->second.size();
+}
+
+StreamIndex::LookupStats StreamIndex::lookup_stats() const {
+  std::lock_guard lock(mu_);
+  return lookups_;
 }
 
 size_t StreamIndex::EvictBefore(BatchSeq min_live_seq) {

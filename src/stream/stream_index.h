@@ -67,6 +67,15 @@ class StreamIndex {
   BatchSeq OldestSeq() const;
   BatchSeq NewestSeq() const;
 
+  // Window-lookup outcome counters (GetSpans/GetSeeds): a miss means the
+  // requested batch was expired or not yet indexed. Scraped into the metrics
+  // registry; cumulative over the index lifetime.
+  struct LookupStats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+  };
+  LookupStats lookup_stats() const;
+
  private:
   struct BatchIndex {
     BatchSeq seq = 0;
@@ -81,6 +90,7 @@ class StreamIndex {
   mutable std::mutex mu_;
   std::deque<BatchIndex> batches_;
   size_t total_bytes_ = 0;
+  mutable LookupStats lookups_;  // Guarded by mu_.
 };
 
 }  // namespace wukongs

@@ -145,9 +145,11 @@ size_t TransientStore::EvictBeforeLocked(BatchSeq min_live_seq) {
   size_t freed = 0;
   while (!slices_.empty() && slices_.front().seq < min_live_seq) {
     total_bytes_ -= slices_.front().bytes;
+    gc_stats_.bytes_reclaimed += slices_.front().bytes;
     slices_.pop_front();
     ++freed;
   }
+  gc_stats_.slices_reclaimed += freed;
   return freed;
 }
 
@@ -184,6 +186,11 @@ BatchSeq TransientStore::OldestSeq() const {
 BatchSeq TransientStore::NewestSeq() const {
   std::lock_guard lock(mu_);
   return slices_.empty() ? kNoBatch : slices_.back().seq;
+}
+
+TransientStore::GcStats TransientStore::gc_stats() const {
+  std::lock_guard lock(mu_);
+  return gc_stats_;
 }
 
 }  // namespace wukongs

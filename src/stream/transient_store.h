@@ -61,6 +61,15 @@ class TransientStore {
   BatchSeq OldestSeq() const;  // kNoBatch when empty.
   BatchSeq NewestSeq() const;  // kNoBatch when empty.
 
+  // Cumulative GC reclaim over the store lifetime (every eviction path —
+  // explicit, budget-triggered, and periodic — funnels through the same
+  // internal helper). Scraped into the metrics registry.
+  struct GcStats {
+    uint64_t slices_reclaimed = 0;
+    uint64_t bytes_reclaimed = 0;
+  };
+  GcStats gc_stats() const;
+
  private:
   struct Slice {
     BatchSeq seq = 0;
@@ -79,6 +88,7 @@ class TransientStore {
   std::deque<Slice> slices_;
   size_t total_bytes_ = 0;
   BatchSeq gc_horizon_ = 0;
+  GcStats gc_stats_;  // Guarded by mu_.
 };
 
 }  // namespace wukongs

@@ -219,7 +219,10 @@ std::string SerializeTrace(const std::vector<Event>& trace) {
 }
 
 // Replays one trace against a fresh cluster + oracle pair. Ok() means every
-// execution matched the oracle and every consistency audit passed.
+// execution matched the oracle, every consistency audit passed, and the
+// metrics registry's live-site counters agree with the harness's own
+// accounting (the observability layer is cross-checked on every seed, so
+// counter drift fails the lane like any other defect).
 Status RunTrace(const RunConfig& cfg, const std::vector<Event>& trace) {
   GenVocab vocab = MakeVocab();
   ClusterConfig config;
@@ -230,6 +233,8 @@ Status RunTrace(const RunConfig& cfg, const std::vector<Event>& trace) {
   if (cfg.fuzz_schedule) {
     config.schedule = &schedule;
   }
+  obs::MetricsRegistry registry;
+  config.metrics = &registry;
   Cluster cluster(config);
   StringServer* strings = cluster.strings();
 
@@ -243,7 +248,13 @@ Status RunTrace(const RunConfig& cfg, const std::vector<Event>& trace) {
     sids.push_back(*sid);
     oracle.DefineStream(name);
   }
-  cluster.SetBatchLogger([&oracle](const StreamBatch& b) {
+  // The logger is the oracle's feed *and* the harness's independent ingest
+  // count: every batch the engine injects must show up in the registry too.
+  uint64_t logged_batches = 0;
+  uint64_t logged_tuples = 0;
+  cluster.SetBatchLogger([&](const StreamBatch& b) {
+    ++logged_batches;
+    logged_tuples += b.tuples.size();
     oracle.AddBatch(b.stream, b.seq, b.tuples);
   });
   std::vector<Triple> base = MakeBase(cfg.seed, strings, vocab);
@@ -260,6 +271,8 @@ Status RunTrace(const RunConfig& cfg, const std::vector<Event>& trace) {
   std::vector<Reg> regs;
   StreamTime frontier = 0;
   const size_t nstreams = vocab.streams.size();
+  uint64_t ok_oneshots = 0;    // Successful OneShotParsed calls.
+  uint64_t ok_continuous = 0;  // Successful (audited) ExecuteContinuousAt.
 
   auto compare = [&](const Query& q, const QueryExecution& exec, SnapshotNum sn,
                      const VectorTimestamp& stable, StreamTime end,
@@ -353,6 +366,7 @@ Status RunTrace(const RunConfig& cfg, const std::vector<Event>& trace) {
           return Status::Internal("one-shot failed: " + exec.status().ToString() +
                                   "\n  text: " + e.text);
         }
+        ++ok_oneshots;
         Status audit = checker.CheckOneShot(*exec, stable, nstreams);
         if (!audit.ok()) {
           return audit;
@@ -401,6 +415,7 @@ Status RunTrace(const RunConfig& cfg, const std::vector<Event>& trace) {
           }
           return Status::Internal("continuous exec failed: " + exec.status().ToString());
         }
+        ++ok_continuous;
         Status audit =
             checker.CheckContinuous(e.handle, r.q, r.stream_ids, *exec, stable, kInterval);
         if (!audit.ok()) {
@@ -417,6 +432,52 @@ Status RunTrace(const RunConfig& cfg, const std::vector<Event>& trace) {
       }
     }
   }
+
+  // Metrics-consistency sweep: the registry counters are incremented at the
+  // event sites, independently of the logger, the oracle, and OverloadStats —
+  // so these equalities are real cross-checks, not tautologies. Moot in a
+  // -DWUKONGS_OBS=OFF build, where no event site can bump anything.
+  if (!obs::kCompiledIn) {
+    return Status::Ok();
+  }
+  auto counter = [&](const char* name) {
+    return registry.GetCounter(name)->value();
+  };
+  auto expect_eq = [](uint64_t got, uint64_t want,
+                      const char* what) -> Status {
+    if (got != want) {
+      return Status::Internal(std::string("metrics drift: ") + what +
+                              ": registry " + std::to_string(got) +
+                              " vs harness " + std::to_string(want));
+    }
+    return Status::Ok();
+  };
+  Status ms;
+  ms = expect_eq(counter("wukongs_batches_injected_total"), logged_batches,
+                 "injected batches vs batch-logger count");
+  if (!ms.ok()) return ms;
+  ms = expect_eq(counter("wukongs_tuples_injected_total"), logged_tuples,
+                 "injected tuples vs oracle-fed fact count");
+  if (!ms.ok()) return ms;
+  ms = expect_eq(counter("wukongs_queries_oneshot_total"), ok_oneshots,
+                 "one-shot query count");
+  if (!ms.ok()) return ms;
+  ms = expect_eq(counter("wukongs_queries_continuous_total"), ok_continuous,
+                 "triggered continuous-execution count vs audited count");
+  if (!ms.ok()) return ms;
+  const OverloadStats os = cluster.overload_stats();
+  ms = expect_eq(counter("wukongs_door_shed_tuples_total"), os.door_shed_tuples,
+                 "door shed vs OverloadStats");
+  if (!ms.ok()) return ms;
+  ms = expect_eq(counter("wukongs_injector_shed_edges_total"),
+                 os.injector_shed_edges, "injector shed vs OverloadStats");
+  if (!ms.ok()) return ms;
+  ms = expect_eq(counter("wukongs_timing_edges_lost_total"),
+                 os.timing_edges_lost, "timing edges lost vs OverloadStats");
+  if (!ms.ok()) return ms;
+  ms = expect_eq(counter("wukongs_feed_rejections_total"), os.feed_rejections,
+                 "feed rejections vs OverloadStats");
+  if (!ms.ok()) return ms;
   return Status::Ok();
 }
 
@@ -577,6 +638,8 @@ TEST(DifferentialShedTest, DoorShedResultsMatchOracleModuloDeclaredLoss) {
   config.overload.pending_queue_capacity = 16;
   config.overload.shed.start_pressure = 0.05;
   config.overload.shed.min_keep_fraction = 0.0;
+  obs::MetricsRegistry registry;
+  config.metrics = &registry;
   Cluster cluster(config);
   StringServer* strings = cluster.strings();
   StreamId s0 = *cluster.DefineStream("S0", {"tg"});
@@ -618,6 +681,17 @@ TEST(DifferentialShedTest, DoorShedResultsMatchOracleModuloDeclaredLoss) {
     ledger_shed += info.door_shed_tuples;
   }
   EXPECT_EQ(ledger_shed, stats.door_shed_tuples);
+  // Registry counters are bumped at the shed sites themselves; they must
+  // agree with both the OverloadStats mirror and the per-batch ledger
+  // (unless the obs layer was compiled out entirely).
+  if (obs::kCompiledIn) {
+    EXPECT_EQ(registry.GetCounter("wukongs_door_shed_tuples_total")->value(),
+              stats.door_shed_tuples);
+    EXPECT_EQ(registry.GetCounter("wukongs_injector_shed_edges_total")->value(),
+              0u);
+    EXPECT_EQ(registry.GetCounter("wukongs_timing_edges_lost_total")->value(),
+              0u);
+  }
 
   // Differential check over the shed window: the oracle saw post-shed
   // batches, so results agree exactly — correct modulo declared loss.
@@ -636,6 +710,82 @@ TEST(DifferentialShedTest, DoorShedResultsMatchOracleModuloDeclaredLoss) {
   ASSERT_TRUE(want.ok()) << want.status().ToString();
   EXPECT_EQ(CanonicalBag(exec->result), CanonicalBag(*want));
   EXPECT_GT(exec->shed_fraction, 0.0);  // The loss is declared, not hidden.
+
+  // The absolute loss count must equal the ledger-derived truth for exactly
+  // the window's batches ([RANGE 400ms] ending at 800ms = batches 4..7), in
+  // edge units (1 door tuple = 2 dispatched edges).
+  uint64_t window_total = 0;
+  uint64_t window_lost = 0;
+  for (BatchSeq b = 4; b <= 7; ++b) {
+    Cluster::ShedInfo info = cluster.ShedInfoFor(s0, b);
+    window_total += 2 * info.timing_tuples;
+    window_lost += 2 * info.door_shed_tuples + info.injector_lost_edges;
+  }
+  EXPECT_EQ(exec->timing_edges_lost, window_lost);
+  ASSERT_GT(window_total, 0u);
+  EXPECT_DOUBLE_EQ(exec->shed_fraction,
+                   static_cast<double>(window_lost) /
+                       static_cast<double>(window_total));
+}
+
+// The fork-join merge path must thread the loss accounting through to the
+// client exactly like the in-place path: a UNION query (which always takes
+// ExecuteUnion's merge step) over the same shed window reports the same
+// shed_fraction and timing_edges_lost as the single-branch execution above.
+TEST(DifferentialShedTest, ForkJoinMergeThreadsLossAccounting) {
+  ClusterConfig config;
+  config.nodes = 2;
+  config.batch_interval_ms = kInterval;
+  config.batches_per_sn = 2;
+  config.force_fork_join = true;  // Every branch takes the merge path.
+  config.overload.enabled = true;
+  config.overload.shed_timing = true;
+  config.overload.max_plan_extensions = 1;
+  config.overload.pending_queue_capacity = 16;
+  config.overload.shed.start_pressure = 0.05;
+  config.overload.shed.min_keep_fraction = 0.0;
+  Cluster cluster(config);
+  StringServer* strings = cluster.strings();
+  StreamId s0 = *cluster.DefineStream("S0", {"tg"});
+  ASSERT_TRUE(cluster.DefineStream("S1").ok());
+
+  StreamTupleVec burst;
+  for (BatchSeq b = 0; b < 8; ++b) {
+    for (int i = 0; i < 6; ++i) {
+      burst.push_back({{strings->InternVertex("e" + std::to_string(i)),
+                        strings->InternPredicate("tg"),
+                        strings->InternVertex(std::to_string(i))},
+                       b * kInterval + 10 + static_cast<StreamTime>(i),
+                       TupleKind::kTimeless});
+    }
+  }
+  ASSERT_TRUE(cluster.FeedStream(s0, burst).ok());
+  cluster.AdvanceStreams(9 * kInterval);
+  ASSERT_GT(cluster.overload_stats().door_shed_tuples, 0u);
+
+  auto handle = cluster.RegisterContinuous(
+      "REGISTER QUERY shedu AS SELECT ?X ?G FROM STREAM <S0> "
+      "[RANGE 400ms STEP 100ms] WHERE { { GRAPH <S0> { ?X tg ?G } } UNION "
+      "{ GRAPH <S0> { ?X tg ?G } } }");
+  ASSERT_TRUE(handle.ok()) << handle.status().ToString();
+  const StreamTime end = 8 * kInterval;
+  ASSERT_TRUE(cluster.WindowReady(*handle, end));
+  auto exec = cluster.ExecuteContinuousAt(*handle, end);
+  ASSERT_TRUE(exec.ok()) << exec.status().ToString();
+
+  uint64_t window_total = 0;
+  uint64_t window_lost = 0;
+  for (BatchSeq b = 4; b <= 7; ++b) {
+    Cluster::ShedInfo info = cluster.ShedInfoFor(s0, b);
+    window_total += 2 * info.timing_tuples;
+    window_lost += 2 * info.door_shed_tuples + info.injector_lost_edges;
+  }
+  ASSERT_GT(window_lost, 0u);
+  EXPECT_EQ(exec->timing_edges_lost, window_lost)
+      << "fork-join merge dropped the loss accounting";
+  EXPECT_DOUBLE_EQ(exec->shed_fraction,
+                   static_cast<double>(window_lost) /
+                       static_cast<double>(window_total));
 }
 
 // --- Threaded lane: the controller's hooks under real concurrency. ---

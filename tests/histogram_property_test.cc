@@ -1,0 +1,196 @@
+// Property tests for the HDR-style BucketHistogram (DESIGN.md §5.8): exact
+// merge algebra (associative, commutative, order-independent), quantile
+// monotonicity, the advertised relative-error bound, and overflow handling.
+// These are the properties the cluster-wide metrics merge and the bench
+// artifacts rely on, so they are checked over seeded random inputs, not
+// hand-picked examples.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include "src/common/histogram.h"
+
+namespace wukongs {
+namespace {
+
+std::vector<double> RandomSamples(uint64_t seed, size_t n) {
+  std::mt19937_64 rng(seed);
+  // Log-uniform across most of the tracked range, the hostile case for
+  // bucketing schemes (every octave gets traffic).
+  std::uniform_real_distribution<double> exponent(-15.0, 28.0);
+  std::vector<double> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(std::ldexp(1.0 + 0.7 * std::generate_canonical<double, 53>(rng),
+                             static_cast<int>(exponent(rng))));
+  }
+  return out;
+}
+
+// Integer-valued samples with log-uniform magnitude (some past the tracked
+// range, exercising overflow). Integer sums stay exact in a double, so the
+// merge-algebra assertions can demand bitwise equality on `sum` instead of
+// tolerating float reassociation noise.
+std::vector<double> RandomIntSamples(uint64_t seed, size_t n) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int> exponent(0, 35);
+  std::vector<double> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    double v = std::floor(
+        std::ldexp(1.0 + 0.9 * std::generate_canonical<double, 53>(rng),
+                   exponent(rng)));
+    out.push_back(std::max(v, 1.0));
+  }
+  return out;
+}
+
+BucketHistogram FromSamples(const std::vector<double>& samples) {
+  BucketHistogram h;
+  for (double v : samples) {
+    h.Add(v);
+  }
+  return h;
+}
+
+BucketHistogram MergeOf(const BucketHistogram& a, const BucketHistogram& b) {
+  BucketHistogram out = a;
+  out.Merge(b);
+  return out;
+}
+
+TEST(BucketHistogramPropertyTest, MergeIsAssociativeAndCommutative) {
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    std::vector<double> samples = RandomIntSamples(seed, 300);
+    BucketHistogram a = FromSamples({samples.begin(), samples.begin() + 100});
+    BucketHistogram b = FromSamples({samples.begin() + 100, samples.begin() + 200});
+    BucketHistogram c = FromSamples({samples.begin() + 200, samples.end()});
+
+    BucketHistogram left = MergeOf(MergeOf(a, b), c);
+    BucketHistogram right = MergeOf(a, MergeOf(b, c));
+    EXPECT_EQ(left, right) << "seed " << seed;
+    EXPECT_EQ(left.Encode(), right.Encode()) << "seed " << seed;
+
+    BucketHistogram ab = MergeOf(a, b);
+    BucketHistogram ba = MergeOf(b, a);
+    EXPECT_EQ(ab, ba) << "seed " << seed;
+    EXPECT_EQ(ab.Encode(), ba.Encode()) << "seed " << seed;
+  }
+}
+
+TEST(BucketHistogramPropertyTest, MergeEqualsSingleFeedInAnyOrder) {
+  for (uint64_t seed = 21; seed <= 30; ++seed) {
+    std::vector<double> samples = RandomIntSamples(seed, 256);
+    BucketHistogram whole = FromSamples(samples);
+
+    std::vector<double> shuffled = samples;
+    std::mt19937_64 rng(seed ^ 0xfeedULL);
+    std::shuffle(shuffled.begin(), shuffled.end(), rng);
+    BucketHistogram parts;
+    for (size_t i = 0; i < shuffled.size(); i += 64) {
+      size_t hi = std::min(shuffled.size(), i + 64);
+      parts.Merge(FromSamples({shuffled.begin() + static_cast<ptrdiff_t>(i),
+                               shuffled.begin() + static_cast<ptrdiff_t>(hi)}));
+    }
+    EXPECT_EQ(whole.count(), parts.count());
+    EXPECT_EQ(whole.Encode(), parts.Encode()) << "seed " << seed;
+    for (double p : {0.0, 10.0, 50.0, 90.0, 99.0, 100.0}) {
+      EXPECT_DOUBLE_EQ(whole.Percentile(p), parts.Percentile(p))
+          << "seed " << seed << " p" << p;
+    }
+  }
+}
+
+TEST(BucketHistogramPropertyTest, QuantilesAreMonotone) {
+  for (uint64_t seed = 31; seed <= 45; ++seed) {
+    BucketHistogram h = FromSamples(RandomSamples(seed, 500));
+    double prev = 0.0;
+    for (double p = 0.0; p <= 100.0; p += 0.5) {
+      double q = h.Percentile(p);
+      EXPECT_GE(q, prev) << "seed " << seed << ": quantiles regressed at p" << p;
+      prev = q;
+    }
+    EXPECT_DOUBLE_EQ(h.Percentile(100.0), h.Max());
+  }
+}
+
+TEST(BucketHistogramPropertyTest, RelativeErrorIsBounded) {
+  const double bound = BucketHistogram::MaxRelativeError();
+  for (uint64_t seed = 46; seed <= 55; ++seed) {
+    std::vector<double> samples = RandomSamples(seed, 200);
+    // Per-value bound: a histogram of one sample must report it within the
+    // advertised error at every quantile.
+    for (size_t i = 0; i < samples.size(); i += 17) {
+      BucketHistogram single;
+      single.Add(samples[i]);
+      for (double p : {1.0, 50.0, 99.0}) {
+        EXPECT_NEAR(single.Percentile(p), samples[i], samples[i] * bound)
+            << "seed " << seed << " value " << samples[i];
+      }
+    }
+    // Aggregate bound: each estimated quantile is within the bound of the
+    // exact nearest-rank quantile of the raw samples.
+    BucketHistogram h = FromSamples(samples);
+    std::vector<double> sorted = samples;
+    std::sort(sorted.begin(), sorted.end());
+    for (double p : {5.0, 25.0, 50.0, 75.0, 90.0, 99.0}) {
+      size_t rank = static_cast<size_t>(
+          std::ceil(p / 100.0 * static_cast<double>(sorted.size())));
+      rank = std::max<size_t>(rank, 1);
+      double exact = sorted[rank - 1];
+      EXPECT_NEAR(h.Percentile(p), exact, exact * bound)
+          << "seed " << seed << " p" << p;
+    }
+  }
+}
+
+TEST(BucketHistogramPropertyTest, OverflowBucketTracksExactMax) {
+  BucketHistogram h;
+  h.Add(1.0);
+  h.Add(2.5);
+  EXPECT_EQ(h.overflow_count(), 0u);
+  const double huge = BucketHistogram::MaxTracked() * 1000.0;
+  h.Add(huge);
+  h.Add(huge * 2.0);
+  EXPECT_EQ(h.overflow_count(), 2u);
+  EXPECT_EQ(h.count(), 4u);
+  // The overflow bucket's representative is the exact running max, so the
+  // top quantiles stay truthful even off the tracked range.
+  EXPECT_DOUBLE_EQ(h.Max(), huge * 2.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(100.0), huge * 2.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(99.0), huge * 2.0);
+  // Merging overflow histograms keeps counts and the max exact.
+  BucketHistogram other;
+  other.Add(huge * 4.0);
+  h.Merge(other);
+  EXPECT_EQ(h.overflow_count(), 3u);
+  EXPECT_DOUBLE_EQ(h.Max(), huge * 4.0);
+}
+
+TEST(BucketHistogramPropertyTest, MergePreservesCountSumMax) {
+  for (uint64_t seed = 56; seed <= 65; ++seed) {
+    std::vector<double> samples = RandomIntSamples(seed, 128);
+    BucketHistogram a = FromSamples({samples.begin(), samples.begin() + 64});
+    BucketHistogram b = FromSamples({samples.begin() + 64, samples.end()});
+    BucketHistogram merged = MergeOf(a, b);
+    EXPECT_EQ(merged.count(), a.count() + b.count());
+    EXPECT_DOUBLE_EQ(merged.Sum(), a.Sum() + b.Sum());
+    EXPECT_DOUBLE_EQ(merged.Max(), std::max(a.Max(), b.Max()));
+  }
+}
+
+TEST(BucketHistogramPropertyTest, BelowRangeClampsToMinTracked) {
+  BucketHistogram h;
+  h.Add(BucketHistogram::MinTracked() / 100.0);
+  h.Add(0.0);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.overflow_count(), 0u);
+  EXPECT_LE(h.Percentile(50.0), BucketHistogram::MinTracked());
+}
+
+}  // namespace
+}  // namespace wukongs
