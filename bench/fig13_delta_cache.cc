@@ -1,0 +1,130 @@
+// Delta-vs-recompute trigger latency (DESIGN.md §5.9, fig13-style).
+//
+// A continuous query triggered every STEP over a sliding RANGE shares all
+// but one slice with its previous trigger. The delta cache turns that
+// overlap into reuse: cached per-slice contributions + a cached stored
+// prefix, with only the delta batches evaluated. This bench measures p50
+// trigger latency of the delta path against cold full-window re-execution
+// (same cluster, same cached plan, cache bypassed) on the LSBench
+// repeated-window workload — the acceptance target is >= 3x on the
+// delta-eligible queries. An ineligible query (two window patterns) rides
+// along as the no-regression control: it bypasses the cache on both paths.
+
+#include "bench/bench_common.h"
+
+namespace wukongs {
+namespace bench {
+namespace {
+
+constexpr int kSamples = 20;
+constexpr StreamTime kFeedTo = 4000;
+constexpr StreamTime kFirstEnd = 2000;
+constexpr StreamTime kStep = 100;
+
+void Run(const std::string& json_path) {
+  PrintHeader("Fig. 13 (delta): trigger latency, delta cache vs full recompute",
+              NetworkModel{});
+
+  LsBenchConfig config;
+  config.users = 2000;
+  ClusterConfig cluster_config;
+  // In-place execution isolates the delta-vs-recompute comparison from the
+  // fork-join heuristic (the delta path only serves in-place triggers).
+  cluster_config.force_in_place = true;
+  LsEnvironment env = LsEnvironment::Create(/*nodes=*/4, config, kFeedTo,
+                                            cluster_config);
+  std::cout << "LSBench users=" << config.users << ", feed " << kFeedTo
+            << "ms, windows widened to RANGE 2s STEP 100ms, samples/query: "
+            << kSamples << "\n\n";
+
+  BenchArtifact artifact("fig13_delta_cache");
+  artifact.SetValue("bench_samples_per_query", {}, kSamples);
+
+  // L2 and L5 have exactly one window-scoped pattern (delta-eligible); L1
+  // joins two patterns inside one window (ineligible, the control row).
+  // Windows are widened to RANGE 2s (20 slices per window): per-trigger work
+  // for the recompute path scales with the window span while the delta path
+  // pays only for the slices that changed, so the wider the repeated window,
+  // the starker the O(window) vs O(delta) separation this bench pins down.
+  TablePrinter table({"query", "eligible", "recompute p50 (ms)",
+                      "delta p50 (ms)", "speedup", "slices cached/fresh"});
+  double min_eligible_speedup = 0.0;
+  for (int i : {1, 2, 5}) {
+    std::string text = env.bench->ContinuousQueryText(i);
+    for (size_t pos = text.find("RANGE 1s"); pos != std::string::npos;
+         pos = text.find("RANGE 1s", pos)) {
+      text.replace(pos, 8, "RANGE 2s");
+    }
+    Query q = MustParse(text, env.strings.get());
+    auto handle = env.cluster->RegisterContinuousParsed(q);
+    if (!handle.ok()) {
+      std::cerr << "register failed: " << handle.status().ToString() << "\n";
+      std::abort();
+    }
+    bool eligible = env.cluster->HasDeltaCache(*handle);
+
+    // Warm-up trigger: computes the cached plan and (when eligible) fills
+    // the cache, so both measured lanes start from the same steady state.
+    auto warm = env.cluster->ExecuteContinuousAt(*handle, kFirstEnd - kStep);
+    if (!warm.ok()) {
+      std::cerr << "warm-up failed: " << warm.status().ToString() << "\n";
+      std::abort();
+    }
+
+    Histogram cold = MeasureEngine(
+        [&](StreamTime end) {
+          return env.cluster->ExecuteContinuousColdAt(*handle, end);
+        },
+        kFirstEnd, kStep, kSamples);
+    uint64_t cached = 0;
+    uint64_t fresh = 0;
+    Histogram delta = MeasureEngine(
+        [&](StreamTime end) {
+          auto exec = env.cluster->ExecuteContinuousAt(*handle, end);
+          if (exec.ok()) {
+            cached += exec->delta_slices_cached;
+            fresh += exec->delta_slices_fresh;
+          }
+          return exec;
+        },
+        kFirstEnd, kStep, kSamples);
+
+    double speedup = delta.Median() > 0 ? cold.Median() / delta.Median() : 0.0;
+    if (eligible) {
+      min_eligible_speedup = min_eligible_speedup == 0.0
+                                 ? speedup
+                                 : std::min(min_eligible_speedup, speedup);
+    }
+    std::string name = "L" + std::to_string(i);
+    table.AddRow({name, eligible ? "yes" : "no",
+                  TablePrinter::Num(cold.Median(), 3),
+                  TablePrinter::Num(delta.Median(), 3),
+                  TablePrinter::Num(speedup, 2) + "x",
+                  std::to_string(cached) + "/" + std::to_string(fresh)});
+
+    artifact.RecordLatencies("bench_latency_ms",
+                             {{"query", name}, {"mode", "recompute"}}, cold);
+    artifact.RecordLatencies("bench_latency_ms",
+                             {{"query", name}, {"mode", "delta"}}, delta);
+    artifact.SetValue("bench_delta_speedup", {{"query", name}}, speedup);
+    artifact.SetValue("bench_delta_eligible", {{"query", name}},
+                      eligible ? 1.0 : 0.0);
+    artifact.AddCount("bench_delta_slices_cached", {{"query", name}}, cached);
+    artifact.AddCount("bench_delta_slices_fresh", {{"query", name}}, fresh);
+  }
+  table.Print();
+  std::cout << "\nmin speedup over eligible queries: "
+            << TablePrinter::Num(min_eligible_speedup, 2)
+            << "x (acceptance floor: 3x)\n";
+  artifact.SetValue("bench_delta_min_speedup", {}, min_eligible_speedup);
+  artifact.Write(json_path);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace wukongs
+
+int main(int argc, char** argv) {
+  wukongs::bench::Run(wukongs::bench::JsonOutPath(argc, argv));
+  return 0;
+}

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Bench-regression gate: compare bench JSON artifacts against a baseline.
+
+Usage:
+    bench_compare.py --baseline BENCH_baseline.json current1.json [current2.json ...]
+
+The baseline file maps bench names to artifacts:
+    {"benches": {"table2_latency_single": {"bench": ..., "metrics": ...}, ...}}
+Each current file is one artifact as written by a bench's `--json` flag:
+    {"bench": "<name>", "metrics": {"counters": ..., "gauges": ..., "histograms": ...}}
+
+For every latency histogram present in both baseline and current, the gate
+fails when the current p50 exceeds the baseline p50 by more than --threshold
+(relative) AND by more than --abs-floor-ms (absolute). The absolute floor
+exists because sub-0.1ms rows are dominated by measured CPU wall time, which
+varies across machines far more than the modeled network time that dominates
+the slower rows; a pure percentage gate on microsecond medians would flap.
+
+Exit status: 0 when every compared metric passes, 1 on any regression (or
+when nothing could be compared at all — a silent empty gate is a broken gate).
+"""
+
+import argparse
+import json
+import sys
+
+
+def metric_family(name: str) -> str:
+    """bench_latency_ms{mode="delta",query="L2"} -> bench_latency_ms"""
+    return name.split("{", 1)[0]
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True,
+                        help="committed BENCH_baseline.json")
+    parser.add_argument("--threshold", type=float, default=0.15,
+                        help="relative p50 regression allowed (default 0.15)")
+    parser.add_argument("--abs-floor-ms", type=float, default=0.05,
+                        help="ignore regressions smaller than this many ms")
+    parser.add_argument("current", nargs="+",
+                        help="bench artifacts to check")
+    args = parser.parse_args()
+
+    with open(args.baseline, encoding="utf-8") as f:
+        benches = json.load(f)["benches"]
+
+    compared = 0
+    failures = []
+    for path in args.current:
+        with open(path, encoding="utf-8") as f:
+            artifact = json.load(f)
+        name = artifact.get("bench", "?")
+        if name not in benches:
+            print(f"note: no baseline entry for bench '{name}' ({path}), skipped")
+            continue
+        base_hist = benches[name]["metrics"]["histograms"]
+        cur_hist = artifact["metrics"]["histograms"]
+        for metric, cur in sorted(cur_hist.items()):
+            if "latency" not in metric_family(metric):
+                continue
+            base = base_hist.get(metric)
+            if base is None or "p50" not in base or "p50" not in cur:
+                continue
+            compared += 1
+            b50, c50 = base["p50"], cur["p50"]
+            regressed = (c50 > b50 * (1.0 + args.threshold)
+                         and c50 - b50 > args.abs_floor_ms)
+            status = "FAIL" if regressed else "ok"
+            print(f"[{status}] {name} :: {metric}: p50 {b50:.4f} -> {c50:.4f} ms"
+                  f" ({(c50 / b50 - 1.0) * 100.0 if b50 else 0.0:+.1f}%)")
+            if regressed:
+                failures.append(f"{name} :: {metric}")
+
+    if compared == 0:
+        print("error: no latency metrics were compared — baseline and current "
+              "artifacts do not overlap", file=sys.stderr)
+        return 1
+    if failures:
+        print(f"\n{len(failures)} p50 regression(s) beyond "
+              f"{args.threshold:.0%} + {args.abs_floor_ms}ms:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print(f"\nall {compared} latency p50s within {args.threshold:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

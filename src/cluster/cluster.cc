@@ -102,6 +102,13 @@ Cluster::Cluster(const ClusterConfig& config, StringServer* shared_strings)
           m->GetCounter("wukongs_duplicates_suppressed_total");
       obs_.crashes = m->GetCounter("wukongs_crashes_total");
       obs_.reroutes = m->GetCounter("wukongs_reroutes_total");
+      obs_.delta_hits = m->GetCounter("wukongs_delta_cache_hits_total");
+      obs_.delta_misses = m->GetCounter("wukongs_delta_cache_misses_total");
+      obs_.delta_invalidations =
+          m->GetCounter("wukongs_delta_cache_invalidations_total");
+      obs_.delta_epoch_flushes =
+          m->GetCounter("wukongs_delta_cache_epoch_flushes_total");
+      obs_.delta_bypasses = m->GetCounter("wukongs_delta_cache_bypasses_total");
       obs_.degraded_executions =
           m->GetCounter("wukongs_degraded_executions_total");
     }
@@ -148,10 +155,47 @@ StatusOr<StreamId> Cluster::DefineStream(
     transients_.back().push_back(
         std::make_unique<TransientStore>(config_.transient_budget_bytes));
     transients_raw_.back().push_back(transients_.back().back().get());
+    WireEvictionListeners(id, n);
   }
   coordinator_->RegisterStream(id);
   delivered_next_.push_back(0);
+  {
+    std::lock_guard lock(delta_mu_);
+    delta_caches_by_stream_.emplace_back();
+  }
   return id;
+}
+
+void Cluster::WireEvictionListeners(StreamId stream, NodeId node) {
+  // GC invalidation hooks (§5.9): when a slice is reclaimed on any node, the
+  // delta caches fed by this stream must retire the contributions that were
+  // (partly) sourced from it.
+  auto hook = [this, stream](BatchSeq min_live) {
+    NotifySliceEviction(stream, min_live);
+  };
+  transients_raw_[stream][node]->SetEvictionListener(hook);
+  stream_indexes_raw_[stream][node]->SetEvictionListener(hook);
+}
+
+void Cluster::NotifySliceEviction(StreamId stream, BatchSeq min_live) {
+  std::vector<DeltaCache*> caches;
+  {
+    std::lock_guard lock(delta_mu_);
+    if (stream < delta_caches_by_stream_.size()) {
+      caches = delta_caches_by_stream_[stream];
+    }
+  }
+  for (DeltaCache* cache : caches) {
+    Bump(obs_.delta_invalidations, cache->InvalidateBelow(min_live));
+  }
+}
+
+uint64_t Cluster::StoredEpoch() const {
+  uint64_t epoch = 0;
+  for (const auto& store : stores_) {
+    epoch += store->EdgeCountTotal();
+  }
+  return epoch;
 }
 
 StatusOr<StreamId> Cluster::FindStream(const std::string& name) const {
@@ -952,6 +996,120 @@ StatusOr<QueryExecution> Cluster::RunQuery(const Query& q,
   return exec;
 }
 
+StatusOr<QueryExecution> Cluster::RunQueryDelta(Registration& reg,
+                                                StreamTime end_ms, NodeId home,
+                                                DegradeState* degrade,
+                                                bool* used) {
+  *used = false;
+  const Query& q = reg.query;
+  const size_t dw = static_cast<size_t>(reg.delta_window);
+  StreamId sid = reg.stream_ids[dw];
+  BatchRange range = WindowBatches(end_ms, q.windows[dw].range_ms,
+                                   config_.batch_interval_ms);
+  if (range.empty) {
+    return QueryExecution{};  // Nothing to slice; cold path handles it.
+  }
+
+  // Position of the window pattern inside the cached plan.
+  size_t window_pos = 0;
+  for (size_t i = 0; i < reg.cached_plan.size(); ++i) {
+    if (q.patterns[static_cast<size_t>(reg.cached_plan[i])].graph !=
+        kGraphStored) {
+      window_pos = i;
+      break;
+    }
+  }
+
+  std::vector<std::unique_ptr<NeighborSource>> holders;
+  auto ctx = BuildContext(reg, end_ms, ChargePolicy::kInPlace, home, &holders,
+                          degrade);
+  if (!ctx.ok()) {
+    return ctx.status();
+  }
+
+  double sim_before = SimCost::TotalNs();
+  Stopwatch wall;
+  if (tracer_ != nullptr) {
+    tracer_->Instant("query", "query/dispatch", home);
+  }
+  auto exec_span = TraceSpan(tracer_, "query", "query/execute", home);
+  exec_span.Arg("mode", std::string("delta"))
+      .Arg("patterns", static_cast<uint64_t>(reg.cached_plan.size()));
+
+  // Trigger delta derived from Stable_VTS advancement: the batches that
+  // became stable since the previous delta trigger are the only candidates
+  // for fresh evaluation (the cache holds the rest of the window).
+  BatchSeq prev = reg.last_stable->load(std::memory_order_relaxed);
+  BatchRange advance = coordinator_->StableAdvanceSince(sid, prev);
+  if (!advance.empty) {
+    reg.last_stable->store(advance.hi, std::memory_order_relaxed);
+    exec_span.Arg("stable_advance",
+                  static_cast<uint64_t>(advance.hi - advance.lo + 1));
+  }
+
+  DeltaCache* cache = reg.delta_cache.get();
+  DeltaCache::Stats before = cache->stats();
+  cache->BeginTrigger(StoredEpoch(), range.lo, range.hi);
+  DeltaCache::Stats after = cache->stats();
+  Bump(obs_.delta_invalidations, after.invalidations - before.invalidations);
+  Bump(obs_.delta_epoch_flushes, after.epoch_flushes - before.epoch_flushes);
+
+  DeltaSpec spec;
+  spec.cache = cache;
+  spec.window_pos = window_pos;
+  spec.batches.reserve(static_cast<size_t>(range.hi - range.lo + 1));
+  for (BatchSeq b = range.lo; b <= range.hi; ++b) {
+    spec.batches.push_back(b);
+  }
+  // Per-slice views of the window's stream, created lazily: only slices the
+  // cache does not hold are ever read.
+  std::vector<std::unique_ptr<NeighborSource>> slice_holders;
+  spec.slice_source = [&](BatchSeq b) -> const NeighborSource* {
+    slice_holders.push_back(std::make_unique<WindowSource>(
+        stores_raw_, stream_indexes_raw_[sid], transients_raw_[sid],
+        fabric_.get(), home, BatchRange{b, b, false}, ChargePolicy::kInPlace,
+        config_.locality_aware_index, &config_.retry, degrade));
+    return slice_holders.back().get();
+  };
+
+  auto delta = ExecuteDeltaPatterns(q, reg.cached_plan, *ctx, spec);
+  if (!delta.ok()) {
+    return delta.status();
+  }
+  Bump(obs_.delta_hits, delta->slices_cached);
+  Bump(obs_.delta_misses, delta->slices_fresh);
+  if (delta->fallback) {
+    return QueryExecution{};  // Caller re-runs cold (*used stays false).
+  }
+
+  auto result = ProjectResult(q, *ctx, delta->table);
+  if (!result.ok()) {
+    return result.status();
+  }
+  Status fin = FinalizeSolution(q, *ctx, &result.value());
+  if (!fin.ok()) {
+    return fin;
+  }
+  double cpu_ns = wall.ElapsedNs();
+  exec_span.Arg("rows", static_cast<uint64_t>(result->rows.size()))
+      .Arg("cached", delta->slices_cached)
+      .Arg("fresh", delta->slices_fresh);
+  exec_span.End();
+  double net_ns = SimCost::TotalNs() - sim_before;
+
+  *used = true;
+  QueryExecution exec;
+  exec.result = std::move(*result);
+  exec.cpu_ms = cpu_ns / 1e6;
+  exec.net_ms = net_ns / 1e6;
+  exec.fork_join = false;
+  exec.snapshot = coordinator_->StableSn();
+  exec.delta = true;
+  exec.delta_slices_cached = delta->slices_cached;
+  exec.delta_slices_fresh = delta->slices_fresh;
+  return exec;
+}
+
 StatusOr<QueryExecution> Cluster::ExecuteUnion(const Registration& reg,
                                                StreamTime end_ms,
                                                SnapshotNum snapshot) {
@@ -1126,12 +1284,77 @@ StatusOr<Cluster::ContinuousHandle> Cluster::RegisterContinuousParsed(const Quer
     // where the query runs, from now on (Fig. 9).
     streams_[*sid].subscribers.insert(reg.home);
   }
+  if (config_.delta_cache_enabled) {
+    int dw = DeltaEligibleWindow(q);
+    if (dw >= 0) {
+      reg.delta_window = dw;
+      reg.delta_cache = std::make_unique<DeltaCache>();
+      reg.last_stable = std::make_unique<std::atomic<BatchSeq>>(kNoBatch);
+    }
+  }
   registrations_.push_back(std::move(reg));
+  Registration& stored = registrations_.back();
+  if (stored.delta_cache != nullptr) {
+    std::lock_guard lock(delta_mu_);
+    StreamId sid = stored.stream_ids[static_cast<size_t>(stored.delta_window)];
+    delta_caches_by_stream_[sid].push_back(stored.delta_cache.get());
+  }
   return static_cast<ContinuousHandle>(registrations_.size() - 1);
+}
+
+int Cluster::DeltaEligibleWindow(const Query& q) {
+  // Per-slice decomposition (§5.9) is exact only when a single pattern reads
+  // window data: with two window patterns a binding can join batch b1 data
+  // against batch b2 data, which no per-slice contribution represents.
+  if (!q.unions.empty() || q.limit != 0) {
+    return -1;  // UNION branches plan separately; LIMIT makes order observable.
+  }
+  int window = -1;
+  for (const TriplePattern& p : q.patterns) {
+    if (p.graph == kGraphStored) {
+      continue;
+    }
+    if (window >= 0) {
+      return -1;
+    }
+    window = p.graph;
+  }
+  if (window < 0) {
+    return -1;  // No window pattern: nothing to cache per slice.
+  }
+  for (const auto& group : q.optionals) {
+    for (const TriplePattern& p : group) {
+      if (p.graph != kGraphStored) {
+        return -1;  // OPTIONAL joins window data per row; not decomposable.
+      }
+    }
+  }
+  if (q.windows[static_cast<size_t>(window)].absolute) {
+    return -1;  // Absolute scopes never slide; the one-shot path serves them.
+  }
+  return window;
 }
 
 const Query& Cluster::ContinuousQueryOf(ContinuousHandle h) const {
   return registrations_[h].query;
+}
+
+bool Cluster::HasDeltaCache(ContinuousHandle h) const {
+  return h < registrations_.size() && registrations_[h].delta_cache != nullptr;
+}
+
+DeltaCache::Stats Cluster::DeltaStatsOf(ContinuousHandle h) const {
+  if (!HasDeltaCache(h)) {
+    return {};
+  }
+  return registrations_[h].delta_cache->stats();
+}
+
+size_t Cluster::DeltaEntryCountOf(ContinuousHandle h) const {
+  if (!HasDeltaCache(h)) {
+    return 0;
+  }
+  return registrations_[h].delta_cache->EntryCount();
 }
 
 bool Cluster::WindowReady(ContinuousHandle h, StreamTime end_ms) const {
@@ -1153,6 +1376,19 @@ bool Cluster::WindowReady(ContinuousHandle h, StreamTime end_ms) const {
 
 StatusOr<QueryExecution> Cluster::ExecuteContinuousAt(ContinuousHandle h,
                                                       StreamTime end_ms) {
+  return ExecuteContinuousImpl(h, end_ms, /*allow_delta=*/true, /*count=*/true);
+}
+
+StatusOr<QueryExecution> Cluster::ExecuteContinuousColdAt(ContinuousHandle h,
+                                                          StreamTime end_ms) {
+  return ExecuteContinuousImpl(h, end_ms, /*allow_delta=*/false,
+                               /*count=*/false);
+}
+
+StatusOr<QueryExecution> Cluster::ExecuteContinuousImpl(ContinuousHandle h,
+                                                        StreamTime end_ms,
+                                                        bool allow_delta,
+                                                        bool count) {
   if (h >= registrations_.size()) {
     return Status::NotFound("unknown continuous query handle");
   }
@@ -1165,7 +1401,9 @@ StatusOr<QueryExecution> Cluster::ExecuteContinuousAt(ContinuousHandle h,
     auto exec = ExecuteUnion(reg, end_ms, coordinator_->StableSn());
     if (exec.ok()) {
       exec->window_end_ms = end_ms;
-      Bump(obs_.queries_continuous);
+      if (count) {
+        Bump(obs_.queries_continuous);
+      }
       if (tracer_ != nullptr) {
         tracer_->Instant("query", "query/deliver", reg.home);
       }
@@ -1180,13 +1418,17 @@ StatusOr<QueryExecution> Cluster::ExecuteContinuousAt(ContinuousHandle h,
   DegradeState degrade;
 
   // Plan once, at the first triggered execution (stored-procedure style).
+  // An attached delta cache biases toward stored-prefix-first plans so the
+  // cached prefix and per-slice contributions stay reusable (§5.9).
   std::call_once(*reg.plan_once, [&] {
     auto plan_span = TraceSpan(tracer_, "query", "query/plan", home);
     std::vector<std::unique_ptr<NeighborSource>> plan_holders;
     auto plan_ctx = BuildContext(reg, end_ms, ChargePolicy::kNoCharge, home,
                                  &plan_holders, nullptr);
     if (plan_ctx.ok()) {
-      reg.cached_plan = PlanQuery(reg.query, *plan_ctx);
+      PlanHints hints;
+      hints.delta_cache = reg.delta_cache != nullptr;
+      reg.cached_plan = PlanQuery(reg.query, *plan_ctx, hints);
       reg.cached_selective = IsSelective(reg.query, reg.cached_plan);
     }
   });
@@ -1196,6 +1438,34 @@ StatusOr<QueryExecution> Cluster::ExecuteContinuousAt(ContinuousHandle h,
   bool selective = reg.cached_selective;
   bool fork_join = config_.force_fork_join ||
                    ((!selective || degraded) && !config_.force_in_place);
+
+  // Delta gate: eligible registration triggering in-place on a healthy,
+  // fault-free cluster. Everything else takes the cold path (and an eligible
+  // trigger that could not run as a delta counts as a bypass).
+  if (allow_delta && reg.delta_cache != nullptr && !fork_join && !degraded &&
+      config_.fault_injector == nullptr) {
+    bool used = false;
+    auto exec = RunQueryDelta(reg, end_ms, home, &degrade, &used);
+    if (!exec.ok()) {
+      return exec.status();
+    }
+    if (used) {
+      exec->window_end_ms = end_ms;
+      ApplyDegrade(degrade, &exec.value());
+      ApplyWindowLoss(reg, end_ms, &exec.value());
+      if (count) {
+        Bump(obs_.queries_continuous);
+      }
+      if (tracer_ != nullptr) {
+        tracer_->Instant("query", "query/deliver", home);
+      }
+      return exec;
+    }
+    Bump(obs_.delta_bypasses);
+    degrade = DegradeState{};
+  } else if (allow_delta && reg.delta_cache != nullptr) {
+    Bump(obs_.delta_bypasses);
+  }
 
   std::vector<std::unique_ptr<NeighborSource>> holders;
   auto ctx = BuildContext(reg, end_ms,
@@ -1210,7 +1480,9 @@ StatusOr<QueryExecution> Cluster::ExecuteContinuousAt(ContinuousHandle h,
     exec->window_end_ms = end_ms;
     ApplyDegrade(degrade, &exec.value());
     ApplyWindowLoss(reg, end_ms, &exec.value());
-    Bump(obs_.queries_continuous);
+    if (count) {
+      Bump(obs_.queries_continuous);
+    }
     if (tracer_ != nullptr) {
       tracer_->Instant("query", "query/deliver", home);
     }
@@ -1365,6 +1637,17 @@ Status Cluster::CrashNode(NodeId node) {
     transients_[s][node] =
         std::make_unique<TransientStore>(config_.transient_budget_bytes);
     transients_raw_[s][node] = transients_[s][node].get();
+    WireEvictionListeners(static_cast<StreamId>(s), node);
+  }
+  // Every delta cache summarized data that just died with the node (the
+  // epoch sum alone could coincide across the reset, so flush explicitly).
+  {
+    std::lock_guard lock(delta_mu_);
+    for (const auto& caches : delta_caches_by_stream_) {
+      for (DeltaCache* cache : caches) {
+        Bump(obs_.delta_invalidations, cache->InvalidateAll());
+      }
+    }
   }
   ++fault_stats_.crashes;
   Bump(obs_.crashes);
@@ -1558,6 +1841,20 @@ void Cluster::UpdateScrapedMetrics() {
   m->GetGauge("wukongs_nodes_up")->Set(static_cast<double>(UpNodeCount()));
   m->GetGauge("wukongs_nodes_serving")
       ->Set(static_cast<double>(ServingNodeCount()));
+  // Delta-cache residency across registrations (§5.9); the hit/miss/
+  // invalidation counters are bumped at their event sites.
+  size_t delta_entries = 0;
+  size_t delta_bytes = 0;
+  for (const Registration& reg : registrations_) {
+    if (reg.delta_cache != nullptr) {
+      delta_entries += reg.delta_cache->EntryCount();
+      delta_bytes += reg.delta_cache->MemoryBytes();
+    }
+  }
+  m->GetGauge("wukongs_delta_cache_entries")
+      ->Set(static_cast<double>(delta_entries));
+  m->GetGauge("wukongs_delta_cache_bytes")
+      ->Set(static_cast<double>(delta_bytes));
 }
 
 std::string Cluster::DumpMetrics(const std::string& name_filter) {

@@ -13,6 +13,7 @@
 #ifndef SRC_CLUSTER_CLUSTER_H_
 #define SRC_CLUSTER_CLUSTER_H_
 
+#include <atomic>
 #include <deque>
 #include <functional>
 #include <memory>
@@ -27,6 +28,7 @@
 #include "src/cluster/sources.h"
 #include "src/common/retry.h"
 #include "src/common/status.h"
+#include "src/engine/delta_cache.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/engine/executor.h"
@@ -77,6 +79,13 @@ struct ClusterConfig {
   // Forces in-place execution for every query (ablation: why the engine
   // picks fork-join for non-selective queries).
   bool force_in_place = false;
+
+  // Delta caching for continuous queries (§5.9): eligible registrations
+  // (exactly one sliding-window pattern, no UNION/LIMIT, no window pattern
+  // inside an OPTIONAL) memoize per-slice contributions across triggers and
+  // re-evaluate only the delta batches — O(delta) instead of O(window).
+  // Results are bag-identical to cold re-execution; row order may differ.
+  bool delta_cache_enabled = true;
 
   // Locality-aware partitioning of the stream index (paper §4.2, Fig. 9):
   // replicate a stream's index to nodes whose registered queries consume it.
@@ -135,6 +144,11 @@ struct QueryExecution {
   // lets it audit the fraction against the shed ledger.
   double shed_fraction = 0.0;
   uint64_t timing_edges_lost = 0;
+
+  // Delta-cache surface (§5.9): set when the trigger ran the delta pipeline.
+  bool delta = false;
+  uint64_t delta_slices_cached = 0;  // Window slices served from the cache.
+  uint64_t delta_slices_fresh = 0;   // Slices evaluated this trigger.
 
   double latency_ms() const { return cpu_ms + net_ms; }
 };
@@ -197,6 +211,16 @@ class Cluster {
   // with FailedPrecondition if the trigger condition does not hold.
   StatusOr<QueryExecution> ExecuteContinuousAt(ContinuousHandle h,
                                                StreamTime end_ms);
+  // Cold re-execution: same query, same cached plan, delta cache bypassed
+  // (neither read nor written) and the continuous-query counter untouched.
+  // The differential harness uses it as the delta parity baseline.
+  StatusOr<QueryExecution> ExecuteContinuousColdAt(ContinuousHandle h,
+                                                   StreamTime end_ms);
+  // Delta-cache introspection (§5.9). Stats/EntryCount are zero when the
+  // registration is ineligible (no cache attached).
+  bool HasDeltaCache(ContinuousHandle h) const;
+  DeltaCache::Stats DeltaStatsOf(ContinuousHandle h) const;
+  size_t DeltaEntryCountOf(ContinuousHandle h) const;
 
   // --- Maintenance: snapshot collapse + stream index / transient GC. ---
   // `live_horizon_ms`: no registered window will ever reach before this
@@ -358,6 +382,15 @@ class Cluster {
     std::unique_ptr<std::once_flag> plan_once = std::make_unique<std::once_flag>();
     std::vector<int> cached_plan;
     bool cached_selective = true;
+
+    // Delta cache (§5.9), attached at registration when the query is
+    // eligible; null otherwise. `delta_window` is the index into
+    // query.windows of the single window-scoped pattern's window, and
+    // `last_stable` the Stable_VTS entry observed at the previous delta
+    // trigger (drives the Coordinator's trigger-delta computation).
+    std::unique_ptr<DeltaCache> delta_cache;
+    int delta_window = -1;
+    std::unique_ptr<std::atomic<BatchSeq>> last_stable;
   };
 
   // Door-side admission of a finished mini-batch: records its timing total,
@@ -400,6 +433,27 @@ class Cluster {
                                     const ExecContext& ctx, NodeId home,
                                     bool fork_join, bool selective,
                                     SnapshotNum snapshot);
+  // --- Delta cache (§5.9). ---
+  // Index into q.windows of the single sliding-window pattern, or -1 when
+  // the query is ineligible for delta caching.
+  static int DeltaEligibleWindow(const Query& q);
+  // Stored-graph epoch: any append/load/crash anywhere changes it, flushing
+  // every delta cache at its next trigger (cheap relaxed-atomic sums).
+  uint64_t StoredEpoch() const;
+  // Eviction-listener fan-out: retire contributions below `min_live` in
+  // every delta cache fed by `stream`.
+  void NotifySliceEviction(StreamId stream, BatchSeq min_live);
+  void WireEvictionListeners(StreamId stream, NodeId node);
+  // Shared body of ExecuteContinuousAt / ExecuteContinuousColdAt.
+  StatusOr<QueryExecution> ExecuteContinuousImpl(ContinuousHandle h,
+                                                 StreamTime end_ms,
+                                                 bool allow_delta, bool count);
+  // Delta pipeline for one trigger. Sets *used=false (without error) when
+  // the trigger cannot run as a delta (empty window, executor fallback) —
+  // the caller then takes the cold path.
+  StatusOr<QueryExecution> RunQueryDelta(Registration& reg, StreamTime end_ms,
+                                         NodeId home, DegradeState* degrade,
+                                         bool* used);
   // Builds sources for a continuous execution; `holders` keeps them alive.
   // `home` may differ from reg.home after a degradation reroute; `degrade`
   // (optional) collects partial-result and retry accounting.
@@ -428,6 +482,12 @@ class Cluster {
   // Deque: references stay valid while later registrations are appended, so
   // executions and registrations can overlap safely.
   std::deque<Registration> registrations_;
+  // delta_caches_by_stream_[stream] = caches of registrations whose window
+  // pattern consumes that stream (each cache appears under exactly one
+  // stream). Guarded by delta_mu_; eviction listeners and registration
+  // append race with each other and with triggers.
+  mutable std::mutex delta_mu_;
+  std::vector<std::vector<DeltaCache*>> delta_caches_by_stream_;
   std::function<void(const StreamBatch&)> batch_logger_;
   size_t index_replications_ = 0;
 
@@ -480,6 +540,11 @@ class Cluster {
     obs::Counter* crashes = nullptr;
     obs::Counter* reroutes = nullptr;
     obs::Counter* degraded_executions = nullptr;
+    obs::Counter* delta_hits = nullptr;
+    obs::Counter* delta_misses = nullptr;
+    obs::Counter* delta_invalidations = nullptr;
+    obs::Counter* delta_epoch_flushes = nullptr;
+    obs::Counter* delta_bypasses = nullptr;
   };
   ObsCounters obs_;
   obs::Tracer* tracer_ = nullptr;  // config_.tracer, null when disabled.

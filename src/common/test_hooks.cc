@@ -5,5 +5,6 @@ namespace wukongs::test_hooks {
 std::atomic<bool> off_by_one_window{false};
 std::atomic<bool> stale_sn_read{false};
 std::atomic<bool> reorder_trace_spans{false};
+std::atomic<bool> skip_delta_invalidation{false};
 
 }  // namespace wukongs::test_hooks

@@ -26,6 +26,11 @@ extern std::atomic<bool> stale_sn_read;
 // golden-trace determinism test must catch via a digest change.
 extern std::atomic<bool> reorder_trace_spans;
 
+// TransientStore/StreamIndex skip notifying eviction listeners on GC, so
+// registered DeltaCaches keep serving binding rows sourced from reclaimed
+// slices — the planted mutation the delta parity lane must catch.
+extern std::atomic<bool> skip_delta_invalidation;
+
 // RAII toggle so a throwing test cannot leave a mutation armed for the rest
 // of the suite.
 class ScopedMutation {

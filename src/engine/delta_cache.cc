@@ -1,0 +1,105 @@
+#include "src/engine/delta_cache.h"
+
+namespace wukongs {
+
+uint64_t DeltaCache::InvalidateAllLocked() {
+  uint64_t retired = contributions_.size() + (prefix_valid_ ? 1 : 0);
+  contributions_.clear();
+  prefix_valid_ = false;
+  prefix_ = BindingTable();
+  return retired;
+}
+
+void DeltaCache::BeginTrigger(uint64_t epoch, BatchSeq lo, BatchSeq hi) {
+  std::lock_guard lock(mu_);
+  if (!epoch_set_ || epoch != epoch_) {
+    if (epoch_set_ && InvalidateAllLocked() > 0) {
+      ++stats_.epoch_flushes;
+    }
+    epoch_ = epoch;
+    epoch_set_ = true;
+  }
+  // Retire contributions the window slid past (and, defensively, anything
+  // ahead of it — a regressing trigger time never serves future slices).
+  for (auto it = contributions_.begin(); it != contributions_.end();) {
+    if (it->first < lo || it->first > hi) {
+      it = contributions_.erase(it);
+      ++stats_.invalidations;
+    } else {
+      ++it;
+    }
+  }
+}
+
+bool DeltaCache::GetPrefix(BindingTable* out) const {
+  std::lock_guard lock(mu_);
+  if (!prefix_valid_) {
+    return false;
+  }
+  *out = prefix_;
+  return true;
+}
+
+void DeltaCache::PutPrefix(const BindingTable& table) {
+  std::lock_guard lock(mu_);
+  prefix_ = table;
+  prefix_valid_ = true;
+}
+
+bool DeltaCache::GetContribution(BatchSeq seq, BindingTable* out) {
+  std::lock_guard lock(mu_);
+  auto it = contributions_.find(seq);
+  if (it == contributions_.end()) {
+    ++stats_.misses;
+    return false;
+  }
+  ++stats_.hits;
+  *out = it->second;
+  return true;
+}
+
+void DeltaCache::PutContribution(BatchSeq seq, const BindingTable& table) {
+  std::lock_guard lock(mu_);
+  contributions_[seq] = table;
+}
+
+uint64_t DeltaCache::InvalidateBelow(BatchSeq min_live_seq) {
+  std::lock_guard lock(mu_);
+  uint64_t retired = 0;
+  auto it = contributions_.begin();
+  while (it != contributions_.end() && it->first < min_live_seq) {
+    it = contributions_.erase(it);
+    ++retired;
+  }
+  stats_.invalidations += retired;
+  return retired;
+}
+
+uint64_t DeltaCache::InvalidateAll() {
+  std::lock_guard lock(mu_);
+  uint64_t retired = InvalidateAllLocked();
+  stats_.invalidations += retired;
+  return retired;
+}
+
+DeltaCache::Stats DeltaCache::stats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
+}
+
+size_t DeltaCache::EntryCount() const {
+  std::lock_guard lock(mu_);
+  return contributions_.size();
+}
+
+size_t DeltaCache::MemoryBytes() const {
+  std::lock_guard lock(mu_);
+  size_t bytes = prefix_valid_ ? prefix_.MemoryBytes() : 0;
+  for (const auto& [seq, table] : contributions_) {
+    (void)seq;
+    bytes += sizeof(BatchSeq) + table.MemoryBytes();
+  }
+  return bytes;
+}
+
+}  // namespace wukongs

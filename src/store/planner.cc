@@ -1,5 +1,6 @@
 #include "src/store/planner.h"
 
+#include <algorithm>
 #include <cassert>
 #include <limits>
 
@@ -35,10 +36,15 @@ double EstimatePatternCost(const TriplePattern& p, const std::vector<bool>& boun
     return static_cast<double>(
         src->EstimateCount(Key(p.object.constant, p.predicate, Dir::kIn)));
   }
-  // Bound variable endpoint: expansion fans out by the average degree, which
-  // we approximate by a small constant — far cheaper than an index scan.
+  // Bound variable endpoint: expansion fans out by the average degree,
+  // approximated by a small constant — far cheaper than an index scan. The
+  // fan-out cannot exceed what the pattern's own source holds for this
+  // predicate, which matters for window-scoped patterns: a sparse window
+  // caps the expansion at its few edges, and with multiple windows each
+  // pattern must rank by *its* window, not a shared constant.
   if (s_known || o_known) {
-    return 16.0;
+    size_t seeds = src->EstimateCount(Key(kIndexVertex, p.predicate, Dir::kOut));
+    return std::min(16.0, 1.0 + static_cast<double>(seeds));
   }
   // Both endpoints free: index-vertex scan over every pid edge.
   size_t n = src->EstimateCount(Key(kIndexVertex, p.predicate, Dir::kOut));
@@ -46,6 +52,11 @@ double EstimatePatternCost(const TriplePattern& p, const std::vector<bool>& boun
 }
 
 std::vector<int> PlanQuery(const Query& q, const ExecContext& ctx) {
+  return PlanQuery(q, ctx, PlanHints{});
+}
+
+std::vector<int> PlanQuery(const Query& q, const ExecContext& ctx,
+                           const PlanHints& hints) {
   const size_t n = q.patterns.size();
   std::vector<int> plan;
   plan.reserve(n);
@@ -63,6 +74,12 @@ std::vector<int> PlanQuery(const Query& q, const ExecContext& ctx) {
       const TriplePattern& p = q.patterns[i];
       bool connected = TermBound(p.subject, bound) || TermBound(p.object, bound);
       double cost = EstimatePatternCost(p, bound, ctx);
+      if (hints.delta_cache && p.graph != kGraphStored) {
+        // Cache-friendly bias: defer window patterns so the stored-graph
+        // prefix (cached across triggers) absorbs as much of the join as
+        // possible and per-slice contributions stay small.
+        cost *= 64.0;
+      }
       // Prefer connected patterns; disconnected ones would build a cartesian
       // product with the current table.
       if (best < 0 || (connected && !best_connected) ||

@@ -20,8 +20,19 @@
 
 namespace wukongs {
 
+// Planner steering knobs supplied by the engine that owns the query.
+struct PlanHints {
+  // A DeltaCache is attached to this continuous query (§5.9): bias the plan
+  // toward cache-friendly shapes — stored-graph prefix first, window-scoped
+  // patterns last — so the cached prefix table and per-slice contributions
+  // stay reusable across triggers.
+  bool delta_cache = false;
+};
+
 // Returns the execution order (indices into q.patterns).
 std::vector<int> PlanQuery(const Query& q, const ExecContext& ctx);
+std::vector<int> PlanQuery(const Query& q, const ExecContext& ctx,
+                           const PlanHints& hints);
 
 // Estimated output cardinality of running `p` given `bound` variable slots.
 // Exposed for tests and for the composite baselines (which must plan with

@@ -1,6 +1,9 @@
 #include "src/stream/stream_index.h"
 
 #include <cassert>
+#include <utility>
+
+#include "src/common/test_hooks.h"
 
 namespace wukongs {
 
@@ -119,13 +122,29 @@ StreamIndex::LookupStats StreamIndex::lookup_stats() const {
   return lookups_;
 }
 
-size_t StreamIndex::EvictBefore(BatchSeq min_live_seq) {
+void StreamIndex::SetEvictionListener(EvictionListener listener) {
   std::lock_guard lock(mu_);
+  listener_ = std::move(listener);
+}
+
+size_t StreamIndex::EvictBefore(BatchSeq min_live_seq) {
   size_t freed = 0;
-  while (!batches_.empty() && batches_.front().seq < min_live_seq) {
-    total_bytes_ -= batches_.front().bytes;
-    batches_.pop_front();
-    ++freed;
+  EvictionListener listener;
+  {
+    std::lock_guard lock(mu_);
+    while (!batches_.empty() && batches_.front().seq < min_live_seq) {
+      total_bytes_ -= batches_.front().bytes;
+      batches_.pop_front();
+      ++freed;
+    }
+    listener = listener_;
+  }
+  // Fired outside the lock: listeners take the delta-cache lock and must not
+  // nest inside ours. The planted skip_delta_invalidation fault suppresses
+  // the notification so caches serve rows from reclaimed slices.
+  if (freed > 0 && listener &&
+      !test_hooks::skip_delta_invalidation.load(std::memory_order_relaxed)) {
+    listener(min_live_seq);
   }
   return freed;
 }

@@ -18,6 +18,7 @@
 #define SRC_STREAM_STREAM_INDEX_H_
 
 #include <deque>
+#include <functional>
 #include <mutex>
 #include <unordered_map>
 #include <vector>
@@ -59,6 +60,12 @@ class StreamIndex {
                 std::vector<VertexId>* out) const;
   size_t SeedCount(BatchSeq seq, PredicateId pid, Dir dir) const;
 
+  // Invoked after EvictBefore drops batches, with the minimum batch still
+  // live; delta caches retire contributions below it (DESIGN.md §5.9).
+  // Called outside the index's lock, so the listener may take its own locks.
+  using EvictionListener = std::function<void(BatchSeq min_live_seq)>;
+  void SetEvictionListener(EvictionListener listener);
+
   // Drops index entries for batches < min_live_seq (stale windows).
   size_t EvictBefore(BatchSeq min_live_seq);
 
@@ -91,6 +98,7 @@ class StreamIndex {
   std::deque<BatchIndex> batches_;
   size_t total_bytes_ = 0;
   mutable LookupStats lookups_;  // Guarded by mu_.
+  EvictionListener listener_;    // Guarded by mu_; invoked after unlock.
 };
 
 }  // namespace wukongs

@@ -2,10 +2,28 @@
 
 #include <algorithm>
 #include <cassert>
+#include <utility>
 
+#include "src/common/test_hooks.h"
 #include "src/stream/vts.h"
 
 namespace wukongs {
+namespace {
+
+// Fires the eviction listener outside the store lock (listeners take the
+// delta-cache lock; keeping the orders disjoint avoids inversion under TSan).
+void NotifyEviction(const TransientStore::EvictionListener& listener,
+                    size_t freed, BatchSeq min_live_seq) {
+  if (freed == 0 || !listener) {
+    return;
+  }
+  if (test_hooks::skip_delta_invalidation.load(std::memory_order_relaxed)) {
+    return;  // Planted fault: GC "forgets" to tell the delta caches.
+  }
+  listener(min_live_seq);
+}
+
+}  // namespace
 
 TransientStore::TransientStore(size_t memory_budget_bytes)
     : memory_budget_bytes_(memory_budget_bytes) {}
@@ -48,55 +66,75 @@ TransientStore::Slice TransientStore::BuildSlice(
 
 bool TransientStore::AppendSlice(BatchSeq seq,
                                  const std::vector<std::pair<Key, VertexId>>& edges) {
-  std::lock_guard lock(mu_);
-  assert(slices_.empty() || slices_.back().seq < seq);
+  size_t freed = 0;
+  BatchSeq min_live = 0;
+  EvictionListener listener;
+  bool accepted = true;
+  {
+    std::lock_guard lock(mu_);
+    assert(slices_.empty() || slices_.back().seq < seq);
 
-  Slice slice = BuildSlice(seq, edges, edges.size());
+    Slice slice = BuildSlice(seq, edges, edges.size());
 
-  if (memory_budget_bytes_ != 0 &&
-      total_bytes_ + slice.bytes > memory_budget_bytes_) {
-    // Ring buffer full: reclaim expired slices right now (paper: GC is
-    // "explicitly invoked when the ring buffer is full").
-    EvictBeforeLocked(gc_horizon_);
-    if (total_bytes_ + slice.bytes > memory_budget_bytes_) {
-      return false;
+    if (memory_budget_bytes_ != 0 &&
+        total_bytes_ + slice.bytes > memory_budget_bytes_) {
+      // Ring buffer full: reclaim expired slices right now (paper: GC is
+      // "explicitly invoked when the ring buffer is full").
+      freed = EvictBeforeLocked(gc_horizon_);
+      min_live = gc_horizon_;
+      listener = listener_;
+      accepted = total_bytes_ + slice.bytes <= memory_budget_bytes_;
+    }
+    if (accepted) {
+      total_bytes_ += slice.bytes;
+      slices_.push_back(std::move(slice));
     }
   }
-  total_bytes_ += slice.bytes;
-  slices_.push_back(std::move(slice));
-  return true;
+  NotifyEviction(listener, freed, min_live);
+  return accepted;
 }
 
 size_t TransientStore::AppendSlicePrefix(
     BatchSeq seq, const std::vector<std::pair<Key, VertexId>>& edges) {
-  std::lock_guard lock(mu_);
-  assert(slices_.empty() || slices_.back().seq < seq);
-  EvictBeforeLocked(gc_horizon_);
+  size_t freed = 0;
+  BatchSeq min_live = 0;
+  EvictionListener listener;
+  size_t kept = 0;
+  {
+    std::lock_guard lock(mu_);
+    assert(slices_.empty() || slices_.back().seq < seq);
+    freed = EvictBeforeLocked(gc_horizon_);
+    min_live = gc_horizon_;
+    listener = listener_;
 
-  size_t budget_left =
-      memory_budget_bytes_ == 0
-          ? SIZE_MAX
-          : (memory_budget_bytes_ > total_bytes_ ? memory_budget_bytes_ - total_bytes_
-                                                 : 0);
-  // Slice bytes grow monotonically with the edge count, so binary-search the
-  // largest fitting prefix (rebuilding the candidate slice per probe keeps
-  // the byte accounting identical to AppendSlice's).
-  size_t lo = 0;
-  size_t hi = edges.size();
-  while (lo < hi) {
-    size_t mid = lo + (hi - lo + 1) / 2;
-    if (BuildSlice(seq, edges, mid).bytes <= budget_left) {
-      lo = mid;
-    } else {
-      hi = mid - 1;
+    size_t budget_left =
+        memory_budget_bytes_ == 0
+            ? SIZE_MAX
+            : (memory_budget_bytes_ > total_bytes_
+                   ? memory_budget_bytes_ - total_bytes_
+                   : 0);
+    // Slice bytes grow monotonically with the edge count, so binary-search the
+    // largest fitting prefix (rebuilding the candidate slice per probe keeps
+    // the byte accounting identical to AppendSlice's).
+    size_t lo = 0;
+    size_t hi = edges.size();
+    while (lo < hi) {
+      size_t mid = lo + (hi - lo + 1) / 2;
+      if (BuildSlice(seq, edges, mid).bytes <= budget_left) {
+        lo = mid;
+      } else {
+        hi = mid - 1;
+      }
     }
+    // lo == 0 still appends an empty slice, keeping the batch sequence dense
+    // for FindSlice.
+    Slice slice = BuildSlice(seq, edges, lo);
+    total_bytes_ += slice.bytes;
+    slices_.push_back(std::move(slice));
+    kept = lo;
   }
-  // lo == 0 still appends an empty slice, keeping the batch sequence dense
-  // for FindSlice.
-  Slice slice = BuildSlice(seq, edges, lo);
-  total_bytes_ += slice.bytes;
-  slices_.push_back(std::move(slice));
-  return lo;
+  NotifyEviction(listener, freed, min_live);
+  return kept;
 }
 
 const TransientStore::Slice* TransientStore::FindSlice(BatchSeq seq) const {
@@ -153,9 +191,21 @@ size_t TransientStore::EvictBeforeLocked(BatchSeq min_live_seq) {
   return freed;
 }
 
-size_t TransientStore::EvictBefore(BatchSeq min_live_seq) {
+void TransientStore::SetEvictionListener(EvictionListener listener) {
   std::lock_guard lock(mu_);
-  return EvictBeforeLocked(min_live_seq);
+  listener_ = std::move(listener);
+}
+
+size_t TransientStore::EvictBefore(BatchSeq min_live_seq) {
+  size_t freed = 0;
+  EvictionListener listener;
+  {
+    std::lock_guard lock(mu_);
+    freed = EvictBeforeLocked(min_live_seq);
+    listener = listener_;
+  }
+  NotifyEviction(listener, freed, min_live_seq);
+  return freed;
 }
 
 void TransientStore::SetGcHorizon(BatchSeq min_live_seq) {
@@ -164,8 +214,17 @@ void TransientStore::SetGcHorizon(BatchSeq min_live_seq) {
 }
 
 size_t TransientStore::RunGc() {
-  std::lock_guard lock(mu_);
-  return EvictBeforeLocked(gc_horizon_);
+  size_t freed = 0;
+  BatchSeq min_live = 0;
+  EvictionListener listener;
+  {
+    std::lock_guard lock(mu_);
+    freed = EvictBeforeLocked(gc_horizon_);
+    min_live = gc_horizon_;
+    listener = listener_;
+  }
+  NotifyEviction(listener, freed, min_live);
+  return freed;
 }
 
 size_t TransientStore::SliceCount() const {

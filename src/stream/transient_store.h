@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <mutex>
 #include <unordered_map>
 #include <vector>
@@ -24,6 +25,11 @@ namespace wukongs {
 
 class TransientStore {
  public:
+  // Invoked after any eviction path reclaims slices, with the minimum batch
+  // still live; delta caches retire contributions below it (DESIGN.md §5.9).
+  // Called outside the store's lock, so the listener may take its own locks.
+  using EvictionListener = std::function<void(BatchSeq min_live_seq)>;
+
   // `memory_budget_bytes` = 0 means unbounded.
   explicit TransientStore(size_t memory_budget_bytes = 0);
 
@@ -48,6 +54,10 @@ class TransientStore {
   // Appends the neighbors of `key` within batch `seq` to `out`.
   void GetNeighbors(BatchSeq seq, Key key, std::vector<VertexId>* out) const;
   size_t EdgeCount(BatchSeq seq, Key key) const;
+
+  // Registers the eviction listener (replacing any previous one). Every
+  // reclaim path — explicit, budget-triggered, and periodic — notifies it.
+  void SetEvictionListener(EvictionListener listener);
 
   // Frees every slice with seq < `min_live_seq`. Returns slices freed.
   size_t EvictBefore(BatchSeq min_live_seq);
@@ -88,7 +98,8 @@ class TransientStore {
   std::deque<Slice> slices_;
   size_t total_bytes_ = 0;
   BatchSeq gc_horizon_ = 0;
-  GcStats gc_stats_;  // Guarded by mu_.
+  GcStats gc_stats_;            // Guarded by mu_.
+  EvictionListener listener_;   // Guarded by mu_; invoked after unlock.
 };
 
 }  // namespace wukongs

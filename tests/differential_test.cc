@@ -427,6 +427,23 @@ Status RunTrace(const RunConfig& cfg, const std::vector<Event>& trace) {
         if (!cmp.ok()) {
           return cmp;
         }
+        // Delta parity (§5.9): the delivered result — delta-cached or not —
+        // must be bag-identical to a cold full-window re-execution on the
+        // same cached plan. This is the check that catches a GC that forgets
+        // to invalidate delta-cache entries (stale contributions survive in
+        // the cache but not in a cold read).
+        auto cold = cluster.ExecuteContinuousColdAt(r.handle, end);
+        if (!cold.ok()) {
+          return Status::Internal("cold re-execution failed where the trigger "
+                                  "succeeded: " + cold.status().ToString());
+        }
+        if (CanonicalBag(exec->result) != CanonicalBag(cold->result)) {
+          return Status::Internal(
+              "delta/cold divergence on continuous q" + std::to_string(e.handle) +
+              " @" + std::to_string(end) + ": delta " +
+              std::to_string(exec->result.rows.size()) + " rows vs cold " +
+              std::to_string(cold->result.rows.size()));
+        }
         r.last_end = end;
         break;
       }
