@@ -59,11 +59,13 @@ Cluster::Cluster(const ClusterConfig& config, StringServer* shared_strings)
       coordinator_(std::make_unique<Coordinator>(
           config.nodes, config.reserved_snapshots, config.batches_per_sn,
           config.overload.max_plan_extensions)),
+      shard_map_(config.nodes),
       shedder_(config.overload.shed),
       backlog_(config.nodes) {
   assert(config_.nodes >= 1);
   fabric_->set_fault_injector(config_.fault_injector);
-  stores_.reserve(config_.nodes);
+  stores_.reserve(fabric_->node_capacity());
+  stores_raw_.reserve(fabric_->node_capacity());
   for (NodeId n = 0; n < config_.nodes; ++n) {
     stores_.push_back(std::make_unique<GStore>(n));
     stores_raw_.push_back(stores_.back().get());
@@ -111,6 +113,20 @@ Cluster::Cluster(const ClusterConfig& config, StringServer* shared_strings)
       obs_.delta_bypasses = m->GetCounter("wukongs_delta_cache_bypasses_total");
       obs_.degraded_executions =
           m->GetCounter("wukongs_degraded_executions_total");
+      obs_.reconfig_moves_started =
+          m->GetCounter("wukongs_reconfig_moves_started_total");
+      obs_.reconfig_moves_committed =
+          m->GetCounter("wukongs_reconfig_moves_committed_total");
+      obs_.reconfig_moves_aborted =
+          m->GetCounter("wukongs_reconfig_moves_aborted_total");
+      obs_.reconfig_edges_copied =
+          m->GetCounter("wukongs_reconfig_edges_copied_total");
+      obs_.reconfig_dual_applied_edges =
+          m->GetCounter("wukongs_reconfig_dual_applied_edges_total");
+      obs_.reconfig_rehomed_registrations =
+          m->GetCounter("wukongs_reconfig_rehomed_registrations_total");
+      obs_.reconfig_stale_edges_purged =
+          m->GetCounter("wukongs_reconfig_stale_edges_purged_total");
     }
   }
 }
@@ -159,6 +175,7 @@ StatusOr<StreamId> Cluster::DefineStream(
   }
   coordinator_->RegisterStream(id);
   delivered_next_.push_back(0);
+  injected_window_edges_.emplace_back(config_.nodes, 0);
   {
     std::lock_guard lock(delta_mu_);
     delta_caches_by_stream_.emplace_back();
@@ -407,6 +424,11 @@ void Cluster::DeliverBatch(const StreamBatch& batch) {
     InjectBatch(batch);
     delivered_next_[batch.stream] = batch.seq + 1;
   }
+  // The delivered frontier (and possibly Stable_VTS) advanced: a pending
+  // migration whose transfer finished may now satisfy the cutover barrier.
+  // Must run *after* the delivered_next_ bump — the barrier compares the plan
+  // SN of the newest delivered batch against Stable_SN.
+  TryCommitMigration();
 }
 
 void Cluster::InjectBatch(const StreamBatch& batch, int only_node) {
@@ -440,12 +462,30 @@ void Cluster::InjectBatch(const StreamBatch& batch, int only_node) {
       .Arg("tuples", static_cast<uint64_t>(batch.tuples.size()));
   std::vector<std::vector<std::pair<Key, VertexId>>> timeless(nodes);
   std::vector<std::vector<std::pair<Key, VertexId>>> timing(nodes);
+  // Dual-apply (DESIGN.md §5.10): while a shard migration is pending, the
+  // moving shard's partition is mirrored onto the target (same SN, same batch
+  // seq) so the target's copy tracks the source batch-for-batch.
+  Migration* mig = filtered ? nullptr : migration_.get();
+  std::vector<std::pair<Key, VertexId>> mig_timeless;
+  std::vector<std::pair<Key, VertexId>> mig_timing;
+  const auto view = shard_map_.View();
   for (const StreamTuple& t : batch.tuples) {
     Key out_key(t.triple.subject, t.triple.predicate, Dir::kOut);
     Key in_key(t.triple.object, t.triple.predicate, Dir::kIn);
     auto& out_dst = t.kind == TupleKind::kTiming ? timing : timeless;
-    out_dst[OwnerOf(t.triple.subject)].emplace_back(out_key, t.triple.object);
-    out_dst[OwnerOf(t.triple.object)].emplace_back(in_key, t.triple.subject);
+    out_dst[view->OwnerOfV(t.triple.subject)].emplace_back(out_key,
+                                                           t.triple.object);
+    out_dst[view->OwnerOfV(t.triple.object)].emplace_back(in_key,
+                                                          t.triple.subject);
+    if (mig != nullptr) {
+      auto& mig_dst = t.kind == TupleKind::kTiming ? mig_timing : mig_timeless;
+      if (view->ShardOfVertex(t.triple.subject) == mig->shard) {
+        mig_dst.emplace_back(out_key, t.triple.object);
+      }
+      if (view->ShardOfVertex(t.triple.object) == mig->shard) {
+        mig_dst.emplace_back(in_key, t.triple.subject);
+      }
+    }
   }
   dispatch_span.End();
 
@@ -496,6 +536,7 @@ void Cluster::InjectBatch(const StreamBatch& batch, int only_node) {
     if (!filtered && !backlog_[n].empty()) {
       DrainBacklog(n);  // FIFO: parked batches land before this one.
     }
+    injected_window_edges_[batch.stream][n] += tuple_count;
     {
       auto persist_span = TraceSpan(
           timeless[n].empty() ? nullptr : batch_tracer, "ingest",
@@ -547,6 +588,41 @@ void Cluster::InjectBatch(const StreamBatch& batch, int only_node) {
   index_span.End();
   if (!filtered) {
     state.profile.index_ms += index_probe.FinishMs();
+  }
+
+  // Dual-apply lands after the target's own AddBatch/AppendSlice for this
+  // seq, so MergeBatch/MergeSlice fold into existing entries. It must NOT
+  // bump the per-batch injection counters below — the differential harness
+  // cross-checks those against the batch logger.
+  if (mig != nullptr && migration_ != nullptr) {
+    const NodeId target = migration_->target;
+    const size_t mig_edges = mig_timeless.size() + mig_timing.size();
+    if (!fabric_->node_up(target)) {
+      // Source keeps a complete copy; partial target copy is stranded.
+      AbortMigrationInternal(/*taint=*/true, "target went down mid-transfer");
+    } else if (deferred[target] && mig_edges > 0) {
+      // The target parked this batch (slow window): its AddBatch has not run,
+      // so the mirror cannot fold in order. Roll back rather than reorder.
+      AbortMigrationInternal(/*taint=*/true,
+                             "target deferred a batch mid-transfer");
+    } else if (mig_edges > 0) {
+      fabric_->Message(migration_->source, target, mig_edges * kTupleWireBytes);
+      std::vector<AppendSpan> mig_spans;
+      for (const auto& [key, value] : mig_timeless) {
+        stores_raw_[target]->InjectEdgeMigrated(key, value, sn, &mig_spans);
+      }
+      if (!mig_spans.empty()) {
+        stream_indexes_raw_[batch.stream][target]->MergeBatch(batch.seq,
+                                                              mig_spans);
+      }
+      if (!mig_timing.empty()) {
+        transients_raw_[batch.stream][target]->MergeSlice(batch.seq, mig_timing);
+      }
+      injected_window_edges_[batch.stream][target] += mig_edges;
+      migration_->edges_copied += mig_edges;
+      reconfig_stats_.dual_applied_edges += mig_edges;
+      Bump(obs_.reconfig_dual_applied_edges, mig_edges);
+    }
   }
 
   for (NodeId n = 0; n < nodes; ++n) {
@@ -631,6 +707,7 @@ void Cluster::DrainBacklog(NodeId n) {
     // Catching up is not free: each parked batch charges the recovering
     // node's modeled apply delay.
     SimCost::Add(delay_ns);
+    injected_window_edges_[d.stream][n] += d.timeless.size() + d.timing.size();
     std::vector<AppendSpan> spans;
     for (const auto& [key, value] : d.timeless) {
       stores_raw_[n]->InjectEdge(key, value, d.sn, &spans);
@@ -695,8 +772,16 @@ void Cluster::TickHealth(StreamTime now_ms) {
         continue;
       }
       HealthAction action = health_->Evaluate(n, now_ms, NodeCaughtUp(n));
+      // Migration endpoints are exempt from quarantine: un-serving the target
+      // would stall the cutover barrier forever (and the source must keep
+      // serving the moving shard until the epoch bumps). A draining node is
+      // already being emptied; quarantining it would only churn the epoch.
+      const bool reconfig_pinned =
+          draining_.count(n) > 0 ||
+          (migration_ != nullptr &&
+           (migration_->source == n || migration_->target == n));
       if (action == HealthAction::kQuarantine && fabric_->node_serving(n) &&
-          fabric_->serving_count() > 1) {
+          !reconfig_pinned && fabric_->serving_count() > 1) {
         // Stop waiting on the straggler: queries skip its shard (partial,
         // like a crash) but injection keeps feeding it so it can catch up.
         coordinator_->SetNodeActive(n, false);
@@ -718,6 +803,9 @@ void Cluster::TickHealth(StreamTime now_ms) {
   for (StreamId s = 0; s < static_cast<StreamId>(streams_.size()); ++s) {
     PumpPending(s);
   }
+  // Reactivations (or backlog drains) may have advanced Stable_VTS past the
+  // cutover barrier of a finished transfer.
+  TryCommitMigration();
 }
 
 void Cluster::SetPressureListener(std::function<void(StreamId, NodeId)> listener) {
@@ -821,9 +909,12 @@ StatusOr<ExecContext> Cluster::BuildContext(
     ctx.tracer = tracer_;
     ctx.trace_node = home;
   }
+  // One ownership snapshot for every source of this execution: all reads
+  // route by the same epoch even if a migration commits mid-flight.
+  const auto view = shard_map_.View();
   holders->push_back(std::make_unique<StoreSource>(
       stores_raw_, fabric_.get(), home, coordinator_->StableSn(), policy,
-      &config_.retry, degrade));
+      &config_.retry, degrade, view));
   ctx.sources.push_back(holders->back().get());
   VectorTimestamp stable = coordinator_->StableVts();
   for (size_t w = 0; w < reg.query.windows.size(); ++w) {
@@ -847,7 +938,7 @@ StatusOr<ExecContext> Cluster::BuildContext(
     holders->push_back(std::make_unique<WindowSource>(
         stores_raw_, stream_indexes_raw_[sid], transients_raw_[sid], fabric_.get(),
         home, range, policy, config_.locality_aware_index, &config_.retry,
-        degrade));
+        degrade, view));
     ctx.sources.push_back(holders->back().get());
   }
   return ctx;
@@ -855,9 +946,20 @@ StatusOr<ExecContext> Cluster::BuildContext(
 
 NodeId Cluster::EffectiveHome(NodeId home) {
   // A quarantined (slow) home is avoided just like a crashed one: executions
-  // land on a serving node.
-  if (fabric_->node_serving(home)) {
+  // land on a serving node. A draining home sheds query duty the same way,
+  // but only while a non-draining serving node exists to take it.
+  if (fabric_->node_serving(home) && draining_.count(home) == 0) {
     return home;
+  }
+  for (NodeId n = 0; n < config_.nodes; ++n) {
+    if (fabric_->node_serving(n) && draining_.count(n) == 0) {
+      ++fault_stats_.reroutes;
+      Bump(obs_.reroutes);
+      return n;
+    }
+  }
+  if (fabric_->node_serving(home)) {
+    return home;  // Every serving node is draining; stay put.
   }
   for (NodeId n = 0; n < config_.nodes; ++n) {
     if (fabric_->node_serving(n)) {
@@ -993,6 +1095,7 @@ StatusOr<QueryExecution> Cluster::RunQuery(const Query& q,
   exec.net_ms = net_ns / 1e6;
   exec.fork_join = fork_join;
   exec.snapshot = snapshot;
+  exec.ownership_epoch = shard_map_.epoch();
   return exec;
 }
 
@@ -1064,11 +1167,12 @@ StatusOr<QueryExecution> Cluster::RunQueryDelta(Registration& reg,
   // Per-slice views of the window's stream, created lazily: only slices the
   // cache does not hold are ever read.
   std::vector<std::unique_ptr<NeighborSource>> slice_holders;
+  const auto slice_view = shard_map_.View();
   spec.slice_source = [&](BatchSeq b) -> const NeighborSource* {
     slice_holders.push_back(std::make_unique<WindowSource>(
         stores_raw_, stream_indexes_raw_[sid], transients_raw_[sid],
         fabric_.get(), home, BatchRange{b, b, false}, ChargePolicy::kInPlace,
-        config_.locality_aware_index, &config_.retry, degrade));
+        config_.locality_aware_index, &config_.retry, degrade, slice_view));
     return slice_holders.back().get();
   };
 
@@ -1104,6 +1208,7 @@ StatusOr<QueryExecution> Cluster::RunQueryDelta(Registration& reg,
   exec.net_ms = net_ns / 1e6;
   exec.fork_join = false;
   exec.snapshot = coordinator_->StableSn();
+  exec.ownership_epoch = shard_map_.epoch();
   exec.delta = true;
   exec.delta_slices_cached = delta->slices_cached;
   exec.delta_slices_fresh = delta->slices_fresh;
@@ -1116,6 +1221,7 @@ StatusOr<QueryExecution> Cluster::ExecuteUnion(const Registration& reg,
   QueryExecution total;
   total.snapshot = snapshot;
   total.window_end_ms = end_ms;
+  total.ownership_epoch = shard_map_.epoch();
   NodeId home = EffectiveHome(reg.home);
   const bool degraded = fabric_->AnyNodeNotServing();
   DegradeState degrade;
@@ -1623,6 +1729,14 @@ Status Cluster::CrashNode(NodeId node) {
   // path replays them from the checkpoint log instead).
   fabric_->SetNodeServing(node, true);
   backlog_[node].clear();
+  crash_marked_.insert(node);
+  // A migration with this node as an endpoint rolls back to the old epoch.
+  // Crashing the *target* also resets its stores, so any stranded partial
+  // copy (this migration's or a previously tainted one) dies with it.
+  AbortMigrationFor(node);
+  std::erase_if(migration_taints_,
+                [node](const auto& p) { return p.second == node; });
+  draining_.erase(node);
   // Excluded from Stable_VTS so surviving nodes keep triggering windows, and
   // its injection progress is forgotten so restore can re-report from seq 0.
   coordinator_->SetNodeActive(node, false);
@@ -1639,15 +1753,25 @@ Status Cluster::CrashNode(NodeId node) {
     transients_raw_[s][node] = transients_[s][node].get();
     WireEvictionListeners(static_cast<StreamId>(s), node);
   }
-  // Every delta cache summarized data that just died with the node (the
-  // epoch sum alone could coincide across the reset, so flush explicitly).
+  // Scoped delta flush: only caches of streams whose *window data* actually
+  // touched the crashed node lost summarized slices (the epoch sum alone
+  // could coincide across the reset, so those flush explicitly). A stream
+  // that never landed an edge on this node keeps its caches warm; stored-
+  // graph staleness is covered by the StoredEpoch guard in BeginTrigger.
   {
     std::lock_guard lock(delta_mu_);
-    for (const auto& caches : delta_caches_by_stream_) {
-      for (DeltaCache* cache : caches) {
+    for (size_t s = 0; s < delta_caches_by_stream_.size(); ++s) {
+      if (s >= injected_window_edges_.size() ||
+          injected_window_edges_[s][node] == 0) {
+        continue;
+      }
+      for (DeltaCache* cache : delta_caches_by_stream_[s]) {
         Bump(obs_.delta_invalidations, cache->InvalidateAll());
       }
     }
+  }
+  for (auto& per_node : injected_window_edges_) {
+    per_node[node] = 0;  // The restore replay re-counts from scratch.
   }
   ++fault_stats_.crashes;
   Bump(obs_.crashes);
@@ -1717,6 +1841,15 @@ Status Cluster::FinishNodeRestore(NodeId node) {
   if (fabric_->node_up(node)) {
     return Status::FailedPrecondition("node is already live");
   }
+  if (crash_marked_.count(node) == 0) {
+    // Down but never taken through CrashNode (e.g. direct fabric
+    // manipulation): its volatile state was never reset and the coordinator
+    // never forgot its progress, so the restore invariants below are
+    // meaningless. Surfacing success here used to mask exactly that misuse.
+    return Status::InvalidArgument(
+        "node " + std::to_string(node) +
+        " was never crash-marked; use CrashNode before restoring");
+  }
   // The node may only rejoin once its replayed progress covers the survivors'
   // stable frontier; reactivating early would regress Stable_VTS and stall
   // (or un-trigger) windows that already fired.
@@ -1738,12 +1871,384 @@ Status Cluster::FinishNodeRestore(NodeId node) {
   }
   fabric_->SetNodeUp(node, true);
   coordinator_->SetNodeActive(node, true);
+  crash_marked_.erase(node);
   if (health_ != nullptr) {
     // Restart the node's heartbeat history; stale pre-crash inter-arrival
     // gaps would instantly re-quarantine it.
     health_->Reset(node, last_health_ms_);
   }
   return Status::Ok();
+}
+
+Status Cluster::BeginShardMove(uint32_t shard, NodeId target) {
+  if (shard >= shard_map_.shard_count()) {
+    return Status::NotFound("unknown shard " + std::to_string(shard));
+  }
+  if (target >= config_.nodes) {
+    return Status::NotFound("unknown target node " + std::to_string(target));
+  }
+  if (migration_ != nullptr) {
+    return Status::FailedPrecondition(
+        "a shard migration is already in flight (shard " +
+        std::to_string(migration_->shard) + ")");
+  }
+  const NodeId source = shard_map_.OwnerOfShard(shard);
+  if (source == target) {
+    return Status::InvalidArgument("shard " + std::to_string(shard) +
+                                   " is already owned by node " +
+                                   std::to_string(target));
+  }
+  if (!fabric_->node_up(source)) {
+    return Status::FailedPrecondition("source node " + std::to_string(source) +
+                                      " is down");
+  }
+  // A quarantined node is never a migration target (its shard would be
+  // unreadable right after cutover), nor is a draining one (the shard would
+  // immediately have to move again).
+  if (!fabric_->node_up(target) || !fabric_->node_serving(target)) {
+    return Status::FailedPrecondition("migration target " +
+                                      std::to_string(target) +
+                                      " is not up and serving");
+  }
+  if (draining_.count(target) > 0) {
+    return Status::FailedPrecondition("migration target " +
+                                      std::to_string(target) + " is draining");
+  }
+  if (migration_taints_.count({shard, target}) > 0) {
+    return Status::FailedPrecondition(
+        "target " + std::to_string(target) +
+        " holds a stale partial copy of shard " + std::to_string(shard) +
+        " from an aborted transfer; crash-reset it or pick another target");
+  }
+  // A former owner keeps its copy of the shard at cutover (reclamation is
+  // deferred), so a shard moving *back* would land on stale data and
+  // duplicate every edge. Purge the target's copy — persistent keys, stream
+  // indexes, and transient slices — before the fresh one is built, so base
+  // copy + history replay + dual-apply rebuild the shard exactly once.
+  {
+    const auto view = shard_map_.View();
+    auto in_shard = [&view, shard](VertexId v) {
+      return view->ShardOfVertex(v) == shard;
+    };
+    uint64_t purged = stores_raw_[target]->PurgeShard(in_shard);
+    for (size_t s = 0; s < streams_.size(); ++s) {
+      stream_indexes_raw_[s][target]->PurgeShard(in_shard);
+      purged += transients_raw_[s][target]->PurgeShard(in_shard);
+    }
+    reconfig_stats_.stale_edges_purged += purged;
+    Bump(obs_.reconfig_stale_edges_purged, purged);
+  }
+  // From here on every read must filter by ownership: even if this very
+  // first migration aborts, the partial copy on the target has to stay
+  // invisible. No epoch bump — ownership has not changed.
+  shard_map_.MarkDirty();
+  migration_ = std::make_unique<Migration>();
+  migration_->shard = shard;
+  migration_->source = source;
+  migration_->target = target;
+  migration_->begin_next = delivered_next_;
+  migration_->replayed_next.assign(streams_.size(), 0);
+  ++reconfig_stats_.moves_started;
+  Bump(obs_.reconfig_moves_started);
+  if (tracer_ != nullptr) {
+    tracer_->Instant("reconfig", "reconfig/begin", source);
+  }
+  return Status::Ok();
+}
+
+Status Cluster::LoadBaseForShard(std::span<const Triple> triples) {
+  if (migration_ == nullptr) {
+    return Status::FailedPrecondition("no shard migration in flight");
+  }
+  const auto view = shard_map_.View();
+  const uint32_t shard = migration_->shard;
+  const NodeId target = migration_->target;
+  uint64_t copied = 0;
+  for (const Triple& t : triples) {
+    if (view->ShardOfVertex(t.subject) == shard) {
+      stores_raw_[target]->InjectEdgeMigrated(
+          Key(t.subject, t.predicate, Dir::kOut), t.object,
+          GStore::kBaseSnapshot, nullptr);
+      ++copied;
+    }
+    if (view->ShardOfVertex(t.object) == shard) {
+      stores_raw_[target]->InjectEdgeMigrated(
+          Key(t.object, t.predicate, Dir::kIn), t.subject,
+          GStore::kBaseSnapshot, nullptr);
+      ++copied;
+    }
+  }
+  if (copied > 0) {
+    fabric_->Message(migration_->source, target, copied * kTupleWireBytes);
+  }
+  migration_->edges_copied += copied;
+  return Status::Ok();
+}
+
+Status Cluster::ReplayBatchForShard(const StreamBatch& batch) {
+  if (migration_ == nullptr) {
+    return Status::FailedPrecondition("no shard migration in flight");
+  }
+  if (batch.stream >= streams_.size()) {
+    return Status::NotFound("unknown stream id in replayed batch");
+  }
+  Migration& mig = *migration_;
+  if (batch.seq >= mig.begin_next[batch.stream]) {
+    // Delivered at or after Begin: dual-apply already mirrored (or will
+    // mirror) this batch's shard partition. Replaying it too would duplicate.
+    return Status::Ok();
+  }
+  BatchSeq next = mig.replayed_next[batch.stream];
+  if (batch.seq < next) {
+    return Status::Ok();  // Checkpoint-log overlap: already replayed.
+  }
+  if (batch.seq > next) {
+    return Status::FailedPrecondition(
+        "gap in shard replay: expected batch " + std::to_string(next) +
+        " of stream " + std::to_string(batch.stream) + ", got " +
+        std::to_string(batch.seq));
+  }
+  mig.replayed_next[batch.stream] = batch.seq + 1;
+  const auto view = shard_map_.View();
+  // Same SN the live injection used: folds either extend that snapshot's
+  // marker or defer into a newer one (visible once the cutover barrier
+  // passes — see TryCommitMigration).
+  SnapshotNum sn = coordinator_->PlanSnFor(batch.stream, batch.seq);
+  std::vector<AppendSpan> spans;
+  std::vector<std::pair<Key, VertexId>> timing;
+  uint64_t edges = 0;
+  for (const StreamTuple& t : batch.tuples) {
+    Key out_key(t.triple.subject, t.triple.predicate, Dir::kOut);
+    Key in_key(t.triple.object, t.triple.predicate, Dir::kIn);
+    if (view->ShardOfVertex(t.triple.subject) == mig.shard) {
+      ++edges;
+      if (t.kind == TupleKind::kTiming) {
+        timing.emplace_back(out_key, t.triple.object);
+      } else {
+        stores_raw_[mig.target]->InjectEdgeMigrated(out_key, t.triple.object,
+                                                    sn, &spans);
+      }
+    }
+    if (view->ShardOfVertex(t.triple.object) == mig.shard) {
+      ++edges;
+      if (t.kind == TupleKind::kTiming) {
+        timing.emplace_back(in_key, t.triple.subject);
+      } else {
+        stores_raw_[mig.target]->InjectEdgeMigrated(in_key, t.triple.subject,
+                                                    sn, &spans);
+      }
+    }
+  }
+  // Fold into the target's existing per-batch structures. Either merge may
+  // find the batch already evicted (GC horizon passed it) — then no live
+  // window can reach it and skipping is correct.
+  if (!spans.empty()) {
+    stream_indexes_raw_[batch.stream][mig.target]->MergeBatch(batch.seq, spans);
+  }
+  if (!timing.empty()) {
+    transients_raw_[batch.stream][mig.target]->MergeSlice(batch.seq, timing);
+  }
+  if (edges > 0) {
+    fabric_->Message(mig.source, mig.target, edges * kTupleWireBytes);
+    injected_window_edges_[batch.stream][mig.target] += edges;
+  }
+  mig.edges_copied += edges;
+  ++reconfig_stats_.batches_replayed;
+  return Status::Ok();
+}
+
+Status Cluster::FinishShardTransfer() {
+  if (migration_ == nullptr) {
+    return Status::FailedPrecondition("no shard migration in flight");
+  }
+  migration_->transfer_done = true;
+  TryCommitMigration();
+  return Status::Ok();
+}
+
+Status Cluster::AbortShardMove(const std::string& reason) {
+  if (migration_ == nullptr) {
+    return Status::FailedPrecondition("no shard migration in flight");
+  }
+  AbortMigrationInternal(/*taint=*/true, reason);
+  return Status::Ok();
+}
+
+void Cluster::TryCommitMigration() {
+  if (migration_ == nullptr || !migration_->transfer_done) {
+    return;
+  }
+  const NodeId target = migration_->target;
+  // The target must be able to serve the shard the instant the epoch bumps,
+  // and must hold every batch (no parked partitions).
+  if (!fabric_->node_up(target) || !fabric_->node_serving(target) ||
+      !backlog_[target].empty()) {
+    return;
+  }
+  // Visibility barrier: replayed history and dual-applied batches may have
+  // folded into markers as new as the newest delivered batch's plan SN.
+  // Cut over only once Stable_SN covers that SN, so any post-commit read
+  // (always at <= Stable_SN... the markers are <= its own snapshot) sees
+  // every fold. Until then old-epoch reads keep hitting the source copy.
+  const SnapshotNum stable_sn = coordinator_->StableSn();
+  for (StreamId s = 0; s < static_cast<StreamId>(streams_.size()); ++s) {
+    if (delivered_next_[s] == 0) {
+      continue;
+    }
+    if (coordinator_->PlanSnFor(s, delivered_next_[s] - 1) > stable_sn) {
+      return;
+    }
+  }
+  Status st = shard_map_.CommitMove(migration_->shard, target);
+  assert(st.ok());
+  (void)st;
+  reconfig_stats_.edges_copied += migration_->edges_copied;
+  ++reconfig_stats_.moves_committed;
+  Bump(obs_.reconfig_moves_committed);
+  Bump(obs_.reconfig_edges_copied, migration_->edges_copied);
+  if (tracer_ != nullptr) {
+    tracer_->Instant("reconfig", "reconfig/commit", target);
+  }
+  migration_.reset();
+}
+
+void Cluster::AbortMigrationInternal(bool taint, const std::string& reason) {
+  if (migration_ == nullptr) {
+    return;
+  }
+  if (taint) {
+    migration_taints_.insert({migration_->shard, migration_->target});
+  }
+  ++reconfig_stats_.moves_aborted;
+  Bump(obs_.reconfig_moves_aborted);
+  if (tracer_ != nullptr) {
+    tracer_->Instant("reconfig", "reconfig/abort", migration_->source);
+  }
+  (void)reason;  // Carried for tests/tracing symmetry; rollback is silent.
+  // Rollback is just forgetting: the epoch never moved, ownership filtering
+  // keeps the partial target copy invisible, and the source still owns (and
+  // has been serving) the shard throughout.
+  migration_.reset();
+}
+
+void Cluster::AbortMigrationFor(NodeId node) {
+  if (migration_ == nullptr ||
+      (node != migration_->source && node != migration_->target)) {
+    return;
+  }
+  // A crashed *target* resets its stores, so no stale partial copy survives
+  // to taint the pair; a crashed *source* strands the partial copy on the
+  // still-live target.
+  AbortMigrationInternal(/*taint=*/node == migration_->source,
+                         "migration endpoint crashed");
+}
+
+StatusOr<NodeId> Cluster::AddNode() {
+  if (migration_ != nullptr) {
+    return Status::FailedPrecondition(
+        "cannot grow the cluster while a shard migration is in flight");
+  }
+  int fabric_id = fabric_->AddNode();
+  if (fabric_id < 0) {
+    return Status::ResourceExhausted("fabric node capacity exhausted");
+  }
+  // Seed the newcomer's Local_VTS at the delivered frontier: it has missed
+  // nothing it is responsible for (it owns no shards yet), Stable_VTS must
+  // not regress, and its next in-order report is delivered_next_[s].
+  VectorTimestamp seed(streams_.size());
+  for (StreamId s = 0; s < static_cast<StreamId>(streams_.size()); ++s) {
+    if (delivered_next_[s] > 0) {
+      seed.Set(s, delivered_next_[s] - 1);
+    }
+  }
+  NodeId id = coordinator_->AddNode(seed);
+  assert(id == static_cast<NodeId>(fabric_id));
+  (void)fabric_id;
+  stores_.push_back(std::make_unique<GStore>(id));
+  stores_raw_.push_back(stores_.back().get());
+  for (size_t s = 0; s < streams_.size(); ++s) {
+    stream_indexes_[s].push_back(std::make_unique<StreamIndex>());
+    stream_indexes_raw_[s].push_back(stream_indexes_[s].back().get());
+    transients_[s].push_back(
+        std::make_unique<TransientStore>(config_.transient_budget_bytes));
+    transients_raw_[s].push_back(transients_[s].back().get());
+    WireEvictionListeners(static_cast<StreamId>(s), id);
+    injected_window_edges_[s].push_back(0);
+  }
+  backlog_.emplace_back();
+  shard_map_.AddNode();
+  config_.nodes = static_cast<uint32_t>(stores_.size());
+  if (health_ != nullptr) {
+    // The detector's membership is fixed at construction: rebuild it over the
+    // grown cluster. Heartbeat history is lost (acceptable — suspicion
+    // re-accumulates within a few intervals); reset every node's arrival
+    // clock so the rebuild itself does not read as a missed heartbeat.
+    health_ =
+        std::make_unique<FailureDetector>(config_.nodes, config_.overload.phi);
+    for (NodeId n = 0; n < config_.nodes; ++n) {
+      health_->Reset(n, last_health_ms_);
+    }
+  }
+  ++reconfig_stats_.nodes_added;
+  if (tracer_ != nullptr) {
+    tracer_->Instant("reconfig", "reconfig/add_node", id);
+  }
+  return id;
+}
+
+Status Cluster::BeginDrain(NodeId node) {
+  if (node >= config_.nodes) {
+    return Status::NotFound("unknown node id");
+  }
+  if (draining_.count(node) > 0) {
+    return Status::AlreadyExists("node " + std::to_string(node) +
+                                 " is already draining");
+  }
+  if (!fabric_->node_up(node)) {
+    return Status::FailedPrecondition("node is down; restore it or leave it");
+  }
+  NodeId fallback = node;
+  for (NodeId n = 0; n < config_.nodes; ++n) {
+    if (n != node && fabric_->node_serving(n) && draining_.count(n) == 0) {
+      fallback = n;
+      break;
+    }
+  }
+  if (fallback == node) {
+    return Status::FailedPrecondition(
+        "no serving non-draining node to take over from " +
+        std::to_string(node));
+  }
+  draining_.insert(node);
+  // Shed coordinator duties immediately: ingest (Adaptor+Dispatcher) and
+  // registered continuous queries re-home to the fallback. The node keeps
+  // serving reads for shards it still owns until MoveShard empties it.
+  for (StreamState& state : streams_) {
+    if (state.ingest_node == node) {
+      state.ingest_node = fallback;
+    }
+  }
+  RehomeRegistrations(node, fallback);
+  ++reconfig_stats_.drains_started;
+  if (tracer_ != nullptr) {
+    tracer_->Instant("reconfig", "reconfig/drain", node);
+  }
+  return Status::Ok();
+}
+
+void Cluster::RehomeRegistrations(NodeId from, NodeId to) {
+  for (Registration& reg : registrations_) {
+    if (reg.home != from) {
+      continue;
+    }
+    reg.home = to;
+    // Locality-aware index replication follows the query to its new home.
+    for (StreamId sid : reg.stream_ids) {
+      streams_[sid].subscribers.insert(to);
+    }
+    ++reconfig_stats_.rehomed_registrations;
+    Bump(obs_.reconfig_rehomed_registrations);
+  }
 }
 
 void Cluster::UpdateScrapedMetrics() {
@@ -1841,6 +2346,12 @@ void Cluster::UpdateScrapedMetrics() {
   m->GetGauge("wukongs_nodes_up")->Set(static_cast<double>(UpNodeCount()));
   m->GetGauge("wukongs_nodes_serving")
       ->Set(static_cast<double>(ServingNodeCount()));
+  m->GetGauge("wukongs_reconfig_epoch")
+      ->Set(static_cast<double>(shard_map_.epoch()));
+  m->GetGauge("wukongs_reconfig_migration_active")
+      ->Set(migration_ != nullptr ? 1.0 : 0.0);
+  m->GetGauge("wukongs_reconfig_draining_nodes")
+      ->Set(static_cast<double>(draining_.size()));
   // Delta-cache residency across registrations (§5.9); the hit/miss/
   // invalidation counters are bumped at their event sites.
   size_t delta_entries = 0;

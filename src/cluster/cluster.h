@@ -18,11 +18,13 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <span>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "src/cluster/sources.h"
@@ -150,6 +152,11 @@ struct QueryExecution {
   uint64_t delta_slices_cached = 0;  // Window slices served from the cache.
   uint64_t delta_slices_fresh = 0;   // Slices evaluated this trigger.
 
+  // Ownership epoch the execution was admitted under (DESIGN.md §5.10): all
+  // of its reads route by this epoch's shard map, even if a migration commits
+  // mid-flight.
+  uint64_t ownership_epoch = 0;
+
   double latency_ms() const { return cpu_ms + net_ms; }
 };
 
@@ -174,7 +181,9 @@ class Cluster {
   Coordinator* coordinator() { return coordinator_.get(); }
   GStore* store(NodeId n) { return stores_raw_[n]; }
   uint32_t node_count() const { return config_.nodes; }
-  NodeId OwnerOf(VertexId v) const { return OwnerOfVertex(v, config_.nodes); }
+  // Current-epoch owner of a vertex (identical to OwnerOfVertex until the
+  // first committed reconfiguration).
+  NodeId OwnerOf(VertexId v) const { return shard_map_.View()->OwnerOfV(v); }
 
   // --- Streams. ---
   // Declares a stream; `timing_predicates` name predicates whose tuples are
@@ -304,6 +313,60 @@ class Cluster {
   Status LoadBaseForNode(NodeId node, std::span<const Triple> triples);
   Status ReplayBatchForNode(NodeId node, const StreamBatch& batch);
   Status FinishNodeRestore(NodeId node);
+
+  // --- Online elastic reconfiguration (DESIGN.md §5.10). ---
+  // Live shard handoff, driven by ReconfigManager (or directly by tests):
+  // Begin pins a single in-flight migration and turns on dual-apply for the
+  // moving shard; LoadBaseForShard / ReplayBatchForShard copy the shard's
+  // base partition and logged history into the target (the source keeps
+  // serving throughout); FinishShardTransfer marks the copy complete, after
+  // which the cutover (an atomic ownership-epoch bump) happens as soon as
+  // Stable_SN covers the delivered frontier — immediately in a healthy
+  // cluster, otherwise deferred and retried from the feed path. A crash of
+  // either endpoint, or the target falling behind, aborts and rolls back to
+  // the old epoch; AbortShardMove does the same explicitly.
+  uint64_t OwnershipEpoch() const { return shard_map_.epoch(); }
+  uint32_t ShardCount() const { return shard_map_.shard_count(); }
+  NodeId ShardOwner(uint32_t shard) const { return shard_map_.OwnerOfShard(shard); }
+  std::vector<uint32_t> ShardsOwnedBy(NodeId node) const {
+    return shard_map_.ShardsOwnedBy(node);
+  }
+  uint32_t ShardOfVertexId(VertexId v) const { return shard_map_.ShardOfVertex(v); }
+  bool MigrationPending() const { return migration_ != nullptr; }
+  Status BeginShardMove(uint32_t shard, NodeId target);
+  Status LoadBaseForShard(std::span<const Triple> triples);
+  Status ReplayBatchForShard(const StreamBatch& batch);
+  Status FinishShardTransfer();
+  Status AbortShardMove(const std::string& reason);
+
+  // Grows the cluster by one empty node (up, serving, active, VTS seeded at
+  // the delivered frontier). Must not run concurrently with queries or while
+  // a migration is in flight; the new node receives shards via MoveShard.
+  StatusOr<NodeId> AddNode();
+
+  // Marks a node draining: it stops hosting ingest duties and registered
+  // queries (both re-home to a serving, non-draining node), is skipped by
+  // execution reroutes, and is rejected as a migration target. Its shards
+  // are moved off with MoveShard/DrainNode; the node keeps serving reads for
+  // shards it still owns until then.
+  Status BeginDrain(NodeId node);
+  bool IsDraining(NodeId node) const { return draining_.count(node) > 0; }
+
+  struct ReconfigStats {
+    uint64_t moves_started = 0;
+    uint64_t moves_committed = 0;
+    uint64_t moves_aborted = 0;
+    uint64_t edges_copied = 0;        // Base copy + history replay.
+    uint64_t dual_applied_edges = 0;  // Live batches mirrored to the target.
+    uint64_t batches_replayed = 0;
+    uint64_t nodes_added = 0;
+    uint64_t drains_started = 0;
+    uint64_t rehomed_registrations = 0;
+    // Stale-copy edges removed from targets at Begin (former owners keep
+    // their copy at cutover; it must go before the shard can come back).
+    uint64_t stale_edges_purged = 0;
+  };
+  const ReconfigStats& reconfig_stats() const { return reconfig_stats_; }
 
   // --- Overload protection (§5.6). ---
   // Drives heartbeats / the failure detector, drains slow-node backlogs, and
@@ -462,6 +525,38 @@ class Cluster {
                                      std::vector<std::unique_ptr<NeighborSource>>* holders,
                                      DegradeState* degrade);
 
+  // --- Online reconfiguration internals (DESIGN.md §5.10). ---
+  // One in-flight shard migration; feed-path single-threaded like
+  // delivered_next_ (queries never touch it — they hold view snapshots).
+  struct Migration {
+    uint32_t shard = 0;
+    NodeId source = 0;
+    NodeId target = 0;
+    bool transfer_done = false;
+    // delivered_next_ snapshot at Begin: batches with seq >= begin_next[s]
+    // reach the target via dual-apply; older ones via history replay.
+    std::vector<BatchSeq> begin_next;
+    // Per-stream replay watermark (next expected seq), making the
+    // at-least-once checkpoint log exactly-once into the target.
+    std::vector<BatchSeq> replayed_next;
+    uint64_t edges_copied = 0;
+  };
+
+  // Cutover barrier: commits the pending migration iff the transfer is done
+  // and every delivered batch's plan SN is covered by Stable_SN (all data
+  // folded into the target — including deferred-visibility folds — is
+  // visible at or below any post-commit read snapshot). Called wherever the
+  // frontier can advance: batch delivery, health ticks, transfer finish.
+  void TryCommitMigration();
+  // Abort paths. `taint` poisons the (shard, target) pair: a partial copy
+  // is stranded on the target and re-replaying would duplicate it; crashing
+  // the target (which resets its stores) clears its taints.
+  void AbortMigrationInternal(bool taint, const std::string& reason);
+  // Crash hook: aborts when `node` is either migration endpoint.
+  void AbortMigrationFor(NodeId node);
+  // Re-homes registered continuous queries from a draining node.
+  void RehomeRegistrations(NodeId from, NodeId to);
+
   ClusterConfig config_;
   std::unique_ptr<StringServer> owned_strings_;
   StringServer* strings_;  // owned_strings_.get() or the shared server.
@@ -495,6 +590,22 @@ class Cluster {
   // (drops retransmitted, duplicates, replay overlap) becomes exactly-once
   // injection by suppressing anything below this watermark.
   std::vector<BatchSeq> delivered_next_;
+
+  // --- Online reconfiguration state (DESIGN.md §5.10). ---
+  ShardMap shard_map_;
+  std::unique_ptr<Migration> migration_;
+  // (shard, target) pairs poisoned by a non-crash abort; cleared for a
+  // target when it crashes (its stores reset, stranded copies die with it).
+  std::set<std::pair<uint32_t, NodeId>> migration_taints_;
+  std::unordered_set<NodeId> draining_;
+  // Nodes CrashNode marked and FinishNodeRestore has not yet re-admitted;
+  // restoring an unmarked node is an InvalidArgument, not a silent success.
+  std::unordered_set<NodeId> crash_marked_;
+  // injected_window_edges_[stream][node]: edges (timeless + timing) this
+  // node absorbed from the stream, scoping CrashNode's delta-cache flush to
+  // streams whose window data actually touched the crashed node.
+  std::vector<std::vector<uint64_t>> injected_window_edges_;
+  ReconfigStats reconfig_stats_;
   std::function<void(const CrashEvent&)> crash_handler_;
   UpstreamBuffer* upstream_ = nullptr;
   FaultStats fault_stats_;
@@ -545,6 +656,13 @@ class Cluster {
     obs::Counter* delta_invalidations = nullptr;
     obs::Counter* delta_epoch_flushes = nullptr;
     obs::Counter* delta_bypasses = nullptr;
+    obs::Counter* reconfig_moves_started = nullptr;
+    obs::Counter* reconfig_moves_committed = nullptr;
+    obs::Counter* reconfig_moves_aborted = nullptr;
+    obs::Counter* reconfig_edges_copied = nullptr;
+    obs::Counter* reconfig_dual_applied_edges = nullptr;
+    obs::Counter* reconfig_rehomed_registrations = nullptr;
+    obs::Counter* reconfig_stale_edges_purged = nullptr;
   };
   ObsCounters obs_;
   obs::Tracer* tracer_ = nullptr;  // config_.tracer, null when disabled.

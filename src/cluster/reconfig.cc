@@ -1,0 +1,210 @@
+#include "src/cluster/reconfig.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+#include "src/cluster/cluster.h"
+#include "src/stream/checkpoint.h"
+
+namespace wukongs {
+
+// --- ShardMap -------------------------------------------------------------
+
+ShardMap::ShardMap(uint32_t nodes) {
+  assert(nodes > 0);
+  auto view = std::make_shared<OwnershipView>();
+  view->epoch = 0;
+  view->nodes = nodes;
+  view->shards = nodes * kShardsPerNode;
+  view->identity = true;
+  auto assign = std::make_shared<std::vector<NodeId>>(view->shards);
+  for (uint32_t s = 0; s < view->shards; ++s) {
+    (*assign)[s] = static_cast<NodeId>(s % nodes);
+  }
+  view->assign = std::move(assign);
+  view_ = std::move(view);
+}
+
+std::shared_ptr<const OwnershipView> ShardMap::View() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return view_;
+}
+
+uint64_t ShardMap::epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return view_->epoch;
+}
+
+uint32_t ShardMap::shard_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return view_->shards;
+}
+
+uint32_t ShardMap::node_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return view_->nodes;
+}
+
+NodeId ShardMap::OwnerOfShard(uint32_t shard) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  assert(shard < view_->shards);
+  return (*view_->assign)[shard];
+}
+
+std::vector<uint32_t> ShardMap::ShardsOwnedBy(NodeId node) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<uint32_t> owned;
+  for (uint32_t s = 0; s < view_->shards; ++s) {
+    if ((*view_->assign)[s] == node) {
+      owned.push_back(s);
+    }
+  }
+  return owned;
+}
+
+uint32_t ShardMap::ShardOfVertex(VertexId v) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return view_->ShardOfVertex(v);
+}
+
+std::shared_ptr<const OwnershipView> ShardMap::MutableCloneLocked() const {
+  auto next = std::make_shared<OwnershipView>(*view_);
+  return next;
+}
+
+void ShardMap::MarkDirty() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!view_->identity) {
+    return;
+  }
+  auto next = std::make_shared<OwnershipView>(*view_);
+  next->identity = false;  // Same assignment, same epoch — just no fast path.
+  view_ = std::move(next);
+}
+
+Status ShardMap::CommitMove(uint32_t shard, NodeId target) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (shard >= view_->shards) {
+    return Status::NotFound("unknown shard");
+  }
+  if (target >= view_->nodes) {
+    return Status::NotFound("unknown target node");
+  }
+  auto next = std::make_shared<OwnershipView>(*view_);
+  auto assign = std::make_shared<std::vector<NodeId>>(*view_->assign);
+  (*assign)[shard] = target;
+  next->assign = std::move(assign);
+  next->identity = false;
+  ++next->epoch;
+  view_ = std::move(next);
+  return Status::Ok();
+}
+
+NodeId ShardMap::AddNode() {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto next = std::make_shared<OwnershipView>(*view_);
+  NodeId id = static_cast<NodeId>(next->nodes);
+  ++next->nodes;
+  next->identity = false;  // hash % nodes would now disagree with assign.
+  ++next->epoch;
+  view_ = std::move(next);
+  return id;
+}
+
+// --- ReconfigManager ------------------------------------------------------
+
+ReconfigManager::ReconfigManager(std::string checkpoint_path)
+    : checkpoint_path_(std::move(checkpoint_path)) {}
+
+StatusOr<ReconfigReport> ReconfigManager::MoveShard(
+    Cluster* cluster, uint32_t shard, NodeId target,
+    std::span<const Triple> base_triples) {
+  Status begin = cluster->BeginShardMove(shard, target);
+  if (!begin.ok()) {
+    return begin;
+  }
+  ReconfigReport report;
+
+  Status base = cluster->LoadBaseForShard(base_triples);
+  if (!base.ok()) {
+    (void)cluster->AbortShardMove("base copy failed: " + base.ToString());
+    return base;
+  }
+
+  if (!checkpoint_path_.empty()) {
+    auto batches = ReadCheckpointLog(checkpoint_path_);
+    if (!batches.ok()) {
+      (void)cluster->AbortShardMove("checkpoint log unreadable: " +
+                                    batches.status().ToString());
+      return batches.status();
+    }
+    for (const StreamBatch& batch : *batches) {
+      if (!cluster->MigrationPending()) {
+        // A crash event woven into replay aborted the handoff underneath us.
+        return Status::FailedPrecondition(
+            "migration aborted during history replay");
+      }
+      Status replayed = cluster->ReplayBatchForShard(batch);
+      if (!replayed.ok()) {
+        (void)cluster->AbortShardMove("history replay failed: " +
+                                      replayed.ToString());
+        return replayed;
+      }
+      ++report.batches_replayed;
+    }
+  }
+
+  Status finish = cluster->FinishShardTransfer();
+  if (!finish.ok()) {
+    return finish;
+  }
+  report.shards_moved.push_back(shard);
+  report.edges_copied = cluster->reconfig_stats().edges_copied;
+  report.commit_pending = cluster->MigrationPending();
+  return report;
+}
+
+StatusOr<ReconfigReport> ReconfigManager::DrainNode(
+    Cluster* cluster, NodeId node, std::span<const Triple> base_triples) {
+  Status drain = cluster->BeginDrain(node);
+  if (!drain.ok() && drain.code() != StatusCode::kAlreadyExists) {
+    return drain;
+  }
+
+  // Round-robin targets over the serving, non-draining survivors.
+  std::vector<NodeId> targets;
+  for (NodeId n = 0; n < cluster->config().nodes; ++n) {
+    if (n != node && cluster->NodeServing(n) && !cluster->IsDraining(n)) {
+      targets.push_back(n);
+    }
+  }
+  if (targets.empty()) {
+    return Status::FailedPrecondition("no serving node left to drain into");
+  }
+
+  ReconfigReport report;
+  std::vector<uint32_t> owned = cluster->ShardsOwnedBy(node);
+  size_t rr = 0;
+  for (uint32_t shard : owned) {
+    if (cluster->MigrationPending()) {
+      break;  // Previous move's cutover still deferred; one at a time.
+    }
+    auto moved =
+        MoveShard(cluster, shard, targets[rr++ % targets.size()], base_triples);
+    if (!moved.ok()) {
+      return moved.status();
+    }
+    report.batches_replayed += moved->batches_replayed;
+    if (moved->commit_pending) {
+      report.commit_pending = true;
+      break;
+    }
+    report.shards_moved.push_back(shard);
+  }
+  report.edges_copied = cluster->reconfig_stats().edges_copied;
+  report.shards_remaining = cluster->ShardsOwnedBy(node).size();
+  return report;
+}
+
+}  // namespace wukongs

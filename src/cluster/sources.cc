@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <utility>
 
 namespace wukongs {
 namespace {
@@ -28,18 +29,43 @@ bool ChargeReadWithRetry(Fabric* fabric, NodeId home, NodeId n, size_t bytes,
   return true;
 }
 
+// Routes a vertex to its owner: by the execution's ownership view when one
+// is attached, else by the legacy hash partitioning (bit-identical to an
+// identity view).
+NodeId OwnerFor(const OwnershipView* view, VertexId vid, size_t nodes) {
+  return view != nullptr ? view->OwnerOfV(vid)
+                         : OwnerOfVertex(vid, static_cast<uint32_t>(nodes));
+}
+
+// Drops vids in [from, end) that the view does not assign to node `n`. This
+// is the exactly-once half of live migration: both endpoints of a pending
+// handoff hold copies of the moving shard (and the source keeps its copy
+// after cutover — reclamation is deferred), so index-key unions must serve
+// each vertex from its view-owner only. No-op on identity views.
+void FilterOwned(const OwnershipView* view, NodeId n, std::vector<VertexId>* v,
+                 size_t from) {
+  if (view == nullptr || view->identity) {
+    return;
+  }
+  v->erase(std::remove_if(v->begin() + static_cast<long>(from), v->end(),
+                          [&](VertexId vid) { return view->OwnerOfV(vid) != n; }),
+           v->end());
+}
+
 }  // namespace
 
 StoreSource::StoreSource(const std::vector<GStore*>& shards, Fabric* fabric,
                          NodeId home, SnapshotNum snapshot, ChargePolicy policy,
-                         const RetryPolicy* retry, DegradeState* degrade)
+                         const RetryPolicy* retry, DegradeState* degrade,
+                         std::shared_ptr<const OwnershipView> view)
     : shards_(shards),
       fabric_(fabric),
       home_(home),
       snapshot_(snapshot),
       policy_(policy),
       retry_(retry),
-      degrade_(degrade) {}
+      degrade_(degrade),
+      view_(std::move(view)) {}
 
 void StoreSource::GetNeighbors(Key key, std::vector<VertexId>* out) const {
   if (key.is_index()) {
@@ -56,6 +82,7 @@ void StoreSource::GetNeighbors(Key key, std::vector<VertexId>* out) const {
       }
       tmp.clear();
       shards_[n]->GetEdgesInto(key, snapshot_, &tmp);
+      FilterOwned(view_.get(), n, &tmp, 0);
       if (policy_ == ChargePolicy::kInPlace && !tmp.empty()) {
         if (!ChargeReadWithRetry(fabric_, home_, n, tmp.size() * kEdgeBytes + 16,
                                  retry_, degrade_)) {
@@ -66,7 +93,7 @@ void StoreSource::GetNeighbors(Key key, std::vector<VertexId>* out) const {
     }
     return;
   }
-  NodeId owner = OwnerOfVertex(key.vid(), static_cast<uint32_t>(shards_.size()));
+  NodeId owner = OwnerFor(view_.get(), key.vid(), shards_.size());
   if (!fabric_->node_serving(owner)) {
     if (degrade_ != nullptr) {
       degrade_->partial = true;
@@ -96,9 +123,11 @@ size_t StoreSource::EstimateCount(Key key) const {
       }
       n += shards_[node]->EdgeCount(key, snapshot_);
     }
+    // During a handoff both endpoints count the moving shard; acceptable for
+    // selectivity estimation (never for results, which filter by owner).
     return n;
   }
-  NodeId owner = OwnerOfVertex(key.vid(), static_cast<uint32_t>(shards_.size()));
+  NodeId owner = OwnerFor(view_.get(), key.vid(), shards_.size());
   if (!fabric_->node_serving(owner)) {
     return 0;
   }
@@ -110,7 +139,8 @@ WindowSource::WindowSource(const std::vector<GStore*>& shards,
                            const std::vector<TransientStore*>& transients,
                            Fabric* fabric, NodeId home, BatchRange range,
                            ChargePolicy policy, bool local_index,
-                           const RetryPolicy* retry, DegradeState* degrade)
+                           const RetryPolicy* retry, DegradeState* degrade,
+                           std::shared_ptr<const OwnershipView> view)
     : shards_(shards),
       indexes_(indexes),
       transients_(transients),
@@ -120,7 +150,8 @@ WindowSource::WindowSource(const std::vector<GStore*>& shards,
       policy_(policy),
       local_index_(local_index),
       retry_(retry),
-      degrade_(degrade) {
+      degrade_(degrade),
+      view_(std::move(view)) {
   assert(shards_.size() == indexes_.size());
   assert(shards_.size() == transients_.size());
 }
@@ -185,6 +216,7 @@ void WindowSource::GetNeighbors(Key key, std::vector<VertexId>* out) const {
         indexes_[n]->GetSeeds(b, key.pid(), key.dir(), &raw);
         transients_[n]->GetNeighbors(b, key, &raw);
       }
+      FilterOwned(view_.get(), n, &raw, before);
       size_t added = raw.size() - before;
       if (policy_ == ChargePolicy::kInPlace && added > 0) {
         bool ok = ChargeRead(n, added * kEdgeBytes + 16);
@@ -201,7 +233,7 @@ void WindowSource::GetNeighbors(Key key, std::vector<VertexId>* out) const {
     out->insert(out->end(), raw.begin(), raw.end());
     return;
   }
-  NodeId owner = OwnerOfVertex(key.vid(), static_cast<uint32_t>(shards_.size()));
+  NodeId owner = OwnerFor(view_.get(), key.vid(), shards_.size());
   CollectFromNode(owner, key, out);
 }
 
@@ -222,7 +254,7 @@ size_t WindowSource::EstimateCount(Key key) const {
     }
     return n;
   }
-  NodeId owner = OwnerOfVertex(key.vid(), static_cast<uint32_t>(shards_.size()));
+  NodeId owner = OwnerFor(view_.get(), key.vid(), shards_.size());
   if (!fabric_->node_serving(owner)) {
     return 0;
   }

@@ -20,8 +20,10 @@
 #ifndef SRC_CLUSTER_SOURCES_H_
 #define SRC_CLUSTER_SOURCES_H_
 
+#include <memory>
 #include <vector>
 
+#include "src/cluster/reconfig.h"
 #include "src/common/retry.h"
 #include "src/engine/neighbor_source.h"
 #include "src/rdma/fabric.h"
@@ -48,16 +50,24 @@ struct DegradeState {
 
 // Hash partitioning of vertices over nodes. Index keys ([0|pid|dir]) are
 // partitioned too: every node owns the portion listing its local vertices.
+// With online reconfiguration (DESIGN.md §5.10) this is only the *initial*
+// assignment; executions that carry an OwnershipView route by its epoch's
+// shard map instead, and additionally filter index-key reads so data of a
+// moved (or partially copied then aborted) shard is served by exactly its
+// current owner.
 inline NodeId OwnerOfVertex(VertexId v, uint32_t nodes) {
   return static_cast<NodeId>(KeyHash{}(Key(v, 0, Dir::kOut)) % nodes);
 }
 
 class StoreSource : public NeighborSource {
  public:
+  // `view`: the ownership epoch this execution was admitted under (null =
+  // legacy hash partitioning; identity views take the same fast path).
   StoreSource(const std::vector<GStore*>& shards, Fabric* fabric, NodeId home,
               SnapshotNum snapshot, ChargePolicy policy,
               const RetryPolicy* retry = nullptr,
-              DegradeState* degrade = nullptr);
+              DegradeState* degrade = nullptr,
+              std::shared_ptr<const OwnershipView> view = nullptr);
 
   void GetNeighbors(Key key, std::vector<VertexId>* out) const override;
   size_t EstimateCount(Key key) const override;
@@ -70,6 +80,7 @@ class StoreSource : public NeighborSource {
   const ChargePolicy policy_;
   const RetryPolicy* retry_;  // Null: infallible legacy charging.
   DegradeState* degrade_;     // Null: degradation not tracked.
+  const std::shared_ptr<const OwnershipView> view_;
 };
 
 // One stream's view for one window (batch range [lo, hi]).
@@ -85,7 +96,8 @@ class WindowSource : public NeighborSource {
                const std::vector<TransientStore*>& transients, Fabric* fabric,
                NodeId home, BatchRange range, ChargePolicy policy,
                bool local_index = true, const RetryPolicy* retry = nullptr,
-               DegradeState* degrade = nullptr);
+               DegradeState* degrade = nullptr,
+               std::shared_ptr<const OwnershipView> view = nullptr);
 
   void GetNeighbors(Key key, std::vector<VertexId>* out) const override;
   size_t EstimateCount(Key key) const override;
@@ -108,6 +120,7 @@ class WindowSource : public NeighborSource {
   const bool local_index_;
   const RetryPolicy* retry_;
   DegradeState* degrade_;
+  const std::shared_ptr<const OwnershipView> view_;
 };
 
 }  // namespace wukongs

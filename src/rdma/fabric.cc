@@ -18,29 +18,44 @@ const char* TransportName(Transport t) {
 
 Fabric::Fabric(uint32_t node_count, NetworkModel model, Transport transport)
     : node_count_(node_count),
+      capacity_(node_count * 2 + 8),
       model_(model),
       transport_(transport),
-      node_up_(new std::atomic<bool>[node_count]),
-      node_serving_(new std::atomic<bool>[node_count]) {
-  for (uint32_t n = 0; n < node_count_; ++n) {
+      node_up_(new std::atomic<bool>[capacity_]),
+      node_serving_(new std::atomic<bool>[capacity_]) {
+  // Every slot — including growth headroom — starts up+serving, so AddNode
+  // only has to publish the count; readers never see an uninitialized slot.
+  for (uint32_t n = 0; n < capacity_; ++n) {
     node_up_[n].store(true, std::memory_order_relaxed);
     node_serving_[n].store(true, std::memory_order_relaxed);
   }
 }
 
+int Fabric::AddNode() {
+  uint32_t count = node_count_.load(std::memory_order_relaxed);
+  if (count >= capacity_) {
+    return -1;
+  }
+  node_up_[count].store(true, std::memory_order_relaxed);
+  node_serving_[count].store(true, std::memory_order_relaxed);
+  node_count_.store(count + 1, std::memory_order_release);
+  return static_cast<int>(count);
+}
+
 void Fabric::SetNodeUp(NodeId node, bool up) {
-  if (node < node_count_) {
+  if (node < node_count()) {
     node_up_[node].store(up, std::memory_order_relaxed);
   }
 }
 
 bool Fabric::node_up(NodeId node) const {
-  return node < node_count_ && node_up_[node].load(std::memory_order_relaxed);
+  return node < node_count() && node_up_[node].load(std::memory_order_relaxed);
 }
 
 uint32_t Fabric::up_count() const {
+  uint32_t count = node_count();
   uint32_t up = 0;
-  for (uint32_t n = 0; n < node_count_; ++n) {
+  for (uint32_t n = 0; n < count; ++n) {
     if (node_up_[n].load(std::memory_order_relaxed)) {
       ++up;
     }
@@ -49,7 +64,7 @@ uint32_t Fabric::up_count() const {
 }
 
 void Fabric::SetNodeServing(NodeId node, bool serving) {
-  if (node < node_count_) {
+  if (node < node_count()) {
     node_serving_[node].store(serving, std::memory_order_relaxed);
   }
 }
@@ -59,8 +74,9 @@ bool Fabric::node_serving(NodeId node) const {
 }
 
 uint32_t Fabric::serving_count() const {
+  uint32_t count = node_count();
   uint32_t serving = 0;
-  for (uint32_t n = 0; n < node_count_; ++n) {
+  for (uint32_t n = 0; n < count; ++n) {
     if (node_serving(static_cast<NodeId>(n))) {
       ++serving;
     }
@@ -198,7 +214,7 @@ void Fabric::ResetStats() {
 std::string Fabric::DebugString() const {
   FabricStats s = stats();
   std::ostringstream os;
-  os << "Fabric{nodes=" << up_count() << "/" << node_count_
+  os << "Fabric{nodes=" << up_count() << "/" << node_count()
      << " up, transport=" << TransportName(transport_)
      << ", reads=" << s.one_sided_reads << " (" << s.one_sided_read_bytes << "B)"
      << ", msgs=" << s.messages << " (" << s.message_bytes << "B)"

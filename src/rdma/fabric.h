@@ -53,7 +53,18 @@ class Fabric {
  public:
   Fabric(uint32_t node_count, NetworkModel model, Transport transport);
 
-  uint32_t node_count() const { return node_count_; }
+  uint32_t node_count() const {
+    return node_count_.load(std::memory_order_acquire);
+  }
+
+  // Elastic membership (online reconfiguration, DESIGN.md §5.10): brings one
+  // more node onto the fabric, up and serving. Liveness slots are
+  // preallocated with headroom at construction; returns -1 when the headroom
+  // is exhausted. Publishing the count with release order after the slots
+  // are initialized keeps concurrent readers race-free.
+  int AddNode();
+
+  uint32_t node_capacity() const { return capacity_; }
   Transport transport() const { return transport_; }
   const NetworkModel& model() const { return model_; }
   void set_transport(Transport t) { transport_ = t; }
@@ -68,7 +79,7 @@ class Fabric {
   void SetNodeUp(NodeId node, bool up);
   bool node_up(NodeId node) const;
   uint32_t up_count() const;
-  bool AnyNodeDown() const { return up_count() < node_count_; }
+  bool AnyNodeDown() const { return up_count() < node_count(); }
 
   // Serving state (overload quarantine): a sick-but-alive node is marked
   // non-serving — queries skip its shards (partial results, like a crash)
@@ -77,7 +88,7 @@ class Fabric {
   void SetNodeServing(NodeId node, bool serving);
   bool node_serving(NodeId node) const;
   uint32_t serving_count() const;
-  bool AnyNodeNotServing() const { return serving_count() < node_count_; }
+  bool AnyNodeNotServing() const { return serving_count() < node_count(); }
 
   // One-sided read of `bytes` from `to` issued by `from`. Local access is
   // free. Under TCP there are no one-sided verbs, so the cost is a full
@@ -113,7 +124,8 @@ class Fabric {
   void ChargeRead(size_t bytes);
   void ChargeMessage(size_t bytes);
 
-  const uint32_t node_count_;
+  std::atomic<uint32_t> node_count_;
+  const uint32_t capacity_;  // Preallocated liveness slots (growth headroom).
   NetworkModel model_;
   Transport transport_;
   FaultInjector* injector_ = nullptr;

@@ -58,6 +58,20 @@ void GStore::InjectEdge(Key key, VertexId value, SnapshotNum sn,
 
 AppendSpan GStore::AppendEdge(Key key, VertexId value, SnapshotNum sn,
                               std::vector<AppendSpan>* extra_spans) {
+  return AppendEdgeImpl(key, value, sn, extra_spans, /*migrated=*/false);
+}
+
+void GStore::InjectEdgeMigrated(Key key, VertexId value, SnapshotNum sn,
+                                std::vector<AppendSpan>* spans) {
+  AppendSpan s = AppendEdgeImpl(key, value, sn, spans, /*migrated=*/true);
+  if (spans != nullptr) {
+    spans->push_back(s);
+  }
+}
+
+AppendSpan GStore::AppendEdgeImpl(Key key, VertexId value, SnapshotNum sn,
+                                  std::vector<AppendSpan>* extra_spans,
+                                  bool migrated) {
   bool created = false;
   AppendSpan span;
   {
@@ -73,11 +87,20 @@ AppendSpan GStore::AppendEdge(Key key, VertexId value, SnapshotNum sn,
     v.edges.push_back(value);
     uint32_t end = static_cast<uint32_t>(v.edges.size());
     if (sn <= kBaseSnapshot) {
-      // Bulk load: base prefix, no marker needed. Markers, if any, keep
-      // their offsets valid because bulk load never interleaves with
-      // injection on the same key.
-      assert(v.markers.empty());
-      v.base_end = end;
+      if (migrated && !v.markers.empty()) {
+        // Migration base copy landing after dual-applied live batches (the
+        // key already carries markers on the target): fold into the newest
+        // snapshot rather than rewriting the base prefix under it. Deferred
+        // visibility; safe because the cutover barrier holds the epoch bump
+        // until Stable_SN covers every marker created during the transfer.
+        v.markers.back().end = end;
+      } else {
+        // Bulk load: base prefix, no marker needed. Markers, if any, keep
+        // their offsets valid because bulk load never interleaves with
+        // injection on the same key.
+        assert(v.markers.empty());
+        v.base_end = end;
+      }
     } else if (!v.markers.empty() && v.markers.back().sn >= sn) {
       // Same snapshot: extend its interval. A *smaller* snapshot here means
       // two streams skewed past each other on a shared key (one ran ahead of
@@ -90,13 +113,17 @@ AppendSpan GStore::AppendEdge(Key key, VertexId value, SnapshotNum sn,
       v.markers.push_back(SnapMarker{sn, end});
     }
   }
-  edge_total_.fetch_add(1, std::memory_order_relaxed);
+  if (migrated) {
+    migrated_in_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    edge_total_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   // Maintain the index vertex: a normal key created for the first time means
   // vertex `key.vid()` now has a (pid, dir) edge, so it joins the index list.
   if (created && !key.is_index()) {
-    AppendSpan idx =
-        AppendEdge(Key(kIndexVertex, key.pid(), key.dir()), key.vid(), sn);
+    AppendSpan idx = AppendEdgeImpl(Key(kIndexVertex, key.pid(), key.dir()),
+                                    key.vid(), sn, nullptr, migrated);
     if (extra_spans != nullptr) {
       extra_spans->push_back(idx);
     }
@@ -176,6 +203,50 @@ void GStore::CollapseBelow(SnapshotNum floor) {
       value.Collapse(floor);
     }
   }
+}
+
+size_t GStore::PurgeShard(const std::function<bool(VertexId)>& in_shard) {
+  size_t removed_edges = 0;
+  for (Stripe& stripe : stripes_) {
+    std::unique_lock lock(stripe.mu);
+    for (auto it = stripe.map.begin(); it != stripe.map.end();) {
+      EdgeValue& v = it->second;
+      if (!it->first.is_index()) {
+        if (in_shard(it->first.vid())) {
+          removed_edges += v.edges.size();
+          it = stripe.map.erase(it);
+        } else {
+          ++it;
+        }
+        continue;
+      }
+      // Index key: vertices of many shards share the list, so compact the
+      // matched ones out and remap every visibility offset (base_end and the
+      // snapshot markers) past the removed slots. Offsets recorded elsewhere
+      // (stream-index spans on index keys) are never read by window lookups —
+      // those go through the materialized seed lists, purged separately.
+      const uint32_t n = static_cast<uint32_t>(v.edges.size());
+      std::vector<uint32_t> removed_before(n + 1, 0);
+      uint32_t write = 0;
+      for (uint32_t i = 0; i < n; ++i) {
+        const bool match = in_shard(v.edges[i]);
+        removed_before[i + 1] = removed_before[i] + (match ? 1u : 0u);
+        if (!match) {
+          v.edges[write++] = v.edges[i];
+        }
+      }
+      if (removed_before[n] != 0) {
+        removed_edges += removed_before[n];
+        v.edges.resize(write);
+        v.base_end -= removed_before[v.base_end];
+        for (SnapMarker& m : v.markers) {
+          m.end -= removed_before[m.end];
+        }
+      }
+      ++it;
+    }
+  }
+  return removed_edges;
 }
 
 size_t GStore::KeyCount() const {

@@ -26,6 +26,7 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <shared_mutex>
 #include <span>
@@ -74,6 +75,29 @@ class GStore {
   void InjectEdge(Key key, VertexId value, SnapshotNum sn,
                   std::vector<AppendSpan>* spans);
 
+  // --- Migration appends (online reconfiguration, DESIGN.md §5.10). ---
+  // Copies one edge of a moving shard into this (target) store. Differences
+  // from InjectEdge: counted separately (EdgeCountTotal — and therefore the
+  // delta-cache StoredEpoch guard — is unchanged by migration, since the data
+  // is a bit-equal copy of what the source already serves), not counted as a
+  // stream append, and out-of-order SNs are tolerated — history replayed
+  // *after* dual-applied live batches folds into the newest marker (deferred
+  // visibility; the cutover barrier guarantees everything folded is visible
+  // at or below the commit-time Stable_SN).
+  void InjectEdgeMigrated(Key key, VertexId value, SnapshotNum sn,
+                          std::vector<AppendSpan>* spans);
+
+  // Removes every edge of vertices matched by `in_shard` — the stale copy a
+  // former owner kept after a shard moved away (reclamation is deferred at
+  // cutover), or the partial copy stranded by an aborted transfer. Called on
+  // a migration target before the fresh base copy lands, so copy + replay +
+  // dual-apply rebuild the shard exactly once. Normal keys of matched
+  // vertices are dropped whole; index keys are compacted in place with their
+  // snapshot markers remapped to the surviving offsets. Returns edges
+  // removed. EdgeCountTotal is left untouched (like migrated-in edges, the
+  // purged copy is invisible to owner-routed reads either way).
+  size_t PurgeShard(const std::function<bool(VertexId)>& in_shard);
+
   // --- Reads. ---
   // Neighbors of `key` visible at snapshot `sn` (>= everything at sn
   // kSnapshotInfinity). Returns a copy; safe against concurrent injection.
@@ -105,6 +129,11 @@ class GStore {
   size_t EdgeCountTotal() const;
   size_t StreamAppendedEdges() const {
     return stream_appended_edges_.load(std::memory_order_relaxed);
+  }
+  // Edges copied in by shard migration (base copy, history replay, and
+  // dual-apply); excluded from EdgeCountTotal.
+  size_t MigratedInEdges() const {
+    return migrated_in_.load(std::memory_order_relaxed);
   }
   // Approximate resident bytes of the shard (values + marker metadata).
   size_t MemoryBytes() const;
@@ -147,12 +176,15 @@ class GStore {
   // `extra_spans` when non-null.
   AppendSpan AppendEdge(Key key, VertexId value, SnapshotNum sn,
                         std::vector<AppendSpan>* extra_spans = nullptr);
+  AppendSpan AppendEdgeImpl(Key key, VertexId value, SnapshotNum sn,
+                            std::vector<AppendSpan>* extra_spans, bool migrated);
 
   const NodeId node_;
   std::array<Stripe, kStripeCount> stripes_;
   std::atomic<SnapshotNum> collapse_floor_{0};
   std::atomic<uint64_t> edge_total_{0};
   std::atomic<uint64_t> stream_appended_edges_{0};
+  std::atomic<uint64_t> migrated_in_{0};
 };
 
 }  // namespace wukongs

@@ -62,6 +62,17 @@ void Coordinator::ResetNode(NodeId node) {
   local_vts_[node] = VectorTimestamp(stream_count_);
 }
 
+NodeId Coordinator::AddNode(const VectorTimestamp& seed) {
+  std::lock_guard lock(mu_);
+  VectorTimestamp vts = seed;
+  if (vts.size() < stream_count_) {
+    vts.Resize(stream_count_);
+  }
+  local_vts_.push_back(std::move(vts));
+  active_.push_back(true);
+  return static_cast<NodeId>(node_count_++);
+}
+
 VectorTimestamp Coordinator::StableVtsLocked() const {
   // Element-wise min over *active* nodes only: a crashed node must not stall
   // the trigger condition for the survivors (graceful degradation).

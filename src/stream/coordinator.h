@@ -53,6 +53,13 @@ class Coordinator {
   // re-report its batches from the beginning.
   void ResetNode(NodeId node);
 
+  // Elastic membership (online reconfiguration, DESIGN.md §5.10): admits one
+  // more node, active, with `seed` as its Local_VTS. The caller seeds at the
+  // cluster's delivered frontier so Stable_VTS does not regress and the new
+  // node's next in-order report satisfies the per-stream sequencing check.
+  // Returns the new node id.
+  NodeId AddNode(const VectorTimestamp& seed);
+
   VectorTimestamp LocalVts(NodeId node) const;
   VectorTimestamp StableVts() const;
 
@@ -100,7 +107,7 @@ class Coordinator {
   VectorTimestamp StableVtsLocked() const;
   void ExtendPlanLocked();
 
-  const uint32_t node_count_;
+  uint32_t node_count_;  // Grows via AddNode; guarded by mu_ after init.
   const size_t reserved_snapshots_;
   const uint64_t batches_per_sn_;
   const size_t max_plan_extensions_;

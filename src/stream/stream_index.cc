@@ -1,5 +1,6 @@
 #include "src/stream/stream_index.h"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
@@ -41,6 +42,84 @@ void StreamIndex::AddBatch(BatchSeq seq, const std::vector<AppendSpan>& spans) {
   }
   total_bytes_ += bi.bytes;
   batches_.push_back(std::move(bi));
+}
+
+bool StreamIndex::MergeBatch(BatchSeq seq, const std::vector<AppendSpan>& spans) {
+  std::lock_guard lock(mu_);
+  BatchIndex* bi = const_cast<BatchIndex*>(FindBatch(seq));
+  if (bi == nullptr) {
+    if (seq < evicted_below_) {
+      return false;  // GC horizon passed it: no live window reaches it.
+    }
+    // Never indexed here: the node joined after this batch was delivered.
+    // Materialize it in sequence order so replayed history is queryable
+    // (FindBatch's dense fast path misses, its scan fallback still finds it).
+    auto it = std::lower_bound(
+        batches_.begin(), batches_.end(), seq,
+        [](const BatchIndex& b, BatchSeq s) { return b.seq < s; });
+    BatchIndex fresh;
+    fresh.seq = seq;
+    bi = &*batches_.insert(it, std::move(fresh));
+  }
+  total_bytes_ -= bi->bytes;
+  for (const AppendSpan& s : spans) {
+    bool seen = bi->spans.count(s.key) > 0;
+    auto& list = bi->spans[s.key];
+    if (!list.empty() && list.back().start + list.back().count == s.start) {
+      list.back().count += s.count;
+    } else {
+      list.push_back(IndexSpan{s.start, s.count});
+    }
+    // A normal key newly touched in this batch joins the window seeds, same
+    // as AddBatch's derivation (deduped within the batch, not across).
+    if (!seen && !s.key.is_index()) {
+      bi->seeds[Key(kIndexVertex, s.key.pid(), s.key.dir()).packed()].push_back(
+          s.key.vid());
+    }
+  }
+  bi->bytes = 0;
+  constexpr size_t kEntryBytes = 8 + 12;
+  for (const auto& [key, list] : bi->spans) {
+    bi->bytes += list.size() * kEntryBytes;
+  }
+  for (const auto& [key, list] : bi->seeds) {
+    bi->bytes += 8 + list.size() * sizeof(VertexId);
+  }
+  total_bytes_ += bi->bytes;
+  return true;
+}
+
+size_t StreamIndex::PurgeShard(const std::function<bool(VertexId)>& in_shard) {
+  std::lock_guard lock(mu_);
+  size_t removed = 0;
+  constexpr size_t kEntryBytes = 8 + 12;
+  for (BatchIndex& bi : batches_) {
+    total_bytes_ -= bi.bytes;
+    for (auto it = bi.spans.begin(); it != bi.spans.end();) {
+      if (!it->first.is_index() && in_shard(it->first.vid())) {
+        ++removed;
+        it = bi.spans.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    for (auto& [packed, vids] : bi.seeds) {
+      (void)packed;
+      vids.erase(std::remove_if(vids.begin(), vids.end(), in_shard),
+                 vids.end());
+    }
+    bi.bytes = 0;
+    for (const auto& [key, list] : bi.spans) {
+      (void)key;
+      bi.bytes += list.size() * kEntryBytes;
+    }
+    for (const auto& [packed, list] : bi.seeds) {
+      (void)packed;
+      bi.bytes += 8 + list.size() * sizeof(VertexId);
+    }
+    total_bytes_ += bi.bytes;
+  }
+  return removed;
 }
 
 const StreamIndex::BatchIndex* StreamIndex::FindBatch(BatchSeq seq) const {
@@ -137,6 +216,7 @@ size_t StreamIndex::EvictBefore(BatchSeq min_live_seq) {
       batches_.pop_front();
       ++freed;
     }
+    evicted_below_ = std::max(evicted_below_, min_live_seq);
     listener = listener_;
   }
   // Fired outside the lock: listeners take the delta-cache lock and must not

@@ -44,6 +44,21 @@ class StreamIndex {
   // window reads can distinguish "no data" from "not yet indexed".
   void AddBatch(BatchSeq seq, const std::vector<AppendSpan>& spans);
 
+  // Migration merge (DESIGN.md §5.10): folds a moving shard's spans for
+  // batch `seq` into this node's entry — used by dual-apply and history
+  // replay. A batch this node never indexed (a node added after the batch
+  // was delivered) is materialized in sequence order; a batch below the
+  // eviction watermark returns false (a no-op — the GC horizon passed it, so
+  // no live window can reach it and nothing is lost).
+  bool MergeBatch(BatchSeq seq, const std::vector<AppendSpan>& spans);
+
+  // Removes every batch's spans and seeds for vertices matched by `in_shard`
+  // (DESIGN.md §5.10): the stale index entries a former owner kept after the
+  // shard moved away. Called on a migration target before history replay so
+  // MergeBatch re-adds exactly one span set and one seed per touched vertex.
+  // Returns span lists removed.
+  size_t PurgeShard(const std::function<bool(VertexId)>& in_shard);
+
   // Appends the spans of `key` in batch `seq` to `out`. Returns false if the
   // batch is not indexed (expired or not yet injected).
   bool GetSpans(BatchSeq seq, Key key, std::vector<IndexSpan>* out) const;
@@ -96,6 +111,10 @@ class StreamIndex {
 
   mutable std::mutex mu_;
   std::deque<BatchIndex> batches_;
+  // Eviction watermark: batches below it were dropped by GC (or were never
+  // indexed and never will be queried). Lets MergeBatch tell "evicted" apart
+  // from "never delivered here" on nodes added mid-stream.
+  BatchSeq evicted_below_ = 0;
   size_t total_bytes_ = 0;
   mutable LookupStats lookups_;  // Guarded by mu_.
   EvictionListener listener_;    // Guarded by mu_; invoked after unlock.

@@ -137,6 +137,70 @@ size_t TransientStore::AppendSlicePrefix(
   return kept;
 }
 
+bool TransientStore::MergeSlice(
+    BatchSeq seq, const std::vector<std::pair<Key, VertexId>>& edges) {
+  std::lock_guard lock(mu_);
+  Slice* slice = const_cast<Slice*>(FindSlice(seq));
+  if (slice == nullptr) {
+    if (seq < gc_horizon_) {
+      return false;  // Reclaimed: no live window reaches this slice.
+    }
+    // Never sliced here: the node joined after this batch was delivered.
+    // Materialize it in sequence order so replayed timing data is queryable
+    // (FindSlice's dense fast path misses, its scan fallback finds it).
+    auto it = std::lower_bound(
+        slices_.begin(), slices_.end(), seq,
+        [](const Slice& s, BatchSeq q) { return s.seq < q; });
+    Slice fresh;
+    fresh.seq = seq;
+    slice = &*slices_.insert(it, std::move(fresh));
+  }
+  total_bytes_ -= slice->bytes;
+  for (const auto& [key, value] : edges) {
+    auto [it, created] = slice->edges.try_emplace(key);
+    it->second.push_back(value);
+    if (created && !key.is_index()) {
+      slice->edges[Key(kIndexVertex, key.pid(), key.dir())].push_back(key.vid());
+    }
+  }
+  slice->bytes = 0;
+  for (const auto& [key, value_list] : slice->edges) {
+    (void)key;
+    slice->bytes += sizeof(Key) + 48 + value_list.capacity() * sizeof(VertexId);
+  }
+  total_bytes_ += slice->bytes;
+  return true;
+}
+
+size_t TransientStore::PurgeShard(const std::function<bool(VertexId)>& in_shard) {
+  std::lock_guard lock(mu_);
+  size_t removed = 0;
+  for (Slice& slice : slices_) {
+    total_bytes_ -= slice.bytes;
+    for (auto it = slice.edges.begin(); it != slice.edges.end();) {
+      if (!it->first.is_index() && in_shard(it->first.vid())) {
+        removed += it->second.size();
+        it = slice.edges.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    for (auto& [key, vids] : slice.edges) {
+      if (key.is_index()) {
+        vids.erase(std::remove_if(vids.begin(), vids.end(), in_shard),
+                   vids.end());
+      }
+    }
+    slice.bytes = 0;
+    for (const auto& [key, value_list] : slice.edges) {
+      (void)key;
+      slice.bytes += sizeof(Key) + 48 + value_list.capacity() * sizeof(VertexId);
+    }
+    total_bytes_ += slice.bytes;
+  }
+  return removed;
+}
+
 const TransientStore::Slice* TransientStore::FindSlice(BatchSeq seq) const {
   if (slices_.empty() || seq < slices_.front().seq || seq > slices_.back().seq) {
     return nullptr;

@@ -51,6 +51,22 @@ class TransientStore {
   size_t AppendSlicePrefix(BatchSeq seq,
                            const std::vector<std::pair<Key, VertexId>>& edges);
 
+  // Migration merge (DESIGN.md §5.10): folds a moving shard's timing edges
+  // for slice `seq` into this (target) store — used by dual-apply and
+  // history replay. A slice this node never appended (a node added after the
+  // batch was delivered) is materialized in sequence order; a slice below
+  // the GC horizon returns false (a no-op — no live window reaches it).
+  // Merged bytes may transiently overshoot the budget — the next
+  // budget-triggered GC reclaims as usual.
+  bool MergeSlice(BatchSeq seq, const std::vector<std::pair<Key, VertexId>>& edges);
+
+  // Removes every slice's timing edges for vertices matched by `in_shard`
+  // (DESIGN.md §5.10): the stale copy a former owner kept after the shard
+  // moved away. Normal keys of matched vertices are dropped whole and their
+  // entries scrubbed from the per-slice index lists, so replay and dual-apply
+  // rebuild the shard's timing data exactly once. Returns edges removed.
+  size_t PurgeShard(const std::function<bool(VertexId)>& in_shard);
+
   // Appends the neighbors of `key` within batch `seq` to `out`.
   void GetNeighbors(BatchSeq seq, Key key, std::vector<VertexId>* out) const;
   size_t EdgeCount(BatchSeq seq, Key key) const;

@@ -14,21 +14,27 @@
 // be detected within a handful of seeds.
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <chrono>
 #include <cstdlib>
+#include <filesystem>
 #include <future>
 #include <numeric>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "src/cluster/cluster.h"
 #include "src/cluster/maintenance_daemon.h"
+#include "src/cluster/reconfig.h"
 #include "src/cluster/worker_pool.h"
 #include "src/common/test_hooks.h"
+#include "src/fault/recovery_manager.h"
 #include "src/sparql/parser.h"
+#include "src/stream/checkpoint.h"
 #include "src/testkit/query_gen.h"
 #include "src/testkit/reference_oracle.h"
 #include "src/testkit/schedule_controller.h"
@@ -62,6 +68,10 @@ struct RunConfig {
   uint32_t nodes = 1;
   uint64_t batches_per_sn = 1;
   bool fuzz_schedule = true;
+  // Migration lane (§5.10): drive live reconfiguration (staged shard moves
+  // with real dual-apply, node adds, drains, target crashes with rollback)
+  // from the advance path while the differential contract keeps holding.
+  bool migrate = false;
 };
 
 RunConfig ConfigForSeed(uint64_t seed) {
@@ -248,6 +258,24 @@ Status RunTrace(const RunConfig& cfg, const std::vector<Event>& trace) {
     sids.push_back(*sid);
     oracle.DefineStream(name);
   }
+  // Migration lane: every delivered batch also lands in a checkpoint log so
+  // live shard moves (and warm restores after a planted target crash) can
+  // replay history exactly as production reconfiguration does.
+  std::string mig_log_path;
+  std::optional<CheckpointLog> mig_log;
+  bool mig_log_failed = false;
+  if (cfg.migrate) {
+    mig_log_path = (std::filesystem::temp_directory_path() /
+                    ("wukongs_diff_mig_" + std::to_string(::getpid()) + "_" +
+                     std::to_string(cfg.seed) + ".log"))
+                       .string();
+    std::filesystem::remove(mig_log_path);
+    auto log = CheckpointLog::Create(mig_log_path);
+    if (!log.ok()) {
+      return log.status();
+    }
+    mig_log.emplace(std::move(*log));
+  }
   // The logger is the oracle's feed *and* the harness's independent ingest
   // count: every batch the engine injects must show up in the registry too.
   uint64_t logged_batches = 0;
@@ -256,6 +284,9 @@ Status RunTrace(const RunConfig& cfg, const std::vector<Event>& trace) {
     ++logged_batches;
     logged_tuples += b.tuples.size();
     oracle.AddBatch(b.stream, b.seq, b.tuples);
+    if (mig_log && !mig_log->Append(b).ok()) {
+      mig_log_failed = true;
+    }
   });
   std::vector<Triple> base = MakeBase(cfg.seed, strings, vocab);
   cluster.LoadBase(base);
@@ -296,6 +327,221 @@ Status RunTrace(const RunConfig& cfg, const std::vector<Event>& trace) {
     return Status::Ok();
   };
 
+  // Migration driver (§5.10). A plan of live reconfiguration actions runs
+  // from the advance path: a "staged" move begins (Begin + base copy) on one
+  // advance and finishes (history replay + Finish) on the next, so dual-apply
+  // mirrors real deliveries in between; some staged moves instead crash the
+  // target mid-transfer and must roll back without an epoch bump. WindowDedup
+  // records every delivered window so the post-cutover audit can prove zero
+  // lost, duplicated, or diverged results.
+  WindowDedup dedup;
+  Rng mig_rng(cfg.seed ^ 0x5eedd1ce5eedd1ceull);
+  std::vector<int> mig_plan;  // 0 = staged move, 1 = add-node, 2 = drain.
+  if (cfg.migrate) {
+    mig_plan.push_back(0);  // Always at least one live move per seed.
+    if (mig_rng.Bernoulli(0.7)) {
+      mig_plan.push_back(static_cast<int>(mig_rng.Uniform(0, 2)));
+    }
+  }
+  bool staged_active = false;
+  bool staged_crash = false;  // Crash the target instead of finishing.
+  NodeId staged_target = 0;
+  uint64_t rechecked_epoch = cluster.OwnershipEpoch();
+  StreamTime gc_floor = 0;  // Highest maintenance horizon passed so far.
+
+  auto pick_target = [&](NodeId source) -> int {
+    std::vector<NodeId> cands;
+    for (NodeId n = 0; n < cluster.node_count(); ++n) {
+      if (n != source && cluster.NodeUp(n) && cluster.NodeServing(n) &&
+          !cluster.IsDraining(n)) {
+        cands.push_back(n);
+      }
+    }
+    if (cands.empty()) {
+      return -1;
+    }
+    return static_cast<int>(cands[mig_rng.Uniform(0, cands.size() - 1)]);
+  };
+
+  auto sync_log = [&]() -> Status {
+    return mig_log ? mig_log->Sync() : Status::Ok();
+  };
+
+  auto start_staged = [&]() -> Status {
+    uint32_t shard =
+        static_cast<uint32_t>(mig_rng.Uniform(0, cluster.ShardCount() - 1));
+    NodeId source = cluster.ShardOwner(shard);
+    int target = pick_target(source);
+    if (target < 0) {
+      return Status::Ok();  // No eligible target this round; retry later.
+    }
+    Status st = cluster.BeginShardMove(shard, static_cast<NodeId>(target));
+    if (!st.ok()) {
+      return Status::Internal("BeginShardMove failed: " + st.ToString());
+    }
+    st = cluster.LoadBaseForShard(base);
+    if (!st.ok()) {
+      return Status::Internal("LoadBaseForShard failed: " + st.ToString());
+    }
+    staged_active = true;
+    staged_target = static_cast<NodeId>(target);
+    staged_crash = mig_rng.Bernoulli(0.3);
+    mig_plan.erase(mig_plan.begin());
+    return Status::Ok();
+  };
+
+  auto finish_staged = [&]() -> Status {
+    staged_active = false;
+    if (staged_crash) {
+      // Planted fault: the target dies mid-transfer. The move must roll back
+      // without bumping the epoch; an immediate warm restore readmits the
+      // node before the next event can execute a window against it.
+      const uint64_t epoch_before = cluster.OwnershipEpoch();
+      Status st = cluster.CrashNode(staged_target);
+      if (!st.ok()) {
+        return Status::Internal("CrashNode(target) failed: " + st.ToString());
+      }
+      if (cluster.MigrationPending()) {
+        return Status::Internal("target crash left the migration pending");
+      }
+      if (cluster.OwnershipEpoch() != epoch_before) {
+        return Status::Internal("rollback bumped the ownership epoch");
+      }
+      Status sync = sync_log();
+      if (!sync.ok()) {
+        return sync;
+      }
+      RecoveryManager rm(mig_log_path);
+      auto report = rm.RestoreNode(&cluster, staged_target, base);
+      if (!report.ok()) {
+        return Status::Internal("restore after rollback failed: " +
+                                report.status().ToString());
+      }
+      return Status::Ok();
+    }
+    Status sync = sync_log();
+    if (!sync.ok()) {
+      return sync;
+    }
+    auto history = ReadCheckpointLog(mig_log_path);
+    if (!history.ok()) {
+      return history.status();
+    }
+    for (const StreamBatch& b : *history) {
+      Status st = cluster.ReplayBatchForShard(b);
+      if (!st.ok()) {
+        return Status::Internal("shard history replay failed: " + st.ToString());
+      }
+    }
+    Status st = cluster.FinishShardTransfer();
+    if (!st.ok()) {
+      return Status::Internal("FinishShardTransfer failed: " + st.ToString());
+    }
+    return Status::Ok();
+  };
+
+  auto add_node_action = [&]() -> Status {
+    auto added = cluster.AddNode();
+    if (!added.ok()) {
+      return Status::Internal("AddNode failed: " + added.status().ToString());
+    }
+    Status sync = sync_log();
+    if (!sync.ok()) {
+      return sync;
+    }
+    ReconfigManager mgr(mig_log_path);
+    uint32_t shard =
+        static_cast<uint32_t>(mig_rng.Uniform(0, cluster.ShardCount() - 1));
+    auto report = mgr.MoveShard(&cluster, shard, *added, base);
+    if (!report.ok()) {
+      return Status::Internal("MoveShard onto the new node failed: " +
+                              report.status().ToString());
+    }
+    mig_plan.erase(mig_plan.begin());
+    return Status::Ok();
+  };
+
+  auto drain_action = [&]() -> Status {
+    NodeId victim =
+        static_cast<NodeId>(mig_rng.Uniform(0, cluster.node_count() - 1));
+    if (!cluster.NodeUp(victim) || !cluster.NodeServing(victim) ||
+        cluster.IsDraining(victim) || pick_target(victim) < 0) {
+      return Status::Ok();  // No legal drain this round; retry later.
+    }
+    Status sync = sync_log();
+    if (!sync.ok()) {
+      return sync;
+    }
+    ReconfigManager mgr(mig_log_path);
+    auto report = mgr.DrainNode(&cluster, victim, base);
+    if (!report.ok()) {
+      return Status::Internal("DrainNode failed: " + report.status().ToString());
+    }
+    mig_plan.erase(mig_plan.begin());
+    return Status::Ok();
+  };
+
+  // Zero-result-loss audit: after every ownership-epoch bump, re-execute each
+  // registration's most recent window under the new assignment. Every
+  // re-execution must succeed, match the ownership-agnostic oracle at the
+  // current stable frontier (a shard copy that lost or duplicated edges shows
+  // up here), and be suppressed by WindowDedup as a duplicate. The digest
+  // itself is not required to be byte-stable: non-GRAPH patterns read the
+  // persistent store at the *current* stable SN, so a window legitimately
+  // grows as later timeless batches become visible.
+  auto recheck_after_cutover = [&]() -> Status {
+    const uint64_t epoch = cluster.OwnershipEpoch();
+    if (!cfg.migrate || epoch == rechecked_epoch) {
+      return Status::Ok();
+    }
+    rechecked_epoch = epoch;
+    for (Reg& r : regs) {
+      if (r.last_end == 0) {
+        continue;
+      }
+      // A window reaching below the maintenance horizon may have lost slices
+      // to GC since it was delivered — skip it: the digest comparison is only
+      // meaningful over history that is still fully live.
+      bool gc_safe = true;
+      for (const WindowSpec& w : r.q.windows) {
+        if (r.last_end < gc_floor + w.range_ms + kInterval) {
+          gc_safe = false;
+        }
+      }
+      if (!gc_safe) {
+        continue;
+      }
+      VectorTimestamp stable = cluster.coordinator()->StableVts();
+      auto exec = cluster.ExecuteContinuousAt(r.handle, r.last_end);
+      if (!exec.ok()) {
+        if (exec.status().code() == StatusCode::kInvalidArgument) {
+          continue;  // Same matched empty-join rejection as pre-cutover.
+        }
+        return Status::Internal("post-cutover re-execution failed: " +
+                                exec.status().ToString());
+      }
+      ++ok_continuous;  // The registry counts every successful execution.
+      const std::string* before = dedup.Find(r.handle, r.last_end);
+      if (before == nullptr) {
+        continue;  // The pre-cutover trigger was a matched rejection.
+      }
+      SnapshotNum sn = checker.RecomputeStableSn(stable, nstreams);
+      Status cmp = compare(r.q, *exec, sn, stable, r.last_end,
+                           "post-cutover (epoch " + std::to_string(epoch) +
+                               ") window @" + std::to_string(r.last_end));
+      if (!cmp.ok()) {
+        return cmp;
+      }
+      if (dedup.Accept(r.handle, r.last_end, exec->partial,
+                       ResultDigest(exec->result))) {
+        return Status::Internal(
+            "post-cutover duplicate window was not suppressed @" +
+            std::to_string(r.last_end));
+      }
+    }
+    return Status::Ok();
+  };
+
   for (const Event& e : trace) {
     switch (e.kind) {
       case Event::Kind::kFeed: {
@@ -312,14 +558,31 @@ Status RunTrace(const RunConfig& cfg, const std::vector<Event>& trace) {
         }
         break;
       }
-      case Event::Kind::kAdvance:
+      case Event::Kind::kAdvance: {
         cluster.AdvanceStreams(e.time_ms);
         frontier = std::max(frontier, e.time_ms);
+        if (cfg.migrate) {
+          Status st = Status::Ok();
+          if (staged_active) {
+            st = finish_staged();
+          } else if (!mig_plan.empty() && !cluster.MigrationPending()) {
+            switch (mig_plan.front()) {
+              case 0: st = start_staged(); break;
+              case 1: st = add_node_action(); break;
+              default: st = drain_action(); break;
+            }
+          }
+          if (!st.ok()) {
+            return st;
+          }
+        }
         break;
+      }
       case Event::Kind::kMaintenance:
         // Clamped against the *replayed* frontier so a minimized trace (with
         // advances removed) can never GC history its windows still need.
-        cluster.RunMaintenance(frontier > kGcLagMs ? frontier - kGcLagMs : 0);
+        gc_floor = frontier > kGcLagMs ? frontier - kGcLagMs : 0;
+        cluster.RunMaintenance(gc_floor);
         break;
       case Event::Kind::kRegister: {
         auto h = cluster.RegisterContinuous(e.text);
@@ -444,10 +707,48 @@ Status RunTrace(const RunConfig& cfg, const std::vector<Event>& trace) {
               std::to_string(exec->result.rows.size()) + " rows vs cold " +
               std::to_string(cold->result.rows.size()));
         }
+        if (cfg.migrate &&
+            !dedup.Accept(r.handle, end, exec->partial,
+                          ResultDigest(exec->result))) {
+          return Status::Internal("fresh window @" + std::to_string(end) +
+                                  " was suppressed as a duplicate");
+        }
         r.last_end = end;
         break;
       }
     }
+    // Deferred commits land from the feed path, so the epoch can bump on any
+    // event — audit the cutover as soon as it happens.
+    if (cfg.migrate) {
+      Status rc = recheck_after_cutover();
+      if (!rc.ok()) {
+        return rc;
+      }
+    }
+  }
+
+  if (cfg.migrate) {
+    if (staged_active) {
+      // The trace ended mid-transfer: drive the handoff to its conclusion
+      // (commit or crash-rollback) and audit the final cutover.
+      Status st = finish_staged();
+      if (!st.ok()) {
+        return st;
+      }
+      st = recheck_after_cutover();
+      if (!st.ok()) {
+        return st;
+      }
+    }
+    if (mig_log_failed) {
+      return Status::Internal("checkpoint-log append failed in the migration lane");
+    }
+    const Cluster::ReconfigStats& rs = cluster.reconfig_stats();
+    if (rs.moves_started + rs.nodes_added + rs.drains_started == 0) {
+      return Status::Internal("migration lane ran no live reconfiguration");
+    }
+    mig_log.reset();
+    std::filesystem::remove(mig_log_path);
   }
 
   // Metrics-consistency sweep: the registry counters are incremented at the
@@ -530,6 +831,28 @@ TEST(DifferentialTest, SeedsMatchOracle) {
   }
   for (uint64_t seed = 1; seed <= seeds; ++seed) {
     Status st = RunSeed(seed);
+    ASSERT_TRUE(st.ok()) << "seed " << seed << ": " << st.ToString()
+                         << "\ntrace:\n" << SerializeTrace(MakeTrace(seed));
+  }
+}
+
+// --- The migration lane (§5.10): live reconfiguration under fuzzing. ---
+//
+// Same differential contract as SeedsMatchOracle, plus: every seed performs
+// at least one live reconfiguration (a staged shard move with real
+// dual-apply, a node addition, a drain, or a migration-target crash with
+// rollback) while the trace runs, and WindowDedup proves the epoch cutover
+// neither loses, duplicates, nor changes any window result.
+TEST(DifferentialTest, MigrationSeedsMatchOracle) {
+  uint64_t seeds = 200;
+  if (const char* env = std::getenv("WUKONGS_DIFF_SEEDS")) {
+    seeds = std::strtoull(env, nullptr, 10);
+  }
+  for (uint64_t seed = 1; seed <= seeds; ++seed) {
+    RunConfig cfg = ConfigForSeed(seed);
+    cfg.nodes = 3;  // Moves/drains need somewhere to go.
+    cfg.migrate = true;
+    Status st = RunTrace(cfg, MakeTrace(seed));
     ASSERT_TRUE(st.ok()) << "seed " << seed << ": " << st.ToString()
                          << "\ntrace:\n" << SerializeTrace(MakeTrace(seed));
   }

@@ -519,5 +519,35 @@ TEST(FaultFabricTest, CannotCrashLastNode) {
   EXPECT_EQ(cluster.CrashNode(0).code(), StatusCode::kFailedPrecondition);
 }
 
+// Restoring a node that was never taken through CrashNode is a caller bug:
+// its volatile state was never reset and the coordinator never forgot its
+// progress, so the restore invariants are meaningless. It must surface as
+// InvalidArgument, not a silent success.
+TEST(FaultRestoreGateTest, FinishRestoreRejectsNodesNeverCrashMarked) {
+  ClusterConfig config;
+  config.nodes = 3;
+  Cluster cluster(config);
+
+  EXPECT_EQ(cluster.FinishNodeRestore(99).code(), StatusCode::kNotFound);
+  // A live node is not restorable at all.
+  EXPECT_EQ(cluster.FinishNodeRestore(0).code(),
+            StatusCode::kFailedPrecondition);
+
+  // Down via direct fabric manipulation, bypassing CrashNode: rejected.
+  cluster.fabric()->SetNodeUp(1, false);
+  EXPECT_EQ(cluster.FinishNodeRestore(1).code(), StatusCode::kInvalidArgument);
+  cluster.fabric()->SetNodeUp(1, true);
+
+  // The sanctioned path: CrashNode marks, FinishNodeRestore re-admits
+  // (nothing was ever delivered, so there is no VTS lag to close).
+  ASSERT_TRUE(cluster.CrashNode(1).ok());
+  EXPECT_FALSE(cluster.NodeUp(1));
+  ASSERT_TRUE(cluster.FinishNodeRestore(1).ok());
+  EXPECT_TRUE(cluster.NodeUp(1));
+  // Re-admission consumed the crash mark: a second restore is "already live".
+  EXPECT_EQ(cluster.FinishNodeRestore(1).code(),
+            StatusCode::kFailedPrecondition);
+}
+
 }  // namespace
 }  // namespace wukongs

@@ -8,6 +8,8 @@
 #include <filesystem>
 
 #include "src/cluster/cluster.h"
+#include "src/cluster/reconfig.h"
+#include "src/common/rng.h"
 #include "src/fault/fault_injector.h"
 #include "src/fault/recovery_manager.h"
 #include "src/fault/upstream_buffer.h"
@@ -208,6 +210,140 @@ TEST(SoakTest, SurvivesRepeatedCrashRestoreCyclesUnderLossyFabric) {
   EXPECT_GT(istats.dropped_batches + istats.duplicated_batches +
                 istats.delayed_batches,
             0u);
+
+  std::filesystem::remove(log_path);
+}
+
+TEST(SoakTest, SurvivesMigrationChurnUnderSustainedStreaming) {
+  // Sustained streaming with a live shard move every few intervals, a node
+  // added mid-run, and a full drain near the end (DESIGN.md §5.10). The
+  // system must stay live — every window fires complete and non-empty — no
+  // move may abort, and window-scoped state stays bounded despite the churn
+  // (dual-apply copies and stale-tenure data must not accrete).
+  std::string log_path =
+      (std::filesystem::temp_directory_path() /
+       ("wukongs_soak_mig_" + std::to_string(::getpid()) + ".log"))
+          .string();
+  std::filesystem::remove(log_path);
+
+  ClusterConfig config;
+  config.nodes = 3;
+  config.batch_interval_ms = 10;
+  Cluster cluster(config);
+  StreamId facts = *cluster.DefineStream("Facts");
+
+  StringServer* s = cluster.strings();
+  PredicateId po = s->InternPredicate("po");
+  std::vector<Triple> base;
+  for (int u = 0; u < 30; ++u) {
+    base.push_back({s->InternVertex("u" + std::to_string(u)),
+                    s->InternPredicate("fo"),
+                    s->InternVertex("u" + std::to_string((u + 1) % 30))});
+  }
+  cluster.LoadBase(base);
+
+  auto handle = cluster.RegisterContinuous(R"(
+      REGISTER QUERY churn AS
+      SELECT ?U ?P
+      FROM STREAM <Facts> [RANGE 50ms STEP 10ms]
+      WHERE { GRAPH <Facts> { ?U po ?P } })");
+  ASSERT_TRUE(handle.ok());
+
+  auto log = CheckpointLog::Create(log_path);
+  ASSERT_TRUE(log.ok());
+  cluster.SetBatchLogger(
+      [&](const StreamBatch& b) { ASSERT_TRUE(log->Append(b).ok()); });
+
+  ReconfigManager mgr(log_path);
+  Rng rng(17);
+  constexpr StreamTime kIntervalMs = 50;
+  constexpr uint64_t kRangeMs = 50;
+  constexpr int kIntervals = 40;
+  size_t moves = 0;
+  size_t post = 0;
+  size_t peak_window_bytes = 0;
+  size_t window_bytes_at_20pct = 0;
+  for (int i = 1; i <= kIntervals; ++i) {
+    StreamTime now = static_cast<StreamTime>(i) * kIntervalMs;
+    StreamTupleVec tuples;
+    for (StreamTime t = now - kIntervalMs; t < now; t += 2) {
+      tuples.push_back(StreamTuple{{s->InternVertex("u" + std::to_string(post % 30)),
+                                    po,
+                                    s->InternVertex("p" + std::to_string(post))},
+                                   t,
+                                   TupleKind::kTimeless});
+      ++post;
+    }
+    ASSERT_TRUE(cluster.FeedStream(facts, tuples).ok());
+    cluster.AdvanceStreams(now);
+
+    if (i % 5 == 0) {
+      // Live handoff of a random shard to a random eligible peer — over the
+      // run shards revisit former owners, exercising the Begin-time purge.
+      ASSERT_TRUE(log->Sync().ok());
+      uint32_t shard =
+          static_cast<uint32_t>(rng.Uniform(0, cluster.ShardCount() - 1));
+      NodeId source = cluster.ShardOwner(shard);
+      std::vector<NodeId> cands;
+      for (NodeId n = 0; n < cluster.node_count(); ++n) {
+        if (n != source && cluster.NodeUp(n) && cluster.NodeServing(n) &&
+            !cluster.IsDraining(n)) {
+          cands.push_back(n);
+        }
+      }
+      ASSERT_FALSE(cands.empty()) << "interval " << i;
+      NodeId target = cands[rng.Uniform(0, cands.size() - 1)];
+      auto rep = mgr.MoveShard(&cluster, shard, target, base);
+      ASSERT_TRUE(rep.ok()) << "interval " << i << ": "
+                            << rep.status().ToString();
+      EXPECT_FALSE(rep->commit_pending) << "interval " << i;
+      ++moves;
+    }
+    if (i == 18) {
+      // Elastic growth mid-run: the new node joins empty and picks up shards
+      // from subsequent random moves and the drain below.
+      auto added = cluster.AddNode();
+      ASSERT_TRUE(added.ok()) << added.status().ToString();
+    }
+    if (i == 32) {
+      // Elastic shrink: empty node 0 — the query's home — so its shards
+      // re-scatter and the registration re-homes.
+      ASSERT_TRUE(log->Sync().ok());
+      auto rep = mgr.DrainNode(&cluster, 0, base);
+      ASSERT_TRUE(rep.ok()) << rep.status().ToString();
+      EXPECT_EQ(rep->shards_remaining, 0u);
+    }
+
+    cluster.RunMaintenance(now > kRangeMs ? now - kRangeMs : 0);
+
+    auto exec = cluster.ExecuteContinuousAt(*handle, now);
+    ASSERT_TRUE(exec.ok()) << "interval " << i << ": "
+                           << exec.status().ToString();
+    EXPECT_FALSE(exec->result.rows.empty()) << "interval " << i;
+    EXPECT_FALSE(exec->partial) << "interval " << i;
+
+    size_t window_bytes =
+        cluster.StreamIndexBytes(facts) + cluster.TransientBytes(facts);
+    peak_window_bytes = std::max(peak_window_bytes, window_bytes);
+    if (i == kIntervals / 5) {
+      window_bytes_at_20pct = window_bytes;
+    }
+  }
+
+  const auto& rs = cluster.reconfig_stats();
+  EXPECT_EQ(moves, 8u);
+  EXPECT_EQ(rs.moves_aborted, 0u);
+  // 8 random moves plus one move per shard the drain emptied off node 0.
+  EXPECT_GE(rs.moves_committed, moves + 1);
+  EXPECT_EQ(rs.nodes_added, 1u);
+  EXPECT_EQ(rs.drains_started, 1u);
+  EXPECT_GE(rs.rehomed_registrations, 1u);
+
+  // Bounded despite churn: dual-apply copies and stale-tenure entries ride
+  // inside per-batch structures, so GC reclaims them with their batches (a
+  // little extra headroom over the churn-free bound).
+  EXPECT_LE(peak_window_bytes, window_bytes_at_20pct * 4)
+      << "peak " << peak_window_bytes << " vs steady " << window_bytes_at_20pct;
 
   std::filesystem::remove(log_path);
 }
