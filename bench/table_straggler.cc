@@ -1,0 +1,190 @@
+// Tail robustness under gray failure (DESIGN.md §5.11): one node serving at
+// 10x its normal latency — up, heartbeating, answering, just slowly — and
+// what that does to fork-join one-shot tails.
+//
+// Four configurations over identical data and an identical query mix:
+//   unloaded     no gray failure (the baseline tail),
+//   unmitigated  gray node, no hedging, no straggler detection: every
+//                fork-join round's barrier waits for the slowest member,
+//                so the whole distribution shifts by the gray factor (the
+//                cliff phi-accrual cannot see — heartbeats keep arriving),
+//   hedge-only   service-time histograms arm a p95-based hedge delay; a
+//                round blowing past it issues a backup sub-request to the
+//                fastest member and the first response wins (exactly-once
+//                via HedgeDedup),
+//   mitigated    hedging + straggler detector: the EWMA-vs-peer-median
+//                detector demotes the gray node out of the fan-out after a
+//                short streak, so steady-state rounds never touch it.
+//
+// Acceptance (ISSUE): with one node at 10x, mitigated p99 stays <= 2.5x the
+// unloaded p99 while unmitigated shows the cliff.
+
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/fault/fault_injector.h"
+
+namespace wukongs {
+namespace bench {
+namespace {
+
+constexpr uint32_t kNodes = 4;
+constexpr NodeId kGrayNode = 2;
+constexpr double kGrayFactor = 10.0;
+constexpr int kSamples = 120;
+constexpr double kAcceptanceRatio = 2.5;
+
+const char* kQueryPool[] = {
+    "SELECT ?X ?Y WHERE { ?X p0 ?Y }",
+    "SELECT ?X ?Y ?Z WHERE { ?X p0 ?Y . ?Y p1 ?Z }",
+    "SELECT ?X ?Z ?W WHERE { ?X p0 ?Y . ?Y p1 ?Z . ?Z p0 ?W }",
+};
+
+std::vector<Triple> MakeBase(StringServer* strings) {
+  Rng rng(0x57a991e5ull);
+  auto ent = [&](uint64_t i) {
+    return strings->InternVertex("e" + std::to_string(i));
+  };
+  std::vector<Triple> base;
+  for (int i = 0; i < 240; ++i) {
+    base.push_back({ent(rng.Uniform(0, 29)),
+                    strings->InternPredicate(i % 2 == 0 ? "p0" : "p1"),
+                    ent(rng.Uniform(0, 29))});
+  }
+  return base;
+}
+
+struct ConfigResult {
+  Histogram latency;
+  uint64_t hedges_issued = 0;
+  uint64_t hedges_won = 0;
+  uint64_t demotions = 0;
+  bool gray_demoted = false;
+};
+
+// Builds the cluster, warms the health loop through the gray window, and
+// measures the one-shot mix. `injector` may be null (unloaded baseline).
+ConfigResult MeasureConfig(FaultInjector* injector, bool hedge,
+                           bool straggler) {
+  ClusterConfig config;
+  config.nodes = kNodes;
+  config.transport = Transport::kTcp;  // Fork-join rounds pay message costs.
+  config.force_fork_join = true;
+  config.fault_injector = injector;
+  config.hedge.enabled = hedge;
+  config.hedge.min_samples = 4;
+  config.straggler.enabled = hedge || straggler;  // Probes feed histograms.
+  config.straggler.min_samples = 4;
+  config.straggler.demote_after = straggler ? 2 : 1 << 20;
+  config.straggler.promote_after = 3;
+  Cluster cluster(config);
+  cluster.LoadBase(MakeBase(cluster.strings()));
+
+  // Health loop: histograms warm before the gray window opens at t=150,
+  // then the detector (when armed) sees the slowdown and settles. Queries
+  // run at t=400, inside the window — steady gray state.
+  for (StreamTime t = 10; t <= 400; t += 10) {
+    cluster.TickHealth(t);
+  }
+
+  ConfigResult result;
+  for (int i = 0; i < kSamples; ++i) {
+    const char* text = kQueryPool[i % 3];
+    NodeId home = static_cast<NodeId>(i) % kNodes;
+    auto exec = cluster.OneShot(text, home);
+    if (!exec.ok()) {
+      std::cerr << "one-shot failed: " << exec.status().ToString() << "\n";
+      std::abort();
+    }
+    result.latency.Add(exec->latency_ms());
+    result.hedges_issued += exec->hedges_issued;
+    result.hedges_won += exec->hedges_won;
+  }
+  if (const StragglerDetector* detector = cluster.straggler_detector()) {
+    result.demotions = detector->stats().demotions;
+  }
+  result.gray_demoted = cluster.StragglerSlow(kGrayNode);
+  return result;
+}
+
+void Run(int argc, char** argv) {
+  PrintHeader("Gray failure: hedged fork-join + straggler quarantine vs the tail cliff",
+              NetworkModel{});
+  std::cout << kNodes << " nodes (TCP fork-join), node " << kGrayNode
+            << " serving at " << kGrayFactor << "x, " << kSamples
+            << " one-shot queries per config\n\n";
+
+  FaultSchedule schedule;
+  schedule.gray_failures.push_back(
+      {kGrayNode, /*from_ms=*/150, /*until_ms=*/100000000, kGrayFactor});
+
+  struct Row {
+    const char* name;
+    ConfigResult result;
+  };
+  std::vector<Row> rows;
+  rows.push_back({"unloaded", MeasureConfig(nullptr, false, false)});
+  {
+    FaultInjector injector(schedule);
+    rows.push_back({"unmitigated", MeasureConfig(&injector, false, false)});
+  }
+  {
+    FaultInjector injector(schedule);
+    rows.push_back({"hedge-only", MeasureConfig(&injector, true, false)});
+  }
+  {
+    FaultInjector injector(schedule);
+    rows.push_back({"mitigated", MeasureConfig(&injector, true, true)});
+  }
+
+  const double unloaded_p99 = rows[0].result.latency.Percentile(99.0);
+  BenchArtifact artifact("table_straggler");
+  TablePrinter table({"config", "p50 (ms)", "p99 (ms)", "p99/unloaded",
+                      "hedges", "hedge wins", "gray demoted"});
+  for (const Row& row : rows) {
+    const ConfigResult& r = row.result;
+    double p99 = r.latency.Percentile(99.0);
+    table.AddRow({row.name, TablePrinter::Num(r.latency.Median(), 4),
+                  TablePrinter::Num(p99, 4),
+                  TablePrinter::Num(p99 / unloaded_p99, 2),
+                  std::to_string(r.hedges_issued),
+                  std::to_string(r.hedges_won),
+                  r.gray_demoted ? "yes" : "no"});
+    MetricLabels labels = {{"config", row.name}};
+    artifact.RecordLatencies("bench_oneshot_latency_ms", labels, r.latency);
+    artifact.SetValue("bench_p99_over_unloaded", labels, p99 / unloaded_p99);
+    artifact.AddCount("bench_hedges_issued", labels, r.hedges_issued);
+    artifact.AddCount("bench_hedges_won", labels, r.hedges_won);
+    artifact.AddCount("bench_straggler_demotions", labels, r.demotions);
+  }
+  table.Print();
+
+  const double unmitigated_ratio =
+      rows[1].result.latency.Percentile(99.0) / unloaded_p99;
+  const double mitigated_ratio =
+      rows[3].result.latency.Percentile(99.0) / unloaded_p99;
+  artifact.SetValue("bench_acceptance_ratio", {}, mitigated_ratio);
+  artifact.Write(JsonOutPath(argc, argv));
+
+  std::cout << "\n(heartbeats keep flowing during a gray failure, so "
+               "phi-accrual never fires; the service-time EWMA detector and "
+               "the p95 hedge delay are what catch it)\n";
+  std::cout << "acceptance: mitigated p99 = " << TablePrinter::Num(mitigated_ratio, 2)
+            << "x unloaded (target <= " << kAcceptanceRatio
+            << "x; unmitigated cliff = " << TablePrinter::Num(unmitigated_ratio, 2)
+            << "x) -> "
+            << (mitigated_ratio <= kAcceptanceRatio ? "PASS" : "FAIL") << "\n";
+  if (mitigated_ratio > kAcceptanceRatio) {
+    std::abort();
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace wukongs
+
+int main(int argc, char** argv) {
+  wukongs::bench::Run(argc, argv);
+  return 0;
+}

@@ -43,7 +43,11 @@ def main() -> int:
     args = parser.parse_args()
 
     with open(args.baseline, encoding="utf-8") as f:
-        benches = json.load(f)["benches"]
+        benches = json.load(f).get("benches")
+    if not isinstance(benches, dict):
+        print(f"warning: baseline {args.baseline} has no 'benches' map; "
+              "nothing to compare against", file=sys.stderr)
+        benches = {}
 
     compared = 0
     failures = []
@@ -54,8 +58,17 @@ def main() -> int:
         if name not in benches:
             print(f"note: no baseline entry for bench '{name}' ({path}), skipped")
             continue
-        base_hist = benches[name]["metrics"]["histograms"]
-        cur_hist = artifact["metrics"]["histograms"]
+        # A baseline entry or artifact missing its metrics/histograms section
+        # (e.g. a bench recorded before it grew latency rows, or a truncated
+        # upload) is a skip with a warning, not a traceback; the compared==0
+        # guard below still fails the gate if nothing at all overlaps.
+        base_hist = benches[name].get("metrics", {}).get("histograms")
+        cur_hist = artifact.get("metrics", {}).get("histograms")
+        if not isinstance(base_hist, dict) or not isinstance(cur_hist, dict):
+            missing = "baseline" if not isinstance(base_hist, dict) else "current"
+            print(f"warning: bench '{name}' ({path}) has no histograms in the "
+                  f"{missing} artifact, skipped", file=sys.stderr)
+            continue
         for metric, cur in sorted(cur_hist.items()):
             if "latency" not in metric_family(metric):
                 continue

@@ -19,15 +19,19 @@ StatusOr<Query> Client::Parse(const std::string& text) {
   return std::move(*q);
 }
 
-StatusOr<QueryExecution> Client::Submit(const std::string& text) {
+StatusOr<QueryExecution> Client::Submit(const std::string& text,
+                                        double deadline_ms) {
   auto q = Parse(text);
   if (!q.ok()) {
     return q.status();
   }
   ++stats_.one_shot_queries;
-  auto exec = cluster_->OneShotParsed(*q, home_);
+  auto exec = cluster_->OneShotParsed(*q, home_, deadline_ms);
   if (exec.ok()) {
     stats_.total_latency_ms += exec->latency_ms();
+    if (exec->deadline_expired) {
+      ++stats_.deadline_expired;
+    }
   }
   return exec;
 }
@@ -42,11 +46,14 @@ StatusOr<Cluster::ContinuousHandle> Client::Register(const std::string& text) {
 }
 
 StatusOr<QueryExecution> Client::Poll(Cluster::ContinuousHandle handle,
-                                      StreamTime end_ms) {
+                                      StreamTime end_ms, double deadline_ms) {
   ++stats_.polls;
-  auto exec = cluster_->ExecuteContinuousAt(handle, end_ms);
+  auto exec = cluster_->ExecuteContinuousAt(handle, end_ms, deadline_ms);
   if (exec.ok()) {
     stats_.total_latency_ms += exec->latency_ms();
+    if (exec->deadline_expired) {
+      ++stats_.deadline_expired;
+    }
   }
   return exec;
 }

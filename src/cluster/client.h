@@ -30,14 +30,19 @@ class Client {
   Client(Cluster* cluster, NodeId home = 0);
 
   // Submits a one-shot query; parses (and caches) the text, executes it.
-  StatusOr<QueryExecution> Submit(const std::string& text);
+  // `deadline_ms` (0 = none) grants a latency budget carried end to end
+  // (DESIGN.md §5.11); a budgeted query may come back with
+  // deadline_expired set and a declared completeness fraction.
+  StatusOr<QueryExecution> Submit(const std::string& text,
+                                  double deadline_ms = 0.0);
 
   // Continuous query registration.
   StatusOr<Cluster::ContinuousHandle> Register(const std::string& text);
 
   // Executes a registered continuous query for the window ending at end_ms.
+  // `deadline_ms` as in Submit — continuous triggers carry budgets too.
   StatusOr<QueryExecution> Poll(Cluster::ContinuousHandle handle,
-                                StreamTime end_ms);
+                                StreamTime end_ms, double deadline_ms = 0.0);
 
   // Resolves a result's IDs back to strings for display.
   std::vector<std::vector<std::string>> Render(const QueryResult& result) const;
@@ -48,6 +53,8 @@ class Client {
     size_t polls = 0;
     size_t procedure_cache_hits = 0;
     double total_latency_ms = 0.0;
+    // Budgeted requests that came back partial because the budget ran out.
+    size_t deadline_expired = 0;
   };
   const Stats& stats() const { return stats_; }
   NodeId home() const { return home_; }

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <limits>
 
+#include "src/common/deadline.h"
 #include "src/common/test_hooks.h"
 #include "src/fault/upstream_buffer.h"
 #include "src/testkit/schedule_controller.h"
@@ -74,6 +76,12 @@ Cluster::Cluster(const ClusterConfig& config, StringServer* shared_strings)
     health_ =
         std::make_unique<FailureDetector>(config_.nodes, config_.overload.phi);
   }
+  if (config_.straggler.enabled) {
+    straggler_ =
+        std::make_unique<StragglerDetector>(config_.nodes, config_.straggler);
+  }
+  service_hist_.resize(config_.nodes);
+  service_hist_metrics_.resize(config_.nodes, nullptr);
   if constexpr (obs::kCompiledIn) {
     tracer_ = config_.tracer;
     if (obs::MetricsRegistry* m = config_.metrics; m != nullptr) {
@@ -127,6 +135,26 @@ Cluster::Cluster(const ClusterConfig& config, StringServer* shared_strings)
           m->GetCounter("wukongs_reconfig_rehomed_registrations_total");
       obs_.reconfig_stale_edges_purged =
           m->GetCounter("wukongs_reconfig_stale_edges_purged_total");
+      obs_.hedge_issued = m->GetCounter("wukongs_hedge_issued_total");
+      obs_.hedge_wins = m->GetCounter("wukongs_hedge_backup_wins_total");
+      obs_.hedge_cancelled = m->GetCounter("wukongs_hedge_cancelled_total");
+      obs_.hedge_duplicates_suppressed =
+          m->GetCounter("wukongs_hedge_duplicates_suppressed_total");
+      obs_.deadline_expired = m->GetCounter("wukongs_deadline_expired_total");
+      obs_.deadline_skipped_reads =
+          m->GetCounter("wukongs_deadline_skipped_reads_total");
+      obs_.deadline_cancelled_steps =
+          m->GetCounter("wukongs_deadline_cancelled_steps_total");
+      obs_.straggler_demotions =
+          m->GetCounter("wukongs_straggler_demotions_total");
+      obs_.straggler_promotions =
+          m->GetCounter("wukongs_straggler_promotions_total");
+      for (NodeId n = 0; n < config_.nodes; ++n) {
+        service_hist_metrics_[n] =
+            m->GetHistogram(obs::MetricsRegistry::Labeled(
+                "wukongs_node_service_latency_ns",
+                {{"node", std::to_string(n)}}));
+      }
     }
   }
 }
@@ -742,6 +770,11 @@ void Cluster::TickHealth(StreamTime now_ms) {
     last_health_ms_ = now_ms;
   }
   FaultInjector* inj = config_.fault_injector;
+  if (inj != nullptr) {
+    // Publish the logical clock so fabric verbs can price gray-failure
+    // service factors without threading `now` through every call site.
+    inj->AdvanceNow(now_ms);
+  }
   // A slow window that ended releases its node's parked batches even when no
   // new batch happens to target that node.
   for (NodeId n = 0; n < config_.nodes; ++n) {
@@ -796,6 +829,50 @@ void Cluster::TickHealth(StreamTime now_ms) {
         Bump(obs_.reactivations);
         std::lock_guard lock(overload_mu_);
         ++overload_stats_.reactivations;
+      }
+    }
+  }
+  if (straggler_ != nullptr) {
+    // Gray-failure probes (§5.11): each tick deposits one modeled service
+    // sample per live node — the base probe cost scaled by any active
+    // gray-failure factor. Unlike phi-accrual (blind here: heartbeats keep
+    // arriving during a gray failure), this sees the *service* slowdown, and
+    // it keeps demoted nodes' EWMAs fresh so they can be promoted back once
+    // their slow window ends even though queries no longer touch them.
+    constexpr double kProbeNs = 1000.0;
+    for (NodeId n = 0; n < config_.nodes; ++n) {
+      if (!fabric_->node_up(n)) {
+        continue;
+      }
+      double factor = inj != nullptr ? inj->ServiceFactorAt(n, now_ms) : 1.0;
+      ObserveServiceSample(n, kProbeNs * factor);
+    }
+    uint32_t healthy = 0;
+    for (NodeId n = 0; n < config_.nodes; ++n) {
+      if (fabric_->node_serving(n) && !straggler_->slow(n)) {
+        ++healthy;
+      }
+    }
+    for (NodeId n = 0; n < config_.nodes; ++n) {
+      if (!fabric_->node_up(n)) {
+        continue;
+      }
+      if (!straggler_->slow(n) && healthy <= 1) {
+        continue;  // Never demote the last healthy fan-out member.
+      }
+      StragglerAction action = straggler_->Evaluate(n);
+      if (action == StragglerAction::kDemote) {
+        --healthy;
+        Bump(obs_.straggler_demotions);
+        if (tracer_ != nullptr) {
+          tracer_->Instant("straggler", "straggler/demote", n);
+        }
+      } else if (action == StragglerAction::kPromote) {
+        ++healthy;
+        Bump(obs_.straggler_promotions);
+        if (tracer_ != nullptr) {
+          tracer_->Instant("straggler", "straggler/promote", n);
+        }
       }
     }
   }
@@ -890,6 +967,10 @@ void Cluster::ApplyWindowLoss(const Registration& reg, StreamTime end_ms,
       total == 0 ? 0.0
                  : std::min(1.0, static_cast<double>(shed) /
                                      static_cast<double>(total));
+  // Window loss compounds with deadline cancellation: every execution path
+  // funnels through here after ApplyDegrade, so the declared completeness
+  // always reflects both degradation sources.
+  exec->completeness *= 1.0 - exec->shed_fraction;
 }
 
 bool Cluster::IsSelective(const Query& q, const std::vector<int>& plan) const {
@@ -947,9 +1028,26 @@ StatusOr<ExecContext> Cluster::BuildContext(
 NodeId Cluster::EffectiveHome(NodeId home) {
   // A quarantined (slow) home is avoided just like a crashed one: executions
   // land on a serving node. A draining home sheds query duty the same way,
-  // but only while a non-draining serving node exists to take it.
-  if (fabric_->node_serving(home) && draining_.count(home) == 0) {
+  // but only while a non-draining serving node exists to take it. A home
+  // demoted by the straggler detector (still serving, just slow) hands off
+  // the same way, falling back to itself when every candidate is slow too.
+  const bool home_ok =
+      fabric_->node_serving(home) && draining_.count(home) == 0;
+  if (home_ok && !StragglerSlow(home)) {
     return home;
+  }
+  if (straggler_ != nullptr) {
+    for (NodeId n = 0; n < config_.nodes; ++n) {
+      if (fabric_->node_serving(n) && draining_.count(n) == 0 &&
+          !StragglerSlow(n)) {
+        ++fault_stats_.reroutes;
+        Bump(obs_.reroutes);
+        return n;
+      }
+    }
+  }
+  if (home_ok) {
+    return home;  // Every other candidate is slow as well; stay put.
   }
   for (NodeId n = 0; n < config_.nodes; ++n) {
     if (fabric_->node_serving(n) && draining_.count(n) == 0) {
@@ -971,6 +1069,77 @@ NodeId Cluster::EffectiveHome(NodeId home) {
   return home;  // Nothing is serving; callers will fail downstream.
 }
 
+void Cluster::ObserveServiceSample(NodeId n, double service_ns) {
+  if (service_ns <= 0.0) {
+    return;
+  }
+  if (straggler_ != nullptr) {
+    straggler_->Observe(n, service_ns);
+  }
+  if (config_.hedge.enabled || straggler_ != nullptr) {
+    std::lock_guard lock(service_mu_);
+    if (n < service_hist_.size()) {
+      service_hist_[n].Add(service_ns);
+      if (n < service_hist_metrics_.size() &&
+          service_hist_metrics_[n] != nullptr) {
+        service_hist_metrics_[n]->Observe(service_ns);
+      }
+    }
+  }
+}
+
+std::vector<NodeId> Cluster::ForkJoinFanout() const {
+  std::vector<NodeId> fanout;
+  std::vector<NodeId> serving;
+  for (NodeId n = 0; n < config_.nodes; ++n) {
+    if (!fabric_->node_serving(n)) {
+      continue;
+    }
+    serving.push_back(n);
+    if (!StragglerSlow(n)) {
+      fanout.push_back(n);
+    }
+  }
+  // If demotion emptied the fan-out entirely, fork-join over everything
+  // serving rather than nothing (slow beats absent).
+  return fanout.empty() ? serving : fanout;
+}
+
+double Cluster::EffectiveBudgetMs(double deadline_ms) const {
+  if (!config_.deadline.enforce) {
+    return 0.0;
+  }
+  return deadline_ms > 0.0 ? deadline_ms : config_.deadline.default_budget_ms;
+}
+
+double Cluster::HedgeDelayNs() const {
+  if (!config_.hedge.enabled) {
+    return 0.0;
+  }
+  // Median of the per-node p95s, so one gray-failing node's inflated tail
+  // cannot drag the trigger threshold up with it.
+  std::vector<double> p95s;
+  {
+    std::lock_guard lock(service_mu_);
+    for (NodeId n = 0; n < config_.nodes && n < service_hist_.size(); ++n) {
+      if (!fabric_->node_serving(n)) {
+        continue;
+      }
+      if (service_hist_[n].count() < config_.hedge.min_samples) {
+        continue;  // Still warming up.
+      }
+      p95s.push_back(service_hist_[n].Percentile(95.0));
+    }
+  }
+  if (p95s.empty()) {
+    return 0.0;  // Hedging stays disarmed until the histograms warm up.
+  }
+  size_t mid = p95s.size() / 2;
+  std::nth_element(p95s.begin(), p95s.begin() + mid, p95s.end());
+  double delay = config_.hedge.margin_mult * p95s[mid];
+  return std::max(delay, config_.hedge.min_delay_ns);
+}
+
 void Cluster::ApplyDegrade(const DegradeState& degrade, QueryExecution* exec) {
   exec->partial = degrade.partial;
   exec->skipped_shards = degrade.skipped_shards;
@@ -982,25 +1151,76 @@ void Cluster::ApplyDegrade(const DegradeState& degrade, QueryExecution* exec) {
     ++fault_stats_.degraded_executions;
     Bump(obs_.degraded_executions);
   }
+  // Deadline surface (§5.11): expired implies work was actually cancelled,
+  // which implies partial (sources / the step hook set both together).
+  exec->deadline_expired = degrade.deadline_expired;
+  exec->deadline_skipped_reads = degrade.deadline_skipped_reads;
+  Bump(obs_.deadline_skipped_reads, degrade.deadline_skipped_reads);
+  Bump(obs_.deadline_cancelled_steps, degrade.steps_cancelled);
+  if (degrade.deadline_expired) {
+    Bump(obs_.deadline_expired);
+  }
+  // Declared completeness: the minimum of the served fraction of charged
+  // reads and the executed fraction of fork-join rounds. 1.0 when nothing
+  // was cancelled; ApplyWindowLoss multiplies in (1 - shed_fraction) after.
+  double frac = 1.0;
+  uint64_t reads = degrade.reads_ok + degrade.deadline_skipped_reads;
+  if (reads > 0) {
+    frac = std::min(frac, static_cast<double>(degrade.reads_ok) /
+                              static_cast<double>(reads));
+  }
+  uint64_t steps = degrade.steps_done + degrade.steps_cancelled;
+  if (steps > 0) {
+    frac = std::min(frac, static_cast<double>(degrade.steps_done) /
+                              static_cast<double>(steps));
+  }
+  exec->completeness = frac;
 }
 
 StatusOr<QueryExecution> Cluster::RunQuery(const Query& q,
                                            const std::vector<int>& plan,
                                            const ExecContext& ctx, NodeId home,
                                            bool fork_join, bool selective,
-                                           SnapshotNum snapshot) {
+                                           SnapshotNum snapshot,
+                                           DegradeState* degrade) {
   const NetworkModel& m = config_.network;
   const bool rdma = fabric_->transport() == Transport::kRdma;
-  // Degraded clusters fork-join over the serving survivors only.
-  const uint32_t live = fabric_->serving_count();
+  // Degraded clusters fork-join over the serving survivors only; straggler
+  // demotion (§5.11) further narrows the fan-out to non-slow members (same
+  // count as serving_count() when the detector is off or sees nothing).
+  const std::vector<NodeId> fanout = ForkJoinFanout();
+  const uint32_t live = static_cast<uint32_t>(fanout.size());
   // A selective query forced into fork-join involves only the nodes its few
   // keys live on: migrating execution, no cluster-wide barrier.
   const bool migrating = fork_join && selective;
+  // Gray-failure pricing: when the injector schedules sustained slow-node
+  // windows, each fork-join round's barrier waits for the slowest fan-out
+  // member, and a round exceeding the hedge delay issues a backup to the
+  // fastest one (first response wins, the loser's reply is deduplicated).
+  const bool gray = config_.fault_injector != nullptr &&
+                    config_.fault_injector->HasGrayFailures();
+  const double hedge_delay = HedgeDelayNs();
+  HedgeDedup dedup;
+  uint64_t sub_seq = 0;
+  uint64_t hedges_issued = 0;
+  uint64_t hedges_won = 0;
 
   StepHook hook;
   if (fork_join && live > 1) {
     hook = [&](const TriplePattern&, size_t rows_before, size_t cols_before,
-               size_t /*rows_after*/) {
+               size_t rows_after) {
+      if (Deadline::ExpiredNow()) {
+        // Budget exhausted: cancel this round (and transitively all later
+        // ones) instead of shipping it. The rows still flow locally — the
+        // result stays a sound subset — but no further cost is charged and
+        // the execution declares what it skipped.
+        if (degrade != nullptr) {
+          degrade->partial = true;
+          degrade->deadline_expired = true;
+          ++degrade->steps_cancelled;
+        }
+        return;
+      }
       double round = 0.0;
       if (!migrating && rows_before > kSmallStepRows) {
         // Scatter: ship the binding table partition-wise, one concurrent
@@ -1017,7 +1237,53 @@ StatusOr<QueryExecution> Cluster::RunQuery(const Query& q,
         // Tiny step: the continuation migrates with its rows in one hop.
         round = rdma ? kRdmaHopNs : kTcpHopNs;
       }
-      SimCost::Add(round);
+      double eff = round;
+      if (!migrating && gray) {
+        // Per-node round times: node n serves its partition in
+        // round * factor(n); the join barrier waits for the worst. Every
+        // per-node time feeds the service histograms the hedge delay and
+        // the straggler detector derive from.
+        double worst = 1.0;
+        double best = std::numeric_limits<double>::infinity();
+        for (NodeId n : fanout) {
+          double f = fabric_->ServiceFactor(n);
+          ObserveServiceSample(n, round * f);
+          worst = std::max(worst, f);
+          best = std::min(best, f);
+        }
+        eff = round * worst;
+        if (config_.hedge.enabled && hedge_delay > 0.0 && eff > hedge_delay &&
+            best < worst) {
+          // The slowest sub-request blew past the hedge delay: issue a
+          // backup to the fastest healthy member. Both responses eventually
+          // arrive; HedgeDedup folds in exactly the first and suppresses
+          // the loser (identical deterministic bindings — a digest mismatch
+          // would be a correctness bug).
+          ++hedges_issued;
+          uint64_t sub = sub_seq++;
+          std::string digest = std::to_string(rows_before) + ":" +
+                               std::to_string(cols_before) + ":" +
+                               std::to_string(rows_after);
+          double backup = hedge_delay + round * best;
+          if (backup < eff) {
+            ++hedges_won;
+            eff = backup;
+          }
+          bool first = dedup.Accept(sub, digest);
+          bool second = dedup.Accept(sub, digest);
+          assert(first && !second);
+          (void)first;
+          (void)second;
+        }
+      } else if (!migrating && straggler_ != nullptr) {
+        for (NodeId n : fanout) {
+          ObserveServiceSample(n, round);
+        }
+      }
+      SimCost::Add(eff);
+      if (degrade != nullptr) {
+        ++degrade->steps_done;
+      }
       FaultInjector* inj = config_.fault_injector;
       if (inj != nullptr && inj->FailMessage(home, home)) {
         // Lost scatter/migration round: the join barrier times out waiting
@@ -1096,6 +1362,17 @@ StatusOr<QueryExecution> Cluster::RunQuery(const Query& q,
   exec.fork_join = fork_join;
   exec.snapshot = snapshot;
   exec.ownership_epoch = shard_map_.epoch();
+  exec.hedges_issued = hedges_issued;
+  exec.hedges_won = hedges_won;
+  if (hedges_issued > 0) {
+    Bump(obs_.hedge_issued, hedges_issued);
+    Bump(obs_.hedge_wins, hedges_won);
+    // Every hedge produces exactly one losing response, cancelled on
+    // arrival; the dedup gate counts the suppression.
+    Bump(obs_.hedge_cancelled, hedges_issued);
+    Bump(obs_.hedge_duplicates_suppressed, dedup.duplicates());
+    assert(dedup.mismatches() == 0);
+  }
   return exec;
 }
 
@@ -1257,12 +1534,15 @@ StatusOr<QueryExecution> Cluster::ExecuteUnion(const Registration& reg,
     if (!ctx.ok()) {
       return ctx.status();
     }
-    auto exec = RunQuery(bq, plan, *ctx, home, fork_join, selective, snapshot);
+    auto exec = RunQuery(bq, plan, *ctx, home, fork_join, selective, snapshot,
+                         &degrade);
     if (!exec.ok()) {
       return exec.status();
     }
     total.cpu_ms += exec->cpu_ms;
     total.net_ms += exec->net_ms;
+    total.hedges_issued += exec->hedges_issued;
+    total.hedges_won += exec->hedges_won;
     total.fork_join = total.fork_join || exec->fork_join;
     if (total.result.columns.empty()) {
       total.result.columns = exec->result.columns;
@@ -1285,20 +1565,26 @@ StatusOr<QueryExecution> Cluster::ExecuteUnion(const Registration& reg,
   return total;
 }
 
-StatusOr<QueryExecution> Cluster::OneShot(std::string_view text, NodeId home) {
+StatusOr<QueryExecution> Cluster::OneShot(std::string_view text, NodeId home,
+                                          double deadline_ms) {
   auto parse_span = TraceSpan(tracer_, "query", "query/parse", home);
   auto q = ParseQuery(text, strings_);
   parse_span.End();
   if (!q.ok()) {
     return q.status();
   }
-  return OneShotParsed(*q, home);
+  return OneShotParsed(*q, home, deadline_ms);
 }
 
-StatusOr<QueryExecution> Cluster::OneShotParsed(const Query& q, NodeId home) {
+StatusOr<QueryExecution> Cluster::OneShotParsed(const Query& q, NodeId home,
+                                                double deadline_ms) {
   if (q.continuous) {
     return Status::InvalidArgument("continuous query submitted as one-shot");
   }
+  // Latency budget (§5.11): active for the rest of this execution — every
+  // fabric verb and fork-join round below charges against it. A no-op scope
+  // when enforcement is off or no budget applies.
+  DeadlineScope budget(EffectiveBudgetMs(deadline_ms));
   for (const WindowSpec& w : q.windows) {
     if (!w.absolute) {
       return Status::InvalidArgument(
@@ -1352,7 +1638,8 @@ StatusOr<QueryExecution> Cluster::OneShotParsed(const Query& q, NodeId home) {
   if (!ctx.ok()) {
     return ctx.status();
   }
-  auto exec = RunQuery(q, plan, *ctx, exec_home, fork_join, selective, snapshot);
+  auto exec = RunQuery(q, plan, *ctx, exec_home, fork_join, selective, snapshot,
+                       &degrade);
   if (exec.ok()) {
     ApplyDegrade(degrade, &exec.value());
     ApplyWindowLoss(reg, 0, &exec.value());
@@ -1481,8 +1768,10 @@ bool Cluster::WindowReady(ContinuousHandle h, StreamTime end_ms) const {
 }
 
 StatusOr<QueryExecution> Cluster::ExecuteContinuousAt(ContinuousHandle h,
-                                                      StreamTime end_ms) {
-  return ExecuteContinuousImpl(h, end_ms, /*allow_delta=*/true, /*count=*/true);
+                                                      StreamTime end_ms,
+                                                      double deadline_ms) {
+  return ExecuteContinuousImpl(h, end_ms, /*allow_delta=*/true, /*count=*/true,
+                               deadline_ms);
 }
 
 StatusOr<QueryExecution> Cluster::ExecuteContinuousColdAt(ContinuousHandle h,
@@ -1494,7 +1783,8 @@ StatusOr<QueryExecution> Cluster::ExecuteContinuousColdAt(ContinuousHandle h,
 StatusOr<QueryExecution> Cluster::ExecuteContinuousImpl(ContinuousHandle h,
                                                         StreamTime end_ms,
                                                         bool allow_delta,
-                                                        bool count) {
+                                                        bool count,
+                                                        double deadline_ms) {
   if (h >= registrations_.size()) {
     return Status::NotFound("unknown continuous query handle");
   }
@@ -1502,6 +1792,8 @@ StatusOr<QueryExecution> Cluster::ExecuteContinuousImpl(ContinuousHandle h,
     return Status::FailedPrecondition(
         "stream windows not ready (Stable_VTS behind window end)");
   }
+  // Continuous triggers carry latency budgets too (§5.11); no-op when none.
+  DeadlineScope budget(EffectiveBudgetMs(deadline_ms));
   Registration& reg = registrations_[h];
   if (!reg.query.unions.empty()) {
     auto exec = ExecuteUnion(reg, end_ms, coordinator_->StableSn());
@@ -1581,7 +1873,7 @@ StatusOr<QueryExecution> Cluster::ExecuteContinuousImpl(ContinuousHandle h,
     return ctx.status();
   }
   auto exec = RunQuery(reg.query, reg.cached_plan, *ctx, home, fork_join,
-                       selective, coordinator_->StableSn());
+                       selective, coordinator_->StableSn(), &degrade);
   if (exec.ok()) {
     exec->window_end_ms = end_ms;
     ApplyDegrade(degrade, &exec.value());
@@ -1730,6 +2022,17 @@ Status Cluster::CrashNode(NodeId node) {
   fabric_->SetNodeServing(node, true);
   backlog_[node].clear();
   crash_marked_.insert(node);
+  // Stale service history dies with the process too: a restored node starts
+  // with a clean straggler record and an empty latency histogram.
+  if (straggler_ != nullptr) {
+    straggler_->Reset(node);
+  }
+  {
+    std::lock_guard lock(service_mu_);
+    if (node < service_hist_.size()) {
+      service_hist_[node].Clear();
+    }
+  }
   // A migration with this node as an endpoint rolls back to the old epoch.
   // Crashing the *target* also resets its stores, so any stranded partial
   // copy (this migration's or a previously tainted one) dies with it.
@@ -2189,6 +2492,24 @@ StatusOr<NodeId> Cluster::AddNode() {
       health_->Reset(n, last_health_ms_);
     }
   }
+  if (straggler_ != nullptr) {
+    // Same fixed-membership rebuild; EWMA history re-accumulates from the
+    // health ticks' probe samples within a few intervals.
+    straggler_ =
+        std::make_unique<StragglerDetector>(config_.nodes, config_.straggler);
+  }
+  {
+    std::lock_guard lock(service_mu_);
+    service_hist_.resize(config_.nodes);
+    service_hist_metrics_.resize(config_.nodes, nullptr);
+    if constexpr (obs::kCompiledIn) {
+      if (obs::MetricsRegistry* m = config_.metrics; m != nullptr) {
+        service_hist_metrics_[id] = m->GetHistogram(
+            obs::MetricsRegistry::Labeled("wukongs_node_service_latency_ns",
+                                          {{"node", std::to_string(id)}}));
+      }
+    }
+  }
   ++reconfig_stats_.nodes_added;
   if (tracer_ != nullptr) {
     tracer_->Instant("reconfig", "reconfig/add_node", id);
@@ -2343,6 +2664,21 @@ void Cluster::UpdateScrapedMetrics() {
   m->GetCounter("wukongs_fabric_message_bytes_total")->Set(fs.message_bytes);
   m->GetCounter("wukongs_fabric_failed_reads_total")->Set(fs.failed_reads);
   m->GetCounter("wukongs_fabric_failed_messages_total")->Set(fs.failed_messages);
+  m->GetCounter("wukongs_fabric_deadline_cancelled_total")
+      ->Set(fs.deadline_cancelled);
+  if (straggler_ != nullptr) {
+    m->GetGauge("wukongs_straggler_slow_nodes")
+        ->Set(static_cast<double>(straggler_->slow_count()));
+    for (NodeId n = 0; n < config_.nodes; ++n) {
+      m->GetGauge(obs::MetricsRegistry::Labeled(
+                      "wukongs_straggler_ewma_ns",
+                      {{"node", std::to_string(n)}}))
+          ->Set(straggler_->ewma_ns(n));
+    }
+  }
+  if (config_.hedge.enabled) {
+    m->GetGauge("wukongs_hedge_delay_ns")->Set(HedgeDelayNs());
+  }
   m->GetGauge("wukongs_nodes_up")->Set(static_cast<double>(UpNodeCount()));
   m->GetGauge("wukongs_nodes_serving")
       ->Set(static_cast<double>(ServingNodeCount()));

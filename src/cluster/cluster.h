@@ -27,7 +27,9 @@
 #include <utility>
 #include <vector>
 
+#include "src/cluster/hedge.h"
 #include "src/cluster/sources.h"
+#include "src/common/histogram.h"
 #include "src/common/retry.h"
 #include "src/common/status.h"
 #include "src/engine/delta_cache.h"
@@ -38,6 +40,7 @@
 #include "src/overload/load_shedder.h"
 #include "src/overload/overload_config.h"
 #include "src/overload/phi_accrual.h"
+#include "src/overload/straggler_detector.h"
 #include "src/rdf/string_server.h"
 #include "src/rdf/triple.h"
 #include "src/rdma/fabric.h"
@@ -56,6 +59,15 @@ class UpstreamBuffer;
 namespace testkit {
 class ScheduleController;
 }  // namespace testkit
+
+// End-to-end latency budgets (DESIGN.md §5.11). Off by default — a
+// default-constructed config enforces nothing, byte-identical to the seed.
+struct DeadlineConfig {
+  bool enforce = false;  // Master switch for budget enforcement.
+  // Budget granted when the caller passes none (0 = such queries run
+  // unbounded; only explicitly budgeted queries are enforced).
+  double default_budget_ms = 0.0;
+};
 
 struct ClusterConfig {
   uint32_t nodes = 1;
@@ -108,6 +120,12 @@ struct ClusterConfig {
   // a default-constructed config behaves exactly like the seed.
   OverloadConfig overload;
 
+  // Tail robustness (§5.11): latency budgets, hedged fork-join sub-queries
+  // and gray-failure (straggler) demotion. All defaults off.
+  DeadlineConfig deadline;
+  HedgeConfig hedge;
+  StragglerConfig straggler;
+
   // Schedule fuzzing (non-owning; must outlive the cluster). When set,
   // AdvanceStreams lets it permute cross-stream batch delivery order; the
   // MaintenanceDaemon and WorkerPool accept the same controller for timing
@@ -157,6 +175,20 @@ struct QueryExecution {
   // mid-flight.
   uint64_t ownership_epoch = 0;
 
+  // Tail-robustness surface (§5.11). `deadline_expired` means the latency
+  // budget ran out mid-execution and remaining remote work was cancelled;
+  // the result is then a sound subset of the full answer. `completeness` is
+  // the declared lower-bound fraction of the full answer the result covers:
+  // 1.0 on a healthy run, (served / attempted work) x (1 - shed_fraction)
+  // when budget or loss degraded it.
+  bool deadline_expired = false;
+  uint64_t deadline_skipped_reads = 0;
+  double completeness = 1.0;
+  // Hedged fork-join sub-requests this execution issued / that beat their
+  // primary (the loser of each pair is cancelled and deduplicated).
+  uint64_t hedges_issued = 0;
+  uint64_t hedges_won = 0;
+
   double latency_ms() const { return cpu_ms + net_ms; }
 };
 
@@ -204,8 +236,15 @@ class Cluster {
   void AdvanceStreams(StreamTime now_ms);
 
   // --- One-shot queries (read-only snapshot transactions, §4.3). ---
-  StatusOr<QueryExecution> OneShot(std::string_view text, NodeId home = 0);
-  StatusOr<QueryExecution> OneShotParsed(const Query& q, NodeId home = 0);
+  // `deadline_ms` grants the execution a latency budget in modeled
+  // milliseconds (0 = config_.deadline.default_budget_ms, which defaults to
+  // unbounded). Enforcement requires config_.deadline.enforce; an exhausted
+  // budget cancels remaining remote work and returns a partial result with
+  // a declared completeness fraction.
+  StatusOr<QueryExecution> OneShot(std::string_view text, NodeId home = 0,
+                                   double deadline_ms = 0.0);
+  StatusOr<QueryExecution> OneShotParsed(const Query& q, NodeId home = 0,
+                                         double deadline_ms = 0.0);
 
   // --- Continuous queries. ---
   StatusOr<ContinuousHandle> RegisterContinuous(std::string_view text,
@@ -218,8 +257,10 @@ class Cluster {
   bool WindowReady(ContinuousHandle h, StreamTime end_ms) const;
   // Executes the registered query with windows ending at `end_ms`. Fails
   // with FailedPrecondition if the trigger condition does not hold.
+  // `deadline_ms` as in OneShot (continuous triggers carry budgets too).
   StatusOr<QueryExecution> ExecuteContinuousAt(ContinuousHandle h,
-                                               StreamTime end_ms);
+                                               StreamTime end_ms,
+                                               double deadline_ms = 0.0);
   // Cold re-execution: same query, same cached plan, delta cache bypassed
   // (neither read nor written) and the continuous-query counter untouched.
   // The differential harness uses it as the delta parity baseline.
@@ -388,6 +429,15 @@ class Cluster {
   };
   ShedInfo ShedInfoFor(StreamId stream, BatchSeq seq) const;
   const FailureDetector* failure_detector() const { return health_.get(); }
+  // Gray-failure detector (§5.11); set iff config_.straggler.enabled.
+  const StragglerDetector* straggler_detector() const { return straggler_.get(); }
+  // Is the node currently demoted from fork-join fan-out as a straggler?
+  bool StragglerSlow(NodeId n) const {
+    return straggler_ != nullptr && straggler_->slow(n);
+  }
+  // Current hedge trigger delay (modeled ns), derived from the per-node
+  // service histograms; 0 while the histograms are still warming up.
+  double HedgeDelayNs() const;
   // Batches held at the adaptor door by credit/plan backpressure.
   size_t PendingBatches(StreamId stream) const;
   bool NodeServing(NodeId n) const;
@@ -492,10 +542,20 @@ class Cluster {
   // Plans and executes each UNION branch, concatenates, applies modifiers.
   StatusOr<QueryExecution> ExecuteUnion(const Registration& reg, StreamTime end_ms,
                                         SnapshotNum snapshot);
+  // `degrade` (optional) collects deadline/hedge accounting from the
+  // fork-join rounds in addition to the sources' read accounting.
   StatusOr<QueryExecution> RunQuery(const Query& q, const std::vector<int>& plan,
                                     const ExecContext& ctx, NodeId home,
                                     bool fork_join, bool selective,
-                                    SnapshotNum snapshot);
+                                    SnapshotNum snapshot,
+                                    DegradeState* degrade = nullptr);
+  // Records one per-node service-latency sample (modeled ns) into the HDR
+  // histogram + straggler EWMA; no-op unless hedging or straggler detection
+  // is enabled.
+  void ObserveServiceSample(NodeId n, double service_ns);
+  // Fork-join fan-out under straggler demotion: serving nodes not currently
+  // kSlow (falls back to all serving nodes when demotion would empty it).
+  std::vector<NodeId> ForkJoinFanout() const;
   // --- Delta cache (§5.9). ---
   // Index into q.windows of the single sliding-window pattern, or -1 when
   // the query is ineligible for delta caching.
@@ -510,7 +570,12 @@ class Cluster {
   // Shared body of ExecuteContinuousAt / ExecuteContinuousColdAt.
   StatusOr<QueryExecution> ExecuteContinuousImpl(ContinuousHandle h,
                                                  StreamTime end_ms,
-                                                 bool allow_delta, bool count);
+                                                 bool allow_delta, bool count,
+                                                 double deadline_ms = 0.0);
+  // Effective budget for an execution: the caller's deadline_ms, falling
+  // back to config_.deadline.default_budget_ms; 0 (no budget) unless
+  // config_.deadline.enforce.
+  double EffectiveBudgetMs(double deadline_ms) const;
   // Delta pipeline for one trigger. Sets *used=false (without error) when
   // the trigger cannot run as a delta (empty window, executor fallback) —
   // the caller then takes the cold path.
@@ -613,6 +678,14 @@ class Cluster {
   // --- Overload protection. ---
   LoadShedder shedder_;
   std::unique_ptr<FailureDetector> health_;  // Set iff failure_detector on.
+  // --- Tail robustness (§5.11). ---
+  std::unique_ptr<StragglerDetector> straggler_;  // Set iff straggler.enabled.
+  // Per-node HDR histograms of modeled service latency; the hedge delay is
+  // derived from them (median of per-node p95s, times hedge.margin_mult).
+  // Guarded by service_mu_ (query threads write, health ticks read).
+  mutable std::mutex service_mu_;
+  std::vector<BucketHistogram> service_hist_;
+  std::vector<obs::HistogramMetric*> service_hist_metrics_;  // Parallel.
   std::vector<std::deque<DeferredInjection>> backlog_;  // Per node.
   std::function<void(StreamId, NodeId)> pressure_listener_;
   StreamTime last_health_ms_ = 0;
@@ -663,6 +736,15 @@ class Cluster {
     obs::Counter* reconfig_dual_applied_edges = nullptr;
     obs::Counter* reconfig_rehomed_registrations = nullptr;
     obs::Counter* reconfig_stale_edges_purged = nullptr;
+    obs::Counter* hedge_issued = nullptr;
+    obs::Counter* hedge_wins = nullptr;
+    obs::Counter* hedge_cancelled = nullptr;
+    obs::Counter* hedge_duplicates_suppressed = nullptr;
+    obs::Counter* deadline_expired = nullptr;
+    obs::Counter* deadline_skipped_reads = nullptr;
+    obs::Counter* deadline_cancelled_steps = nullptr;
+    obs::Counter* straggler_demotions = nullptr;
+    obs::Counter* straggler_promotions = nullptr;
   };
   ObsCounters obs_;
   obs::Tracer* tracer_ = nullptr;  // config_.tracer, null when disabled.

@@ -1,0 +1,65 @@
+// Hedged sub-request bookkeeping (DESIGN.md §5.11).
+//
+// When a fork-join sub-query exceeds the hedge delay, a backup copy is
+// issued to a healthy peer; both the primary and the backup may ultimately
+// deliver a response for the same logical sub-request. Correctness demands
+// exactly-once merging: the join must fold in exactly one response per
+// sub-request, whichever arrived first, and discard the loser even when it
+// arrives later with identical bindings. HedgeDedup is that gate — the
+// WindowDedup idea (recovery_manager.h) applied per sub-request instead of
+// per (query, window): first response wins, duplicates are suppressed and
+// counted, and a duplicate whose payload digest disagrees with the winner's
+// is flagged as a mismatch (it would mean the two paths computed different
+// bindings for the same deterministic sub-query — a correctness bug the
+// differential audit must see, never silently merge).
+
+#ifndef SRC_CLUSTER_HEDGE_H_
+#define SRC_CLUSTER_HEDGE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+namespace wukongs {
+
+struct HedgeConfig {
+  bool enabled = false;       // Off by default: zero behavior change.
+  double margin_mult = 1.5;   // Hedge delay = margin_mult * p95(node rounds).
+  double min_delay_ns = 2000.0;  // Floor: never hedge faster than ~1 RTT.
+  size_t min_samples = 8;     // Histogram warm-up before hedging arms.
+};
+
+class HedgeDedup {
+ public:
+  // Registers a response for `sub_id` with payload `digest`. Returns true
+  // when this is the first response (the caller merges it), false when a
+  // response already won (the caller drops this one).
+  bool Accept(uint64_t sub_id, const std::string& digest) {
+    auto [it, inserted] = seen_.try_emplace(sub_id, digest);
+    if (inserted) {
+      ++accepted_;
+      return true;
+    }
+    ++duplicates_;
+    if (it->second != digest) {
+      ++mismatches_;
+    }
+    return false;
+  }
+
+  uint64_t accepted() const { return accepted_; }
+  uint64_t duplicates() const { return duplicates_; }
+  // Duplicates whose payload differed from the winner's: must stay 0, the
+  // hedged path replays a deterministic sub-query.
+  uint64_t mismatches() const { return mismatches_; }
+
+ private:
+  std::unordered_map<uint64_t, std::string> seen_;
+  uint64_t accepted_ = 0;
+  uint64_t duplicates_ = 0;
+  uint64_t mismatches_ = 0;
+};
+
+}  // namespace wukongs
+
+#endif  // SRC_CLUSTER_HEDGE_H_

@@ -15,6 +15,9 @@ bool ChargeReadWithRetry(Fabric* fabric, NodeId home, NodeId n, size_t bytes,
                          const RetryPolicy* retry, DegradeState* degrade) {
   if (retry == nullptr) {
     fabric->OneSidedRead(home, n, bytes);
+    if (degrade != nullptr) {
+      ++degrade->reads_ok;
+    }
     return true;
   }
   Status s = RunWithRetry(
@@ -23,8 +26,17 @@ bool ChargeReadWithRetry(Fabric* fabric, NodeId home, NodeId n, size_t bytes,
   if (!s.ok()) {
     if (degrade != nullptr) {
       degrade->partial = true;
+      if (s.code() == StatusCode::kDeadlineExceeded) {
+        // Budget exhausted: the read was cancelled before issue, and every
+        // later read in this execution will be too (SimCost only grows).
+        degrade->deadline_expired = true;
+        ++degrade->deadline_skipped_reads;
+      }
     }
     return false;
+  }
+  if (degrade != nullptr) {
+    ++degrade->reads_ok;
   }
   return true;
 }

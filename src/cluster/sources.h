@@ -46,6 +46,16 @@ struct DegradeState {
   bool partial = false;         // Some shard's data could not be served.
   uint64_t skipped_shards = 0;  // Reads skipped because the owner was down.
   RetryStats retry;             // Fabric read retries during this execution.
+
+  // Deadline accounting (DESIGN.md §5.11). Remote work cancelled because
+  // the latency budget ran out is tracked separately from fault-degraded
+  // work: both make the result partial, but only deadline cancellation
+  // feeds the declared completeness fraction's read/step terms.
+  bool deadline_expired = false;        // Budget ran out mid-execution.
+  uint64_t reads_ok = 0;                // Charged in-place reads served.
+  uint64_t deadline_skipped_reads = 0;  // Reads cancelled: budget exhausted.
+  uint64_t steps_done = 0;              // Fork-join rounds executed.
+  uint64_t steps_cancelled = 0;         // Rounds cancelled: budget exhausted.
 };
 
 // Hash partitioning of vertices over nodes. Index keys ([0|pid|dir]) are

@@ -12,6 +12,13 @@ WorkerPool::WorkerPool(Cluster* cluster, uint32_t threads,
       obs_submitted_ = m->GetCounter("wukongs_pool_tasks_submitted_total");
       obs_executed_ = m->GetCounter("wukongs_pool_tasks_executed_total");
       obs_rejected_ = m->GetCounter("wukongs_query_rejections_total");
+      obs_rejected_concurrency_ =
+          m->GetCounter(obs::MetricsRegistry::Labeled(
+              "wukongs_query_rejections_by_reason_total",
+              {{"reason", "concurrency"}}));
+      obs_rejected_deadline_ = m->GetCounter(obs::MetricsRegistry::Labeled(
+          "wukongs_query_rejections_by_reason_total",
+          {{"reason", "deadline"}}));
     }
   }
   workers_.reserve(std::max(threads, 1u));
@@ -32,10 +39,12 @@ WorkerPool::~WorkerPool() {
 }
 
 std::future<StatusOr<QueryExecution>> WorkerPool::SubmitContinuous(
-    Cluster::ContinuousHandle handle, StreamTime end_ms) {
+    Cluster::ContinuousHandle handle, StreamTime end_ms, double deadline_ms) {
   Bump(obs_submitted_);
   std::packaged_task<StatusOr<QueryExecution>()> task(
-      [this, handle, end_ms] { return cluster_->ExecuteContinuousAt(handle, end_ms); });
+      [this, handle, end_ms, deadline_ms] {
+        return cluster_->ExecuteContinuousAt(handle, end_ms, deadline_ms);
+      });
   auto future = task.get_future();
   {
     std::lock_guard lock(mu_);
@@ -53,11 +62,16 @@ std::future<StatusOr<QueryExecution>> WorkerPool::SubmitOneShot(Query query,
                                                                 NodeId home,
                                                                 double deadline_ms) {
   if (admission_ != nullptr) {
-    Status verdict = admission_->Admit(deadline_ms);
+    AdmissionRejection rejection;
+    Status verdict = admission_->Admit(deadline_ms, &rejection);
     if (!verdict.ok()) {
       Bump(obs_rejected_);
+      Bump(rejection.reason == AdmissionRejection::Reason::kDeadline
+               ? obs_rejected_deadline_
+               : obs_rejected_concurrency_);
       // Fast rejection: the future is ready before the caller even waits —
-      // no worker slot, no queue residency.
+      // no worker slot, no queue residency. The status carries a
+      // retry_after_ms hint derived from the controller's wait estimate.
       std::promise<StatusOr<QueryExecution>> rejected;
       rejected.set_value(StatusOr<QueryExecution>(std::move(verdict)));
       return rejected.get_future();
@@ -65,8 +79,8 @@ std::future<StatusOr<QueryExecution>> WorkerPool::SubmitOneShot(Query query,
   }
   Bump(obs_submitted_);
   std::packaged_task<StatusOr<QueryExecution>()> task(
-      [this, q = std::move(query), home] {
-        auto exec = cluster_->OneShotParsed(q, home);
+      [this, q = std::move(query), home, deadline_ms] {
+        auto exec = cluster_->OneShotParsed(q, home, deadline_ms);
         if (admission_ != nullptr) {
           admission_->Complete(exec.ok() ? exec->latency_ms() : 0.0);
         }

@@ -43,12 +43,17 @@ class WorkerPool {
   void SetAdmissionController(AdmissionController* admission);
 
   // Enqueues the execution of a registered continuous query for the window
-  // ending at `end_ms`.
+  // ending at `end_ms`. `deadline_ms` (0 = none) is the trigger's latency
+  // budget, activated on the worker thread that executes the task (the
+  // budget prices modeled work, not queue residency).
   std::future<StatusOr<QueryExecution>> SubmitContinuous(
-      Cluster::ContinuousHandle handle, StreamTime end_ms);
+      Cluster::ContinuousHandle handle, StreamTime end_ms,
+      double deadline_ms = 0.0);
 
   // Enqueues a one-shot query. `deadline_ms` (0 = none) is the caller's
-  // latency budget, checked by the admission controller at the door.
+  // latency budget: checked by the admission controller at the door
+  // (rejections carry a retry-after hint) and carried into the execution,
+  // where an exhausted budget cancels remaining remote work.
   std::future<StatusOr<QueryExecution>> SubmitOneShot(Query query, NodeId home = 0,
                                                       double deadline_ms = 0.0);
 
@@ -76,6 +81,10 @@ class WorkerPool {
   obs::Counter* obs_submitted_ = nullptr;
   obs::Counter* obs_executed_ = nullptr;
   obs::Counter* obs_rejected_ = nullptr;
+  // Rejection split by admission reason (concurrency cap vs unmeetable
+  // deadline); obs_rejected_ stays the unlabeled total.
+  obs::Counter* obs_rejected_concurrency_ = nullptr;
+  obs::Counter* obs_rejected_deadline_ = nullptr;
   std::vector<std::thread> workers_;
 };
 

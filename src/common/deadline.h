@@ -1,0 +1,92 @@
+// End-to-end latency budgets over the simulated clock (DESIGN.md §5.11).
+//
+// A Deadline is a budget of modeled nanoseconds granted to one query
+// execution. It is measured against the thread-local SimCost accumulator —
+// the same deterministic clock that prices every fabric hop, retry backoff
+// and fork-join round — so budget enforcement is reproducible bit-for-bit
+// across runs and auditable by the differential harness. Each hop that
+// deposits cost into SimCost implicitly charges the active deadline; fabric
+// verbs and remote reads consult Deadline::ExpiredNow() before issuing work
+// and short-circuit with kDeadlineExceeded once the budget is gone.
+// kDeadlineExceeded is deliberately non-retryable: RunWithRetry only retries
+// kUnavailable, so an expired budget aborts a retry loop immediately instead
+// of burning backoff it can no longer afford.
+
+#ifndef SRC_COMMON_DEADLINE_H_
+#define SRC_COMMON_DEADLINE_H_
+
+#include "src/common/latency_model.h"
+
+namespace wukongs {
+
+// Thread-local active deadline. At most one is active per thread at a time
+// (query executions do not nest); DeadlineScope enforces stacking discipline
+// by saving and restoring the previous state, so an inner scope (e.g. a
+// nested union branch) shares the outer budget rather than resetting it.
+class Deadline {
+ public:
+  // True when a budget is active on this thread.
+  static bool Active() { return tls_.active; }
+
+  // Modeled nanoseconds left; 0 when exhausted or no deadline is active
+  // (callers must check Active() to distinguish).
+  static double RemainingNs() {
+    if (!tls_.active) {
+      return 0.0;
+    }
+    double spent = SimCost::TotalNs() - tls_.start_ns;
+    double left = tls_.budget_ns - spent;
+    return left > 0.0 ? left : 0.0;
+  }
+
+  // True when a deadline is active and its budget is exhausted.
+  static bool ExpiredNow() {
+    return tls_.active && SimCost::TotalNs() - tls_.start_ns >= tls_.budget_ns;
+  }
+
+ private:
+  friend class DeadlineScope;
+  struct State {
+    bool active = false;
+    double start_ns = 0.0;   // SimCost::TotalNs() when the scope opened.
+    double budget_ns = 0.0;  // Modeled ns granted to the execution.
+  };
+  static thread_local State tls_;
+};
+
+inline thread_local Deadline::State Deadline::tls_;
+
+// RAII activation. `budget_ms <= 0` opens a no-op scope (no deadline), so
+// call sites can pass a caller-supplied budget through unconditionally.
+// If a deadline is already active (outer scope), the inner scope keeps the
+// *tighter* of the two budgets — a sub-operation can never out-live the
+// budget of the query that issued it.
+class DeadlineScope {
+ public:
+  explicit DeadlineScope(double budget_ms) : saved_(Deadline::tls_) {
+    if (budget_ms > 0.0) {
+      double budget_ns = budget_ms * 1e6;
+      double now = SimCost::TotalNs();
+      if (saved_.active) {
+        double outer_left = saved_.budget_ns - (now - saved_.start_ns);
+        if (outer_left < budget_ns) {
+          budget_ns = outer_left > 0.0 ? outer_left : 0.0;
+        }
+      }
+      Deadline::tls_.active = true;
+      Deadline::tls_.start_ns = now;
+      Deadline::tls_.budget_ns = budget_ns;
+    }
+  }
+  ~DeadlineScope() { Deadline::tls_ = saved_; }
+
+  DeadlineScope(const DeadlineScope&) = delete;
+  DeadlineScope& operator=(const DeadlineScope&) = delete;
+
+ private:
+  Deadline::State saved_;
+};
+
+}  // namespace wukongs
+
+#endif  // SRC_COMMON_DEADLINE_H_

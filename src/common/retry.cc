@@ -6,12 +6,38 @@
 
 namespace wukongs {
 
+namespace {
+
+// splitmix64 finalizer: decorrelates consecutive attempt numbers into an
+// independent-looking uniform draw without carrying RNG state in the policy.
+uint64_t MixBits(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
 double RetryPolicy::BackoffNs(int attempt) const {
   if (attempt < 1) {
     attempt = 1;
   }
+  // Cap the exponential term *before* jittering: at high attempt counts
+  // pow() runs away (eventually to inf), and jitter applied to an uncapped
+  // base would be unbounded too. After the cap, jitter can only shrink.
   double wait = initial_backoff_ns *
                 std::pow(backoff_multiplier, static_cast<double>(attempt - 1));
+  if (!(wait < max_backoff_ns)) {  // Also catches NaN/inf from pow overflow.
+    wait = max_backoff_ns;
+  }
+  double jf = std::clamp(jitter_fraction, 0.0, 1.0);
+  if (jf > 0.0) {
+    uint64_t bits = MixBits(jitter_seed ^ (static_cast<uint64_t>(attempt) *
+                                           0xD6E8FEB86659FD93ull));
+    double u = static_cast<double>(bits >> 11) * 0x1.0p-53;  // [0, 1)
+    wait *= 1.0 - jf * u;  // Shrink-only: stays within [.., cap].
+  }
   return std::min(wait, max_backoff_ns);
 }
 
@@ -19,7 +45,11 @@ std::string RetryPolicy::DebugString() const {
   std::ostringstream os;
   os << "RetryPolicy{attempts=" << max_attempts
      << ", backoff=" << initial_backoff_ns << "ns x" << backoff_multiplier
-     << " cap " << max_backoff_ns << "ns}";
+     << " cap " << max_backoff_ns << "ns";
+  if (jitter_fraction > 0.0) {
+    os << ", jitter " << jitter_fraction;
+  }
+  os << "}";
   return os.str();
 }
 

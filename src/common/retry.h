@@ -26,7 +26,19 @@ struct RetryPolicy {
   double backoff_multiplier = 2.0;
   double max_backoff_ns = 1.0e6;  // 1 ms cap keeps tails bounded.
 
+  // Fraction of the (capped) exponential term that jitter may shave off,
+  // in [0, 1]. 0 = no jitter (byte-identical to the historical policy).
+  // Jitter only ever *shrinks* the wait, so the max_backoff_ns ceiling
+  // holds at every attempt count — jitter can never push a backoff above
+  // the cap, no matter how large `attempt` grows.
+  double jitter_fraction = 0.0;
+  // Salt for the deterministic per-attempt jitter draw; two policies with
+  // different salts decorrelate without any shared RNG state.
+  uint64_t jitter_seed = 0;
+
   // Backoff charged after the `attempt`-th failure (attempt is 1-based).
+  // Always in [(1 - jitter_fraction) * cap, cap] once the exponential term
+  // saturates, and always <= max_backoff_ns.
   double BackoffNs(int attempt) const;
 
   std::string DebugString() const;

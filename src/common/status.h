@@ -25,6 +25,8 @@ enum class StatusCode {
   kInternal,
   kUnavailable,   // Transient fault (lost message, failed read); retryable.
   kDataLoss,      // Unrecoverable corruption (e.g. checksum mismatch).
+  kDeadlineExceeded,  // Latency budget exhausted; not retryable (the budget
+                      // is gone, backing off cannot bring it back).
 };
 
 const char* StatusCodeName(StatusCode code);
@@ -62,6 +64,9 @@ class Status {
   }
   static Status DataLoss(std::string msg) {
     return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -11,6 +11,7 @@ namespace {
 constexpr uint64_t kReadSalt = 0x9E3779B97F4A7C15ull;
 constexpr uint64_t kMessageSalt = 0xC2B2AE3D27D4EB4Full;
 constexpr uint64_t kBatchSalt = 0x165667B19E3779F9ull;
+constexpr uint64_t kJitterSalt = 0x27D4EB2F165667C5ull;
 
 }  // namespace
 
@@ -19,6 +20,7 @@ FaultInjector::FaultInjector(const FaultSchedule& schedule)
       read_rng_(schedule.seed ^ kReadSalt),
       message_rng_(schedule.seed ^ kMessageSalt),
       batch_rng_(schedule.seed ^ kBatchSalt),
+      jitter_rng_(schedule.seed ^ kJitterSalt),
       crash_fired_(schedule.crashes.size(), false) {}
 
 bool FaultInjector::FailRead(NodeId from, NodeId to) {
@@ -47,6 +49,20 @@ bool FaultInjector::FailMessage(NodeId from, NodeId to) {
     return true;
   }
   return false;
+}
+
+double FaultInjector::MessageJitterNs(NodeId from, NodeId to) {
+  (void)from;
+  (void)to;
+  if (schedule_.message_jitter_rate <= 0.0 || schedule_.message_jitter_ns <= 0.0) {
+    return 0.0;  // No draw: jitter off leaves every other stream untouched.
+  }
+  std::lock_guard lock(mu_);
+  if (!jitter_rng_.Bernoulli(schedule_.message_jitter_rate)) {
+    return 0.0;
+  }
+  ++stats_.jittered_messages;
+  return jitter_rng_.UniformReal(0.0, schedule_.message_jitter_ns);
 }
 
 BatchFate FaultInjector::FateOf(StreamId stream, BatchSeq seq) {
@@ -100,6 +116,18 @@ bool FaultInjector::NodeSlowAt(NodeId node, StreamTime at_ms) const {
   return false;
 }
 
+double FaultInjector::ServiceFactorAt(NodeId node, StreamTime at_ms) const {
+  // schedule_ is immutable after construction: no lock, no RNG draw.
+  double factor = 1.0;
+  for (const GrayFailureEvent& e : schedule_.gray_failures) {
+    if (e.node == node && at_ms >= e.from_ms && at_ms < e.until_ms &&
+        e.slow_factor > factor) {
+      factor = e.slow_factor;
+    }
+  }
+  return factor;
+}
+
 double FaultInjector::CatchUpDelayNs(NodeId node) const {
   double delay = 0.0;
   for (const SlowNodeEvent& e : schedule_.slow_nodes) {
@@ -145,9 +173,12 @@ std::string FaultInjector::DebugString() const {
      << ", delay=" << schedule_.batch_delay_rate
      << ", crashes=" << schedule_.crashes.size()
      << ", slow_windows=" << schedule_.slow_nodes.size()
+     << ", gray_windows=" << schedule_.gray_failures.size()
+     << ", jitter=" << schedule_.message_jitter_rate
      << "; fired: reads=" << s.failed_reads << " msgs=" << s.failed_messages
      << " drops=" << s.dropped_batches << " dups=" << s.duplicated_batches
-     << " delays=" << s.delayed_batches << " crashes=" << s.crashes_fired << "}";
+     << " delays=" << s.delayed_batches << " crashes=" << s.crashes_fired
+     << " jittered=" << s.jittered_messages << "}";
   return os.str();
 }
 

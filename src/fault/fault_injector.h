@@ -19,6 +19,7 @@
 #ifndef SRC_FAULT_FAULT_INJECTOR_H_
 #define SRC_FAULT_FAULT_INJECTOR_H_
 
+#include <atomic>
 #include <cstdint>
 #include <mutex>
 #include <optional>
@@ -55,6 +56,19 @@ struct SlowNodeEvent {
   double catch_up_delay_ns = 10000.0;
 };
 
+// A gray-failure window: between [from_ms, until_ms) of stream time, `node`
+// serves every fabric operation `slow_factor` times slower than the model —
+// but keeps answering heartbeats, so the phi-accrual detector never fires.
+// This is the complement of SlowNodeEvent (which *stops* heartbeats and is
+// caught as a liveness failure): the node is alive, reachable, and wrong
+// only in its tail. Only the straggler detector can catch it.
+struct GrayFailureEvent {
+  NodeId node = 0;
+  StreamTime from_ms = 0;
+  StreamTime until_ms = 0;
+  double slow_factor = 10.0;  // Multiplier on modeled service time.
+};
+
 struct FaultSchedule {
   uint64_t seed = 1;
 
@@ -74,6 +88,16 @@ struct FaultSchedule {
 
   // Slow-node (overload) windows; may overlap and repeat per node.
   std::vector<SlowNodeEvent> slow_nodes;
+
+  // Gray-failure (sustained straggler) windows; may overlap and repeat.
+  std::vector<GrayFailureEvent> gray_failures;
+
+  // Per-message jitter: each two-sided message independently pays an extra
+  // uniform [0, message_jitter_ns) with probability message_jitter_rate.
+  // Drawn from its own salted RNG stream, so enabling jitter perturbs no
+  // other category's decision sequence.
+  double message_jitter_rate = 0.0;
+  double message_jitter_ns = 50000.0;
 };
 
 enum class BatchFate {
@@ -90,6 +114,7 @@ struct FaultInjectorStats {
   uint64_t duplicated_batches = 0;
   uint64_t delayed_batches = 0;
   uint64_t crashes_fired = 0;
+  uint64_t jittered_messages = 0;
 };
 
 class FaultInjector {
@@ -102,6 +127,10 @@ class FaultInjector {
   // advances the category's RNG stream.
   bool FailRead(NodeId from, NodeId to);
   bool FailMessage(NodeId from, NodeId to);
+
+  // Extra modeled delay this message pays (0 when jitter is off or the draw
+  // misses). Own salted RNG stream; rate <= 0 draws nothing.
+  double MessageJitterNs(NodeId from, NodeId to);
 
   // Stream layer: the fate of batch `seq` of `stream`'s next delivery.
   BatchFate FateOf(StreamId stream, BatchSeq seq);
@@ -117,6 +146,23 @@ class FaultInjector {
   // Per-batch drain cost once the node recovers (max over the node's
   // windows; 0 when none are scheduled).
   double CatchUpDelayNs(NodeId node) const;
+
+  // Gray-failure layer: service-time multiplier for `node` at stream time
+  // `at_ms` (1.0 when healthy; max over overlapping windows otherwise).
+  // Pure schedule lookup — no lock, no RNG draw.
+  double ServiceFactorAt(NodeId node, StreamTime at_ms) const;
+  // As above at the injector's current notion of stream time. The Fabric
+  // charges per-operation costs but does not know stream time, so the
+  // Cluster publishes it here as the streams advance.
+  double ServiceFactorNow(NodeId node) const {
+    return ServiceFactorAt(node, now_ms_.load(std::memory_order_relaxed));
+  }
+  // True when any gray window is scheduled (cheap gate for hot paths).
+  bool HasGrayFailures() const { return !schedule_.gray_failures.empty(); }
+  void AdvanceNow(StreamTime now_ms) {
+    now_ms_.store(now_ms, std::memory_order_relaxed);
+  }
+  StreamTime now_ms() const { return now_ms_.load(std::memory_order_relaxed); }
 
   // Torn write: truncates `bytes` off the end of the file at `path`,
   // modeling a crash that interrupted an append. Tearing more bytes than the
@@ -137,8 +183,13 @@ class FaultInjector {
   Rng read_rng_;
   Rng message_rng_;
   Rng batch_rng_;
+  Rng jitter_rng_;
   std::vector<bool> crash_fired_;
   FaultInjectorStats stats_;
+
+  // Stream time as last published by the cluster; read by ServiceFactorNow
+  // on fabric hot paths without taking mu_.
+  std::atomic<StreamTime> now_ms_{0};
 };
 
 }  // namespace wukongs

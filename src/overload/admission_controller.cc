@@ -1,6 +1,7 @@
 #include "src/overload/admission_controller.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <string>
 
 namespace wukongs {
@@ -14,25 +15,52 @@ double AdmissionController::EstimatedWaitMsLocked() const {
   return queued * ewma_service_ms_;
 }
 
-Status AdmissionController::Admit(double deadline_ms) {
+Status AdmissionController::Admit(double deadline_ms,
+                                  AdmissionRejection* rejection) {
   std::lock_guard lock(mu_);
   if (config_.max_concurrent != 0 && in_flight_ >= config_.max_concurrent) {
     ++stats_.rejected_capacity;
+    // Retry once one queue "slot" of work has drained.
+    double hint = std::max(ewma_service_ms_, 0.0);
+    if (rejection != nullptr) {
+      rejection->reason = AdmissionRejection::Reason::kConcurrency;
+      rejection->retry_after_ms = hint;
+    }
     return Status::ResourceExhausted(
-        "admission limit reached (" + std::to_string(in_flight_) + " in flight)");
+        "admission limit reached (" + std::to_string(in_flight_) +
+        " in flight); retry_after_ms=" + std::to_string(hint));
   }
   if (deadline_ms > 0.0) {
-    double predicted = EstimatedWaitMsLocked() + ewma_service_ms_;
+    double wait = EstimatedWaitMsLocked();
+    double predicted = wait + ewma_service_ms_;
     if (predicted > deadline_ms) {
       ++stats_.rejected_deadline;
+      // Retry once the backlog ahead of the arrival has drained enough for
+      // the prediction to fit the same budget again.
+      double hint = std::max(predicted - deadline_ms, 0.0);
+      if (rejection != nullptr) {
+        rejection->reason = AdmissionRejection::Reason::kDeadline;
+        rejection->retry_after_ms = hint;
+      }
       return Status::ResourceExhausted(
           "deadline unmeetable: predicted " + std::to_string(predicted) +
-          " ms > budget " + std::to_string(deadline_ms) + " ms");
+          " ms > budget " + std::to_string(deadline_ms) +
+          " ms; retry_after_ms=" + std::to_string(hint));
     }
   }
   ++in_flight_;
   ++stats_.admitted;
   return Status::Ok();
+}
+
+double AdmissionController::ParseRetryAfterMs(const Status& status) {
+  static constexpr char kKey[] = "retry_after_ms=";
+  const std::string& msg = status.message();
+  size_t pos = msg.find(kKey);
+  if (pos == std::string::npos) {
+    return 0.0;
+  }
+  return std::atof(msg.c_str() + pos + sizeof(kKey) - 1);
 }
 
 void AdmissionController::Complete(double service_ms) {

@@ -25,14 +25,31 @@ struct AdmissionConfig {
   double initial_service_ms = 0.5;  // Estimate before the first completion.
 };
 
+// Why a rejection happened, plus how long the rejected caller should wait
+// before retrying. The hint is the EWMA-based queue-drain estimate — far
+// better than blind exponential backoff, which either hammers a saturated
+// door or oversleeps a briefly-full one.
+struct AdmissionRejection {
+  enum class Reason { kNone = 0, kConcurrency, kDeadline };
+  Reason reason = Reason::kNone;
+  double retry_after_ms = 0.0;
+};
+
 class AdmissionController {
  public:
   explicit AdmissionController(const AdmissionConfig& config);
 
   // Decides admission for a query with `deadline_ms` of latency budget
   // (0 = no deadline; only the concurrency cap applies). On Ok the caller
-  // MUST later call Complete() exactly once.
-  Status Admit(double deadline_ms = 0.0);
+  // MUST later call Complete() exactly once. On rejection, `rejection`
+  // (optional) carries the reason and a retry-after hint; the hint is also
+  // embedded in the status message as "retry_after_ms=<x>" for callers that
+  // only see the Status (parse it back with ParseRetryAfterMs).
+  Status Admit(double deadline_ms = 0.0, AdmissionRejection* rejection = nullptr);
+
+  // Recovers the retry-after hint from a rejection status message; returns
+  // 0 when the message carries none.
+  static double ParseRetryAfterMs(const Status& status);
   // Reports a completed (or failed) admitted query and its service time.
   void Complete(double service_ms);
 

@@ -1,0 +1,123 @@
+#include "src/overload/straggler_detector.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace wukongs {
+
+StragglerDetector::StragglerDetector(uint32_t node_count,
+                                     const StragglerConfig& config)
+    : config_(config), nodes_(node_count) {}
+
+void StragglerDetector::Observe(NodeId node, double service_ns) {
+  if (!config_.enabled || service_ns <= 0.0) {
+    return;
+  }
+  std::lock_guard lock(mu_);
+  assert(node < nodes_.size());
+  NodeState& s = nodes_[node];
+  if (s.samples == 0) {
+    s.ewma_ns = service_ns;
+  } else {
+    double a = std::clamp(config_.ewma_alpha, 0.0, 1.0);
+    s.ewma_ns = (1.0 - a) * s.ewma_ns + a * service_ns;
+  }
+  ++s.samples;
+  ++observations_;
+}
+
+double StragglerDetector::PeerMedianLocked(NodeId node) const {
+  std::vector<double> peers;
+  peers.reserve(nodes_.size());
+  for (size_t n = 0; n < nodes_.size(); ++n) {
+    if (n != node && nodes_[n].samples >= config_.min_samples) {
+      peers.push_back(nodes_[n].ewma_ns);
+    }
+  }
+  if (peers.empty()) {
+    return 0.0;
+  }
+  size_t mid = peers.size() / 2;
+  std::nth_element(peers.begin(), peers.begin() + mid, peers.end());
+  return peers[mid];
+}
+
+StragglerAction StragglerDetector::Evaluate(NodeId node) {
+  if (!config_.enabled) {
+    return StragglerAction::kNone;
+  }
+  std::lock_guard lock(mu_);
+  assert(node < nodes_.size());
+  NodeState& s = nodes_[node];
+  if (s.samples < config_.min_samples) {
+    return StragglerAction::kNone;  // Not enough evidence either way.
+  }
+  double median = PeerMedianLocked(node);
+  if (median <= 0.0) {
+    return StragglerAction::kNone;  // No judged peers to compare against.
+  }
+  bool outlier = s.ewma_ns > config_.slow_factor * median;
+  if (outlier) {
+    ++s.outlier_streak;
+    s.healthy_streak = 0;
+  } else {
+    ++s.healthy_streak;
+    s.outlier_streak = 0;
+  }
+  if (!s.slow && s.outlier_streak >= std::max<size_t>(config_.demote_after, 1)) {
+    s.slow = true;
+    s.outlier_streak = 0;
+    ++demotions_;
+    return StragglerAction::kDemote;
+  }
+  if (s.slow && s.healthy_streak >= std::max<size_t>(config_.promote_after, 1)) {
+    s.slow = false;
+    s.healthy_streak = 0;
+    ++promotions_;
+    return StragglerAction::kPromote;
+  }
+  return StragglerAction::kNone;
+}
+
+bool StragglerDetector::slow(NodeId node) const {
+  std::lock_guard lock(mu_);
+  return node < nodes_.size() && nodes_[node].slow;
+}
+
+uint32_t StragglerDetector::slow_count() const {
+  std::lock_guard lock(mu_);
+  uint32_t count = 0;
+  for (const NodeState& s : nodes_) {
+    if (s.slow) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+double StragglerDetector::ewma_ns(NodeId node) const {
+  std::lock_guard lock(mu_);
+  return node < nodes_.size() ? nodes_[node].ewma_ns : 0.0;
+}
+
+uint64_t StragglerDetector::samples(NodeId node) const {
+  std::lock_guard lock(mu_);
+  return node < nodes_.size() ? nodes_[node].samples : 0;
+}
+
+void StragglerDetector::Reset(NodeId node) {
+  std::lock_guard lock(mu_);
+  assert(node < nodes_.size());
+  nodes_[node] = NodeState{};
+}
+
+StragglerDetector::Stats StragglerDetector::stats() const {
+  std::lock_guard lock(mu_);
+  Stats s;
+  s.observations = observations_;
+  s.demotions = demotions_;
+  s.promotions = promotions_;
+  return s;
+}
+
+}  // namespace wukongs

@@ -1,0 +1,101 @@
+// Gray-failure (straggler) detection (DESIGN.md §5.11).
+//
+// Phi-accrual catches nodes that stop heartbeating. A gray-failed node is
+// worse: it heartbeats on time, applies batches, answers queries — just 10x
+// slower than its peers, silently dragging every fork-join barrier (and so
+// every p99) with it. The only evidence is *relative service latency*, so
+// the detector keeps a per-node EWMA of observed per-operation service time
+// and scores each node against the median of its peers' EWMAs: a node whose
+// EWMA exceeds `slow_factor` times the peer median is an outlier.
+//
+// A hysteresis state machine turns outlier scores into a kSlow demotion —
+// distinct from phi-accrual's quarantine: a demoted node stays up and
+// serving on the fabric (its shards remain readable and it keeps ingesting),
+// it is only removed from latency-critical *fan-out* (fork-join parallel
+// sub-queries and home-node selection). Demotion requires `demote_after`
+// consecutive outlier evaluations, promotion back `promote_after` healthy
+// ones, and the last healthy fan-out participant is never demoted (the
+// caller enforces that cluster-level invariant).
+//
+// Determinism: observations come from the SimCost model, evaluations from
+// the logical health tick — no wall clock, so demotion points are exactly
+// reproducible for a given seed/schedule.
+
+#ifndef SRC_OVERLOAD_STRAGGLER_DETECTOR_H_
+#define SRC_OVERLOAD_STRAGGLER_DETECTOR_H_
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "src/common/ids.h"
+
+namespace wukongs {
+
+struct StragglerConfig {
+  bool enabled = false;      // Off by default: zero behavior change.
+  double ewma_alpha = 0.3;   // Service-time EWMA smoothing.
+  double slow_factor = 3.0;  // Outlier when EWMA > factor * peer median.
+  size_t min_samples = 8;    // Observations before a node can be judged.
+  size_t demote_after = 2;   // Consecutive outlier evaluations to demote.
+  size_t promote_after = 3;  // Consecutive healthy evaluations to promote.
+};
+
+// What one evaluation decided; the caller (Cluster) applies the action.
+enum class StragglerAction {
+  kNone = 0,
+  kDemote,   // Node became kSlow: drop from fork-join fan-out.
+  kPromote,  // Node recovered: restore to fan-out.
+};
+
+class StragglerDetector {
+ public:
+  StragglerDetector(uint32_t node_count, const StragglerConfig& config);
+
+  // Records one modeled service-time sample (ns) for `node`.
+  void Observe(NodeId node, double service_ns);
+
+  // One evaluation step for `node`. Scores the node's EWMA against the
+  // median EWMA of its peers (peers with enough samples; the node itself is
+  // excluded so a straggler cannot inflate its own threshold).
+  StragglerAction Evaluate(NodeId node);
+
+  // Is the node currently demoted (kSlow)?
+  bool slow(NodeId node) const;
+  uint32_t slow_count() const;
+
+  double ewma_ns(NodeId node) const;
+  uint64_t samples(NodeId node) const;
+
+  // Forget a node's history and state (post-crash restore / reconfig: old
+  // latency is not evidence about the rebuilt node).
+  void Reset(NodeId node);
+
+  struct Stats {
+    uint64_t observations = 0;
+    uint64_t demotions = 0;
+    uint64_t promotions = 0;
+  };
+  Stats stats() const;
+
+ private:
+  double PeerMedianLocked(NodeId node) const;
+
+  const StragglerConfig config_;
+  mutable std::mutex mu_;
+  struct NodeState {
+    double ewma_ns = 0.0;
+    uint64_t samples = 0;
+    bool slow = false;
+    size_t outlier_streak = 0;
+    size_t healthy_streak = 0;
+  };
+  std::vector<NodeState> nodes_;
+  uint64_t observations_ = 0;
+  uint64_t demotions_ = 0;
+  uint64_t promotions_ = 0;
+};
+
+}  // namespace wukongs
+
+#endif  // SRC_OVERLOAD_STRAGGLER_DETECTOR_H_

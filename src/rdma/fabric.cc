@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "src/common/deadline.h"
 #include "src/fault/fault_injector.h"
 
 namespace wukongs {
@@ -84,28 +85,39 @@ uint32_t Fabric::serving_count() const {
   return serving;
 }
 
-void Fabric::ChargeRead(size_t bytes) {
+double Fabric::ServiceFactor(NodeId node) const {
+  if (injector_ == nullptr || !injector_->HasGrayFailures()) {
+    return 1.0;
+  }
+  return injector_->ServiceFactorNow(node);
+}
+
+void Fabric::ChargeRead(size_t bytes, double factor) {
   one_sided_reads_.fetch_add(1, std::memory_order_relaxed);
   one_sided_read_bytes_.fetch_add(bytes, std::memory_order_relaxed);
   if (transport_ == Transport::kRdma) {
-    SimCost::Add(model_.rdma_read_base_ns +
-                 model_.rdma_read_per_byte_ns * static_cast<double>(bytes));
+    SimCost::Add(factor *
+                 (model_.rdma_read_base_ns +
+                  model_.rdma_read_per_byte_ns * static_cast<double>(bytes)));
   } else {
     // No one-sided verbs over TCP: pulling remote data costs an RPC.
-    SimCost::Add(model_.tcp_msg_base_ns +
-                 model_.tcp_msg_per_byte_ns * static_cast<double>(bytes));
+    SimCost::Add(factor *
+                 (model_.tcp_msg_base_ns +
+                  model_.tcp_msg_per_byte_ns * static_cast<double>(bytes)));
   }
 }
 
-void Fabric::ChargeMessage(size_t bytes) {
+void Fabric::ChargeMessage(size_t bytes, double factor) {
   messages_.fetch_add(1, std::memory_order_relaxed);
   message_bytes_.fetch_add(bytes, std::memory_order_relaxed);
   if (transport_ == Transport::kRdma) {
-    SimCost::Add(model_.rdma_msg_base_ns +
-                 model_.rdma_msg_per_byte_ns * static_cast<double>(bytes));
+    SimCost::Add(factor *
+                 (model_.rdma_msg_base_ns +
+                  model_.rdma_msg_per_byte_ns * static_cast<double>(bytes)));
   } else {
-    SimCost::Add(model_.tcp_msg_base_ns +
-                 model_.tcp_msg_per_byte_ns * static_cast<double>(bytes));
+    SimCost::Add(factor *
+                 (model_.tcp_msg_base_ns +
+                  model_.tcp_msg_per_byte_ns * static_cast<double>(bytes)));
   }
 }
 
@@ -113,14 +125,17 @@ void Fabric::OneSidedRead(NodeId from, NodeId to, size_t bytes) {
   if (from == to) {
     return;  // Local shard access: plain memory read, no network cost.
   }
-  ChargeRead(bytes);
+  ChargeRead(bytes, ServiceFactor(to));
 }
 
 void Fabric::Message(NodeId from, NodeId to, size_t bytes) {
   if (from == to) {
     return;
   }
-  ChargeMessage(bytes);
+  ChargeMessage(bytes, ServiceFactor(to));
+  if (injector_ != nullptr) {
+    SimCost::Add(injector_->MessageJitterNs(from, to));
+  }
 }
 
 void Fabric::Heartbeat(NodeId from, NodeId to) {
@@ -147,12 +162,19 @@ Status Fabric::TryOneSidedRead(NodeId from, NodeId to, size_t bytes) {
   if (from == to) {
     return Status::Ok();
   }
+  if (Deadline::ExpiredNow()) {
+    // Cancelled before issue: the budget is gone, so the verb never hits
+    // the wire — no cost charged, and the non-retryable code stops the
+    // caller's retry loop from burning backoff it cannot afford.
+    deadline_cancelled_.fetch_add(1, std::memory_order_relaxed);
+    return Status::DeadlineExceeded("one-sided read: budget exhausted");
+  }
   if (!node_up(to) || !node_up(from)) {
     // No wire time: the requester's QP to a dead peer errors out instantly.
     failed_reads_.fetch_add(1, std::memory_order_relaxed);
     return Status::Unavailable("one-sided read: node down");
   }
-  ChargeRead(bytes);
+  ChargeRead(bytes, ServiceFactor(to));
   if (injector_ != nullptr && injector_->FailRead(from, to)) {
     failed_reads_.fetch_add(1, std::memory_order_relaxed);
     return Status::Unavailable("one-sided read lost");
@@ -164,11 +186,18 @@ Status Fabric::TryMessage(NodeId from, NodeId to, size_t bytes) {
   if (from == to) {
     return Status::Ok();
   }
+  if (Deadline::ExpiredNow()) {
+    deadline_cancelled_.fetch_add(1, std::memory_order_relaxed);
+    return Status::DeadlineExceeded("message: budget exhausted");
+  }
   if (!node_up(to) || !node_up(from)) {
     failed_messages_.fetch_add(1, std::memory_order_relaxed);
     return Status::Unavailable("message: node down");
   }
-  ChargeMessage(bytes);
+  ChargeMessage(bytes, ServiceFactor(to));
+  if (injector_ != nullptr) {
+    SimCost::Add(injector_->MessageJitterNs(from, to));
+  }
   if (injector_ != nullptr && injector_->FailMessage(from, to)) {
     failed_messages_.fetch_add(1, std::memory_order_relaxed);
     return Status::Unavailable("message lost");
@@ -197,6 +226,7 @@ FabricStats Fabric::stats() const {
   s.failed_reads = failed_reads_.load(std::memory_order_relaxed);
   s.failed_messages = failed_messages_.load(std::memory_order_relaxed);
   s.heartbeats = heartbeats_.load(std::memory_order_relaxed);
+  s.deadline_cancelled = deadline_cancelled_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -209,6 +239,7 @@ void Fabric::ResetStats() {
   failed_reads_.store(0, std::memory_order_relaxed);
   failed_messages_.store(0, std::memory_order_relaxed);
   heartbeats_.store(0, std::memory_order_relaxed);
+  deadline_cancelled_.store(0, std::memory_order_relaxed);
 }
 
 std::string Fabric::DebugString() const {

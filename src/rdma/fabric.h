@@ -47,6 +47,7 @@ struct FabricStats {
   uint64_t failed_reads = 0;     // Injected one-sided read failures.
   uint64_t failed_messages = 0;  // Injected message failures + down targets.
   uint64_t heartbeats = 0;       // Failure-detector beats carried.
+  uint64_t deadline_cancelled = 0;  // Verbs short-circuited: budget exhausted.
 };
 
 class Fabric {
@@ -106,8 +107,17 @@ class Fabric {
   // Fallible variants: charge the attempt's wire time, then fail with
   // kUnavailable if either endpoint is down or the injector lost the verb.
   // Callers wrap these in RunWithRetry to model timeout + retransmission.
+  // When the thread's latency budget (Deadline) is already exhausted, the
+  // verb is never issued: kDeadlineExceeded, no wire time charged. The code
+  // is non-retryable, so the surrounding retry loop aborts immediately.
   Status TryOneSidedRead(NodeId from, NodeId to, size_t bytes);
   Status TryMessage(NodeId from, NodeId to, size_t bytes);
+
+  // Service-time multiplier of the target node under an injected gray
+  // failure (1.0 when healthy / no injector). Remote verbs scale their wire
+  // time by this: a gray node is slow to *serve*, while its heartbeats keep
+  // arriving on time — invisible to the liveness detector by construction.
+  double ServiceFactor(NodeId node) const;
 
   // Composite-design boundary crossing: `tuples` tuples are transformed
   // between the stream processor's format and the store's format and shipped
@@ -121,8 +131,8 @@ class Fabric {
   std::string DebugString() const;
 
  private:
-  void ChargeRead(size_t bytes);
-  void ChargeMessage(size_t bytes);
+  void ChargeRead(size_t bytes, double factor);
+  void ChargeMessage(size_t bytes, double factor);
 
   std::atomic<uint32_t> node_count_;
   const uint32_t capacity_;  // Preallocated liveness slots (growth headroom).
@@ -140,6 +150,7 @@ class Fabric {
   std::atomic<uint64_t> failed_reads_{0};
   std::atomic<uint64_t> failed_messages_{0};
   std::atomic<uint64_t> heartbeats_{0};
+  std::atomic<uint64_t> deadline_cancelled_{0};
 };
 
 }  // namespace wukongs
