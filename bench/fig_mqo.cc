@@ -1,0 +1,280 @@
+// Shared template-group evaluation: per-trigger latency, grouped vs
+// independent (DESIGN.md §5.12).
+//
+// A deployment registers thousands of continuous queries that are alpha-
+// renamed instantiations of a handful of templates (per-user follower
+// feeds, per-device monitors, ...). MQO canonicalizes each registration
+// into a template signature, evaluates one shared probe per group per
+// trigger, and fans the probe rows out per member via a hash partition on
+// the hole column. This bench registers 8 templates x 1024 instantiations
+// on twin clusters — grouped (MQO on, the default) vs independent (MQO
+// off) — feeds both the identical stream, and measures the total simulated
+// latency to serve ALL registrations at each trigger. Acceptance: >= 5x
+// per-trigger speedup, and exactly #groups x #triggers shared evaluations
+// (every sibling after the payer is memo-served).
+
+#include <cstdint>
+#include <map>
+#include <set>
+
+#include "bench/bench_common.h"
+
+namespace wukongs {
+namespace bench {
+namespace {
+
+constexpr int kTemplates = 8;
+constexpr int kMembersPerTemplate = 1024;
+constexpr int kEntities = 64;      // Size of each hop's entity pool.
+constexpr int kEdgesPerMember = 2;  // Follow edges per user per template.
+constexpr StreamTime kStep = 100;
+constexpr StreamTime kWarmEnd = 600;  // First full RANGE 600ms window.
+constexpr int kSamples = 10;
+
+std::string MemberQuery(int tmpl, int member) {
+  // Template t is a 4-pattern chain: the member's user constant (the hole)
+  // reaches entities over p<t>, two shared stored hops (q, r) extend the
+  // chain, and the tail joins the window. All 1024 instantiations of one
+  // p<t> canonicalize to the same key; the shared probe evaluates the whole
+  // chain once per trigger, so grouping amortizes three join steps and
+  // leaves each member only the final-row fan-out.
+  std::string name = "q" + std::to_string(tmpl) + "_" + std::to_string(member);
+  return "REGISTER QUERY " + name +
+         " AS SELECT ?c ?w ?v FROM STREAM <S> [RANGE 600ms STEP 100ms] "
+         "FROM <Base> WHERE { GRAPH <Base> { u" + std::to_string(member) +
+         " p" + std::to_string(tmpl) +
+         " ?a . ?a q ?b . ?b r ?c } GRAPH <S> { ?c at ?w . ?c sig ?v } }";
+}
+
+struct Twin {
+  std::unique_ptr<Cluster> cluster;
+  StreamId stream = 0;
+  std::vector<Cluster::ContinuousHandle> handles;
+};
+
+Twin MakeTwin(StringServer* strings, bool mqo_enabled) {
+  Twin t;
+  ClusterConfig config;
+  config.nodes = 4;
+  config.batch_interval_ms = kStep;
+  config.mqo.enabled = mqo_enabled;
+  t.cluster = std::make_unique<Cluster>(config, strings);
+  t.stream = *t.cluster->DefineStream("S", {"at", "sig"});
+
+  std::vector<Triple> base;
+  base.reserve(kTemplates * kMembersPerTemplate * kEdgesPerMember +
+               2 * kEntities);
+  for (int tmpl = 0; tmpl < kTemplates; ++tmpl) {
+    PredicateId pred = strings->InternPredicate("p" + std::to_string(tmpl));
+    for (int m = 0; m < kMembersPerTemplate; ++m) {
+      VertexId user = strings->InternVertex("u" + std::to_string(m));
+      for (int e = 0; e < kEdgesPerMember; ++e) {
+        VertexId entity = strings->InternVertex(
+            "a" + std::to_string((m * kEdgesPerMember + e + tmpl) % kEntities));
+        base.push_back(Triple{user, pred, entity});
+      }
+    }
+  }
+  // The shared chain hops: a_i -q-> b_i -r-> c_i (one edge each, so the
+  // chain extends join depth without inflating per-member result rows).
+  PredicateId q_pred = strings->InternPredicate("q");
+  PredicateId r_pred = strings->InternPredicate("r");
+  for (int e = 0; e < kEntities; ++e) {
+    base.push_back(Triple{strings->InternVertex("a" + std::to_string(e)),
+                          q_pred,
+                          strings->InternVertex("b" + std::to_string(e))});
+    base.push_back(Triple{strings->InternVertex("b" + std::to_string(e)),
+                          r_pred,
+                          strings->InternVertex("c" + std::to_string(e))});
+  }
+  t.cluster->LoadBase(base);
+
+  t.handles.reserve(kTemplates * kMembersPerTemplate);
+  for (int tmpl = 0; tmpl < kTemplates; ++tmpl) {
+    for (int m = 0; m < kMembersPerTemplate; ++m) {
+      auto h = t.cluster->RegisterContinuous(MemberQuery(tmpl, m));
+      if (!h.ok()) {
+        std::cerr << "register failed: " << h.status().ToString() << "\n";
+        std::abort();
+      }
+      t.handles.push_back(*h);
+    }
+  }
+  return t;
+}
+
+// One ping per tail entity per slice so every member has window bindings.
+void Feed(Twin* t, StringServer* strings, StreamTime last_end) {
+  for (StreamTime upto = kStep; upto <= last_end; upto += kStep) {
+    StreamTupleVec tuples;
+    tuples.reserve(kEntities + 8);
+    for (int e = 0; e < kEntities; ++e) {
+      tuples.push_back({{strings->InternVertex("c" + std::to_string(e)),
+                         strings->InternPredicate("at"),
+                         strings->InternVertex("L" + std::to_string(upto))},
+                        upto - 50,
+                        TupleKind::kTiming});
+    }
+    // Signals are sparse — a rotating eighth of the tail entities per slice —
+    // so the two-pattern window join stays selective per member.
+    int slice = static_cast<int>(upto / kStep);
+    for (int i = 0; i < 8; ++i) {
+      int e = (slice * 8 + i) % kEntities;
+      tuples.push_back({{strings->InternVertex("c" + std::to_string(e)),
+                         strings->InternPredicate("sig"),
+                         strings->InternVertex("V" + std::to_string(upto))},
+                        upto - 40,
+                        TupleKind::kTiming});
+    }
+    Status s = t->cluster->FeedStream(t->stream, tuples);
+    if (!s.ok()) {
+      std::cerr << "feed failed: " << s.ToString() << "\n";
+      std::abort();
+    }
+  }
+  t->cluster->AdvanceStreams(last_end);
+}
+
+// Total simulated latency to serve every registration at one trigger.
+double TriggerAll(Twin* t, StreamTime end) {
+  double total_ms = 0.0;
+  for (Cluster::ContinuousHandle h : t->handles) {
+    auto exec = t->cluster->ExecuteContinuousAt(h, end);
+    if (!exec.ok()) {
+      std::cerr << "trigger failed: " << exec.status().ToString() << "\n";
+      std::abort();
+    }
+    total_ms += exec->latency_ms();
+  }
+  return total_ms;
+}
+
+std::multiset<std::string> Canon(const QueryResult& r) {
+  std::multiset<std::string> out;
+  for (const auto& row : r.rows) {
+    std::string key;
+    for (const ResultValue& v : row) {
+      key += v.is_number ? "n" + std::to_string(v.number)
+                         : "v" + std::to_string(v.vid);
+      key += "|";
+    }
+    out.insert(key);
+  }
+  return out;
+}
+
+// Lockstep trigger of both twins with per-registration bag comparison — the
+// bench-scale cousin of the mqo differential lane; a drift here means the
+// speedup would be measured over wrong answers.
+uint64_t TriggerBothVerified(Twin* grouped, Twin* indep, StreamTime end) {
+  uint64_t rows = 0;
+  for (size_t i = 0; i < grouped->handles.size(); ++i) {
+    auto g = grouped->cluster->ExecuteContinuousAt(grouped->handles[i], end);
+    auto ind = indep->cluster->ExecuteContinuousAt(indep->handles[i], end);
+    if (!g.ok() || !ind.ok()) {
+      std::cerr << "verified trigger failed\n";
+      std::abort();
+    }
+    if (Canon(g->result) != Canon(ind->result)) {
+      std::cerr << "grouped/independent result divergence at registration " << i
+                << "\n";
+      std::abort();
+    }
+    rows += g->result.rows.size();
+  }
+  return rows;
+}
+
+void Run(const std::string& json_path) {
+  PrintHeader("Fig. MQO: per-trigger latency, grouped vs independent",
+              NetworkModel{});
+  std::cout << kTemplates << " templates x " << kMembersPerTemplate
+            << " instantiations (" << kTemplates * kMembersPerTemplate
+            << " continuous queries per cluster), RANGE 600ms STEP 100ms, "
+            << kSamples << " measured triggers\n\n";
+
+  StringServer strings;
+  Twin grouped = MakeTwin(&strings, /*mqo_enabled=*/true);
+  Twin indep = MakeTwin(&strings, /*mqo_enabled=*/false);
+  if (grouped.cluster->MqoLiveGroups() != kTemplates) {
+    std::cerr << "expected " << kTemplates << " template groups, got "
+              << grouped.cluster->MqoLiveGroups() << "\n";
+    std::abort();
+  }
+
+  StreamTime last_end = kWarmEnd + static_cast<StreamTime>(kSamples) * kStep;
+  Feed(&grouped, &strings, last_end);
+  Feed(&indep, &strings, last_end);
+
+  // Warm-up trigger: caches the plans (and the group probes) so both lanes
+  // measure steady-state sliding, not first-window setup. Doubles as the
+  // correctness gate: every member's bag must match its independent twin.
+  uint64_t rows = TriggerBothVerified(&grouped, &indep, kWarmEnd);
+  if (rows == 0) {
+    std::cerr << "warm-up produced no rows; workload is degenerate\n";
+    std::abort();
+  }
+
+  Histogram grouped_hist;
+  Histogram indep_hist;
+  for (int i = 1; i <= kSamples; ++i) {
+    StreamTime end = kWarmEnd + static_cast<StreamTime>(i) * kStep;
+    grouped_hist.Add(TriggerAll(&grouped, end));
+    indep_hist.Add(TriggerAll(&indep, end));
+  }
+
+  // Counter identity: one shared probe per group per trigger (warm-up
+  // included), every sibling after the payer memo-served.
+  Cluster::MqoStats stats = grouped.cluster->mqo_stats();
+  uint64_t triggers = static_cast<uint64_t>(kSamples) + 1;
+  uint64_t want_shared = static_cast<uint64_t>(kTemplates) * triggers;
+  uint64_t want_fanout =
+      static_cast<uint64_t>(kTemplates) * (kMembersPerTemplate - 1) * triggers;
+  if (stats.shared_evals != want_shared || stats.fanout_served != want_fanout) {
+    std::cerr << "MQO counter identity violated: shared_evals="
+              << stats.shared_evals << " (want " << want_shared
+              << "), fanout_served=" << stats.fanout_served << " (want "
+              << want_fanout << ")\n";
+    std::abort();
+  }
+  if (indep.cluster->mqo_stats().shared_evals != 0) {
+    std::cerr << "independent twin ran a shared eval\n";
+    std::abort();
+  }
+
+  double speedup = grouped_hist.Median() > 0
+                       ? indep_hist.Median() / grouped_hist.Median()
+                       : 0.0;
+  TablePrinter table({"templates", "members", "independent p50 (ms)",
+                      "grouped p50 (ms)", "speedup", "shared evals"});
+  table.AddRow({std::to_string(kTemplates), std::to_string(kMembersPerTemplate),
+                TablePrinter::Num(indep_hist.Median(), 3),
+                TablePrinter::Num(grouped_hist.Median(), 3),
+                TablePrinter::Num(speedup, 2) + "x",
+                std::to_string(stats.shared_evals) + "/" +
+                    std::to_string(want_shared)});
+  table.Print();
+  std::cout << "\nper-trigger speedup: " << TablePrinter::Num(speedup, 2)
+            << "x (acceptance floor: 5x)\n";
+
+  BenchArtifact artifact("fig_mqo");
+  artifact.RecordLatencies("bench_latency_ms", {{"mode", "independent"}},
+                           indep_hist);
+  artifact.RecordLatencies("bench_latency_ms", {{"mode", "grouped"}},
+                           grouped_hist);
+  artifact.SetValue("bench_mqo_speedup", {}, speedup);
+  artifact.SetValue("bench_mqo_templates", {}, kTemplates);
+  artifact.SetValue("bench_mqo_members_per_template", {}, kMembersPerTemplate);
+  artifact.AddCount("bench_mqo_shared_evals", {}, stats.shared_evals);
+  artifact.AddCount("bench_mqo_fanout_served", {}, stats.fanout_served);
+  artifact.Write(json_path);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace wukongs
+
+int main(int argc, char** argv) {
+  wukongs::bench::Run(wukongs::bench::JsonOutPath(argc, argv));
+  return 0;
+}

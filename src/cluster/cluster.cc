@@ -8,6 +8,7 @@
 #include "src/common/deadline.h"
 #include "src/common/test_hooks.h"
 #include "src/fault/upstream_buffer.h"
+#include "src/sparql/template.h"
 #include "src/testkit/schedule_controller.h"
 
 namespace wukongs {
@@ -149,6 +150,15 @@ Cluster::Cluster(const ClusterConfig& config, StringServer* shared_strings)
           m->GetCounter("wukongs_straggler_demotions_total");
       obs_.straggler_promotions =
           m->GetCounter("wukongs_straggler_promotions_total");
+      obs_.mqo_grouped_registrations =
+          m->GetCounter("wukongs_mqo_grouped_registrations_total");
+      obs_.mqo_groups_formed = m->GetCounter("wukongs_mqo_groups_formed_total");
+      obs_.mqo_groups_dissolved =
+          m->GetCounter("wukongs_mqo_groups_dissolved_total");
+      obs_.mqo_shared_evals = m->GetCounter("wukongs_mqo_shared_evals_total");
+      obs_.mqo_fanout_served = m->GetCounter("wukongs_mqo_fanout_served_total");
+      obs_.mqo_fallbacks =
+          m->GetCounter("wukongs_mqo_independent_fallbacks_total");
       for (NodeId n = 0; n < config_.nodes; ++n) {
         service_hist_metrics_[n] =
             m->GetHistogram(obs::MetricsRegistry::Labeled(
@@ -233,6 +243,7 @@ void Cluster::NotifySliceEviction(StreamId stream, BatchSeq min_live) {
   for (DeltaCache* cache : caches) {
     Bump(obs_.delta_invalidations, cache->InvalidateBelow(min_live));
   }
+  BumpMqoGeneration();
 }
 
 uint64_t Cluster::StoredEpoch() const {
@@ -1677,14 +1688,7 @@ StatusOr<Cluster::ContinuousHandle> Cluster::RegisterContinuousParsed(const Quer
     // where the query runs, from now on (Fig. 9).
     streams_[*sid].subscribers.insert(reg.home);
   }
-  if (config_.delta_cache_enabled) {
-    int dw = DeltaEligibleWindow(q);
-    if (dw >= 0) {
-      reg.delta_window = dw;
-      reg.delta_cache = std::make_unique<DeltaCache>();
-      reg.last_stable = std::make_unique<std::atomic<BatchSeq>>(kNoBatch);
-    }
-  }
+  AttachDeltaCache(reg);
   registrations_.push_back(std::move(reg));
   Registration& stored = registrations_.back();
   if (stored.delta_cache != nullptr) {
@@ -1692,7 +1696,173 @@ StatusOr<Cluster::ContinuousHandle> Cluster::RegisterContinuousParsed(const Quer
     StreamId sid = stored.stream_ids[static_cast<size_t>(stored.delta_window)];
     delta_caches_by_stream_[sid].push_back(stored.delta_cache.get());
   }
-  return static_cast<ContinuousHandle>(registrations_.size() - 1);
+  ContinuousHandle h = static_cast<ContinuousHandle>(registrations_.size() - 1);
+  if (config_.mqo.enabled) {
+    AddToTemplateGroup(h);
+  }
+  return h;
+}
+
+void Cluster::AttachDeltaCache(Registration& reg) {
+  if (!config_.delta_cache_enabled) {
+    return;
+  }
+  int dw = DeltaEligibleWindow(reg.query);
+  if (dw >= 0) {
+    reg.delta_window = dw;
+    reg.delta_cache = std::make_unique<DeltaCache>();
+    reg.last_stable = std::make_unique<std::atomic<BatchSeq>>(kNoBatch);
+  }
+}
+
+void Cluster::DetachDeltaCache(Registration& reg) {
+  if (reg.delta_cache == nullptr) {
+    return;
+  }
+  std::lock_guard lock(delta_mu_);
+  StreamId sid = reg.stream_ids[static_cast<size_t>(reg.delta_window)];
+  std::erase(delta_caches_by_stream_[sid], reg.delta_cache.get());
+}
+
+void Cluster::AddToTemplateGroup(ContinuousHandle h) {
+  Registration& reg = registrations_[h];
+  TemplateSignature sig = CanonicalizeTemplate(reg.query);
+  if (!sig.eligible) {
+    return;  // Independent evaluation, exactly as without MQO.
+  }
+  std::lock_guard lock(mqo_mu_);
+  size_t idx;
+  auto it = group_index_.find(sig.key);
+  if (it != group_index_.end()) {
+    idx = it->second;
+  } else {
+    auto owned = std::make_unique<TemplateGroup>();
+    TemplateGroup& g = *owned;
+    g.key = sig.key;
+    g.hole_col = sig.hole_var;
+    g.probe.query = std::move(sig.probe);
+    g.probe.home = reg.home;
+    g.probe.stream_ids = reg.stream_ids;
+    // Per-group delta cache: one cached stored-prefix serves the whole
+    // group. Indexed by stream like any member cache, so eviction listeners,
+    // crash flushes and the stored-epoch gate all reach it.
+    AttachDeltaCache(g.probe);
+    if (g.probe.delta_cache != nullptr) {
+      std::lock_guard dlock(delta_mu_);
+      StreamId sid =
+          g.probe.stream_ids[static_cast<size_t>(g.probe.delta_window)];
+      delta_caches_by_stream_[sid].push_back(g.probe.delta_cache.get());
+    }
+    idx = groups_.size();
+    group_index_.emplace(g.key, idx);
+    groups_.push_back(std::move(owned));
+    mqo_groups_formed_.fetch_add(1, std::memory_order_relaxed);
+    Bump(obs_.mqo_groups_formed);
+  }
+  TemplateGroup& g = *groups_[idx];
+  {
+    std::lock_guard glock(g.mu);
+    g.members.push_back(h);
+    g.memo_valid = false;
+  }
+  reg.group = static_cast<int>(idx);
+  reg.hole_constant = sig.hole_constant;
+  reg.var_to_canon = std::move(sig.var_to_canon);
+  mqo_grouped_registrations_.fetch_add(1, std::memory_order_relaxed);
+  Bump(obs_.mqo_grouped_registrations);
+  BumpMqoGeneration();
+}
+
+void Cluster::RemoveFromTemplateGroup(ContinuousHandle h) {
+  Registration& reg = registrations_[h];
+  if (reg.group < 0) {
+    return;
+  }
+  std::lock_guard lock(mqo_mu_);
+  TemplateGroup& g = *groups_[static_cast<size_t>(reg.group)];
+  {
+    std::lock_guard glock(g.mu);
+    std::erase(g.members, h);
+    g.memo_valid = false;
+    if (g.members.empty() && g.live) {
+      // Last member out dissolves the group; its key can re-form a fresh
+      // group later (indices are never reused, handles stay stable).
+      g.live = false;
+      DetachDeltaCache(g.probe);
+      group_index_.erase(g.key);
+      mqo_groups_dissolved_.fetch_add(1, std::memory_order_relaxed);
+      Bump(obs_.mqo_groups_dissolved);
+    }
+  }
+  reg.group = -1;
+  BumpMqoGeneration();
+}
+
+Status Cluster::UnregisterContinuous(ContinuousHandle h) {
+  if (h >= registrations_.size()) {
+    return Status::NotFound("unknown continuous query handle");
+  }
+  Registration& reg = registrations_[h];
+  if (!reg.active) {
+    return Status::NotFound("continuous query handle already unregistered");
+  }
+  reg.active = false;
+  DetachDeltaCache(reg);
+  if (test_hooks::stale_group_membership.load(std::memory_order_relaxed)) {
+    return Status::Ok();  // Planted defect: group membership never shrinks.
+  }
+  RemoveFromTemplateGroup(h);
+  BumpMqoGeneration();
+  return Status::Ok();
+}
+
+bool Cluster::ContinuousActive(ContinuousHandle h) const {
+  return h < registrations_.size() && registrations_[h].active;
+}
+
+Cluster::MqoStats Cluster::mqo_stats() const {
+  MqoStats s;
+  s.grouped_registrations =
+      mqo_grouped_registrations_.load(std::memory_order_relaxed);
+  s.groups_formed = mqo_groups_formed_.load(std::memory_order_relaxed);
+  s.groups_dissolved = mqo_groups_dissolved_.load(std::memory_order_relaxed);
+  s.shared_evals = mqo_shared_evals_.load(std::memory_order_relaxed);
+  s.fanout_served = mqo_fanout_served_.load(std::memory_order_relaxed);
+  s.independent_fallbacks = mqo_fallbacks_.load(std::memory_order_relaxed);
+  return s;
+}
+
+int Cluster::MqoGroupOf(ContinuousHandle h) const {
+  return h < registrations_.size() ? registrations_[h].group : -1;
+}
+
+size_t Cluster::MqoGroupSizeOf(ContinuousHandle h) const {
+  int g = MqoGroupOf(h);
+  if (g < 0) {
+    return 0;
+  }
+  std::lock_guard lock(mqo_mu_);
+  TemplateGroup& group = *groups_[static_cast<size_t>(g)];
+  std::lock_guard glock(group.mu);
+  return group.members.size();
+}
+
+size_t Cluster::MqoLiveGroups() const {
+  std::lock_guard lock(mqo_mu_);
+  size_t live = 0;
+  for (const auto& g : groups_) {
+    live += g->live ? 1 : 0;
+  }
+  return live;
+}
+
+bool Cluster::MqoGroupHasDeltaCache(ContinuousHandle h) const {
+  int g = MqoGroupOf(h);
+  if (g < 0) {
+    return false;
+  }
+  std::lock_guard lock(mqo_mu_);
+  return groups_[static_cast<size_t>(g)]->probe.delta_cache != nullptr;
 }
 
 int Cluster::DeltaEligibleWindow(const Query& q) {
@@ -1788,13 +1958,18 @@ StatusOr<QueryExecution> Cluster::ExecuteContinuousImpl(ContinuousHandle h,
   if (h >= registrations_.size()) {
     return Status::NotFound("unknown continuous query handle");
   }
+  Registration& reg = registrations_[h];
+  if (!reg.active &&
+      !(test_hooks::stale_group_membership.load(std::memory_order_relaxed) &&
+        reg.group >= 0)) {
+    return Status::NotFound("continuous query handle was unregistered");
+  }
   if (!WindowReady(h, end_ms)) {
     return Status::FailedPrecondition(
         "stream windows not ready (Stable_VTS behind window end)");
   }
   // Continuous triggers carry latency budgets too (§5.11); no-op when none.
   DeadlineScope budget(EffectiveBudgetMs(deadline_ms));
-  Registration& reg = registrations_[h];
   if (!reg.query.unions.empty()) {
     auto exec = ExecuteUnion(reg, end_ms, coordinator_->StableSn());
     if (exec.ok()) {
@@ -1809,6 +1984,31 @@ StatusOr<QueryExecution> Cluster::ExecuteContinuousImpl(ContinuousHandle h,
     return exec;
   }
 
+  // Template-group dispatch (§5.12): serve the trigger from the group's
+  // shared probe evaluation. Cold re-execution (allow_delta=false) bypasses
+  // grouping the same way it bypasses the delta cache — it is the
+  // differential harness's independent baseline.
+  if (allow_delta && config_.mqo.enabled && reg.group >= 0) {
+    auto grouped = TryExecuteGrouped(reg, end_ms);
+    if (grouped.has_value()) {
+      if (grouped->ok()) {
+        if (count) {
+          Bump(obs_.queries_continuous);
+        }
+        if (tracer_ != nullptr) {
+          tracer_->Instant("query", "query/deliver", reg.home);
+        }
+      }
+      return std::move(*grouped);
+    }
+  }
+  return ExecuteRegistrationAt(reg, end_ms, allow_delta, count);
+}
+
+StatusOr<QueryExecution> Cluster::ExecuteRegistrationAt(Registration& reg,
+                                                        StreamTime end_ms,
+                                                        bool allow_delta,
+                                                        bool count) {
   // Degradation reroute: a registration whose home node is down executes on
   // the first surviving node instead of crashing.
   NodeId home = EffectiveHome(reg.home);
@@ -1888,6 +2088,136 @@ StatusOr<QueryExecution> Cluster::ExecuteContinuousImpl(ContinuousHandle h,
   return exec;
 }
 
+std::optional<StatusOr<QueryExecution>> Cluster::TryExecuteGrouped(
+    Registration& reg, StreamTime end_ms) {
+  TemplateGroup* g = nullptr;
+  {
+    std::lock_guard lock(mqo_mu_);
+    if (reg.group < 0 || static_cast<size_t>(reg.group) >= groups_.size()) {
+      return std::nullopt;
+    }
+    g = groups_[static_cast<size_t>(reg.group)].get();
+  }
+  std::lock_guard glock(g->mu);
+  if (!g->live || g->members.size() < config_.mqo.min_group_size) {
+    return std::nullopt;  // Singleton groups run byte-identically to no-MQO.
+  }
+  if (fabric_->AnyNodeNotServing()) {
+    // A degraded cluster splits the whole group back to independent triggers
+    // for this round: every member then reports its own partial/degrade
+    // accounting instead of inheriting the probe's.
+    mqo_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+    Bump(obs_.mqo_fallbacks);
+    return std::nullopt;
+  }
+
+  const uint64_t stored = StoredEpoch();
+  const SnapshotNum sn = coordinator_->StableSn();
+  const uint64_t epoch = shard_map_.epoch();
+  const uint64_t gen = mqo_gen_.load(std::memory_order_relaxed);
+  bool paid = false;
+  if (!(g->memo_valid && g->memo_end_ms == end_ms &&
+        g->memo_stored_epoch == stored && g->memo_snapshot == sn &&
+        g->memo_ownership_epoch == epoch && g->memo_gen == gen)) {
+    g->memo_valid = false;
+    auto shared = ExecuteRegistrationAt(g->probe, end_ms, /*allow_delta=*/true,
+                                        /*count=*/false);
+    mqo_shared_evals_.fetch_add(1, std::memory_order_relaxed);
+    Bump(obs_.mqo_shared_evals);
+    if (!shared.ok() || shared->partial || shared->deadline_expired ||
+        shared->completeness < 1.0) {
+      // A failed or degraded probe is never memoized and never fanned out:
+      // the member re-runs independently so its error/partial surface is
+      // exactly what a cluster without MQO would have produced.
+      mqo_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+      Bump(obs_.mqo_fallbacks);
+      return std::nullopt;
+    }
+    g->memo_exec = std::move(*shared);
+    g->memo_partition = PartitionRowsByColumn(g->memo_exec.result,
+                                              static_cast<size_t>(g->hole_col));
+    g->memo_valid = true;
+    g->memo_end_ms = end_ms;
+    g->memo_stored_epoch = stored;
+    g->memo_snapshot = sn;
+    g->memo_ownership_epoch = epoch;
+    g->memo_gen = gen;
+    paid = true;
+  }
+
+  static const std::vector<size_t> kNoRows;
+  const std::vector<size_t>* rows = &kNoRows;
+  std::vector<size_t> leak_rows;
+  if (test_hooks::skip_fanout_partition.load(std::memory_order_relaxed)) {
+    // Planted defect: skip the hash partition — every member receives the
+    // whole probe result, i.e. its siblings' bindings leak into its answer.
+    leak_rows.resize(g->memo_exec.result.rows.size());
+    for (size_t r = 0; r < leak_rows.size(); ++r) {
+      leak_rows[r] = r;
+    }
+    rows = &leak_rows;
+  } else if (auto it = g->memo_partition.find(reg.hole_constant);
+             it != g->memo_partition.end()) {
+    rows = &it->second;
+  }
+  if (rows->empty() && !reg.query.filters.empty()) {
+    // Independent evaluation of an empty-join member can early-exit and then
+    // reject a FILTER over a never-bound variable; the probe (a superset of
+    // every member's join) cannot reproduce that. Run such members
+    // independently so grouped and independent error semantics stay
+    // identical.
+    mqo_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+    Bump(obs_.mqo_fallbacks);
+    return std::nullopt;
+  }
+
+  double sim_before = SimCost::TotalNs();
+  Stopwatch wall;
+  ExecContext fan_ctx;
+  fan_ctx.strings = strings_;
+  if constexpr (obs::kCompiledIn) {
+    fan_ctx.tracer = tracer_;
+    fan_ctx.trace_node = reg.home;
+  }
+  auto result = ProjectMemberFromProbe(reg.query, fan_ctx, g->memo_exec.result,
+                                       *rows, reg.var_to_canon);
+  if (!result.ok()) {
+    // Member-level modifier errors (e.g. ORDER BY on an aggregated column)
+    // arise in FinalizeSolution on both paths — safe to surface directly.
+    return std::optional<StatusOr<QueryExecution>>(result.status());
+  }
+  // The partition hand-off is one hop from the probe's home to the member's;
+  // the shared evaluation itself was charged when the payer ran it.
+  SimCost::Add(fabric_->transport() == Transport::kRdma ? kRdmaHopNs
+                                                        : kTcpHopNs);
+  QueryExecution out;
+  out.result = std::move(*result);
+  out.cpu_ms = wall.ElapsedNs() / 1e6;
+  out.net_ms = (SimCost::TotalNs() - sim_before) / 1e6;
+  out.fork_join = g->memo_exec.fork_join;
+  out.snapshot = g->memo_exec.snapshot;
+  out.window_end_ms = end_ms;
+  out.ownership_epoch = g->memo_exec.ownership_epoch;
+  if (paid) {
+    // The member that paid for the shared evaluation carries its full cost
+    // and accounting; memo-served siblings pay only the fan-out.
+    out.cpu_ms += g->memo_exec.cpu_ms;
+    out.net_ms += g->memo_exec.net_ms;
+    out.fault_retries = g->memo_exec.fault_retries;
+    out.backoff_ms = g->memo_exec.backoff_ms;
+    out.hedges_issued = g->memo_exec.hedges_issued;
+    out.hedges_won = g->memo_exec.hedges_won;
+    out.delta = g->memo_exec.delta;
+    out.delta_slices_cached = g->memo_exec.delta_slices_cached;
+    out.delta_slices_fresh = g->memo_exec.delta_slices_fresh;
+  } else {
+    mqo_fanout_served_.fetch_add(1, std::memory_order_relaxed);
+    Bump(obs_.mqo_fanout_served);
+  }
+  ApplyWindowLoss(reg, end_ms, &out);
+  return std::optional<StatusOr<QueryExecution>>(std::move(out));
+}
+
 void Cluster::RunMaintenance(StreamTime live_horizon_ms) {
   SnapshotNum floor = coordinator_->CollapseFloor();
   for (GStore* store : stores_raw_) {
@@ -1909,6 +2239,7 @@ void Cluster::RunMaintenance(StreamTime live_horizon_ms) {
       return kv.first < min_live;
     });
   }
+  BumpMqoGeneration();
 }
 
 Cluster::InjectionProfile Cluster::injection_profile(StreamId stream) const {
@@ -2078,6 +2409,7 @@ Status Cluster::CrashNode(NodeId node) {
   }
   ++fault_stats_.crashes;
   Bump(obs_.crashes);
+  BumpMqoGeneration();
   return Status::Ok();
 }
 
@@ -2180,6 +2512,7 @@ Status Cluster::FinishNodeRestore(NodeId node) {
     // gaps would instantly re-quarantine it.
     health_->Reset(node, last_health_ms_);
   }
+  BumpMqoGeneration();
   return Status::Ok();
 }
 
@@ -2413,6 +2746,7 @@ void Cluster::TryCommitMigration() {
     tracer_->Instant("reconfig", "reconfig/commit", target);
   }
   migration_.reset();
+  BumpMqoGeneration();
 }
 
 void Cluster::AbortMigrationInternal(bool taint, const std::string& reason) {
@@ -2432,6 +2766,7 @@ void Cluster::AbortMigrationInternal(bool taint, const std::string& reason) {
   // keeps the partial target copy invisible, and the source still owns (and
   // has been serving) the shard throughout.
   migration_.reset();
+  BumpMqoGeneration();
 }
 
 void Cluster::AbortMigrationFor(NodeId node) {
@@ -2514,6 +2849,7 @@ StatusOr<NodeId> Cluster::AddNode() {
   if (tracer_ != nullptr) {
     tracer_->Instant("reconfig", "reconfig/add_node", id);
   }
+  BumpMqoGeneration();
   return id;
 }
 
@@ -2570,6 +2906,18 @@ void Cluster::RehomeRegistrations(NodeId from, NodeId to) {
     ++reconfig_stats_.rehomed_registrations;
     Bump(obs_.reconfig_rehomed_registrations);
   }
+  // Template-group probes are registrations too (just not user-visible):
+  // the shared evaluation must leave a draining node with its members.
+  std::lock_guard lock(mqo_mu_);
+  for (auto& g : groups_) {
+    if (g->live && g->probe.home == from) {
+      g->probe.home = to;
+      for (StreamId sid : g->probe.stream_ids) {
+        streams_[sid].subscribers.insert(to);
+      }
+    }
+  }
+  BumpMqoGeneration();
 }
 
 void Cluster::UpdateScrapedMetrics() {
@@ -2702,6 +3050,24 @@ void Cluster::UpdateScrapedMetrics() {
       ->Set(static_cast<double>(delta_entries));
   m->GetGauge("wukongs_delta_cache_bytes")
       ->Set(static_cast<double>(delta_bytes));
+  // Template-group residency (§5.12); the shared-eval/fan-out counters are
+  // bumped at their event sites.
+  size_t mqo_groups = 0;
+  size_t mqo_members = 0;
+  {
+    std::lock_guard lock(mqo_mu_);
+    for (const auto& g : groups_) {
+      if (!g->live) {
+        continue;
+      }
+      ++mqo_groups;
+      std::lock_guard glock(g->mu);
+      mqo_members += g->members.size();
+    }
+  }
+  m->GetGauge("wukongs_mqo_groups")->Set(static_cast<double>(mqo_groups));
+  m->GetGauge("wukongs_mqo_grouped_members")
+      ->Set(static_cast<double>(mqo_members));
 }
 
 std::string Cluster::DumpMetrics(const std::string& name_filter) {

@@ -18,6 +18,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <set>
 #include <span>
 #include <string>
@@ -59,6 +60,18 @@ class UpstreamBuffer;
 namespace testkit {
 class ScheduleController;
 }  // namespace testkit
+
+// Multi-query optimization for templated continuous queries (DESIGN.md
+// §5.12). Registrations whose parsed queries canonicalize to the same
+// template signature (same shape, different user constant) form a group; a
+// trigger evaluates the group's shared probe query once and hash-partitions
+// the bindings back to members. Enabled by default, but a group only engages
+// once it holds `min_group_size` members — singleton registrations execute
+// byte-identically to a cluster without MQO.
+struct MqoConfig {
+  bool enabled = true;
+  size_t min_group_size = 2;
+};
 
 // End-to-end latency budgets (DESIGN.md §5.11). Off by default — a
 // default-constructed config enforces nothing, byte-identical to the seed.
@@ -119,6 +132,9 @@ struct ClusterConfig {
   // extension caps and the phi-accrual failure detector. All defaults off —
   // a default-constructed config behaves exactly like the seed.
   OverloadConfig overload;
+
+  // Shared template-group evaluation for continuous queries (§5.12).
+  MqoConfig mqo;
 
   // Tail robustness (§5.11): latency budgets, hedged fork-join sub-queries
   // and gray-failure (straggler) demotion. All defaults off.
@@ -271,6 +287,31 @@ class Cluster {
   bool HasDeltaCache(ContinuousHandle h) const;
   DeltaCache::Stats DeltaStatsOf(ContinuousHandle h) const;
   size_t DeltaEntryCountOf(ContinuousHandle h) const;
+
+  // Removes a continuous registration: its triggers fail with NotFound from
+  // now on, its delta cache detaches, and it leaves its template group (the
+  // last member leaving dissolves the group and its per-group cache).
+  // Handles are never reused.
+  Status UnregisterContinuous(ContinuousHandle h);
+  bool ContinuousActive(ContinuousHandle h) const;
+
+  // --- Template-group introspection (§5.12). ---
+  struct MqoStats {
+    uint64_t grouped_registrations = 0;  // Registrations that joined a group.
+    uint64_t groups_formed = 0;
+    uint64_t groups_dissolved = 0;
+    uint64_t shared_evals = 0;        // Probe evaluations (one per group+trigger).
+    uint64_t fanout_served = 0;       // Member triggers served from a memo.
+    uint64_t independent_fallbacks = 0;  // Grouped triggers that split back.
+  };
+  MqoStats mqo_stats() const;
+  // Group of a registration (-1 = ungrouped / dissolved-away), its current
+  // member count, live group count, and whether the group's shared probe
+  // carries a per-group DeltaCache.
+  int MqoGroupOf(ContinuousHandle h) const;
+  size_t MqoGroupSizeOf(ContinuousHandle h) const;
+  size_t MqoLiveGroups() const;
+  bool MqoGroupHasDeltaCache(ContinuousHandle h) const;
 
   // --- Maintenance: snapshot collapse + stream index / transient GC. ---
   // `live_horizon_ms`: no registered window will ever reach before this
@@ -504,6 +545,39 @@ class Cluster {
     std::unique_ptr<DeltaCache> delta_cache;
     int delta_window = -1;
     std::unique_ptr<std::atomic<BatchSeq>> last_stable;
+
+    // Template-group membership (§5.12). Unregistered registrations stay in
+    // the deque (indices are handles) with active=false. `group` indexes
+    // groups_; `hole_constant` is this member's user constant and
+    // `var_to_canon` its variable renaming into the group's probe space.
+    bool active = true;
+    int group = -1;
+    VertexId hole_constant = 0;
+    std::vector<int> var_to_canon;
+  };
+
+  // One template group (§5.12): the shared probe registration, its members,
+  // and a per-trigger memo of the probe's execution plus the hash partition
+  // of its rows by hole value. The memo key pins everything a window read
+  // depends on — trigger end, stored-graph epoch, snapshot, ownership epoch
+  // and the MQO generation counter (bumped by GC, crashes, reconfig and
+  // membership churn) — so a stale memo can never be served.
+  struct TemplateGroup {
+    std::string key;
+    bool live = true;
+    Registration probe;
+    int hole_col = 0;  // Probe result column holding the hole binding.
+    std::vector<ContinuousHandle> members;
+
+    std::mutex mu;  // Guards members and the memo.
+    bool memo_valid = false;
+    StreamTime memo_end_ms = 0;
+    uint64_t memo_stored_epoch = 0;
+    SnapshotNum memo_snapshot = 0;
+    uint64_t memo_ownership_epoch = 0;
+    uint64_t memo_gen = 0;
+    QueryExecution memo_exec;
+    std::unordered_map<VertexId, std::vector<size_t>> memo_partition;
   };
 
   // Door-side admission of a finished mini-batch: records its timing total,
@@ -572,6 +646,33 @@ class Cluster {
                                                  StreamTime end_ms,
                                                  bool allow_delta, bool count,
                                                  double deadline_ms = 0.0);
+  // Independent execution of one registration's trigger (plan-once, delta
+  // gate, cold pipeline, degrade/loss accounting). The caller has already
+  // verified the trigger condition; also runs the group probe (§5.12).
+  StatusOr<QueryExecution> ExecuteRegistrationAt(Registration& reg,
+                                                 StreamTime end_ms,
+                                                 bool allow_delta, bool count);
+  // --- Template groups (§5.12). ---
+  // Attaches a delta cache to `reg` when eligible and indexes it by stream.
+  void AttachDeltaCache(Registration& reg);
+  // Buckets a just-appended registration into its template group (creating
+  // the group and its probe on first sight of the signature).
+  void AddToTemplateGroup(ContinuousHandle h);
+  // Unregister path: shrink the group; the last member dissolves it and
+  // detaches the probe's per-group delta cache.
+  void RemoveFromTemplateGroup(ContinuousHandle h);
+  // Grouped trigger dispatch: serve `reg` from its group's shared probe
+  // evaluation. nullopt = this trigger must run independently (group below
+  // min size, degraded cluster, probe failure, or an empty partition whose
+  // member carries FILTERs and must reproduce independent error semantics).
+  std::optional<StatusOr<QueryExecution>> TryExecuteGrouped(Registration& reg,
+                                                            StreamTime end_ms);
+  // Drops the delta cache's stream-map entry (unregister / dissolution).
+  void DetachDeltaCache(Registration& reg);
+  // Invalidate every group memo (GC, crash, reconfig, membership churn).
+  void BumpMqoGeneration() {
+    mqo_gen_.fetch_add(1, std::memory_order_relaxed);
+  }
   // Effective budget for an execution: the caller's deadline_ms, falling
   // back to config_.deadline.default_budget_ms; 0 (no budget) unless
   // config_.deadline.enforce.
@@ -642,6 +743,24 @@ class Cluster {
   // Deque: references stay valid while later registrations are appended, so
   // executions and registrations can overlap safely.
   std::deque<Registration> registrations_;
+  // --- Template groups (§5.12). ---
+  // groups_ entries are never erased (indices stay stable in Registration::
+  // group); a dissolved group is marked !live. Guarded by mqo_mu_ together
+  // with group_index_ and the counters; per-group execution state is under
+  // each group's own mutex.
+  mutable std::mutex mqo_mu_;
+  std::vector<std::unique_ptr<TemplateGroup>> groups_;
+  std::unordered_map<std::string, size_t> group_index_;
+  // Memo generation: any event that can change window contents without
+  // moving the stored epoch or snapshot (GC/eviction, crash, reconfig,
+  // membership churn) bumps it, invalidating every group memo.
+  std::atomic<uint64_t> mqo_gen_{0};
+  std::atomic<uint64_t> mqo_grouped_registrations_{0};
+  std::atomic<uint64_t> mqo_groups_formed_{0};
+  std::atomic<uint64_t> mqo_groups_dissolved_{0};
+  std::atomic<uint64_t> mqo_shared_evals_{0};
+  std::atomic<uint64_t> mqo_fanout_served_{0};
+  std::atomic<uint64_t> mqo_fallbacks_{0};
   // delta_caches_by_stream_[stream] = caches of registrations whose window
   // pattern consumes that stream (each cache appears under exactly one
   // stream). Guarded by delta_mu_; eviction listeners and registration
@@ -745,6 +864,12 @@ class Cluster {
     obs::Counter* deadline_cancelled_steps = nullptr;
     obs::Counter* straggler_demotions = nullptr;
     obs::Counter* straggler_promotions = nullptr;
+    obs::Counter* mqo_grouped_registrations = nullptr;
+    obs::Counter* mqo_groups_formed = nullptr;
+    obs::Counter* mqo_groups_dissolved = nullptr;
+    obs::Counter* mqo_shared_evals = nullptr;
+    obs::Counter* mqo_fanout_served = nullptr;
+    obs::Counter* mqo_fallbacks = nullptr;
   };
   ObsCounters obs_;
   obs::Tracer* tracer_ = nullptr;  // config_.tracer, null when disabled.

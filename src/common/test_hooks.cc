@@ -6,5 +6,7 @@ std::atomic<bool> off_by_one_window{false};
 std::atomic<bool> stale_sn_read{false};
 std::atomic<bool> reorder_trace_spans{false};
 std::atomic<bool> skip_delta_invalidation{false};
+std::atomic<bool> skip_fanout_partition{false};
+std::atomic<bool> stale_group_membership{false};
 
 }  // namespace wukongs::test_hooks

@@ -31,6 +31,15 @@ extern std::atomic<bool> reorder_trace_spans;
 // slices — the planted mutation the delta parity lane must catch.
 extern std::atomic<bool> skip_delta_invalidation;
 
+// Template-group fan-out (§5.12) skips the hash partition and hands every
+// member the whole probe result — one user's bindings leak into sibling
+// registrations. The grouped-vs-independent differential lane must catch it.
+extern std::atomic<bool> skip_fanout_partition;
+
+// UnregisterContinuous leaves the registration inside its template group and
+// keeps serving its triggers — an unregistered query still receiving results.
+extern std::atomic<bool> stale_group_membership;
+
 // RAII toggle so a throwing test cannot leave a mutation armed for the rest
 // of the suite.
 class ScopedMutation {

@@ -46,4 +46,13 @@ void BindingTable::Clear() {
   unit_failed_ = false;
 }
 
+std::unordered_map<VertexId, std::vector<size_t>> PartitionRowsByColumn(
+    const QueryResult& result, size_t col) {
+  std::unordered_map<VertexId, std::vector<size_t>> partitions;
+  for (size_t r = 0; r < result.rows.size(); ++r) {
+    partitions[result.rows[r][col].vid].push_back(r);
+  }
+  return partitions;
+}
+
 }  // namespace wukongs

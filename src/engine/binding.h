@@ -11,6 +11,7 @@
 
 #include <cstddef>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/common/ids.h"
@@ -77,6 +78,13 @@ struct QueryResult {
   size_t size() const { return rows.size(); }
   bool empty() const { return rows.empty(); }
 };
+
+// Fan-out hash-partition stage for shared template-group evaluation
+// (DESIGN.md §5.12): buckets `result`'s rows by the vertex bound in column
+// `col` (the probe query's hole column). The map's value lists row indices,
+// not copies — each member registration then projects only its own bucket.
+std::unordered_map<VertexId, std::vector<size_t>> PartitionRowsByColumn(
+    const QueryResult& result, size_t col);
 
 }  // namespace wukongs
 

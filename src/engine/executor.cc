@@ -715,4 +715,68 @@ StatusOr<QueryResult> ExecuteQuery(const Query& q, const std::vector<int>& plan,
   return result;
 }
 
+StatusOr<QueryResult> ProjectMemberFromProbe(
+    const Query& q, const ExecContext& ctx, const QueryResult& probe,
+    const std::vector<size_t>& member_rows,
+    const std::vector<int>& var_to_probe_col) {
+  obs::Tracer::Span span = StageSpan(ctx, "exec/fanout");
+  span.Arg("rows_in", static_cast<uint64_t>(member_rows.size()));
+  // Fast path for the dominant template shape — plain SELECT, no
+  // aggregates/DISTINCT/ORDER/LIMIT: the probe values are already final
+  // ResultValues, so project straight out of the partition rows and skip
+  // the intermediate binding table (the fan-out stage runs once per member
+  // per trigger; this copy is its whole cost).
+  if (!q.has_aggregates() && !q.distinct && q.order_by.empty() &&
+      q.limit == 0 && q.group_by.empty()) {
+    QueryResult result;
+    std::vector<size_t> cols;
+    cols.reserve(q.select.size());
+    for (const SelectItem& item : q.select) {
+      int col = var_to_probe_col[static_cast<size_t>(item.var)];
+      if (col < 0) {
+        return Status::InvalidArgument("selected variable is unbound");
+      }
+      result.columns.push_back(q.var_names[static_cast<size_t>(item.var)]);
+      cols.push_back(static_cast<size_t>(col));
+    }
+    result.rows.reserve(member_rows.size());
+    for (size_t r : member_rows) {
+      std::vector<ResultValue> row;
+      row.reserve(cols.size());
+      for (size_t c : cols) {
+        row.push_back(probe.rows[r][c]);
+      }
+      result.rows.push_back(std::move(row));
+    }
+    span.Arg("rows_out", static_cast<uint64_t>(result.rows.size()));
+    span.End();
+    return result;
+  }
+  // Rebuild the member's pre-projection binding table from its partition:
+  // column v (the member's variable slot) takes the probe column that bound
+  // the same canonical variable. Unbound OPTIONAL markers round-trip as-is.
+  BindingTable table;
+  for (size_t v = 0; v < var_to_probe_col.size(); ++v) {
+    table.AddColumn(static_cast<int>(v));
+  }
+  std::vector<VertexId> row(var_to_probe_col.size());
+  for (size_t r : member_rows) {
+    for (size_t v = 0; v < var_to_probe_col.size(); ++v) {
+      row[v] = probe.rows[r][static_cast<size_t>(var_to_probe_col[v])].vid;
+    }
+    table.AppendRow(row.data());
+  }
+  auto result = ProjectResult(q, ctx, table);
+  if (!result.ok()) {
+    return result;
+  }
+  Status fin = FinalizeSolution(q, ctx, &result.value());
+  if (!fin.ok()) {
+    return fin;
+  }
+  span.Arg("rows_out", static_cast<uint64_t>(result->rows.size()));
+  span.End();
+  return result;
+}
+
 }  // namespace wukongs

@@ -69,6 +69,21 @@ Status FinalizeSolution(const Query& q, const ExecContext& ctx,
 StatusOr<QueryResult> ExecuteQuery(const Query& q, const std::vector<int>& plan,
                                    const ExecContext& ctx);
 
+// --- Shared template-group fan-out (DESIGN.md §5.12) -----------------------
+//
+// Projects one member registration's result out of the shared probe query's
+// result. `probe` selected every canonical variable plain, `member_rows` is
+// the member's hash partition (rows whose hole column equals its constant),
+// and `var_to_probe_col[v]` gives the probe column holding member variable
+// slot `v`. The member's own projection, aggregation and solution modifiers
+// (SELECT/GROUP BY/DISTINCT/ORDER BY) run here, on the rebuilt binding
+// table, so the fan-out output is bag-identical to evaluating the member's
+// query independently.
+StatusOr<QueryResult> ProjectMemberFromProbe(
+    const Query& q, const ExecContext& ctx, const QueryResult& probe,
+    const std::vector<size_t>& member_rows,
+    const std::vector<int>& var_to_probe_col);
+
 // --- Delta mode (DESIGN.md §5.9) ------------------------------------------
 //
 // Applies only to plans with exactly one window-scoped pattern (the caller's

@@ -1,0 +1,210 @@
+#include "src/sparql/template.h"
+
+#include <utility>
+
+namespace wukongs {
+namespace {
+
+TemplateSignature Ineligible(std::string reason) {
+  TemplateSignature sig;
+  sig.eligible = false;
+  sig.reason = std::move(reason);
+  return sig;
+}
+
+// First-occurrence alpha renaming: assign the next canonical slot the first
+// time a variable slot is seen. Scan order (required patterns, OPTIONAL
+// groups, FILTERs, then any leftover slots ascending) is part of the
+// signature's definition — it is what makes renaming deterministic.
+class Renamer {
+ public:
+  explicit Renamer(size_t slots) : map_(slots, -1) {}
+
+  int Canon(int var) {
+    if (map_[static_cast<size_t>(var)] < 0) {
+      map_[static_cast<size_t>(var)] = next_++;
+    }
+    return map_[static_cast<size_t>(var)];
+  }
+
+  void Finish() {
+    for (size_t v = 0; v < map_.size(); ++v) {
+      if (map_[v] < 0) {
+        map_[v] = next_++;
+      }
+    }
+  }
+
+  const std::vector<int>& map() const { return map_; }
+  int count() const { return next_; }
+
+ private:
+  std::vector<int> map_;
+  int next_ = 0;
+};
+
+}  // namespace
+
+TemplateSignature CanonicalizeTemplate(const Query& q) {
+  if (!q.continuous || q.windows.empty()) {
+    return Ineligible("not a windowed continuous query");
+  }
+  if (!q.unions.empty()) {
+    return Ineligible("UNION branches plan and execute separately");
+  }
+  if (q.limit != 0) {
+    return Ineligible("LIMIT makes row order observable");
+  }
+  for (const WindowSpec& w : q.windows) {
+    if (w.absolute) {
+      return Ineligible("absolute [FROM..TO] scope never slides");
+    }
+  }
+  for (const auto& group : q.optionals) {
+    for (const TriplePattern& p : group) {
+      if (p.graph != kGraphStored) {
+        return Ineligible("window-scoped pattern inside OPTIONAL");
+      }
+    }
+  }
+
+  // Exactly one constant subject/object across the whole BGP is the hole; it
+  // must sit in the required patterns. An OPTIONAL hole would be unsound: the
+  // probe's left-join binds the generalized hole only on rows where *some*
+  // constant matches, so rows where the member's specific constant fails to
+  // match (but another member's succeeds) would be lost from its partition.
+  int hole_pattern = -1;
+  bool hole_is_subject = false;
+  int constants = 0;
+  for (size_t i = 0; i < q.patterns.size(); ++i) {
+    if (!q.patterns[i].subject.is_var()) {
+      ++constants;
+      hole_pattern = static_cast<int>(i);
+      hole_is_subject = true;
+    }
+    if (!q.patterns[i].object.is_var()) {
+      ++constants;
+      hole_pattern = static_cast<int>(i);
+      hole_is_subject = false;
+    }
+  }
+  int optional_constants = 0;
+  for (const auto& group : q.optionals) {
+    for (const TriplePattern& p : group) {
+      optional_constants += p.subject.is_var() ? 0 : 1;
+      optional_constants += p.object.is_var() ? 0 : 1;
+    }
+  }
+  if (constants + optional_constants == 0) {
+    return Ineligible("no constant term to designate as the hole");
+  }
+  if (constants + optional_constants > 1) {
+    return Ineligible("multiple constant terms (ambiguous hole)");
+  }
+  if (constants == 0) {
+    return Ineligible("constant hole inside OPTIONAL");
+  }
+
+  TemplateSignature sig;
+  sig.eligible = true;
+  const TriplePattern& hp = q.patterns[static_cast<size_t>(hole_pattern)];
+  sig.hole_constant = hole_is_subject ? hp.subject.constant : hp.object.constant;
+
+  Renamer ren(q.var_names.size());
+  auto canon_term = [&](const Term& t, bool is_hole) -> std::string {
+    if (is_hole) {
+      return "$H";
+    }
+    if (t.is_var()) {
+      return "?" + std::to_string(ren.Canon(t.var));
+    }
+    return "c" + std::to_string(t.constant);
+  };
+
+  std::string key;
+  key += "W:";
+  for (const WindowSpec& w : q.windows) {
+    key += w.stream_name + "," + std::to_string(w.range_ms) + "," +
+           std::to_string(w.step_ms) + ";";
+  }
+  key += "|P:";
+  for (size_t i = 0; i < q.patterns.size(); ++i) {
+    const TriplePattern& p = q.patterns[i];
+    const bool here = static_cast<int>(i) == hole_pattern;
+    key += std::to_string(p.graph) + "," +
+           canon_term(p.subject, here && hole_is_subject) + "," +
+           std::to_string(p.predicate) + "," +
+           canon_term(p.object, here && !hole_is_subject) + ";";
+  }
+  key += "|O:";
+  for (const auto& group : q.optionals) {
+    key += "{";
+    for (const TriplePattern& p : group) {
+      key += std::to_string(p.graph) + "," + canon_term(p.subject, false) + "," +
+             std::to_string(p.predicate) + "," + canon_term(p.object, false) +
+             ";";
+    }
+    key += "}";
+  }
+  key += "|F:";
+  for (const FilterExpr& f : q.filters) {
+    key += std::to_string(ren.Canon(f.var)) + "," +
+           std::to_string(static_cast<int>(f.op)) + ",";
+    key += f.numeric ? ("n" + std::to_string(f.number))
+                     : ("v" + std::to_string(f.constant));
+    key += ";";
+  }
+  ren.Finish();
+  // Distinct-variable count disambiguates members that carry extra variables
+  // the patterns never bind (they must error per member, not silently read
+  // the probe's hole column).
+  key += "|V:" + std::to_string(ren.count());
+
+  sig.key = std::move(key);
+  sig.var_to_canon = ren.map();
+  sig.canon_vars = ren.count();
+  sig.hole_var = sig.canon_vars;
+
+  // Probe query: canonical variable space, hole generalized, every variable
+  // plus the hole selected plain, per-member modifiers stripped.
+  Query probe;
+  probe.continuous = true;
+  probe.windows = q.windows;
+  for (int v = 0; v < sig.canon_vars; ++v) {
+    probe.var_names.push_back("c" + std::to_string(v));
+  }
+  probe.var_names.push_back("hole");
+  auto remap_term = [&](const Term& t) {
+    return t.is_var() ? Term::Variable(sig.var_to_canon[static_cast<size_t>(t.var)])
+                      : t;
+  };
+  for (size_t i = 0; i < q.patterns.size(); ++i) {
+    TriplePattern p = q.patterns[i];
+    p.subject = remap_term(p.subject);
+    p.object = remap_term(p.object);
+    if (static_cast<int>(i) == hole_pattern) {
+      (hole_is_subject ? p.subject : p.object) = Term::Variable(sig.hole_var);
+    }
+    probe.patterns.push_back(p);
+  }
+  for (const auto& group : q.optionals) {
+    std::vector<TriplePattern> remapped;
+    for (TriplePattern p : group) {
+      p.subject = remap_term(p.subject);
+      p.object = remap_term(p.object);
+      remapped.push_back(p);
+    }
+    probe.optionals.push_back(std::move(remapped));
+  }
+  for (FilterExpr f : q.filters) {
+    f.var = sig.var_to_canon[static_cast<size_t>(f.var)];
+    probe.filters.push_back(f);
+  }
+  for (int v = 0; v <= sig.canon_vars; ++v) {
+    probe.select.push_back(SelectItem{v, AggKind::kNone});
+  }
+  sig.probe = std::move(probe);
+  return sig;
+}
+
+}  // namespace wukongs
