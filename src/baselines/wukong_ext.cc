@@ -141,7 +141,11 @@ StatusOr<QueryExecution> WukongExt::ExecuteContinuous(const Query& q,
 
   std::vector<std::unique_ptr<TimeFilteredSource>> plan_holders;
   ExecContext plan_ctx = build_ctx(/*charge_reads=*/false, &plan_holders);
-  std::vector<int> plan = PlanQuery(q, plan_ctx);
+  // The extension predates the columnar executor: it plans with the legacy
+  // row-count expansion estimate and runs the row pipeline below.
+  PlanHints hints;
+  hints.chunk_rows = 0;
+  std::vector<int> plan = PlanQuery(q, plan_ctx, hints);
   bool selective = true;
   if (!plan.empty()) {
     const TriplePattern& first = q.patterns[static_cast<size_t>(plan.front())];
@@ -167,7 +171,7 @@ StatusOr<QueryExecution> WukongExt::ExecuteContinuous(const Query& q,
       }
     };
   }
-  auto table = ExecutePatterns(q, plan, ctx, hook);
+  auto table = ExecutePatternsRow(q, plan, ctx, hook);
   if (!table.ok()) {
     return table.status();
   }

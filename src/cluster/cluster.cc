@@ -997,6 +997,7 @@ StatusOr<ExecContext> Cluster::BuildContext(
     std::vector<std::unique_ptr<NeighborSource>>* holders, DegradeState* degrade) {
   ExecContext ctx;
   ctx.strings = strings_;
+  ctx.columnar = config_.columnar_executor;
   if constexpr (obs::kCompiledIn) {
     ctx.tracer = tracer_;
     ctx.trace_node = home;
@@ -1314,19 +1315,7 @@ StatusOr<QueryExecution> Cluster::RunQuery(const Query& q,
   auto exec_span = TraceSpan(tracer_, "query", "query/execute", home);
   exec_span.Arg("mode", std::string(mode))
       .Arg("patterns", static_cast<uint64_t>(plan.size()));
-  auto table = ExecutePatterns(q, plan, ctx, hook);
-  if (!table.ok()) {
-    return table.status();
-  }
-  Status os = ApplyOptionals(q, ctx, &table.value());
-  if (!os.ok()) {
-    return os;
-  }
-  Status fs = ApplyFilters(q, ctx, &table.value());
-  if (!fs.ok()) {
-    return fs;
-  }
-  auto result = ProjectResult(q, ctx, table.value());
+  auto result = ExecutePipeline(q, plan, ctx, hook);
   if (!result.ok()) {
     return result.status();
   }

@@ -8,5 +8,7 @@ std::atomic<bool> reorder_trace_spans{false};
 std::atomic<bool> skip_delta_invalidation{false};
 std::atomic<bool> skip_fanout_partition{false};
 std::atomic<bool> stale_group_membership{false};
+std::atomic<bool> skip_selection_compact{false};
+std::atomic<bool> stale_arena_reuse{false};
 
 }  // namespace wukongs::test_hooks

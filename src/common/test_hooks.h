@@ -40,6 +40,17 @@ extern std::atomic<bool> skip_fanout_partition;
 // keeps serving its triggers — an unregistered query still receiving results.
 extern std::atomic<bool> stale_group_membership;
 
+// Columnar FILTER evaluation (§5.13) computes the per-chunk selection vector
+// but never stores it — rows the predicate dropped stay active. The
+// columnar-vs-row differential twin must catch the divergence.
+extern std::atomic<bool> skip_selection_compact;
+
+// The delta path recycles a contribution's column arena right after handing
+// the chunks to the DeltaCache — simulating an arena reset while cached
+// chunks still point into it, the lifetime bug the arena ownership rules in
+// DESIGN.md §5.13 forbid. The delta/cold parity lane must catch it.
+extern std::atomic<bool> stale_arena_reuse;
+
 // RAII toggle so a throwing test cannot leave a mutation armed for the rest
 // of the suite.
 class ScopedMutation {

@@ -6,7 +6,7 @@ uint64_t DeltaCache::InvalidateAllLocked() {
   uint64_t retired = contributions_.size() + (prefix_valid_ ? 1 : 0);
   contributions_.clear();
   prefix_valid_ = false;
-  prefix_ = BindingTable();
+  prefix_ = ColumnarTable();
   return retired;
 }
 
@@ -31,7 +31,7 @@ void DeltaCache::BeginTrigger(uint64_t epoch, BatchSeq lo, BatchSeq hi) {
   }
 }
 
-bool DeltaCache::GetPrefix(BindingTable* out) const {
+bool DeltaCache::GetPrefix(ColumnarTable* out) const {
   std::lock_guard lock(mu_);
   if (!prefix_valid_) {
     return false;
@@ -40,13 +40,13 @@ bool DeltaCache::GetPrefix(BindingTable* out) const {
   return true;
 }
 
-void DeltaCache::PutPrefix(const BindingTable& table) {
+void DeltaCache::PutPrefix(const ColumnarTable& table) {
   std::lock_guard lock(mu_);
   prefix_ = table;
   prefix_valid_ = true;
 }
 
-bool DeltaCache::GetContribution(BatchSeq seq, BindingTable* out) {
+bool DeltaCache::GetContribution(BatchSeq seq, ColumnarTable* out) {
   std::lock_guard lock(mu_);
   auto it = contributions_.find(seq);
   if (it == contributions_.end()) {
@@ -58,7 +58,7 @@ bool DeltaCache::GetContribution(BatchSeq seq, BindingTable* out) {
   return true;
 }
 
-void DeltaCache::PutContribution(BatchSeq seq, const BindingTable& table) {
+void DeltaCache::PutContribution(BatchSeq seq, const ColumnarTable& table) {
   std::lock_guard lock(mu_);
   contributions_[seq] = table;
 }

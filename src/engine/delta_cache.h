@@ -31,7 +31,7 @@
 #include <mutex>
 
 #include "src/common/ids.h"
-#include "src/engine/binding.h"
+#include "src/engine/columnar.h"
 
 namespace wukongs {
 
@@ -51,14 +51,18 @@ class DeltaCache {
   void BeginTrigger(uint64_t epoch, BatchSeq lo, BatchSeq hi);
 
   // Stored-graph prefix table (the window-independent plan prefix). Valid
-  // until the next epoch flush; the window never invalidates it.
-  bool GetPrefix(BindingTable* out) const;
-  void PutPrefix(const BindingTable& table);
+  // until the next epoch flush; the window never invalidates it. Tables are
+  // columnar: Get/Put share chunks (and their arenas) with the caller rather
+  // than copying rows, per the §5.13 ownership rules. The row pipeline
+  // converts through the row-view adapter at this boundary, so contribution
+  // keys (BatchSeq) and row order are identical across pipelines.
+  bool GetPrefix(ColumnarTable* out) const;
+  void PutPrefix(const ColumnarTable& table);
 
   // Per-slice contribution. Get counts a hit or a miss; every miss is
   // expected to be followed by a Put once the slice is evaluated.
-  bool GetContribution(BatchSeq seq, BindingTable* out);
-  void PutContribution(BatchSeq seq, const BindingTable& table);
+  bool GetContribution(BatchSeq seq, ColumnarTable* out);
+  void PutContribution(BatchSeq seq, const ColumnarTable& table);
 
   // Invalidation hook fired when the transient store / stream index GC
   // slices below `min_live_seq`. Returns entries retired.
@@ -78,8 +82,8 @@ class DeltaCache {
   uint64_t epoch_ = 0;
   bool epoch_set_ = false;
   bool prefix_valid_ = false;
-  BindingTable prefix_;
-  std::map<BatchSeq, BindingTable> contributions_;
+  ColumnarTable prefix_;
+  std::map<BatchSeq, ColumnarTable> contributions_;
   Stats stats_;
 };
 

@@ -6,7 +6,9 @@
 #include <map>
 #include <set>
 #include <unordered_set>
+#include <utility>
 
+#include "src/common/test_hooks.h"
 #include "src/obs/metrics.h"
 
 namespace wukongs {
@@ -28,9 +30,113 @@ obs::Tracer::Span StageSpan(const ExecContext& ctx, const char* name) {
   return {};
 }
 
-// Applies one triple pattern to `table`, producing the next table.
-Status ApplyPattern(const TriplePattern& p, const NeighborSource& src,
-                    BindingTable* table) {
+// Adjacency fetch with a zero-copy fast path: sources that expose contiguous
+// neighbor spans (in-memory stores) skip the per-key vector fill entirely;
+// everything else lands in a reused scratch buffer. The returned span is only
+// valid until the next Fetch.
+class NeighborCursor {
+ public:
+  explicit NeighborCursor(const NeighborSource& src) : src_(src) {}
+
+  const VertexId* Fetch(Key key, size_t* n) {
+    const VertexId* span = src_.NeighborSpan(key, n);
+    if (span != nullptr) {
+      return span;
+    }
+    scratch_.clear();
+    src_.GetNeighbors(key, &scratch_);
+    *n = scratch_.size();
+    return scratch_.data();
+  }
+
+ private:
+  const NeighborSource& src_;
+  std::vector<VertexId> scratch_;
+};
+
+// Columnar fetch path: cursor plus the per-pattern SpanCache (§5.13). A
+// pattern fixes predicate and direction, so the cache keys on the anchor
+// vertex alone. Non-selective expansions repeat anchors heavily (every row
+// that came out of a fan-out shares its upstream bindings); each repeat
+// becomes one flat L2-resident probe instead of a source hash lookup — or,
+// on fabric-backed sources, a re-charged remote read.
+class CachedCursor {
+ public:
+  CachedCursor(const NeighborSource& src, PredicateId pid, Dir dir)
+      : src_(src), pid_(pid), dir_(dir) {}
+
+  const VertexId* Fetch(VertexId anchor, size_t* n) {
+    const VertexId* hit = nullptr;
+    if (cache_.Lookup(anchor, &hit, n)) {
+      return hit;
+    }
+    Key key(anchor, pid_, dir_);
+    const VertexId* span = src_.NeighborSpan(key, n);
+    if (span != nullptr) {
+      cache_.Insert(anchor, span, *n);
+      return span;
+    }
+    scratch_.clear();
+    src_.GetNeighbors(key, &scratch_);
+    *n = scratch_.size();
+    return cache_.InsertCopy(anchor, scratch_.data(), scratch_.size());
+  }
+
+ private:
+  const NeighborSource& src_;
+  PredicateId pid_;
+  Dir dir_;
+  SpanCache cache_;
+  std::vector<VertexId> scratch_;
+};
+
+// Shared FILTER predicate over one binding, identical across pipelines. Sets
+// *keep; fails when a numeric comparison has no string server to consult.
+Status EvalFilter(const FilterExpr& f, VertexId v, const StringServer* strings,
+                  bool* keep) {
+  *keep = false;
+  if (!f.numeric) {
+    *keep = f.MatchesVertex(v);
+    return Status::Ok();
+  }
+  if (strings == nullptr) {
+    return Status::FailedPrecondition("numeric FILTER needs a string server");
+  }
+  auto str = strings->VertexString(v);
+  if (!str.ok()) {
+    return Status::Ok();
+  }
+  char* end = nullptr;
+  double num = std::strtod(str->c_str(), &end);
+  if (end == str->c_str()) {
+    return Status::Ok();  // Non-numeric binding never matches a numeric filter.
+  }
+  switch (f.op) {
+    case FilterExpr::Op::kLt:
+      *keep = num < f.number;
+      break;
+    case FilterExpr::Op::kLe:
+      *keep = num <= f.number;
+      break;
+    case FilterExpr::Op::kGt:
+      *keep = num > f.number;
+      break;
+    case FilterExpr::Op::kGe:
+      *keep = num >= f.number;
+      break;
+    case FilterExpr::Op::kEq:
+      *keep = num == f.number;
+      break;
+    case FilterExpr::Op::kNe:
+      *keep = num != f.number;
+      break;
+  }
+  return Status::Ok();
+}
+
+// Applies one triple pattern to a row-major `table`, producing the next table.
+Status ApplyPatternRow(const TriplePattern& p, const NeighborSource& src,
+                       BindingTable* table) {
   const bool s_var = p.subject.is_var();
   const bool o_var = p.object.is_var();
   const int s_col = s_var ? table->ColumnOf(p.subject.var) : -1;
@@ -175,23 +281,310 @@ Status ApplyPattern(const TriplePattern& p, const NeighborSource& src,
   return Status::Ok();
 }
 
-}  // namespace
+// --- Columnar scan-join (DESIGN.md §5.13) ----------------------------------
+//
+// Row enumeration order is the contract: every case below emits surviving
+// rows in exactly the order the row pipeline would (chunks in order, rows in
+// order, neighbors in order), so projected results stay byte-identical.
 
-StatusOr<BindingTable> ExecutePatterns(const Query& q, const std::vector<int>& plan,
-                                       const ExecContext& ctx,
-                                       const StepHook& hook) {
+// Two-pass batched expansion of one chunk (§5.13). Pass one (the caller's
+// scan) resolves each surviving row's adjacency span — through the pattern's
+// SpanCache, so repeated anchors cost one flat probe — into parallel
+// span/count/row arrays. Pass two here sizes the output chunk exactly and
+// writes every column directly: carried columns as run-filled reads of the
+// source column, the new binding as straight span copies. No staging of the
+// cross product, no per-row allocation; each emitted value is written once.
+//
+// Span lifetime: entries come from the source's contiguous adjacency
+// (stable until the source mutates) or from the SpanCache's copy pool
+// (stable for the cache's lifetime, even across evictions), so holding them
+// for the whole chunk is safe.
+struct ExpansionScratch {
+  std::vector<const VertexId*> spans;
+  std::vector<uint32_t> counts;
+  std::vector<uint32_t> rows;  // Physical source row per surviving entry.
+  size_t total = 0;            // Sum of counts.
+
+  void Clear(size_t expect = 0) {
+    spans.clear();
+    counts.clear();
+    rows.clear();
+    total = 0;
+    if (expect > 0) {
+      spans.reserve(expect);
+      counts.reserve(expect);
+      rows.reserve(expect);
+    }
+  }
+  void Push(uint32_t row, const VertexId* nbrs, size_t n) {
+    if (n == 0) {
+      return;
+    }
+    spans.push_back(nbrs);
+    counts.push_back(static_cast<uint32_t>(n));
+    rows.push_back(row);
+    total += n;
+  }
+};
+
+void ExpandChunk(ColumnarTable* next, const ColumnarChunk& ch, size_t old_cols,
+                 const ExpansionScratch& s) {
+  if (s.total == 0) {
+    return;
+  }
+  ColumnarChunk* out = next->StartChunk(s.total);
+  if (s.total == s.rows.size()) {
+    // Every surviving row matched exactly one edge (fanout-1 predicates,
+    // e.g. functional properties): carried columns reduce to plain gathers
+    // and the new binding to one dereference per row.
+    for (size_t c = 0; c < old_cols; ++c) {
+      GatherColumn(ch.cols[c], s.rows.data(), s.rows.size(), out->cols[c]);
+    }
+    VertexId* dst = out->cols[old_cols];
+    for (size_t i = 0; i < s.spans.size(); ++i) {
+      dst[i] = *s.spans[i];
+    }
+    out->size = s.total;
+    return;
+  }
+  for (size_t c = 0; c < old_cols; ++c) {
+    const VertexId* src_col = ch.cols[c];
+    VertexId* dst = out->cols[c];
+    size_t at = 0;
+    for (size_t i = 0; i < s.rows.size(); ++i) {
+      const VertexId v = src_col[s.rows[i]];
+      const uint32_t run = s.counts[i];
+      for (uint32_t k = 0; k < run; ++k) {
+        dst[at + k] = v;
+      }
+      at += run;
+    }
+  }
+  VertexId* dst = out->cols[old_cols];
+  size_t at = 0;
+  for (size_t i = 0; i < s.rows.size(); ++i) {
+    std::copy(s.spans[i], s.spans[i] + s.counts[i], dst + at);
+    at += s.counts[i];
+  }
+  out->size = s.total;
+}
+
+// Applies one triple pattern to a columnar `table`.
+Status ApplyPatternColumnar(const TriplePattern& p, const NeighborSource& src,
+                            ColumnarTable* table) {
+  const bool s_var = p.subject.is_var();
+  const bool o_var = p.object.is_var();
+  const int s_col = s_var ? table->ColumnOf(p.subject.var) : -1;
+  const int o_col = o_var ? table->ColumnOf(p.object.var) : -1;
+  const bool s_known = !s_var || s_col >= 0;
+  const bool o_known = !o_var || o_col >= 0;
+  const size_t old_cols = table->num_cols();
+  NeighborCursor cursor(src);
+
+  if (s_known && o_known) {
+    if (old_cols == 0) {
+      // Unit table: single check on the constant endpoints.
+      size_t n = 0;
+      const VertexId* nbrs =
+          cursor.Fetch(Key(p.subject.constant, p.predicate, Dir::kOut), &n);
+      if (CountEqual(nbrs, n, p.object.constant) == 0) {
+        table->FailUnit();
+      }
+      return Status::Ok();
+    }
+    // Existence check. The common case — every surviving row matched exactly
+    // one edge — shrinks the chunk in place through its selection vector,
+    // touching no column data. Only a duplicated edge (bag multiplicity > 1)
+    // forces a materialized rebuild, reusing the multiplicities from the
+    // scan so no neighbor list is fetched twice.
+    size_t const_n = 0;
+    const VertexId* const_nbrs = nullptr;
+    if (!s_var) {
+      const_nbrs =
+          cursor.Fetch(Key(p.subject.constant, p.predicate, Dir::kOut), &const_n);
+    }
+    CachedCursor cached(src, p.predicate, Dir::kOut);
+    std::vector<uint32_t> keep;
+    std::vector<std::pair<uint32_t, uint32_t>> mults;  // (physical row, mult)
+    for (ColumnarChunk& ch : table->chunks()) {
+      keep.clear();
+      mults.clear();
+      bool has_dup = false;
+      auto scan = [&](uint32_t r) {
+        VertexId obj = o_var ? ch.cols[o_col][r] : p.object.constant;
+        size_t n = const_n;
+        const VertexId* nbrs = const_nbrs;
+        if (s_var) {
+          nbrs = cached.Fetch(ch.cols[s_col][r], &n);
+        }
+        size_t mult = CountEqual(nbrs, n, obj);
+        if (mult > 0) {
+          keep.push_back(r);
+          mults.emplace_back(r, static_cast<uint32_t>(mult));
+          has_dup = has_dup || mult > 1;
+        }
+      };
+      if (ch.dense) {
+        for (size_t r = 0; r < ch.size; ++r) {
+          scan(static_cast<uint32_t>(r));
+        }
+      } else {
+        for (uint32_t r : ch.sel) {
+          scan(r);
+        }
+      }
+      if (has_dup) {
+        std::vector<uint32_t> idx;
+        for (const auto& [r, m] : mults) {
+          idx.insert(idx.end(), m, r);
+        }
+        ColumnarChunk next = table->MakeChunk(idx.size());
+        for (size_t c = 0; c < old_cols; ++c) {
+          GatherColumn(ch.cols[c], idx.data(), idx.size(), next.cols[c]);
+        }
+        next.size = idx.size();
+        ch = std::move(next);
+      } else if (keep.size() != ch.active()) {
+        ch.sel = keep;
+        ch.dense = false;
+      }
+    }
+    return Status::Ok();
+  }
+
+  if (s_known != o_known) {
+    // Expansion: forward over out-edges binds the object variable, backward
+    // over in-edges binds the subject.
+    const bool forward = s_known;
+    const Dir dir = forward ? Dir::kOut : Dir::kIn;
+    const Term& anchor = forward ? p.subject : p.object;
+    const int anchor_col = forward ? s_col : o_col;
+    const int new_var = forward ? p.object.var : p.subject.var;
+
+    ColumnarTable next;
+    for (int v : table->vars()) {
+      next.AddColumn(v);
+    }
+    next.AddColumn(new_var);
+    if (old_cols == 0) {
+      size_t n = 0;
+      const VertexId* nbrs = cursor.Fetch(Key(anchor.constant, p.predicate, dir), &n);
+      if (n > 0) {
+        ColumnarChunk* out = next.StartChunk(n);
+        std::copy(nbrs, nbrs + n, out->cols[0]);
+        out->size = n;
+      }
+      *table = std::move(next);
+      return Status::Ok();
+    }
+    // A constant anchor means one adjacency list serves every row.
+    size_t const_n = 0;
+    const VertexId* const_nbrs = nullptr;
+    if (!anchor.is_var()) {
+      const_nbrs = cursor.Fetch(Key(anchor.constant, p.predicate, dir), &const_n);
+    }
+    CachedCursor cached(src, p.predicate, dir);
+    ExpansionScratch scratch;
+    for (const ColumnarChunk& ch : table->chunks()) {
+      scratch.Clear(ch.active());
+      auto expand = [&](uint32_t r) {
+        size_t n = const_n;
+        const VertexId* nbrs = const_nbrs;
+        if (anchor.is_var()) {
+          nbrs = cached.Fetch(ch.cols[anchor_col][r], &n);
+        }
+        scratch.Push(r, nbrs, n);
+      };
+      if (ch.dense) {
+        for (size_t r = 0; r < ch.size; ++r) {
+          expand(static_cast<uint32_t>(r));
+        }
+      } else {
+        for (uint32_t r : ch.sel) {
+          expand(r);
+        }
+      }
+      ExpandChunk(&next, ch, old_cols, scratch);
+    }
+    *table = std::move(next);
+    return Status::Ok();
+  }
+
+  // Neither endpoint known: seed subjects from the index vertex, cartesian
+  // with existing rows, then expand objects from the bound subject column.
+  std::vector<VertexId> subjects;
+  src.GetNeighbors(Key(kIndexVertex, p.predicate, Dir::kOut), &subjects);
+
+  ColumnarTable mid;
+  for (int v : table->vars()) {
+    mid.AddColumn(v);
+  }
+  mid.AddColumn(p.subject.var);
+  if (old_cols == 0) {
+    if (!subjects.empty()) {
+      ColumnarChunk* out = mid.StartChunk(subjects.size());
+      std::copy(subjects.begin(), subjects.end(), out->cols[0]);
+      out->size = subjects.size();
+    }
+  } else {
+    ExpansionScratch scratch;
+    for (const ColumnarChunk& ch : table->chunks()) {
+      scratch.Clear(ch.active());
+      auto seed = [&](uint32_t r) {
+        scratch.Push(r, subjects.data(), subjects.size());
+      };
+      if (ch.dense) {
+        for (size_t r = 0; r < ch.size; ++r) {
+          seed(static_cast<uint32_t>(r));
+        }
+      } else {
+        for (uint32_t r : ch.sel) {
+          seed(r);
+        }
+      }
+      ExpandChunk(&mid, ch, old_cols, scratch);
+    }
+  }
+
+  ColumnarTable out;
+  for (int v : mid.vars()) {
+    out.AddColumn(v);
+  }
+  out.AddColumn(p.object.var);
+  const size_t mid_cols = mid.num_cols();
+  const int mid_s_col = mid.ColumnOf(p.subject.var);
+  CachedCursor cached(src, p.predicate, Dir::kOut);
+  ExpansionScratch scratch;
+  for (const ColumnarChunk& ch : mid.chunks()) {
+    scratch.Clear(ch.size);
+    for (size_t r = 0; r < ch.size; ++r) {  // mid chunks are always dense.
+      size_t n = 0;
+      const VertexId* nbrs = cached.Fetch(ch.cols[mid_s_col][r], &n);
+      scratch.Push(static_cast<uint32_t>(r), nbrs, n);
+    }
+    ExpandChunk(&out, ch, mid_cols, scratch);
+  }
+  *table = std::move(out);
+  return Status::Ok();
+}
+
+// Pattern loop shared by both pipelines (they differ only in table type).
+template <typename Table, typename ApplyFn>
+StatusOr<Table> RunPatternLoop(const Query& q, const std::vector<int>& plan,
+                               const ExecContext& ctx, const StepHook& hook,
+                               const ApplyFn& apply) {
   if (plan.size() != q.patterns.size()) {
     return Status::Internal("plan does not cover all patterns");
   }
   obs::Tracer::Span span = StageSpan(ctx, "exec/patterns");
   span.Arg("patterns", static_cast<uint64_t>(plan.size()));
-  BindingTable table;
+  Table table;
   for (int idx : plan) {
     const TriplePattern& p = q.patterns[static_cast<size_t>(idx)];
     const NeighborSource* src = SourceFor(ctx, p.graph);
     size_t rows_before = table.num_rows();
     size_t cols_before = table.num_cols();
-    Status s = ApplyPattern(p, *src, &table);
+    Status s = apply(p, *src, &table);
     if (!s.ok()) {
       return s;
     }
@@ -204,6 +597,20 @@ StatusOr<BindingTable> ExecutePatterns(const Query& q, const std::vector<int>& p
   }
   span.Arg("rows", static_cast<uint64_t>(table.num_rows()));
   return table;
+}
+
+}  // namespace
+
+StatusOr<BindingTable> ExecutePatternsRow(const Query& q, const std::vector<int>& plan,
+                                          const ExecContext& ctx,
+                                          const StepHook& hook) {
+  return RunPatternLoop<BindingTable>(q, plan, ctx, hook, ApplyPatternRow);
+}
+
+StatusOr<ColumnarTable> ExecutePatterns(const Query& q, const std::vector<int>& plan,
+                                        const ExecContext& ctx,
+                                        const StepHook& hook) {
+  return RunPatternLoop<ColumnarTable>(q, plan, ctx, hook, ApplyPatternColumnar);
 }
 
 Status ApplyFilters(const Query& q, const ExecContext& ctx, BindingTable* table) {
@@ -224,52 +631,93 @@ Status ApplyFilters(const Query& q, const ExecContext& ctx, BindingTable* table)
       next.AddColumn(v);
     }
     for (size_t r = 0; r < table->num_rows(); ++r) {
-      VertexId v = table->At(r, col);
       bool keep = false;
-      if (f.numeric) {
-        if (ctx.strings == nullptr) {
-          return Status::FailedPrecondition("numeric FILTER needs a string server");
-        }
-        auto str = ctx.strings->VertexString(v);
-        if (!str.ok()) {
-          continue;
-        }
-        char* end = nullptr;
-        double num = std::strtod(str->c_str(), &end);
-        if (end == str->c_str()) {
-          continue;  // Non-numeric binding never matches a numeric filter.
-        }
-        switch (f.op) {
-          case FilterExpr::Op::kLt:
-            keep = num < f.number;
-            break;
-          case FilterExpr::Op::kLe:
-            keep = num <= f.number;
-            break;
-          case FilterExpr::Op::kGt:
-            keep = num > f.number;
-            break;
-          case FilterExpr::Op::kGe:
-            keep = num >= f.number;
-            break;
-          case FilterExpr::Op::kEq:
-            keep = num == f.number;
-            break;
-          case FilterExpr::Op::kNe:
-            keep = num != f.number;
-            break;
-        }
-      } else {
-        bool eq = (v == f.constant);
-        keep = (f.op == FilterExpr::Op::kEq) ? eq
-               : (f.op == FilterExpr::Op::kNe) ? !eq
-                                               : false;
+      Status s = EvalFilter(f, table->At(r, col), ctx.strings, &keep);
+      if (!s.ok()) {
+        return s;
       }
       if (keep) {
         next.AppendRow(table->Row(r));
       }
     }
     *table = std::move(next);
+  }
+  return Status::Ok();
+}
+
+Status ApplyFilters(const Query& q, const ExecContext& ctx, ColumnarTable* table) {
+  if (q.filters.empty() || table->num_cols() == 0) {
+    return Status::Ok();
+  }
+  obs::Tracer::Span span = StageSpan(ctx, "exec/filters");
+  span.Arg("filters", static_cast<uint64_t>(q.filters.size()))
+      .Arg("rows_in", static_cast<uint64_t>(table->num_rows()));
+  for (const FilterExpr& f : q.filters) {
+    int col = table->ColumnOf(f.var);
+    if (col < 0) {
+      return Status::InvalidArgument("FILTER references unbound variable ?" +
+                                     q.var_names[static_cast<size_t>(f.var)]);
+    }
+    std::vector<uint32_t> keep;
+    for (ColumnarChunk& ch : table->chunks()) {
+      keep.clear();
+      Status err = Status::Ok();
+      if (!f.numeric) {
+        // Vertex-identity predicates cannot fail: evaluate them in a tight
+        // loop over the id column instead of through the Status-returning
+        // generic path (which costs more than the compare itself).
+        const VertexId* vals = ch.cols[col];
+        if (ch.dense) {
+          for (size_t r = 0; r < ch.size; ++r) {
+            if (f.MatchesVertex(vals[r])) {
+              keep.push_back(static_cast<uint32_t>(r));
+            }
+          }
+        } else {
+          for (uint32_t r : ch.sel) {
+            if (f.MatchesVertex(vals[r])) {
+              keep.push_back(r);
+            }
+          }
+        }
+      } else {
+        auto eval = [&](uint32_t r) -> bool {
+          bool k = false;
+          Status s = EvalFilter(f, ch.cols[col][r], ctx.strings, &k);
+          if (!s.ok()) {
+            err = s;
+            return false;
+          }
+          if (k) {
+            keep.push_back(r);
+          }
+          return true;
+        };
+        if (ch.dense) {
+          for (size_t r = 0; r < ch.size; ++r) {
+            if (!eval(static_cast<uint32_t>(r))) {
+              break;
+            }
+          }
+        } else {
+          for (uint32_t r : ch.sel) {
+            if (!eval(r)) {
+              break;
+            }
+          }
+        }
+      }
+      if (!err.ok()) {
+        return err;
+      }
+      if (test_hooks::skip_selection_compact.load(std::memory_order_relaxed)) {
+        continue;  // Planted defect: selection computed but never stored.
+      }
+      if (keep.size() != ch.active()) {
+        ch.sel = keep;
+        ch.dense = false;
+      }
+    }
   }
   return Status::Ok();
 }
@@ -347,11 +795,11 @@ Status FinalizeSolution(const Query& q, const ExecContext& ctx,
   return Status::Ok();
 }
 
-StatusOr<QueryResult> ProjectResult(const Query& q, const ExecContext& ctx,
-                                    const BindingTable& table) {
-  obs::Tracer::Span span = StageSpan(ctx, "exec/project");
-  span.Arg("rows_in", static_cast<uint64_t>(table.num_rows()));
-  QueryResult result;
+namespace {
+
+// Result column names (COUNT(x), SUM(x), ... wrappers), shared by both
+// projection implementations.
+void ProjectColumnNames(const Query& q, QueryResult* result) {
   for (const SelectItem& item : q.select) {
     std::string name = q.var_names[static_cast<size_t>(item.var)];
     switch (item.agg) {
@@ -373,8 +821,18 @@ StatusOr<QueryResult> ProjectResult(const Query& q, const ExecContext& ctx,
         name = "MAX(" + name + ")";
         break;
     }
-    result.columns.push_back(std::move(name));
+    result->columns.push_back(std::move(name));
   }
+}
+
+}  // namespace
+
+StatusOr<QueryResult> ProjectResult(const Query& q, const ExecContext& ctx,
+                                    const BindingTable& table) {
+  obs::Tracer::Span span = StageSpan(ctx, "exec/project");
+  span.Arg("rows_in", static_cast<uint64_t>(table.num_rows()));
+  QueryResult result;
+  ProjectColumnNames(q, &result);
 
   if (table.num_rows() == 0) {
     return result;  // Empty result; unbound select columns are moot.
@@ -518,18 +976,119 @@ StatusOr<QueryResult> ProjectResult(const Query& q, const ExecContext& ctx,
   return result;
 }
 
-Status ApplyOptionals(const Query& q, const ExecContext& ctx, BindingTable* table) {
-  for (const std::vector<TriplePattern>& group : q.optionals) {
-    // Variables the group introduces on top of the current bindings.
-    std::vector<int> new_vars;
-    for (const TriplePattern& p : group) {
-      for (const Term* t : {&p.subject, &p.object}) {
-        if (t->is_var() && !table->IsBound(t->var) &&
-            std::find(new_vars.begin(), new_vars.end(), t->var) == new_vars.end()) {
-          new_vars.push_back(t->var);
-        }
+StatusOr<QueryResult> ProjectResult(const Query& q, const ExecContext& ctx,
+                                    const ColumnarTable& table) {
+  if (q.has_aggregates()) {
+    // Aggregation collapses the table to per-group scalar state, so the
+    // per-row gather the columnar layout accelerates is not the cost here;
+    // project through the (order-preserving) row view and keep one
+    // implementation of the grouping semantics.
+    return ProjectResult(q, ctx, table.ToRows());
+  }
+  obs::Tracer::Span span = StageSpan(ctx, "exec/project");
+  span.Arg("rows_in", static_cast<uint64_t>(table.num_rows()));
+  QueryResult result;
+  ProjectColumnNames(q, &result);
+
+  if (table.num_rows() == 0) {
+    return result;  // Empty result; unbound select columns are moot.
+  }
+
+  result.rows.reserve(table.num_rows());
+  std::vector<int> cols;
+  for (const SelectItem& item : q.select) {
+    int col = table.ColumnOf(item.var);
+    if (col < 0) {
+      return Status::InvalidArgument("selected variable is unbound");
+    }
+    cols.push_back(col);
+  }
+  table.ForEachActiveRow([&](const ColumnarChunk& ch, size_t r) {
+    std::vector<ResultValue> row;
+    row.reserve(cols.size());
+    for (int c : cols) {
+      row.push_back(ResultValue::Vertex(ch.cols[static_cast<size_t>(c)][r]));
+    }
+    result.rows.push_back(std::move(row));
+  });
+  return result;
+}
+
+namespace {
+
+// OPTIONAL group evaluation for one left-hand row: runs the group's patterns
+// seeded with the row's bindings and appends the joined (or unbound-padded)
+// rows to `next`. Shared by both pipelines; the per-row seed tables are tiny,
+// so the row machinery serves both.
+Status OptionalJoinRow(const std::vector<TriplePattern>& group,
+                       const ExecContext& ctx, const std::vector<int>& vars,
+                       const std::vector<int>& new_vars, const VertexId* row,
+                       size_t old_cols, std::vector<VertexId>* row_buffer,
+                       const std::function<void(const VertexId*)>& emit) {
+  BindingTable seed;
+  for (int v : vars) {
+    seed.AddColumn(v);
+  }
+  if (old_cols > 0) {
+    seed.AppendRow(row);
+  }
+  bool dead = false;
+  for (const TriplePattern& p : group) {
+    const NeighborSource* src = SourceFor(ctx, p.graph);
+    Status s = ApplyPatternRow(p, *src, &seed);
+    if (!s.ok()) {
+      return s;
+    }
+    if (seed.num_rows() == 0) {
+      dead = true;
+      break;
+    }
+  }
+  if (dead) {
+    // No match: keep the row; the group's variables stay unbound.
+    for (size_t c = 0; c < old_cols; ++c) {
+      (*row_buffer)[c] = row[c];
+    }
+    for (size_t c = old_cols; c < row_buffer->size(); ++c) {
+      (*row_buffer)[c] = kUnboundBinding;
+    }
+    emit(row_buffer->data());
+    return Status::Ok();
+  }
+  for (size_t sr = 0; sr < seed.num_rows(); ++sr) {
+    for (size_t c = 0; c < old_cols; ++c) {
+      (*row_buffer)[c] = row[c];
+    }
+    for (size_t c = 0; c < new_vars.size(); ++c) {
+      int col = seed.ColumnOf(new_vars[c]);
+      (*row_buffer)[old_cols + c] = col >= 0 ? seed.At(sr, col) : kUnboundBinding;
+    }
+    emit(row_buffer->data());
+  }
+  return Status::Ok();
+}
+
+// Variables an OPTIONAL group introduces on top of the current bindings.
+template <typename Table>
+std::vector<int> OptionalNewVars(const std::vector<TriplePattern>& group,
+                                 const Table& table) {
+  std::vector<int> new_vars;
+  for (const TriplePattern& p : group) {
+    for (const Term* t : {&p.subject, &p.object}) {
+      if (t->is_var() && !table.IsBound(t->var) &&
+          std::find(new_vars.begin(), new_vars.end(), t->var) == new_vars.end()) {
+        new_vars.push_back(t->var);
       }
     }
+  }
+  return new_vars;
+}
+
+}  // namespace
+
+Status ApplyOptionals(const Query& q, const ExecContext& ctx, BindingTable* table) {
+  for (const std::vector<TriplePattern>& group : q.optionals) {
+    std::vector<int> new_vars = OptionalNewVars(group, *table);
     BindingTable next;
     for (int v : table->vars()) {
       next.AddColumn(v);
@@ -539,47 +1098,13 @@ Status ApplyOptionals(const Query& q, const ExecContext& ctx, BindingTable* tabl
     }
     const size_t old_cols = table->num_cols();
     std::vector<VertexId> row_buffer(next.num_cols());
+    auto emit = [&](const VertexId* r) { next.AppendRow(r); };
     for (size_t r = 0; r < table->num_rows(); ++r) {
-      // Left join: execute the group seeded with this row's bindings.
-      BindingTable seed;
-      for (int v : table->vars()) {
-        seed.AddColumn(v);
-      }
-      if (old_cols > 0) {
-        seed.AppendRow(table->Row(r));
-      }
-      bool dead = false;
-      for (const TriplePattern& p : group) {
-        const NeighborSource* src = SourceFor(ctx, p.graph);
-        Status s = ApplyPattern(p, *src, &seed);
-        if (!s.ok()) {
-          return s;
-        }
-        if (seed.num_rows() == 0) {
-          dead = true;
-          break;
-        }
-      }
-      if (dead) {
-        // No match: keep the row; the group's variables stay unbound.
-        for (size_t c = 0; c < old_cols; ++c) {
-          row_buffer[c] = table->At(r, static_cast<int>(c));
-        }
-        for (size_t c = old_cols; c < row_buffer.size(); ++c) {
-          row_buffer[c] = kUnboundBinding;
-        }
-        next.AppendRow(row_buffer.data());
-        continue;
-      }
-      for (size_t sr = 0; sr < seed.num_rows(); ++sr) {
-        for (size_t c = 0; c < old_cols; ++c) {
-          row_buffer[c] = table->At(r, static_cast<int>(c));
-        }
-        for (size_t c = 0; c < new_vars.size(); ++c) {
-          int col = seed.ColumnOf(new_vars[c]);
-          row_buffer[old_cols + c] = col >= 0 ? seed.At(sr, col) : kUnboundBinding;
-        }
-        next.AppendRow(row_buffer.data());
+      const VertexId* row = old_cols > 0 ? table->Row(r) : nullptr;
+      Status s = OptionalJoinRow(group, ctx, table->vars(), new_vars, row,
+                                 old_cols, &row_buffer, emit);
+      if (!s.ok()) {
+        return s;
       }
     }
     *table = std::move(next);
@@ -587,28 +1112,95 @@ Status ApplyOptionals(const Query& q, const ExecContext& ctx, BindingTable* tabl
   return Status::Ok();
 }
 
-StatusOr<DeltaTable> ExecuteDeltaPatterns(const Query& q,
-                                          const std::vector<int>& plan,
-                                          const ExecContext& ctx,
-                                          const DeltaSpec& spec) {
-  if (plan.size() != q.patterns.size()) {
-    return Status::Internal("plan does not cover all patterns");
+Status ApplyOptionals(const Query& q, const ExecContext& ctx, ColumnarTable* table) {
+  for (const std::vector<TriplePattern>& group : q.optionals) {
+    std::vector<int> new_vars = OptionalNewVars(group, *table);
+    ColumnarTable next;
+    for (int v : table->vars()) {
+      next.AddColumn(v);
+    }
+    for (int v : new_vars) {
+      next.AddColumn(v);
+    }
+    const size_t old_cols = table->num_cols();
+    std::vector<VertexId> row_buffer(next.num_cols());
+    std::vector<VertexId> left(old_cols);
+    auto emit = [&](const VertexId* r) { next.AppendRow(r); };
+    Status err = Status::Ok();
+    if (old_cols == 0) {
+      // Unit table: zero-column tables hold no chunks, so drive the single
+      // implicit row (if it survived) directly.
+      for (size_t r = 0; r < table->num_rows(); ++r) {
+        err = OptionalJoinRow(group, ctx, table->vars(), new_vars, nullptr, 0,
+                              &row_buffer, emit);
+        if (!err.ok()) {
+          return err;
+        }
+      }
+    } else {
+      table->ForEachActiveRow([&](const ColumnarChunk& ch, size_t r) -> bool {
+        for (size_t c = 0; c < old_cols; ++c) {
+          left[c] = ch.cols[c][r];
+        }
+        err = OptionalJoinRow(group, ctx, table->vars(), new_vars, left.data(),
+                              old_cols, &row_buffer, emit);
+        return err.ok();
+      });
+      if (!err.ok()) {
+        return err;
+      }
+    }
+    *table = std::move(next);
   }
-  if (spec.cache == nullptr || spec.window_pos >= plan.size() ||
-      !spec.slice_source) {
-    return Status::Internal("delta execution without a cache or window split");
-  }
-  obs::Tracer::Span span = StageSpan(ctx, "exec/delta");
-  span.Arg("batches", static_cast<uint64_t>(spec.batches.size()))
-      .Arg("patterns", static_cast<uint64_t>(plan.size()));
+  return Status::Ok();
+}
 
+StatusOr<QueryResult> ExecutePipeline(const Query& q, const std::vector<int>& plan,
+                                      const ExecContext& ctx, const StepHook& hook) {
+  if (ctx.columnar) {
+    auto table = ExecutePatterns(q, plan, ctx, hook);
+    if (!table.ok()) {
+      return table.status();
+    }
+    Status os = ApplyOptionals(q, ctx, &table.value());
+    if (!os.ok()) {
+      return os;
+    }
+    Status fs = ApplyFilters(q, ctx, &table.value());
+    if (!fs.ok()) {
+      return fs;
+    }
+    return ProjectResult(q, ctx, table.value());
+  }
+  auto table = ExecutePatternsRow(q, plan, ctx, hook);
+  if (!table.ok()) {
+    return table.status();
+  }
+  Status os = ApplyOptionals(q, ctx, &table.value());
+  if (!os.ok()) {
+    return os;
+  }
+  Status fs = ApplyFilters(q, ctx, &table.value());
+  if (!fs.ok()) {
+    return fs;
+  }
+  return ProjectResult(q, ctx, table.value());
+}
+
+namespace {
+
+StatusOr<DeltaTable> ExecuteDeltaPatternsColumnar(const Query& q,
+                                                  const std::vector<int>& plan,
+                                                  const ExecContext& ctx,
+                                                  const DeltaSpec& spec,
+                                                  obs::Tracer::Span& span) {
   // Stored-graph prefix: window-independent, so one table serves every slice
   // and every trigger until an epoch flush.
-  BindingTable prefix;
+  ColumnarTable prefix;
   if (!spec.cache->GetPrefix(&prefix)) {
     for (size_t i = 0; i < spec.window_pos; ++i) {
       const TriplePattern& p = q.patterns[static_cast<size_t>(plan[i])];
-      Status s = ApplyPattern(p, *SourceFor(ctx, p.graph), &prefix);
+      Status s = ApplyPatternColumnar(p, *SourceFor(ctx, p.graph), &prefix);
       if (!s.ok()) {
         return s;
       }
@@ -616,6 +1208,7 @@ StatusOr<DeltaTable> ExecuteDeltaPatterns(const Query& q,
         break;
       }
     }
+    prefix.Compact();
     spec.cache->PutPrefix(prefix);
   }
 
@@ -624,20 +1217,20 @@ StatusOr<DeltaTable> ExecuteDeltaPatterns(const Query& q,
       q.patterns[static_cast<size_t>(plan[spec.window_pos])];
   if (prefix.num_rows() > 0) {
     for (BatchSeq b : spec.batches) {
-      BindingTable contrib;
+      ColumnarTable contrib;
       if (spec.cache->GetContribution(b, &contrib)) {
         ++out.slices_cached;
       } else {
         ++out.slices_fresh;
         contrib = prefix;
-        Status s = ApplyPattern(wp, *spec.slice_source(b), &contrib);
+        Status s = ApplyPatternColumnar(wp, *spec.slice_source(b), &contrib);
         if (!s.ok()) {
           return s;
         }
         for (size_t i = spec.window_pos + 1;
              i < plan.size() && contrib.num_rows() > 0; ++i) {
           const TriplePattern& p = q.patterns[static_cast<size_t>(plan[i])];
-          s = ApplyPattern(p, *SourceFor(ctx, p.graph), &contrib);
+          s = ApplyPatternColumnar(p, *SourceFor(ctx, p.graph), &contrib);
           if (!s.ok()) {
             return s;
           }
@@ -654,7 +1247,17 @@ StatusOr<DeltaTable> ExecuteDeltaPatterns(const Query& q,
             return fs;
           }
         }
+        // Cache entries outlive this trigger: materialize selections so the
+        // cached chunks hold only live rows.
+        contrib.Compact();
         spec.cache->PutContribution(b, contrib);
+        if (test_hooks::stale_arena_reuse.load(std::memory_order_relaxed)) {
+          // Planted defect: "reset" the contribution's arenas for reuse right
+          // after handing the chunks to the cache — the cached entry (and the
+          // union below, which adopts the same chunks) now reads scribbled
+          // column data.
+          contrib.ScribbleArenasForTesting(static_cast<VertexId>(0xDEAD));
+        }
       }
       if (contrib.num_rows() == 0) {
         continue;
@@ -671,9 +1274,7 @@ StatusOr<DeltaTable> ExecuteDeltaPatterns(const Query& q,
         }
       }
       assert(contrib.num_cols() == out.table.num_cols());
-      for (size_t r = 0; r < contrib.num_rows(); ++r) {
-        out.table.AppendRow(contrib.Row(r));
-      }
+      out.table.AppendTable(contrib);  // Adopts chunks; no row copies.
     }
   }
   if (out.table.num_cols() == 0) {
@@ -690,21 +1291,123 @@ StatusOr<DeltaTable> ExecuteDeltaPatterns(const Query& q,
   return out;
 }
 
+StatusOr<DeltaTable> ExecuteDeltaPatternsRow(const Query& q,
+                                             const std::vector<int>& plan,
+                                             const ExecContext& ctx,
+                                             const DeltaSpec& spec,
+                                             obs::Tracer::Span& span) {
+  // Row twin of the delta pipeline. The cache stores columnar tables in both
+  // modes (the DeltaCache value type is the chunk layout); the row view
+  // adapter converts at the cache boundary with row order preserved.
+  BindingTable prefix;
+  ColumnarTable cached;
+  if (spec.cache->GetPrefix(&cached)) {
+    prefix = cached.ToRows();
+  } else {
+    for (size_t i = 0; i < spec.window_pos; ++i) {
+      const TriplePattern& p = q.patterns[static_cast<size_t>(plan[i])];
+      Status s = ApplyPatternRow(p, *SourceFor(ctx, p.graph), &prefix);
+      if (!s.ok()) {
+        return s;
+      }
+      if (prefix.num_rows() == 0) {
+        break;
+      }
+    }
+    spec.cache->PutPrefix(ColumnarTable::FromRows(prefix));
+  }
+
+  DeltaTable out;
+  BindingTable union_rows;
+  const TriplePattern& wp =
+      q.patterns[static_cast<size_t>(plan[spec.window_pos])];
+  if (prefix.num_rows() > 0) {
+    for (BatchSeq b : spec.batches) {
+      BindingTable contrib;
+      if (spec.cache->GetContribution(b, &cached)) {
+        ++out.slices_cached;
+        contrib = cached.ToRows();
+      } else {
+        ++out.slices_fresh;
+        contrib = prefix;
+        Status s = ApplyPatternRow(wp, *spec.slice_source(b), &contrib);
+        if (!s.ok()) {
+          return s;
+        }
+        for (size_t i = spec.window_pos + 1;
+             i < plan.size() && contrib.num_rows() > 0; ++i) {
+          const TriplePattern& p = q.patterns[static_cast<size_t>(plan[i])];
+          s = ApplyPatternRow(p, *SourceFor(ctx, p.graph), &contrib);
+          if (!s.ok()) {
+            return s;
+          }
+        }
+        if (contrib.num_rows() > 0) {
+          Status os = ApplyOptionals(q, ctx, &contrib);
+          if (!os.ok()) {
+            return os;
+          }
+          Status fs = ApplyFilters(q, ctx, &contrib);
+          if (!fs.ok()) {
+            return fs;
+          }
+        }
+        spec.cache->PutContribution(b, ColumnarTable::FromRows(contrib));
+      }
+      if (contrib.num_rows() == 0) {
+        continue;
+      }
+      if (contrib.num_cols() == 0) {
+        out.fallback = true;
+        return out;
+      }
+      if (union_rows.num_cols() == 0) {
+        for (int v : contrib.vars()) {
+          union_rows.AddColumn(v);
+        }
+      }
+      assert(contrib.num_cols() == union_rows.num_cols());
+      for (size_t r = 0; r < contrib.num_rows(); ++r) {
+        union_rows.AppendRow(contrib.Row(r));
+      }
+    }
+  }
+  if (union_rows.num_cols() == 0) {
+    union_rows.FailUnit();
+    out.fallback = !q.filters.empty();
+  }
+  out.table = ColumnarTable::FromRows(union_rows);
+  span.Arg("cached", out.slices_cached)
+      .Arg("fresh", out.slices_fresh)
+      .Arg("rows", static_cast<uint64_t>(out.table.num_rows()));
+  return out;
+}
+
+}  // namespace
+
+StatusOr<DeltaTable> ExecuteDeltaPatterns(const Query& q,
+                                          const std::vector<int>& plan,
+                                          const ExecContext& ctx,
+                                          const DeltaSpec& spec) {
+  if (plan.size() != q.patterns.size()) {
+    return Status::Internal("plan does not cover all patterns");
+  }
+  if (spec.cache == nullptr || spec.window_pos >= plan.size() ||
+      !spec.slice_source) {
+    return Status::Internal("delta execution without a cache or window split");
+  }
+  obs::Tracer::Span span = StageSpan(ctx, "exec/delta");
+  span.Arg("batches", static_cast<uint64_t>(spec.batches.size()))
+      .Arg("patterns", static_cast<uint64_t>(plan.size()));
+  if (ctx.columnar) {
+    return ExecuteDeltaPatternsColumnar(q, plan, ctx, spec, span);
+  }
+  return ExecuteDeltaPatternsRow(q, plan, ctx, spec, span);
+}
+
 StatusOr<QueryResult> ExecuteQuery(const Query& q, const std::vector<int>& plan,
                                    const ExecContext& ctx) {
-  auto table = ExecutePatterns(q, plan, ctx);
-  if (!table.ok()) {
-    return table.status();
-  }
-  Status os = ApplyOptionals(q, ctx, &table.value());
-  if (!os.ok()) {
-    return os;
-  }
-  Status fs = ApplyFilters(q, ctx, &table.value());
-  if (!fs.ok()) {
-    return fs;
-  }
-  auto result = ProjectResult(q, ctx, table.value());
+  auto result = ExecutePipeline(q, plan, ctx);
   if (!result.ok()) {
     return result;
   }

@@ -5,6 +5,14 @@
 // executor runs under both execution modes: distribution and its costs live
 // inside the NeighborSource implementations (paper §5 "in-place execution"),
 // so pattern evaluation here is pure exploration.
+//
+// Two pipelines share this interface (DESIGN.md §5.13). The primary pipeline
+// carries bindings in column-major ColumnarTables — pattern expansion is a
+// batched scan-join over arena-allocated id columns, and pruning steps only
+// touch selection vectors. The legacy row-major pipeline (the *Row entry
+// points) is kept bit-for-bit: the differential harness runs both on the same
+// seeds and demands byte-identical projected results, and the composite
+// baselines deliberately keep the row path to model the pre-refactor engine.
 
 #ifndef SRC_ENGINE_EXECUTOR_H_
 #define SRC_ENGINE_EXECUTOR_H_
@@ -14,6 +22,7 @@
 
 #include "src/common/status.h"
 #include "src/engine/binding.h"
+#include "src/engine/columnar.h"
 #include "src/engine/delta_cache.h"
 #include "src/engine/neighbor_source.h"
 #include "src/obs/trace.h"
@@ -31,31 +40,50 @@ struct ExecContext {
   // null = tracing off. `trace_node` is the executing node for the tid field.
   obs::Tracer* tracer = nullptr;
   uint32_t trace_node = 0;
+  // Pipeline selector for the entry points that dispatch (ExecutePipeline,
+  // ExecuteQuery, ExecuteDeltaPatterns). The row pipeline exists for the
+  // columnar-vs-row differential twin and the composite baselines.
+  bool columnar = true;
 };
 
 // Per-step observer: invoked after each pattern with the pattern, the table
 // shape before the step, and the row count after. Fork-join engines use it to
-// charge per-step shipping costs.
+// charge per-step shipping costs. Both pipelines report identical numbers.
 using StepHook = std::function<void(const TriplePattern& pattern, size_t rows_before,
                                     size_t cols_before, size_t rows_after)>;
 
+// --- Columnar pipeline (primary) -------------------------------------------
+
 // Executes patterns in `plan` order (indices into q.patterns) and returns the
-// binding table before projection.
-StatusOr<BindingTable> ExecutePatterns(const Query& q, const std::vector<int>& plan,
-                                       const ExecContext& ctx,
-                                       const StepHook& hook = {});
+// columnar binding table before projection.
+StatusOr<ColumnarTable> ExecutePatterns(const Query& q, const std::vector<int>& plan,
+                                        const ExecContext& ctx,
+                                        const StepHook& hook = {});
 
 // Left-joins each of q.optionals onto `table`: rows extend with the group's
 // bindings when the group matches, otherwise keep their bindings with the
 // group's new variables set to kUnboundBinding.
-Status ApplyOptionals(const Query& q, const ExecContext& ctx, BindingTable* table);
+Status ApplyOptionals(const Query& q, const ExecContext& ctx, ColumnarTable* table);
 
-// Applies q.filters to `table` in place (drops non-matching rows).
-Status ApplyFilters(const Query& q, const ExecContext& ctx, BindingTable* table);
+// Applies q.filters to `table` in place. Pure selection: dropped rows leave
+// the column data untouched and only shrink the chunk selection vectors.
+Status ApplyFilters(const Query& q, const ExecContext& ctx, ColumnarTable* table);
 
 // Projects/aggregates `table` into the result (no solution modifiers).
 StatusOr<QueryResult> ProjectResult(const Query& q, const ExecContext& ctx,
+                                    const ColumnarTable& table);
+
+// --- Row pipeline (legacy / baselines / differential twin) -----------------
+
+StatusOr<BindingTable> ExecutePatternsRow(const Query& q, const std::vector<int>& plan,
+                                          const ExecContext& ctx,
+                                          const StepHook& hook = {});
+Status ApplyOptionals(const Query& q, const ExecContext& ctx, BindingTable* table);
+Status ApplyFilters(const Query& q, const ExecContext& ctx, BindingTable* table);
+StatusOr<QueryResult> ProjectResult(const Query& q, const ExecContext& ctx,
                                     const BindingTable& table);
+
+// --- Shared tail + dispatch ------------------------------------------------
 
 // Applies the solution-sequence modifiers (DISTINCT, ORDER BY, LIMIT).
 // Separate from ProjectResult so UNION branches can be projected first and
@@ -63,9 +91,16 @@ StatusOr<QueryResult> ProjectResult(const Query& q, const ExecContext& ctx,
 Status FinalizeSolution(const Query& q, const ExecContext& ctx,
                         QueryResult* result);
 
-// Convenience: plan already chosen; runs patterns -> optionals -> filters ->
-// projection -> modifiers. Does not handle UNION (the Cluster plans and
-// executes each branch, then concatenates and finalizes).
+// Runs patterns -> optionals -> filters -> projection on the pipeline
+// selected by ctx.columnar. Solution modifiers are left to the caller (UNION
+// branches concatenate first).
+StatusOr<QueryResult> ExecutePipeline(const Query& q, const std::vector<int>& plan,
+                                      const ExecContext& ctx,
+                                      const StepHook& hook = {});
+
+// Convenience: plan already chosen; ExecutePipeline + FinalizeSolution. Does
+// not handle UNION (the Cluster plans and executes each branch, then
+// concatenates and finalizes).
 StatusOr<QueryResult> ExecuteQuery(const Query& q, const std::vector<int>& plan,
                                    const ExecContext& ctx);
 
@@ -106,7 +141,11 @@ struct DeltaSpec {
 };
 
 struct DeltaTable {
-  BindingTable table;  // Union of contributions, post OPTIONALs + FILTERs.
+  // Union of contributions, post OPTIONALs + FILTERs. Columnar in both
+  // pipeline modes: the union adopts cached chunks without copying, and the
+  // row pipeline converts through the row-view adapter at the cache boundary
+  // (contribution keys and row order are unchanged).
+  ColumnarTable table;
   // Union came out empty while the query carries FILTERs: the caller must
   // fall back to the cold path so early-exit error semantics (FILTER over a
   // variable the truncated table never bound) stay byte-identical.

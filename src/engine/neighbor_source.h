@@ -26,6 +26,17 @@ class NeighborSource {
   // Cheap cardinality estimate for the planner; needs no network round trip
   // in the real system because Wukong keeps per-predicate statistics.
   virtual size_t EstimateCount(Key key) const = 0;
+
+  // Zero-copy variant for the columnar scan-join: returns a pointer to the
+  // source's contiguous adjacency span for `key` (setting *n), or nullptr
+  // when the source cannot expose one — callers then fall back to
+  // GetNeighbors into a scratch vector. The span must stay valid until the
+  // next mutating call on the source.
+  virtual const VertexId* NeighborSpan(Key key, size_t* n) const {
+    (void)key;
+    *n = 0;
+    return nullptr;
+  }
 };
 
 }  // namespace wukongs

@@ -74,6 +74,20 @@ struct FilterExpr {
   bool numeric = false;
   double number = 0.0;       // Valid when numeric.
   VertexId constant = 0;     // Valid when !numeric.
+
+  // Vertex-identity evaluation for the non-numeric forms (kEq/kNe compare
+  // plain ids; ordering ops are meaningless on ids and reject the row).
+  // Numeric forms need a string server and are evaluated by the executor.
+  bool MatchesVertex(VertexId v) const {
+    switch (op) {
+      case Op::kEq:
+        return v == constant;
+      case Op::kNe:
+        return v != constant;
+      default:
+        return false;
+    }
+  }
 };
 
 // ORDER BY key: a variable slot plus direction.

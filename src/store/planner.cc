@@ -21,6 +21,11 @@ bool TermBound(const Term& t, const std::vector<bool>& bound) {
 
 double EstimatePatternCost(const TriplePattern& p, const std::vector<bool>& bound,
                            const ExecContext& ctx) {
+  return EstimatePatternCost(p, bound, ctx, PlanHints{});
+}
+
+double EstimatePatternCost(const TriplePattern& p, const std::vector<bool>& bound,
+                           const ExecContext& ctx, const PlanHints& hints) {
   const NeighborSource* src = SourceFor(ctx, p.graph);
   const bool s_known = TermBound(p.subject, bound);
   const bool o_known = TermBound(p.object, bound);
@@ -44,6 +49,16 @@ double EstimatePatternCost(const TriplePattern& p, const std::vector<bool>& boun
   // pattern must rank by *its* window, not a shared constant.
   if (s_known || o_known) {
     size_t seeds = src->EstimateCount(Key(kIndexVertex, p.predicate, Dir::kOut));
+    if (hints.chunk_rows > 0) {
+      // Columnar executor: the expansion is a per-chunk batched gather, so
+      // what the estimate should count is chunk cardinality — how much of a
+      // chunk the predicate's seed population fills — not raw rows. The
+      // ratio keeps the ranking monotone in the seed count (two sparse
+      // windows still order correctly) while de-weighting dense predicates
+      // that the row estimate saturated to the same cap.
+      return std::min(16.0, 1.0 + static_cast<double>(seeds) /
+                                      static_cast<double>(hints.chunk_rows));
+    }
     return std::min(16.0, 1.0 + static_cast<double>(seeds));
   }
   // Both endpoints free: index-vertex scan over every pid edge.
@@ -73,7 +88,7 @@ std::vector<int> PlanQuery(const Query& q, const ExecContext& ctx,
       }
       const TriplePattern& p = q.patterns[i];
       bool connected = TermBound(p.subject, bound) || TermBound(p.object, bound);
-      double cost = EstimatePatternCost(p, bound, ctx);
+      double cost = EstimatePatternCost(p, bound, ctx, hints);
       if (hints.delta_cache && p.graph != kGraphStored) {
         // Cache-friendly bias: defer window patterns so the stored-graph
         // prefix (cached across triggers) absorbs as much of the join as

@@ -27,6 +27,12 @@ struct PlanHints {
   // patterns last — so the cached prefix table and per-slice contributions
   // stay reusable across triggers.
   bool delta_cache = false;
+  // Rows per columnar chunk (§5.13). Bound-variable expansion is batched per
+  // chunk, so its cost scales with how many chunk-granular gather passes the
+  // seed set fills, not with the raw seed count the row executor paid per
+  // row. 0 selects the legacy row-count estimate (used by the composite
+  // baselines, which keep the row pipeline).
+  size_t chunk_rows = kColumnarChunkRows;
 };
 
 // Returns the execution order (indices into q.patterns).
@@ -36,9 +42,12 @@ std::vector<int> PlanQuery(const Query& q, const ExecContext& ctx,
 
 // Estimated output cardinality of running `p` given `bound` variable slots.
 // Exposed for tests and for the composite baselines (which must plan with
-// *partial* information to reproduce the paper's sub-optimal plans).
+// *partial* information to reproduce the paper's sub-optimal plans). The
+// three-argument form estimates for the primary (columnar) executor.
 double EstimatePatternCost(const TriplePattern& p, const std::vector<bool>& bound,
                            const ExecContext& ctx);
+double EstimatePatternCost(const TriplePattern& p, const std::vector<bool>& bound,
+                           const ExecContext& ctx, const PlanHints& hints);
 
 }  // namespace wukongs
 

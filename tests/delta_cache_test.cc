@@ -54,8 +54,8 @@ std::multiset<std::string> Canon(const QueryResult& r) {
 // DeltaCacheTest: the cache data structure in isolation.
 // ---------------------------------------------------------------------------
 
-BindingTable OneRowTable(VertexId v) {
-  BindingTable t;
+ColumnarTable OneRowTable(VertexId v) {
+  ColumnarTable t;
   t.AddColumn(0);
   t.AppendRow(&v);
   return t;
@@ -64,7 +64,7 @@ BindingTable OneRowTable(VertexId v) {
 TEST(DeltaCacheTest, MissThenHitAccounting) {
   DeltaCache cache;
   cache.BeginTrigger(/*epoch=*/1, /*lo=*/0, /*hi=*/4);
-  BindingTable out;
+  ColumnarTable out;
   EXPECT_FALSE(cache.GetContribution(2, &out));
   cache.PutContribution(2, OneRowTable(7));
   ASSERT_TRUE(cache.GetContribution(2, &out));
@@ -84,7 +84,7 @@ TEST(DeltaCacheTest, EpochChangeFlushesEverything) {
   EXPECT_EQ(cache.EntryCount(), 2u);
 
   cache.BeginTrigger(2, 0, 4);  // Stored graph moved.
-  BindingTable out;
+  ColumnarTable out;
   EXPECT_EQ(cache.EntryCount(), 0u);
   EXPECT_FALSE(cache.GetPrefix(&out));
   EXPECT_GE(cache.stats().epoch_flushes, 1u);
@@ -101,7 +101,7 @@ TEST(DeltaCacheTest, WindowSlideRetiresOutOfWindowEntries) {
 
   cache.BeginTrigger(1, 3, 12);  // Window slid by three slices.
   EXPECT_EQ(cache.EntryCount(), 7u);  // 3..9 survive, 0..2 retired.
-  BindingTable out;
+  ColumnarTable out;
   EXPECT_TRUE(cache.GetPrefix(&out));  // The prefix never slides out.
   EXPECT_GE(cache.stats().invalidations, 3u);
   // Size stays bounded by the window span no matter how long it runs.
@@ -137,11 +137,12 @@ constexpr char kDeltaQuery[] = R"(
 
 class DeltaClusterTest : public ::testing::Test {
  protected:
-  void Init(uint32_t nodes, bool delta_enabled = true) {
+  void Init(uint32_t nodes, bool delta_enabled = true, bool columnar = true) {
     ClusterConfig config;
     config.nodes = nodes;
     config.batch_interval_ms = kIntervalMs;
     config.delta_cache_enabled = delta_enabled;
+    config.columnar_executor = columnar;
     cluster_ = std::make_unique<Cluster>(config);
     // `at` is a timing predicate: its tuples live only in transient slices,
     // so feeding the stream never moves the stored-graph epoch and delta
@@ -215,6 +216,43 @@ TEST_F(DeltaClusterTest, SlidingTriggersServeCachedSlices) {
   DeltaCache::Stats stats = cluster_->DeltaStatsOf(*h);
   EXPECT_GT(stats.hits, stats.misses);
   EXPECT_GT(stats.invalidations, 0u);  // Window-slide retirements.
+}
+
+TEST_F(DeltaClusterTest, ColumnarDeltaUnionsStayBagIdenticalToColdRecompute) {
+  // §5.13 parity regression: the DeltaCache now stores ColumnarTable
+  // contributions whose chunks the trigger-time union *adopts* (no row
+  // copies), and the row pipeline reaches the same cache through the
+  // row-view adapter. Both executor modes must keep every delta trigger
+  // bag-identical to a cold full-window recompute, and — because cached
+  // BatchSeq keys and row order are part of the adapter contract — the two
+  // modes must agree with each other window for window.
+  std::vector<std::multiset<std::string>> per_mode;
+  for (bool columnar : {true, false}) {
+    Init(2, /*delta_enabled=*/true, columnar);
+    auto h = cluster_->RegisterContinuous(kDeltaQuery);
+    ASSERT_TRUE(h.ok()) << h.status().ToString();
+    ASSERT_TRUE(cluster_->HasDeltaCache(*h));
+    std::multiset<std::string> all;
+    for (StreamTime end = 1000; end <= 2500; end += kIntervalMs) {
+      ASSERT_TRUE(cluster_->FeedStream(stream_, {PingAt(end - 50)}).ok());
+      cluster_->AdvanceStreams(end);
+      ASSERT_TRUE(cluster_->WindowReady(*h, end));
+      QueryExecution exec = TriggerWithParity(*h, end);  // Delta == cold.
+      if (end > 1000) {
+        EXPECT_TRUE(exec.delta) << "columnar=" << columnar << " end=" << end;
+        EXPECT_GE(exec.delta_slices_cached, 9u)
+            << "columnar=" << columnar << " end=" << end;
+      }
+      for (const std::string& row : Canon(exec.result)) {
+        all.insert(std::to_string(end) + "#" + row);
+      }
+    }
+    DeltaCache::Stats stats = cluster_->DeltaStatsOf(*h);
+    EXPECT_GT(stats.hits, stats.misses) << "columnar=" << columnar;
+    per_mode.push_back(std::move(all));
+  }
+  EXPECT_EQ(per_mode[0], per_mode[1])
+      << "columnar and row delta pipelines delivered different windows";
 }
 
 TEST_F(DeltaClusterTest, ColdReExecutionDoesNotTouchTheCache) {
@@ -376,6 +414,62 @@ TEST(DeltaPlannerTest, BoundExpansionRanksByThePatternsOwnWindow) {
   EXPECT_EQ(plan[0], 0);  // Constant seed first.
   EXPECT_EQ(plan[1], 2);  // Sparse window before dense.
   EXPECT_EQ(plan[2], 1);
+}
+
+TEST(DeltaPlannerTest, ChunkCardinalityPinsFig13RecomputeOrder) {
+  // Regression for the §5.13 estimate fix: the columnar executor expands
+  // bound variables with per-chunk batched gathers, so its cost must count
+  // chunk cardinality (seeds / chunk_rows), not raw row counts. On the fig13
+  // L6 recompute shape — a window index scan seeding ?U, then a dense stored
+  // expansion racing a mid-sized window expansion — the legacy row estimate
+  // saturates both candidates at the same cap (min(16, 1+seeds) == 16 for
+  // 10000 and for 600 seeds) and ties break to the dense stored pattern. The
+  // chunked estimate keeps them apart and orders the cheaper window pattern
+  // first. This pins the plan on both sides so neither estimate regresses.
+  StubSource stored(10000), seed_win(8), mid_win(600);
+  ExecContext ctx;
+  ctx.sources = {&stored, &seed_win, &mid_win};
+
+  Query q;
+  q.var_names = {"U", "P", "F", "L"};
+  TriplePattern seed;  // ?U po ?P — cheap window index scan binds ?U.
+  seed.subject = Term::Variable(0);
+  seed.predicate = 1;
+  seed.object = Term::Variable(1);
+  seed.graph = 0;
+  TriplePattern dense_stored;  // ?U fo ?F — 10000 stored seeds.
+  dense_stored.subject = Term::Variable(0);
+  dense_stored.predicate = 2;
+  dense_stored.object = Term::Variable(2);
+  dense_stored.graph = kGraphStored;
+  TriplePattern mid;  // ?U phl ?L — 600 seeds in the second window.
+  mid.subject = Term::Variable(0);
+  mid.predicate = 3;
+  mid.object = Term::Variable(3);
+  mid.graph = 1;
+  q.patterns = {seed, dense_stored, mid};
+
+  std::vector<bool> bound = {true, true, false, false};
+  PlanHints legacy;
+  legacy.chunk_rows = 0;
+  // Row estimate: both expansions saturate — the ranking signal is gone.
+  EXPECT_EQ(EstimatePatternCost(dense_stored, bound, ctx, legacy),
+            EstimatePatternCost(mid, bound, ctx, legacy));
+  // Chunked estimate: 600 seeds fill under one chunk, 10000 fill ~10.
+  EXPECT_LT(EstimatePatternCost(mid, bound, ctx),
+            EstimatePatternCost(dense_stored, bound, ctx));
+
+  std::vector<int> chunked = PlanQuery(q, ctx);  // Default hints = columnar.
+  ASSERT_EQ(chunked.size(), 3u);
+  EXPECT_EQ(chunked[0], 0);
+  EXPECT_EQ(chunked[1], 2);  // Mid-sized window before the dense expansion.
+  EXPECT_EQ(chunked[2], 1);
+
+  std::vector<int> row_plan = PlanQuery(q, ctx, legacy);
+  ASSERT_EQ(row_plan.size(), 3u);
+  EXPECT_EQ(row_plan[0], 0);
+  EXPECT_EQ(row_plan[1], 1);  // The saturated tie breaks to the dense one.
+  EXPECT_EQ(row_plan[2], 2);
 }
 
 TEST(DeltaPlannerTest, CacheHintDefersWindowPatterns) {

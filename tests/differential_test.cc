@@ -72,6 +72,11 @@ struct RunConfig {
   // with real dual-apply, node adds, drains, target crashes with rollback)
   // from the advance path while the differential contract keeps holding.
   bool migrate = false;
+  // Columnar lane (§5.13): replay the same trace against a second cluster
+  // running the legacy row pipeline and require every projected result to be
+  // byte-identical — same rows, same order, same values — to the columnar
+  // primary. Not combined with `migrate` (the twin carries no shard-map).
+  bool row_twin = false;
 };
 
 RunConfig ConfigForSeed(uint64_t seed) {
@@ -239,6 +244,12 @@ Status RunTrace(const RunConfig& cfg, const std::vector<Event>& trace) {
   config.nodes = cfg.nodes;
   config.batch_interval_ms = kInterval;
   config.batches_per_sn = cfg.batches_per_sn;
+  // The twin lane pins in-place execution on both clusters: the generated
+  // continuous queries are mostly non-selective, and non-selective triggers
+  // take fork-join — which bypasses the delta path entirely. Columnar-vs-row
+  // contribution caching is exactly where the stale_arena_reuse defect class
+  // lives, so the lane forces the route the delta gate requires.
+  config.force_in_place = cfg.row_twin;
   ScheduleController schedule(cfg.seed);
   if (cfg.fuzz_schedule) {
     config.schedule = &schedule;
@@ -292,6 +303,85 @@ Status RunTrace(const RunConfig& cfg, const std::vector<Event>& trace) {
   cluster.LoadBase(base);
   oracle.LoadBase(base);
   SnapshotChecker checker(cfg.batches_per_sn);
+
+  // Columnar-vs-row twin (§5.13): a second cluster, identical except for the
+  // executor pipeline, replays the same events. Both clusters intern the same
+  // names in the same order (streams, base, then trace order), so vertex ids
+  // line up and results can be compared byte-for-byte: the columnar executor
+  // promises the exact row enumeration order of the row pipeline, not just
+  // the same bag.
+  std::unique_ptr<ScheduleController> twin_sched;
+  std::unique_ptr<Cluster> twin;
+  std::vector<StreamId> twin_sids;
+  std::vector<Cluster::ContinuousHandle> twin_handles;
+  if (cfg.row_twin) {
+    ClusterConfig twin_config;
+    twin_config.nodes = cfg.nodes;
+    twin_config.batch_interval_ms = kInterval;
+    twin_config.batches_per_sn = cfg.batches_per_sn;
+    twin_config.columnar_executor = false;
+    twin_config.force_in_place = true;
+    if (cfg.fuzz_schedule) {
+      twin_sched = std::make_unique<ScheduleController>(cfg.seed);
+      twin_config.schedule = twin_sched.get();
+    }
+    twin = std::make_unique<Cluster>(twin_config);
+    for (const std::string& name : vocab.streams) {
+      auto sid = twin->DefineStream(name, {"tg"});
+      if (!sid.ok()) {
+        return sid.status();
+      }
+      twin_sids.push_back(*sid);
+    }
+    twin->LoadBase(MakeBase(cfg.seed, twin->strings(), vocab));
+  }
+
+  auto same_bytes = [](const QueryResult& a, const QueryResult& b) {
+    if (a.rows.size() != b.rows.size()) {
+      return false;
+    }
+    for (size_t i = 0; i < a.rows.size(); ++i) {
+      if (a.rows[i].size() != b.rows[i].size()) {
+        return false;
+      }
+      for (size_t j = 0; j < a.rows[i].size(); ++j) {
+        const ResultValue& x = a.rows[i][j];
+        const ResultValue& y = b.rows[i][j];
+        if (x.is_number != y.is_number ||
+            (x.is_number ? x.number != y.number : x.vid != y.vid)) {
+          return false;
+        }
+      }
+    }
+    return true;
+  };
+  // Both pipelines share the planner and raise identical errors at identical
+  // points, so even failures must agree: a status divergence is a defect.
+  auto twin_check = [&](const StatusOr<QueryExecution>& col,
+                        const StatusOr<QueryExecution>& row,
+                        const std::string& what) -> Status {
+    if (col.ok() != row.ok()) {
+      return Status::Internal(
+          what + ": columnar/row twin status divergence: columnar " +
+          (col.ok() ? "ok" : col.status().ToString()) + " vs row " +
+          (row.ok() ? "ok" : row.status().ToString()));
+    }
+    if (!col.ok()) {
+      if (col.status().code() != row.status().code()) {
+        return Status::Internal(what + ": twin failure codes differ: " +
+                                col.status().ToString() + " vs " +
+                                row.status().ToString());
+      }
+      return Status::Ok();
+    }
+    if (!same_bytes(col->result, row->result)) {
+      return Status::Internal(
+          what + ": columnar/row twin result divergence: columnar " +
+          std::to_string(col->result.rows.size()) + " rows vs row " +
+          std::to_string(row->result.rows.size()));
+    }
+    return Status::Ok();
+  };
 
   struct Reg {
     Cluster::ContinuousHandle handle = 0;
@@ -556,10 +646,28 @@ Status RunTrace(const RunConfig& cfg, const std::vector<Event>& trace) {
         if (!st.ok()) {
           return Status::Internal("feed failed: " + st.ToString());
         }
+        if (twin) {
+          StringServer* ts = twin->strings();
+          StreamTupleVec twin_tuples;
+          for (const TupleDesc& t : e.tuples) {
+            twin_tuples.push_back({{ts->InternVertex(t.s),
+                                    ts->InternPredicate(t.p),
+                                    ts->InternVertex(t.o)},
+                                   t.ts,
+                                   TupleKind::kTimeless});
+          }
+          st = twin->FeedStream(twin_sids[e.stream], twin_tuples);
+          if (!st.ok()) {
+            return Status::Internal("twin feed failed: " + st.ToString());
+          }
+        }
         break;
       }
       case Event::Kind::kAdvance: {
         cluster.AdvanceStreams(e.time_ms);
+        if (twin) {
+          twin->AdvanceStreams(e.time_ms);
+        }
         frontier = std::max(frontier, e.time_ms);
         if (cfg.migrate) {
           Status st = Status::Ok();
@@ -583,12 +691,23 @@ Status RunTrace(const RunConfig& cfg, const std::vector<Event>& trace) {
         // advances removed) can never GC history its windows still need.
         gc_floor = frontier > kGcLagMs ? frontier - kGcLagMs : 0;
         cluster.RunMaintenance(gc_floor);
+        if (twin) {
+          twin->RunMaintenance(gc_floor);
+        }
         break;
       case Event::Kind::kRegister: {
         auto h = cluster.RegisterContinuous(e.text);
         if (!h.ok()) {
           return Status::Internal("register failed: " + h.status().ToString() +
                                   "\n  text: " + e.text);
+        }
+        if (twin) {
+          auto th = twin->RegisterContinuous(e.text);
+          if (!th.ok()) {
+            return Status::Internal("twin register failed where primary "
+                                    "succeeded: " + th.status().ToString());
+          }
+          twin_handles.push_back(*th);
         }
         Reg r;
         r.handle = *h;
@@ -612,6 +731,17 @@ Status RunTrace(const RunConfig& cfg, const std::vector<Event>& trace) {
         VectorTimestamp stable = cluster.coordinator()->StableVts();
         SnapshotNum presn = checker.RecomputeStableSn(stable, nstreams);
         auto exec = cluster.OneShotParsed(*q);
+        if (twin) {
+          auto tq = ParseQuery(e.text, twin->strings());
+          if (!tq.ok()) {
+            return Status::Internal("twin parse failed: " +
+                                    tq.status().ToString());
+          }
+          Status tc = twin_check(exec, twin->OneShotParsed(*tq), "one-shot");
+          if (!tc.ok()) {
+            return Status::Internal(tc.message() + "\n  text: " + e.text);
+          }
+        }
         if (!exec.ok()) {
           // The engine exits its pattern loop early on an empty intermediate
           // join and then rejects FILTERs over the still-unbound variables;
@@ -666,6 +796,15 @@ Status RunTrace(const RunConfig& cfg, const std::vector<Event>& trace) {
         }
         VectorTimestamp stable = cluster.coordinator()->StableVts();
         auto exec = cluster.ExecuteContinuousAt(r.handle, end);
+        if (twin) {
+          Status tc = twin_check(
+              exec, twin->ExecuteContinuousAt(twin_handles[e.handle], end),
+              "continuous q" + std::to_string(e.handle) + " @" +
+                  std::to_string(end));
+          if (!tc.ok()) {
+            return tc;
+          }
+        }
         if (!exec.ok()) {
           if (exec.status().code() == StatusCode::kInvalidArgument) {
             SnapshotNum sn = checker.RecomputeStableSn(stable, nstreams);
@@ -858,6 +997,28 @@ TEST(DifferentialTest, MigrationSeedsMatchOracle) {
   }
 }
 
+// --- The columnar lane (§5.13): row-pipeline twin under fuzzing. ---
+//
+// Same traces, same seeds, two executors. The contract is strictly stronger
+// than the oracle comparison: projected results must be byte-identical (rows
+// in the same order with the same values), because the columnar executor
+// guarantees the row pipeline's enumeration order — chunk by chunk, row by
+// row, neighbors in adjacency order — so the fork-join serialization format
+// and DeltaCache contribution keys stay unchanged.
+TEST(ColumnarDifferentialTest, RowTwinMatchesColumnarAcrossSeeds) {
+  uint64_t seeds = 200;
+  if (const char* env = std::getenv("WUKONGS_DIFF_SEEDS")) {
+    seeds = std::strtoull(env, nullptr, 10);
+  }
+  for (uint64_t seed = 1; seed <= seeds; ++seed) {
+    RunConfig cfg = ConfigForSeed(seed);
+    cfg.row_twin = true;
+    Status st = RunTrace(cfg, MakeTrace(seed));
+    ASSERT_TRUE(st.ok()) << "seed " << seed << ": " << st.ToString()
+                         << "\ntrace:\n" << SerializeTrace(MakeTrace(seed));
+  }
+}
+
 TEST(DifferentialTest, TraceGenerationIsDeterministic) {
   for (uint64_t seed : {1ull, 7ull, 42ull}) {
     EXPECT_EQ(SerializeTrace(MakeTrace(seed)), SerializeTrace(MakeTrace(seed)));
@@ -885,6 +1046,35 @@ TEST(DifferentialMutationTest, PlantedStaleSnReadIsCaught) {
   test_hooks::ScopedMutation plant(&test_hooks::stale_sn_read);
   EXPECT_NE(FirstFailingSeed(20), 0u)
       << "stale Stable_SN read survived 20 differential seeds";
+}
+
+// First seed the *columnar* lane (row twin armed) fails on, or 0.
+uint64_t FirstFailingTwinSeed(uint64_t max_seed) {
+  for (uint64_t seed = 1; seed <= max_seed; ++seed) {
+    RunConfig cfg = ConfigForSeed(seed);
+    cfg.row_twin = true;
+    if (!RunTrace(cfg, MakeTrace(seed)).ok()) {
+      return seed;
+    }
+  }
+  return 0;
+}
+
+// The two planted columnar defects (§5.13) must both be observable through
+// the twin lane: a selection vector that is computed but never stored leaves
+// FILTER-dropped rows active in the columnar result only, and an arena
+// recycled while the DeltaCache still references its chunks corrupts cached
+// contributions the row twin rebuilds correctly.
+TEST(ColumnarDifferentialTest, PlantedSkipSelectionCompactIsCaught) {
+  test_hooks::ScopedMutation plant(&test_hooks::skip_selection_compact);
+  EXPECT_NE(FirstFailingTwinSeed(20), 0u)
+      << "uncompacted selection vector survived 20 columnar twin seeds";
+}
+
+TEST(ColumnarDifferentialTest, PlantedStaleArenaReuseIsCaught) {
+  test_hooks::ScopedMutation plant(&test_hooks::stale_arena_reuse);
+  EXPECT_NE(FirstFailingTwinSeed(20), 0u)
+      << "stale arena reuse survived 20 columnar twin seeds";
 }
 
 TEST(DifferentialMutationTest, FailingTraceMinimizesAndReplaysByteIdentically) {
