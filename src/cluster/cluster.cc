@@ -9,6 +9,7 @@
 #include "src/common/test_hooks.h"
 #include "src/fault/upstream_buffer.h"
 #include "src/sparql/template.h"
+#include "src/testkit/reference_oracle.h"
 #include "src/testkit/schedule_controller.h"
 
 namespace wukongs {
@@ -62,6 +63,7 @@ Cluster::Cluster(const ClusterConfig& config, StringServer* shared_strings)
       coordinator_(std::make_unique<Coordinator>(
           config.nodes, config.reserved_snapshots, config.batches_per_sn,
           config.overload.max_plan_extensions)),
+      stream_stats_(config.replan.rate_window_ms),
       shard_map_(config.nodes),
       shedder_(config.overload.shed),
       backlog_(config.nodes) {
@@ -159,6 +161,17 @@ Cluster::Cluster(const ClusterConfig& config, StringServer* shared_strings)
       obs_.mqo_fanout_served = m->GetCounter("wukongs_mqo_fanout_served_total");
       obs_.mqo_fallbacks =
           m->GetCounter("wukongs_mqo_independent_fallbacks_total");
+      obs_.replan_checks = m->GetCounter("wukongs_replan_checks_total");
+      obs_.replan_drift_triggers =
+          m->GetCounter("wukongs_replan_drift_triggers_total");
+      obs_.replan_cutovers = m->GetCounter("wukongs_replan_cutovers_total");
+      obs_.replan_parity_failures =
+          m->GetCounter("wukongs_replan_parity_failures_total");
+      obs_.replan_budget_overruns =
+          m->GetCounter("wukongs_replan_budget_overruns_total");
+      obs_.replan_pins = m->GetCounter("wukongs_replan_pins_total");
+      obs_.delta_plan_flushes =
+          m->GetCounter("wukongs_delta_cache_plan_flushes_total");
       for (NodeId n = 0; n < config_.nodes; ++n) {
         service_hist_metrics_[n] =
             m->GetHistogram(obs::MetricsRegistry::Labeled(
@@ -534,6 +547,12 @@ void Cluster::InjectBatch(const StreamBatch& batch, int only_node) {
   // the backlog drains FIFO once the window ends.
   FaultInjector* inj = config_.fault_injector;
   const StreamTime batch_end_ms = (batch.seq + 1) * config_.batch_interval_ms;
+  if (config_.replan.enabled && !filtered) {
+    // Live ingest-rate statistics (§5.14), in logical stream time so drift
+    // detection replays deterministically. Empty batches still advance the
+    // stream's trailing rate window; restore replay does not re-count.
+    stream_stats_.ObserveBatch(batch.stream, batch_end_ms, batch.tuples.size());
+  }
   LatencyProbe inject_probe;
   auto append_span = TraceSpan(batch_tracer, "ingest", "ingest/append", ingest);
   append_span.Arg("stream", static_cast<uint64_t>(batch.stream))
@@ -1377,6 +1396,7 @@ StatusOr<QueryExecution> Cluster::RunQuery(const Query& q,
 }
 
 StatusOr<QueryExecution> Cluster::RunQueryDelta(Registration& reg,
+                                                const PlanState& plan,
                                                 StreamTime end_ms, NodeId home,
                                                 DegradeState* degrade,
                                                 bool* used) {
@@ -1390,11 +1410,10 @@ StatusOr<QueryExecution> Cluster::RunQueryDelta(Registration& reg,
     return QueryExecution{};  // Nothing to slice; cold path handles it.
   }
 
-  // Position of the window pattern inside the cached plan.
+  // Position of the window pattern inside this trigger's plan snapshot.
   size_t window_pos = 0;
-  for (size_t i = 0; i < reg.cached_plan.size(); ++i) {
-    if (q.patterns[static_cast<size_t>(reg.cached_plan[i])].graph !=
-        kGraphStored) {
+  for (size_t i = 0; i < plan.order.size(); ++i) {
+    if (q.patterns[static_cast<size_t>(plan.order[i])].graph != kGraphStored) {
       window_pos = i;
       break;
     }
@@ -1414,7 +1433,7 @@ StatusOr<QueryExecution> Cluster::RunQueryDelta(Registration& reg,
   }
   auto exec_span = TraceSpan(tracer_, "query", "query/execute", home);
   exec_span.Arg("mode", std::string("delta"))
-      .Arg("patterns", static_cast<uint64_t>(reg.cached_plan.size()));
+      .Arg("patterns", static_cast<uint64_t>(plan.order.size()));
 
   // Trigger delta derived from Stable_VTS advancement: the batches that
   // became stable since the previous delta trigger are the only candidates
@@ -1453,7 +1472,7 @@ StatusOr<QueryExecution> Cluster::RunQueryDelta(Registration& reg,
     return slice_holders.back().get();
   };
 
-  auto delta = ExecuteDeltaPatterns(q, reg.cached_plan, *ctx, spec);
+  auto delta = ExecuteDeltaPatterns(q, plan.order, *ctx, spec);
   if (!delta.ok()) {
     return delta.status();
   }
@@ -2007,22 +2026,20 @@ StatusOr<QueryExecution> Cluster::ExecuteRegistrationAt(Registration& reg,
   // Plan once, at the first triggered execution (stored-procedure style).
   // An attached delta cache biases toward stored-prefix-first plans so the
   // cached prefix and per-slice contributions stay reusable (§5.9).
-  std::call_once(*reg.plan_once, [&] {
-    auto plan_span = TraceSpan(tracer_, "query", "query/plan", home);
-    std::vector<std::unique_ptr<NeighborSource>> plan_holders;
-    auto plan_ctx = BuildContext(reg, end_ms, ChargePolicy::kNoCharge, home,
-                                 &plan_holders, nullptr);
-    if (plan_ctx.ok()) {
-      PlanHints hints;
-      hints.delta_cache = reg.delta_cache != nullptr;
-      reg.cached_plan = PlanQuery(reg.query, *plan_ctx, hints);
-      reg.cached_selective = IsSelective(reg.query, reg.cached_plan);
-    }
-  });
-  if (reg.cached_plan.size() != reg.query.patterns.size()) {
+  std::shared_ptr<const PlanState> plan = EnsurePlanned(reg, end_ms, home);
+  if (plan == nullptr || plan->order.size() != reg.query.patterns.size()) {
     return Status::Internal("continuous query has no cached plan");
   }
-  bool selective = reg.cached_selective;
+  // Adaptive re-planning (§5.14): on trigger cadence, compare the plan's
+  // statistics snapshot against live collector state and cut over to a
+  // re-synthesized plan behind the shadow parity gate. Skipped on a degraded
+  // cluster — a reroute is the wrong moment to judge plan quality.
+  if (config_.replan.enabled && !degraded && allow_delta) {
+    MaybeReplan(reg, end_ms, home);
+    std::lock_guard lock(*reg.plan_mu);
+    plan = reg.plan;
+  }
+  bool selective = plan->selective;
   bool fork_join = config_.force_fork_join ||
                    ((!selective || degraded) && !config_.force_in_place);
 
@@ -2032,7 +2049,7 @@ StatusOr<QueryExecution> Cluster::ExecuteRegistrationAt(Registration& reg,
   if (allow_delta && reg.delta_cache != nullptr && !fork_join && !degraded &&
       config_.fault_injector == nullptr) {
     bool used = false;
-    auto exec = RunQueryDelta(reg, end_ms, home, &degrade, &used);
+    auto exec = RunQueryDelta(reg, *plan, end_ms, home, &degrade, &used);
     if (!exec.ok()) {
       return exec.status();
     }
@@ -2061,7 +2078,13 @@ StatusOr<QueryExecution> Cluster::ExecuteRegistrationAt(Registration& reg,
   if (!ctx.ok()) {
     return ctx.status();
   }
-  auto exec = RunQuery(reg.query, reg.cached_plan, *ctx, home, fork_join,
+  // Production triggers train the fan-out EWMA; cold oracle re-executions
+  // (allow_delta=false) must not — observing them would let parity checks
+  // themselves perturb future plans.
+  if (config_.replan.enabled && allow_delta) {
+    ctx->observe = MakeExpansionObserver(reg);
+  }
+  auto exec = RunQuery(reg.query, plan->order, *ctx, home, fork_join,
                        selective, coordinator_->StableSn(), &degrade);
   if (exec.ok()) {
     exec->window_end_ms = end_ms;
@@ -2075,6 +2098,300 @@ StatusOr<QueryExecution> Cluster::ExecuteRegistrationAt(Registration& reg,
     }
   }
   return exec;
+}
+
+// --- Adaptive re-planning & plan pinning (§5.14) ---------------------------
+
+PlanHints Cluster::HintsFor(const Registration& reg,
+                            const StreamStatsSnapshot* stats) const {
+  PlanHints hints;
+  hints.delta_cache = reg.delta_cache != nullptr;
+  hints.stats = stats;
+  if (stats != nullptr) {
+    hints.window_scope.reserve(reg.stream_ids.size());
+    for (StreamId sid : reg.stream_ids) {
+      hints.window_scope.push_back(static_cast<int32_t>(sid));
+    }
+  }
+  return hints;
+}
+
+std::function<void(const TriplePattern&, size_t, size_t, size_t)>
+Cluster::MakeExpansionObserver(const Registration& reg) {
+  return [this, &reg](const TriplePattern& p, size_t rows_before,
+                      size_t cols_before, size_t rows_after) {
+    // Only genuine bound expansions train the fan-out EWMA: the seed step
+    // starts from the implicit unit row and its output size is window
+    // cardinality, not join selectivity.
+    if (cols_before == 0 || rows_before == 0) {
+      return;
+    }
+    int32_t scope = kStoredScope;
+    if (p.graph != kGraphStored &&
+        static_cast<size_t>(p.graph) < reg.stream_ids.size()) {
+      scope = static_cast<int32_t>(reg.stream_ids[static_cast<size_t>(p.graph)]);
+    }
+    stream_stats_.ObserveExpansion(scope, p.predicate, rows_before, rows_after);
+  };
+}
+
+std::shared_ptr<const Cluster::PlanState> Cluster::EnsurePlanned(
+    Registration& reg, StreamTime end_ms, NodeId home) {
+  {
+    std::lock_guard lock(*reg.plan_mu);
+    if (reg.plan != nullptr) {
+      return reg.plan;
+    }
+  }
+  // Plan outside the lock (planning reads window cardinalities through the
+  // fabric); a concurrent first trigger may plan too, but both see the same
+  // sources and the re-check below installs exactly one winner.
+  auto plan_span = TraceSpan(tracer_, "query", "query/plan", home);
+  std::vector<std::unique_ptr<NeighborSource>> plan_holders;
+  auto plan_ctx = BuildContext(reg, end_ms, ChargePolicy::kNoCharge, home,
+                               &plan_holders, nullptr);
+  if (!plan_ctx.ok()) {
+    return nullptr;
+  }
+  auto state = std::make_shared<PlanState>();
+  if (config_.replan.enabled) {
+    state->stats = stream_stats_.Snapshot();
+  }
+  PlanHints hints =
+      HintsFor(reg, config_.replan.enabled ? &state->stats : nullptr);
+  state->order = PlanQuery(reg.query, *plan_ctx, hints);
+  state->selective = IsSelective(reg.query, state->order);
+  std::lock_guard lock(*reg.plan_mu);
+  if (reg.plan == nullptr) {
+    reg.plan = std::move(state);
+  }
+  return reg.plan;
+}
+
+void Cluster::InstallPlan(Registration& reg,
+                          std::shared_ptr<const PlanState> next, bool rekey) {
+  const uint64_t version = next->version;
+  {
+    std::lock_guard lock(*reg.plan_mu);
+    reg.plan = std::move(next);
+  }
+  if (!rekey) {
+    return;
+  }
+  // Coherence: delta-cache prefixes/contributions and MQO memos were built
+  // under the old plan's pattern order; both must be retired before the new
+  // plan serves a trigger, or stale state flows into live results.
+  if (reg.delta_cache != nullptr) {
+    const DeltaCache::Stats before = reg.delta_cache->stats();
+    reg.delta_cache->SetPlanVersion(version);
+    const DeltaCache::Stats after = reg.delta_cache->stats();
+    Bump(obs_.delta_plan_flushes, after.plan_flushes - before.plan_flushes);
+    Bump(obs_.delta_invalidations, after.invalidations - before.invalidations);
+  }
+  BumpMqoGeneration();
+}
+
+StatusOr<QueryResult> Cluster::ShadowExecute(Registration& reg,
+                                             StreamTime end_ms, NodeId home,
+                                             const std::vector<int>& order,
+                                             uint64_t* rows) {
+  std::vector<std::unique_ptr<NeighborSource>> holders;
+  auto ctx = BuildContext(reg, end_ms, ChargePolicy::kNoCharge, home, &holders,
+                          nullptr);
+  if (!ctx.ok()) {
+    return ctx.status();
+  }
+  // The observer meters budget here, not statistics: shadow work must not
+  // train the collector that triggered it.
+  ctx->observe = [rows](const TriplePattern&, size_t, size_t,
+                        size_t rows_after) { *rows += rows_after; };
+  return ExecuteQuery(reg.query, order, *ctx);
+}
+
+void Cluster::MaybeReplan(Registration& reg, StreamTime end_ms, NodeId home) {
+  std::shared_ptr<const PlanState> current;
+  {
+    std::lock_guard lock(*reg.plan_mu);
+    current = reg.plan;
+    if (current == nullptr || current->pinned) {
+      return;
+    }
+    if (++reg.triggers_since_check < config_.replan.min_triggers_between) {
+      return;
+    }
+    reg.triggers_since_check = 0;
+  }
+  {
+    std::lock_guard lock(replan_mu_);
+    ++replan_stats_.checks;
+  }
+  Bump(obs_.replan_checks);
+
+  StreamStatsSnapshot fresh = stream_stats_.Snapshot();
+  if (test_hooks::stale_stats_snapshot.load(std::memory_order_relaxed)) {
+    // Planted defect: the detector compares the plan's frozen snapshot
+    // against itself, so drift is never visible and re-planning never fires.
+    fresh = current->stats;
+  }
+  if (!DriftExceeds(current->stats, fresh, reg.stream_ids, config_.replan)) {
+    return;
+  }
+  {
+    std::lock_guard lock(replan_mu_);
+    ++replan_stats_.drift_triggers;
+  }
+  Bump(obs_.replan_drift_triggers);
+
+  // Synthesize a candidate from this trigger's window cardinalities plus the
+  // live snapshot (observed fan-outs refine the bound-expansion estimates).
+  auto plan_span = TraceSpan(tracer_, "query", "query/replan", home);
+  std::vector<std::unique_ptr<NeighborSource>> plan_holders;
+  auto plan_ctx = BuildContext(reg, end_ms, ChargePolicy::kNoCharge, home,
+                               &plan_holders, nullptr);
+  if (!plan_ctx.ok()) {
+    return;
+  }
+  std::vector<int> candidate =
+      PlanQuery(reg.query, *plan_ctx, HintsFor(reg, &fresh));
+  if (candidate == current->order) {
+    // Same order under the new statistics: adopt `fresh` as the drift
+    // baseline so an already-absorbed shift stops re-triggering every
+    // cadence.
+    auto refreshed = std::make_shared<PlanState>(*current);
+    refreshed->stats = std::move(fresh);
+    std::lock_guard lock(*reg.plan_mu);
+    if (reg.plan == current) {
+      reg.plan = std::move(refreshed);
+    }
+    return;
+  }
+
+  auto next = std::make_shared<PlanState>();
+  next->order = std::move(candidate);
+  next->selective = IsSelective(reg.query, next->order);
+  next->version = current->version + 1;
+  next->stats = std::move(fresh);
+
+  if (test_hooks::skip_parity_gate.load(std::memory_order_relaxed)) {
+    // Planted defect: hot-swap the candidate with neither the shadow parity
+    // check nor the coherent re-keying InstallPlan(rekey=true) performs.
+    InstallPlan(reg, std::move(next), /*rekey=*/false);
+    return;
+  }
+
+  // Shadow parity gate: both plans run cold over the same window and must be
+  // bag-equal before the candidate may serve real triggers. Both failing
+  // with the same status code also counts — the observable behavior is
+  // unchanged. Budget is metered in produced rows so overrun fallbacks
+  // replay deterministically.
+  const uint64_t budget = config_.replan.shadow_budget_rows;
+  uint64_t shadow_rows = 0;
+  auto old_result = ShadowExecute(reg, end_ms, home, current->order, &shadow_rows);
+  if (budget > 0 && shadow_rows > budget) {
+    {
+      std::lock_guard lock(replan_mu_);
+      ++replan_stats_.budget_overruns;
+    }
+    Bump(obs_.replan_budget_overruns);
+    return;  // Keep the proven plan; retry at the next cadence if drift holds.
+  }
+  auto new_result = ShadowExecute(reg, end_ms, home, next->order, &shadow_rows);
+  if (budget > 0 && shadow_rows > budget) {
+    {
+      std::lock_guard lock(replan_mu_);
+      ++replan_stats_.budget_overruns;
+    }
+    Bump(obs_.replan_budget_overruns);
+    return;
+  }
+  bool parity = false;
+  if (old_result.ok() && new_result.ok()) {
+    parity = testkit::CanonicalBag(*old_result) ==
+             testkit::CanonicalBag(*new_result);
+  } else if (!old_result.ok() && !new_result.ok()) {
+    parity = old_result.status().code() == new_result.status().code();
+  }
+  if (!parity) {
+    {
+      std::lock_guard lock(replan_mu_);
+      ++replan_stats_.parity_failures;
+    }
+    Bump(obs_.replan_parity_failures);
+    // Fall back safely: keep the proven plan but adopt the fresh baseline so
+    // the diverging candidate is not re-synthesized every cadence.
+    auto refreshed = std::make_shared<PlanState>(*current);
+    refreshed->stats = next->stats;
+    std::lock_guard lock(*reg.plan_mu);
+    if (reg.plan == current) {
+      reg.plan = std::move(refreshed);
+    }
+    return;
+  }
+  InstallPlan(reg, std::move(next), /*rekey=*/true);
+  {
+    std::lock_guard lock(replan_mu_);
+    ++replan_stats_.cutovers;
+  }
+  Bump(obs_.replan_cutovers);
+}
+
+Status Cluster::PinContinuousPlan(ContinuousHandle h, const PlanPin& pin) {
+  if (h >= registrations_.size() || !registrations_[h].active) {
+    return Status::NotFound("unknown continuous query handle");
+  }
+  Registration& reg = registrations_[h];
+  const size_t n = reg.query.patterns.size();
+  if (pin.order.size() != n) {
+    return Status::InvalidArgument("plan pin pattern count does not match the query");
+  }
+  std::vector<bool> seen(n, false);
+  for (int idx : pin.order) {
+    if (idx < 0 || static_cast<size_t>(idx) >= n || seen[static_cast<size_t>(idx)]) {
+      return Status::InvalidArgument("plan pin order is not a permutation of the query's patterns");
+    }
+    seen[static_cast<size_t>(idx)] = true;
+  }
+  auto state = std::make_shared<PlanState>();
+  state->order = pin.order;
+  state->selective = pin.selective.value_or(IsSelective(reg.query, pin.order));
+  state->pinned = true;
+  {
+    std::lock_guard lock(*reg.plan_mu);
+    state->version = (reg.plan != nullptr ? reg.plan->version : 0) + 1;
+  }
+  if (config_.replan.enabled) {
+    state->stats = stream_stats_.Snapshot();
+  }
+  InstallPlan(reg, std::move(state), /*rekey=*/true);
+  {
+    std::lock_guard lock(replan_mu_);
+    ++replan_stats_.pins;
+  }
+  Bump(obs_.replan_pins);
+  return Status::Ok();
+}
+
+Cluster::ReplanStats Cluster::replan_stats() const {
+  std::lock_guard lock(replan_mu_);
+  return replan_stats_;
+}
+
+std::vector<int> Cluster::ContinuousPlanOf(ContinuousHandle h) const {
+  if (h >= registrations_.size()) {
+    return {};
+  }
+  const Registration& reg = registrations_[h];
+  std::lock_guard lock(*reg.plan_mu);
+  return reg.plan != nullptr ? reg.plan->order : std::vector<int>{};
+}
+
+uint64_t Cluster::PlanVersionOf(ContinuousHandle h) const {
+  if (h >= registrations_.size()) {
+    return 0;
+  }
+  const Registration& reg = registrations_[h];
+  std::lock_guard lock(*reg.plan_mu);
+  return reg.plan != nullptr ? reg.plan->version : 0;
 }
 
 std::optional<StatusOr<QueryExecution>> Cluster::TryExecuteGrouped(
@@ -2928,6 +3245,9 @@ void Cluster::UpdateScrapedMetrics() {
   for (NodeId n = 0; n < config_.nodes; ++n) {
     locals.push_back(coordinator_->LocalVts(n));
   }
+  const StreamStatsSnapshot rates = config_.replan.enabled
+                                        ? stream_stats_.Snapshot()
+                                        : StreamStatsSnapshot{};
   for (StreamId s = 0; s < static_cast<StreamId>(streams_.size()); ++s) {
     const std::string& name = streams_[s].name;
     uint64_t lead = frontier(stable.Get(s));
@@ -2943,6 +3263,11 @@ void Cluster::UpdateScrapedMetrics() {
     m->GetGauge(obs::MetricsRegistry::Labeled("wukongs_door_pressure",
                                               {{"stream", name}}))
         ->Set(streams_[s].pressure.level());
+    if (config_.replan.enabled) {
+      m->GetGauge(obs::MetricsRegistry::Labeled(
+                      "wukongs_stream_rate_tuples_per_sec", {{"stream", name}}))
+          ->Set(rates.RateOf(s));
+    }
     // Stream-index lookups and transient GC reclaim, summed across nodes.
     uint64_t hits = 0;
     uint64_t misses = 0;

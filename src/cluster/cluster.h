@@ -46,8 +46,10 @@
 #include "src/rdf/triple.h"
 #include "src/rdma/fabric.h"
 #include "src/sparql/parser.h"
+#include "src/sparql/plan_pin.h"
 #include "src/store/gstore.h"
 #include "src/store/planner.h"
+#include "src/store/stream_stats.h"
 #include "src/stream/adaptor.h"
 #include "src/stream/coordinator.h"
 #include "src/stream/stream_index.h"
@@ -148,6 +150,14 @@ struct ClusterConfig {
   DeadlineConfig deadline;
   HedgeConfig hedge;
   StragglerConfig straggler;
+
+  // Adaptive cost-based re-planning from live stream statistics (§5.14).
+  // Off by default: registered plans then keep the plan-once stored-procedure
+  // lifecycle, byte-identical to earlier releases. When enabled, every
+  // min_triggers_between triggers of a registration the cluster compares the
+  // plan's statistics snapshot against a fresh one; on drift it synthesizes a
+  // candidate plan and cuts over only after a shadow parity check.
+  ReplanPolicy replan;
 
   // Schedule fuzzing (non-owning; must outlive the cluster). When set,
   // AdvanceStreams lets it permute cross-stream batch delivery order; the
@@ -319,6 +329,29 @@ class Cluster {
   size_t MqoGroupSizeOf(ContinuousHandle h) const;
   size_t MqoLiveGroups() const;
   bool MqoGroupHasDeltaCache(ContinuousHandle h) const;
+
+  // --- Adaptive re-planning & plan pinning (§5.14). ---
+  struct ReplanStats {
+    uint64_t checks = 0;           // Drift evaluations (cadence gate passed).
+    uint64_t drift_triggers = 0;   // Checks whose drift cleared the factor.
+    uint64_t cutovers = 0;         // Parity-verified plan swaps installed.
+    uint64_t parity_failures = 0;  // Candidates the shadow check rejected.
+    uint64_t budget_overruns = 0;  // Shadow checks abandoned over budget.
+    uint64_t pins = 0;             // Plans installed via PinContinuousPlan.
+  };
+  ReplanStats replan_stats() const;
+  // Current plan order of a registration (empty until its first trigger
+  // plans it) and the plan's version (0 until planned; cutovers and pins
+  // advance it).
+  std::vector<int> ContinuousPlanOf(ContinuousHandle h) const;
+  uint64_t PlanVersionOf(ContinuousHandle h) const;
+  // Installs a manual plan pin: validates the order against the registered
+  // query's pattern count, derives selectivity unless the pin overrides it,
+  // re-keys the delta cache and MQO memos coherently, and exempts the
+  // registration from adaptive re-planning from now on.
+  Status PinContinuousPlan(ContinuousHandle h, const PlanPin& pin);
+  // Fresh snapshot of the live statistics feeding the adaptive planner.
+  StreamStatsSnapshot CurrentStreamStats() const { return stream_stats_.Snapshot(); }
 
   // --- Maintenance: snapshot collapse + stream index / transient GC. ---
   // `live_horizon_ms`: no registered window will ever reach before this
@@ -532,17 +565,32 @@ class Cluster {
     std::vector<std::pair<Key, VertexId>> timing;
   };
 
+  // One immutable plan generation for a registration (§5.14). Triggers copy
+  // the shared_ptr under plan_mu and use that snapshot for their whole
+  // execution, so a concurrent cutover can never split one trigger across
+  // two plans.
+  struct PlanState {
+    std::vector<int> order;
+    bool selective = true;
+    uint64_t version = 1;
+    bool pinned = false;  // Installed via PinContinuousPlan; replan skips it.
+    // Live-statistics snapshot the plan was derived from: the drift
+    // detector's "then" side.
+    StreamStatsSnapshot stats;
+  };
+
   struct Registration {
     Query query;
     NodeId home = 0;
     std::vector<StreamId> stream_ids;  // Parallel to query.windows.
     // Registered queries are "stored procedures" (paper Fig. 5): the plan is
-    // computed once, on the first triggered execution (when window
-    // statistics exist), and reused thereafter — also what makes concurrent
-    // executions of one registration race-free.
-    std::unique_ptr<std::once_flag> plan_once = std::make_unique<std::once_flag>();
-    std::vector<int> cached_plan;
-    bool cached_selective = true;
+    // computed on the first triggered execution (when window statistics
+    // exist) and reused thereafter. With config_.replan.enabled the plan can
+    // later be replaced by a parity-gated adaptive cutover or a manual pin;
+    // plan_mu guards the pointer swap and the trigger cadence counter.
+    std::unique_ptr<std::mutex> plan_mu = std::make_unique<std::mutex>();
+    std::shared_ptr<const PlanState> plan;  // Null until first planned.
+    uint64_t triggers_since_check = 0;      // Guarded by plan_mu.
 
     // Delta cache (§5.9), attached at registration when the query is
     // eligible; null otherwise. `delta_window` is the index into
@@ -684,12 +732,42 @@ class Cluster {
   // back to config_.deadline.default_budget_ms; 0 (no budget) unless
   // config_.deadline.enforce.
   double EffectiveBudgetMs(double deadline_ms) const;
-  // Delta pipeline for one trigger. Sets *used=false (without error) when
-  // the trigger cannot run as a delta (empty window, executor fallback) —
-  // the caller then takes the cold path.
-  StatusOr<QueryExecution> RunQueryDelta(Registration& reg, StreamTime end_ms,
-                                         NodeId home, DegradeState* degrade,
-                                         bool* used);
+  // Delta pipeline for one trigger, executing under `plan`. Sets *used=false
+  // (without error) when the trigger cannot run as a delta (empty window,
+  // executor fallback) — the caller then takes the cold path.
+  StatusOr<QueryExecution> RunQueryDelta(Registration& reg,
+                                         const PlanState& plan,
+                                         StreamTime end_ms, NodeId home,
+                                         DegradeState* degrade, bool* used);
+  // --- Adaptive re-planning (§5.14). ---
+  // Returns the registration's current plan, computing and installing it on
+  // first use (the plan-once lifecycle). Null only when planning failed.
+  std::shared_ptr<const PlanState> EnsurePlanned(Registration& reg,
+                                                 StreamTime end_ms, NodeId home);
+  // Trigger-cadence drift check + parity-gated cutover. No-op unless
+  // config_.replan.enabled and the registration is unpinned.
+  void MaybeReplan(Registration& reg, StreamTime end_ms, NodeId home);
+  // Installs `next` as reg's plan. `rekey` re-keys the delta cache to the
+  // new version and invalidates MQO memos — the coherence step a correct
+  // cutover must never skip.
+  void InstallPlan(Registration& reg, std::shared_ptr<const PlanState> next,
+                   bool rekey);
+  // Shadow execution of `order` over reg's window at end_ms for the parity
+  // gate: no cost charging, no counters, no stats observation. Accumulates
+  // intermediate row production into *rows for the shadow budget.
+  StatusOr<QueryResult> ShadowExecute(Registration& reg, StreamTime end_ms,
+                                      NodeId home,
+                                      const std::vector<int>& order,
+                                      uint64_t* rows);
+  // Planner hints for this registration (delta bias, chunk rows); `stats`
+  // attaches the live snapshot so observed fan-outs refine the estimates.
+  PlanHints HintsFor(const Registration& reg,
+                     const StreamStatsSnapshot* stats) const;
+  // Per-step observer feeding ObserveExpansion, with window patterns
+  // attributed to the stream feeding them (reg.stream_ids). Production
+  // executions only; `reg` must outlive the returned callable.
+  std::function<void(const TriplePattern&, size_t, size_t, size_t)>
+  MakeExpansionObserver(const Registration& reg);
   // Builds sources for a continuous execution; `holders` keeps them alive.
   // `home` may differ from reg.home after a degradation reroute; `degrade`
   // (optional) collects partial-result and retry accounting.
@@ -774,6 +852,12 @@ class Cluster {
   // append race with each other and with triggers.
   mutable std::mutex delta_mu_;
   std::vector<std::vector<DeltaCache*>> delta_caches_by_stream_;
+  // --- Adaptive re-planning (§5.14). ---
+  // Live statistics: rates fed from InjectBatch (logical time), fan-outs
+  // from the executor's per-step observer on production executions.
+  StreamStatsCollector stream_stats_;
+  mutable std::mutex replan_mu_;  // Guards replan_stats_.
+  ReplanStats replan_stats_;
   std::function<void(const StreamBatch&)> batch_logger_;
   size_t index_replications_ = 0;
 
@@ -877,6 +961,13 @@ class Cluster {
     obs::Counter* mqo_shared_evals = nullptr;
     obs::Counter* mqo_fanout_served = nullptr;
     obs::Counter* mqo_fallbacks = nullptr;
+    obs::Counter* replan_checks = nullptr;
+    obs::Counter* replan_drift_triggers = nullptr;
+    obs::Counter* replan_cutovers = nullptr;
+    obs::Counter* replan_parity_failures = nullptr;
+    obs::Counter* replan_budget_overruns = nullptr;
+    obs::Counter* replan_pins = nullptr;
+    obs::Counter* delta_plan_flushes = nullptr;
   };
   ObsCounters obs_;
   obs::Tracer* tracer_ = nullptr;  // config_.tracer, null when disabled.

@@ -10,5 +10,7 @@ std::atomic<bool> skip_fanout_partition{false};
 std::atomic<bool> stale_group_membership{false};
 std::atomic<bool> skip_selection_compact{false};
 std::atomic<bool> stale_arena_reuse{false};
+std::atomic<bool> stale_stats_snapshot{false};
+std::atomic<bool> skip_parity_gate{false};
 
 }  // namespace wukongs::test_hooks

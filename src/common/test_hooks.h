@@ -51,6 +51,23 @@ extern std::atomic<bool> skip_selection_compact;
 // DESIGN.md §5.13 forbid. The delta/cold parity lane must catch it.
 extern std::atomic<bool> stale_arena_reuse;
 
+// The adaptive re-planner (§5.14) evaluates drift against the statistics
+// snapshot frozen into the current plan instead of a fresh collector read —
+// rates can shift arbitrarily and the drift detector never sees it, so
+// re-planning silently never fires. The planner-stats lane must catch it.
+extern std::atomic<bool> stale_stats_snapshot;
+
+// The adaptive cutover (§5.14) hot-swaps the candidate plan without the
+// shadow parity check or the coherent DeltaCache/MQO re-keying that rides on
+// the gated path — cached prefix tables and per-slice contributions computed
+// under the old plan keep being served under the new one. The planner lane's
+// cutover audit must catch it: a plan-version bump on a delta-cached query
+// with zero cache plan_flushes and zero cutover/pin counts is exactly this
+// mutation's signature. (The delta/cold parity oracle stays green today only
+// because fresh contributions inherit the cached prefix's column order — an
+// accident of prefix anchoring the audit does not rely on.)
+extern std::atomic<bool> skip_parity_gate;
+
 // RAII toggle so a throwing test cannot leave a mutation armed for the rest
 // of the suite.
 class ScopedMutation {

@@ -31,6 +31,22 @@ void DeltaCache::BeginTrigger(uint64_t epoch, BatchSeq lo, BatchSeq hi) {
   }
 }
 
+void DeltaCache::SetPlanVersion(uint64_t version) {
+  std::lock_guard lock(mu_);
+  // The first call is always a plan change: entries cached so far were built
+  // under the registration's implicit first plan, which never announces
+  // itself here. The counter records the re-keying *event*, not retired
+  // entries (invalidations counts those) — the cutover audit needs "was the
+  // cache re-keyed at this version bump" to hold even when the cache happened
+  // to be empty at that instant.
+  if (!plan_version_set_ || version != plan_version_) {
+    ++stats_.plan_flushes;
+    InvalidateAllLocked();
+  }
+  plan_version_ = version;
+  plan_version_set_ = true;
+}
+
 bool DeltaCache::GetPrefix(ColumnarTable* out) const {
   std::lock_guard lock(mu_);
   if (!prefix_valid_) {

@@ -42,6 +42,7 @@ class DeltaCache {
     uint64_t misses = 0;         // Contributions evaluated fresh.
     uint64_t invalidations = 0;  // Entries retired (GC hooks + window slide).
     uint64_t epoch_flushes = 0;  // Wholesale flushes on stored-graph change.
+    uint64_t plan_flushes = 0;   // Re-keying events on plan cutover (§5.14).
   };
 
   // Opens a trigger over window slices [lo, hi] at stored-graph `epoch`:
@@ -49,6 +50,21 @@ class DeltaCache {
   // window slid past. After this call the cache holds only entries inside
   // the window, bounding its size by the window span.
   void BeginTrigger(uint64_t epoch, BatchSeq lo, BatchSeq hi);
+
+  // Re-keys the cache to a new plan version (§5.14). The prefix table and
+  // every contribution are computed *under a plan* — prefix pattern
+  // membership and binding column order both depend on the pattern order —
+  // so a version change flushes the cache wholesale. The adaptive cutover
+  // (and plan pinning) is the single owner of this call; the delta path
+  // deliberately does not re-check at read time. A cutover that forgets to
+  // re-key (skip_parity_gate planted mutation) is caught by the cutover
+  // audit in the planner lane: a version bump on a delta-cached query must
+  // leave plan_flushes >= 1 here and a cutover/pin count on the cluster —
+  // the mutation advances the version while all three stay zero. (Results
+  // happen not to corrupt today because fresh contributions are derived from
+  // the cached prefix and inherit its column order, but that coherence is an
+  // accident of prefix anchoring, not a contract.)
+  void SetPlanVersion(uint64_t version);
 
   // Stored-graph prefix table (the window-independent plan prefix). Valid
   // until the next epoch flush; the window never invalidates it. Tables are
@@ -81,6 +97,8 @@ class DeltaCache {
   mutable std::mutex mu_;
   uint64_t epoch_ = 0;
   bool epoch_set_ = false;
+  uint64_t plan_version_ = 0;
+  bool plan_version_set_ = false;
   bool prefix_valid_ = false;
   ColumnarTable prefix_;
   std::map<BatchSeq, ColumnarTable> contributions_;

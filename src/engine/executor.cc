@@ -591,6 +591,9 @@ StatusOr<Table> RunPatternLoop(const Query& q, const std::vector<int>& plan,
     if (hook) {
       hook(p, rows_before, cols_before, table.num_rows());
     }
+    if (ctx.observe) {
+      ctx.observe(p, rows_before, cols_before, table.num_rows());
+    }
     if (table.num_rows() == 0) {
       break;  // Early exit: no bindings survive (or a constant check failed).
     }

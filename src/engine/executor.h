@@ -44,6 +44,15 @@ struct ExecContext {
   // ExecuteQuery, ExecuteDeltaPatterns). The row pipeline exists for the
   // columnar-vs-row differential twin and the composite baselines.
   bool columnar = true;
+  // Passive per-step statistics observer (§5.14): invoked with the same
+  // arguments as the caller's StepHook after every pattern step, regardless
+  // of which engine (fork-join or in-place) supplied a hook. The cluster
+  // points this at the live-stats collector for production executions only —
+  // planning and shadow-parity contexts leave it unset so observation never
+  // feeds back on itself.
+  std::function<void(const TriplePattern& pattern, size_t rows_before,
+                     size_t cols_before, size_t rows_after)>
+      observe;
 };
 
 // Per-step observer: invoked after each pattern with the pattern, the table

@@ -1,0 +1,140 @@
+#include "src/sparql/plan_pin.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+namespace wukongs {
+namespace {
+
+// Splits a line into whitespace-separated tokens, dropping a trailing
+// comment ("# ..." starts a comment anywhere in the line).
+std::vector<std::string> Tokenize(std::string_view line) {
+  std::vector<std::string> out;
+  std::string tok;
+  for (char c : line) {
+    if (c == '#') {
+      break;
+    }
+    if (c == ' ' || c == '\t' || c == '\r') {
+      if (!tok.empty()) {
+        out.push_back(tok);
+        tok.clear();
+      }
+    } else {
+      tok.push_back(c);
+    }
+  }
+  if (!tok.empty()) {
+    out.push_back(tok);
+  }
+  return out;
+}
+
+Status Malformed(size_t line_no, const std::string& why) {
+  return Status::InvalidArgument("plan pin line " + std::to_string(line_no) +
+                                 ": " + why);
+}
+
+}  // namespace
+
+StatusOr<PlanPin> ParsePlanPin(std::string_view text) {
+  PlanPin pin;
+  bool saw_header = false;
+  bool saw_order = false;
+  size_t line_no = 0;
+  std::istringstream in{std::string(text)};
+  std::string line;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::vector<std::string> toks = Tokenize(line);
+    if (toks.empty()) {
+      continue;
+    }
+    if (!saw_header) {
+      if (toks.size() != 2 || toks[0] != "plan" || toks[1] != "v1") {
+        return Malformed(line_no, "expected header 'plan v1'");
+      }
+      saw_header = true;
+      continue;
+    }
+    if (toks[0] == "order") {
+      if (saw_order) {
+        return Malformed(line_no, "duplicate 'order' directive");
+      }
+      if (toks.size() < 2) {
+        return Malformed(line_no, "'order' needs at least one index");
+      }
+      for (size_t i = 1; i < toks.size(); ++i) {
+        int v = 0;
+        size_t used = 0;
+        try {
+          v = std::stoi(toks[i], &used);
+        } catch (const std::exception&) {
+          used = 0;
+        }
+        if (used != toks[i].size()) {
+          return Malformed(line_no, "'" + toks[i] + "' is not an index");
+        }
+        if (v < 0) {
+          return Malformed(line_no, "negative pattern index " + toks[i]);
+        }
+        pin.order.push_back(v);
+      }
+      // A pin must be a permutation of 0..n-1: anything else either skips a
+      // pattern or runs one twice.
+      std::vector<int> sorted = pin.order;
+      std::sort(sorted.begin(), sorted.end());
+      for (size_t i = 0; i < sorted.size(); ++i) {
+        if (sorted[i] != static_cast<int>(i)) {
+          return Malformed(line_no,
+                           "order is not a permutation of 0.." +
+                               std::to_string(pin.order.size() - 1));
+        }
+      }
+      saw_order = true;
+    } else if (toks[0] == "selective") {
+      if (pin.selective.has_value()) {
+        return Malformed(line_no, "duplicate 'selective' directive");
+      }
+      if (toks.size() != 2 || (toks[1] != "true" && toks[1] != "false")) {
+        return Malformed(line_no, "'selective' takes exactly 'true' or 'false'");
+      }
+      pin.selective = toks[1] == "true";
+    } else {
+      return Malformed(line_no, "unknown directive '" + toks[0] + "'");
+    }
+  }
+  if (!saw_header) {
+    return Status::InvalidArgument("plan pin: empty input (missing 'plan v1')");
+  }
+  if (!saw_order) {
+    return Status::InvalidArgument("plan pin: missing 'order' directive");
+  }
+  return pin;
+}
+
+std::string SerializePlanPin(const PlanPin& pin) {
+  std::string out = "plan v1\norder";
+  for (int v : pin.order) {
+    out += ' ';
+    out += std::to_string(v);
+  }
+  out += '\n';
+  if (pin.selective.has_value()) {
+    out += *pin.selective ? "selective true\n" : "selective false\n";
+  }
+  return out;
+}
+
+StatusOr<PlanPin> LoadPlanPinFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound("plan pin file not readable: " + path);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParsePlanPin(buf.str());
+}
+
+}  // namespace wukongs

@@ -48,7 +48,31 @@ double EstimatePatternCost(const TriplePattern& p, const std::vector<bool>& boun
   // caps the expansion at its few edges, and with multiple windows each
   // pattern must rank by *its* window, not a shared constant.
   if (s_known || o_known) {
-    size_t seeds = src->EstimateCount(Key(kIndexVertex, p.predicate, Dir::kOut));
+    if (hints.stats != nullptr) {
+      // Adaptive re-planning (§5.14): an observed fan-out for this pattern's
+      // scope beats any degree heuristic — it is the measured output-per-row
+      // of exactly this expansion. Capped at the index-scan floor so a
+      // pathological observation cannot rank an expansion above a scan.
+      // Window graphs beyond window_scope have no stream attribution; their
+      // expansion must not borrow the stored-scope observation.
+      bool scoped = true;
+      int32_t scope = kStoredScope;
+      if (p.graph != kGraphStored) {
+        if (static_cast<size_t>(p.graph) < hints.window_scope.size()) {
+          scope = hints.window_scope[static_cast<size_t>(p.graph)];
+        } else {
+          scoped = false;
+        }
+      }
+      const double observed =
+          scoped ? hints.stats->FanoutOf(scope, p.predicate) : -1.0;
+      if (observed >= 0.0) {
+        return std::min(64.0, 1.0 + observed);
+      }
+    }
+    const size_t seeds =
+        src->EstimateCount(Key(kIndexVertex, p.predicate, Dir::kOut));
+    const double row_est = std::min(16.0, 1.0 + static_cast<double>(seeds));
     if (hints.chunk_rows > 0) {
       // Columnar executor: the expansion is a per-chunk batched gather, so
       // what the estimate should count is chunk cardinality — how much of a
@@ -56,10 +80,19 @@ double EstimatePatternCost(const TriplePattern& p, const std::vector<bool>& boun
       // ratio keeps the ranking monotone in the seed count (two sparse
       // windows still order correctly) while de-weighting dense predicates
       // that the row estimate saturated to the same cap.
-      return std::min(16.0, 1.0 + static_cast<double>(seeds) /
-                                      static_cast<double>(hints.chunk_rows));
+      const double chunk_est =
+          std::min(16.0, 1.0 + static_cast<double>(seeds) /
+                                   static_cast<double>(hints.chunk_rows));
+      // Batching can only amortize work: a chunked gather over the same seed
+      // population never costs more than the per-row walk. If the two
+      // estimates disagree the hint carries a nonsensical chunk size (or one
+      // formula was edited without the other) — trap loudly in debug builds
+      // and reconcile to the tighter bound instead of diverging silently.
+      assert(chunk_est <= row_est + 1e-9 &&
+             "chunk-cardinality estimate exceeds the row estimate");
+      return std::min(chunk_est, row_est);
     }
-    return std::min(16.0, 1.0 + static_cast<double>(seeds));
+    return row_est;
   }
   // Both endpoints free: index-vertex scan over every pid edge.
   size_t n = src->EstimateCount(Key(kIndexVertex, p.predicate, Dir::kOut));

@@ -13,10 +13,12 @@
 #ifndef SRC_STORE_PLANNER_H_
 #define SRC_STORE_PLANNER_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "src/engine/executor.h"
 #include "src/sparql/ast.h"
+#include "src/store/stream_stats.h"
 
 namespace wukongs {
 
@@ -31,8 +33,21 @@ struct PlanHints {
   // chunk, so its cost scales with how many chunk-granular gather passes the
   // seed set fills, not with the raw seed count the row executor paid per
   // row. 0 selects the legacy row-count estimate (used by the composite
-  // baselines, which keep the row pipeline).
+  // baselines, which keep the row pipeline). Whatever the chunk size, the
+  // chunked estimate can never exceed the row estimate for the same seed
+  // population; EstimatePatternCost reconciles the two (asserting in debug
+  // builds) so they cannot disagree silently.
   size_t chunk_rows = kColumnarChunkRows;
+  // Live statistics (§5.14): when set, an observed fan-out for a pattern's
+  // (scope, predicate) overrides the seed-count heuristic for bound-variable
+  // expansion. Null = static estimates only (the default everywhere except
+  // adaptive re-planning, keeping legacy plans byte-identical).
+  const StreamStatsSnapshot* stats = nullptr;
+  // Maps a window graph index (Query::windows position) to the stream
+  // feeding it, for keying observed fan-outs. Stored-graph patterns use
+  // kStoredScope; window graphs beyond this vector fall back to the static
+  // estimate.
+  std::vector<int32_t> window_scope;
 };
 
 // Returns the execution order (indices into q.patterns).

@@ -1,0 +1,100 @@
+#include "src/store/stream_stats.h"
+
+#include <algorithm>
+
+namespace wukongs {
+namespace {
+
+// EWMA weight for fan-out observations: heavy enough that a genuine shift
+// shows within a few triggers, light enough that one skewed window does not
+// whipsaw the estimate.
+constexpr double kFanoutAlpha = 0.3;
+
+}  // namespace
+
+double StreamStatsSnapshot::FanoutOf(int32_t scope, PredicateId pred) const {
+  auto it = fanouts.find(FanoutKey(scope, pred));
+  return it == fanouts.end() ? -1.0 : it->second;
+}
+
+double RateDriftFactor(const StreamStatsSnapshot& then_,
+                       const StreamStatsSnapshot& now,
+                       const std::vector<StreamId>& streams,
+                       double rate_floor) {
+  const double floor = std::max(rate_floor, 1e-9);
+  double worst = 1.0;
+  auto ratio = [&](StreamId s) {
+    const double a = std::max(then_.RateOf(s), floor);
+    const double b = std::max(now.RateOf(s), floor);
+    return std::max(a / b, b / a);
+  };
+  if (!streams.empty()) {
+    for (StreamId s : streams) {
+      worst = std::max(worst, ratio(s));
+    }
+    return worst;
+  }
+  const size_t n = std::max(then_.rates.size(), now.rates.size());
+  for (size_t s = 0; s < n; ++s) {
+    worst = std::max(worst, ratio(static_cast<StreamId>(s)));
+  }
+  return worst;
+}
+
+bool DriftExceeds(const StreamStatsSnapshot& plan_stats,
+                  const StreamStatsSnapshot& now,
+                  const std::vector<StreamId>& streams,
+                  const ReplanPolicy& policy) {
+  return RateDriftFactor(plan_stats, now, streams, policy.rate_floor) >=
+         policy.drift_factor;
+}
+
+StreamStatsCollector::StreamStatsCollector(StreamTime rate_window_ms)
+    : window_ms_(rate_window_ms == 0 ? 1 : rate_window_ms) {}
+
+void StreamStatsCollector::ObserveBatch(StreamId stream,
+                                        StreamTime batch_end_ms,
+                                        size_t tuples) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stream >= streams_.size()) {
+    streams_.resize(static_cast<size_t>(stream) + 1);
+  }
+  PerStream& ps = streams_[stream];
+  ps.batches.emplace_back(batch_end_ms, static_cast<uint64_t>(tuples));
+  ps.tuples_in_window += tuples;
+  ps.last_end_ms = std::max(ps.last_end_ms, batch_end_ms);
+  // Trailing window is (last - window_ms, last]: evict batches that aged out.
+  const StreamTime cutoff =
+      ps.last_end_ms > window_ms_ ? ps.last_end_ms - window_ms_ : 0;
+  while (!ps.batches.empty() && ps.batches.front().first <= cutoff) {
+    ps.tuples_in_window -= ps.batches.front().second;
+    ps.batches.pop_front();
+  }
+}
+
+void StreamStatsCollector::ObserveExpansion(int32_t scope, PredicateId pred,
+                                            size_t rows_in, size_t rows_out) {
+  const double x = static_cast<double>(rows_out) /
+                   static_cast<double>(std::max<size_t>(rows_in, 1));
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, fresh] =
+      fanouts_.try_emplace(StreamStatsSnapshot::FanoutKey(scope, pred), x);
+  if (!fresh) {
+    it->second = (1.0 - kFanoutAlpha) * it->second + kFanoutAlpha * x;
+  }
+}
+
+StreamStatsSnapshot StreamStatsCollector::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  StreamStatsSnapshot snap;
+  snap.rates.reserve(streams_.size());
+  for (const PerStream& ps : streams_) {
+    snap.rates.push_back(static_cast<double>(ps.tuples_in_window) * 1000.0 /
+                         static_cast<double>(window_ms_));
+    snap.as_of_ms = std::max(snap.as_of_ms, ps.last_end_ms);
+  }
+  snap.fanouts = fanouts_;
+  return snap;
+}
+
+}  // namespace wukongs

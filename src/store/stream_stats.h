@@ -1,0 +1,130 @@
+// Live stream statistics feeding the adaptive planner (§5.14).
+//
+// The planner orders patterns from NeighborSource cardinality estimates that
+// are frozen into a registration's plan at its first trigger. When stream
+// rates shift mid-run that plan cliffs (Strider, PAPERS.md). This module
+// collects the two live signals re-planning needs:
+//
+//  * per-stream ingest rates over a trailing window of *logical* stream time
+//    (fed from Cluster::InjectBatch, so the numbers are deterministic under
+//    the differential harness's simulated clock), and
+//  * observed per-pattern join fan-outs — mean output rows per input row of
+//    bound-variable expansion, keyed by (scope, predicate) where scope is
+//    the stream feeding a window pattern or kStoredScope — fed from the
+//    executor's per-step observer.
+//
+// Snapshots are immutable value types: a plan records the snapshot it was
+// derived from, and the drift detector compares that against a fresh one.
+// Everything here is pure bookkeeping so the fire-iff-drift property lane
+// (tests/planner_stats_test.cc) can drive it without a cluster.
+
+#ifndef SRC_STORE_STREAM_STATS_H_
+#define SRC_STORE_STREAM_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/rdf/triple.h"
+
+namespace wukongs {
+
+// Scope for observed fan-outs: window patterns are attributed to the stream
+// feeding them, stored-graph patterns to kStoredScope.
+inline constexpr int32_t kStoredScope = -1;
+
+// Immutable view of the collector state a plan was derived from.
+struct StreamStatsSnapshot {
+  // rates[s] = tuples/sec for stream s over the trailing rate window,
+  // measured in logical stream time. Streams never observed read 0.
+  std::vector<double> rates;
+  // Observed mean expansion fan-out keyed by FanoutKey(scope, predicate).
+  std::unordered_map<uint64_t, double> fanouts;
+  StreamTime as_of_ms = 0;
+
+  double RateOf(StreamId s) const {
+    return s < rates.size() ? rates[s] : 0.0;
+  }
+  // Returns a negative value when the pair was never observed.
+  double FanoutOf(int32_t scope, PredicateId pred) const;
+  static uint64_t FanoutKey(int32_t scope, PredicateId pred) {
+    return (static_cast<uint64_t>(static_cast<uint32_t>(scope)) << 32) |
+           static_cast<uint64_t>(pred);
+  }
+};
+
+// Cluster-level knobs for the adaptive re-planner. Lives here (not in
+// cluster.h) so the trigger predicate below is testable without a cluster.
+struct ReplanPolicy {
+  // Off by default: the plan-once stored-procedure lifecycle stays
+  // byte-identical unless a deployment opts in.
+  bool enabled = false;
+  // Re-plan fires when the max per-stream rate ratio between the plan's
+  // snapshot and a fresh one reaches this factor.
+  double drift_factor = 2.0;
+  // Rates below this floor (tuples/sec) are clamped up before the ratio so
+  // silence vs. trickle does not read as infinite drift.
+  double rate_floor = 0.5;
+  // Cooldown: triggers of one registration between consecutive drift checks.
+  uint64_t min_triggers_between = 4;
+  // Abort the shadow parity check once the two shadow executions have
+  // produced this many intermediate rows (0 = unlimited). Row counts, not
+  // wall time, so budget-overrun fallbacks replay deterministically.
+  uint64_t shadow_budget_rows = 0;
+  // Trailing window (logical ms) the collector computes ingest rates over.
+  StreamTime rate_window_ms = 1000;
+};
+
+// Largest symmetric per-stream rate ratio between two snapshots, over
+// `streams` (empty = every stream either snapshot knows). Returns 1.0 when
+// nothing drifted.
+double RateDriftFactor(const StreamStatsSnapshot& then_,
+                       const StreamStatsSnapshot& now,
+                       const std::vector<StreamId>& streams,
+                       double rate_floor);
+
+// The re-plan trigger predicate: drift between the plan's snapshot and a
+// fresh one reached policy.drift_factor. This exact predicate (and nothing
+// else) decides firing, so the property lane can assert fire-iff-drift.
+bool DriftExceeds(const StreamStatsSnapshot& plan_stats,
+                  const StreamStatsSnapshot& now,
+                  const std::vector<StreamId>& streams,
+                  const ReplanPolicy& policy);
+
+class StreamStatsCollector {
+ public:
+  explicit StreamStatsCollector(StreamTime rate_window_ms = 1000);
+
+  // One injected batch for `stream` whose window ends at `batch_end_ms`.
+  // Empty batches still advance the stream's trailing window.
+  void ObserveBatch(StreamId stream, StreamTime batch_end_ms, size_t tuples);
+
+  // One bound-variable expansion step: `rows_in` input rows produced
+  // `rows_out` output rows. Folded into a per-(scope, predicate) EWMA.
+  void ObserveExpansion(int32_t scope, PredicateId pred, size_t rows_in,
+                        size_t rows_out);
+
+  StreamStatsSnapshot Snapshot() const;
+  StreamTime rate_window_ms() const { return window_ms_; }
+
+ private:
+  struct PerStream {
+    std::deque<std::pair<StreamTime, uint64_t>> batches;  // (end_ms, tuples)
+    uint64_t tuples_in_window = 0;
+    StreamTime last_end_ms = 0;
+  };
+
+  mutable std::mutex mu_;
+  const StreamTime window_ms_;
+  std::vector<PerStream> streams_;
+  std::unordered_map<uint64_t, double> fanouts_;
+};
+
+}  // namespace wukongs
+
+#endif  // SRC_STORE_STREAM_STATS_H_

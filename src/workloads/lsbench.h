@@ -85,6 +85,12 @@ class LsBench {
   size_t total_rate_tuples_per_sec() const;
   size_t initial_triples() const { return initial_triples_; }
 
+  // Mid-run rate mutation (bench/fig13_stream_rate, planner drift tests):
+  // rescales every stream's rate from the next FeedInterval on. The schema
+  // and tuple shapes are unchanged — only the per-interval tuple counts move.
+  void SetRateScale(double scale) { config_.rate_scale = scale; }
+  double rate_scale() const { return config_.rate_scale; }
+
  private:
   std::string User(size_t i) const { return "User" + std::to_string(i); }
   std::string Tag(size_t i) const { return "Tag" + std::to_string(i); }
